@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Experiment TAB-CHECKER (our Table I) — the post-hoc execution
+ * checker (Section 8 "Tools for verifying memory model violations")
+ * and the rule-c / TSOtool comparison (Section 7).
+ *
+ * Three result groups:
+ *  1. verdicts for hand-picked traces (valid, coherence-violating,
+ *     Figure 3 and Figure 5 forbidden observations) under full and
+ *     a+b-only closure;
+ *  2. round-trip validation: every enumerated execution of several
+ *     litmus tests re-checks as consistent;
+ *  3. the online value of rule c: enumeration rollback counts with
+ *     and without it (late detection vs. eager candidate pruning).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "bench_util.hpp"
+#include "checker/checker.hpp"
+#include "litmus/library.hpp"
+
+namespace
+{
+
+using namespace satom;
+
+void
+BM_CheckValidTrace(benchmark::State &state)
+{
+    const auto t = litmus::figure5();
+    EnumerationOptions opts;
+    opts.collectExecutions = true;
+    const auto r =
+        enumerateBehaviors(t.program, makeModel(ModelId::WMM), opts);
+    const auto obs = observationsOf(r.executions.front());
+    for (auto _ : state) {
+        auto check =
+            checkExecution(t.program, makeModel(ModelId::WMM), obs);
+        benchmark::DoNotOptimize(check);
+    }
+}
+
+void
+BM_CheckViolatingTrace(benchmark::State &state)
+{
+    const auto t = litmus::figure5();
+    const std::vector<Observation> trace = {
+        Observation::of(0, 0, 1, 0), Observation::of(0, 1, 2, 0),
+        Observation::of(2, 0, 1, 1), Observation::of(2, 1, 0, 0)};
+    for (auto _ : state) {
+        auto check =
+            checkExecution(t.program, makeModel(ModelId::WMM), trace);
+        benchmark::DoNotOptimize(check);
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_CheckValidTrace);
+BENCHMARK(BM_CheckViolatingTrace);
+
+int
+main(int argc, char **argv)
+{
+    using namespace satom::bench;
+    banner("TAB-CHECKER (Table I)",
+           "post-hoc execution checking and the rule-c comparison");
+
+    std::cout << "-- trace verdicts --\n";
+    TextTable t1;
+    t1.header({"trace", "model", "a+b only", "a+b+c"});
+    {
+        const auto sb = litmus::storeBuffering();
+        const std::vector<Observation> weak = {
+            Observation::initial(0, 0), Observation::initial(1, 0)};
+        auto verdict = [&](const Program &p, const MemoryModel &m,
+                           const std::vector<Observation> &o,
+                           bool ruleC) {
+            CheckOptions co;
+            co.ruleC = ruleC;
+            return checkExecution(p, m, o, co).consistent
+                       ? std::string("accept")
+                       : std::string("reject");
+        };
+        t1.row({"SB both-zero", "TSO-approx",
+                verdict(sb.program, makeModel(ModelId::TSOApprox),
+                        weak, false),
+                verdict(sb.program, makeModel(ModelId::TSOApprox),
+                        weak, true)});
+        t1.row({"SB both-zero", "SC",
+                verdict(sb.program, makeModel(ModelId::SC), weak,
+                        false),
+                verdict(sb.program, makeModel(ModelId::SC), weak,
+                        true)});
+        const auto f3 = litmus::figure3();
+        const std::vector<Observation> f3bad = {
+            Observation::of(0, 0, 1, 0), Observation::of(1, 0, 0, 0)};
+        t1.row({"fig3 forbidden", "WMM",
+                verdict(f3.program, makeModel(ModelId::WMM), f3bad,
+                        false),
+                verdict(f3.program, makeModel(ModelId::WMM), f3bad,
+                        true)});
+        const auto f5 = litmus::figure5();
+        const std::vector<Observation> f5bad = {
+            Observation::of(0, 0, 1, 0), Observation::of(0, 1, 2, 0),
+            Observation::of(2, 0, 1, 1), Observation::of(2, 1, 0, 0)};
+        t1.row({"fig5 forbidden", "WMM",
+                verdict(f5.program, makeModel(ModelId::WMM), f5bad,
+                        false),
+                verdict(f5.program, makeModel(ModelId::WMM), f5bad,
+                        true)});
+    }
+    std::cout << t1.render();
+    std::cout
+        << "note: on COMPLETE traces the iterated a+b closure already "
+           "rejects fig5 (rule a reconstructs the cycle through the "
+           "rule-c premises); see the rollback table for where rule c "
+           "is irreplaceable.\n\n";
+
+    std::cout << "-- round-trip: enumerated executions re-check --\n";
+    TextTable t2;
+    t2.header({"test", "executions", "all consistent"});
+    for (const auto &lt :
+         {litmus::storeBuffering(), litmus::messagePassing(),
+          litmus::iriw(), litmus::figure5(), litmus::figure10()}) {
+        EnumerationOptions opts;
+        opts.collectExecutions = true;
+        const auto r = enumerateBehaviors(
+            lt.program, makeModel(ModelId::WMM), opts);
+        int ok = 0;
+        for (const auto &g : r.executions) {
+            const auto check = checkExecution(
+                lt.program, makeModel(ModelId::WMM),
+                observationsOf(g));
+            ok += check.consistent;
+        }
+        t2.row({lt.name, std::to_string(r.executions.size()),
+                ok == static_cast<int>(r.executions.size())
+                    ? "yes"
+                    : "NO (BUG)"});
+    }
+    std::cout << t2.render();
+
+    std::cout << "\n-- rule c online: enumeration rollbacks --\n";
+    TextTable t3;
+    t3.header({"test", "rollbacks with c", "rollbacks a+b only",
+               "outcome sets"});
+    for (const auto &lt : {litmus::figure5(), litmus::figure3(),
+                           litmus::iriwFenced()}) {
+        const auto withC =
+            enumerateBehaviors(lt.program, makeModel(ModelId::WMM));
+        EnumerationOptions ab;
+        ab.applyRuleC = false;
+        const auto withoutC = enumerateBehaviors(
+            lt.program, makeModel(ModelId::WMM), ab);
+        std::set<std::string> a, b;
+        for (const auto &o : withC.outcomes)
+            a.insert(o.key());
+        for (const auto &o : withoutC.outcomes)
+            b.insert(o.key());
+        t3.row({lt.name, std::to_string(withC.stats.rollbacks),
+                std::to_string(withoutC.stats.rollbacks),
+                a == b ? "equal" : "DIFFER"});
+    }
+    std::cout << t3.render();
+    std::cout << "rule c keeps candidates() exact, so the enumerator "
+                 "never forks doomed behaviors (0 rollbacks).\n";
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

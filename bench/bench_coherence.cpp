@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Experiment TAB-COHERENCE (our Table C) — Section 4.2: a cache
+ * coherence protocol is a conservative approximation of Store
+ * Atomicity.
+ *
+ * For every branch-free litmus test, runs the MSI bus simulator over
+ * many schedules and checks containment: every coherent outcome lies
+ * inside the SC outcome set (eager ordering loses behaviors, never
+ * adds them), and the coverage ratio shows how much of SC a single
+ * protocol run can reach.  Also reports protocol traffic statistics.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "baseline/operational.hpp"
+#include "bench_util.hpp"
+#include "coherence/msi.hpp"
+#include "litmus/library.hpp"
+
+namespace
+{
+
+using namespace satom;
+
+void
+BM_MsiSimulation(benchmark::State &state)
+{
+    const auto tests = litmus::classicTests();
+    const auto &t = tests[static_cast<std::size_t>(state.range(0))];
+    std::uint32_t seed = 1;
+    for (auto _ : state) {
+        CoherenceConfig cfg;
+        cfg.seed = seed++;
+        auto run = simulateCoherent(t.program, cfg);
+        benchmark::DoNotOptimize(run);
+    }
+    state.SetLabel(t.name);
+}
+
+} // namespace
+
+BENCHMARK(BM_MsiSimulation)->DenseRange(0, 5);
+
+int
+main(int argc, char **argv)
+{
+    using namespace satom::bench;
+    banner("TAB-COHERENCE (Table C)",
+           "MSI outcomes are contained in the store-atomic sets");
+
+    constexpr int kSeeds = 200;
+    TextTable t;
+    t.header({"test", "SC outcomes", "MSI distinct", "contained",
+              "weak outcome seen", "busRd", "busRdX", "upgr", "inval",
+              "wb"});
+    bool allContained = true;
+    for (const auto &lt : litmus::classicTests()) {
+        const auto sc = enumerateOperationalSC(lt.program);
+        std::set<std::string> scKeys;
+        for (const auto &o : sc.outcomes)
+            scKeys.insert(o.key());
+
+        std::set<std::string> seen;
+        CoherenceStats total;
+        bool contained = true;
+        bool weakSeen = false;
+        for (int seed = 1; seed <= kSeeds; ++seed) {
+            CoherenceConfig cfg;
+            cfg.seed = static_cast<std::uint32_t>(seed);
+            const auto run = simulateCoherent(lt.program, cfg);
+            if (!run.completed)
+                continue;
+            seen.insert(run.outcome.key());
+            if (!scKeys.count(run.outcome.key()))
+                contained = false;
+            if (lt.cond.matches(run.outcome))
+                weakSeen = true;
+            total.busReads += run.stats.busReads;
+            total.busReadXs += run.stats.busReadXs;
+            total.busUpgrades += run.stats.busUpgrades;
+            total.invalidations += run.stats.invalidations;
+            total.writebacks += run.stats.writebacks;
+        }
+        allContained &= contained;
+        t.row({lt.name, std::to_string(sc.outcomes.size()),
+               std::to_string(seen.size()),
+               contained ? "yes" : "NO (BUG)",
+               weakSeen ? "yes" : "no",
+               std::to_string(total.busReads),
+               std::to_string(total.busReadXs),
+               std::to_string(total.busUpgrades),
+               std::to_string(total.invalidations),
+               std::to_string(total.writebacks)});
+    }
+    std::cout << t.render();
+    std::cout << "paper (Section 4.2): coherence = eager ordering => "
+                 "containment must hold everywhere: "
+              << (allContained ? "CONFIRMED" : "VIOLATED") << "\n";
+    std::cout << "relaxed outcomes are never observable on the "
+                 "coherent in-order machine (\"weak outcome seen\" "
+                 "must be no for tests SC forbids).\n";
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Experiment TAB-FENCE (our Table E) — partial-fence ablation.
+ *
+ * The framework is "parameterized by a set of reordering rules"
+ * (Section 8); partial fences let a program re-introduce exactly one
+ * ordering at a time.  For each classic relaxation this table shows
+ * which single membar bit forbids it under the weak model — and that
+ * the other bits do not.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "isa/builder.hpp"
+
+namespace
+{
+
+using namespace satom;
+
+constexpr Addr X = 100, Y = 101;
+
+/** The relaxation shapes, each with a fence slot per thread. */
+struct Shape
+{
+    const char *name;
+    const char *needs; ///< the bit that should forbid the outcome
+    Program (*build)(FenceMask);
+    Condition cond;
+};
+
+Program
+buildSb(FenceMask m)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1).fence(m).load(1, Y);
+    pb.thread("P1").store(Y, 1).fence(m).load(2, X);
+    return pb.build();
+}
+
+Program
+buildMpWriter(FenceMask m)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1).fence(m).store(Y, 1);
+    pb.thread("P1").load(1, Y).fence({true, false, false, false})
+        .load(2, X);
+    return pb.build();
+}
+
+Program
+buildMpReader(FenceMask m)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1).fence({false, false, false, true})
+        .store(Y, 1);
+    pb.thread("P1").load(1, Y).fence(m).load(2, X);
+    return pb.build();
+}
+
+Program
+buildLb(FenceMask m)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").load(1, X).fence(m).store(Y, 1);
+    pb.thread("P1").load(2, Y).fence(m).store(X, 1);
+    return pb.build();
+}
+
+std::vector<Shape>
+shapes()
+{
+    return {
+        {"SB", "sl", buildSb,
+         Condition({Condition::reg(0, 1, 0), Condition::reg(1, 2, 0)})},
+        {"MP(writer slot)", "ss", buildMpWriter,
+         Condition({Condition::reg(1, 1, 1), Condition::reg(1, 2, 0)})},
+        {"MP(reader slot)", "ll", buildMpReader,
+         Condition({Condition::reg(1, 1, 1), Condition::reg(1, 2, 0)})},
+        {"LB", "ls", buildLb,
+         Condition({Condition::reg(0, 1, 1), Condition::reg(1, 2, 1)})},
+    };
+}
+
+void
+BM_FenceAblation(benchmark::State &state)
+{
+    const auto all = shapes();
+    const auto &s = all[static_cast<std::size_t>(state.range(0))];
+    const Program p = s.build(FenceMask::full());
+    for (auto _ : state) {
+        auto r = enumerateBehaviors(p, makeModel(ModelId::WMM));
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetLabel(s.name);
+}
+
+} // namespace
+
+BENCHMARK(BM_FenceAblation)->DenseRange(0, 3);
+
+int
+main(int argc, char **argv)
+{
+    using namespace satom::bench;
+    banner("TAB-FENCE (Table E)",
+           "which membar bit forbids which relaxation (WMM)");
+
+    const FenceMask bits[] = {
+        {true, false, false, false},  // ll
+        {false, true, false, false},  // ls
+        {false, false, true, false},  // sl
+        {false, false, false, true},  // ss
+    };
+    const char *bitNames[] = {"ll", "ls", "sl", "ss"};
+
+    TextTable t;
+    t.header({"shape", "none", "ll", "ls", "sl", "ss", "full",
+              "needs"});
+    for (const auto &s : shapes()) {
+        std::vector<std::string> row{s.name};
+        auto verdictFor = [&](FenceMask m) {
+            const auto r = enumerateBehaviors(
+                s.build(m), satom::makeModel(satom::ModelId::WMM));
+            return s.cond.observable(r.outcomes) ? "allowed"
+                                                 : "forbidden";
+        };
+        row.push_back(verdictFor(FenceMask{}));
+        for (int i = 0; i < 4; ++i)
+            row.push_back(verdictFor(bits[i]));
+        row.push_back(verdictFor(FenceMask::full()));
+        row.push_back(s.needs);
+        t.row(std::move(row));
+        (void)bitNames;
+    }
+    std::cout << t.render();
+    std::cout << "each shape flips to forbidden exactly at its "
+                 "\"needs\" bit (and stays forbidden with the full "
+                 "fence).\n";
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Experiment FIG2 — the three edge kinds of Figure 2 (plus the TSO
+ * grey edge of Section 6).
+ *
+ * Reports, per litmus test, how many Local / Source / Atomicity / Grey
+ * edges appear across all executions under WMM (and TSO for grey), and
+ * benchmarks incremental edge insertion with closure maintenance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "litmus/library.hpp"
+
+namespace
+{
+
+using namespace satom;
+
+void
+BM_EdgeInsertionWithClosure(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        ExecutionGraph g;
+        for (int i = 0; i < n; ++i) {
+            Node node;
+            node.kind = NodeKind::Store;
+            node.addrKnown = true;
+            node.addr = i % 4;
+            node.valueKnown = true;
+            node.value = i;
+            node.executed = true;
+            g.addNode(node);
+        }
+        // A chain plus cross links: worst-ish case closure updates.
+        for (int i = 0; i + 1 < n; ++i)
+            g.addEdge(i, i + 1, EdgeKind::Local);
+        for (int i = 0; i + 7 < n; i += 3)
+            g.addEdge(i, i + 7, EdgeKind::Atomicity);
+        benchmark::DoNotOptimize(g.closureSize());
+    }
+    state.SetComplexityN(n);
+}
+
+} // namespace
+
+BENCHMARK(BM_EdgeInsertionWithClosure)
+    ->RangeMultiplier(2)
+    ->Range(8, 256)
+    ->Complexity();
+
+int
+main(int argc, char **argv)
+{
+    using namespace satom::bench;
+    banner("FIG2", "edge kinds across the litmus library");
+
+    satom::TextTable t;
+    t.header({"test", "execs", "local", "source", "atomicity",
+              "grey(TSO)"});
+    for (const auto &lt : satom::litmus::classicTests()) {
+        satom::EnumerationOptions opts;
+        opts.collectExecutions = true;
+        const auto wmm = satom::enumerateBehaviors(
+            lt.program, satom::makeModel(satom::ModelId::WMM), opts);
+        const auto tso = satom::enumerateBehaviors(
+            lt.program, satom::makeModel(satom::ModelId::TSO), opts);
+        long local = 0, source = 0, atomicity = 0, grey = 0;
+        for (const auto &g : wmm.executions) {
+            local += g.edgeCount(satom::EdgeKind::Local);
+            source += g.edgeCount(satom::EdgeKind::Source);
+            atomicity += g.edgeCount(satom::EdgeKind::Atomicity);
+        }
+        for (const auto &g : tso.executions)
+            grey += g.edgeCount(satom::EdgeKind::Grey);
+        t.row({lt.name, std::to_string(wmm.executions.size()),
+               std::to_string(local), std::to_string(source),
+               std::to_string(atomicity), std::to_string(grey)});
+    }
+    std::cout << t.render();
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Experiment FIG4 — Figure 4 of the paper (Store Atomicity rule b).
+ *
+ * "Observing a Store to y orders the Load before an overwriting
+ * Store": L4 observing S3(y,3) inserts L4 @ S5, which makes
+ * S1 @ S2 @ L6 and forbids L6 = 1.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "litmus/library.hpp"
+
+namespace
+{
+
+using namespace satom;
+
+void
+BM_EnumerateFig4(benchmark::State &state)
+{
+    const auto t = litmus::figure4();
+    const MemoryModel m =
+        makeModel(static_cast<ModelId>(state.range(0)));
+    for (auto _ : state) {
+        auto r = enumerateBehaviors(t.program, m);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetLabel(m.name);
+}
+
+} // namespace
+
+BENCHMARK(BM_EnumerateFig4)->DenseRange(0, 5);
+
+int
+main(int argc, char **argv)
+{
+    using namespace satom::bench;
+    const auto t = litmus::figure4();
+    banner("FIG4", t.description);
+
+    const auto r =
+        enumerateBehaviors(t.program, makeModel(ModelId::WMM));
+    TextTable table;
+    table.header({"observation", "verdict (WMM)"});
+    table.row({"L4=3 && L6=1", verdictChecked(
+        t.cond.observable(r.outcomes), t, ModelId::WMM)});
+    table.row({"L4=3 && L6=2",
+               verdict(Condition({Condition::reg(0, 4, 3),
+                                  Condition::reg(1, 6, 2)})
+                           .observable(r.outcomes))});
+    table.row({"L4=5 && L6=1",
+               verdict(Condition({Condition::reg(0, 4, 5),
+                                  Condition::reg(1, 6, 1)})
+                           .observable(r.outcomes))});
+    table.row({"L4=5 && L6=2",
+               verdict(Condition({Condition::reg(0, 4, 5),
+                                  Condition::reg(1, 6, 2)})
+                           .observable(r.outcomes))});
+    std::cout << table.render();
+    std::cout << "paper: L6 = 1 after L4 = 3 must be forbidden; "
+              << "observing S5 instead frees L6.\n";
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

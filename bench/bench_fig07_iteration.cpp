@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Experiment FIG7 — Figure 7 of the paper: enforcing Store Atomicity
+ * on one location can expose required dependencies on another, so the
+ * closure must iterate to a fixpoint.
+ *
+ * Prints the verdicts (final x = 1 forbidden once both observations
+ * are made) and measures closure iteration counts across the litmus
+ * library under WMM.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "litmus/library.hpp"
+
+namespace
+{
+
+using namespace satom;
+
+void
+BM_EnumerateFig7(benchmark::State &state)
+{
+    const auto t = litmus::figure7();
+    const MemoryModel m =
+        makeModel(static_cast<ModelId>(state.range(0)));
+    for (auto _ : state) {
+        auto r = enumerateBehaviors(t.program, m);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetLabel(m.name);
+}
+
+} // namespace
+
+BENCHMARK(BM_EnumerateFig7)->DenseRange(0, 5);
+
+int
+main(int argc, char **argv)
+{
+    using namespace satom::bench;
+    const auto t = litmus::figure7();
+    banner("FIG7", t.description);
+
+    const auto r =
+        enumerateBehaviors(t.program, makeModel(ModelId::WMM));
+    TextTable table;
+    table.header({"observation", "verdict (WMM)"});
+    table.row({"L6=4 && L5=2 && final x=1", verdictChecked(
+        t.cond.observable(r.outcomes), t, ModelId::WMM)});
+    table.row({"L6=4 && L5=2 && final x=2",
+               verdict(Condition({Condition::reg(0, 6, 4),
+                                  Condition::reg(1, 5, 2),
+                                  Condition::mem(litmus::locX, 2)})
+                           .observable(r.outcomes))});
+    table.row({"L6=3 && L5=2 && final x=1",
+               verdict(Condition({Condition::reg(0, 6, 3),
+                                  Condition::reg(1, 5, 2),
+                                  Condition::mem(litmus::locX, 1)})
+                           .observable(r.outcomes))});
+    std::cout << table.render();
+    std::cout << "closure sweeps during enumeration: "
+              << r.stats.closureIterations << " (edges derived: "
+              << r.stats.closureEdges << ")\n";
+
+    std::cout << "\ncloure iteration profile across the library "
+                 "(WMM):\n";
+    TextTable prof;
+    prof.header({"test", "sweeps", "derived edges", "states"});
+    for (const auto &lt : litmus::classicTests()) {
+        const auto lr =
+            enumerateBehaviors(lt.program, makeModel(ModelId::WMM));
+        prof.row({lt.name, std::to_string(lr.stats.closureIterations),
+                  std::to_string(lr.stats.closureEdges),
+                  std::to_string(lr.stats.statesExplored)});
+    }
+    std::cout << prof.render();
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

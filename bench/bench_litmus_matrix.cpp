@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Experiment TAB-LITMUS (our Table A) — the cross-model verdict
+ * matrix for the whole litmus library, with the operational baselines
+ * as referees for SC and TSO.
+ *
+ * Each cell answers "is the test's relaxed outcome observable under
+ * this model?"; expectations from the library are cross-checked, and
+ * two independent machines validate the graph framework's SC and TSO
+ * columns.  Timings compare the graph enumerator against both
+ * operational machines per test.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/operational.hpp"
+#include "bench_util.hpp"
+#include "litmus/library.hpp"
+
+namespace
+{
+
+using namespace satom;
+
+const std::vector<LitmusTest> &
+tests()
+{
+    static const std::vector<LitmusTest> all = litmus::allTests();
+    return all;
+}
+
+void
+BM_GraphEnumerator(benchmark::State &state)
+{
+    const auto &t = tests()[static_cast<std::size_t>(state.range(0))];
+    const MemoryModel m =
+        makeModel(static_cast<ModelId>(state.range(1)));
+    for (auto _ : state) {
+        auto r = enumerateBehaviors(t.program, m);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetLabel(t.name + "/" + m.name);
+}
+
+void
+BM_OperationalSC(benchmark::State &state)
+{
+    const auto &t = tests()[static_cast<std::size_t>(state.range(0))];
+    for (auto _ : state) {
+        auto r = enumerateOperationalSC(t.program);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetLabel(t.name);
+}
+
+void
+BM_StoreBufferTSO(benchmark::State &state)
+{
+    const auto &t = tests()[static_cast<std::size_t>(state.range(0))];
+    for (auto _ : state) {
+        auto r = enumerateOperationalTSO(t.program);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetLabel(t.name);
+}
+
+} // namespace
+
+BENCHMARK(BM_GraphEnumerator)
+    ->ArgsProduct({{0, 2, 6, 9, 21, 26}, {0, 2, 4}});
+BENCHMARK(BM_OperationalSC)->DenseRange(0, 3);
+BENCHMARK(BM_StoreBufferTSO)->DenseRange(0, 3);
+
+int
+main(int argc, char **argv)
+{
+    using namespace satom::bench;
+    banner("TAB-LITMUS (Table A)",
+           "allowed/forbidden matrix across models");
+
+    TextTable t;
+    t.header({"test", "SC", "TSO-approx", "TSO", "PSO", "WMM",
+              "WMM+spec", "opSC", "opTSO", "check"});
+    int mismatches = 0;
+    for (const auto &lt : tests()) {
+        std::vector<std::string> row{lt.name};
+        bool ok = true;
+        for (ModelId id : allModels()) {
+            const bool obs = observableUnder(lt, id);
+            row.push_back(obs ? "yes" : "no");
+            if (auto e = lt.expectedFor(id); e && *e != obs)
+                ok = false;
+        }
+        const auto opSc = enumerateOperationalSC(lt.program);
+        const auto opTso = enumerateOperationalTSO(lt.program);
+        const bool scObs = lt.cond.observable(opSc.outcomes);
+        const bool tsoObs = lt.cond.observable(opTso.outcomes);
+        row.push_back(scObs ? "yes" : "no");
+        row.push_back(tsoObs ? "yes" : "no");
+        if (auto e = lt.expectedFor(ModelId::SC); e && *e != scObs)
+            ok = false;
+        if (auto e = lt.expectedFor(ModelId::TSO); e && *e != tsoObs)
+            ok = false;
+        row.push_back(ok ? "ok" : "MISMATCH");
+        if (!ok)
+            ++mismatches;
+        t.row(std::move(row));
+    }
+    std::cout << t.render();
+    std::cout << "expectation mismatches: " << mismatches << "\n";
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Experiment TAB-SCALE (our Table B) — enumeration cost versus
+ * program size.
+ *
+ * Sweeps synthetic store-buffering chains (t threads, each storing
+ * then loading k locations) and reports behaviors found, states
+ * explored, duplicate hit rate and closure work, under SC and WMM.
+ * The duplicate rate shows how much the Load-Store-graph pruning of
+ * Section 4.1 saves.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "isa/builder.hpp"
+
+namespace
+{
+
+using namespace satom;
+
+/** t threads; thread i stores to its slot then reads t-1 others. */
+Program
+ring(int threads, int reads)
+{
+    ProgramBuilder pb;
+    for (int i = 0; i < threads; ++i) {
+        auto &t = pb.thread("P" + std::to_string(i));
+        t.store(100 + i, i + 1);
+        for (int r = 1; r <= reads; ++r)
+            t.load(r, 100 + (i + r) % threads);
+    }
+    return pb.build();
+}
+
+void
+BM_EnumerateRing(benchmark::State &state)
+{
+    const Program p = ring(static_cast<int>(state.range(0)),
+                           static_cast<int>(state.range(1)));
+    const MemoryModel m =
+        makeModel(static_cast<ModelId>(state.range(2)));
+    for (auto _ : state) {
+        auto r = enumerateBehaviors(p, m);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetLabel(m.name);
+}
+
+} // namespace
+
+BENCHMARK(BM_EnumerateRing)
+    ->ArgsProduct({{2, 3}, {1, 2}, {0, 4}})
+    ->Unit(benchmark::kMillisecond);
+
+int
+main(int argc, char **argv)
+{
+    using namespace satom::bench;
+    banner("TAB-SCALE (Table B)", "enumeration cost vs program size");
+
+    TextTable t;
+    t.header({"threads", "reads", "model", "instrs", "outcomes",
+              "executions", "states", "forks", "dup rate %",
+              "closure edges"});
+    for (int threads : {2, 3, 4}) {
+        for (int reads : {1, 2}) {
+            if (threads == 4 && reads == 2)
+                continue; // keep runtime bounded
+            const Program p = ring(threads, reads);
+            for (ModelId id : {ModelId::SC, ModelId::WMM}) {
+                const auto r = enumerateBehaviors(p, makeModel(id));
+                const double dup =
+                    r.stats.statesForked
+                        ? 100.0 * static_cast<double>(
+                                      r.stats.duplicates) /
+                              static_cast<double>(r.stats.statesForked)
+                        : 0.0;
+                t.row({std::to_string(threads), std::to_string(reads),
+                       toString(id), std::to_string(p.size()),
+                       std::to_string(r.outcomes.size()),
+                       std::to_string(r.stats.executions),
+                       std::to_string(r.stats.statesExplored),
+                       std::to_string(r.stats.statesForked),
+                       std::to_string(static_cast<int>(dup)),
+                       std::to_string(r.stats.closureEdges)});
+            }
+        }
+    }
+    std::cout << t.render();
+    std::cout << "note: dup rate is the fraction of forks pruned by "
+                 "the Load-Store-graph comparison of Section 4.1.\n";
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

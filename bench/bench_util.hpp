@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches.
+ *
+ * Every bench binary prints its experiment's paper-style result rows
+ * first (the reproduction artifact recorded in EXPERIMENTS.md) and
+ * then runs google-benchmark timings for the code paths involved.
+ */
+
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "enumerate/engine.hpp"
+#include "litmus/test.hpp"
+#include "util/table.hpp"
+
+namespace satom::bench
+{
+
+/** "allowed"/"forbidden" from an observability bool. */
+inline std::string
+verdict(bool observable)
+{
+    return observable ? "allowed" : "forbidden";
+}
+
+/** "yes"/"no" with expectation cross-check annotation. */
+inline std::string
+verdictChecked(bool observable, const LitmusTest &t, ModelId id)
+{
+    std::string v = verdict(observable);
+    if (auto e = t.expectedFor(id)) {
+        v += observable == *e ? "  (= paper)" : "  (MISMATCH)";
+    }
+    return v;
+}
+
+/** Run @p t under @p id and report observability of its condition. */
+inline bool
+observableUnder(const LitmusTest &t, ModelId id,
+                EnumerationOptions opts = {})
+{
+    const auto r = enumerateBehaviors(t.program, makeModel(id), opts);
+    return t.cond.observable(r.outcomes);
+}
+
+/** Print one experiment banner. */
+inline void
+banner(const std::string &id, const std::string &what)
+{
+    std::cout << "\n=== " << id << ": " << what << " ===\n";
+}
+
+} // namespace satom::bench

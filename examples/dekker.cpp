@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Verifying a mutual-exclusion entry protocol (Dekker-style) across
+ * memory models — the paper's suggested use of the enumeration
+ * procedure: "to check that a locking algorithm meets its
+ * specification".
+ *
+ * Each thread raises its flag and enters the critical section only if
+ * the other thread's flag is still down.  Under SC the entry protocol
+ * is safe; under the weak model it requires a Store->Load fence.  The
+ * example enumerates every behavior and reports whether both threads
+ * can ever enter simultaneously.
+ *
+ * Usage: dekker
+ */
+
+#include <iostream>
+
+#include "enumerate/engine.hpp"
+#include "isa/builder.hpp"
+#include "util/table.hpp"
+
+namespace
+{
+
+using namespace satom;
+
+constexpr Addr flag0 = 100, flag1 = 101;
+
+/** Build the entry protocol, with or without the fences. */
+Program
+dekkerEntry(bool fenced)
+{
+    ProgramBuilder pb;
+    auto &p0 = pb.thread("P0");
+    p0.store(flag0, 1);
+    if (fenced)
+        p0.fence();
+    p0.load(1, flag1)
+        .bne(regOp(1), immOp(0), "backoff0")
+        .movi(2, 1) // r2 = 1: entered the critical section
+        .label("backoff0")
+        .fence();
+
+    auto &p1 = pb.thread("P1");
+    p1.store(flag1, 1);
+    if (fenced)
+        p1.fence();
+    p1.load(1, flag0)
+        .bne(regOp(1), immOp(0), "backoff1")
+        .movi(2, 1)
+        .label("backoff1")
+        .fence();
+    return pb.build();
+}
+
+/** Can both threads be inside the critical section at once? */
+bool
+mutualExclusionViolated(const EnumerationResult &r)
+{
+    for (const auto &o : r.outcomes)
+        if (o.reg(0, 2) == 1 && o.reg(1, 2) == 1)
+            return true;
+    return false;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Dekker-style entry protocol: can both threads enter "
+                 "the critical section?\n\n";
+
+    TextTable t;
+    t.header({"variant", "model", "outcomes", "mutual exclusion"});
+    for (bool fenced : {false, true}) {
+        const Program p = dekkerEntry(fenced);
+        for (ModelId id :
+             {ModelId::SC, ModelId::TSO, ModelId::WMM}) {
+            const auto r = enumerateBehaviors(p, makeModel(id));
+            t.row({fenced ? "with fences" : "no fences",
+                   toString(id), std::to_string(r.outcomes.size()),
+                   mutualExclusionViolated(r) ? "VIOLATED" : "holds"});
+        }
+    }
+    std::cout << t.render();
+
+    std::cout
+        << "\nReading the table: without fences the Store->Load\n"
+           "reordering of TSO and WMM lets both threads read the\n"
+           "other's flag as 0 (the store-buffering pattern), so the\n"
+           "protocol is broken exactly where the model relaxes that\n"
+           "pair; the fence restores mutual exclusion everywhere.\n";
+    return 0;
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Command-line litmus runner over the text format of
+ * src/litmus/parser.hpp.
+ *
+ * Usage:
+ *   litmus_runner <file.litmus> [--model NAME]...
+ *                 [--model-file <file.model>]... [--outcomes]
+ *                 [--dot <file>] [--budget N]
+ *
+ * With no --model/--model-file, runs every bundled model.  Prints the
+ * condition verdict per model, checks any `expect` lines in the file,
+ * and can dump all outcomes or a Graphviz rendering of a satisfying
+ * execution.  Model files define custom reordering axioms (see
+ * src/model/parser.hpp) — the paper's "experiment with a broad range
+ * of memory models simply by changing the requirements for
+ * instruction reordering".
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/dot.hpp"
+#include "enumerate/engine.hpp"
+#include "litmus/parser.hpp"
+#include "model/parser.hpp"
+#include "util/table.hpp"
+
+namespace
+{
+
+using namespace satom;
+
+int
+usage()
+{
+    std::cerr << "usage: litmus_runner <file.litmus> [--model NAME]...\n"
+                 "                     [--model-file FILE]...\n"
+                 "                     [--outcomes] [--dot FILE]\n"
+                 "                     [--budget N]\n"
+                 "models: SC TSO-approx TSO PSO WMM WMM+spec\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string path;
+    std::vector<ModelId> models;
+    std::vector<MemoryModel> customModels;
+    bool showOutcomes = false;
+    std::string dotPath;
+    int budget = 64;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--model" && i + 1 < argc) {
+            const std::string name = argv[++i];
+            bool found = false;
+            for (ModelId id : allModels())
+                if (toString(id) == name) {
+                    models.push_back(id);
+                    found = true;
+                }
+            if (!found) {
+                std::cerr << "unknown model: " << name << '\n';
+                return usage();
+            }
+        } else if (arg == "--model-file" && i + 1 < argc) {
+            try {
+                customModels.push_back(parseModelFile(argv[++i]));
+            } catch (const ModelParseError &e) {
+                std::cerr << e.what() << '\n';
+                return 1;
+            }
+        } else if (arg == "--outcomes") {
+            showOutcomes = true;
+        } else if (arg == "--dot" && i + 1 < argc) {
+            dotPath = argv[++i];
+        } else if (arg == "--budget" && i + 1 < argc) {
+            budget = std::stoi(argv[++i]);
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            path = arg;
+        }
+    }
+    if (path.empty())
+        return usage();
+    if (models.empty() && customModels.empty())
+        models = allModels();
+
+    // Bundled models carry an id for expectation lookup; custom ones
+    // do not.
+    struct RunModel
+    {
+        MemoryModel model;
+        bool bundled;
+    };
+    std::vector<RunModel> runModels;
+    for (ModelId id : models)
+        runModels.push_back({makeModel(id), true});
+    for (auto &m : customModels)
+        runModels.push_back({std::move(m), false});
+
+    LitmusTest test;
+    try {
+        test = litmus::parseLitmusFile(path);
+    } catch (const litmus::ParseError &e) {
+        std::cerr << e.what() << '\n';
+        return 1;
+    }
+
+    std::cout << "test: " << test.name;
+    if (!test.description.empty())
+        std::cout << " -- " << test.description;
+    std::cout << "\n" << test.program.toString();
+    std::cout << "condition: " << test.cond.toString() << "\n\n";
+
+    EnumerationOptions opts;
+    opts.maxDynamicPerThread = budget;
+    opts.collectExecutions = !dotPath.empty();
+
+    TextTable table;
+    table.header({"model", "executions", "outcomes", "verdict",
+                  "expected"});
+    int exitCode = 0;
+    for (std::size_t mi = 0; mi < runModels.size(); ++mi) {
+        const MemoryModel &model = runModels[mi].model;
+        const auto r = enumerateBehaviors(test.program, model, opts);
+        const bool obs = test.cond.observable(r.outcomes);
+        std::string expected = "-";
+        if (runModels[mi].bundled) {
+            if (auto e = test.expectedFor(model.id)) {
+                expected = *e == obs ? "match" : "MISMATCH";
+                if (*e != obs)
+                    exitCode = 1;
+            }
+        }
+        table.row({model.name, std::to_string(r.stats.executions),
+                   std::to_string(r.outcomes.size()),
+                   (obs ? "allowed" : "forbidden") +
+                       std::string(r.complete ? "" : " (incomplete)"),
+                   expected});
+
+        if (showOutcomes) {
+            std::cout << "--- outcomes under " << model.name
+                      << " ---\n";
+            for (const auto &o : r.outcomes)
+                std::cout << (test.cond.matches(o) ? " * " : "   ")
+                          << o.key() << '\n';
+        }
+        if (!dotPath.empty() && obs && mi + 1 == runModels.size()) {
+            // Dump the first satisfying execution of the last model.
+            for (std::size_t i = 0; i < r.executions.size(); ++i) {
+                // Re-derive this execution's outcomes is costly; just
+                // dump the first execution instead.
+                DotOptions dopts;
+                dopts.title = test.name;
+                std::ofstream out(dotPath);
+                out << graphToDot(r.executions[i], dopts);
+                std::cout << "wrote " << dotPath << '\n';
+                break;
+            }
+        }
+    }
+    std::cout << table.render();
+    return exitCode;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Batch litmus runner: execute every .litmus file in a directory (or
+ * every bundled library test) across the bundled models and print one
+ * verdict matrix, herd-style.
+ *
+ * Usage:
+ *   litmus_suite [<dir-with-.litmus-files>] [--budget N]
+ *
+ * Exit code is nonzero if any `expect` line disagrees with the
+ * measured verdict.
+ */
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "enumerate/engine.hpp"
+#include "litmus/library.hpp"
+#include "litmus/parser.hpp"
+#include "util/table.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace satom;
+    namespace fs = std::filesystem;
+
+    std::string dir;
+    int budget = 64;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--budget" && i + 1 < argc)
+            budget = std::stoi(argv[++i]);
+        else
+            dir = arg;
+    }
+
+    std::vector<LitmusTest> tests;
+    if (dir.empty()) {
+        tests = litmus::allTests();
+        std::cout << "Running the bundled litmus library ("
+                  << tests.size() << " tests).\n\n";
+    } else {
+        for (const auto &entry : fs::directory_iterator(dir)) {
+            if (entry.path().extension() != ".litmus")
+                continue;
+            try {
+                tests.push_back(
+                    litmus::parseLitmusFile(entry.path().string()));
+            } catch (const litmus::ParseError &e) {
+                std::cerr << e.what() << '\n';
+                return 1;
+            }
+        }
+        std::cout << "Parsed " << tests.size() << " tests from " << dir
+                  << ".\n\n";
+    }
+    if (tests.empty()) {
+        std::cerr << "no litmus tests found\n";
+        return 1;
+    }
+
+    EnumerationOptions opts;
+    opts.maxDynamicPerThread = budget;
+
+    TextTable t;
+    std::vector<std::string> header{"test"};
+    for (ModelId id : allModels())
+        header.push_back(toString(id));
+    header.push_back("check");
+    t.header(std::move(header));
+
+    int mismatches = 0;
+    for (const auto &lt : tests) {
+        std::vector<std::string> row{lt.name};
+        bool ok = true;
+        for (ModelId id : allModels()) {
+            const auto r =
+                enumerateBehaviors(lt.program, makeModel(id), opts);
+            const bool obs = lt.cond.observable(r.outcomes);
+            row.push_back(obs ? "yes" : "no");
+            if (auto e = lt.expectedFor(id); e && *e != obs)
+                ok = false;
+        }
+        row.push_back(ok ? "ok" : "MISMATCH");
+        mismatches += !ok;
+        t.row(std::move(row));
+    }
+    std::cout << t.render();
+    std::cout << "\nmismatches against expectations: " << mismatches
+              << '\n';
+    return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Verifying lock implementations with the enumeration procedure — the
+ * paper's "check that a locking algorithm meets its specification"
+ * use case, built on the atomic RMW extension (Section 8).
+ *
+ * Two locks protect a shared counter that each thread increments once:
+ *
+ *  - test-and-set lock: swap 1 into the lock word, spin until the old
+ *    value was 0;
+ *  - ticket lock: fetch-add on a ticket counter, spin until the
+ *    now-serving word reaches the ticket.
+ *
+ * Correctness criterion: in every behavior of every model the final
+ * counter equals the number of threads — no lost updates, ever.
+ *
+ * Usage: locks
+ */
+
+#include <iostream>
+
+#include "enumerate/engine.hpp"
+#include "isa/builder.hpp"
+#include "util/table.hpp"
+
+namespace
+{
+
+using namespace satom;
+
+constexpr Addr lockWord = 100, counter = 101;
+constexpr Addr nextTicket = 102, nowServing = 103;
+
+/** counter++ under a test-and-set lock, with acquire/release fences. */
+Program
+tasLock(int threads)
+{
+    ProgramBuilder pb;
+    for (int t = 0; t < threads; ++t) {
+        auto &p = pb.thread("P" + std::to_string(t));
+        p.label("acquire")
+            .swap(1, immOp(lockWord), immOp(1))
+            .bne(regOp(1), immOp(0), "acquire")
+            .fence(FenceMask::acquire())
+            .load(2, counter)
+            .add(3, regOp(2), immOp(1))
+            .store(immOp(counter), regOp(3))
+            .fence(FenceMask::release())
+            .store(lockWord, 0);
+    }
+    return pb.build();
+}
+
+/** counter++ under a ticket lock. */
+Program
+ticketLock(int threads)
+{
+    ProgramBuilder pb;
+    for (int t = 0; t < threads; ++t) {
+        auto &p = pb.thread("P" + std::to_string(t));
+        p.fetchAdd(1, immOp(nextTicket), immOp(1))
+            .label("wait")
+            .load(2, nowServing)
+            .bne(regOp(2), regOp(1), "wait")
+            .fence(FenceMask::acquire())
+            .load(3, counter)
+            .add(4, regOp(3), immOp(1))
+            .store(immOp(counter), regOp(4))
+            .fence(FenceMask::release())
+            .add(5, regOp(1), immOp(1))
+            .store(immOp(nowServing), regOp(5));
+    }
+    return pb.build();
+}
+
+/** The broken baseline: unsynchronized counter++. */
+Program
+noLock(int threads)
+{
+    ProgramBuilder pb;
+    for (int t = 0; t < threads; ++t) {
+        pb.thread("P" + std::to_string(t))
+            .load(1, counter)
+            .add(2, regOp(1), immOp(1))
+            .store(immOp(counter), regOp(2));
+    }
+    return pb.build();
+}
+
+/** Atomic baseline: fetch-add, no lock needed. */
+Program
+atomicCounter(int threads)
+{
+    ProgramBuilder pb;
+    for (int t = 0; t < threads; ++t)
+        pb.thread("P" + std::to_string(t))
+            .fetchAdd(1, immOp(counter), immOp(1));
+    return pb.build();
+}
+
+/** Smallest and largest final counter value over all behaviors. */
+std::pair<Val, Val>
+counterRange(const EnumerationResult &r)
+{
+    Val lo = 1 << 30, hi = -1;
+    for (const auto &o : r.outcomes) {
+        lo = std::min(lo, o.mem(counter));
+        hi = std::max(hi, o.mem(counter));
+    }
+    return {lo, hi};
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr int threads = 2;
+    std::cout << "Two threads each increment a shared counter once.\n"
+              << "Final counter must be 2 in every behavior.\n\n";
+
+    EnumerationOptions opts;
+    opts.maxDynamicPerThread = 24;
+
+    TextTable t;
+    t.header({"implementation", "model", "behaviors", "final counter",
+              "verdict"});
+    struct Impl
+    {
+        const char *name;
+        Program program;
+        bool shouldBeSafe;
+    };
+    const Impl impls[] = {
+        {"no lock (broken)", noLock(threads), false},
+        {"test-and-set lock", tasLock(threads), true},
+        {"ticket lock", ticketLock(threads), true},
+        {"atomic fetch-add", atomicCounter(threads), true},
+    };
+    for (const auto &impl : impls) {
+        for (ModelId id : {ModelId::SC, ModelId::WMM}) {
+            const auto r =
+                enumerateBehaviors(impl.program, makeModel(id), opts);
+            const auto [lo, hi] = counterRange(r);
+            const bool safe = lo == threads && hi == threads;
+            t.row({impl.name, toString(id),
+                   std::to_string(r.outcomes.size()),
+                   lo == hi ? std::to_string(lo)
+                            : std::to_string(lo) + ".." +
+                                  std::to_string(hi),
+                   safe ? "safe" : "LOST UPDATE"});
+        }
+    }
+    std::cout << t.render();
+    std::cout << "\nThe unlocked counter loses updates even under SC\n"
+                 "(the Load/Add/Store sequence is not atomic).  Both\n"
+                 "locks and the single fetch-add are exhaustively\n"
+                 "verified safe under the weak model: every Load\n"
+                 "resolution in every execution graph was explored.\n";
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The producer/consumer flag idiom under relaxed memory, analyzed
+ * three ways:
+ *
+ *  1. enumeration: which fence placements make the consumer's data
+ *     read reliable;
+ *  2. the well-synchronization discipline of Section 8 (with the flag
+ *     declared a synchronization variable);
+ *  3. happens-before races on the individual executions.
+ *
+ * Usage: message_passing
+ */
+
+#include <iostream>
+
+#include "analysis/races.hpp"
+#include "analysis/well_sync.hpp"
+#include "enumerate/engine.hpp"
+#include "isa/builder.hpp"
+#include "util/table.hpp"
+
+namespace
+{
+
+using namespace satom;
+
+constexpr Addr data = 100, flag = 101;
+
+Program
+messagePassing(bool writerFence, bool readerFence)
+{
+    ProgramBuilder pb;
+    auto &p0 = pb.thread("producer");
+    p0.store(data, 42);
+    if (writerFence)
+        p0.fence();
+    p0.store(flag, 1);
+
+    auto &p1 = pb.thread("consumer");
+    p1.label("spin").load(1, flag).beq(regOp(1), immOp(0), "spin");
+    if (readerFence)
+        p1.fence();
+    p1.load(2, data);
+    return pb.build();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Message passing: producer writes data then raises a "
+                 "flag;\nconsumer spins on the flag then reads the "
+                 "data.\n\n";
+
+    EnumerationOptions opts;
+    opts.maxDynamicPerThread = 12;
+    opts.collectExecutions = true;
+
+    TextTable t;
+    t.header({"writer fence", "reader fence", "model",
+              "stale read possible", "well-synchronized", "races"});
+    for (bool wf : {false, true}) {
+        for (bool rf : {false, true}) {
+            const Program p = messagePassing(wf, rf);
+            for (ModelId id : {ModelId::TSO, ModelId::WMM}) {
+                WellSyncOptions ws;
+                ws.syncLocations = {flag};
+                const auto report = checkWellSynchronized(
+                    p, makeModel(id), ws, opts);
+                const auto &r = report.enumeration;
+
+                bool stale = false;
+                for (const auto &o : r.outcomes)
+                    if (o.reg(1, 2) != 42)
+                        stale = true;
+                long races = 0;
+                for (const auto &g : r.executions)
+                    races += static_cast<long>(findRaces(g).size());
+
+                t.row({wf ? "yes" : "no", rf ? "yes" : "no",
+                       toString(id), stale ? "YES" : "no",
+                       report.wellSynchronized ? "yes" : "no",
+                       std::to_string(races)});
+            }
+        }
+    }
+    std::cout << t.render();
+
+    std::cout
+        << "\nTSO keeps both orderings for free (only Store->Load\n"
+           "reorders), so the idiom works unfenced there.  WMM needs\n"
+           "both fences: the writer's Store->Store and the reader's\n"
+           "Load->Load orderings are otherwise relaxed.  With both\n"
+           "fences the data Load has exactly one candidate Store --\n"
+           "the program is well synchronized in the paper's Section 8\n"
+           "sense -- and the data accesses are race-free.\n";
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Peterson's mutual-exclusion algorithm, exhaustively verified — with
+ * loops, a turn variable, and the fences each model needs.
+ *
+ *   flag[i] = 1; turn = j;
+ *   while (flag[j] && turn == j) ;   // spin
+ *   <critical section: counter++>
+ *   flag[i] = 0;
+ *
+ * The enumeration explores every Load resolution of every interleaving
+ * (bounded spin unrolling), so "mutual exclusion holds" below means
+ * verified over the complete behavior set, not sampled.
+ *
+ * Usage: peterson
+ */
+
+#include <iostream>
+
+#include "enumerate/engine.hpp"
+#include "isa/builder.hpp"
+#include "util/table.hpp"
+
+namespace
+{
+
+using namespace satom;
+
+constexpr Addr flag0 = 100, flag1 = 101, turn = 102, counter = 103;
+
+Program
+peterson(bool fenced)
+{
+    ProgramBuilder pb;
+    for (int i = 0; i < 2; ++i) {
+        const Addr mine = i == 0 ? flag0 : flag1;
+        const Addr theirs = i == 0 ? flag1 : flag0;
+        const int other = 1 - i;
+        auto &p = pb.thread("P" + std::to_string(i));
+        p.store(mine, 1);
+        if (fenced)
+            p.fence();
+        p.store(turn, other);
+        if (fenced)
+            p.fence();
+        p.label("spin")
+            .load(1, theirs)
+            .beq(regOp(1), immOp(0), "enter") // their flag down: go
+            .load(2, turn)
+            .beq(regOp(2), immOp(other), "spin") // their turn: wait
+            .label("enter");
+        if (fenced)
+            p.fence();
+        // Critical section: counter++ (not atomic on purpose — only
+        // mutual exclusion makes it safe).
+        p.load(3, counter)
+            .add(4, regOp(3), immOp(1))
+            .store(immOp(counter), regOp(4));
+        if (fenced)
+            p.fence();
+        p.store(mine, 0);
+    }
+    return pb.build();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Peterson's algorithm: both threads increment a "
+                 "counter inside the critical section.\nMutual "
+                 "exclusion holds iff the final counter is always 2.\n\n";
+
+    EnumerationOptions opts;
+    opts.maxDynamicPerThread = 14;
+
+    TextTable t;
+    t.header({"variant", "model", "behaviors", "final counter",
+              "mutual exclusion"});
+    for (bool fenced : {false, true}) {
+        const Program p = peterson(fenced);
+        for (ModelId id : {ModelId::SC, ModelId::TSO, ModelId::WMM}) {
+            const auto r = enumerateBehaviors(p, makeModel(id), opts);
+            Val lo = 1 << 30, hi = -1;
+            for (const auto &o : r.outcomes) {
+                lo = std::min(lo, o.mem(counter));
+                hi = std::max(hi, o.mem(counter));
+            }
+            const bool holds = lo == 2 && hi == 2 && !r.outcomes.empty();
+            t.row({fenced ? "with fences" : "no fences", toString(id),
+                   std::to_string(r.outcomes.size()),
+                   lo == hi ? std::to_string(lo)
+                            : std::to_string(lo) + ".." +
+                                  std::to_string(hi),
+                   holds ? "holds" : "VIOLATED"});
+        }
+    }
+    std::cout << t.render();
+
+    std::cout
+        << "\nPeterson relies on Store->Load order (my flag write vs.\n"
+           "reading theirs) and Store->Store order (flag before turn),\n"
+           "so it breaks under TSO and WMM without fences; full fences\n"
+           "restore it everywhere.  Every row is an exhaustive check\n"
+           "over all executions with bounded spin unrolling.\n";
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A walkthrough of the paper's address-aliasing speculation study
+ * (Section 5, Figures 8 and 9).
+ *
+ * Enumerates the Figure 8 program with and without the non-speculative
+ * address-disambiguation dependencies, prints the behavior-set
+ * difference, and emits a Graphviz rendering of one execution
+ * exhibiting the new speculative behavior.
+ *
+ * Usage: speculation_demo [--dot <file>]
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/dot.hpp"
+#include "enumerate/engine.hpp"
+#include "litmus/library.hpp"
+#include "speculation/report.hpp"
+#include "util/table.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace satom;
+
+    std::string dotPath;
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--dot")
+            dotPath = argv[i + 1];
+
+    const auto t = litmus::figure8();
+    std::cout << "Figure 8 program (x initially points at w):\n"
+              << t.program.toString() << '\n';
+
+    const auto report = compareSpeculation(t.program);
+
+    TextTable table;
+    table.header({"behavior (thread B)", "non-speculative",
+                  "speculative"});
+    auto mark = [](bool b) { return b ? std::string("yes") : "no"; };
+    const Condition newBehavior({Condition::reg(1, 3, 2),
+                                 Condition::reg(1, 6, litmus::locZ),
+                                 Condition::reg(1, 8, 2)});
+    const Condition oldBehavior({Condition::reg(1, 3, 2),
+                                 Condition::reg(1, 6, litmus::locZ),
+                                 Condition::reg(1, 8, 4)});
+    table.row({"r3=2, r6=z, r8=4 (up-to-date y)",
+               mark(oldBehavior.observable(report.nonSpeculative)),
+               mark(oldBehavior.observable(report.speculative))});
+    table.row({"r3=2, r6=z, r8=2 (stale y -- Figure 9 right)",
+               mark(newBehavior.observable(report.nonSpeculative)),
+               mark(newBehavior.observable(report.speculative))});
+    std::cout << table.render();
+    std::cout << "behaviors added by speculation: "
+              << report.added.size() << ", rollbacks performed: "
+              << report.rollbacks << "\n\n";
+
+    std::cout
+        << "Why: non-speculatively, L8 must wait for L6 (which\n"
+           "produces S7's address) before it can be disambiguated, so\n"
+           "S4's overwrite of y is already ordered before L8.\n"
+           "Speculation drops that dependency; when the pointer turns\n"
+           "out to be z (no alias), the early Load of the overwritten\n"
+           "S(y,2) stands -- a behavior no non-speculative execution\n"
+           "can produce, yet consistent with the reordering axioms.\n";
+
+    // Render one execution with the new behavior.
+    EnumerationOptions opts;
+    opts.collectExecutions = true;
+    const auto spec = enumerateBehaviors(
+        t.program, makeModel(ModelId::WMMSpec), opts);
+    for (const auto &g : spec.executions) {
+        bool isNew = true;
+        for (const auto &n : g.nodes()) {
+            if (n.isLoad() && n.tid == 1 && n.addr == litmus::locY &&
+                n.serial > 2 && n.value != 2)
+                isNew = false;
+            if (n.isLoad() && n.tid == 1 && n.addr == litmus::locX &&
+                n.value != litmus::locZ)
+                isNew = false;
+        }
+        if (!isNew)
+            continue;
+        DotOptions dopts;
+        dopts.title = "figure8-speculative";
+        const std::string dot = graphToDot(g, dopts);
+        if (!dotPath.empty()) {
+            std::ofstream out(dotPath);
+            out << dot;
+            std::cout << "wrote " << dotPath << '\n';
+        } else {
+            std::cout << "\nGraphviz of one new-behavior execution "
+                         "(pipe to `dot -Tpng`):\n"
+                      << dot;
+        }
+        break;
+    }
+    return 0;
+}

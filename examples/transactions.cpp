@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Transactions demo: an atomic bank transfer verified against a racy
+ * reader — the paper's Section 8 "big-step semantics from small-step
+ * semantics" question, answered with the interval rules.
+ *
+ * Account A starts with 100; a transfer transaction moves 30 to
+ * account B while an auditor transaction reads both balances.  The
+ * invariant: the auditor always sees a total of exactly 100.
+ *
+ * Usage: transactions
+ */
+
+#include <iostream>
+
+#include "enumerate/engine.hpp"
+#include "isa/builder.hpp"
+#include "txn/atomic.hpp"
+#include "util/table.hpp"
+
+namespace
+{
+
+using namespace satom;
+
+constexpr Addr acctA = 100, acctB = 101;
+
+Program
+bankTransfer(bool transactional)
+{
+    ProgramBuilder pb;
+    pb.init(acctA, 100);
+
+    auto &mover = pb.thread("transfer");
+    if (transactional)
+        mover.txBegin();
+    mover.load(1, acctA)
+        .sub(2, regOp(1), immOp(30))
+        .store(immOp(acctA), regOp(2))
+        .load(3, acctB)
+        .add(4, regOp(3), immOp(30))
+        .store(immOp(acctB), regOp(4));
+    if (transactional)
+        mover.txEnd();
+
+    auto &auditor = pb.thread("audit");
+    if (transactional)
+        auditor.txBegin();
+    auditor.load(1, acctA).load(2, acctB);
+    if (transactional)
+        auditor.txEnd();
+    return pb.build();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Transfer 30 from A (100) to B (0) while an auditor "
+                 "sums both accounts.\n\n";
+
+    TextTable t;
+    t.header({"variant", "model", "audited totals", "invariant"});
+    for (bool txn : {false, true}) {
+        for (ModelId id : {ModelId::SC, ModelId::WMM}) {
+            const auto r = enumerateBehaviors(bankTransfer(txn),
+                                              makeModel(id));
+            Val lo = 1 << 30, hi = -1;
+            for (const auto &o : r.outcomes) {
+                const Val total = o.reg(1, 1) + o.reg(1, 2);
+                lo = std::min(lo, total);
+                hi = std::max(hi, total);
+            }
+            t.row({txn ? "transactional" : "plain", toString(id),
+                   lo == hi ? std::to_string(lo)
+                            : std::to_string(lo) + ".." +
+                                  std::to_string(hi),
+                   lo == 100 && hi == 100 ? "holds"
+                                          : "VIOLATED"});
+        }
+    }
+    std::cout << t.render();
+
+    std::cout
+        << "\nPlain code leaks the intermediate state (A already\n"
+           "debited, B not yet credited: total 70) in some\n"
+           "interleavings — under SC too.  Wrapping both sides in\n"
+           "transactions makes every execution graph an interval\n"
+           "order: the auditor serializes wholly before or after the\n"
+           "transfer, so the total is always 100.  This is the\n"
+           "paper's Section 8 claim made executable: the all-or-\n"
+           "nothing big step is nothing but two extra closure rules\n"
+           "on the small-step graph.\n";
+    return 0;
+}

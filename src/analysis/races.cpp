@@ -1,0 +1,36 @@
+#include "analysis/races.hpp"
+
+namespace satom
+{
+
+std::vector<Race>
+findRaces(const ExecutionGraph &g)
+{
+    std::vector<Race> races;
+    const auto &nodes = g.nodes();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const Node &a = nodes[i];
+        if (!a.isMemory() || !a.addrKnown)
+            continue;
+        for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+            const Node &b = nodes[j];
+            if (!b.isMemory() || !b.addrKnown)
+                continue;
+            if (a.addr != b.addr || a.tid == b.tid)
+                continue;
+            if (!a.isStore() && !b.isStore())
+                continue;
+            if (!g.comparable(a.id, b.id))
+                races.push_back({a.id, b.id, a.addr});
+        }
+    }
+    return races;
+}
+
+bool
+raceFree(const ExecutionGraph &g)
+{
+    return findRaces(g).empty();
+}
+
+} // namespace satom

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Data-race detection over finished execution graphs.
+ *
+ * Two memory operations race when they touch the same address, at least
+ * one is a Store, they come from different threads, and `@` leaves them
+ * unordered.  Because `@` is exactly the ordering common to every
+ * serialization (Store Atomicity), an unordered conflicting pair means
+ * some serializations disagree about their order — the classic
+ * happens-before race.  A program is race-free under a model iff none
+ * of its executions contains a race.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace satom
+{
+
+/** One conflicting unordered pair. */
+struct Race
+{
+    NodeId a = invalidNode;
+    NodeId b = invalidNode;
+    Addr addr = 0;
+};
+
+/** All races of one execution graph. */
+std::vector<Race> findRaces(const ExecutionGraph &g);
+
+/** Convenience: true iff findRaces(g) is empty. */
+bool raceFree(const ExecutionGraph &g);
+
+} // namespace satom

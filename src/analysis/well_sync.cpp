@@ -1,0 +1,28 @@
+#include "analysis/well_sync.hpp"
+
+namespace satom
+{
+
+WellSyncReport
+checkWellSynchronized(const Program &program, const MemoryModel &model,
+                      WellSyncOptions wsOpts,
+                      EnumerationOptions enumOpts)
+{
+    WellSyncReport report;
+    enumOpts.onResolve = [&](const ExecutionGraph &g, NodeId load,
+                             const std::vector<NodeId> &choices) {
+        const Addr a = g.node(load).addr;
+        if (wsOpts.syncLocations.count(a))
+            return;
+        ++report.loadsChecked;
+        if (choices.size() > 1) {
+            ++report.violations;
+            ++report.violationsByLocation[a];
+            report.wellSynchronized = false;
+        }
+    };
+    report.enumeration = enumerateBehaviors(program, model, enumOpts);
+    return report;
+}
+
+} // namespace satom

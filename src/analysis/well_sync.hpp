@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Well-synchronization discipline checker (Section 8 of the paper).
+ *
+ * The paper proposes a prescriptive discipline generalizing Proper
+ * Synchronization: "a program is well synchronized if for every load of
+ * a non-synchronization variable there is exactly one eligible store
+ * which can provide its value according to Store Atomicity."  Such
+ * programs behave identically under any store-atomic model, so they can
+ * safely run on much weaker memory systems.
+ *
+ * The checker instruments the enumerator's Load-resolution step and
+ * counts, per location, the resolutions that offered more than one
+ * candidate Store.
+ */
+
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "enumerate/engine.hpp"
+
+namespace satom
+{
+
+/** Configuration of the discipline check. */
+struct WellSyncOptions
+{
+    /** Locations designated as synchronization variables (exempt). */
+    std::set<Addr> syncLocations;
+};
+
+/** Result of the discipline check. */
+struct WellSyncReport
+{
+    /** No non-sync Load ever had more than one candidate. */
+    bool wellSynchronized = true;
+
+    /** Non-sync Load resolutions inspected. */
+    long loadsChecked = 0;
+
+    /** Non-sync Load resolutions with multiple candidates. */
+    long violations = 0;
+
+    /** Violations broken down by location. */
+    std::map<Addr, long> violationsByLocation;
+
+    /** The underlying enumeration (outcomes, stats). */
+    EnumerationResult enumeration;
+};
+
+/**
+ * Check the discipline for @p program under @p model.
+ */
+WellSyncReport checkWellSynchronized(const Program &program,
+                                     const MemoryModel &model,
+                                     WellSyncOptions wsOpts = {},
+                                     EnumerationOptions enumOpts = {});
+
+} // namespace satom

@@ -1,0 +1,322 @@
+#include "baseline/operational.hpp"
+
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+namespace satom
+{
+
+namespace
+{
+
+/** Architectural state of one thread in an operational machine. */
+struct MachineThread
+{
+    int pc = 0;
+    int dyn = 0; ///< dynamic instructions executed
+    std::map<Reg, Val> regs;
+    std::deque<std::pair<Addr, Val>> buffer; ///< TSO store buffer
+};
+
+/** Whole-machine state; value type for DFS cloning. */
+struct MachineState
+{
+    std::map<Addr, Val> memory;
+    std::vector<MachineThread> threads;
+
+    std::string
+    key() const
+    {
+        std::ostringstream out;
+        for (const auto &[a, v] : memory)
+            out << a << '=' << v << ',';
+        for (const auto &t : threads) {
+            out << '|' << t.pc << ';' << t.dyn << ';';
+            for (const auto &[r, v] : t.regs)
+                out << r << ':' << v << ',';
+            out << ';';
+            for (const auto &[a, v] : t.buffer)
+                out << a << '>' << v << ',';
+        }
+        return out.str();
+    }
+};
+
+/** Shared search driver for both machines. */
+class OperationalSearch
+{
+  public:
+    OperationalSearch(const Program &program, bool tso,
+                      const OperationalOptions &opts)
+        : program_(program), tso_(tso), opts_(opts)
+    {
+    }
+
+    OperationalResult
+    run()
+    {
+        MachineState init;
+        init.memory = program_.initialMemory();
+        init.threads.resize(
+            static_cast<std::size_t>(program_.numThreads()));
+        dfs(init);
+        OperationalResult res;
+        res.outcomes.assign(outcomes_.begin(), outcomes_.end());
+        res.complete = complete_;
+        res.statesExplored = explored_;
+        return res;
+    }
+
+  private:
+    Val
+    operandVal(const MachineThread &t, const Operand &op) const
+    {
+        if (op.isImm())
+            return op.imm;
+        if (!op.isReg())
+            return 0;
+        auto it = t.regs.find(op.reg);
+        return it == t.regs.end() ? 0 : it->second;
+    }
+
+    Val
+    readMemory(const MachineState &s, const MachineThread &t,
+               Addr a) const
+    {
+        if (tso_) {
+            // Youngest matching buffered Store wins.
+            for (auto it = t.buffer.rbegin(); it != t.buffer.rend();
+                 ++it)
+                if (it->first == a)
+                    return it->second;
+        }
+        auto it = s.memory.find(a);
+        return it == s.memory.end() ? 0 : it->second;
+    }
+
+    /** True iff thread @p tid can execute its next instruction. */
+    bool
+    enabled(const MachineState &s, std::size_t tid) const
+    {
+        const MachineThread &t = s.threads[tid];
+        const auto &code = program_.threads[tid].code;
+        if (t.pc >= static_cast<int>(code.size()))
+            return false;
+        if (t.dyn >= opts_.maxDynamicPerThread)
+            return false;
+        if (tso_ && !t.buffer.empty()) {
+            const Instruction &ins =
+                code[static_cast<std::size_t>(t.pc)];
+            // Only Store->Load ordering needs a drain on TSO; the
+            // FIFO buffer provides the other orderings for free.
+            // Atomic RMWs act on memory and drain like full fences.
+            if (ins.op == Opcode::Fence && ins.fence.storeLoad)
+                return false;
+            if (isRmwOpcode(ins.op) || ins.op == Opcode::TxBegin)
+                return false;
+        }
+        return true;
+    }
+
+    /**
+     * Execute a whole transaction (TxBegin..TxEnd) as one atomic
+     * machine step.  Returns false if the dynamic budget ran out
+     * before the transaction closed.
+     */
+    bool
+    runTransaction(MachineState &s, std::size_t tid)
+    {
+        const auto &code = program_.threads[tid].code;
+        MachineThread &t = s.threads[tid];
+        inTxn_ = true;
+        bool closed = false;
+        while (t.pc < static_cast<int>(code.size()) &&
+               t.dyn < opts_.maxDynamicPerThread) {
+            const bool isEnd =
+                code[static_cast<std::size_t>(t.pc)].op ==
+                Opcode::TxEnd;
+            step(s, tid);
+            if (isEnd) {
+                closed = true;
+                break;
+            }
+        }
+        inTxn_ = false;
+        return closed;
+    }
+
+    /** Execute thread @p tid's next instruction in place. */
+    void
+    step(MachineState &s, std::size_t tid)
+    {
+        MachineThread &t = s.threads[tid];
+        const Instruction &ins =
+            program_.threads[tid].code[static_cast<std::size_t>(t.pc)];
+        ++t.dyn;
+        switch (ins.op) {
+          case Opcode::MovImm:
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::Mul:
+          case Opcode::Xor: {
+            const Val a = operandVal(t, ins.a);
+            const Val b = operandVal(t, ins.b);
+            Val v = 0;
+            switch (ins.op) {
+              case Opcode::MovImm: v = a; break;
+              case Opcode::Add: v = a + b; break;
+              case Opcode::Sub: v = a - b; break;
+              case Opcode::Mul: v = a * b; break;
+              case Opcode::Xor: v = a ^ b; break;
+              default: break;
+            }
+            t.regs[ins.dst] = v;
+            ++t.pc;
+            break;
+          }
+          case Opcode::Load:
+            t.regs[ins.dst] = readMemory(s, t, operandVal(t, ins.addr));
+            ++t.pc;
+            break;
+          case Opcode::Store: {
+            const Addr a = operandVal(t, ins.addr);
+            const Val v = operandVal(t, ins.value);
+            // Inside a transaction the buffer is already drained and
+            // the step is atomic, so Stores act on memory directly.
+            if (tso_ && !inTxn_)
+                t.buffer.emplace_back(a, v);
+            else
+                s.memory[a] = v;
+            ++t.pc;
+            break;
+          }
+          case Opcode::TxBegin:
+          case Opcode::TxEnd:
+            ++t.pc;
+            break;
+          case Opcode::Fence:
+            ++t.pc;
+            break;
+          case Opcode::Cas:
+          case Opcode::Swap:
+          case Opcode::FetchAdd: {
+            // Buffer is empty here on TSO (see enabled()), so the
+            // operation acts atomically on memory in both machines.
+            const Addr a = operandVal(t, ins.addr);
+            auto it = s.memory.find(a);
+            const Val old = it == s.memory.end() ? 0 : it->second;
+            Val next = old;
+            if (ins.op == Opcode::Cas) {
+                if (old == operandVal(t, ins.a))
+                    next = operandVal(t, ins.b);
+            } else if (ins.op == Opcode::Swap) {
+                next = operandVal(t, ins.a);
+            } else {
+                next = old + operandVal(t, ins.a);
+            }
+            s.memory[a] = next;
+            t.regs[ins.dst] = old;
+            ++t.pc;
+            break;
+          }
+          case Opcode::BranchEq:
+          case Opcode::BranchNe: {
+            const bool eq =
+                operandVal(t, ins.a) == operandVal(t, ins.b);
+            const bool taken = ins.op == Opcode::BranchEq ? eq : !eq;
+            t.pc = taken ? ins.target : t.pc + 1;
+            break;
+          }
+        }
+    }
+
+    void
+    dfs(const MachineState &s)
+    {
+        if (explored_ >= opts_.maxStates) {
+            complete_ = false;
+            return;
+        }
+        if (!visited_.insert(s.key()).second)
+            return;
+        ++explored_;
+
+        bool progressed = false;
+        for (std::size_t tid = 0; tid < s.threads.size(); ++tid) {
+            if (enabled(s, tid)) {
+                MachineState next = s;
+                const auto &code = program_.threads[tid].code;
+                const Instruction &ins =
+                    code[static_cast<std::size_t>(
+                        s.threads[tid].pc)];
+                if (ins.op == Opcode::TxBegin) {
+                    if (runTransaction(next, tid))
+                        dfs(next);
+                    else
+                        complete_ = false;
+                } else {
+                    step(next, tid);
+                    dfs(next);
+                }
+                progressed = true;
+            }
+            if (tso_ && !s.threads[tid].buffer.empty()) {
+                MachineState next = s;
+                auto &buf = next.threads[tid].buffer;
+                next.memory[buf.front().first] = buf.front().second;
+                buf.pop_front();
+                dfs(next);
+                progressed = true;
+            }
+        }
+        if (progressed)
+            return;
+
+        // Quiescent: terminal iff every thread ran to completion.
+        for (std::size_t tid = 0; tid < s.threads.size(); ++tid) {
+            const auto &code = program_.threads[tid].code;
+            if (s.threads[tid].pc < static_cast<int>(code.size())) {
+                complete_ = false; // budget truncation
+                return;
+            }
+        }
+        Outcome o;
+        o.regs.resize(s.threads.size());
+        for (std::size_t tid = 0; tid < s.threads.size(); ++tid)
+            o.regs[tid] = s.threads[tid].regs;
+        for (Addr a : program_.locations()) {
+            auto it = s.memory.find(a);
+            o.memory[a] = it == s.memory.end() ? 0 : it->second;
+        }
+        outcomes_.insert(std::move(o));
+    }
+
+    const Program &program_;
+    const bool tso_;
+    const OperationalOptions &opts_;
+
+    std::unordered_set<std::string> visited_;
+    std::set<Outcome> outcomes_;
+    long explored_ = 0;
+    bool complete_ = true;
+    bool inTxn_ = false; ///< inside runTransaction's atomic step
+};
+
+} // namespace
+
+OperationalResult
+enumerateOperationalSC(const Program &program, OperationalOptions opts)
+{
+    return OperationalSearch(program, /*tso=*/false, opts).run();
+}
+
+OperationalResult
+enumerateOperationalTSO(const Program &program, OperationalOptions opts)
+{
+    return OperationalSearch(program, /*tso=*/true, opts).run();
+}
+
+} // namespace satom

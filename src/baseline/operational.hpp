@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Operational baseline machines.
+ *
+ * Two classic enumerators, independent of the graph framework, used to
+ * cross-validate it:
+ *
+ *  - enumerateOperationalSC: the textbook operational view of SC — at
+ *    every step pick one thread and execute its next instruction against
+ *    a single atomic memory.
+ *  - enumerateOperationalTSO: a SPARC-style store-buffer machine — each
+ *    thread owns a FIFO store buffer; Loads read the youngest matching
+ *    buffered Store first; buffer entries drain to memory
+ *    non-deterministically; Fences require an empty buffer.
+ *
+ * Both explore every interleaving (with state memoization) and report
+ * outcome sets in exactly the Outcome format of the graph enumerator,
+ * so the sets can be compared for equality.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "enumerate/outcome.hpp"
+#include "isa/program.hpp"
+
+namespace satom
+{
+
+/** Tuning for the operational searches. */
+struct OperationalOptions
+{
+    /** Dynamic-instruction budget per thread (guards loops). */
+    int maxDynamicPerThread = 64;
+
+    /** Cap on visited machine states; exceeded => incomplete result. */
+    long maxStates = 5000000;
+};
+
+/** Result of an operational enumeration. */
+struct OperationalResult
+{
+    /** Distinct outcomes, sorted by canonical key. */
+    std::vector<Outcome> outcomes;
+
+    bool complete = true;
+    long statesExplored = 0;
+};
+
+/** All SC behaviors of @p program. */
+OperationalResult enumerateOperationalSC(const Program &program,
+                                         OperationalOptions opts = {});
+
+/** All TSO (store-buffer) behaviors of @p program. */
+OperationalResult enumerateOperationalTSO(const Program &program,
+                                          OperationalOptions opts = {});
+
+} // namespace satom

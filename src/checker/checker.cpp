@@ -1,0 +1,111 @@
+#include "checker/checker.hpp"
+
+namespace satom
+{
+
+namespace
+{
+
+/** Position of @p node among its thread's Loads (program order). */
+int
+loadIndexOf(const ExecutionGraph &g, const Node &node)
+{
+    int idx = 0;
+    for (const auto &n : g.nodes())
+        if (n.tid == node.tid && n.isLoad() && n.serial < node.serial)
+            ++idx;
+    return idx;
+}
+
+/** Position of @p node among its thread's Stores (program order). */
+int
+storeIndexOf(const ExecutionGraph &g, const Node &node)
+{
+    int idx = 0;
+    for (const auto &n : g.nodes())
+        if (n.tid == node.tid && n.isStore() && n.serial < node.serial)
+            ++idx;
+    return idx;
+}
+
+/** The storeIndex-th Store of storeThread, or invalidNode. */
+NodeId
+findStore(const ExecutionGraph &g, int storeThread, int storeIndex)
+{
+    for (const auto &n : g.nodes()) {
+        if (n.tid == storeThread && n.isStore() &&
+            storeIndexOf(g, n) == storeIndex)
+            return n.id;
+    }
+    return invalidNode;
+}
+
+/** The initializing Store of address @p a. */
+NodeId
+findInit(const ExecutionGraph &g, Addr a)
+{
+    for (const auto &n : g.nodes())
+        if (n.kind == NodeKind::Init && n.addr == a)
+            return n.id;
+    return invalidNode;
+}
+
+} // namespace
+
+CheckReport
+checkExecution(const Program &program, const MemoryModel &model,
+               const std::vector<Observation> &observations,
+               CheckOptions options)
+{
+    EnumerationOptions opts;
+    opts.maxDynamicPerThread = options.maxDynamicPerThread;
+    opts.applyRuleC = options.ruleC;
+    opts.collectExecutions = options.keepGraph;
+    opts.sourceOracle = [&](const ExecutionGraph &g,
+                            NodeId load) -> NodeId {
+        const Node &ln = g.node(load);
+        const int idx = loadIndexOf(g, ln);
+        for (const auto &obs : observations) {
+            if (obs.loadThread != ln.tid || obs.loadIndex != idx)
+                continue;
+            if (obs.storeThread < 0)
+                return findInit(g, ln.addr);
+            return findStore(g, obs.storeThread, obs.storeIndex);
+        }
+        return invalidNode; // trace incomplete
+    };
+
+    Enumerator e(program, model, opts);
+    const EnumerationResult r = e.run();
+
+    CheckReport report;
+    report.consistent = r.consistent;
+    report.outcomes = r.outcomes;
+    report.graphs = r.executions;
+    return report;
+}
+
+std::vector<Observation>
+observationsOf(const ExecutionGraph &g)
+{
+    std::vector<Observation> out;
+    for (const auto &n : g.nodes()) {
+        if (!n.isLoad() || n.source == invalidNode)
+            continue;
+        Observation obs;
+        obs.loadThread = n.tid;
+        obs.loadIndex = loadIndexOf(g, n);
+        const Node &src = g.node(n.source);
+        if (src.kind == NodeKind::Init) {
+            obs.storeThread = -1;
+            obs.storeIndex = 0;
+        } else {
+            obs.storeThread = src.tid;
+            obs.storeIndex = storeIndexOf(g, src);
+        }
+        out.push_back(obs);
+    }
+    return out;
+}
+
+} // namespace satom

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Post-hoc execution checking (Section 8: "Tools for verifying memory
+ * model violations ... take a program execution and demonstrate that
+ * it is correct according to a given memory model without the need to
+ * compute serializations").
+ *
+ * Input: a program, a model, and the *observations* of one execution —
+ * which Store each dynamic Load read, as reported by e.g. a hardware
+ * trace.  The checker replays the program, applies exactly those
+ * observations (no candidate filtering), runs the Store Atomicity
+ * closure and reports whether the execution is consistent.
+ *
+ * The `ruleC` knob reproduces the paper's Section 7 comparison: with
+ * only rules a and b (what TSOtool implements) Figure 5-style
+ * violations are wrongly accepted; rule c catches them.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "enumerate/engine.hpp"
+
+namespace satom
+{
+
+/**
+ * One observation: the k-th dynamic Load of a thread read the j-th
+ * dynamic Store of another (or the initial value).
+ */
+struct Observation
+{
+    int loadThread = 0;
+    int loadIndex = 0; ///< k-th Load (and Rmw) of loadThread, from 0
+
+    /** Store side; storeThread == -1 means the initializing Store. */
+    int storeThread = -1;
+    int storeIndex = 0; ///< j-th Store (and Rmw) of storeThread
+
+    /** Observation of the initial memory value. */
+    static Observation
+    initial(int loadThread, int loadIndex)
+    {
+        return {loadThread, loadIndex, -1, 0};
+    }
+
+    static Observation
+    of(int loadThread, int loadIndex, int storeThread, int storeIndex)
+    {
+        return {loadThread, loadIndex, storeThread, storeIndex};
+    }
+};
+
+/** Options for a check. */
+struct CheckOptions
+{
+    /** Apply rule c (disable for the TSOtool-equivalent checker). */
+    bool ruleC = true;
+
+    /** Keep the constructed graph in the report. */
+    bool keepGraph = false;
+
+    /** Per-thread dynamic instruction budget. */
+    int maxDynamicPerThread = 64;
+};
+
+/** Verdict and evidence. */
+struct CheckReport
+{
+    bool consistent = false;
+
+    /** The checked execution's outcome (valid when consistent). */
+    std::vector<Outcome> outcomes;
+
+    /** The constructed graph (when CheckOptions::keepGraph). */
+    std::vector<ExecutionGraph> graphs;
+};
+
+/**
+ * Check one observed execution of @p program under @p model.
+ *
+ * Observations must cover every dynamic Load the replay encounters; a
+ * Load without an observation makes the execution inconsistent (the
+ * trace is incomplete).
+ */
+CheckReport checkExecution(const Program &program,
+                           const MemoryModel &model,
+                           const std::vector<Observation> &observations,
+                           CheckOptions options = {});
+
+/**
+ * Extract the observations of a finished execution graph, so that
+ * enumerator output can be round-tripped through the checker.
+ */
+std::vector<Observation> observationsOf(const ExecutionGraph &g);
+
+} // namespace satom

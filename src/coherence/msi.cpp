@@ -1,0 +1,313 @@
+#include "coherence/msi.hpp"
+
+#include <map>
+#include <random>
+#include <vector>
+
+namespace satom
+{
+
+namespace
+{
+
+/** MSI line states. */
+enum class LineState { Invalid, Shared, Modified };
+
+/** One private cache: per-address state and (M-line) data. */
+struct Cache
+{
+    std::map<Addr, LineState> state;
+    std::map<Addr, Val> data;
+
+    LineState
+    stateOf(Addr a) const
+    {
+        auto it = state.find(a);
+        return it == state.end() ? LineState::Invalid : it->second;
+    }
+};
+
+/** The whole coherent machine. */
+class MsiMachine
+{
+  public:
+    MsiMachine(const Program &program, const CoherenceConfig &config)
+        : program_(program), config_(config), rng_(config.seed),
+          memory_(program.initialMemory())
+    {
+        caches_.resize(static_cast<std::size_t>(program.numThreads()));
+        pcs_.resize(caches_.size(), 0);
+        regs_.resize(caches_.size());
+    }
+
+    CoherenceRun
+    run()
+    {
+        CoherenceRun result;
+        while (!done()) {
+            if (stats_.steps >= config_.maxSteps || !supported_)
+                return finish(result, false);
+            stepRandomThread();
+        }
+        return finish(result, supported_);
+    }
+
+  private:
+    bool
+    done() const
+    {
+        for (std::size_t t = 0; t < pcs_.size(); ++t)
+            if (pcs_[t] <
+                static_cast<int>(program_.threads[t].code.size()))
+                return false;
+        return true;
+    }
+
+    void
+    stepRandomThread()
+    {
+        std::vector<std::size_t> runnable;
+        for (std::size_t t = 0; t < pcs_.size(); ++t)
+            if (pcs_[t] <
+                static_cast<int>(program_.threads[t].code.size()))
+                runnable.push_back(t);
+        std::uniform_int_distribution<std::size_t> pick(
+            0, runnable.size() - 1);
+        execute(runnable[pick(rng_)]);
+        ++stats_.steps;
+    }
+
+    Val
+    regVal(std::size_t t, const Operand &op) const
+    {
+        if (op.isImm())
+            return op.imm;
+        if (!op.isReg())
+            return 0;
+        auto it = regs_[t].find(op.reg);
+        return it == regs_[t].end() ? 0 : it->second;
+    }
+
+    /** Coherent read: BusRd on miss; owner writes back and shares. */
+    Val
+    cacheLoad(std::size_t t, Addr a)
+    {
+        Cache &c = caches_[t];
+        if (c.stateOf(a) != LineState::Invalid) {
+            ++stats_.hits;
+            return c.data[a];
+        }
+        ++stats_.misses;
+        ++stats_.busReads;
+        for (std::size_t o = 0; o < caches_.size(); ++o) {
+            if (o == t)
+                continue;
+            if (caches_[o].stateOf(a) == LineState::Modified) {
+                memory_[a] = caches_[o].data[a];
+                caches_[o].state[a] = LineState::Shared;
+                ++stats_.writebacks;
+            }
+        }
+        c.state[a] = LineState::Shared;
+        c.data[a] = memory_[a];
+        return c.data[a];
+    }
+
+    /** Coherent write: obtain ownership, killing all other copies. */
+    void
+    cacheStore(std::size_t t, Addr a, Val v)
+    {
+        Cache &c = caches_[t];
+        const LineState st = c.stateOf(a);
+        if (st == LineState::Modified) {
+            ++stats_.hits;
+        } else if (st == LineState::Shared) {
+            ++stats_.hits;
+            ++stats_.busUpgrades;
+            invalidateOthers(t, a);
+        } else {
+            ++stats_.misses;
+            ++stats_.busReadXs;
+            for (std::size_t o = 0; o < caches_.size(); ++o) {
+                if (o == t)
+                    continue;
+                if (caches_[o].stateOf(a) == LineState::Modified) {
+                    memory_[a] = caches_[o].data[a];
+                    ++stats_.writebacks;
+                }
+            }
+            invalidateOthers(t, a);
+        }
+        c.state[a] = LineState::Modified;
+        c.data[a] = v;
+    }
+
+    /**
+     * Obtain exclusive (Modified) ownership of line @p a and return
+     * its current value.  Ownership makes a subsequent read-modify-
+     * write atomic at the protocol level.
+     */
+    Val
+    acquireExclusive(std::size_t t, Addr a)
+    {
+        Cache &c = caches_[t];
+        const LineState st = c.stateOf(a);
+        Val old = 0;
+        if (st == LineState::Modified) {
+            ++stats_.hits;
+            old = c.data[a];
+        } else if (st == LineState::Shared) {
+            ++stats_.hits;
+            ++stats_.busUpgrades;
+            old = c.data[a];
+            invalidateOthers(t, a);
+        } else {
+            ++stats_.misses;
+            ++stats_.busReadXs;
+            for (std::size_t o = 0; o < caches_.size(); ++o) {
+                if (o == t)
+                    continue;
+                if (caches_[o].stateOf(a) == LineState::Modified) {
+                    memory_[a] = caches_[o].data[a];
+                    ++stats_.writebacks;
+                }
+            }
+            invalidateOthers(t, a);
+            old = memory_[a];
+        }
+        c.state[a] = LineState::Modified;
+        c.data[a] = old;
+        return old;
+    }
+
+    void
+    invalidateOthers(std::size_t t, Addr a)
+    {
+        for (std::size_t o = 0; o < caches_.size(); ++o) {
+            if (o == t)
+                continue;
+            if (caches_[o].stateOf(a) != LineState::Invalid) {
+                caches_[o].state[a] = LineState::Invalid;
+                ++stats_.invalidations;
+            }
+        }
+    }
+
+    void
+    execute(std::size_t t)
+    {
+        const Instruction &ins =
+            program_.threads[t].code[static_cast<std::size_t>(pcs_[t])];
+        switch (ins.op) {
+          case Opcode::MovImm:
+            regs_[t][ins.dst] = regVal(t, ins.a);
+            ++pcs_[t];
+            break;
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::Mul:
+          case Opcode::Xor: {
+            const Val a = regVal(t, ins.a);
+            const Val b = regVal(t, ins.b);
+            Val v = 0;
+            switch (ins.op) {
+              case Opcode::Add: v = a + b; break;
+              case Opcode::Sub: v = a - b; break;
+              case Opcode::Mul: v = a * b; break;
+              case Opcode::Xor: v = a ^ b; break;
+              default: break;
+            }
+            regs_[t][ins.dst] = v;
+            ++pcs_[t];
+            break;
+          }
+          case Opcode::Load:
+            regs_[t][ins.dst] = cacheLoad(t, regVal(t, ins.addr));
+            ++pcs_[t];
+            break;
+          case Opcode::Store:
+            cacheStore(t, regVal(t, ins.addr), regVal(t, ins.value));
+            ++pcs_[t];
+            break;
+          case Opcode::Fence:
+            ++pcs_[t]; // in-order coherent processors are already SC
+            break;
+          case Opcode::Cas:
+          case Opcode::Swap:
+          case Opcode::FetchAdd: {
+            const Addr a = regVal(t, ins.addr);
+            const Val old = acquireExclusive(t, a);
+            Val next = old;
+            if (ins.op == Opcode::Cas) {
+                if (old == regVal(t, ins.a))
+                    next = regVal(t, ins.b);
+            } else if (ins.op == Opcode::Swap) {
+                next = regVal(t, ins.a);
+            } else {
+                next = old + regVal(t, ins.a);
+            }
+            caches_[t].data[a] = next;
+            regs_[t][ins.dst] = old;
+            ++pcs_[t];
+            break;
+          }
+          case Opcode::BranchEq:
+          case Opcode::BranchNe: {
+            const bool eq = regVal(t, ins.a) == regVal(t, ins.b);
+            const bool taken =
+                ins.op == Opcode::BranchEq ? eq : !eq;
+            pcs_[t] = taken ? ins.target : pcs_[t] + 1;
+            break;
+          }
+          case Opcode::TxBegin:
+          case Opcode::TxEnd:
+            // The protocol simulator models coherence, not
+            // transactions; refuse rather than run them unatomically.
+            supported_ = false;
+            ++pcs_[t];
+            break;
+        }
+    }
+
+    CoherenceRun &
+    finish(CoherenceRun &result, bool completed)
+    {
+        // Flush remaining owned lines so memory holds the final image.
+        for (auto &c : caches_) {
+            for (auto &[a, st] : c.state) {
+                if (st == LineState::Modified) {
+                    memory_[a] = c.data[a];
+                    ++stats_.writebacks;
+                }
+            }
+        }
+        result.outcome.regs = regs_;
+        for (Addr a : program_.locations())
+            result.outcome.memory[a] = memory_[a];
+        result.stats = stats_;
+        result.completed = completed;
+        return result;
+    }
+
+    const Program &program_;
+    const CoherenceConfig &config_;
+    std::mt19937 rng_;
+
+    std::map<Addr, Val> memory_;
+    std::vector<Cache> caches_;
+    std::vector<int> pcs_;
+    std::vector<std::map<Reg, Val>> regs_;
+    CoherenceStats stats_;
+    bool supported_ = true;
+};
+
+} // namespace
+
+CoherenceRun
+simulateCoherent(const Program &program, const CoherenceConfig &config)
+{
+    MsiMachine machine(program, config);
+    return machine.run();
+}
+
+} // namespace satom

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * An ownership-based MSI bus-snooping coherence protocol simulator.
+ *
+ * Section 4.2 of the paper observes that a cache coherence protocol is a
+ * *conservative approximation* of Store Atomicity: ownership movement
+ * eagerly serializes Stores, and invalidations order Stores after the
+ * Loads that used the old copy, so every coherent execution's ordering
+ * is a superset of some store-atomic `@`.  The simulator makes that
+ * claim testable — every outcome it can produce (over many schedules)
+ * must lie inside the outcome set of the graph enumerator.
+ *
+ * The machine: one private cache per thread, a single snooping bus with
+ * instantaneous transactions, in-order processors, and a seeded
+ * scheduler interleaving them.  Transactions:
+ *
+ *  - BusRd:  a read miss; the owning cache (if any) writes back and
+ *            degrades M -> S.
+ *  - BusUpgr: a write to an S line; all other copies invalidate.
+ *  - BusRdX: a write miss; the owner writes back, everyone else
+ *            invalidates.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "enumerate/outcome.hpp"
+#include "isa/program.hpp"
+
+namespace satom
+{
+
+/** Simulation parameters. */
+struct CoherenceConfig
+{
+    /** Scheduler seed; different seeds explore different orderings. */
+    std::uint32_t seed = 1;
+
+    /** Step bound (guards loops). */
+    long maxSteps = 100000;
+};
+
+/** Protocol and performance counters. */
+struct CoherenceStats
+{
+    long steps = 0;
+    long hits = 0;
+    long misses = 0;
+    long busReads = 0;      ///< BusRd transactions
+    long busReadXs = 0;     ///< BusRdX transactions
+    long busUpgrades = 0;   ///< BusUpgr transactions
+    long invalidations = 0; ///< copies killed by BusUpgr/BusRdX
+    long writebacks = 0;    ///< M lines flushed to memory
+};
+
+/** One simulated run. */
+struct CoherenceRun
+{
+    Outcome outcome;
+    CoherenceStats stats;
+    bool completed = false; ///< false if maxSteps hit first
+};
+
+/** Simulate @p program once under @p config. */
+CoherenceRun simulateCoherent(const Program &program,
+                              const CoherenceConfig &config = {});
+
+} // namespace satom

@@ -1,0 +1,260 @@
+#include "core/atomicity.hpp"
+
+namespace satom
+{
+
+namespace
+{
+
+/** Resolved Loads with a known source and address. */
+std::vector<NodeId>
+resolvedLoads(const ExecutionGraph &g)
+{
+    std::vector<NodeId> out;
+    for (const auto &n : g.nodes())
+        if (n.isLoad() && n.source != invalidNode)
+            out.push_back(n.id);
+    return out;
+}
+
+/**
+ * Apply rules a and b for one resolved Load. Returns -1 on violation,
+ * otherwise the number of edges added.
+ */
+int
+applyRulesAB(ExecutionGraph &g, NodeId lid)
+{
+    const Node &load = g.node(lid);
+    const NodeId src = load.source;
+    int added = 0;
+    for (NodeId sid : g.storesTo(load.addr)) {
+        // Skip the source and, for Rmw observers, the node itself
+        // (its Store half is after its own observation by definition).
+        if (sid == src || sid == lid)
+            continue;
+        // Rule a: a predecessor Store of L must precede source(L).
+        if (g.ordered(sid, lid) && !g.ordered(sid, src)) {
+            if (!g.addEdge(sid, src, EdgeKind::Atomicity))
+                return -1;
+            ++added;
+        }
+        // Rule b: a successor Store of source(L) must follow L.
+        if (g.ordered(src, sid) && !g.ordered(lid, sid)) {
+            if (!g.addEdge(lid, sid, EdgeKind::Atomicity))
+                return -1;
+            ++added;
+        }
+    }
+    return added;
+}
+
+/**
+ * Apply rule c for one pair of same-address Loads with distinct
+ * sources. Returns -1 on violation, otherwise edges added.
+ */
+int
+applyRuleC(ExecutionGraph &g, NodeId l1, NodeId l2)
+{
+    const NodeId s1 = g.node(l1).source;
+    const NodeId s2 = g.node(l2).source;
+
+    Bitset ancestors = g.preds(l1);
+    ancestors &= g.preds(l2);
+    if (ancestors.none())
+        return 0;
+    Bitset successors = g.succs(s1);
+    successors &= g.succs(s2);
+    if (successors.none())
+        return 0;
+
+    int added = 0;
+    bool violated = false;
+    ancestors.forEach([&](std::size_t a) {
+        if (violated)
+            return;
+        successors.forEach([&](std::size_t b) {
+            if (violated)
+                return;
+            const NodeId an = static_cast<NodeId>(a);
+            const NodeId bn = static_cast<NodeId>(b);
+            if (!g.ordered(an, bn)) {
+                if (!g.addEdge(an, bn, EdgeKind::Atomicity))
+                    violated = true;
+                else
+                    ++added;
+            }
+        });
+    });
+    return violated ? -1 : added;
+}
+
+} // namespace
+
+ClosureResult
+closeStoreAtomicity(ExecutionGraph &g, ClosureStats *stats, bool ruleC)
+{
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        if (stats)
+            ++stats->iterations;
+
+        const auto loads = resolvedLoads(g);
+        for (NodeId lid : loads) {
+            const int added = applyRulesAB(g, lid);
+            if (added < 0)
+                return ClosureResult::Violation;
+            if (added > 0) {
+                changed = true;
+                if (stats)
+                    stats->edgesAdded += added;
+            }
+        }
+        if (!ruleC)
+            continue;
+        for (std::size_t i = 0; i < loads.size(); ++i) {
+            for (std::size_t j = i + 1; j < loads.size(); ++j) {
+                const Node &a = g.node(loads[i]);
+                const Node &b = g.node(loads[j]);
+                if (a.addr != b.addr || a.source == b.source)
+                    continue;
+                const int added = applyRuleC(g, loads[i], loads[j]);
+                if (added < 0)
+                    return ClosureResult::Violation;
+                if (added > 0) {
+                    changed = true;
+                    if (stats)
+                        stats->edgesAdded += added;
+                }
+            }
+        }
+    }
+    return hasOverwrittenObservation(g) ? ClosureResult::Violation
+                                        : ClosureResult::Ok;
+}
+
+bool
+hasOverwrittenObservation(const ExecutionGraph &g)
+{
+    for (const auto &n : g.nodes()) {
+        if (!n.isLoad() || n.source == invalidNode)
+            continue;
+        for (NodeId sid : g.storesTo(n.addr)) {
+            if (sid == n.source || sid == n.id)
+                continue;
+            if (g.ordered(n.source, sid) && g.ordered(sid, n.id))
+                return true;
+        }
+    }
+    return false;
+}
+
+bool
+satisfiesStoreAtomicity(const ExecutionGraph &g)
+{
+    if (hasOverwrittenObservation(g))
+        return false;
+
+    const auto loads = resolvedLoads(g);
+    for (NodeId lid : loads) {
+        const Node &load = g.node(lid);
+        const NodeId src = load.source;
+        for (NodeId sid : g.storesTo(load.addr)) {
+            if (sid == src || sid == lid)
+                continue;
+            if (g.ordered(sid, lid) && !g.ordered(sid, src))
+                return false; // rule a unmet
+            if (g.ordered(src, sid) && !g.ordered(lid, sid))
+                return false; // rule b unmet
+        }
+    }
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        for (std::size_t j = i + 1; j < loads.size(); ++j) {
+            const Node &a = g.node(loads[i]);
+            const Node &b = g.node(loads[j]);
+            if (a.addr != b.addr || a.source == b.source)
+                continue;
+            Bitset ancestors = g.preds(a.id);
+            ancestors &= g.preds(b.id);
+            Bitset successors = g.succs(a.source);
+            successors &= g.succs(b.source);
+            bool unmet = false;
+            ancestors.forEach([&](std::size_t an) {
+                successors.forEach([&](std::size_t bn) {
+                    if (!g.ordered(static_cast<NodeId>(an),
+                                   static_cast<NodeId>(bn)))
+                        unmet = true;
+                });
+            });
+            if (unmet)
+                return false; // rule c unmet
+        }
+    }
+    return true;
+}
+
+std::vector<NodeId>
+candidateStores(const ExecutionGraph &g, NodeId load)
+{
+    const Node &ln = g.node(load);
+    std::vector<NodeId> out;
+    if (!ln.addrKnown)
+        return out;
+
+    const auto sameAddr = g.storesTo(ln.addr);
+    for (NodeId sid : sameAddr) {
+        const Node &sn = g.node(sid);
+        if (!sn.valueKnown)
+            continue;
+        if (g.ordered(load, sid))
+            continue; // observing it would close a cycle
+
+        // 1. Everything before S must be resolved.
+        bool predsResolved = true;
+        g.preds(sid).forEach([&](std::size_t p) {
+            if (!g.node(static_cast<NodeId>(p)).resolved())
+                predsResolved = false;
+        });
+        if (!predsResolved)
+            continue;
+
+        // 2. S must not certainly be overwritten before L.
+        bool overwritten = false;
+        for (NodeId oid : sameAddr) {
+            if (oid == sid)
+                continue;
+            if (g.ordered(sid, oid) && g.ordered(oid, load)) {
+                overwritten = true;
+                break;
+            }
+        }
+
+        // 3. An atomic read-modify-write immediately overwrites what
+        //    it observes, so a Store can source at most one Rmw: rule
+        //    b would otherwise order each Rmw before the other.
+        if (!overwritten && ln.kind == NodeKind::Rmw) {
+            for (const Node &other : g.nodes()) {
+                if (other.kind == NodeKind::Rmw && other.id != load &&
+                    other.source == sid)
+                    overwritten = true;
+            }
+        }
+        if (!overwritten)
+            out.push_back(sid);
+    }
+    return out;
+}
+
+bool
+predecessorLoadsResolved(const ExecutionGraph &g, NodeId id)
+{
+    bool ok = true;
+    g.preds(id).forEach([&](std::size_t p) {
+        const Node &n = g.node(static_cast<NodeId>(p));
+        if (n.isLoad() && n.source == invalidNode)
+            ok = false;
+    });
+    return ok;
+}
+
+} // namespace satom

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Store Atomicity: the closure rules of Figure 6 and the candidate-Store
+ * computation of Section 4.
+ *
+ * The closure inserts the minimum set of `@` edges demanded by rules
+ * a, b and c, iterating to a fixpoint because inserted edges can expose
+ * the need for further edges (Figure 7).  A failed insertion means the
+ * execution cannot be completed consistently: for non-speculative
+ * enumeration this never happens (candidates are chosen safely); for
+ * speculative execution it signals that a rollback is required.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace satom
+{
+
+/** Outcome of running the Store Atomicity closure. */
+enum class ClosureResult
+{
+    Ok,        ///< fixpoint reached, graph acyclic and consistent
+    Violation, ///< a required edge would close a cycle
+};
+
+/** Bookkeeping for benches and tests. */
+struct ClosureStats
+{
+    int iterations = 0; ///< fixpoint sweeps performed
+    int edgesAdded = 0; ///< Atomicity edges inserted
+};
+
+/**
+ * Iterate rules a/b/c of Figure 6 to fixpoint over @p g.
+ *
+ * Rule a: S =a L, S @ L, S != source(L)        => S @ source(L)
+ * Rule b: S =a L, source(L) @ S                => L @ S
+ * Rule c: L =a L', source(L) != source(L'),
+ *         A @ L, A @ L', source(L) @ B, source(L') @ B => A @ B
+ *
+ * Rules consult the source *map* of each resolved Load, so TSO bypass
+ * observations (whose Source edge is Grey and absent from `@`)
+ * participate exactly as Section 6 prescribes.
+ *
+ * @param g     graph to close (mutated in place)
+ * @param stats optional statistics sink
+ * @param ruleC apply rule c (disable to model rule-a/b-only checkers
+ *              such as TSOtool, which the paper notes is incomplete)
+ * @return Ok, or Violation if consistency is impossible
+ */
+ClosureResult closeStoreAtomicity(ExecutionGraph &g,
+                                  ClosureStats *stats = nullptr,
+                                  bool ruleC = true);
+
+/**
+ * Declaratively check (without mutating) that @p g satisfies Store
+ * Atomicity: rules a/b/c already hold and no Load observes a certainly
+ * overwritten Store.
+ */
+bool satisfiesStoreAtomicity(const ExecutionGraph &g);
+
+/**
+ * True iff some resolved Load observes a Store that has certainly been
+ * overwritten: exists S =a L with source(L) @ S @ L.
+ */
+bool hasOverwrittenObservation(const ExecutionGraph &g);
+
+/**
+ * candidates(L) from Section 4: address-resolved, value-resolved Stores
+ * S to L's address such that
+ *   1. every operation `@`-before S is resolved,
+ *   2. no Store S' to the same address has S @ S' @ L, and
+ *   3. L is not already `@`-before S (observing it would close a cycle).
+ *
+ * The caller must ensure L's address is known and every predecessor Load
+ * of L has been resolved (the enumerator's eligibility rule); the
+ * function itself only needs the address.
+ */
+std::vector<NodeId> candidateStores(const ExecutionGraph &g, NodeId load);
+
+/**
+ * True iff every Load that is `@`-before @p id is resolved — the
+ * enumerator's eligibility condition for resolving a Load.
+ */
+bool predecessorLoadsResolved(const ExecutionGraph &g, NodeId id);
+
+} // namespace satom

@@ -1,0 +1,55 @@
+#include "core/dot.hpp"
+
+#include <sstream>
+
+namespace satom
+{
+
+namespace
+{
+
+const char *
+edgeStyle(EdgeKind k)
+{
+    switch (k) {
+      case EdgeKind::Local:
+        return "style=solid";
+      case EdgeKind::Source:
+        return "style=bold, color=blue";
+      case EdgeKind::Atomicity:
+        return "style=dotted";
+      case EdgeKind::Grey:
+        return "style=dashed, color=grey";
+    }
+    return "";
+}
+
+} // namespace
+
+std::string
+graphToDot(const ExecutionGraph &g, const DotOptions &opts)
+{
+    std::ostringstream out;
+    out << "digraph \"" << opts.title << "\" {\n";
+    out << "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+
+    auto visible = [&](NodeId id) {
+        return !opts.memoryOnly || g.node(id).isMemory();
+    };
+
+    for (const auto &n : g.nodes()) {
+        if (!visible(n.id))
+            continue;
+        out << "  n" << n.id << " [label=\"" << n.label() << "\"];\n";
+    }
+    for (const auto &e : g.edges()) {
+        if (!visible(e.from) || !visible(e.to))
+            continue;
+        out << "  n" << e.from << " -> n" << e.to << " ["
+            << edgeStyle(e.kind) << "];\n";
+    }
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace satom

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Graphviz rendering of execution graphs in the visual language of the
+ * paper's figures: solid local edges, bold "ringed" observation edges,
+ * dotted Store Atomicity edges, and grey TSO bypass edges.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "core/graph.hpp"
+
+namespace satom
+{
+
+/** Rendering options. */
+struct DotOptions
+{
+    /** Erase non-memory nodes, as the paper's figures do. */
+    bool memoryOnly = true;
+    /** Graph title. */
+    std::string title = "execution";
+};
+
+/** Render @p g as a Graphviz digraph. */
+std::string graphToDot(const ExecutionGraph &g, const DotOptions &opts = {});
+
+} // namespace satom

@@ -1,0 +1,44 @@
+#include "core/encode.hpp"
+
+#include <sstream>
+
+#include "util/hash.hpp"
+
+namespace satom
+{
+
+std::string
+encodeGraph(const ExecutionGraph &g, bool memoryOnly)
+{
+    std::ostringstream out;
+    std::vector<NodeId> picked;
+    for (const auto &n : g.nodes())
+        if (!memoryOnly || n.isMemory())
+            picked.push_back(n.id);
+
+    for (NodeId id : picked) {
+        const Node &n = g.node(id);
+        out << 'n' << id << ':' << n.tid << '.' << n.pindex << '.'
+            << n.serial << ':' << static_cast<int>(n.kind) << ':';
+        out << (n.addrKnown ? std::to_string(n.addr) : "?") << ':';
+        out << (n.valueKnown ? std::to_string(n.value) : "?") << ':';
+        out << n.source << (n.bypass ? "g" : "") << ';';
+    }
+    out << '|';
+    for (NodeId v : picked) {
+        out << v << '<';
+        for (NodeId u : picked)
+            if (u != v && g.ordered(u, v))
+                out << u << ',';
+        out << ';';
+    }
+    return out.str();
+}
+
+std::uint64_t
+hashGraph(const ExecutionGraph &g, bool memoryOnly)
+{
+    return hashString(encodeGraph(g, memoryOnly));
+}
+
+} // namespace satom

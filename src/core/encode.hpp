@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Canonical encodings of execution graphs.
+ *
+ * The enumeration procedure resolves eligible Loads in every order and so
+ * revisits identical states; Section 4.1 prunes duplicates by comparing
+ * Load–Store graphs (all non-memory nodes erased, their orderings
+ * spliced).  Because our closure is transitive, restricting the closure
+ * to memory nodes *is* the spliced graph, so the canonical form is a
+ * deterministic byte string over memory nodes, their state, the source
+ * map and the restricted closure.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "core/graph.hpp"
+
+namespace satom
+{
+
+/**
+ * Deterministic string encoding of @p g.
+ *
+ * @param g          graph to encode
+ * @param memoryOnly true: paper's Load–Store graph (dedup key);
+ *                   false: every node (exact state comparisons in tests)
+ */
+std::string encodeGraph(const ExecutionGraph &g, bool memoryOnly);
+
+/** FNV-1a digest of encodeGraph. */
+std::uint64_t hashGraph(const ExecutionGraph &g, bool memoryOnly);
+
+} // namespace satom

@@ -1,0 +1,169 @@
+#include "core/graph.hpp"
+
+#include <sstream>
+
+namespace satom
+{
+
+std::string
+Node::label() const
+{
+    std::ostringstream out;
+    if (tid == initThread)
+        out << "I";
+    else
+        out << static_cast<char>('A' + tid) << "." << serial;
+    out << ":";
+    switch (kind) {
+      case NodeKind::Init:
+        out << "Init[" << addr << "]=" << value;
+        break;
+      case NodeKind::Store:
+        out << "St[";
+        if (addrKnown)
+            out << addr;
+        else
+            out << "?";
+        out << "]";
+        if (valueKnown)
+            out << "=" << value;
+        break;
+      case NodeKind::Load:
+        out << "Ld[";
+        if (addrKnown)
+            out << addr;
+        else
+            out << "?";
+        out << "]";
+        if (source != invalidNode)
+            out << "=" << value;
+        break;
+      case NodeKind::Fence:
+        out << (instr.op == Opcode::Fence ? instr.fence.toString()
+                                          : "Fence");
+        break;
+      case NodeKind::Rmw:
+        out << toString(instr.op) << "[";
+        if (addrKnown)
+            out << addr;
+        else
+            out << "?";
+        out << "]";
+        if (source != invalidNode)
+            out << "=" << loaded << ">" << value;
+        break;
+      case NodeKind::Branch:
+        out << "Br";
+        break;
+      case NodeKind::Alu:
+        out << toString(instr.op);
+        if (valueKnown)
+            out << "=" << value;
+        break;
+    }
+    return out.str();
+}
+
+NodeId
+ExecutionGraph::addNode(Node n)
+{
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    n.id = id;
+    nodes_.push_back(std::move(n));
+
+    const std::size_t cap = nodes_.size();
+    pred_.emplace_back(cap);
+    succ_.emplace_back(cap);
+    for (auto &b : pred_)
+        b.resize(cap);
+    for (auto &b : succ_)
+        b.resize(cap);
+    return id;
+}
+
+bool
+ExecutionGraph::addEdge(NodeId u, NodeId v, EdgeKind kind)
+{
+    if (kind == EdgeKind::Grey) {
+        edges_.push_back({u, v, kind});
+        return true;
+    }
+    if (u == v)
+        return false;
+    if (pred_[u].test(static_cast<std::size_t>(v)))
+        return false; // would close a cycle
+    if (pred_[v].test(static_cast<std::size_t>(u)))
+        return true; // already implied; keep direct edges minimal
+
+    edges_.push_back({u, v, kind});
+
+    // Everything at-or-before u is now before everything at-or-after v.
+    Bitset before = pred_[u];
+    before.set(static_cast<std::size_t>(u));
+    Bitset after = succ_[v];
+    after.set(static_cast<std::size_t>(v));
+
+    after.forEach([&](std::size_t s) { pred_[s] |= before; });
+    before.forEach([&](std::size_t p) { succ_[p] |= after; });
+    return true;
+}
+
+int
+ExecutionGraph::edgeCount(EdgeKind kind) const
+{
+    int n = 0;
+    for (const auto &e : edges_)
+        if (e.kind == kind)
+            ++n;
+    return n;
+}
+
+std::size_t
+ExecutionGraph::closureSize() const
+{
+    std::size_t n = 0;
+    for (const auto &b : pred_)
+        n += b.count();
+    return n;
+}
+
+bool
+ExecutionGraph::allResolved() const
+{
+    for (const auto &n : nodes_)
+        if (!n.resolved())
+            return false;
+    return true;
+}
+
+std::vector<NodeId>
+ExecutionGraph::loads() const
+{
+    std::vector<NodeId> out;
+    for (const auto &n : nodes_)
+        if (n.isLoad())
+            out.push_back(n.id);
+    return out;
+}
+
+std::vector<NodeId>
+ExecutionGraph::stores() const
+{
+    std::vector<NodeId> out;
+    for (const auto &n : nodes_)
+        if (n.isStore())
+            out.push_back(n.id);
+    return out;
+}
+
+std::vector<NodeId>
+ExecutionGraph::storesTo(Addr a) const
+{
+    std::vector<NodeId> out;
+    for (const auto &n : nodes_)
+        if (n.isStore() && n.addrKnown && n.addr == a)
+            out.push_back(n.id);
+    return out;
+}
+
+} // namespace satom

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Nodes of an execution graph.
+ *
+ * A node is one dynamic instruction instance.  Nodes move from an
+ * unresolved to a resolved state as execution proceeds (Section 4 of the
+ * paper): ALU ops, Branches, Fences and Stores resolve deterministically
+ * via dataflow; Loads resolve by choosing a candidate Store, which is the
+ * sole source of non-determinism in the framework.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "isa/instruction.hpp"
+#include "isa/types.hpp"
+
+namespace satom
+{
+
+/** Dense node identifier within one ExecutionGraph. */
+using NodeId = int;
+
+/** Sentinel "no node". */
+inline constexpr NodeId invalidNode = -1;
+
+/**
+ * Node categories; Init marks memory-initializing Stores and Rmw the
+ * atomic read-modify-write operations (which act as Load and Store at
+ * once, Section 8 of the paper).
+ */
+enum class NodeKind
+{
+    Alu,
+    Branch,
+    Load,
+    Store,
+    Fence,
+    Init,
+    Rmw,
+};
+
+/**
+ * Figure 1 classes of a node kind (Init behaves as a Store; Rmw as
+ * both Load and Store).  Ordering code combines requirements over the
+ * cross product of the two class sets.
+ */
+inline std::pair<InstrClass, InstrClass>
+classesOfKind(NodeKind k)
+{
+    switch (k) {
+      case NodeKind::Alu:
+        return {InstrClass::Alu, InstrClass::Alu};
+      case NodeKind::Branch:
+        return {InstrClass::Branch, InstrClass::Branch};
+      case NodeKind::Load:
+        return {InstrClass::Load, InstrClass::Load};
+      case NodeKind::Store:
+      case NodeKind::Init:
+        return {InstrClass::Store, InstrClass::Store};
+      case NodeKind::Fence:
+        return {InstrClass::Fence, InstrClass::Fence};
+      case NodeKind::Rmw:
+        return {InstrClass::Load, InstrClass::Store};
+    }
+    return {InstrClass::Alu, InstrClass::Alu}; // unreachable
+}
+
+/** Primary Figure 1 class of a node kind. */
+inline InstrClass
+classOfKind(NodeKind k)
+{
+    return classesOfKind(k).first;
+}
+
+/**
+ * One dynamic instruction.
+ *
+ * Operand producers (aSrc/bSrc/addrSrc/valSrc) are node ids of the
+ * instructions whose results feed this node, or invalidNode when the
+ * corresponding operand is an immediate or absent.  They are also the
+ * data-dependency component of the local order.
+ */
+struct Node
+{
+    NodeId id = invalidNode;
+    ThreadId tid = initThread;
+    int pindex = -1; ///< static instruction index within the thread
+    int serial = -1; ///< dynamic per-thread sequence number
+    NodeKind kind = NodeKind::Fence;
+    Instruction instr; ///< static instruction (unused for Init)
+
+    NodeId aSrc = invalidNode;
+    NodeId bSrc = invalidNode;
+    NodeId addrSrc = invalidNode;
+    NodeId valSrc = invalidNode;
+
+    bool executed = false; ///< value computed / side effect resolved
+    bool addrKnown = false;
+    Addr addr = 0;
+    bool valueKnown = false;
+    Val value = 0; ///< computed/loaded value; for Rmw the STORED value
+
+    /** Rmw only: the value the Load half observed (dst register). */
+    Val loaded = 0;
+
+    NodeId source = invalidNode; ///< Loads/Rmw: the observed Store
+    bool bypass = false; ///< TSO grey observation (source not in @)
+
+    /**
+     * Loads only: value was guessed by value prediction before any
+     * source was chosen; resolution must later justify it (Section 5).
+     */
+    bool predicted = false;
+
+    /** Transaction instance this node belongs to, or -1. */
+    int txn = -1;
+
+    bool branchTaken = false; ///< Branches: resolved direction
+
+    bool
+    isLoad() const
+    {
+        return kind == NodeKind::Load || kind == NodeKind::Rmw;
+    }
+
+    bool
+    isStore() const
+    {
+        return kind == NodeKind::Store || kind == NodeKind::Init ||
+               kind == NodeKind::Rmw;
+    }
+
+    bool isMemory() const { return isLoad() || isStore(); }
+
+    /**
+     * True once this node no longer blocks others: Loads need a chosen
+     * source; Stores need address and value; the rest need execution.
+     */
+    bool
+    resolved() const
+    {
+        if (isLoad())
+            return source != invalidNode;
+        if (isStore())
+            return addrKnown && valueKnown;
+        return executed;
+    }
+
+    /**
+     * The value this node supplies to register consumers: the loaded
+     * (old) value for Rmw, the computed/loaded value otherwise.
+     */
+    Val producedValue() const
+    {
+        return kind == NodeKind::Rmw ? loaded : value;
+    }
+
+    /** Compact label such as "A.2:St[x]=1" for diagnostics and DOT. */
+    std::string label() const;
+};
+
+} // namespace satom

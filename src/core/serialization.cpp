@@ -1,0 +1,182 @@
+#include "core/serialization.hpp"
+
+#include <map>
+
+namespace satom
+{
+
+namespace
+{
+
+/**
+ * Depth-first enumeration of valid serializations.  Shared by the
+ * witness search (stopAtFirst) and the full enumeration.
+ */
+class Search
+{
+  public:
+    Search(const ExecutionGraph &g, const SerializationOptions &opts,
+           bool stopAtFirst)
+        : g_(g), opts_(opts), stopAtFirst_(stopAtFirst),
+          emitted_(static_cast<std::size_t>(g.size()))
+    {
+    }
+
+    /** Run; returns false if the cap was exceeded. */
+    bool
+    run()
+    {
+        order_.reserve(static_cast<std::size_t>(g_.size()));
+        return dfs();
+    }
+
+    const std::vector<std::vector<NodeId>> &results() const
+    {
+        return results_;
+    }
+
+  private:
+    bool
+    emittable(const Node &n) const
+    {
+        bool ok = true;
+        g_.preds(n.id).forEach([&](std::size_t p) {
+            if (!emitted_.test(p))
+                ok = false;
+        });
+        return ok;
+    }
+
+    /** The "most recent Store" rule for a Load about to be emitted. */
+    bool
+    loadReadsLast(const Node &n) const
+    {
+        if (n.source == invalidNode)
+            return false; // unresolved Loads cannot be serialized
+        // An exempted bypass Load read the local Store pipeline; it may
+        // appear anywhere relative to the memory order of its source.
+        if (opts_.exemptBypassedLoads && n.bypass)
+            return true;
+        auto it = lastStore_.find(n.addr);
+        return it != lastStore_.end() && it->second == n.source;
+    }
+
+    bool
+    dfs()
+    {
+        if (order_.size() == static_cast<std::size_t>(g_.size())) {
+            results_.push_back(order_);
+            return stopAtFirst_ ||
+                   static_cast<long>(results_.size()) < opts_.cap;
+        }
+        for (const Node &n : g_.nodes()) {
+            if (emitted_.test(static_cast<std::size_t>(n.id)))
+                continue;
+            if (!emittable(n))
+                continue;
+            if (n.isLoad() && !loadReadsLast(n))
+                continue;
+
+            NodeId savedLast = invalidNode;
+            bool hadLast = false;
+            if (n.isStore()) {
+                auto it = lastStore_.find(n.addr);
+                if (it != lastStore_.end()) {
+                    hadLast = true;
+                    savedLast = it->second;
+                }
+                lastStore_[n.addr] = n.id;
+            }
+            emitted_.set(static_cast<std::size_t>(n.id));
+            order_.push_back(n.id);
+
+            const bool keepGoing = dfs();
+
+            order_.pop_back();
+            emitted_.reset(static_cast<std::size_t>(n.id));
+            if (n.isStore()) {
+                if (hadLast)
+                    lastStore_[n.addr] = savedLast;
+                else
+                    lastStore_.erase(n.addr);
+            }
+
+            if (!keepGoing)
+                return false;
+            if (stopAtFirst_ && !results_.empty())
+                return true;
+        }
+        return true;
+    }
+
+    const ExecutionGraph &g_;
+    const SerializationOptions &opts_;
+    const bool stopAtFirst_;
+
+    Bitset emitted_;
+    std::vector<NodeId> order_;
+    std::map<Addr, NodeId> lastStore_;
+    std::vector<std::vector<NodeId>> results_;
+};
+
+} // namespace
+
+std::optional<std::vector<NodeId>>
+findSerialization(const ExecutionGraph &g, const SerializationOptions &opts)
+{
+    Search s(g, opts, true);
+    s.run();
+    if (s.results().empty())
+        return std::nullopt;
+    return s.results().front();
+}
+
+bool
+isSerializable(const ExecutionGraph &g, const SerializationOptions &opts)
+{
+    return findSerialization(g, opts).has_value();
+}
+
+std::optional<std::vector<std::vector<NodeId>>>
+enumerateSerializations(const ExecutionGraph &g,
+                        const SerializationOptions &opts)
+{
+    Search s(g, opts, false);
+    const bool complete = s.run();
+    if (!complete)
+        return std::nullopt;
+    return s.results();
+}
+
+std::optional<std::vector<Bitset>>
+serializationIntersection(const ExecutionGraph &g,
+                          const SerializationOptions &opts)
+{
+    const auto all = enumerateSerializations(g, opts);
+    if (!all || all->empty())
+        return std::nullopt;
+
+    const std::size_t n = static_cast<std::size_t>(g.size());
+    std::vector<Bitset> before(n, Bitset(n));
+    // Start from "everything precedes everything" and intersect.
+    for (auto &b : before)
+        for (std::size_t i = 0; i < n; ++i)
+            b.set(i);
+    for (std::size_t i = 0; i < n; ++i)
+        before[i].reset(i);
+
+    std::vector<std::size_t> pos(n);
+    for (const auto &order : *all) {
+        for (std::size_t i = 0; i < order.size(); ++i)
+            pos[static_cast<std::size_t>(order[i])] = i;
+        for (std::size_t v = 0; v < n; ++v) {
+            for (std::size_t u = 0; u < n; ++u) {
+                if (u != v && pos[u] >= pos[v])
+                    before[v].reset(u);
+            }
+        }
+    }
+    return before;
+}
+
+} // namespace satom

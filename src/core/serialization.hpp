@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Serializations of executions (Section 3.1 of the paper).
+ *
+ * A serialization is a total order of all operations that (1) respects
+ * `@` (hence local order and observation), and (2) has every Load read
+ * the most recent same-address Store — no intervening overwrite.  These
+ * routines exist chiefly for validation: the brute-force baseline checks
+ * that enumerated executions are serializable and that `@` equals the
+ * intersection of all serializations (the paper's minimality claim).
+ *
+ * Complexity is exponential in graph size; callers cap the search.
+ */
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace satom
+{
+
+/** Tuning for the serialization search. */
+struct SerializationOptions
+{
+    /** Abort enumeration after this many serializations (safety cap). */
+    long cap = 1000000;
+
+    /**
+     * TSO mode: Loads whose observation was a bypass read their value
+     * from the local Store pipeline, so they are exempt from the
+     * "most recent Store" rule.  With this false (the default), graphs
+     * containing genuine TSO bypasses are typically not serializable —
+     * exactly the paper's "violates memory atomicity" diagnosis.
+     */
+    bool exemptBypassedLoads = false;
+};
+
+/** One witness serialization, or nullopt if none exists. */
+std::optional<std::vector<NodeId>>
+findSerialization(const ExecutionGraph &g,
+                  const SerializationOptions &opts = {});
+
+/** True iff at least one valid serialization exists. */
+bool isSerializable(const ExecutionGraph &g,
+                    const SerializationOptions &opts = {});
+
+/**
+ * All serializations (up to opts.cap; nullopt if the cap was hit).
+ */
+std::optional<std::vector<std::vector<NodeId>>>
+enumerateSerializations(const ExecutionGraph &g,
+                        const SerializationOptions &opts = {});
+
+/**
+ * The intersection order: before[v] contains u iff u precedes v in
+ * every valid serialization.  nullopt if there is no serialization or
+ * the cap was hit.  Comparing this against the graph's closure checks
+ * the minimality of `@`.
+ */
+std::optional<std::vector<Bitset>>
+serializationIntersection(const ExecutionGraph &g,
+                          const SerializationOptions &opts = {});
+
+} // namespace satom

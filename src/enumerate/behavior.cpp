@@ -1,0 +1,25 @@
+#include "enumerate/behavior.hpp"
+
+#include <sstream>
+
+#include "core/encode.hpp"
+
+namespace satom
+{
+
+std::string
+Behavior::key() const
+{
+    std::ostringstream out;
+    out << encodeGraph(graph, /*memoryOnly=*/false);
+    for (const auto &t : threads) {
+        out << "|pc" << t.pc << (t.blocked ? "b" : "") << ':';
+        for (const auto &[r, n] : t.regs)
+            out << r << "->" << n << ',';
+    }
+    for (const auto &p : pendingAlias)
+        out << "|pa" << p.first << ',' << p.second;
+    return out.str();
+}
+
+} // namespace satom

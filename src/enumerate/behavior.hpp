@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A behavior: one in-progress (or complete) execution of a program.
+ *
+ * Following Section 4 of the paper, a behavior bundles the execution
+ * graph with each thread's PC and register map (register name -> node
+ * that produces its value).  Behaviors are value types: the enumerator
+ * clones one per candidate-Store choice during Load resolution.
+ */
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "isa/program.hpp"
+
+namespace satom
+{
+
+/** Per-thread architectural state of a behavior. */
+struct ThreadState
+{
+    int pc = 0; ///< next static instruction to generate
+    bool blocked = false; ///< waiting on an unresolved Branch
+    NodeId blockingBranch = invalidNode;
+    int serial = 0; ///< dynamic instructions generated so far
+    int currentTxn = -1; ///< open transaction instance, or -1
+    std::map<Reg, NodeId> regs; ///< register -> producing node
+    std::vector<NodeId> emitted; ///< this thread's nodes, program order
+
+    /** True when generation has run the thread's code to completion. */
+    bool
+    done(const ThreadCode &code) const
+    {
+        return !blocked && pc >= static_cast<int>(code.code.size());
+    }
+};
+
+/**
+ * A same-thread potentially-aliasing pair (table entry SameAddr) whose
+ * local edge insertion waits until both addresses are known.
+ */
+struct PendingAliasPair
+{
+    NodeId first = invalidNode;
+    NodeId second = invalidNode;
+};
+
+/** One element of the enumerator's behavior set B. */
+struct Behavior
+{
+    ExecutionGraph graph;
+    std::vector<ThreadState> threads;
+    std::vector<PendingAliasPair> pendingAlias;
+    int nextTxn = 0; ///< next transaction instance id
+
+    /** Full-state canonical key for duplicate pruning. */
+    std::string key() const;
+};
+
+} // namespace satom

@@ -1,0 +1,874 @@
+#include "enumerate/engine.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "core/atomicity.hpp"
+#include "core/encode.hpp"
+#include "txn/atomic.hpp"
+
+namespace satom
+{
+
+Enumerator::Enumerator(Program program, MemoryModel model,
+                       EnumerationOptions options)
+    : program_(std::move(program)), model_(std::move(model)),
+      options_(options)
+{
+}
+
+Behavior
+Enumerator::initialBehavior() const
+{
+    Behavior b;
+    for (const auto &[addr, val] : program_.initialMemory()) {
+        Node n;
+        n.tid = initThread;
+        n.kind = NodeKind::Init;
+        n.addrKnown = true;
+        n.addr = addr;
+        n.valueKnown = true;
+        n.value = val;
+        n.executed = true;
+        b.graph.addNode(n);
+    }
+    b.threads.resize(static_cast<std::size_t>(program_.numThreads()));
+    return b;
+}
+
+namespace
+{
+
+/** Value of an operand given its producing node (if any). */
+Val
+operandValue(const ExecutionGraph &g, const Operand &op, NodeId src)
+{
+    if (op.isImm())
+        return op.imm;
+    if (src == invalidNode)
+        return 0;
+    return g.node(src).producedValue();
+}
+
+/** Severity order of requirements: Never > SameAddr > Free. */
+OrderReq
+strongerReq(OrderReq a, OrderReq b)
+{
+    if (a == OrderReq::Never || b == OrderReq::Never)
+        return OrderReq::Never;
+    if (a == OrderReq::SameAddr || b == OrderReq::SameAddr)
+        return OrderReq::SameAddr;
+    return OrderReq::Free;
+}
+
+/**
+ * Table requirement between two nodes, combining over the class sets
+ * (Rmw counts as Load and Store at once, Section 8 of the paper).
+ */
+OrderReq
+combinedReq(const ReorderTable &table, NodeKind qk, NodeKind nk)
+{
+    const auto [q1, q2] = classesOfKind(qk);
+    const auto [n1, n2] = classesOfKind(nk);
+    OrderReq req = table.get(q1, n1);
+    req = strongerReq(req, table.get(q1, n2));
+    req = strongerReq(req, table.get(q2, n1));
+    req = strongerReq(req, table.get(q2, n2));
+    return req;
+}
+
+/** Does a partial fence mask order node kinds @p qk before @p nk? */
+bool
+maskOrders(const FenceMask &mask, NodeKind qk, NodeKind nk)
+{
+    const auto [q1, q2] = classesOfKind(qk);
+    const auto [n1, n2] = classesOfKind(nk);
+    return mask.orders(q1, n1) || mask.orders(q1, n2) ||
+           mask.orders(q2, n1) || mask.orders(q2, n2);
+}
+
+/** Is this node a partial (non-full-mask) fence? */
+bool
+isPartialFence(const Node &n)
+{
+    return n.kind == NodeKind::Fence && n.instr.op == Opcode::Fence &&
+           !n.instr.fence.isFull();
+}
+
+/** True once the operand's value is available. */
+bool
+operandReady(const ExecutionGraph &g, const Operand &op, NodeId src)
+{
+    if (!op.isReg())
+        return true;
+    return src == invalidNode || g.node(src).valueKnown;
+}
+
+Val
+evalAlu(const ExecutionGraph &g, const Node &n)
+{
+    const Val a = operandValue(g, n.instr.a, n.aSrc);
+    const Val b = operandValue(g, n.instr.b, n.bSrc);
+    switch (n.instr.op) {
+      case Opcode::MovImm: return a;
+      case Opcode::Add: return a + b;
+      case Opcode::Sub: return a - b;
+      case Opcode::Mul: return a * b;
+      case Opcode::Xor: return a ^ b;
+      default: return 0;
+    }
+}
+
+} // namespace
+
+void
+Enumerator::emitNode(Behavior &b, ThreadId tid)
+{
+    ThreadState &ts = b.threads[static_cast<std::size_t>(tid)];
+    const Instruction &ins =
+        program_.threads[static_cast<std::size_t>(tid)].code
+            [static_cast<std::size_t>(ts.pc)];
+
+    Node n;
+    n.tid = tid;
+    n.pindex = ts.pc;
+    n.serial = ts.serial;
+    n.instr = ins;
+    // Transaction bookkeeping: markers open/close the instance, every
+    // node emitted in between carries its id.
+    if (ins.op == Opcode::TxBegin) {
+        if (ts.currentTxn >= 0)
+            throw std::invalid_argument(
+                "nested transactions are not supported");
+        ts.currentTxn = b.nextTxn++;
+    } else if (ins.op == Opcode::TxEnd && ts.currentTxn < 0) {
+        throw std::invalid_argument("txend outside a transaction");
+    }
+    n.txn = ts.currentTxn;
+
+    if (isRmwOpcode(ins.op)) {
+        n.kind = NodeKind::Rmw;
+    } else {
+        switch (ins.cls()) {
+          case InstrClass::Alu: n.kind = NodeKind::Alu; break;
+          case InstrClass::Branch: n.kind = NodeKind::Branch; break;
+          case InstrClass::Load: n.kind = NodeKind::Load; break;
+          case InstrClass::Store: n.kind = NodeKind::Store; break;
+          case InstrClass::Fence: n.kind = NodeKind::Fence; break;
+        }
+    }
+
+    // Wire register operands to their producers; a register that was
+    // never written reads as the constant 0.
+    auto wire = [&](Operand &op, NodeId &src) {
+        if (!op.isReg())
+            return;
+        auto it = ts.regs.find(op.reg);
+        if (it == ts.regs.end())
+            op = immOp(0);
+        else
+            src = it->second;
+    };
+    wire(n.instr.a, n.aSrc);
+    wire(n.instr.b, n.bSrc);
+    wire(n.instr.addr, n.addrSrc);
+    wire(n.instr.value, n.valSrc);
+
+    if (n.isMemory() && n.instr.addr.isImm()) {
+        n.addrKnown = true;
+        n.addr = n.instr.addr.imm;
+    }
+    if (n.isStore() && n.instr.value.isImm()) {
+        n.valueKnown = true;
+        n.value = n.instr.value.imm;
+    }
+
+    const NodeId id = b.graph.addNode(n);
+    const Node &nn = b.graph.node(id);
+
+    // Initializing Stores happen before every thread operation.
+    for (NodeId init = 0; init < initCount_; ++init)
+        b.graph.addEdge(init, id, EdgeKind::Local);
+
+    // Data dependencies are local-order edges (the `indep` entries).
+    // In the unsafe value-prediction mode, dependencies on LOADED
+    // values are forwarded without ordering (Grey): the value still
+    // flows, but the consumer is not `@`-after the Load.
+    for (NodeId src : {nn.aSrc, nn.bSrc, nn.addrSrc, nn.valSrc}) {
+        if (src == invalidNode)
+            continue;
+        const bool untracked = options_.valuePrediction &&
+                               !options_.trackPredictionDeps &&
+                               b.graph.node(src).isLoad();
+        b.graph.addEdge(src, id,
+                        untracked ? EdgeKind::Grey : EdgeKind::Local);
+    }
+
+    // Reorder-table edges against every prior instruction of the
+    // thread.  Partial fences opt out of the table (their orderings
+    // are the direct mask edges below).
+    for (NodeId q : ts.emitted) {
+        const Node &qn = b.graph.node(q);
+        if (isPartialFence(qn) || isPartialFence(nn))
+            continue;
+        const OrderReq req =
+            combinedReq(model_.table, qn.kind, nn.kind);
+        if (req == OrderReq::Never) {
+            b.graph.addEdge(q, id, EdgeKind::Local);
+        } else if (req == OrderReq::SameAddr) {
+            // Section 5.1: non-speculative disambiguation makes this
+            // operation depend on the earlier op's address producer.
+            if (model_.nonSpecAliasDeps && qn.addrSrc != invalidNode)
+                b.graph.addEdge(qn.addrSrc, id, EdgeKind::Local);
+            // TSO defers the same-address Store->Load decision to Load
+            // resolution (bypass vs. ordered, Section 6).  Only pure
+            // Store/Load pairs bypass; Rmw writes memory directly.
+            const bool deferred = model_.tsoBypass &&
+                                  qn.kind == NodeKind::Store &&
+                                  nn.kind == NodeKind::Load;
+            if (!deferred)
+                b.pendingAlias.push_back({q, id});
+        }
+    }
+
+    // Partial-fence orderings: for every earlier fence F and every
+    // memory op q before F whose class the mask orders against this
+    // node's class, add a direct q -> n edge.
+    if (nn.isMemory()) {
+        for (NodeId fid : ts.emitted) {
+            const Node &fn = b.graph.node(fid);
+            if (!isPartialFence(fn))
+                continue;
+            for (NodeId q : ts.emitted) {
+                const Node &qn = b.graph.node(q);
+                if (qn.serial >= fn.serial || !qn.isMemory())
+                    continue;
+                if (maskOrders(fn.instr.fence, qn.kind, nn.kind))
+                    b.graph.addEdge(q, id, EdgeKind::Local);
+            }
+        }
+    }
+
+    if ((nn.kind == NodeKind::Alu || nn.kind == NodeKind::Load ||
+         nn.kind == NodeKind::Rmw) &&
+        nn.instr.dst >= 0) {
+        ts.regs[nn.instr.dst] = id;
+    }
+    ts.emitted.push_back(id);
+    ++ts.serial;
+    if (ins.op == Opcode::TxEnd)
+        ts.currentTxn = -1;
+
+    if (nn.kind == NodeKind::Branch) {
+        ts.blocked = true;
+        ts.blockingBranch = id;
+    } else {
+        ++ts.pc;
+    }
+}
+
+bool
+Enumerator::generate(Behavior &b)
+{
+    bool changed = false;
+    for (ThreadId tid = 0; tid < program_.numThreads(); ++tid) {
+        ThreadState &ts = b.threads[static_cast<std::size_t>(tid)];
+        const auto &code =
+            program_.threads[static_cast<std::size_t>(tid)].code;
+        while (!ts.blocked &&
+               ts.pc < static_cast<int>(code.size()) &&
+               ts.serial < options_.maxDynamicPerThread) {
+            emitNode(b, tid);
+            changed = true;
+        }
+        if (!ts.blocked && ts.pc >= static_cast<int>(code.size()) &&
+            ts.currentTxn >= 0) {
+            throw std::invalid_argument(
+                "thread ended inside an open transaction");
+        }
+    }
+    return changed;
+}
+
+bool
+Enumerator::executeDataflow(Behavior &b)
+{
+    ExecutionGraph &g = b.graph;
+    bool any = false;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int i = 0; i < g.size(); ++i) {
+            Node &n = g.node(i);
+
+            if (n.isMemory() && !n.addrKnown &&
+                n.addrSrc != invalidNode &&
+                g.node(n.addrSrc).valueKnown) {
+                n.addrKnown = true;
+                n.addr = g.node(n.addrSrc).value;
+                changed = true;
+            }
+            if (n.executed)
+                continue;
+
+            switch (n.kind) {
+              case NodeKind::Fence:
+                n.executed = true;
+                changed = true;
+                break;
+              case NodeKind::Alu:
+                if (operandReady(g, n.instr.a, n.aSrc) &&
+                    operandReady(g, n.instr.b, n.bSrc)) {
+                    n.value = evalAlu(g, n);
+                    n.valueKnown = true;
+                    n.executed = true;
+                    changed = true;
+                }
+                break;
+              case NodeKind::Store:
+                if (!n.valueKnown && n.valSrc != invalidNode &&
+                    g.node(n.valSrc).valueKnown) {
+                    n.value = g.node(n.valSrc).value;
+                    n.valueKnown = true;
+                    changed = true;
+                }
+                if (n.addrKnown && n.valueKnown) {
+                    n.executed = true;
+                    changed = true;
+                }
+                break;
+              case NodeKind::Branch:
+                if (operandReady(g, n.instr.a, n.aSrc) &&
+                    operandReady(g, n.instr.b, n.bSrc)) {
+                    const Val a = operandValue(g, n.instr.a, n.aSrc);
+                    const Val bb = operandValue(g, n.instr.b, n.bSrc);
+                    const bool eq = a == bb;
+                    n.branchTaken =
+                        n.instr.op == Opcode::BranchEq ? eq : !eq;
+                    n.executed = true;
+                    ThreadState &ts =
+                        b.threads[static_cast<std::size_t>(n.tid)];
+                    ts.blocked = false;
+                    ts.pc = n.branchTaken ? n.instr.target
+                                          : n.pindex + 1;
+                    changed = true;
+                }
+                break;
+              case NodeKind::Load:
+              case NodeKind::Rmw:
+              case NodeKind::Init:
+                break;
+            }
+        }
+        any |= changed;
+    }
+    return any;
+}
+
+Enumerator::StepStatus
+Enumerator::processPendingAlias(Behavior &b)
+{
+    bool changed = false;
+    auto it = b.pendingAlias.begin();
+    while (it != b.pendingAlias.end()) {
+        const Node &f = b.graph.node(it->first);
+        const Node &s = b.graph.node(it->second);
+        if (f.addrKnown && s.addrKnown) {
+            if (f.addr == s.addr &&
+                !b.graph.addEdge(it->first, it->second,
+                                 EdgeKind::Local)) {
+                return StepStatus::Violation;
+            }
+            it = b.pendingAlias.erase(it);
+            changed = true;
+        } else {
+            ++it;
+        }
+    }
+    return changed ? StepStatus::Changed : StepStatus::NoChange;
+}
+
+bool
+Enumerator::runClosure(Behavior &b)
+{
+    // The Store Atomicity closure and the transaction interval rules
+    // feed each other: new `@` edges can pull foreign nodes into a
+    // transaction's past/future and vice versa.  Alternate to a
+    // mutual fixpoint.
+    while (true) {
+        ClosureStats cs;
+        const ClosureResult res =
+            closeStoreAtomicity(b.graph, &cs, options_.applyRuleC);
+        result_.stats.closureIterations += cs.iterations;
+        result_.stats.closureEdges += cs.edgesAdded;
+        if (res != ClosureResult::Ok)
+            return false;
+        if (b.nextTxn == 0)
+            return true; // no transactions anywhere
+        int added = 0;
+        if (enforceTxnIntervals(b.graph, &added) !=
+            TxnResult::Ok) {
+            ++result_.stats.txnAborts;
+            return false;
+        }
+        if (added == 0)
+            return true;
+    }
+}
+
+bool
+Enumerator::stabilize(Behavior &b)
+{
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        changed |= generate(b);
+        changed |= executeDataflow(b);
+        const StepStatus st = processPendingAlias(b);
+        if (st == StepStatus::Violation)
+            return false;
+        changed |= st == StepStatus::Changed;
+    }
+    return runClosure(b);
+}
+
+bool
+Enumerator::terminal(const Behavior &b) const
+{
+    if (!b.pendingAlias.empty())
+        return false;
+    for (ThreadId tid = 0; tid < program_.numThreads(); ++tid) {
+        if (!b.threads[static_cast<std::size_t>(tid)].done(
+                program_.threads[static_cast<std::size_t>(tid)]))
+            return false;
+    }
+    return b.graph.allResolved();
+}
+
+namespace
+{
+
+/**
+ * True iff choosing chosen[a] as the last Store to each address is
+ * realizable by some serialization of the execution.  Forcing "S is
+ * last" means ordering every other same-address Store before it; those
+ * edges interact with Load observations through the Store Atomicity
+ * rules (e.g. rule b then orders observers of the earlier Stores), so
+ * the check augments a copy of the graph and re-runs the closure: any
+ * cycle or violation means no serialization finishes this way.
+ */
+bool
+finalizationConsistent(const ExecutionGraph &g,
+                       const std::map<Addr, NodeId> &chosen)
+{
+    ExecutionGraph augmented = g;
+    for (const auto &[a, last] : chosen) {
+        for (NodeId s : augmented.storesTo(a)) {
+            if (s != last &&
+                !augmented.addEdge(s, last, EdgeKind::Atomicity))
+                return false;
+        }
+    }
+    return closeStoreAtomicity(augmented) == ClosureResult::Ok;
+}
+
+} // namespace
+
+void
+Enumerator::recordOutcome(const Behavior &b)
+{
+    Outcome base;
+    base.regs.resize(b.threads.size());
+    for (std::size_t t = 0; t < b.threads.size(); ++t)
+        for (const auto &[r, nid] : b.threads[t].regs)
+            base.regs[t][r] = b.graph.node(nid).producedValue();
+
+    // Per address, only `@`-maximal Stores can be last.
+    const auto locations = program_.locations();
+    std::vector<std::pair<Addr, std::vector<NodeId>>> maximal;
+    for (Addr a : locations) {
+        const auto stores = b.graph.storesTo(a);
+        std::vector<NodeId> maxs;
+        for (NodeId s : stores) {
+            bool overwritten = false;
+            for (NodeId s2 : stores)
+                if (s2 != s && b.graph.ordered(s, s2))
+                    overwritten = true;
+            if (!overwritten)
+                maxs.push_back(s);
+        }
+        maximal.emplace_back(a, std::move(maxs));
+    }
+
+    // Enumerate consistent combinations of last Stores.
+    std::map<Addr, NodeId> chosen;
+    auto emit = [&](auto &&self, std::size_t i) -> void {
+        if (i == maximal.size()) {
+            if (!finalizationConsistent(b.graph, chosen))
+                return;
+            Outcome o = base;
+            for (const auto &[a, s] : chosen)
+                o.memory[a] = b.graph.node(s).value;
+            outcomes_.insert(std::move(o));
+            return;
+        }
+        for (NodeId s : maximal[i].second) {
+            chosen[maximal[i].first] = s;
+            self(self, i + 1);
+        }
+        chosen.erase(maximal[i].first);
+    };
+    emit(emit, 0);
+
+    const std::string ekey = encodeGraph(b.graph, /*memoryOnly=*/true);
+    if (executionKeys_.insert(ekey).second) {
+        ++result_.stats.executions;
+        if (options_.collectExecutions)
+            result_.executions.push_back(b.graph);
+    }
+}
+
+std::vector<NodeId>
+Enumerator::eligibleLoads(const Behavior &b) const
+{
+    std::vector<NodeId> out;
+    for (const Node &n : b.graph.nodes()) {
+        if (!n.isLoad() || n.source != invalidNode || !n.addrKnown)
+            continue;
+        if (!predecessorLoadsResolved(b.graph, n.id))
+            continue;
+        // An Rmw additionally needs its data operands to compute the
+        // value its Store half will publish.
+        if (n.kind == NodeKind::Rmw &&
+            (!operandReady(b.graph, n.instr.a, n.aSrc) ||
+             !operandReady(b.graph, n.instr.b, n.bSrc)))
+            continue;
+        if (model_.tsoBypass) {
+            // The bypass decision needs every prior local Store
+            // disambiguated against this Load.
+            bool addrsKnown = true;
+            const auto &emitted =
+                b.threads[static_cast<std::size_t>(n.tid)].emitted;
+            for (NodeId q : emitted) {
+                const Node &qn = b.graph.node(q);
+                if (qn.isStore() && qn.serial < n.serial &&
+                    !qn.addrKnown)
+                    addrsKnown = false;
+            }
+            if (!addrsKnown)
+                continue;
+        }
+        out.push_back(n.id);
+    }
+    return out;
+}
+
+bool
+Enumerator::applySource(Behavior &b, NodeId load, NodeId store,
+                        bool bypass)
+{
+    Node &ln = b.graph.node(load);
+    ln.source = store;
+    ln.bypass = bypass;
+    // A predicted Load is only justified by a Store carrying exactly
+    // the guessed value; anything else is a misprediction (rollback).
+    if (ln.predicted && ln.kind == NodeKind::Load &&
+        b.graph.node(store).value != ln.value)
+        return false;
+    if (ln.kind == NodeKind::Rmw) {
+        // The Load half observes the Store; the Store half publishes
+        // the combined value in the same atomic step.
+        ln.loaded = b.graph.node(store).value;
+        const Val a = operandValue(b.graph, ln.instr.a, ln.aSrc);
+        const Val bb = operandValue(b.graph, ln.instr.b, ln.bSrc);
+        switch (ln.instr.op) {
+          case Opcode::Cas:
+            ln.value = ln.loaded == a ? bb : ln.loaded;
+            break;
+          case Opcode::Swap:
+            ln.value = a;
+            break;
+          case Opcode::FetchAdd:
+            ln.value = ln.loaded + a;
+            break;
+          default:
+            break;
+        }
+    } else {
+        ln.value = b.graph.node(store).value;
+    }
+    ln.valueKnown = true;
+    ln.executed = true;
+    return b.graph.addEdge(store, load,
+                           bypass ? EdgeKind::Grey : EdgeKind::Source);
+}
+
+std::vector<Behavior>
+Enumerator::resolveOne(const Behavior &b, NodeId load)
+{
+    std::vector<Behavior> out;
+    const Node &ln = b.graph.node(load);
+
+    auto fork = [&](const Behavior &base, NodeId store, bool bypass) {
+        Behavior f = base;
+        if (applySource(f, load, store, bypass) && stabilize(f))
+            out.push_back(std::move(f));
+        else
+            ++result_.stats.rollbacks;
+    };
+
+    NodeId youngestLocal = invalidNode;
+    std::vector<NodeId> priorLocal;
+    if (model_.tsoBypass) {
+        const auto &emitted =
+            b.threads[static_cast<std::size_t>(ln.tid)].emitted;
+        for (NodeId q : emitted) {
+            const Node &qn = b.graph.node(q);
+            if (qn.isStore() && qn.serial < ln.serial && qn.addrKnown &&
+                qn.addr == ln.addr) {
+                priorLocal.push_back(q);
+                youngestLocal = q; // emitted is in program order
+            }
+        }
+    }
+
+    if (youngestLocal == invalidNode) {
+        const auto cands = candidateStores(b.graph, load);
+        if (options_.onResolve)
+            options_.onResolve(b.graph, load, cands);
+        for (NodeId s : cands)
+            fork(b, s, false);
+        return out;
+    }
+
+    // Option 1 — bypass: read the youngest local Store from the Store
+    // pipeline; the observation is Grey and never enters `@`.
+    const Node &yn = b.graph.node(youngestLocal);
+    bool bypassOk = yn.valueKnown && !b.graph.ordered(load, youngestLocal);
+    if (bypassOk) {
+        b.graph.preds(youngestLocal).forEach([&](std::size_t p) {
+            if (!b.graph.node(static_cast<NodeId>(p)).resolved())
+                bypassOk = false;
+        });
+    }
+    if (bypassOk) {
+        for (NodeId s : b.graph.storesTo(ln.addr)) {
+            if (s != youngestLocal &&
+                b.graph.ordered(youngestLocal, s) &&
+                b.graph.ordered(s, load))
+                bypassOk = false; // certainly overwritten
+        }
+    }
+    std::vector<NodeId> choices;
+    if (bypassOk)
+        choices.push_back(youngestLocal);
+
+    // Option 2 — the Store pipeline drained first: the deferred
+    // same-address S -> L orderings materialize ("S ≺ L otherwise"),
+    // then the Load resolves like any other.
+    Behavior drained = b;
+    bool ok = true;
+    for (NodeId q : priorLocal)
+        ok &= drained.graph.addEdge(q, load, EdgeKind::Local);
+    std::vector<NodeId> drainedCands;
+    if (ok && runClosure(drained))
+        drainedCands = candidateStores(drained.graph, load);
+    else
+        ++result_.stats.rollbacks;
+
+    if (options_.onResolve) {
+        for (NodeId s : drainedCands)
+            if (s != youngestLocal || !bypassOk)
+                choices.push_back(s);
+        options_.onResolve(b.graph, load, choices);
+    }
+
+    if (bypassOk)
+        fork(b, youngestLocal, true);
+    for (NodeId s : drainedCands)
+        fork(drained, s, false);
+    return out;
+}
+
+std::vector<Behavior>
+Enumerator::resolveLoads(const Behavior &b)
+{
+    std::vector<Behavior> out;
+    for (NodeId lid : eligibleLoads(b)) {
+        auto forks = resolveOne(b, lid);
+        for (auto &f : forks)
+            out.push_back(std::move(f));
+    }
+
+    // Value prediction: guess a value for any unresolved Load whose
+    // address is known — no eligibility gate, that is the point of
+    // predicting.  The Load stays unresolved; a later resolution must
+    // justify the guess.
+    if (options_.valuePrediction) {
+        for (const Node &n : b.graph.nodes()) {
+            if (n.kind != NodeKind::Load || n.valueKnown ||
+                !n.addrKnown || n.source != invalidNode)
+                continue;
+            std::set<Val> guesses(options_.predictionValues.begin(),
+                                  options_.predictionValues.end());
+            for (NodeId s : b.graph.storesTo(n.addr))
+                if (b.graph.node(s).valueKnown)
+                    guesses.insert(b.graph.node(s).value);
+            for (Val v : guesses) {
+                Behavior f = b;
+                Node &fn = f.graph.node(n.id);
+                fn.valueKnown = true;
+                fn.value = v;
+                fn.predicted = true;
+                if (stabilize(f))
+                    out.push_back(std::move(f));
+                else
+                    ++result_.stats.rollbacks;
+            }
+        }
+    }
+    return out;
+}
+
+EnumerationResult
+Enumerator::runReplay()
+{
+    Behavior b = initialBehavior();
+    if (!stabilize(b)) {
+        result_.consistent = false;
+        result_.replayNote = "initial stabilization violated "
+                             "Store Atomicity";
+        return result_;
+    }
+    while (!terminal(b)) {
+        // Pick any unresolved Load whose address is known and whose
+        // oracle-designated source already carries a value.
+        NodeId lid = invalidNode;
+        NodeId sid = invalidNode;
+        for (const Node &n : b.graph.nodes()) {
+            if (!n.isLoad() || n.source != invalidNode || !n.addrKnown)
+                continue;
+            if (n.kind == NodeKind::Rmw &&
+                (!operandReady(b.graph, n.instr.a, n.aSrc) ||
+                 !operandReady(b.graph, n.instr.b, n.bSrc)))
+                continue;
+            const NodeId cand = options_.sourceOracle(b.graph, n.id);
+            if (cand == invalidNode ||
+                !b.graph.node(cand).valueKnown)
+                continue;
+            lid = n.id;
+            sid = cand;
+            break;
+        }
+        if (lid == invalidNode) {
+            result_.consistent = false; // stuck or circular values
+            result_.replayNote =
+                "no progressable Load (incomplete trace or circular "
+                "value dependencies)";
+            return result_;
+        }
+        ++result_.stats.statesExplored;
+        if (!applySource(b, lid, sid, false)) {
+            result_.consistent = false;
+            result_.replayNote = "observation " +
+                                 b.graph.node(lid).label() +
+                                 " <- " + b.graph.node(sid).label() +
+                                 " closes a cycle";
+            return result_;
+        }
+        if (!stabilize(b)) {
+            result_.consistent = false;
+            result_.replayNote = "Store Atomicity violated after " +
+                                 b.graph.node(lid).label() + " <- " +
+                                 b.graph.node(sid).label();
+            return result_;
+        }
+    }
+    recordOutcome(b);
+    result_.outcomes.assign(outcomes_.begin(), outcomes_.end());
+    return result_;
+}
+
+EnumerationResult
+Enumerator::run()
+{
+    result_ = EnumerationResult{};
+    outcomes_.clear();
+    executionKeys_.clear();
+    initCount_ =
+        static_cast<NodeId>(program_.initialMemory().size());
+
+    if (options_.sourceOracle)
+        return runReplay();
+
+    std::vector<Behavior> stack;
+    std::unordered_set<std::string> seen;
+
+    Behavior first = initialBehavior();
+    if (stabilize(first)) {
+        seen.insert(first.key());
+        stack.push_back(std::move(first));
+    } else {
+        ++result_.stats.rollbacks;
+    }
+
+    while (!stack.empty() &&
+           result_.stats.statesExplored < options_.maxStates) {
+        Behavior b = std::move(stack.back());
+        stack.pop_back();
+        ++result_.stats.statesExplored;
+        result_.stats.maxNodes =
+            std::max(result_.stats.maxNodes, b.graph.size());
+
+        if (terminal(b)) {
+            recordOutcome(b);
+            continue;
+        }
+        auto forks = resolveLoads(b);
+        if (forks.empty()) {
+            ++result_.stats.stuck;
+            if (std::getenv("SATOM_DEBUG_STUCK")) {
+                std::fprintf(stderr, "stuck state:\n");
+                for (const Node &n : b.graph.nodes()) {
+                    if (n.isLoad() && n.source == invalidNode) {
+                        std::fprintf(
+                            stderr,
+                            "  unresolved %s addrKnown=%d "
+                            "predsResolved=%d candidates=%zu\n",
+                            n.label().c_str(), n.addrKnown,
+                            predecessorLoadsResolved(b.graph, n.id),
+                            candidateStores(b.graph, n.id).size());
+                    }
+                }
+            }
+            continue;
+        }
+        for (auto &f : forks) {
+            ++result_.stats.statesForked;
+            if (seen.insert(f.key()).second)
+                stack.push_back(std::move(f));
+            else
+                ++result_.stats.duplicates;
+        }
+    }
+    if (!stack.empty())
+        result_.complete = false;
+
+    result_.outcomes.assign(outcomes_.begin(), outcomes_.end());
+    return result_;
+}
+
+EnumerationResult
+enumerateBehaviors(const Program &program, const MemoryModel &model,
+                   EnumerationOptions options)
+{
+    Enumerator e(program, model, options);
+    return e.run();
+}
+
+} // namespace satom

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * The behavior-enumeration procedure of Section 4.
+ *
+ * Each behavior is refined through three phases until quiescent:
+ *
+ *  1. Graph generation: emit nodes for every thread, wiring dataflow and
+ *     the local `≺` edges demanded by the model's reorder table, and
+ *     stopping at the first unresolved Branch.
+ *  2. Execution: propagate values dataflow-style; Stores learn their
+ *     address/value, Branches redirect their thread's PC, same-address
+ *     local edges are inserted as addresses resolve, and the Store
+ *     Atomicity closure runs.
+ *  3. Load resolution: for every eligible Load and every candidate Store
+ *     a fresh behavior is forked; duplicates (identical Load–Store
+ *     state) are pruned, per Section 4.1.
+ *
+ * Speculative models (nonSpecAliasDeps == false) may discover aliasing
+ * after a Load resolved; the resulting Store Atomicity violation rolls
+ * the forked behavior back (it is discarded and counted).  TSO models
+ * (tsoBypass == true) add the local-bypass resolution option with a Grey
+ * observation edge (Section 6).
+ */
+
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "enumerate/behavior.hpp"
+#include "enumerate/outcome.hpp"
+#include "isa/program.hpp"
+#include "model/models.hpp"
+
+namespace satom
+{
+
+/** Tuning knobs for the enumeration. */
+struct EnumerationOptions
+{
+    /** Dynamic-instruction budget per thread (guards infinite loops). */
+    int maxDynamicPerThread = 64;
+
+    /** Hard cap on explored behaviors; exceeded => result incomplete. */
+    long maxStates = 2000000;
+
+    /** Keep the final execution graph of every distinct execution. */
+    bool collectExecutions = false;
+
+    /**
+     * Value prediction (Section 5's "open-ended" speculation): an
+     * eligible Load may be given a guessed value before any candidate
+     * Store is chosen; dependents execute on the guess.  Resolution
+     * later requires a candidate Store carrying exactly that value —
+     * otherwise the fork is rolled back.
+     */
+    bool valuePrediction = false;
+
+    /**
+     * Extra values the predictor may guess (beyond the values of the
+     * visible same-address Stores).  Out-of-thin-air experiments put
+     * the thin-air value here.
+     */
+    std::vector<Val> predictionValues;
+
+    /**
+     * Replay oracle: when set, enumeration is replaced by a single
+     * deterministic replay that resolves every Load with the Store the
+     * oracle returns — WITHOUT the candidates() filter.  Used by the
+     * post-hoc execution checker (TSOtool-style, Section 8): the
+     * verdict is EnumerationResult::consistent.
+     */
+    std::function<NodeId(const ExecutionGraph &, NodeId)> sourceOracle;
+
+    /**
+     * Apply Store Atomicity rule c during closure.  Disabling it
+     * models rule-a/b-only checkers such as TSOtool, which the paper
+     * notes wrongly accept Figure 5-like executions.
+     */
+    bool applyRuleC = true;
+
+    /**
+     * When false, data dependencies out of Loads become Grey edges:
+     * the hardware forwards predicted values without tracking the
+     * ordering.  This is the UNSAFE mode — it reproduces the
+     * Martin/Sorin/Cain/Hill/Lipasti result that naive value
+     * prediction admits out-of-thin-air behaviors (Section 7).
+     */
+    bool trackPredictionDeps = true;
+
+    /**
+     * Observer invoked at every Load resolution with the graph, the
+     * Load and the full list of Stores it may observe (candidates plus
+     * the TSO bypass option, if any).  Used by the well-synchronization
+     * checker (Section 8): a well-synchronized program offers exactly
+     * one choice for every Load of a non-synchronization variable.
+     */
+    std::function<void(const ExecutionGraph &, NodeId,
+                       const std::vector<NodeId> &)>
+        onResolve;
+};
+
+/** Counters describing one enumeration run. */
+struct EnumStats
+{
+    long statesExplored = 0;   ///< behaviors taken from the worklist
+    long statesForked = 0;     ///< behaviors created by Load resolution
+    long duplicates = 0;       ///< forks pruned as duplicates
+    long rollbacks = 0;        ///< forks discarded for Store Atomicity
+                               ///< violations (speculation gone wrong)
+    long txnAborts = 0;        ///< forks discarded because transaction
+                               ///< contiguity became impossible
+    long stuck = 0;            ///< non-terminal behaviors with no
+                               ///< eligible Load (budget exhaustion)
+    long executions = 0;       ///< distinct complete executions found
+    long closureIterations = 0;
+    long closureEdges = 0;
+    int maxNodes = 0;          ///< largest graph encountered
+};
+
+/** Everything an enumeration run produces. */
+struct EnumerationResult
+{
+    /** Distinct observable outcomes, sorted by canonical key. */
+    std::vector<Outcome> outcomes;
+
+    /** Final graphs (only if options.collectExecutions). */
+    std::vector<ExecutionGraph> executions;
+
+    EnumStats stats;
+
+    /** False if maxStates stopped the run early. */
+    bool complete = true;
+
+    /**
+     * Oracle-replay mode only: true iff the replayed execution is
+     * consistent with the model (all sources applied, Store Atomicity
+     * closure succeeded, every node resolved).
+     */
+    bool consistent = true;
+
+    /** Oracle-replay mode: why the replay was rejected, if it was. */
+    std::string replayNote;
+
+    /** True iff some outcome satisfies @p pred. */
+    template <typename Pred>
+    bool
+    allows(Pred &&pred) const
+    {
+        for (const auto &o : outcomes)
+            if (pred(o))
+                return true;
+        return false;
+    }
+};
+
+/**
+ * Enumerate all behaviors of @p program under @p model.
+ */
+class Enumerator
+{
+  public:
+    Enumerator(Program program, MemoryModel model,
+               EnumerationOptions options = {});
+
+    /** Run the procedure to completion (or to a cap). */
+    EnumerationResult run();
+
+  private:
+    enum class StepStatus { NoChange, Changed, Violation };
+
+    Behavior initialBehavior() const;
+
+    /** Phases 1+2 to fixpoint. False => discard (violation). */
+    bool stabilize(Behavior &b);
+
+    bool generate(Behavior &b);
+    void emitNode(Behavior &b, ThreadId tid);
+    bool executeDataflow(Behavior &b);
+    StepStatus processPendingAlias(Behavior &b);
+    bool runClosure(Behavior &b);
+
+    bool terminal(const Behavior &b) const;
+    void recordOutcome(const Behavior &b);
+
+    /** Phase 3: fork per (eligible Load, candidate). */
+    std::vector<Behavior> resolveLoads(const Behavior &b);
+
+    std::vector<NodeId> eligibleLoads(const Behavior &b) const;
+    std::vector<Behavior> resolveOne(const Behavior &b, NodeId load);
+
+    /** Oracle-driven single-path replay (the execution checker). */
+    EnumerationResult runReplay();
+    static bool applySource(Behavior &b, NodeId load, NodeId store,
+                            bool bypass);
+
+    Program program_;
+    MemoryModel model_;
+    EnumerationOptions options_;
+    EnumerationResult result_;
+    NodeId initCount_ = 0; ///< nodes 0..initCount_-1 are Init Stores
+    std::set<Outcome> outcomes_;
+    std::set<std::string> executionKeys_;
+};
+
+/** One-shot convenience wrapper. */
+EnumerationResult enumerateBehaviors(const Program &program,
+                                     const MemoryModel &model,
+                                     EnumerationOptions options = {});
+
+} // namespace satom

@@ -1,0 +1,49 @@
+#include "enumerate/outcome.hpp"
+
+#include <sstream>
+
+namespace satom
+{
+
+std::string
+Outcome::regsKey() const
+{
+    std::ostringstream out;
+    for (std::size_t t = 0; t < regs.size(); ++t) {
+        out << 'T' << t << '{';
+        for (const auto &[r, v] : regs[t])
+            out << 'r' << r << '=' << v << ',';
+        out << '}';
+    }
+    return out.str();
+}
+
+std::string
+Outcome::key() const
+{
+    std::ostringstream out;
+    out << regsKey() << "mem{";
+    for (const auto &[a, v] : memory)
+        out << a << '=' << v << ',';
+    out << '}';
+    return out.str();
+}
+
+Val
+Outcome::reg(int t, Reg r) const
+{
+    if (t < 0 || static_cast<std::size_t>(t) >= regs.size())
+        return 0;
+    auto it = regs[static_cast<std::size_t>(t)].find(r);
+    return it == regs[static_cast<std::size_t>(t)].end() ? 0
+                                                         : it->second;
+}
+
+Val
+Outcome::mem(Addr a) const
+{
+    auto it = memory.find(a);
+    return it == memory.end() ? 0 : it->second;
+}
+
+} // namespace satom

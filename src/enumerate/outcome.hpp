@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Observable outcomes of program executions.
+ *
+ * An outcome is what a litmus condition inspects: the final register
+ * values of every thread plus one concrete final memory image.  A single
+ * execution graph can finalize memory in several ways when Stores to the
+ * same address are left unordered by `@`; the enumerator emits one
+ * Outcome per *consistent* finalization (a choice of last Store per
+ * address realizable by some serialization), which makes outcome sets
+ * directly comparable with operational machines that always produce a
+ * concrete final memory.
+ */
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/types.hpp"
+
+namespace satom
+{
+
+/**
+ * Final register and memory state of one execution.
+ */
+struct Outcome
+{
+    /** Per-thread final register values (absent = never written). */
+    std::vector<std::map<Reg, Val>> regs;
+
+    /** Final value of every declared location. */
+    std::map<Addr, Val> memory;
+
+    /** Canonical key for set membership and display. */
+    std::string key() const;
+
+    /** Key over registers only (memory-agnostic comparisons). */
+    std::string regsKey() const;
+
+    /** Value of thread @p t register @p r, or 0 if never written. */
+    Val reg(int t, Reg r) const;
+
+    /** Final value of location @p a, or 0 if unknown. */
+    Val mem(Addr a) const;
+
+    bool operator==(const Outcome &o) const { return key() == o.key(); }
+    bool operator<(const Outcome &o) const { return key() < o.key(); }
+};
+
+} // namespace satom

@@ -1,0 +1,248 @@
+#include "isa/builder.hpp"
+
+#include <stdexcept>
+
+namespace satom
+{
+
+namespace
+{
+
+Instruction
+aluInstr(Opcode op, Reg dst, Operand a, Operand b)
+{
+    Instruction ins;
+    ins.op = op;
+    ins.dst = dst;
+    ins.a = a;
+    ins.b = b;
+    return ins;
+}
+
+} // namespace
+
+ThreadBuilder &
+ThreadBuilder::movi(Reg dst, Val v)
+{
+    Instruction ins;
+    ins.op = Opcode::MovImm;
+    ins.dst = dst;
+    ins.a = immOp(v);
+    code_.push_back(ins);
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::add(Reg dst, Operand a, Operand b)
+{
+    code_.push_back(aluInstr(Opcode::Add, dst, a, b));
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::sub(Reg dst, Operand a, Operand b)
+{
+    code_.push_back(aluInstr(Opcode::Sub, dst, a, b));
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::mul(Reg dst, Operand a, Operand b)
+{
+    code_.push_back(aluInstr(Opcode::Mul, dst, a, b));
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::xorr(Reg dst, Operand a, Operand b)
+{
+    code_.push_back(aluInstr(Opcode::Xor, dst, a, b));
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::load(Reg dst, Addr addr)
+{
+    return load(dst, immOp(addr));
+}
+
+ThreadBuilder &
+ThreadBuilder::load(Reg dst, Operand addr)
+{
+    Instruction ins;
+    ins.op = Opcode::Load;
+    ins.dst = dst;
+    ins.addr = addr;
+    code_.push_back(ins);
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::store(Addr addr, Val v)
+{
+    return store(immOp(addr), immOp(v));
+}
+
+ThreadBuilder &
+ThreadBuilder::store(Operand addr, Operand value)
+{
+    Instruction ins;
+    ins.op = Opcode::Store;
+    ins.addr = addr;
+    ins.value = value;
+    code_.push_back(ins);
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::fence()
+{
+    return fence(FenceMask::full());
+}
+
+ThreadBuilder &
+ThreadBuilder::fence(FenceMask mask)
+{
+    Instruction ins;
+    ins.op = Opcode::Fence;
+    ins.fence = mask;
+    code_.push_back(ins);
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::cas(Reg dst, Operand addr, Operand expected,
+                   Operand desired)
+{
+    Instruction ins;
+    ins.op = Opcode::Cas;
+    ins.dst = dst;
+    ins.addr = addr;
+    ins.a = expected;
+    ins.b = desired;
+    code_.push_back(ins);
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::swap(Reg dst, Operand addr, Operand value)
+{
+    Instruction ins;
+    ins.op = Opcode::Swap;
+    ins.dst = dst;
+    ins.addr = addr;
+    ins.a = value;
+    code_.push_back(ins);
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::fetchAdd(Reg dst, Operand addr, Operand addend)
+{
+    Instruction ins;
+    ins.op = Opcode::FetchAdd;
+    ins.dst = dst;
+    ins.addr = addr;
+    ins.a = addend;
+    code_.push_back(ins);
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::txBegin()
+{
+    Instruction ins;
+    ins.op = Opcode::TxBegin;
+    code_.push_back(ins);
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::txEnd()
+{
+    Instruction ins;
+    ins.op = Opcode::TxEnd;
+    code_.push_back(ins);
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::beq(Operand a, Operand b, const std::string &label)
+{
+    Instruction ins;
+    ins.op = Opcode::BranchEq;
+    ins.a = a;
+    ins.b = b;
+    fixups_.emplace_back(code_.size(), label);
+    code_.push_back(ins);
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::bne(Operand a, Operand b, const std::string &label)
+{
+    Instruction ins;
+    ins.op = Opcode::BranchNe;
+    ins.a = a;
+    ins.b = b;
+    fixups_.emplace_back(code_.size(), label);
+    code_.push_back(ins);
+    return *this;
+}
+
+ThreadBuilder &
+ThreadBuilder::label(const std::string &label)
+{
+    if (labels_.count(label))
+        throw std::invalid_argument("duplicate label: " + label);
+    labels_[label] = static_cast<int>(code_.size());
+    return *this;
+}
+
+ThreadBuilder &
+ProgramBuilder::thread(const std::string &name)
+{
+    for (auto &t : threads_) {
+        if (t->name_ == name)
+            return *t;
+    }
+    threads_.push_back(std::make_unique<ThreadBuilder>(name));
+    return *threads_.back();
+}
+
+ProgramBuilder &
+ProgramBuilder::init(Addr addr, Val v)
+{
+    init_[addr] = v;
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::location(Addr addr)
+{
+    extraLocations_.push_back(addr);
+    return *this;
+}
+
+Program
+ProgramBuilder::build() const
+{
+    Program prog;
+    prog.init = init_;
+    prog.extraLocations = extraLocations_;
+    for (const auto &tb : threads_) {
+        ThreadCode tc;
+        tc.name = tb->name_;
+        tc.code = tb->code_;
+        for (const auto &[idx, label] : tb->fixups_) {
+            auto it = tb->labels_.find(label);
+            if (it == tb->labels_.end())
+                throw std::invalid_argument("undefined label: " + label);
+            tc.code[idx].target = it->second;
+        }
+        prog.threads.push_back(std::move(tc));
+    }
+    return prog;
+}
+
+} // namespace satom

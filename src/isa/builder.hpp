@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Fluent construction of Programs.
+ *
+ * Example:
+ * @code
+ *   ProgramBuilder pb;
+ *   auto &p0 = pb.thread("P0");
+ *   p0.store(X, 1).load(1, Y);
+ *   auto &p1 = pb.thread("P1");
+ *   p1.store(Y, 1).load(1, X);
+ *   Program prog = pb.build();
+ * @endcode
+ *
+ * Branch targets are symbolic labels resolved at build() time.
+ */
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace satom
+{
+
+/** Builds the code of one thread; created via ProgramBuilder::thread. */
+class ThreadBuilder
+{
+  public:
+    explicit ThreadBuilder(std::string name) : name_(std::move(name)) {}
+
+    /** dst := imm */
+    ThreadBuilder &movi(Reg dst, Val v);
+    /** dst := a + b */
+    ThreadBuilder &add(Reg dst, Operand a, Operand b);
+    /** dst := a - b */
+    ThreadBuilder &sub(Reg dst, Operand a, Operand b);
+    /** dst := a * b */
+    ThreadBuilder &mul(Reg dst, Operand a, Operand b);
+    /** dst := a ^ b */
+    ThreadBuilder &xorr(Reg dst, Operand a, Operand b);
+
+    /** dst := mem[addr] with an immediate address. */
+    ThreadBuilder &load(Reg dst, Addr addr);
+    /** dst := mem[addr] with an arbitrary address operand. */
+    ThreadBuilder &load(Reg dst, Operand addr);
+
+    /** mem[addr] := v, immediate address and value. */
+    ThreadBuilder &store(Addr addr, Val v);
+    /** mem[addr] := value, arbitrary operands. */
+    ThreadBuilder &store(Operand addr, Operand value);
+
+    /** Full memory fence. */
+    ThreadBuilder &fence();
+
+    /** Partial fence with an explicit ordering mask. */
+    ThreadBuilder &fence(FenceMask mask);
+
+    /**
+     * dst := mem[addr]; if dst == expected then mem[addr] := desired.
+     * Atomic compare-and-swap; dst receives the old value.
+     */
+    ThreadBuilder &cas(Reg dst, Operand addr, Operand expected,
+                       Operand desired);
+
+    /** dst := mem[addr]; mem[addr] := value. Atomic exchange. */
+    ThreadBuilder &swap(Reg dst, Operand addr, Operand value);
+
+    /** dst := mem[addr]; mem[addr] := dst + addend. Atomic add. */
+    ThreadBuilder &fetchAdd(Reg dst, Operand addr, Operand addend);
+
+    /** Open an atomic transaction (no nesting). */
+    ThreadBuilder &txBegin();
+
+    /** Close the current transaction. */
+    ThreadBuilder &txEnd();
+
+    /** if a == b goto label */
+    ThreadBuilder &beq(Operand a, Operand b, const std::string &label);
+    /** if a != b goto label */
+    ThreadBuilder &bne(Operand a, Operand b, const std::string &label);
+
+    /** Define @p label at the current position. */
+    ThreadBuilder &label(const std::string &label);
+
+    /** Number of instructions emitted so far. */
+    std::size_t size() const { return code_.size(); }
+
+  private:
+    friend class ProgramBuilder;
+
+    std::string name_;
+    std::vector<Instruction> code_;
+    std::vector<std::pair<std::size_t, std::string>> fixups_;
+    std::map<std::string, int> labels_;
+};
+
+/** Builds a whole Program. */
+class ProgramBuilder
+{
+  public:
+    /** Create (or retrieve) the builder for thread @p name. */
+    ThreadBuilder &thread(const std::string &name);
+
+    /** Set the initial value of a location. */
+    ProgramBuilder &init(Addr addr, Val v);
+
+    /** Declare a location reached only via register addressing. */
+    ProgramBuilder &location(Addr addr);
+
+    /** Resolve labels and produce the Program. Throws on bad labels. */
+    Program build() const;
+
+  private:
+    std::vector<std::unique_ptr<ThreadBuilder>> threads_;
+    std::map<Addr, Val> init_;
+    std::vector<Addr> extraLocations_;
+};
+
+} // namespace satom

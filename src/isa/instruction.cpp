@@ -1,0 +1,154 @@
+#include "isa/instruction.hpp"
+
+#include <sstream>
+
+namespace satom
+{
+
+InstrClass
+classOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::MovImm:
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Xor:
+        return InstrClass::Alu;
+      case Opcode::Load:
+        return InstrClass::Load;
+      case Opcode::Store:
+        return InstrClass::Store;
+      case Opcode::Fence:
+        return InstrClass::Fence;
+      case Opcode::BranchEq:
+      case Opcode::BranchNe:
+        return InstrClass::Branch;
+      case Opcode::Cas:
+      case Opcode::Swap:
+      case Opcode::FetchAdd:
+        return InstrClass::Load; // primary; see classesOf/isRmwOpcode
+      case Opcode::TxBegin:
+      case Opcode::TxEnd:
+        return InstrClass::Fence; // transaction boundaries fence
+    }
+    return InstrClass::Alu; // unreachable
+}
+
+bool
+FenceMask::orders(InstrClass x, InstrClass y) const
+{
+    if (x == InstrClass::Load && y == InstrClass::Load)
+        return loadLoad;
+    if (x == InstrClass::Load && y == InstrClass::Store)
+        return loadStore;
+    if (x == InstrClass::Store && y == InstrClass::Load)
+        return storeLoad;
+    if (x == InstrClass::Store && y == InstrClass::Store)
+        return storeStore;
+    return false;
+}
+
+std::string
+FenceMask::toString() const
+{
+    if (isFull())
+        return "fence";
+    std::string s = "fence";
+    if (loadLoad)
+        s += ".ll";
+    if (loadStore)
+        s += ".ls";
+    if (storeLoad)
+        s += ".sl";
+    if (storeStore)
+        s += ".ss";
+    return s;
+}
+
+std::string
+toString(Opcode op)
+{
+    switch (op) {
+      case Opcode::MovImm: return "mov";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Xor: return "xor";
+      case Opcode::Load: return "ld";
+      case Opcode::Store: return "st";
+      case Opcode::Fence: return "fence";
+      case Opcode::BranchEq: return "beq";
+      case Opcode::BranchNe: return "bne";
+      case Opcode::Cas: return "cas";
+      case Opcode::Swap: return "swap";
+      case Opcode::FetchAdd: return "fadd";
+      case Opcode::TxBegin: return "txbegin";
+      case Opcode::TxEnd: return "txend";
+    }
+    return "?";
+}
+
+namespace
+{
+
+std::string
+operandStr(const Operand &o)
+{
+    if (o.isReg())
+        return "r" + std::to_string(o.reg);
+    if (o.isImm())
+        return std::to_string(o.imm);
+    return "_";
+}
+
+} // namespace
+
+std::string
+toString(const Instruction &ins)
+{
+    std::ostringstream out;
+    out << toString(ins.op);
+    switch (ins.op) {
+      case Opcode::MovImm:
+        out << " r" << ins.dst << ", " << operandStr(ins.a);
+        break;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Xor:
+        out << " r" << ins.dst << ", " << operandStr(ins.a) << ", "
+            << operandStr(ins.b);
+        break;
+      case Opcode::Load:
+        out << " r" << ins.dst << ", [" << operandStr(ins.addr) << "]";
+        break;
+      case Opcode::Store:
+        out << " [" << operandStr(ins.addr) << "], "
+            << operandStr(ins.value);
+        break;
+      case Opcode::Fence:
+        return ins.fence.toString();
+      case Opcode::BranchEq:
+      case Opcode::BranchNe:
+        out << " " << operandStr(ins.a) << ", " << operandStr(ins.b)
+            << ", @" << ins.target;
+        break;
+      case Opcode::Cas:
+        out << " r" << ins.dst << ", [" << operandStr(ins.addr)
+            << "], " << operandStr(ins.a) << ", "
+            << operandStr(ins.b);
+        break;
+      case Opcode::Swap:
+      case Opcode::FetchAdd:
+        out << " r" << ins.dst << ", [" << operandStr(ins.addr)
+            << "], " << operandStr(ins.a);
+        break;
+      case Opcode::TxBegin:
+      case Opcode::TxEnd:
+        break;
+    }
+    return out.str();
+}
+
+} // namespace satom

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Instruction set of the mini ISA.
+ *
+ * The set mirrors the instruction classes of Figure 1 in the paper:
+ * arithmetic ("+, etc."), Branch, Load, Store and Fence.  Loads and Stores
+ * accept either an immediate address (the common litmus case) or a
+ * register address (needed for aliasing, Section 5).
+ */
+
+#pragma once
+
+#include <string>
+
+#include "isa/types.hpp"
+
+namespace satom
+{
+
+/** Operation selector. */
+enum class Opcode
+{
+    MovImm, ///< dst := imm
+    Add,    ///< dst := a + b
+    Sub,    ///< dst := a - b
+    Mul,    ///< dst := a * b
+    Xor,    ///< dst := a ^ b
+    Load,   ///< dst := mem[addr]
+    Store,  ///< mem[addr] := value
+    Fence,  ///< memory fence (full or partial, see FenceMask)
+    BranchEq, ///< if a == b goto target
+    BranchNe, ///< if a != b goto target
+    Cas,      ///< dst := mem[addr]; if dst == a then mem[addr] := b
+    Swap,     ///< dst := mem[addr]; mem[addr] := a
+    FetchAdd, ///< dst := mem[addr]; mem[addr] := dst + a
+    TxBegin,  ///< open an atomic transaction (Section 8 future work)
+    TxEnd,    ///< close the current transaction
+};
+
+/** True for the atomic read-modify-write opcodes. */
+inline bool
+isRmwOpcode(Opcode op)
+{
+    return op == Opcode::Cas || op == Opcode::Swap ||
+           op == Opcode::FetchAdd;
+}
+
+/**
+ * The five instruction classes of the reordering table (Figure 1).
+ * Read-modify-write opcodes belong to both Load and Store; ordering
+ * code queries classesOf() and combines requirements.
+ */
+enum class InstrClass
+{
+    Alu,
+    Branch,
+    Load,
+    Store,
+    Fence,
+};
+
+/** Number of InstrClass values; used to size reorder tables. */
+inline constexpr int numInstrClasses = 5;
+
+/** Map an opcode to its primary Figure 1 row/column class. */
+InstrClass classOf(Opcode op);
+
+/**
+ * Orderings requested by a Fence, SPARC-membar style: bit XY orders
+ * every prior X against every later Y.  A full fence sets all four.
+ * Partial fences insert direct prior-op -> later-op edges instead of
+ * routing through the Fence node, so combined masks never over-order
+ * (a #StoreLoad|#LoadStore membar must not order Store->Store).
+ */
+struct FenceMask
+{
+    bool loadLoad = false;
+    bool loadStore = false;
+    bool storeLoad = false;
+    bool storeStore = false;
+
+    static FenceMask full() { return {true, true, true, true}; }
+
+    /** Acquire: later accesses stay after prior Loads. */
+    static FenceMask acquire() { return {true, true, false, false}; }
+
+    /** Release: prior accesses stay before later Stores. */
+    static FenceMask release() { return {false, true, false, true}; }
+
+    bool
+    isFull() const
+    {
+        return loadLoad && loadStore && storeLoad && storeStore;
+    }
+
+    bool
+    none() const
+    {
+        return !loadLoad && !loadStore && !storeLoad && !storeStore;
+    }
+
+    /** Does this mask order prior class @p x against later @p y? */
+    bool orders(InstrClass x, InstrClass y) const;
+
+    std::string toString() const;
+};
+
+/** Short mnemonic for an opcode. */
+std::string toString(Opcode op);
+
+/**
+ * An instruction operand: absent, a register, or an immediate.
+ */
+struct Operand
+{
+    enum class Kind { None, Reg, Imm };
+
+    Kind kind = Kind::None;
+    Reg reg = -1;
+    Val imm = 0;
+
+    bool isReg() const { return kind == Kind::Reg; }
+    bool isImm() const { return kind == Kind::Imm; }
+    bool isNone() const { return kind == Kind::None; }
+
+    bool
+    operator==(const Operand &o) const
+    {
+        return kind == o.kind && reg == o.reg && imm == o.imm;
+    }
+};
+
+/** Make a register operand. */
+inline Operand
+regOp(Reg r)
+{
+    return {Operand::Kind::Reg, r, 0};
+}
+
+/** Make an immediate operand. */
+inline Operand
+immOp(Val v)
+{
+    return {Operand::Kind::Imm, -1, v};
+}
+
+/**
+ * One static instruction.
+ *
+ * Fields are used per opcode:
+ *  - MovImm: dst, a(imm)
+ *  - Add/Sub/Mul/Xor: dst, a, b
+ *  - Load: dst, addr
+ *  - Store: addr, value
+ *  - Fence: fence (the mask; defaults to full)
+ *  - BranchEq/Ne: a, b, target
+ *  - Cas: dst(old), addr, a(expected), b(desired)
+ *  - Swap: dst(old), addr, a(new value)
+ *  - FetchAdd: dst(old), addr, a(addend)
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Fence;
+    Reg dst = -1;
+    Operand a;
+    Operand b;
+    Operand addr;
+    Operand value;
+    int target = -1; ///< branch target: index into the thread's code
+    FenceMask fence = FenceMask::full(); ///< Fence opcodes only
+
+    InstrClass cls() const { return classOf(op); }
+
+    bool isMemory() const
+    {
+        return op == Opcode::Load || op == Opcode::Store ||
+               isRmwOpcode(op);
+    }
+
+    bool isBranch() const
+    {
+        return op == Opcode::BranchEq || op == Opcode::BranchNe;
+    }
+};
+
+/** Disassemble one instruction, e.g. "St [x] <- r2". */
+std::string toString(const Instruction &ins);
+
+} // namespace satom

@@ -1,0 +1,64 @@
+#include "isa/program.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace satom
+{
+
+std::vector<Addr>
+Program::locations() const
+{
+    std::set<Addr> locs;
+    for (const auto &t : threads) {
+        for (const auto &ins : t.code) {
+            if (ins.isMemory() && ins.addr.isImm())
+                locs.insert(ins.addr.imm);
+        }
+    }
+    for (const auto &[a, v] : init) {
+        (void)v;
+        locs.insert(a);
+    }
+    for (Addr a : extraLocations)
+        locs.insert(a);
+    return {locs.begin(), locs.end()};
+}
+
+std::map<Addr, Val>
+Program::initialMemory() const
+{
+    std::map<Addr, Val> mem;
+    for (Addr a : locations())
+        mem[a] = 0;
+    for (const auto &[a, v] : init)
+        mem[a] = v;
+    return mem;
+}
+
+std::size_t
+Program::size() const
+{
+    std::size_t n = 0;
+    for (const auto &t : threads)
+        n += t.code.size();
+    return n;
+}
+
+std::string
+Program::toString() const
+{
+    std::ostringstream out;
+    for (const auto &[a, v] : init)
+        out << "init [" << a << "] = " << v << '\n';
+    for (const auto &t : threads) {
+        out << t.name << ":\n";
+        for (std::size_t i = 0; i < t.code.size(); ++i)
+            out << "  " << i << ": " << satom::toString(t.code[i])
+                << '\n';
+    }
+    return out.str();
+}
+
+} // namespace satom

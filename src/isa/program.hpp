@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Multithreaded programs over the mini ISA.
+ *
+ * A Program bundles per-thread instruction sequences with the initial
+ * memory image.  Following Section 4 of the paper, "memory is initialized
+ * with Store operations before any thread is started"; the enumerator
+ * materializes one initializing Store per declared location, so every
+ * location used by a program must be declared (either implicitly via an
+ * immediate address or explicitly for register-indirect accesses).
+ */
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "isa/types.hpp"
+
+namespace satom
+{
+
+/** Code of a single thread. */
+struct ThreadCode
+{
+    std::string name;
+    std::vector<Instruction> code;
+};
+
+/**
+ * A whole multithreaded program.
+ */
+struct Program
+{
+    std::vector<ThreadCode> threads;
+
+    /** Explicit initial values; locations absent here initialize to 0. */
+    std::map<Addr, Val> init;
+
+    /** Extra locations touched only through register addresses. */
+    std::vector<Addr> extraLocations;
+
+    int numThreads() const { return static_cast<int>(threads.size()); }
+
+    /**
+     * The full, sorted location universe: immediate addresses in the
+     * code, initialized addresses, and extraLocations.
+     */
+    std::vector<Addr> locations() const;
+
+    /**
+     * Initial memory image over locations(), defaulting to 0.
+     */
+    std::map<Addr, Val> initialMemory() const;
+
+    /** Total static instruction count across threads. */
+    std::size_t size() const;
+
+    /** Multi-line disassembly of all threads. */
+    std::string toString() const;
+};
+
+} // namespace satom

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental value types of the mini ISA.
+ *
+ * The framework models fixed-size aligned word accesses, as the paper does
+ * (Section 8 notes byte granularity is an orthogonal complication).
+ * Addresses and data share one integer domain so that addresses can be
+ * stored to and loaded from memory — required for the address-aliasing
+ * speculation study (Section 5), where location `x` holds a pointer.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace satom
+{
+
+/** Register index within a thread (dense, small). */
+using Reg = int;
+
+/** Memory address. Symbolic litmus locations are small integers. */
+using Addr = std::int64_t;
+
+/** Data value. */
+using Val = std::int64_t;
+
+/** Thread index within a program. Thread -1 is the init pseudo-thread. */
+using ThreadId = int;
+
+/** Pseudo-thread id that owns initializing Stores. */
+inline constexpr ThreadId initThread = -1;
+
+} // namespace satom

@@ -1,0 +1,67 @@
+#include "litmus/condition.hpp"
+
+#include <sstream>
+
+namespace satom
+{
+
+bool
+Clause::matches(const Outcome &o) const
+{
+    if (kind == Kind::Reg)
+        return o.reg(thread, reg) == val;
+    return o.mem(addr) == val;
+}
+
+std::string
+Clause::toString() const
+{
+    std::ostringstream out;
+    if (kind == Kind::Reg)
+        out << 'P' << thread << ":r" << reg << '=' << val;
+    else
+        out << '[' << addr << "]=" << val;
+    return out.str();
+}
+
+bool
+Condition::matches(const Outcome &o) const
+{
+    for (const auto &conj : disjuncts_) {
+        bool all = true;
+        for (const auto &c : conj)
+            if (!c.matches(o))
+                all = false;
+        if (all)
+            return true;
+    }
+    return false;
+}
+
+bool
+Condition::observable(const std::vector<Outcome> &outcomes) const
+{
+    for (const auto &o : outcomes)
+        if (matches(o))
+            return true;
+    return false;
+}
+
+std::string
+Condition::toString() const
+{
+    std::ostringstream out;
+    out << "exists ";
+    for (std::size_t d = 0; d < disjuncts_.size(); ++d) {
+        if (d)
+            out << " \\/ ";
+        for (std::size_t i = 0; i < disjuncts_[d].size(); ++i) {
+            if (i)
+                out << " /\\ ";
+            out << disjuncts_[d][i].toString();
+        }
+    }
+    return out.str();
+}
+
+} // namespace satom

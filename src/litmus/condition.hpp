@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Litmus-test conditions over outcomes.
+ *
+ * A condition is a DNF formula (OR of ANDs) whose atoms constrain a
+ * thread register ("P0:r1=0") or a final memory location ("x=1").  A
+ * test asks whether the condition is *observable*: satisfied by at
+ * least one outcome of the enumeration.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "enumerate/outcome.hpp"
+
+namespace satom
+{
+
+/** One atom: a register or final-memory equality. */
+struct Clause
+{
+    enum class Kind { Reg, Mem };
+
+    Kind kind = Kind::Reg;
+    int thread = 0; ///< Reg atoms: thread index
+    Reg reg = 0;    ///< Reg atoms: register
+    Addr addr = 0;  ///< Mem atoms: location
+    Val val = 0;    ///< required value
+
+    bool matches(const Outcome &o) const;
+    std::string toString() const;
+};
+
+/** A DNF condition. */
+class Condition
+{
+  public:
+    Condition() = default;
+
+    /** Condition with a single conjunction. */
+    explicit Condition(std::vector<Clause> conjunction)
+    {
+        disjuncts_.push_back(std::move(conjunction));
+    }
+
+    /** Add another disjunct (conjunction of clauses). */
+    Condition &
+    orWith(std::vector<Clause> conjunction)
+    {
+        disjuncts_.push_back(std::move(conjunction));
+        return *this;
+    }
+
+    /** True iff @p o satisfies some disjunct. */
+    bool matches(const Outcome &o) const;
+
+    /** True iff some outcome in @p outcomes matches. */
+    bool observable(const std::vector<Outcome> &outcomes) const;
+
+    std::string toString() const;
+
+    /** Convenience atom builders. */
+    static Clause
+    reg(int thread, Reg r, Val v)
+    {
+        Clause c;
+        c.kind = Clause::Kind::Reg;
+        c.thread = thread;
+        c.reg = r;
+        c.val = v;
+        return c;
+    }
+
+    static Clause
+    mem(Addr a, Val v)
+    {
+        Clause c;
+        c.kind = Clause::Kind::Mem;
+        c.addr = a;
+        c.val = v;
+        return c;
+    }
+
+  private:
+    std::vector<std::vector<Clause>> disjuncts_;
+};
+
+} // namespace satom

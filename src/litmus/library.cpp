@@ -1,0 +1,754 @@
+#include "litmus/library.hpp"
+
+#include "isa/builder.hpp"
+
+namespace satom::litmus
+{
+
+namespace
+{
+
+/** Expected-verdict map in model-strength order. */
+std::map<ModelId, bool>
+expect(bool sc, bool tsoApprox, bool tso, bool pso, bool wmm, bool spec)
+{
+    return {
+        {ModelId::SC, sc},           {ModelId::TSOApprox, tsoApprox},
+        {ModelId::TSO, tso},         {ModelId::PSO, pso},
+        {ModelId::WMM, wmm},         {ModelId::WMMSpec, spec},
+    };
+}
+
+} // namespace
+
+LitmusTest
+storeBuffering()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(locX, 1).load(1, locY);
+    pb.thread("P1").store(locY, 1).load(2, locX);
+    LitmusTest t;
+    t.name = "SB";
+    t.description = "store buffering: both Loads see the initial values";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(0, 1, 0),
+                        Condition::reg(1, 2, 0)});
+    t.expected = expect(false, true, true, true, true, true);
+    return t;
+}
+
+LitmusTest
+storeBufferingFenced()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(locX, 1).fence().load(1, locY);
+    pb.thread("P1").store(locY, 1).fence().load(2, locX);
+    LitmusTest t;
+    t.name = "SB+F";
+    t.description = "store buffering with full fences";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(0, 1, 0),
+                        Condition::reg(1, 2, 0)});
+    t.expected = expect(false, false, false, false, false, false);
+    return t;
+}
+
+LitmusTest
+messagePassing()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(locX, 1).store(locY, 1);
+    pb.thread("P1").load(1, locY).load(2, locX);
+    LitmusTest t;
+    t.name = "MP";
+    t.description = "message passing: flag seen but data stale";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(1, 1, 1),
+                        Condition::reg(1, 2, 0)});
+    t.expected = expect(false, false, false, true, true, true);
+    return t;
+}
+
+LitmusTest
+messagePassingFenced()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(locX, 1).fence().store(locY, 1);
+    pb.thread("P1").load(1, locY).fence().load(2, locX);
+    LitmusTest t;
+    t.name = "MP+F";
+    t.description = "message passing with fences on both sides";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(1, 1, 1),
+                        Condition::reg(1, 2, 0)});
+    t.expected = expect(false, false, false, false, false, false);
+    return t;
+}
+
+LitmusTest
+messagePassingWriterFence()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(locX, 1).fence().store(locY, 1);
+    pb.thread("P1").load(1, locY).load(2, locX);
+    LitmusTest t;
+    t.name = "MP+Fw";
+    t.description = "message passing, fence on the writer only";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(1, 1, 1),
+                        Condition::reg(1, 2, 0)});
+    t.expected = expect(false, false, false, false, true, true);
+    return t;
+}
+
+LitmusTest
+messagePassingReaderFence()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(locX, 1).store(locY, 1);
+    pb.thread("P1").load(1, locY).fence().load(2, locX);
+    LitmusTest t;
+    t.name = "MP+Fr";
+    t.description = "message passing, fence on the reader only";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(1, 1, 1),
+                        Condition::reg(1, 2, 0)});
+    t.expected = expect(false, false, false, true, true, true);
+    return t;
+}
+
+LitmusTest
+loadBuffering()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").load(1, locX).store(locY, 1);
+    pb.thread("P1").load(2, locY).store(locX, 1);
+    LitmusTest t;
+    t.name = "LB";
+    t.description = "load buffering: both Loads see the other's Store";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(0, 1, 1),
+                        Condition::reg(1, 2, 1)});
+    t.expected = expect(false, false, false, false, true, true);
+    return t;
+}
+
+LitmusTest
+loadBufferingData()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").load(1, locX).store(immOp(locY), regOp(1));
+    pb.thread("P1").load(2, locY).store(immOp(locX), regOp(2));
+    LitmusTest t;
+    t.name = "LB+data";
+    t.description =
+        "load buffering with data dependencies (out-of-thin-air)";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(0, 1, 1),
+                        Condition::reg(1, 2, 1)});
+    t.expected = expect(false, false, false, false, false, false);
+    return t;
+}
+
+LitmusTest
+loadBufferingCtrl()
+{
+    ProgramBuilder pb;
+    auto &p0 = pb.thread("P0");
+    p0.load(1, locX)
+        .beq(regOp(1), immOp(0), "L0")
+        .label("L0")
+        .store(locY, 1);
+    auto &p1 = pb.thread("P1");
+    p1.load(2, locY)
+        .beq(regOp(2), immOp(0), "L1")
+        .label("L1")
+        .store(locX, 1);
+    LitmusTest t;
+    t.name = "LB+ctrl";
+    t.description =
+        "load buffering with control dependencies (Branch->Store)";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(0, 1, 1),
+                        Condition::reg(1, 2, 1)});
+    t.expected = expect(false, false, false, false, false, false);
+    return t;
+}
+
+LitmusTest
+iriw()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(locX, 1);
+    pb.thread("P1").store(locY, 1);
+    pb.thread("P2").load(1, locX).load(2, locY);
+    pb.thread("P3").load(3, locY).load(4, locX);
+    LitmusTest t;
+    t.name = "IRIW";
+    t.description = "independent reads of independent writes";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(2, 1, 1),
+                        Condition::reg(2, 2, 0),
+                        Condition::reg(3, 3, 1),
+                        Condition::reg(3, 4, 0)});
+    t.expected = expect(false, false, false, false, true, true);
+    return t;
+}
+
+LitmusTest
+iriwFenced()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(locX, 1);
+    pb.thread("P1").store(locY, 1);
+    pb.thread("P2").load(1, locX).fence().load(2, locY);
+    pb.thread("P3").load(3, locY).fence().load(4, locX);
+    LitmusTest t;
+    t.name = "IRIW+F";
+    t.description =
+        "IRIW with fenced readers: forbidden by Store Atomicity alone";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(2, 1, 1),
+                        Condition::reg(2, 2, 0),
+                        Condition::reg(3, 3, 1),
+                        Condition::reg(3, 4, 0)});
+    t.expected = expect(false, false, false, false, false, false);
+    return t;
+}
+
+LitmusTest
+wrc()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(locX, 1);
+    pb.thread("P1").load(1, locX).store(locY, 1);
+    pb.thread("P2").load(2, locY).load(3, locX);
+    LitmusTest t;
+    t.name = "WRC";
+    t.description = "write-to-read causality, no ordering";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(1, 1, 1),
+                        Condition::reg(2, 2, 1),
+                        Condition::reg(2, 3, 0)});
+    t.expected = expect(false, false, false, false, true, true);
+    return t;
+}
+
+LitmusTest
+wrcFenced()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(locX, 1);
+    pb.thread("P1").load(1, locX).fence().store(locY, 1);
+    pb.thread("P2").load(2, locY).fence().load(3, locX);
+    LitmusTest t;
+    t.name = "WRC+F";
+    t.description = "write-to-read causality with fences";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(1, 1, 1),
+                        Condition::reg(2, 2, 1),
+                        Condition::reg(2, 3, 0)});
+    t.expected = expect(false, false, false, false, false, false);
+    return t;
+}
+
+LitmusTest
+twoPlusTwoW()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(locX, 1).store(locY, 2);
+    pb.thread("P1").store(locY, 1).store(locX, 2);
+    LitmusTest t;
+    t.name = "2+2W";
+    t.description = "two threads cross-overwrite two locations";
+    t.program = pb.build();
+    t.cond = Condition({Condition::mem(locX, 1),
+                        Condition::mem(locY, 1)});
+    t.expected = expect(false, false, false, true, true, true);
+    return t;
+}
+
+LitmusTest
+twoPlusTwoWFenced()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(locX, 1).fence().store(locY, 2);
+    pb.thread("P1").store(locY, 1).fence().store(locX, 2);
+    LitmusTest t;
+    t.name = "2+2W+F";
+    t.description = "2+2W with fences";
+    t.program = pb.build();
+    t.cond = Condition({Condition::mem(locX, 1),
+                        Condition::mem(locY, 1)});
+    t.expected = expect(false, false, false, false, false, false);
+    return t;
+}
+
+LitmusTest
+rwc()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(locX, 1);
+    pb.thread("P1").load(1, locX).fence().load(2, locY);
+    pb.thread("P2").store(locY, 1).load(3, locX);
+    LitmusTest t;
+    t.name = "RWC";
+    t.description = "read-to-write causality; P2 Store->Load relaxed";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(1, 1, 1),
+                        Condition::reg(1, 2, 0),
+                        Condition::reg(2, 3, 0)});
+    t.expected = expect(false, true, true, true, true, true);
+    return t;
+}
+
+LitmusTest
+coRR()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(locX, 1);
+    pb.thread("P1").load(1, locX).load(2, locX);
+    LitmusTest t;
+    t.name = "CoRR";
+    t.description =
+        "same-location Loads observe new then old value (Figure 1 "
+        "leaves same-address Load-Load unordered)";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(1, 1, 1),
+                        Condition::reg(1, 2, 0)});
+    t.expected = expect(false, false, false, false, true, true);
+    return t;
+}
+
+LitmusTest
+coRRFenced()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(locX, 1);
+    pb.thread("P1").load(1, locX).fence().load(2, locX);
+    LitmusTest t;
+    t.name = "CoRR+F";
+    t.description = "same-location Loads separated by a fence";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(1, 1, 1),
+                        Condition::reg(1, 2, 0)});
+    t.expected = expect(false, false, false, false, false, false);
+    return t;
+}
+
+LitmusTest
+coWW()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(locX, 1).store(locX, 2);
+    LitmusTest t;
+    t.name = "CoWW";
+    t.description = "same-location Stores retire in program order";
+    t.program = pb.build();
+    t.cond = Condition({Condition::mem(locX, 1)});
+    t.expected = expect(false, false, false, false, false, false);
+    return t;
+}
+
+LitmusTest
+coWR()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(locX, 1).load(1, locX);
+    pb.thread("P1").store(locX, 2);
+    LitmusTest t;
+    t.name = "CoWR";
+    t.description =
+        "a Load observing a foreign overwrite orders the local Store "
+        "first";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(0, 1, 2),
+                        Condition::mem(locX, 1)});
+    t.expected = expect(false, false, false, false, false, false);
+    return t;
+}
+
+LitmusTest
+sbBypass()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(locX, 1).load(1, locX).load(2, locY);
+    pb.thread("P1").store(locY, 1).load(3, locY).load(4, locX);
+    LitmusTest t;
+    t.name = "SB+rfi";
+    t.description =
+        "store buffering where each thread first reads back its own "
+        "Store — observable only with the TSO bypass (or weaker)";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(0, 1, 1),
+                        Condition::reg(0, 2, 0),
+                        Condition::reg(1, 3, 1),
+                        Condition::reg(1, 4, 0)});
+    t.expected = expect(false, false, true, false, true, true);
+    return t;
+}
+
+LitmusTest
+sTest()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(locX, 2).store(locY, 1);
+    pb.thread("P1").load(1, locY).store(locX, 1);
+    LitmusTest t;
+    t.name = "S";
+    t.description =
+        "flag observed yet the flagged Store finishes last";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(1, 1, 1),
+                        Condition::mem(locX, 2)});
+    t.expected = expect(false, false, false, true, true, true);
+    return t;
+}
+
+LitmusTest
+rTest()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(locX, 1).store(locY, 1);
+    pb.thread("P1").store(locY, 2).load(1, locX);
+    LitmusTest t;
+    t.name = "R";
+    t.description = "Store race decided against the Load's view";
+    t.program = pb.build();
+    t.cond = Condition({Condition::mem(locY, 2),
+                        Condition::reg(1, 1, 0)});
+    t.expected = expect(false, true, true, true, true, true);
+    return t;
+}
+
+LitmusTest
+isa2Fenced()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(locX, 1).fence().store(locY, 1);
+    pb.thread("P1").load(1, locY).fence().store(locZ, 1);
+    pb.thread("P2").load(2, locZ).fence().load(3, locX);
+    LitmusTest t;
+    t.name = "ISA2+F";
+    t.description =
+        "three-thread causality chain with fences everywhere";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(1, 1, 1),
+                        Condition::reg(2, 2, 1),
+                        Condition::reg(2, 3, 0)});
+    t.expected = expect(false, false, false, false, false, false);
+    return t;
+}
+
+LitmusTest
+sbRmw()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").swap(3, immOp(locX), immOp(1)).load(1, locY);
+    pb.thread("P1").swap(4, immOp(locY), immOp(1)).load(2, locX);
+    LitmusTest t;
+    t.name = "SB+rmw";
+    t.description =
+        "store buffering with atomic Swaps: the RMW restores order "
+        "under TSO (x86 LOCK semantics) but not under the weak model";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(0, 1, 0),
+                        Condition::reg(1, 2, 0)});
+    t.expected = expect(false, false, false, false, true, true);
+    return t;
+}
+
+LitmusTest
+fetchAddTotal()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").fetchAdd(1, immOp(locX), immOp(1));
+    pb.thread("P1").fetchAdd(1, immOp(locX), immOp(1));
+    LitmusTest t;
+    t.name = "FADD2";
+    t.description =
+        "concurrent atomic increments may never lose an update";
+    t.program = pb.build();
+    t.cond = Condition({Condition::mem(locX, 1)}); // the lost update
+    t.expected = expect(false, false, false, false, false, false);
+    return t;
+}
+
+LitmusTest
+mpReleaseAcquire()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(locX, 1).fence(FenceMask::release())
+        .store(locY, 1);
+    pb.thread("P1").load(1, locY).fence(FenceMask::acquire())
+        .load(2, locX);
+    LitmusTest t;
+    t.name = "MP+ra";
+    t.description = "message passing with release/acquire fences";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(1, 1, 1),
+                        Condition::reg(1, 2, 0)});
+    t.expected = expect(false, false, false, false, false, false);
+    return t;
+}
+
+LitmusTest
+mpMinimalFences()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(locX, 1)
+        .fence({false, false, false, true}) // fence.ss
+        .store(locY, 1);
+    pb.thread("P1").load(1, locY)
+        .fence({true, false, false, false}) // fence.ll
+        .load(2, locX);
+    LitmusTest t;
+    t.name = "MP+minF";
+    t.description =
+        "message passing with the minimal fences (StoreStore writer, "
+        "LoadLoad reader)";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(1, 1, 1),
+                        Condition::reg(1, 2, 0)});
+    t.expected = expect(false, false, false, false, false, false);
+    return t;
+}
+
+LitmusTest
+mpAddrDep()
+{
+    // The reader's second Load computes its address from the first
+    // Load's value: a genuine dataflow dependency, so even the weak
+    // model keeps the Loads ordered ("indep" entries of Figure 1).
+    ProgramBuilder pb;
+    pb.init(locX, locZ); // pointer initially targets a dummy cell
+    pb.location(locZ);
+    pb.thread("P0").store(locW, 42)
+        .fence({false, false, false, true}) // writer: fence.ss
+        .store(locX, locW);                 // publish the pointer
+    pb.thread("P1").load(1, locX).load(2, regOp(1));
+    LitmusTest t;
+    t.name = "MP+addr";
+    t.description =
+        "message passing through a published pointer: the address "
+        "dependency orders the reader's Loads in every model";
+    t.program = pb.build();
+    // Reading the published pointer but stale data is forbidden.
+    t.cond = Condition({Condition::reg(1, 1, locW),
+                        Condition::reg(1, 2, 0)});
+    t.expected = expect(false, false, false, false, false, false);
+    return t;
+}
+
+LitmusTest
+mpCtrlDep()
+{
+    // A control dependency does NOT order Load->Load in the weak
+    // model: Figure 1 leaves Branch->Load blank because "all modern
+    // architectures speculatively execute past branch instructions".
+    ProgramBuilder pb;
+    pb.thread("P0").store(locX, 42)
+        .fence({false, false, false, true}) // writer: fence.ss
+        .store(locY, 1);
+    pb.thread("P1")
+        .load(1, locY)
+        .beq(regOp(1), immOp(0), "skip")
+        .load(2, locX)
+        .label("skip")
+        .fence();
+    LitmusTest t;
+    t.name = "MP+ctrl";
+    t.description =
+        "message passing guarded only by a branch: the reader may "
+        "still speculate the data Load past it under the weak model";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(1, 1, 1),
+                        Condition::reg(1, 2, 0)});
+    t.expected = expect(false, false, false, false, true, true);
+    return t;
+}
+
+LitmusTest
+figure3()
+{
+    ProgramBuilder pb;
+    pb.thread("A").store(locX, 1).fence().store(locY, 2).load(5, locY);
+    pb.thread("B").store(locY, 3).fence().store(locX, 4).load(6, locX);
+    LitmusTest t;
+    t.name = "fig3";
+    t.description =
+        "Figure 3: L5 observing y=3 proves S(y,2) overwritten, so "
+        "L6 must not see x=1 (rule a)";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(0, 5, 3),
+                        Condition::reg(1, 6, 1)});
+    t.expected = expect(false, false, false, false, false, false);
+    return t;
+}
+
+LitmusTest
+figure4()
+{
+    ProgramBuilder pb;
+    pb.thread("A").store(locX, 1).store(locX, 2).fence().load(4, locY);
+    pb.thread("B").store(locY, 3).store(locY, 5).fence().load(6, locX);
+    LitmusTest t;
+    t.name = "fig4";
+    t.description =
+        "Figure 4: observing a later-overwritten Store orders the Load "
+        "before the overwriter, so L6 must not see x=1 (rule b)";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(0, 4, 3),
+                        Condition::reg(1, 6, 1)});
+    t.expected = expect(false, false, false, false, false, false);
+    return t;
+}
+
+LitmusTest
+figure5()
+{
+    ProgramBuilder pb;
+    pb.thread("A").store(locX, 1).fence().load(3, locY).load(5, locY);
+    pb.thread("B").store(locY, 2).fence().store(locZ, 6);
+    pb.thread("C").store(locY, 4).fence().load(7, locZ).fence()
+        .store(locX, 8).load(9, locX);
+    LitmusTest t;
+    t.name = "fig5";
+    t.description =
+        "Figure 5: unordered same-address pairs still order mutual "
+        "ancestors before mutual successors, so L9 must not see x=1 "
+        "(rule c)";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(0, 3, 2),
+                        Condition::reg(0, 5, 4),
+                        Condition::reg(2, 7, 6),
+                        Condition::reg(2, 9, 1)});
+    t.expected = expect(false, false, false, false, false, false);
+    return t;
+}
+
+LitmusTest
+figure7()
+{
+    ProgramBuilder pb;
+    pb.thread("A").store(locX, 1).fence().store(locY, 3).load(6, locY);
+    pb.thread("B").store(locY, 4).fence().load(5, locX);
+    pb.thread("C").store(locX, 2);
+    LitmusTest t;
+    t.name = "fig7";
+    t.description =
+        "Figure 7: enforcing Store Atomicity on y exposes the "
+        "dependency S(x,1) before S(x,2), so x cannot finish as 1";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(0, 6, 4),
+                        Condition::reg(1, 5, 2),
+                        Condition::mem(locX, 1)});
+    t.expected = expect(false, false, false, false, false, false);
+    return t;
+}
+
+LitmusTest
+figure8()
+{
+    ProgramBuilder pb;
+    pb.init(locX, locW);
+    pb.location(locW).location(locZ);
+    pb.thread("A").store(locX, locW).fence().store(locY, 2)
+        .store(locY, 4).fence().store(locX, locZ);
+    pb.thread("B").load(3, locY).fence().load(6, locX)
+        .store(regOp(6), immOp(7)).load(8, locY);
+    LitmusTest t;
+    t.name = "fig8";
+    t.description =
+        "Figures 8/9: with address-aliasing speculation L8 may observe "
+        "the overwritten S(y,2); impossible non-speculatively";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(1, 3, 2),
+                        Condition::reg(1, 6, locZ),
+                        Condition::reg(1, 8, 2)});
+    t.expected = expect(false, false, false, false, false, true);
+    return t;
+}
+
+LitmusTest
+figure10()
+{
+    ProgramBuilder pb;
+    pb.thread("A").store(locX, 1).store(locX, 2).store(locZ, 3)
+        .load(4, locZ).load(6, locY);
+    pb.thread("B").store(locY, 5).store(locY, 7).store(locZ, 8)
+        .load(9, locZ).load(10, locX);
+    LitmusTest t;
+    t.name = "fig10";
+    t.description =
+        "Figures 10/11: a TSO execution that violates memory "
+        "atomicity; requires the local bypass (or a weaker model)";
+    t.program = pb.build();
+    t.cond = Condition({Condition::reg(0, 4, 3),
+                        Condition::reg(0, 6, 5),
+                        Condition::reg(1, 9, 8),
+                        Condition::reg(1, 10, 1)});
+    t.expected = expect(false, false, true, true, true, true);
+    return t;
+}
+
+std::vector<LitmusTest>
+allTests()
+{
+    return {
+        storeBuffering(),
+        storeBufferingFenced(),
+        messagePassing(),
+        messagePassingFenced(),
+        messagePassingWriterFence(),
+        messagePassingReaderFence(),
+        loadBuffering(),
+        loadBufferingData(),
+        loadBufferingCtrl(),
+        iriw(),
+        iriwFenced(),
+        wrc(),
+        wrcFenced(),
+        twoPlusTwoW(),
+        twoPlusTwoWFenced(),
+        rwc(),
+        coRR(),
+        coRRFenced(),
+        coWW(),
+        coWR(),
+        sbBypass(),
+        sTest(),
+        rTest(),
+        isa2Fenced(),
+        sbRmw(),
+        fetchAddTotal(),
+        mpReleaseAcquire(),
+        mpMinimalFences(),
+        mpAddrDep(),
+        mpCtrlDep(),
+        figure3(),
+        figure4(),
+        figure5(),
+        figure7(),
+        figure8(),
+        figure10(),
+    };
+}
+
+std::vector<LitmusTest>
+classicTests()
+{
+    std::vector<LitmusTest> out;
+    for (auto &t : allTests()) {
+        bool hasBranch = false;
+        for (const auto &tc : t.program.threads)
+            for (const auto &ins : tc.code)
+                if (ins.isBranch())
+                    hasBranch = true;
+        if (!hasBranch)
+            out.push_back(std::move(t));
+    }
+    return out;
+}
+
+} // namespace satom::litmus

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The bundled litmus-test library.
+ *
+ * Two groups:
+ *  - the classic multiprocessor litmus tests (SB, MP, LB, IRIW, WRC,
+ *    2+2W, coherence shapes, ...), each with its expected verdict per
+ *    bundled model, and
+ *  - the paper's own figures (3, 4, 5, 7, 8, 10) encoded as litmus
+ *    tests whose conditions are exactly the observations the paper
+ *    discusses.
+ *
+ * Location constants are shared so conditions can reference addresses.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "litmus/test.hpp"
+
+namespace satom::litmus
+{
+
+/** Symbolic locations used by the library. */
+inline constexpr Addr locX = 100;
+inline constexpr Addr locY = 101;
+inline constexpr Addr locW = 102;
+inline constexpr Addr locZ = 103;
+
+/** @name Classic litmus tests */
+///@{
+LitmusTest storeBuffering();          ///< SB
+LitmusTest storeBufferingFenced();    ///< SB+fences
+LitmusTest messagePassing();          ///< MP
+LitmusTest messagePassingFenced();    ///< MP+fences
+LitmusTest messagePassingWriterFence(); ///< MP, fence on writer only
+LitmusTest messagePassingReaderFence(); ///< MP, fence on reader only
+LitmusTest loadBuffering();           ///< LB
+LitmusTest loadBufferingData();       ///< LB+data dependency
+LitmusTest loadBufferingCtrl();       ///< LB+control dependency
+LitmusTest iriw();                    ///< IRIW
+LitmusTest iriwFenced();              ///< IRIW+fences
+LitmusTest wrc();                     ///< write-to-read causality
+LitmusTest wrcFenced();               ///< WRC+fences
+LitmusTest twoPlusTwoW();             ///< 2+2W (final memory)
+LitmusTest twoPlusTwoWFenced();       ///< 2+2W+fences
+LitmusTest rwc();                     ///< read-to-write causality
+LitmusTest coRR();                    ///< same-location Load-Load
+LitmusTest coRRFenced();              ///< CoRR with a fence
+LitmusTest coWW();                    ///< same-location Store-Store
+LitmusTest coWR();                    ///< read vs. overwriting Store
+LitmusTest sbBypass();                ///< SB reading own Stores (n6)
+LitmusTest sTest();                   ///< S: Store overwrite vs. Load
+LitmusTest rTest();                   ///< R: Store race vs. Load
+LitmusTest isa2Fenced();              ///< ISA2+F: 3-thread causality
+///@}
+
+/** @name Extension tests: atomic RMWs and partial fences */
+///@{
+LitmusTest sbRmw();                   ///< SB via atomic Swap
+LitmusTest fetchAddTotal();           ///< concurrent increments sum
+LitmusTest mpReleaseAcquire();        ///< MP with rel/acq fences
+LitmusTest mpMinimalFences();         ///< MP with fence.ss + fence.ll
+LitmusTest mpAddrDep();               ///< MP via address dependency
+LitmusTest mpCtrlDep();               ///< MP via control dependency
+///@}
+
+/** @name The paper's figures as litmus tests */
+///@{
+LitmusTest figure3(); ///< rule a: overwritten Store ordering
+LitmusTest figure4(); ///< rule b: observer before overwriter
+LitmusTest figure5(); ///< rule c: mutual ancestors/successors
+LitmusTest figure7(); ///< iterated closure across locations
+LitmusTest figure8(); ///< aliasing speculation (Figures 8/9)
+LitmusTest figure10(); ///< TSO bypass execution (Figures 10/11)
+///@}
+
+/** Every test above, classics first. */
+std::vector<LitmusTest> allTests();
+
+/** Only tests whose programs are branch-free (for sweep benches). */
+std::vector<LitmusTest> classicTests();
+
+} // namespace satom::litmus

@@ -1,0 +1,421 @@
+#include "litmus/parser.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "isa/builder.hpp"
+
+namespace satom::litmus
+{
+
+namespace
+{
+
+/** Mutable parsing context. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    LitmusTest
+    parse(std::map<std::string, Addr> *symbols)
+    {
+        std::istringstream in(text_);
+        std::string line;
+        while (std::getline(in, line)) {
+            ++lineNo_;
+            strip(line);
+            if (line.empty())
+                continue;
+            directive(line);
+        }
+        test_.program = pb_.build();
+        if (symbols)
+            *symbols = locs_;
+        return std::move(test_);
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        throw ParseError("litmus parse error, line " +
+                         std::to_string(lineNo_) + ": " + msg);
+    }
+
+    static void
+    strip(std::string &line)
+    {
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        while (!line.empty() && std::isspace(
+                   static_cast<unsigned char>(line.back())))
+            line.pop_back();
+        std::size_t i = 0;
+        while (i < line.size() && std::isspace(
+                   static_cast<unsigned char>(line[i])))
+            ++i;
+        line.erase(0, i);
+    }
+
+    Addr
+    location(const std::string &name)
+    {
+        auto it = locs_.find(name);
+        if (it != locs_.end())
+            return it->second;
+        const Addr a = 100 + static_cast<Addr>(locs_.size());
+        locs_[name] = a;
+        pb_.location(a);
+        return a;
+    }
+
+    static bool
+    isInteger(const std::string &s)
+    {
+        if (s.empty())
+            return false;
+        std::size_t i = s[0] == '-' ? 1 : 0;
+        if (i == s.size())
+            return false;
+        for (; i < s.size(); ++i)
+            if (!std::isdigit(static_cast<unsigned char>(s[i])))
+                return false;
+        return true;
+    }
+
+    static bool
+    isRegister(const std::string &s)
+    {
+        return s.size() >= 2 && s[0] == 'r' &&
+               isInteger(s.substr(1));
+    }
+
+    /** Parse a value operand: integer, rN or &loc. */
+    Operand
+    valueOperand(const std::string &tok)
+    {
+        if (isInteger(tok))
+            return immOp(std::stoll(tok));
+        if (isRegister(tok))
+            return regOp(std::stoi(tok.substr(1)));
+        if (tok.size() > 1 && tok[0] == '&')
+            return immOp(location(tok.substr(1)));
+        fail("bad value operand '" + tok + "'");
+    }
+
+    /** Parse an address operand: location name or [rN]. */
+    Operand
+    addrOperand(const std::string &tok)
+    {
+        if (tok.size() > 2 && tok.front() == '[' && tok.back() == ']') {
+            const std::string inner = tok.substr(1, tok.size() - 2);
+            if (!isRegister(inner))
+                fail("bad register address '" + tok + "'");
+            return regOp(std::stoi(inner.substr(1)));
+        }
+        return immOp(location(tok));
+    }
+
+    Reg
+    registerToken(const std::string &tok)
+    {
+        if (!isRegister(tok))
+            fail("expected register, got '" + tok + "'");
+        return std::stoi(tok.substr(1));
+    }
+
+    static std::vector<std::string>
+    split(const std::string &s)
+    {
+        std::vector<std::string> out;
+        std::string cur;
+        for (char c : s) {
+            if (std::isspace(static_cast<unsigned char>(c)) ||
+                c == ',') {
+                if (!cur.empty())
+                    out.push_back(std::move(cur));
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        if (!cur.empty())
+            out.push_back(std::move(cur));
+        return out;
+    }
+
+    void
+    directive(const std::string &line)
+    {
+        const auto toks = split(line);
+        const std::string &head = toks[0];
+        if (head == "name") {
+            if (toks.size() != 2)
+                fail("name takes one identifier");
+            test_.name = toks[1];
+        } else if (head == "desc") {
+            test_.description = line.substr(5);
+        } else if (head == "init") {
+            for (std::size_t i = 1; i < toks.size(); ++i)
+                initAssign(toks[i]);
+        } else if (head == "loc") {
+            for (std::size_t i = 1; i < toks.size(); ++i)
+                location(toks[i]);
+        } else if (head == "thread") {
+            if (toks.size() != 2)
+                fail("thread takes one identifier");
+            threadIdx_.emplace(toks[1],
+                               static_cast<int>(threadIdx_.size()));
+            current_ = &pb_.thread(toks[1]);
+        } else if (head == "exists") {
+            condition(line.substr(7));
+        } else if (head == "expect") {
+            for (std::size_t i = 1; i < toks.size(); ++i)
+                expectation(toks[i]);
+        } else {
+            instruction(toks);
+        }
+    }
+
+    void
+    initAssign(const std::string &tok)
+    {
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos)
+            fail("init expects loc=value");
+        const Addr a = location(tok.substr(0, eq));
+        const std::string v = tok.substr(eq + 1);
+        if (isInteger(v))
+            pb_.init(a, std::stoll(v));
+        else if (v.size() > 1 && v[0] == '&')
+            pb_.init(a, location(v.substr(1)));
+        else
+            fail("bad init value '" + v + "'");
+    }
+
+    void
+    instruction(const std::vector<std::string> &toks)
+    {
+        if (!current_)
+            fail("instruction outside a thread");
+        const std::string &op = toks[0];
+        auto need = [&](std::size_t n) {
+            if (toks.size() != n)
+                fail("'" + op + "' takes " + std::to_string(n - 1) +
+                     " operands");
+        };
+        if (op.back() == ':') {
+            current_->label(op.substr(0, op.size() - 1));
+        } else if (op == "st") {
+            need(3);
+            current_->store(addrOperand(toks[1]),
+                            valueOperand(toks[2]));
+        } else if (op == "ld") {
+            need(3);
+            current_->load(registerToken(toks[1]),
+                           addrOperand(toks[2]));
+        } else if (op == "mov") {
+            need(3);
+            const Operand v = valueOperand(toks[2]);
+            if (!v.isImm())
+                fail("mov takes an immediate");
+            current_->movi(registerToken(toks[1]), v.imm);
+        } else if (op == "add" || op == "sub" || op == "mul" ||
+                   op == "xor") {
+            need(4);
+            const Reg d = registerToken(toks[1]);
+            const Operand a = valueOperand(toks[2]);
+            const Operand b = valueOperand(toks[3]);
+            if (op == "add")
+                current_->add(d, a, b);
+            else if (op == "sub")
+                current_->sub(d, a, b);
+            else if (op == "mul")
+                current_->mul(d, a, b);
+            else
+                current_->xorr(d, a, b);
+        } else if (op == "fence" || op.rfind("fence.", 0) == 0) {
+            need(1);
+            current_->fence(fenceMask(op));
+        } else if (op == "cas") {
+            need(5);
+            current_->cas(registerToken(toks[1]), addrOperand(toks[2]),
+                          valueOperand(toks[3]), valueOperand(toks[4]));
+        } else if (op == "swap") {
+            need(4);
+            current_->swap(registerToken(toks[1]),
+                           addrOperand(toks[2]),
+                           valueOperand(toks[3]));
+        } else if (op == "txbegin") {
+            need(1);
+            current_->txBegin();
+        } else if (op == "txend") {
+            need(1);
+            current_->txEnd();
+        } else if (op == "fadd") {
+            need(4);
+            current_->fetchAdd(registerToken(toks[1]),
+                               addrOperand(toks[2]),
+                               valueOperand(toks[3]));
+        } else if (op == "beq" || op == "bne") {
+            need(4);
+            const Operand a = valueOperand(toks[1]);
+            const Operand b = valueOperand(toks[2]);
+            if (op == "beq")
+                current_->beq(a, b, toks[3]);
+            else
+                current_->bne(a, b, toks[3]);
+        } else {
+            fail("unknown instruction '" + op + "'");
+        }
+    }
+
+    /**
+     * Parse a fence mnemonic: plain "fence" is full; dotted suffixes
+     * combine, e.g. "fence.ll.ss"; "fence.acq" / "fence.rel" are the
+     * acquire/release shorthands.
+     */
+    FenceMask
+    fenceMask(const std::string &op)
+    {
+        if (op == "fence")
+            return FenceMask::full();
+        FenceMask m;
+        std::size_t pos = 5; // skip "fence"
+        while (pos < op.size()) {
+            if (op[pos] != '.')
+                fail("bad fence mnemonic '" + op + "'");
+            const std::size_t dot = op.find('.', pos + 1);
+            const std::string part = op.substr(
+                pos + 1,
+                (dot == std::string::npos ? op.size() : dot) - pos - 1);
+            if (part == "ll") {
+                m.loadLoad = true;
+            } else if (part == "ls") {
+                m.loadStore = true;
+            } else if (part == "sl") {
+                m.storeLoad = true;
+            } else if (part == "ss") {
+                m.storeStore = true;
+            } else if (part == "acq") {
+                m.loadLoad = m.loadStore = true;
+            } else if (part == "rel") {
+                m.loadStore = m.storeStore = true;
+            } else {
+                fail("bad fence suffix '" + part + "'");
+            }
+            pos = dot == std::string::npos ? op.size() : dot;
+        }
+        if (m.none())
+            fail("empty fence mask in '" + op + "'");
+        return m;
+    }
+
+    void
+    condition(const std::string &rest)
+    {
+        Condition cond;
+        std::vector<Clause> conj;
+        const auto toks = split(rest);
+        for (const auto &tok : toks) {
+            if (tok == "/\\")
+                continue;
+            if (tok == "\\/") {
+                cond.orWith(std::move(conj));
+                conj.clear();
+                continue;
+            }
+            conj.push_back(atom(tok));
+        }
+        cond.orWith(std::move(conj));
+        test_.cond = cond;
+    }
+
+    Clause
+    atom(const std::string &tok)
+    {
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos)
+            fail("condition atom needs '='");
+        const std::string lhs = tok.substr(0, eq);
+        const std::string rhs = tok.substr(eq + 1);
+        Val v = 0;
+        if (isInteger(rhs))
+            v = std::stoll(rhs);
+        else if (rhs.size() > 1 && rhs[0] == '&')
+            v = location(rhs.substr(1));
+        else
+            fail("bad condition value '" + rhs + "'");
+
+        const auto colon = lhs.find(':');
+        if (colon != std::string::npos) {
+            const std::string tname = lhs.substr(0, colon);
+            const std::string rname = lhs.substr(colon + 1);
+            auto it = threadIdx_.find(tname);
+            if (it == threadIdx_.end())
+                fail("unknown thread '" + tname + "'");
+            return Condition::reg(it->second, registerToken(rname), v);
+        }
+        return Condition::mem(location(lhs), v);
+    }
+
+    void
+    expectation(const std::string &tok)
+    {
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos)
+            fail("expect entries look like MODEL=yes|no");
+        const std::string mname = tok.substr(0, eq);
+        const std::string verdict = tok.substr(eq + 1);
+        bool allowed;
+        if (verdict == "yes" || verdict == "allowed")
+            allowed = true;
+        else if (verdict == "no" || verdict == "forbidden")
+            allowed = false;
+        else
+            fail("bad expectation '" + verdict + "'");
+        for (ModelId id : allModels()) {
+            if (toString(id) == mname) {
+                test_.expected[id] = allowed;
+                return;
+            }
+        }
+        fail("unknown model '" + mname + "'");
+    }
+
+    const std::string &text_;
+    int lineNo_ = 0;
+
+    ProgramBuilder pb_;
+    ThreadBuilder *current_ = nullptr;
+    std::map<std::string, Addr> locs_;
+    std::map<std::string, int> threadIdx_;
+    LitmusTest test_;
+};
+
+} // namespace
+
+LitmusTest
+parseLitmus(const std::string &text, std::map<std::string, Addr> *symbols)
+{
+    Parser p(text);
+    return p.parse(symbols);
+}
+
+LitmusTest
+parseLitmusFile(const std::string &path,
+                std::map<std::string, Addr> *symbols)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw ParseError("cannot open litmus file: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    return parseLitmus(text, symbols);
+}
+
+} // namespace satom::litmus

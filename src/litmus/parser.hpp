@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Parser for a small herd-style litmus text format.
+ *
+ * Example:
+ * @code
+ *   name SB
+ *   desc store buffering
+ *   init x=0 y=0
+ *   thread P0
+ *     st x, 1
+ *     ld r1, y
+ *   thread P1
+ *     st y, 1
+ *     ld r2, x
+ *   exists P0:r1=0 /\ P1:r2=0
+ *   expect SC=no TSO=yes WMM=yes
+ * @endcode
+ *
+ * Directives:
+ *  - `name <ident>`, `desc <text>`
+ *  - `init <loc>=<val> ...`   values may be `&loc` (a location's address)
+ *  - `loc <ident> ...`        declare pointer-only locations
+ *  - `thread <ident>`         start a thread; following instruction lines
+ *    belong to it until the next directive
+ *  - `exists <dnf>`           condition: atoms `P0:r1=<val>` or
+ *    `<loc>=<val>`, combined with `/\` and `\/`
+ *  - `expect <model>=<yes|no> ...`
+ *
+ * Instructions: `st <addr>, <val>`, `ld rN, <addr>`, `mov rN, <val>`,
+ * `add|sub|mul|xor rN, <op>, <op>`, `fence`, `beq|bne <op>, <op>, LBL`,
+ * and labels `LBL:`.  An address is a location name or `[rN]`; a value
+ * operand is an integer, `rN`, or `&loc`.  `#` starts a comment.
+ *
+ * Locations are assigned consecutive addresses from 100 in order of
+ * first appearance.
+ */
+
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "litmus/test.hpp"
+
+namespace satom::litmus
+{
+
+/** Thrown on malformed input, with a line number in the message. */
+class ParseError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Parse litmus source text.
+ *
+ * @param text    the litmus source
+ * @param symbols optional out-param: location name -> address
+ */
+LitmusTest parseLitmus(const std::string &text,
+                       std::map<std::string, Addr> *symbols = nullptr);
+
+/** Parse a litmus file from disk. */
+LitmusTest parseLitmusFile(const std::string &path,
+                           std::map<std::string, Addr> *symbols = nullptr);
+
+} // namespace satom::litmus

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The litmus-test record: a program, the queried condition, and the
+ * expected verdict per memory model.
+ */
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "isa/program.hpp"
+#include "litmus/condition.hpp"
+#include "model/models.hpp"
+
+namespace satom
+{
+
+/** One litmus test. */
+struct LitmusTest
+{
+    std::string name;
+    std::string description;
+    Program program;
+
+    /** The queried (usually "relaxed") outcome. */
+    Condition cond;
+
+    /**
+     * Expected observability per model, where known a priori.  Models
+     * absent from the map are validated only through cross-checks
+     * (operational baselines, model monotonicity).
+     */
+    std::map<ModelId, bool> expected;
+
+    /** Expected verdict for @p id, if recorded. */
+    std::optional<bool>
+    expectedFor(ModelId id) const
+    {
+        auto it = expected.find(id);
+        if (it == expected.end())
+            return std::nullopt;
+        return it->second;
+    }
+};
+
+} // namespace satom

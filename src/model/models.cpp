@@ -1,0 +1,116 @@
+#include "model/models.hpp"
+
+namespace satom
+{
+
+namespace
+{
+
+constexpr InstrClass kAlu = InstrClass::Alu;
+constexpr InstrClass kBr = InstrClass::Branch;
+constexpr InstrClass kLd = InstrClass::Load;
+constexpr InstrClass kSt = InstrClass::Store;
+constexpr InstrClass kFen = InstrClass::Fence;
+
+/** Figure 1: the paper's weak reordering axioms. */
+ReorderTable
+weakTable()
+{
+    ReorderTable t; // all Free; indep pairs are handled by dataflow
+    t.set(kBr, kSt, OrderReq::Never);  // no visible speculative Stores
+    t.set(kSt, kBr, OrderReq::Never);  // Branch may not pass a Store
+    t.set(kLd, kSt, OrderReq::SameAddr);
+    t.set(kSt, kLd, OrderReq::SameAddr);
+    t.set(kSt, kSt, OrderReq::SameAddr);
+    t.set(kLd, kFen, OrderReq::Never);
+    t.set(kSt, kFen, OrderReq::Never);
+    t.set(kFen, kLd, OrderReq::Never);
+    t.set(kFen, kSt, OrderReq::Never);
+    return t;
+}
+
+/** Order every pair involving memory ops, fences and branches. */
+ReorderTable
+strictTable()
+{
+    ReorderTable t;
+    const InstrClass ordered[] = {kBr, kLd, kSt, kFen};
+    for (InstrClass a : ordered)
+        for (InstrClass b : ordered)
+            t.set(a, b, OrderReq::Never);
+    return t;
+}
+
+/** TSO-style: strict except Store -> Load to a different address. */
+ReorderTable
+tsoTable()
+{
+    ReorderTable t = strictTable();
+    t.set(kSt, kLd, OrderReq::SameAddr);
+    return t;
+}
+
+/** PSO-style: TSO plus Store -> Store to a different address. */
+ReorderTable
+psoTable()
+{
+    ReorderTable t = tsoTable();
+    t.set(kSt, kSt, OrderReq::SameAddr);
+    return t;
+}
+
+} // namespace
+
+std::vector<ModelId>
+allModels()
+{
+    return {ModelId::SC, ModelId::TSOApprox, ModelId::TSO, ModelId::PSO,
+            ModelId::WMM, ModelId::WMMSpec};
+}
+
+std::string
+toString(ModelId id)
+{
+    switch (id) {
+      case ModelId::SC: return "SC";
+      case ModelId::TSOApprox: return "TSO-approx";
+      case ModelId::TSO: return "TSO";
+      case ModelId::PSO: return "PSO";
+      case ModelId::WMM: return "WMM";
+      case ModelId::WMMSpec: return "WMM+spec";
+    }
+    return "?";
+}
+
+MemoryModel
+makeModel(ModelId id)
+{
+    MemoryModel m;
+    m.id = id;
+    m.name = toString(id);
+    switch (id) {
+      case ModelId::SC:
+        m.table = strictTable();
+        break;
+      case ModelId::TSOApprox:
+        m.table = tsoTable();
+        break;
+      case ModelId::TSO:
+        m.table = tsoTable();
+        m.tsoBypass = true;
+        break;
+      case ModelId::PSO:
+        m.table = psoTable();
+        break;
+      case ModelId::WMM:
+        m.table = weakTable();
+        break;
+      case ModelId::WMMSpec:
+        m.table = weakTable();
+        m.nonSpecAliasDeps = false;
+        break;
+    }
+    return m;
+}
+
+} // namespace satom

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The memory models studied in the paper, each defined as a reorder
+ * table plus two flags.
+ *
+ * Following the paper's thesis, a (store-atomic) memory model is nothing
+ * more than a set of thread-local reordering axioms; Store Atomicity is
+ * common to all of them.  Non-atomicity (TSO) is the single extension
+ * flag `tsoBypass` (Section 6), and the address-aliasing speculation
+ * study (Section 5) is the flag `nonSpecAliasDeps`.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/reorder_table.hpp"
+
+namespace satom
+{
+
+/** Identifiers for the bundled models. */
+enum class ModelId
+{
+    SC,        ///< Sequential Consistency: program order is total
+    TSOApprox, ///< naive store-atomic TSO: S->L relaxed, no bypass
+    TSO,       ///< SPARC TSO: S->L relaxed + local bypass (non-atomic)
+    PSO,       ///< store-atomic PSO-like: S->L and S->S relaxed
+    WMM,       ///< the paper's weak model (Figure 1), non-speculative
+    WMMSpec,   ///< Figure 1 + address-aliasing speculation (Section 5)
+};
+
+/** All bundled model ids, in strength order. */
+std::vector<ModelId> allModels();
+
+/** Short name, e.g. "SC", "TSO", "WMM+spec". */
+std::string toString(ModelId id);
+
+/**
+ * A complete memory-model definition.
+ */
+struct MemoryModel
+{
+    ModelId id = ModelId::SC;
+    std::string name;
+    ReorderTable table;
+
+    /**
+     * Insert the Section 5.1 address-disambiguation dependencies: for a
+     * program-ordered, potentially-aliasing pair the address producer of
+     * the earlier op is `≺`-before the later op.  Clearing this enables
+     * address-aliasing speculation, with rollback of executions whose
+     * late-discovered aliasing violates Store Atomicity.
+     */
+    bool nonSpecAliasDeps = true;
+
+    /**
+     * Section 6: a Load may observe the youngest program-order-earlier
+     * same-address Store of its own thread without ordering it in `@`
+     * (grey edge); the same-address S->L table entry is deferred to
+     * Load-resolution time.
+     */
+    bool tsoBypass = false;
+};
+
+/** Retrieve a model definition by id. */
+MemoryModel makeModel(ModelId id);
+
+} // namespace satom

@@ -1,0 +1,205 @@
+#include "model/parser.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace satom
+{
+
+namespace
+{
+
+std::string
+lower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+/** Parse one class token; returns all classes for "*". */
+std::vector<InstrClass>
+classToken(const std::string &tok, int line)
+{
+    const std::string t = lower(tok);
+    if (t == "*")
+        return {InstrClass::Alu, InstrClass::Branch, InstrClass::Load,
+                InstrClass::Store, InstrClass::Fence};
+    if (t == "alu" || t == "+")
+        return {InstrClass::Alu};
+    if (t == "br" || t == "branch")
+        return {InstrClass::Branch};
+    if (t == "ld" || t == "load" || t == "l")
+        return {InstrClass::Load};
+    if (t == "st" || t == "store" || t == "s")
+        return {InstrClass::Store};
+    if (t == "fence" || t == "f")
+        return {InstrClass::Fence};
+    throw ModelParseError("model parse error, line " +
+                          std::to_string(line) +
+                          ": unknown class '" + tok + "'");
+}
+
+OrderReq
+reqToken(const std::string &tok, int line)
+{
+    const std::string t = lower(tok);
+    if (t == "free" || t == "blank" || t == "indep")
+        return OrderReq::Free;
+    if (t == "never")
+        return OrderReq::Never;
+    if (t == "sameaddr" || t == "x!=y")
+        return OrderReq::SameAddr;
+    throw ModelParseError("model parse error, line " +
+                          std::to_string(line) +
+                          ": unknown requirement '" + tok + "'");
+}
+
+bool
+boolToken(const std::string &tok, int line)
+{
+    const std::string t = lower(tok);
+    if (t == "on" || t == "true" || t == "yes")
+        return true;
+    if (t == "off" || t == "false" || t == "no")
+        return false;
+    throw ModelParseError("model parse error, line " +
+                          std::to_string(line) + ": expected on/off, got '" +
+                          tok + "'");
+}
+
+const char *
+className(InstrClass c)
+{
+    switch (c) {
+      case InstrClass::Alu: return "Alu";
+      case InstrClass::Branch: return "Br";
+      case InstrClass::Load: return "Ld";
+      case InstrClass::Store: return "St";
+      case InstrClass::Fence: return "Fence";
+    }
+    return "?";
+}
+
+const char *
+reqName(OrderReq r)
+{
+    switch (r) {
+      case OrderReq::Free: return "free";
+      case OrderReq::Never: return "never";
+      case OrderReq::SameAddr: return "sameaddr";
+    }
+    return "?";
+}
+
+} // namespace
+
+MemoryModel
+parseModel(const std::string &text)
+{
+    MemoryModel m;
+    m.id = ModelId::WMM; // closest id for reporting; name overrides
+    m.name = "custom";
+    m.table = ReorderTable{};
+    m.nonSpecAliasDeps = true;
+    m.tsoBypass = false;
+
+    std::istringstream in(text);
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        std::string head;
+        if (!(ls >> head))
+            continue;
+        if (head == "name") {
+            if (!(ls >> m.name))
+                throw ModelParseError("model parse error, line " +
+                                      std::to_string(lineNo) +
+                                      ": name needs a value");
+        } else if (head == "base") {
+            std::string base;
+            ls >> base;
+            base = lower(base);
+            if (base == "none") {
+                m.table = ReorderTable{};
+            } else if (base == "sc") {
+                m.table = makeModel(ModelId::SC).table;
+            } else if (base == "tso") {
+                m.table = makeModel(ModelId::TSOApprox).table;
+            } else if (base == "pso") {
+                m.table = makeModel(ModelId::PSO).table;
+            } else if (base == "wmm") {
+                m.table = makeModel(ModelId::WMM).table;
+            } else {
+                throw ModelParseError(
+                    "model parse error, line " + std::to_string(lineNo) +
+                    ": unknown base '" + base + "'");
+            }
+        } else if (head == "aliasdeps") {
+            std::string v;
+            ls >> v;
+            m.nonSpecAliasDeps = boolToken(v, lineNo);
+        } else if (head == "bypass") {
+            std::string v;
+            ls >> v;
+            m.tsoBypass = boolToken(v, lineNo);
+        } else if (head == "order") {
+            std::string a, b, r;
+            if (!(ls >> a >> b >> r))
+                throw ModelParseError(
+                    "model parse error, line " + std::to_string(lineNo) +
+                    ": order takes <first> <second> <req>");
+            const OrderReq req = reqToken(r, lineNo);
+            for (InstrClass ca : classToken(a, lineNo))
+                for (InstrClass cb : classToken(b, lineNo))
+                    m.table.set(ca, cb, req);
+        } else {
+            throw ModelParseError("model parse error, line " +
+                                  std::to_string(lineNo) +
+                                  ": unknown directive '" + head + "'");
+        }
+    }
+    return m;
+}
+
+MemoryModel
+parseModelFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw ModelParseError("cannot open model file: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseModel(buf.str());
+}
+
+std::string
+modelToText(const MemoryModel &model)
+{
+    std::ostringstream out;
+    out << "name " << model.name << '\n';
+    out << "base none\n";
+    out << "aliasdeps " << (model.nonSpecAliasDeps ? "on" : "off")
+        << '\n';
+    out << "bypass " << (model.tsoBypass ? "on" : "off") << '\n';
+    for (int i = 0; i < numInstrClasses; ++i) {
+        for (int j = 0; j < numInstrClasses; ++j) {
+            const auto a = static_cast<InstrClass>(i);
+            const auto b = static_cast<InstrClass>(j);
+            const OrderReq r = model.table.get(a, b);
+            if (r != OrderReq::Free)
+                out << "order " << className(a) << ' ' << className(b)
+                    << ' ' << reqName(r) << '\n';
+        }
+    }
+    return out.str();
+}
+
+} // namespace satom

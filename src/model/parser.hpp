@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Text format for user-defined memory models.
+ *
+ * The paper's thesis is that a (store-atomic) memory model is nothing
+ * but a reordering table: "it is easy to experiment with a broad range
+ * of memory models simply by changing the requirements for instruction
+ * reordering" (Section 8).  This parser makes that a user-facing
+ * feature: define a model in a small text file and run any litmus test
+ * under it (litmus_runner --model-file).
+ *
+ * Format (one directive per line, `#` comments):
+ *
+ * @code
+ *   name MyModel
+ *   base none            # none | sc | tso | pso | wmm: starting table
+ *   aliasdeps on         # Section 5.1 dependencies (default on)
+ *   bypass off           # Section 6 TSO local bypass (default off)
+ *   order St Ld sameaddr # table entries: <first> <second> <req>
+ *   order Ld Fence never
+ *   order Br St free
+ * @endcode
+ *
+ * Classes: Alu, Br, Ld, St, Fence (case-insensitive, also accepts
+ * "branch"/"load"/"store").  Requirements: free | never | sameaddr.
+ * `order * Fence never` style wildcards: `*` stands for every class.
+ */
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "model/models.hpp"
+
+namespace satom
+{
+
+/** Thrown on malformed model definitions. */
+class ModelParseError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Parse a model definition from text. */
+MemoryModel parseModel(const std::string &text);
+
+/** Parse a model definition file. */
+MemoryModel parseModelFile(const std::string &path);
+
+/** Render a model the way the parser reads it (round-trippable). */
+std::string modelToText(const MemoryModel &model);
+
+} // namespace satom

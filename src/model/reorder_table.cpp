@@ -1,0 +1,46 @@
+#include "model/reorder_table.hpp"
+
+#include "util/table.hpp"
+
+namespace satom
+{
+
+std::string
+toString(OrderReq r)
+{
+    switch (r) {
+      case OrderReq::Free: return "";
+      case OrderReq::Never: return "never";
+      case OrderReq::SameAddr: return "x!=y";
+    }
+    return "?";
+}
+
+ReorderTable &
+ReorderTable::fill(OrderReq r)
+{
+    for (auto &row : entries_)
+        for (auto &e : row)
+            e = r;
+    return *this;
+}
+
+std::string
+ReorderTable::render() const
+{
+    static const char *names[numInstrClasses] = {
+        "+,etc", "Branch", "L x", "S x,v", "Fence",
+    };
+    TextTable t;
+    t.header({"1st\\2nd", names[0], names[1], names[2], names[3],
+              names[4]});
+    for (int i = 0; i < numInstrClasses; ++i) {
+        std::vector<std::string> cells{names[i]};
+        for (int j = 0; j < numInstrClasses; ++j)
+            cells.push_back(toString(entries_[i][j]));
+        t.row(std::move(cells));
+    }
+    return t.render();
+}
+
+} // namespace satom

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reordering axiom tables (Figure 1 of the paper).
+ *
+ * A table entry says when two program-ordered instructions of the given
+ * classes must stay ordered.  Data dependencies are handled separately by
+ * dataflow edges, so the `indep` entries of Figure 1 need no table state:
+ * operationally, `indep` and blank both mean "ordered only when a data
+ * dependency exists".  The remaining entry kinds are:
+ *
+ *  - Never    ("never" in the figure): the pair may never be reordered;
+ *             a local `≺` edge is inserted unconditionally.
+ *  - SameAddr ("x != y"): ordered iff the two memory addresses are
+ *             equal; the edge is inserted once both addresses resolve.
+ *  - Free     (blank / indep): no table-mandated edge.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "isa/instruction.hpp"
+#include "isa/types.hpp"
+
+namespace satom
+{
+
+/** Ordering requirement between two program-ordered instructions. */
+enum class OrderReq
+{
+    Free,     ///< reorderable (data dependencies still apply)
+    Never,    ///< never reorderable: always ordered
+    SameAddr, ///< ordered iff the addresses are equal
+};
+
+/** Render an OrderReq the way Figure 1 does. */
+std::string toString(OrderReq r);
+
+/**
+ * A 5x5 table over InstrClass, indexed [first][second] in program order.
+ */
+class ReorderTable
+{
+  public:
+    /** All entries Free. */
+    ReorderTable() = default;
+
+    OrderReq
+    get(InstrClass first, InstrClass second) const
+    {
+        return entries_[idx(first)][idx(second)];
+    }
+
+    ReorderTable &
+    set(InstrClass first, InstrClass second, OrderReq r)
+    {
+        entries_[idx(first)][idx(second)] = r;
+        return *this;
+    }
+
+    /** Set every entry to @p r. */
+    ReorderTable &fill(OrderReq r);
+
+    /**
+     * Requirement for a concrete instruction pair once addresses are
+     * known; SameAddr degrades to Never/Free by address equality.
+     */
+    OrderReq
+    concrete(InstrClass first, InstrClass second, Addr a1, Addr a2) const
+    {
+        const OrderReq r = get(first, second);
+        if (r == OrderReq::SameAddr)
+            return a1 == a2 ? OrderReq::Never : OrderReq::Free;
+        return r;
+    }
+
+    /** Render as an ASCII table in the layout of Figure 1. */
+    std::string render() const;
+
+  private:
+    static int idx(InstrClass c) { return static_cast<int>(c); }
+
+    OrderReq entries_[numInstrClasses][numInstrClasses] = {};
+};
+
+} // namespace satom

@@ -1,0 +1,35 @@
+#include "speculation/report.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace satom
+{
+
+SpeculationReport
+compareSpeculation(const Program &program, EnumerationOptions options)
+{
+    SpeculationReport r;
+    const auto nonSpec =
+        enumerateBehaviors(program, makeModel(ModelId::WMM), options);
+    const auto spec = enumerateBehaviors(
+        program, makeModel(ModelId::WMMSpec), options);
+
+    r.nonSpeculative = nonSpec.outcomes;
+    r.speculative = spec.outcomes;
+    r.rollbacks = spec.stats.rollbacks;
+
+    const std::set<Outcome> specSet(spec.outcomes.begin(),
+                                    spec.outcomes.end());
+    const std::set<Outcome> nonSpecSet(nonSpec.outcomes.begin(),
+                                       nonSpec.outcomes.end());
+    r.nonSpecPreserved = std::includes(
+        specSet.begin(), specSet.end(), nonSpecSet.begin(),
+        nonSpecSet.end());
+    for (const auto &o : spec.outcomes)
+        if (!nonSpecSet.count(o))
+            r.added.push_back(o);
+    return r;
+}
+
+} // namespace satom

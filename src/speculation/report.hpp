@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Address-aliasing speculation study (Section 5 of the paper).
+ *
+ * Speculation is captured by *dropping* the subtle ordering dependencies
+ * that non-speculative alias disambiguation requires (Section 5.1) and
+ * rolling back forked executions whose late-discovered aliasing violates
+ * Store Atomicity.  This module runs a program under the weak model with
+ * and without those dependencies and reports the behavioral difference —
+ * the paper's central observation is that the speculative set is a
+ * strict superset for programs like Figure 8.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "enumerate/engine.hpp"
+
+namespace satom
+{
+
+/** Side-by-side result of the speculation ablation. */
+struct SpeculationReport
+{
+    /** Outcomes under WMM (non-speculative alias disambiguation). */
+    std::vector<Outcome> nonSpeculative;
+
+    /** Outcomes under WMM+spec (aliasing speculation with rollback). */
+    std::vector<Outcome> speculative;
+
+    /** Outcomes possible only with speculation. */
+    std::vector<Outcome> added;
+
+    /** Rollbacks performed by the speculative enumeration. */
+    long rollbacks = 0;
+
+    /**
+     * Safety of speculation as the paper frames it: every
+     * non-speculative behavior remains valid in the speculative model.
+     */
+    bool nonSpecPreserved = false;
+
+    /** True iff speculation introduced new behaviors. */
+    bool speculationAddsBehaviors() const { return !added.empty(); }
+};
+
+/** Run the ablation for @p program. */
+SpeculationReport compareSpeculation(const Program &program,
+                                     EnumerationOptions options = {});
+
+} // namespace satom

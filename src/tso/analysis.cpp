@@ -1,0 +1,39 @@
+#include "tso/analysis.hpp"
+
+#include "core/atomicity.hpp"
+#include "core/serialization.hpp"
+
+namespace satom
+{
+
+TsoExecutionReport
+analyzeTsoExecution(const ExecutionGraph &g)
+{
+    TsoExecutionReport r;
+    for (const auto &n : g.nodes())
+        if (n.isLoad() && n.bypass)
+            ++r.bypassedLoads;
+    r.storeAtomicOrdering = satisfiesStoreAtomicity(g);
+
+    SerializationOptions strict;
+    r.strictlySerializable = isSerializable(g, strict);
+
+    SerializationOptions tso;
+    tso.exemptBypassedLoads = true;
+    r.tsoSerializable = isSerializable(g, tso);
+    return r;
+}
+
+MemoryModel
+tsoLowerBracket()
+{
+    return makeModel(ModelId::TSOApprox);
+}
+
+MemoryModel
+tsoUpperBracket()
+{
+    return makeModel(ModelId::WMM);
+}
+
+} // namespace satom

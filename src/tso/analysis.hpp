@@ -1,0 +1,68 @@
+/**
+ * @file
+ * TSO-specific analyses (Section 6 of the paper).
+ *
+ * TSO is the paper's worked example of a *non-atomic* model: a Load may
+ * be satisfied from the local Store pipeline, so some TSO executions
+ * admit no serialization in the strict sense.  These helpers diagnose a
+ * finished execution graph — did it actually use the bypass, does it
+ * still satisfy Store Atomicity over `@`, and is it serializable with
+ * and without the TSO bypass exemption — and expose the store-atomic
+ * models that bracket TSO from below and above.
+ */
+
+#pragma once
+
+#include "core/graph.hpp"
+#include "model/models.hpp"
+
+namespace satom
+{
+
+/** Diagnosis of one (typically TSO) execution graph. */
+struct TsoExecutionReport
+{
+    /** Number of Loads satisfied by the local bypass (Grey edges). */
+    int bypassedLoads = 0;
+
+    /** Rules a/b/c hold over `@` and the source map. */
+    bool storeAtomicOrdering = false;
+
+    /** A strict serialization exists (atomic-memory behavior). */
+    bool strictlySerializable = false;
+
+    /**
+     * A serialization exists when bypassed Loads are exempted from the
+     * most-recent-Store rule (they read the Store pipeline).  True for
+     * every legal TSO execution.
+     */
+    bool tsoSerializable = false;
+
+    /**
+     * The paper's headline diagnosis: a legal TSO execution that is
+     * not strictly serializable "violates memory atomicity".
+     */
+    bool
+    violatesMemoryAtomicity() const
+    {
+        return tsoSerializable && !strictlySerializable;
+    }
+};
+
+/** Analyze a fully resolved execution graph. */
+TsoExecutionReport analyzeTsoExecution(const ExecutionGraph &g);
+
+/**
+ * The store-atomic model bracketing TSO from below: every behavior it
+ * admits is a TSO behavior (Store->Load relaxation without bypass).
+ */
+MemoryModel tsoLowerBracket();
+
+/**
+ * The store-atomic model bracketing TSO from above: the paper's weak
+ * model admits every TSO behavior plus additional non-TSO ones
+ * (Section 6: "Our relaxed model captures all TSO executions").
+ */
+MemoryModel tsoUpperBracket();
+
+} // namespace satom

@@ -1,0 +1,205 @@
+#include "txn/atomic.hpp"
+
+#include <map>
+
+namespace satom
+{
+
+std::vector<TxnGroup>
+findTransactions(const ExecutionGraph &g)
+{
+    std::map<int, TxnGroup> groups;
+    for (const auto &n : g.nodes()) {
+        if (n.txn < 0)
+            continue;
+        TxnGroup &t = groups[n.txn];
+        t.id = n.txn;
+        t.members.push_back(n.id);
+        if (n.instr.op == Opcode::TxBegin)
+            t.begin = n.id;
+        if (n.instr.op == Opcode::TxEnd)
+            t.end = n.id;
+    }
+    std::vector<TxnGroup> out;
+    out.reserve(groups.size());
+    for (auto &[id, t] : groups) {
+        (void)id;
+        out.push_back(std::move(t));
+    }
+    return out;
+}
+
+TxnResult
+enforceTxnIntervals(ExecutionGraph &g, int *edgesAdded)
+{
+    const auto groups = findTransactions(g);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto &t : groups) {
+            if (t.begin == invalidNode)
+                continue;
+
+            // Everything before any member, minus the members
+            // themselves, must be before the begin marker.
+            Bitset before(static_cast<std::size_t>(g.size()));
+            for (NodeId m : t.members)
+                before |= g.preds(m);
+            for (NodeId m : t.members)
+                before.reset(static_cast<std::size_t>(m));
+            bool violated = false;
+            before.forEach([&](std::size_t x) {
+                const NodeId xn = static_cast<NodeId>(x);
+                if (violated || g.ordered(xn, t.begin))
+                    return;
+                if (!g.addEdge(xn, t.begin, EdgeKind::Atomicity))
+                    violated = true;
+                else
+                    changed = true;
+                if (!violated && edgesAdded)
+                    ++*edgesAdded;
+            });
+            if (violated)
+                return TxnResult::Violation;
+
+            // Everything after any member must be after the end
+            // marker (only meaningful once the transaction closed).
+            if (t.end == invalidNode)
+                continue;
+            Bitset after(static_cast<std::size_t>(g.size()));
+            for (NodeId m : t.members)
+                after |= g.succs(m);
+            for (NodeId m : t.members)
+                after.reset(static_cast<std::size_t>(m));
+            after.forEach([&](std::size_t x) {
+                const NodeId xn = static_cast<NodeId>(x);
+                if (violated || g.ordered(t.end, xn))
+                    return;
+                if (!g.addEdge(t.end, xn, EdgeKind::Atomicity))
+                    violated = true;
+                else
+                    changed = true;
+                if (!violated && edgesAdded)
+                    ++*edgesAdded;
+            });
+            if (violated)
+                return TxnResult::Violation;
+        }
+    }
+    return TxnResult::Ok;
+}
+
+namespace
+{
+
+/** DFS search for a serialization with contiguous transactions. */
+class AtomicSearch
+{
+  public:
+    AtomicSearch(const ExecutionGraph &g, long cap)
+        : g_(g), cap_(cap),
+          emitted_(static_cast<std::size_t>(g.size()))
+    {
+        for (const auto &n : g_.nodes())
+            if (n.txn >= 0 && n.instr.op == Opcode::TxEnd)
+                endOf_[n.txn] = n.id;
+    }
+
+    bool
+    run()
+    {
+        return dfs();
+    }
+
+  private:
+    bool
+    emittable(const Node &n) const
+    {
+        // Respect `@`.
+        bool ok = true;
+        g_.preds(n.id).forEach([&](std::size_t p) {
+            if (!emitted_.test(p))
+                ok = false;
+        });
+        if (!ok)
+            return false;
+        // Contiguity: while a transaction is open, only its members.
+        if (openTxn_ >= 0 && n.txn != openTxn_)
+            return false;
+        // Loads read the most recent Store.
+        if (n.isLoad()) {
+            if (n.source == invalidNode)
+                return false;
+            auto it = lastStore_.find(n.addr);
+            if (it == lastStore_.end() || it->second != n.source)
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    dfs()
+    {
+        if (++steps_ > cap_)
+            return false;
+        if (count_ == g_.size())
+            return true;
+        for (const Node &n : g_.nodes()) {
+            if (emitted_.test(static_cast<std::size_t>(n.id)) ||
+                !emittable(n))
+                continue;
+
+            const int savedOpen = openTxn_;
+            if (n.instr.op == Opcode::TxBegin)
+                openTxn_ = n.txn;
+            if (n.instr.op == Opcode::TxEnd)
+                openTxn_ = -1;
+            NodeId savedLast = invalidNode;
+            bool hadLast = false;
+            if (n.isStore()) {
+                auto it = lastStore_.find(n.addr);
+                if (it != lastStore_.end()) {
+                    hadLast = true;
+                    savedLast = it->second;
+                }
+                lastStore_[n.addr] = n.id;
+            }
+            emitted_.set(static_cast<std::size_t>(n.id));
+            ++count_;
+
+            if (dfs())
+                return true;
+
+            --count_;
+            emitted_.reset(static_cast<std::size_t>(n.id));
+            if (n.isStore()) {
+                if (hadLast)
+                    lastStore_[n.addr] = savedLast;
+                else
+                    lastStore_.erase(n.addr);
+            }
+            openTxn_ = savedOpen;
+        }
+        return false;
+    }
+
+    const ExecutionGraph &g_;
+    const long cap_;
+    Bitset emitted_;
+    int count_ = 0;
+    int openTxn_ = -1;
+    long steps_ = 0;
+    std::map<Addr, NodeId> lastStore_;
+    std::map<int, NodeId> endOf_;
+};
+
+} // namespace
+
+bool
+atomicSerializationExists(const ExecutionGraph &g, long cap)
+{
+    AtomicSearch search(g, cap);
+    return search.run();
+}
+
+} // namespace satom

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Transactional memory in the Store Atomicity framework — the paper's
+ * Section 8 proposal: "One may view a transaction as an atomic group
+ * of Load and Store operations ... It is worth exploring if the
+ * big-step, all-or-nothing semantics ... can be explained in terms of
+ * small-step semantics using the framework provided in this paper."
+ *
+ * The small-step account: a transaction is an *interval* of the `@`
+ * order.  In every serialization its operations must be contiguous,
+ * which is captured exactly (not conservatively) by two closure rules
+ * over the graph:
+ *
+ *  - if X is `@`-before any member of transaction T, then X is
+ *    `@`-before T's begin marker;
+ *  - if any member of T is `@`-before X, then T's end marker is
+ *    `@`-before X.
+ *
+ * Both edges are *implied* by contiguity, so adding them never drops a
+ * legal behavior.  Two transactions that acquire cross edges in both
+ * directions cannot be intervals simultaneously — the insertion closes
+ * a cycle and the execution is discarded, which is precisely a
+ * transaction conflict abort.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace satom
+{
+
+/** One transaction instance discovered in a graph. */
+struct TxnGroup
+{
+    int id = -1;
+    NodeId begin = invalidNode; ///< the TxBegin marker
+    NodeId end = invalidNode;   ///< the TxEnd marker; invalid if open
+    std::vector<NodeId> members; ///< every node with this txn id
+};
+
+/** Outcome of the interval-enforcement pass. */
+enum class TxnResult
+{
+    Ok,        ///< fixpoint reached
+    Violation, ///< contiguity impossible (conflict abort)
+};
+
+/** All transaction instances present in @p g, by id. */
+std::vector<TxnGroup> findTransactions(const ExecutionGraph &g);
+
+/**
+ * Enforce the interval rules on @p g to a fixpoint.
+ *
+ * @param g          graph to close (mutated)
+ * @param edgesAdded optional count of interval edges inserted
+ */
+TxnResult enforceTxnIntervals(ExecutionGraph &g,
+                              int *edgesAdded = nullptr);
+
+/**
+ * True iff a serialization exists in which every transaction's
+ * operations are contiguous (no foreign operation between a TxBegin
+ * and its TxEnd).  Exponential; used by tests on small graphs to
+ * validate that the interval rules are exact.
+ */
+bool atomicSerializationExists(const ExecutionGraph &g, long cap = 250000);
+
+} // namespace satom

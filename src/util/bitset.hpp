@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Dynamic bitset tuned for small dense node-id universes.
+ *
+ * The execution graphs manipulated by the framework rarely exceed a few
+ * hundred nodes, so the transitive-closure machinery in src/core keeps one
+ * predecessor and one successor Bitset per node.  The type is deliberately
+ * simple: contiguous 64-bit words, value semantics, cheap copies.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace satom
+{
+
+/**
+ * A resizable set of small non-negative integers backed by 64-bit words.
+ *
+ * All binary operations require both operands to have the same capacity;
+ * this is asserted in debug builds and is an invariant of the graph code
+ * (every bitset in a graph is resized in lockstep with the node table).
+ */
+class Bitset
+{
+  public:
+    Bitset() = default;
+
+    /** Construct with room for @p nbits bits, all cleared. */
+    explicit Bitset(std::size_t nbits)
+        : nbits_(nbits), words_((nbits + 63) / 64, 0)
+    {
+    }
+
+    /** Number of bits this set can hold. */
+    std::size_t size() const { return nbits_; }
+
+    /** Grow (never shrink) capacity to @p nbits, preserving contents. */
+    void
+    resize(std::size_t nbits)
+    {
+        if (nbits > nbits_) {
+            nbits_ = nbits;
+            words_.resize((nbits + 63) / 64, 0);
+        }
+    }
+
+    /** Set bit @p i. */
+    void set(std::size_t i) { words_[i >> 6] |= word_bit(i); }
+
+    /** Clear bit @p i. */
+    void reset(std::size_t i) { words_[i >> 6] &= ~word_bit(i); }
+
+    /** Test bit @p i. */
+    bool
+    test(std::size_t i) const
+    {
+        return (words_[i >> 6] & word_bit(i)) != 0;
+    }
+
+    /** Clear every bit, keeping capacity. */
+    void
+    clear()
+    {
+        for (auto &w : words_)
+            w = 0;
+    }
+
+    /** True iff at least one bit is set. */
+    bool
+    any() const
+    {
+        for (auto w : words_)
+            if (w)
+                return true;
+        return false;
+    }
+
+    /** True iff no bit is set. */
+    bool none() const { return !any(); }
+
+    /** Population count. */
+    std::size_t
+    count() const
+    {
+        std::size_t n = 0;
+        for (auto w : words_)
+            n += static_cast<std::size_t>(__builtin_popcountll(w));
+        return n;
+    }
+
+    /** In-place union. */
+    Bitset &
+    operator|=(const Bitset &other)
+    {
+        grow_to(other);
+        for (std::size_t i = 0; i < other.words_.size(); ++i)
+            words_[i] |= other.words_[i];
+        return *this;
+    }
+
+    /** In-place intersection. */
+    Bitset &
+    operator&=(const Bitset &other)
+    {
+        for (std::size_t i = 0; i < words_.size(); ++i)
+            words_[i] &= i < other.words_.size() ? other.words_[i] : 0;
+        return *this;
+    }
+
+    /** In-place difference (this \\ other). */
+    Bitset &
+    operator-=(const Bitset &other)
+    {
+        const std::size_t n = std::min(words_.size(), other.words_.size());
+        for (std::size_t i = 0; i < n; ++i)
+            words_[i] &= ~other.words_[i];
+        return *this;
+    }
+
+    friend Bitset
+    operator|(Bitset a, const Bitset &b)
+    {
+        a |= b;
+        return a;
+    }
+
+    friend Bitset
+    operator&(Bitset a, const Bitset &b)
+    {
+        a &= b;
+        return a;
+    }
+
+    bool
+    operator==(const Bitset &other) const
+    {
+        const std::size_t n =
+            std::max(words_.size(), other.words_.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t a = i < words_.size() ? words_[i] : 0;
+            const std::uint64_t b =
+                i < other.words_.size() ? other.words_[i] : 0;
+            if (a != b)
+                return false;
+        }
+        return true;
+    }
+
+    /** True iff every bit of this set is also set in @p other. */
+    bool
+    isSubsetOf(const Bitset &other) const
+    {
+        for (std::size_t i = 0; i < words_.size(); ++i) {
+            const std::uint64_t b =
+                i < other.words_.size() ? other.words_[i] : 0;
+            if (words_[i] & ~b)
+                return false;
+        }
+        return true;
+    }
+
+    /** Invoke @p fn with the index of every set bit, ascending. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+            std::uint64_t w = words_[wi];
+            while (w) {
+                const int b = __builtin_ctzll(w);
+                fn(wi * 64 + static_cast<std::size_t>(b));
+                w &= w - 1;
+            }
+        }
+    }
+
+    /** Raw words, used by hashing and canonical encodings. */
+    const std::vector<std::uint64_t> &words() const { return words_; }
+
+  private:
+    static std::uint64_t
+    word_bit(std::size_t i)
+    {
+        return std::uint64_t{1} << (i & 63);
+    }
+
+    void
+    grow_to(const Bitset &other)
+    {
+        if (other.nbits_ > nbits_)
+            resize(other.nbits_);
+    }
+
+    std::size_t nbits_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace satom

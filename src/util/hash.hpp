@@ -1,0 +1,68 @@
+/**
+ * @file
+ * FNV-1a hashing helpers used for behavior deduplication.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace satom
+{
+
+/** Incremental 64-bit FNV-1a hasher. */
+class Fnv1a
+{
+  public:
+    /** Mix a single byte. */
+    void
+    byte(std::uint8_t b)
+    {
+        state_ ^= b;
+        state_ *= prime;
+    }
+
+    /** Mix an integral value, little-endian byte order. */
+    template <typename T>
+    void
+    value(T v)
+    {
+        auto u = static_cast<std::uint64_t>(v);
+        for (int i = 0; i < 8; ++i) {
+            byte(static_cast<std::uint8_t>(u & 0xff));
+            u >>= 8;
+        }
+    }
+
+    /** Mix a string. */
+    void
+    str(std::string_view s)
+    {
+        for (char c : s)
+            byte(static_cast<std::uint8_t>(c));
+        byte(0xff); // terminator so "ab","c" != "a","bc"
+    }
+
+    /** Current digest. */
+    std::uint64_t digest() const { return state_; }
+
+  private:
+    static constexpr std::uint64_t offset = 0xcbf29ce484222325ull;
+    static constexpr std::uint64_t prime = 0x100000001b3ull;
+
+    std::uint64_t state_ = offset;
+};
+
+/** One-shot hash of a string. */
+inline std::uint64_t
+hashString(std::string_view s)
+{
+    Fnv1a h;
+    h.str(s);
+    return h.digest();
+}
+
+} // namespace satom

@@ -1,0 +1,60 @@
+#include "table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace satom
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> width;
+    auto widen = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > width.size())
+            width.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < width.size(); ++i) {
+            const std::string &c = i < cells.size() ? cells[i] : "";
+            out << c << std::string(width[i] - c.size(), ' ');
+            if (i + 1 < width.size())
+                out << " | ";
+        }
+        out << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        for (std::size_t i = 0; i < width.size(); ++i) {
+            out << std::string(width[i], '-');
+            if (i + 1 < width.size())
+                out << "-+-";
+        }
+        out << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return out.str();
+}
+
+} // namespace satom

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal fixed-width ASCII table printer used by benches and examples to
+ * emit paper-style result rows.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace satom
+{
+
+/**
+ * Accumulates rows of strings and renders them with aligned columns.
+ *
+ * Example output:
+ * @code
+ *   test   | model | verdict
+ *   -------+-------+--------
+ *   SB     | SC    | forbidden
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Number of data rows added so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace satom

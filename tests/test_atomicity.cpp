@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Unit tests for the Store Atomicity closure (Figure 6 rules a/b/c),
+ * the candidate-Store computation, and violation detection — including
+ * hand-built encodings of the paper's Figures 3, 4, 5 and 7.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/atomicity.hpp"
+#include "core/graph.hpp"
+
+namespace satom
+{
+namespace
+{
+
+NodeId
+addStore(ExecutionGraph &g, ThreadId tid, Addr a, Val v)
+{
+    Node n;
+    n.tid = tid;
+    n.kind = NodeKind::Store;
+    n.addrKnown = true;
+    n.addr = a;
+    n.valueKnown = true;
+    n.value = v;
+    n.executed = true;
+    return g.addNode(n);
+}
+
+NodeId
+addLoad(ExecutionGraph &g, ThreadId tid, Addr a)
+{
+    Node n;
+    n.tid = tid;
+    n.kind = NodeKind::Load;
+    n.addrKnown = true;
+    n.addr = a;
+    return g.addNode(n);
+}
+
+void
+observe(ExecutionGraph &g, NodeId load, NodeId store)
+{
+    Node &ln = g.node(load);
+    ln.source = store;
+    ln.value = g.node(store).value;
+    ln.valueKnown = true;
+    ln.executed = true;
+    ASSERT_TRUE(g.addEdge(store, load, EdgeKind::Source));
+}
+
+constexpr Addr X = 1, Y = 2, Z = 3;
+
+TEST(StoreAtomicity, RuleAPredecessorStoreOrderedBeforeSource)
+{
+    // Thread A: S(x,1) < L(x); L observes thread B's S(x,2).
+    // Rule a must order S(x,1) @ S(x,2).
+    ExecutionGraph g;
+    const NodeId s1 = addStore(g, 0, X, 1);
+    const NodeId l = addLoad(g, 0, X);
+    const NodeId s2 = addStore(g, 1, X, 2);
+    ASSERT_TRUE(g.addEdge(s1, l, EdgeKind::Local));
+    observe(g, l, s2);
+
+    EXPECT_FALSE(g.ordered(s1, s2));
+    ASSERT_EQ(closeStoreAtomicity(g), ClosureResult::Ok);
+    EXPECT_TRUE(g.ordered(s1, s2));
+    EXPECT_TRUE(satisfiesStoreAtomicity(g));
+}
+
+TEST(StoreAtomicity, RuleBObserverOrderedBeforeSuccessorStore)
+{
+    // L observes S(x,1); S(x,2) is ordered after S(x,1).
+    // Rule b must order L @ S(x,2).
+    ExecutionGraph g;
+    const NodeId s1 = addStore(g, 0, X, 1);
+    const NodeId s2 = addStore(g, 0, X, 2);
+    const NodeId l = addLoad(g, 1, X);
+    ASSERT_TRUE(g.addEdge(s1, s2, EdgeKind::Local));
+    observe(g, l, s1);
+
+    EXPECT_FALSE(g.ordered(l, s2));
+    ASSERT_EQ(closeStoreAtomicity(g), ClosureResult::Ok);
+    EXPECT_TRUE(g.ordered(l, s2));
+}
+
+TEST(StoreAtomicity, RuleCMutualAncestorsBeforeMutualSuccessors)
+{
+    // Two unordered same-address Store/Load pairs; a common ancestor
+    // of both Loads must precede a common successor of both Stores.
+    ExecutionGraph g;
+    const NodeId anc = addStore(g, 0, X, 1);
+    const NodeId l1 = addLoad(g, 0, Y);
+    const NodeId l2 = addLoad(g, 0, Y);
+    const NodeId s1 = addStore(g, 1, Y, 2);
+    const NodeId s2 = addStore(g, 2, Y, 4);
+    const NodeId succ = addLoad(g, 2, Z);
+    const NodeId zstore = addStore(g, 1, Z, 6);
+
+    ASSERT_TRUE(g.addEdge(anc, l1, EdgeKind::Local));
+    ASSERT_TRUE(g.addEdge(anc, l2, EdgeKind::Local));
+    ASSERT_TRUE(g.addEdge(s1, zstore, EdgeKind::Local));
+    ASSERT_TRUE(g.addEdge(s2, succ, EdgeKind::Local));
+    observe(g, l1, s1);
+    observe(g, l2, s2);
+    observe(g, succ, zstore);
+
+    ASSERT_EQ(closeStoreAtomicity(g), ClosureResult::Ok);
+    // anc is before both Loads; succ is after both Stores (s2 locally,
+    // s1 through the z observation); rule c demands anc @ succ.
+    EXPECT_TRUE(g.ordered(anc, succ));
+}
+
+TEST(StoreAtomicity, Figure3)
+{
+    // Thread A: S1 x,1; F; S2 y,2; L5 y.  Thread B: S3 y,3; F; S4 x,4;
+    // L6 x.  L5 observes S3 => S2 @ S3 (rule a) => S1 @ S4 @ L6, so
+    // observing S1 at L6 is a violation.
+    ExecutionGraph g;
+    const NodeId s1 = addStore(g, 0, X, 1);
+    const NodeId s2 = addStore(g, 0, Y, 2);
+    const NodeId l5 = addLoad(g, 0, Y);
+    const NodeId s3 = addStore(g, 1, Y, 3);
+    const NodeId s4 = addStore(g, 1, X, 4);
+    const NodeId l6 = addLoad(g, 1, X);
+    ASSERT_TRUE(g.addEdge(s1, s2, EdgeKind::Local)); // fence
+    ASSERT_TRUE(g.addEdge(s2, l5, EdgeKind::Local)); // same address
+    ASSERT_TRUE(g.addEdge(s3, s4, EdgeKind::Local)); // fence
+    ASSERT_TRUE(g.addEdge(s4, l6, EdgeKind::Local)); // same address
+
+    observe(g, l5, s3);
+    ASSERT_EQ(closeStoreAtomicity(g), ClosureResult::Ok);
+    EXPECT_TRUE(g.ordered(s2, s3)); // the paper's edge a
+    EXPECT_TRUE(g.ordered(s1, s4));
+
+    // S1 is certainly overwritten before L6.
+    const auto cands = candidateStores(g, l6);
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_EQ(cands[0], s4);
+
+    // Forcing the forbidden observation violates Store Atomicity.
+    observe(g, l6, s1);
+    EXPECT_EQ(closeStoreAtomicity(g), ClosureResult::Violation);
+    EXPECT_TRUE(hasOverwrittenObservation(g));
+}
+
+TEST(StoreAtomicity, Figure4)
+{
+    // Thread A: S1 x,1; S2 x,2; F; L4 y.  Thread B: S3 y,3; S5 y,5; F;
+    // L6 x.  L4 observes S3 => L4 @ S5 (rule b) => S2 @ L6, so L6
+    // cannot observe S1.
+    ExecutionGraph g;
+    const NodeId s1 = addStore(g, 0, X, 1);
+    const NodeId s2 = addStore(g, 0, X, 2);
+    const NodeId l4 = addLoad(g, 0, Y);
+    const NodeId s3 = addStore(g, 1, Y, 3);
+    const NodeId s5 = addStore(g, 1, Y, 5);
+    const NodeId l6 = addLoad(g, 1, X);
+    ASSERT_TRUE(g.addEdge(s1, s2, EdgeKind::Local)); // same address
+    ASSERT_TRUE(g.addEdge(s2, l4, EdgeKind::Local)); // fence
+    ASSERT_TRUE(g.addEdge(s3, s5, EdgeKind::Local)); // same address
+    ASSERT_TRUE(g.addEdge(s5, l6, EdgeKind::Local)); // fence
+
+    observe(g, l4, s3);
+    ASSERT_EQ(closeStoreAtomicity(g), ClosureResult::Ok);
+    EXPECT_TRUE(g.ordered(l4, s5)); // the paper's edge b
+    EXPECT_TRUE(g.ordered(s2, l6));
+
+    const auto cands = candidateStores(g, l6);
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_EQ(cands[0], s2);
+}
+
+TEST(StoreAtomicity, Figure5RuleC)
+{
+    // Thread A: S1 x,1; F; L3 y; L5 y.  Thread B: S2 y,2; F; S6 z,6.
+    // Thread C: S4 y,4; F; L7 z; F; S8 x,8; L9 x.
+    ExecutionGraph g;
+    const NodeId s1 = addStore(g, 0, X, 1);
+    const NodeId l3 = addLoad(g, 0, Y);
+    const NodeId l5 = addLoad(g, 0, Y);
+    const NodeId s2 = addStore(g, 1, Y, 2);
+    const NodeId s6 = addStore(g, 1, Z, 6);
+    const NodeId s4 = addStore(g, 2, Y, 4);
+    const NodeId l7 = addLoad(g, 2, Z);
+    const NodeId s8 = addStore(g, 2, X, 8);
+    const NodeId l9 = addLoad(g, 2, X);
+    ASSERT_TRUE(g.addEdge(s1, l3, EdgeKind::Local));
+    ASSERT_TRUE(g.addEdge(s1, l5, EdgeKind::Local));
+    ASSERT_TRUE(g.addEdge(s2, s6, EdgeKind::Local));
+    ASSERT_TRUE(g.addEdge(s4, l7, EdgeKind::Local));
+    ASSERT_TRUE(g.addEdge(l7, s8, EdgeKind::Local));
+    ASSERT_TRUE(g.addEdge(s8, l9, EdgeKind::Local));
+
+    observe(g, l3, s2);
+    observe(g, l5, s4);
+    observe(g, l7, s6);
+    ASSERT_EQ(closeStoreAtomicity(g), ClosureResult::Ok);
+
+    // L3 and L5 stay unordered; so do S2 and S4 ...
+    EXPECT_FALSE(g.comparable(l3, l5));
+    EXPECT_FALSE(g.comparable(s2, s4));
+    // ... yet the mutual ancestor S1 precedes the mutual successor L7
+    // (the paper's edge c), which puts S1 before S8.
+    EXPECT_TRUE(g.ordered(s1, l7));
+    EXPECT_TRUE(g.ordered(s1, s8));
+
+    const auto cands = candidateStores(g, l9);
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_EQ(cands[0], s8);
+}
+
+TEST(StoreAtomicity, Figure7IteratedClosure)
+{
+    // Thread A: S1 x,1; F; S3 y,3; L6 y.  Thread B: S4 y,4; F; L5 x.
+    // Thread C: S2 x,2.  Observing L5=S2 and L6=S4 forces, in two
+    // closure steps, S3 @ S4 (edge c) and then S1 @ S2 (edge d).
+    ExecutionGraph g;
+    const NodeId s1 = addStore(g, 0, X, 1);
+    const NodeId s3 = addStore(g, 0, Y, 3);
+    const NodeId l6 = addLoad(g, 0, Y);
+    const NodeId s4 = addStore(g, 1, Y, 4);
+    const NodeId l5 = addLoad(g, 1, X);
+    const NodeId s2 = addStore(g, 2, X, 2);
+    ASSERT_TRUE(g.addEdge(s1, s3, EdgeKind::Local)); // fence
+    ASSERT_TRUE(g.addEdge(s3, l6, EdgeKind::Local)); // same address
+    ASSERT_TRUE(g.addEdge(s4, l5, EdgeKind::Local)); // fence
+
+    observe(g, l5, s2);
+    ASSERT_EQ(closeStoreAtomicity(g), ClosureResult::Ok);
+    EXPECT_FALSE(g.ordered(s1, s2)); // not yet forced
+
+    observe(g, l6, s4);
+    ClosureStats stats;
+    ASSERT_EQ(closeStoreAtomicity(g, &stats), ClosureResult::Ok);
+    EXPECT_TRUE(g.ordered(s3, s4)); // edge c
+    EXPECT_TRUE(g.ordered(s1, l5));
+    EXPECT_TRUE(g.ordered(s1, s2)); // edge d, found on a later sweep
+    EXPECT_GE(stats.iterations, 2);
+    EXPECT_TRUE(satisfiesStoreAtomicity(g));
+}
+
+TEST(Candidates, InitialStoreAlwaysAvailable)
+{
+    ExecutionGraph g;
+    Node init;
+    init.tid = initThread;
+    init.kind = NodeKind::Init;
+    init.addrKnown = true;
+    init.addr = X;
+    init.valueKnown = true;
+    init.value = 0;
+    init.executed = true;
+    const NodeId i = g.addNode(init);
+    const NodeId l = addLoad(g, 0, X);
+    ASSERT_TRUE(g.addEdge(i, l, EdgeKind::Local));
+    const auto cands = candidateStores(g, l);
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_EQ(cands[0], i);
+}
+
+TEST(Candidates, UnresolvedPredecessorBlocksStore)
+{
+    // S2's predecessor Load is unresolved, so S2 is not a candidate.
+    ExecutionGraph g;
+    const NodeId s1 = addStore(g, 0, X, 1);
+    const NodeId lp = addLoad(g, 1, Y); // unresolved
+    const NodeId s2 = addStore(g, 1, X, 2);
+    const NodeId l = addLoad(g, 2, X);
+    ASSERT_TRUE(g.addEdge(lp, s2, EdgeKind::Local));
+    (void)s1;
+
+    const auto cands = candidateStores(g, l);
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_EQ(cands[0], s1);
+}
+
+TEST(Candidates, OverwrittenStoreExcluded)
+{
+    ExecutionGraph g;
+    const NodeId s1 = addStore(g, 0, X, 1);
+    const NodeId s2 = addStore(g, 0, X, 2);
+    const NodeId l = addLoad(g, 0, X);
+    ASSERT_TRUE(g.addEdge(s1, s2, EdgeKind::Local));
+    ASSERT_TRUE(g.addEdge(s2, l, EdgeKind::Local));
+    const auto cands = candidateStores(g, l);
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_EQ(cands[0], s2);
+}
+
+TEST(Candidates, StoreAfterLoadExcluded)
+{
+    ExecutionGraph g;
+    const NodeId s1 = addStore(g, 0, X, 1);
+    const NodeId l = addLoad(g, 1, X);
+    const NodeId s2 = addStore(g, 1, X, 2);
+    ASSERT_TRUE(g.addEdge(l, s2, EdgeKind::Local));
+    const auto cands = candidateStores(g, l);
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_EQ(cands[0], s1);
+}
+
+TEST(Candidates, UnorderedStoresBothCandidates)
+{
+    ExecutionGraph g;
+    const NodeId s1 = addStore(g, 0, X, 1);
+    const NodeId s2 = addStore(g, 1, X, 2);
+    const NodeId l = addLoad(g, 2, X);
+    (void)s1;
+    (void)s2;
+    EXPECT_EQ(candidateStores(g, l).size(), 2u);
+}
+
+TEST(PredecessorLoads, GateResolution)
+{
+    ExecutionGraph g;
+    const NodeId lp = addLoad(g, 0, X);
+    const NodeId l = addLoad(g, 0, Y);
+    ASSERT_TRUE(g.addEdge(lp, l, EdgeKind::Local));
+    EXPECT_FALSE(predecessorLoadsResolved(g, l));
+    const NodeId s = addStore(g, 1, X, 1);
+    observe(g, lp, s);
+    EXPECT_TRUE(predecessorLoadsResolved(g, l));
+}
+
+TEST(Violations, DetectedDeclaratively)
+{
+    // L observes S1 while S1 @ S2 @ L: certainly overwritten.
+    ExecutionGraph g;
+    const NodeId s1 = addStore(g, 0, X, 1);
+    const NodeId s2 = addStore(g, 0, X, 2);
+    const NodeId l = addLoad(g, 1, X);
+    ASSERT_TRUE(g.addEdge(s1, s2, EdgeKind::Local));
+    ASSERT_TRUE(g.addEdge(s2, l, EdgeKind::Local));
+    observe(g, l, s1);
+    EXPECT_TRUE(hasOverwrittenObservation(g));
+    EXPECT_FALSE(satisfiesStoreAtomicity(g));
+    EXPECT_EQ(closeStoreAtomicity(g), ClosureResult::Violation);
+}
+
+TEST(Violations, CleanGraphPasses)
+{
+    ExecutionGraph g;
+    const NodeId s1 = addStore(g, 0, X, 1);
+    const NodeId l = addLoad(g, 1, X);
+    observe(g, l, s1);
+    EXPECT_FALSE(hasOverwrittenObservation(g));
+    ASSERT_EQ(closeStoreAtomicity(g), ClosureResult::Ok);
+    EXPECT_TRUE(satisfiesStoreAtomicity(g));
+}
+
+TEST(Closure, IdempotentAtFixpoint)
+{
+    ExecutionGraph g;
+    const NodeId s1 = addStore(g, 0, X, 1);
+    const NodeId s2 = addStore(g, 0, X, 2);
+    const NodeId l = addLoad(g, 1, X);
+    ASSERT_TRUE(g.addEdge(s1, s2, EdgeKind::Local));
+    observe(g, l, s2);
+    ASSERT_EQ(closeStoreAtomicity(g), ClosureResult::Ok);
+    ClosureStats again;
+    ASSERT_EQ(closeStoreAtomicity(g, &again), ClosureResult::Ok);
+    EXPECT_EQ(again.edgesAdded, 0);
+}
+
+} // namespace
+} // namespace satom

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the operational baseline machines themselves (SC
+ * interleaver and TSO store-buffer machine).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/operational.hpp"
+#include "isa/builder.hpp"
+
+namespace satom
+{
+namespace
+{
+
+constexpr Addr X = 100, Y = 101;
+
+TEST(OperationalSC, SingleThreadDeterministic)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").movi(1, 4).store(immOp(X), regOp(1)).load(2, X);
+    const auto r = enumerateOperationalSC(pb.build());
+    ASSERT_EQ(r.outcomes.size(), 1u);
+    EXPECT_EQ(r.outcomes[0].reg(0, 2), 4);
+    EXPECT_EQ(r.outcomes[0].mem(X), 4);
+    EXPECT_TRUE(r.complete);
+}
+
+TEST(OperationalSC, ForbidsSbWeakOutcome)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1).load(1, Y);
+    pb.thread("P1").store(Y, 1).load(2, X);
+    const auto r = enumerateOperationalSC(pb.build());
+    for (const auto &o : r.outcomes)
+        EXPECT_FALSE(o.reg(0, 1) == 0 && o.reg(1, 2) == 0);
+    EXPECT_EQ(r.outcomes.size(), 3u);
+}
+
+TEST(OperationalSC, EnumeratesAllInterleavingOutcomes)
+{
+    // Two stores to the same location: both final values possible.
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1);
+    pb.thread("P1").store(X, 2);
+    const auto r = enumerateOperationalSC(pb.build());
+    ASSERT_EQ(r.outcomes.size(), 2u);
+    EXPECT_EQ(r.outcomes[0].mem(X) + r.outcomes[1].mem(X), 3);
+}
+
+TEST(OperationalSC, BranchesAndLoops)
+{
+    ProgramBuilder pb;
+    pb.thread("P0")
+        .movi(1, 2)
+        .label("top")
+        .sub(1, regOp(1), immOp(1))
+        .bne(regOp(1), immOp(0), "top")
+        .store(immOp(X), regOp(1));
+    const auto r = enumerateOperationalSC(pb.build());
+    ASSERT_EQ(r.outcomes.size(), 1u);
+    EXPECT_EQ(r.outcomes[0].mem(X), 0);
+}
+
+TEST(OperationalSC, BudgetTruncationMarksIncomplete)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").label("top").beq(immOp(0), immOp(0), "top");
+    pb.location(X);
+    OperationalOptions opts;
+    opts.maxDynamicPerThread = 5;
+    const auto r = enumerateOperationalSC(pb.build(), opts);
+    EXPECT_TRUE(r.outcomes.empty());
+    EXPECT_FALSE(r.complete);
+}
+
+TEST(OperationalTSO, AllowsSbWeakOutcome)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1).load(1, Y);
+    pb.thread("P1").store(Y, 1).load(2, X);
+    const auto r = enumerateOperationalTSO(pb.build());
+    bool weak = false;
+    for (const auto &o : r.outcomes)
+        if (o.reg(0, 1) == 0 && o.reg(1, 2) == 0)
+            weak = true;
+    EXPECT_TRUE(weak);
+}
+
+TEST(OperationalTSO, FenceDrainsBuffer)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1).fence().load(1, Y);
+    pb.thread("P1").store(Y, 1).fence().load(2, X);
+    const auto r = enumerateOperationalTSO(pb.build());
+    for (const auto &o : r.outcomes)
+        EXPECT_FALSE(o.reg(0, 1) == 0 && o.reg(1, 2) == 0);
+}
+
+TEST(OperationalTSO, LoadForwardsFromOwnBuffer)
+{
+    // A Load must see the thread's own buffered Store even before it
+    // reaches memory.
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 5).load(1, X);
+    const auto r = enumerateOperationalTSO(pb.build());
+    for (const auto &o : r.outcomes)
+        EXPECT_EQ(o.reg(0, 1), 5);
+}
+
+TEST(OperationalTSO, YoungestBufferEntryWins)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1).store(X, 2).load(1, X);
+    const auto r = enumerateOperationalTSO(pb.build());
+    for (const auto &o : r.outcomes)
+        EXPECT_EQ(o.reg(0, 1), 2);
+}
+
+TEST(OperationalTSO, BuffersDrainInFifoOrder)
+{
+    // P0 buffers x=1 then y=1; P1 must never see y=1 with x=0.
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1).store(Y, 1);
+    pb.thread("P1").load(1, Y).load(2, X);
+    const auto r = enumerateOperationalTSO(pb.build());
+    for (const auto &o : r.outcomes)
+        EXPECT_FALSE(o.reg(1, 1) == 1 && o.reg(1, 2) == 0);
+}
+
+TEST(OperationalTSO, TerminalStatesHaveEmptyBuffers)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 3);
+    const auto r = enumerateOperationalTSO(pb.build());
+    ASSERT_EQ(r.outcomes.size(), 1u);
+    EXPECT_EQ(r.outcomes[0].mem(X), 3); // flushed before finishing
+}
+
+TEST(OperationalTSO, StrictlyMoreOutcomesThanSC)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1).load(1, Y);
+    pb.thread("P1").store(Y, 1).load(2, X);
+    const Program p = pb.build();
+    const auto sc = enumerateOperationalSC(p);
+    const auto tso = enumerateOperationalTSO(p);
+    EXPECT_GT(tso.outcomes.size(), sc.outcomes.size());
+    // And SC outcomes are contained in TSO outcomes.
+    for (const auto &o : sc.outcomes) {
+        bool found = false;
+        for (const auto &q : tso.outcomes)
+            if (q.key() == o.key())
+                found = true;
+        EXPECT_TRUE(found);
+    }
+}
+
+} // namespace
+} // namespace satom

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the Bitset utility.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bitset.hpp"
+#include "util/hash.hpp"
+#include "util/table.hpp"
+
+namespace satom
+{
+namespace
+{
+
+TEST(Bitset, StartsEmpty)
+{
+    Bitset b(100);
+    EXPECT_EQ(b.size(), 100u);
+    EXPECT_TRUE(b.none());
+    EXPECT_FALSE(b.any());
+    EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(Bitset, SetTestReset)
+{
+    Bitset b(130);
+    b.set(0);
+    b.set(64);
+    b.set(129);
+    EXPECT_TRUE(b.test(0));
+    EXPECT_TRUE(b.test(64));
+    EXPECT_TRUE(b.test(129));
+    EXPECT_FALSE(b.test(1));
+    EXPECT_EQ(b.count(), 3u);
+    b.reset(64);
+    EXPECT_FALSE(b.test(64));
+    EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Bitset, ResizePreservesContents)
+{
+    Bitset b(10);
+    b.set(7);
+    b.resize(200);
+    EXPECT_TRUE(b.test(7));
+    EXPECT_FALSE(b.test(150));
+    b.set(150);
+    EXPECT_TRUE(b.test(150));
+}
+
+TEST(Bitset, UnionIntersectionDifference)
+{
+    Bitset a(70), b(70);
+    a.set(1);
+    a.set(65);
+    b.set(2);
+    b.set(65);
+
+    Bitset u = a | b;
+    EXPECT_TRUE(u.test(1));
+    EXPECT_TRUE(u.test(2));
+    EXPECT_TRUE(u.test(65));
+    EXPECT_EQ(u.count(), 3u);
+
+    Bitset i = a & b;
+    EXPECT_FALSE(i.test(1));
+    EXPECT_TRUE(i.test(65));
+    EXPECT_EQ(i.count(), 1u);
+
+    Bitset d = a;
+    d -= b;
+    EXPECT_TRUE(d.test(1));
+    EXPECT_FALSE(d.test(65));
+}
+
+TEST(Bitset, SubsetAndEquality)
+{
+    Bitset a(40), b(40);
+    a.set(3);
+    b.set(3);
+    b.set(20);
+    EXPECT_TRUE(a.isSubsetOf(b));
+    EXPECT_FALSE(b.isSubsetOf(a));
+    EXPECT_FALSE(a == b);
+    a.set(20);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(Bitset, EqualityAcrossCapacities)
+{
+    Bitset a(10), b(100);
+    a.set(5);
+    b.set(5);
+    EXPECT_TRUE(a == b);
+    b.set(90);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(Bitset, ForEachVisitsAscending)
+{
+    Bitset b(200);
+    const std::size_t expected[] = {0, 63, 64, 127, 128, 199};
+    for (std::size_t i : expected)
+        b.set(i);
+    std::vector<std::size_t> seen;
+    b.forEach([&](std::size_t i) { seen.push_back(i); });
+    ASSERT_EQ(seen.size(), 6u);
+    for (std::size_t i = 0; i < 6; ++i)
+        EXPECT_EQ(seen[i], expected[i]);
+}
+
+TEST(Bitset, ClearKeepsCapacity)
+{
+    Bitset b(50);
+    b.set(10);
+    b.clear();
+    EXPECT_TRUE(b.none());
+    EXPECT_EQ(b.size(), 50u);
+}
+
+TEST(Fnv1a, DistinguishesConcatenations)
+{
+    Fnv1a h1;
+    h1.str("ab");
+    h1.str("c");
+    Fnv1a h2;
+    h2.str("a");
+    h2.str("bc");
+    EXPECT_NE(h1.digest(), h2.digest());
+}
+
+TEST(Fnv1a, Deterministic)
+{
+    EXPECT_EQ(hashString("store atomicity"),
+              hashString("store atomicity"));
+    EXPECT_NE(hashString("a"), hashString("b"));
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t;
+    t.header({"test", "model", "verdict"});
+    t.row({"SB", "SC", "forbidden"});
+    t.row({"SB", "TSO", "allowed"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("test"), std::string::npos);
+    EXPECT_NE(s.find("forbidden"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+    // Header separator present.
+    EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+} // namespace
+} // namespace satom

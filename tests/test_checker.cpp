@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Tests for the post-hoc execution checker and the TSOtool (rule
+ * a+b only) comparison.  Reproduction finding: on COMPLETE traces
+ * iterated a+b closure already catches Figure 5; rule c's operational
+ * value is online pruning — doomed candidates are excluded before the
+ * fork instead of being rolled back after it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+
+#include <set>
+
+#include "checker/checker.hpp"
+#include "litmus/library.hpp"
+
+namespace satom
+{
+namespace
+{
+
+constexpr Addr X = 100, Y = 101;
+
+TEST(Checker, AcceptsValidObservation)
+{
+    // P0 stores x=1; P1 loads it.
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1);
+    pb.thread("P1").load(1, X);
+    const auto ok = checkExecution(
+        pb.build(), makeModel(ModelId::WMM),
+        {Observation::of(1, 0, 0, 0)});
+    EXPECT_TRUE(ok.consistent);
+    ASSERT_EQ(ok.outcomes.size(), 1u);
+    EXPECT_EQ(ok.outcomes[0].reg(1, 1), 1);
+
+    const auto init = checkExecution(
+        pb.build(), makeModel(ModelId::WMM),
+        {Observation::initial(1, 0)});
+    EXPECT_TRUE(init.consistent);
+    EXPECT_EQ(init.outcomes[0].reg(1, 1), 0);
+}
+
+TEST(Checker, RejectsCoherenceViolation)
+{
+    // P0: St x,1; St x,2.  P1: Ld x; Ld x reading 2 then 1 is
+    // forbidden when a fence orders the Loads.
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1).store(X, 2);
+    pb.thread("P1").load(1, X).fence().load(2, X);
+    const auto bad = checkExecution(
+        pb.build(), makeModel(ModelId::WMM),
+        {Observation::of(1, 0, 0, 1), Observation::of(1, 1, 0, 0)});
+    EXPECT_FALSE(bad.consistent);
+    const auto good = checkExecution(
+        pb.build(), makeModel(ModelId::WMM),
+        {Observation::of(1, 0, 0, 0), Observation::of(1, 1, 0, 1)});
+    EXPECT_TRUE(good.consistent);
+}
+
+TEST(Checker, ModelSensitivity)
+{
+    // The SB weak observation: fine under TSO axioms, inconsistent
+    // under SC axioms.
+    const auto t = litmus::storeBuffering();
+    const std::vector<Observation> weak = {Observation::initial(0, 0),
+                                           Observation::initial(1, 0)};
+    EXPECT_TRUE(checkExecution(t.program, makeModel(ModelId::TSOApprox),
+                               weak)
+                    .consistent);
+    EXPECT_FALSE(
+        checkExecution(t.program, makeModel(ModelId::SC), weak)
+            .consistent);
+}
+
+TEST(Checker, IncompleteTraceRejected)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").load(1, X);
+    const auto r =
+        checkExecution(pb.build(), makeModel(ModelId::WMM), {});
+    EXPECT_FALSE(r.consistent);
+}
+
+TEST(Checker, Figure5CaughtEvenWithoutRuleC)
+{
+    // A reproduction finding worth recording: the COMPLETE Figure 5
+    // trace is rejected by rules a+b alone — L9 reading S1 adds
+    // S8 @ S1 (rule a), which routes S4 @ L3 and exposes L3's read of
+    // S2 as overwritten.  More generally, once rule c's premises
+    // (src(L) @ B @ A @ L') hold on a finished execution, rule a can
+    // reconstruct the same cycle, so post-hoc verdicts coincide.
+    // Rule c's irreplaceable role is the paper's stated one: showing
+    // "execution can CONTINUE without future violations" — see
+    // RuleCPrunesCandidatesOnline below.
+    const auto t = litmus::figure5();
+    const std::vector<Observation> trace = {
+        Observation::of(0, 0, 1, 0), // L3 reads B.St0 (y=2)
+        Observation::of(0, 1, 2, 0), // L5 reads C.St0 (y=4)
+        Observation::of(2, 0, 1, 1), // L7 reads B.St1 (z=6)
+        Observation::of(2, 1, 0, 0), // L9 reads A.St0 (x=1)
+    };
+    CheckOptions abOnly;
+    abOnly.ruleC = false;
+    EXPECT_FALSE(checkExecution(t.program, makeModel(ModelId::WMM),
+                                trace, abOnly)
+                     .consistent);
+    EXPECT_FALSE(checkExecution(t.program, makeModel(ModelId::WMM),
+                                trace)
+                     .consistent);
+}
+
+TEST(Checker, RuleCPrunesCandidatesOnline)
+{
+    // The operational value of rule c (Section 3.3: the @ relation
+    // lets us show "not just that an execution is serializable, but
+    // also that execution can continue without future violations"):
+    // on the Figure 5 prefix, rule c already orders S1 before S8, so
+    // candidates(L9) excludes the doomed S1.  An a+b-only enumeration
+    // still offers S1, discovers the violation only after forking,
+    // and pays for it in rollbacks.
+    const auto t = litmus::figure5();
+
+    EnumerationOptions full;
+    const auto withC =
+        enumerateBehaviors(t.program, makeModel(ModelId::WMM), full);
+    EXPECT_EQ(withC.stats.rollbacks, 0);
+
+    EnumerationOptions ab;
+    ab.applyRuleC = false;
+    const auto withoutC =
+        enumerateBehaviors(t.program, makeModel(ModelId::WMM), ab);
+    EXPECT_GT(withoutC.stats.rollbacks, 0);
+
+    // Final verdicts coincide (late detection, same behavior set).
+    EXPECT_FALSE(t.cond.observable(withC.outcomes));
+    EXPECT_FALSE(t.cond.observable(withoutC.outcomes));
+    std::set<std::string> a, b;
+    for (const auto &o : withC.outcomes)
+        a.insert(o.key());
+    for (const auto &o : withoutC.outcomes)
+        b.insert(o.key());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Checker, RoundTripsEnumeratorExecutions)
+{
+    // Every execution the enumerator produces must check out, and a
+    // corrupted version of it must not silently pass as the same
+    // outcome.
+    for (const auto &t : {litmus::storeBuffering(),
+                          litmus::messagePassing(),
+                          litmus::figure3()}) {
+        EnumerationOptions opts;
+        opts.collectExecutions = true;
+        const auto r = enumerateBehaviors(
+            t.program, makeModel(ModelId::WMM), opts);
+        ASSERT_FALSE(r.executions.empty()) << t.name;
+        for (const auto &g : r.executions) {
+            const auto obs = observationsOf(g);
+            const auto check = checkExecution(
+                t.program, makeModel(ModelId::WMM), obs);
+            EXPECT_TRUE(check.consistent) << t.name;
+        }
+    }
+}
+
+TEST(Checker, RejectsForbiddenFigure3Observation)
+{
+    const auto t = litmus::figure3();
+    // L5 reads B's S3 (y=3) and L6 reads A's S1 (x=1): the paper's
+    // forbidden combination.
+    const std::vector<Observation> trace = {
+        Observation::of(0, 0, 1, 0), // L5 <- B.St0 (y=3)
+        Observation::of(1, 0, 0, 0), // L6 <- A.St0 (x=1)
+    };
+    EXPECT_FALSE(
+        checkExecution(t.program, makeModel(ModelId::WMM), trace)
+            .consistent);
+}
+
+TEST(Checker, HandlesRmwObservations)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").fetchAdd(1, immOp(X), immOp(1));
+    pb.thread("P1").fetchAdd(1, immOp(X), immOp(1));
+    // P0 increments first (reads init), P1 reads P0's Rmw store.
+    const auto good = checkExecution(
+        pb.build(), makeModel(ModelId::WMM),
+        {Observation::initial(0, 0), Observation::of(1, 0, 0, 0)});
+    EXPECT_TRUE(good.consistent);
+    ASSERT_EQ(good.outcomes.size(), 1u);
+    EXPECT_EQ(good.outcomes[0].mem(X), 2);
+    // Both reading the initial value is the lost update: rejected.
+    const auto bad = checkExecution(
+        pb.build(), makeModel(ModelId::WMM),
+        {Observation::initial(0, 0), Observation::initial(1, 0)});
+    EXPECT_FALSE(bad.consistent);
+}
+
+TEST(Checker, BranchyTraceReplays)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1);
+    pb.thread("P1")
+        .load(1, X)
+        .beq(regOp(1), immOp(0), "zero")
+        .store(Y, 7)
+        .label("zero")
+        .fence();
+    // Load reads the store => branch not taken => y stored.
+    const auto taken = checkExecution(
+        pb.build(), makeModel(ModelId::WMM),
+        {Observation::of(1, 0, 0, 0)});
+    EXPECT_TRUE(taken.consistent);
+    EXPECT_EQ(taken.outcomes[0].mem(Y), 7);
+    // Load reads init => branch taken => no store to y.
+    const auto skipped = checkExecution(
+        pb.build(), makeModel(ModelId::WMM),
+        {Observation::initial(1, 0)});
+    EXPECT_TRUE(skipped.consistent);
+    EXPECT_EQ(skipped.outcomes[0].mem(Y), 0);
+}
+
+TEST(Checker, KeepsGraphOnRequest)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1);
+    pb.thread("P1").load(1, X);
+    CheckOptions opts;
+    opts.keepGraph = true;
+    const auto r = checkExecution(pb.build(), makeModel(ModelId::WMM),
+                                  {Observation::of(1, 0, 0, 0)}, opts);
+    ASSERT_TRUE(r.consistent);
+    ASSERT_EQ(r.graphs.size(), 1u);
+    EXPECT_TRUE(r.graphs[0].allResolved());
+}
+
+} // namespace
+} // namespace satom

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the MSI coherence simulator and the Section 4.2 claim:
+ * coherent executions are a conservative approximation of Store
+ * Atomicity — every outcome the protocol can produce lies inside the
+ * SC outcome set (in-order processors + coherence = SC), and hence
+ * inside every weaker store-atomic model's set.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+
+#include <set>
+
+#include "baseline/operational.hpp"
+#include "coherence/msi.hpp"
+#include "enumerate/engine.hpp"
+#include "litmus/library.hpp"
+
+namespace satom
+{
+namespace
+{
+
+constexpr Addr X = 100, Y = 101;
+
+TEST(Coherence, SingleThreadRunsToCompletion)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1).load(1, X).store(Y, 2);
+    const auto run = simulateCoherent(pb.build());
+    ASSERT_TRUE(run.completed);
+    EXPECT_EQ(run.outcome.reg(0, 1), 1);
+    EXPECT_EQ(run.outcome.mem(X), 1);
+    EXPECT_EQ(run.outcome.mem(Y), 2);
+}
+
+TEST(Coherence, ColdMissesCounted)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").load(1, X).load(2, X);
+    const auto run = simulateCoherent(pb.build());
+    EXPECT_EQ(run.stats.misses, 1);
+    EXPECT_EQ(run.stats.hits, 1);
+    EXPECT_EQ(run.stats.busReads, 1);
+}
+
+TEST(Coherence, UpgradeOnSharedWrite)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").load(1, X).store(X, 1);
+    const auto run = simulateCoherent(pb.build());
+    EXPECT_EQ(run.stats.busUpgrades, 1);
+}
+
+TEST(Coherence, OwnershipMovesBetweenCaches)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1);
+    pb.thread("P1").store(X, 2).load(1, X);
+    int invalidations = 0, writebacks = 0;
+    for (std::uint32_t seed = 1; seed <= 20; ++seed) {
+        CoherenceConfig cfg;
+        cfg.seed = seed;
+        const auto run = simulateCoherent(pb.build(), cfg);
+        ASSERT_TRUE(run.completed);
+        invalidations += static_cast<int>(run.stats.invalidations);
+        writebacks += static_cast<int>(run.stats.writebacks);
+        // P1 reads its own Store, or P0's if it intervened.
+        const Val r = run.outcome.reg(1, 1);
+        EXPECT_TRUE(r == 1 || r == 2) << r;
+    }
+    EXPECT_GT(invalidations, 0);
+    EXPECT_GT(writebacks, 0);
+}
+
+TEST(Coherence, WritebackOnForeignReadOfModifiedLine)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 7).store(Y, 1);
+    pb.thread("P1")
+        .label("spin")
+        .load(1, Y)
+        .beq(regOp(1), immOp(0), "spin")
+        .load(2, X);
+    CoherenceConfig cfg;
+    cfg.seed = 3;
+    const auto run = simulateCoherent(pb.build(), cfg);
+    ASSERT_TRUE(run.completed);
+    // Coherence (SC here) guarantees the message-passing read.
+    EXPECT_EQ(run.outcome.reg(1, 2), 7);
+    EXPECT_GT(run.stats.writebacks, 0);
+}
+
+TEST(Coherence, StepBoundMarksIncomplete)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").label("top").beq(immOp(0), immOp(0), "top");
+    pb.location(X);
+    CoherenceConfig cfg;
+    cfg.maxSteps = 10;
+    const auto run = simulateCoherent(pb.build(), cfg);
+    EXPECT_FALSE(run.completed);
+}
+
+class CoherenceContainment : public testing::TestWithParam<LitmusTest>
+{
+};
+
+TEST_P(CoherenceContainment, OutcomesInsideSC)
+{
+    const Program &p = GetParam().program;
+    const auto sc = enumerateOperationalSC(p);
+    std::set<std::string> scKeys;
+    for (const auto &o : sc.outcomes)
+        scKeys.insert(o.key());
+
+    for (std::uint32_t seed = 1; seed <= 25; ++seed) {
+        CoherenceConfig cfg;
+        cfg.seed = seed;
+        const auto run = simulateCoherent(p, cfg);
+        ASSERT_TRUE(run.completed);
+        EXPECT_TRUE(scKeys.count(run.outcome.key()))
+            << GetParam().name << " seed " << seed << ": "
+            << run.outcome.key();
+    }
+}
+
+TEST_P(CoherenceContainment, OutcomesInsideStoreAtomicWMM)
+{
+    const Program &p = GetParam().program;
+    const auto wmm = enumerateBehaviors(p, makeModel(ModelId::WMM));
+    std::set<std::string> wmmKeys;
+    for (const auto &o : wmm.outcomes)
+        wmmKeys.insert(o.key());
+
+    for (std::uint32_t seed = 1; seed <= 10; ++seed) {
+        CoherenceConfig cfg;
+        cfg.seed = seed;
+        const auto run = simulateCoherent(p, cfg);
+        ASSERT_TRUE(run.completed);
+        EXPECT_TRUE(wmmKeys.count(run.outcome.key()))
+            << GetParam().name << " seed " << seed;
+    }
+}
+
+std::string
+litmusName(const testing::TestParamInfo<LitmusTest> &info)
+{
+    std::string n = info.param.name;
+    for (char &c : n)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Library, CoherenceContainment,
+                         testing::ValuesIn(litmus::classicTests()),
+                         litmusName);
+
+} // namespace
+} // namespace satom

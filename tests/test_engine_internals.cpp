@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for enumeration-engine internals: behavior canonical keys,
+ * graph value semantics across forks, replay diagnostics, and the
+ * stats contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+
+#include "core/encode.hpp"
+#include "enumerate/behavior.hpp"
+#include "enumerate/engine.hpp"
+
+namespace satom
+{
+namespace
+{
+
+constexpr Addr X = 100, Y = 101;
+
+TEST(BehaviorKey, DistinguishesRegisterMaps)
+{
+    Behavior a;
+    a.threads.resize(1);
+    Behavior b = a;
+    Node store;
+    store.kind = NodeKind::Store;
+    store.addrKnown = store.valueKnown = store.executed = true;
+    a.graph.addNode(store);
+    b.graph.addNode(store);
+    EXPECT_EQ(a.key(), b.key());
+    b.threads[0].regs[1] = 0;
+    EXPECT_NE(a.key(), b.key());
+}
+
+TEST(BehaviorKey, DistinguishesPcAndBlocked)
+{
+    Behavior a;
+    a.threads.resize(1);
+    Behavior b = a;
+    b.threads[0].pc = 3;
+    EXPECT_NE(a.key(), b.key());
+    Behavior c = a;
+    c.threads[0].blocked = true;
+    EXPECT_NE(a.key(), c.key());
+}
+
+TEST(BehaviorKey, DistinguishesPendingAlias)
+{
+    Behavior a;
+    Behavior b = a;
+    b.pendingAlias.push_back({0, 1});
+    EXPECT_NE(a.key(), b.key());
+}
+
+TEST(GraphValueSemantics, CopiesAreIndependent)
+{
+    ExecutionGraph g;
+    Node s;
+    s.kind = NodeKind::Store;
+    s.addrKnown = s.valueKnown = s.executed = true;
+    s.addr = X;
+    const NodeId a = g.addNode(s);
+    const NodeId b = g.addNode(s);
+
+    ExecutionGraph copy = g;
+    ASSERT_TRUE(copy.addEdge(a, b, EdgeKind::Local));
+    EXPECT_TRUE(copy.ordered(a, b));
+    EXPECT_FALSE(g.ordered(a, b)); // the original is untouched
+    EXPECT_NE(encodeGraph(g, false), encodeGraph(copy, false));
+}
+
+TEST(ReplayDiagnostics, NotesExplainRejections)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1).store(X, 2);
+    pb.thread("P1").load(1, X).fence().load(2, X);
+    EnumerationOptions opts;
+    // Oracle: new-then-old (coherence violation).
+    opts.sourceOracle = [](const ExecutionGraph &g,
+                           NodeId lid) -> NodeId {
+        const Node &ln = g.node(lid);
+        for (const auto &n : g.nodes()) {
+            if (n.tid != 0 || !n.isStore())
+                continue;
+            if (ln.serial == 0 && n.serial == 1)
+                return n.id; // first Load reads x=2
+            if (ln.serial == 2 && n.serial == 0)
+                return n.id; // second Load reads x=1
+        }
+        return invalidNode;
+    };
+    const auto r =
+        enumerateBehaviors(pb.build(), makeModel(ModelId::WMM), opts);
+    EXPECT_FALSE(r.consistent);
+    EXPECT_FALSE(r.replayNote.empty());
+    EXPECT_NE(r.replayNote.find("Ld"), std::string::npos);
+}
+
+TEST(ReplayDiagnostics, IncompleteTraceNote)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").load(1, X);
+    EnumerationOptions opts;
+    opts.sourceOracle = [](const ExecutionGraph &,
+                           NodeId) { return invalidNode; };
+    const auto r =
+        enumerateBehaviors(pb.build(), makeModel(ModelId::WMM), opts);
+    EXPECT_FALSE(r.consistent);
+    EXPECT_NE(r.replayNote.find("incomplete"), std::string::npos);
+}
+
+TEST(Stats, ForkAccountingAddsUp)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1).load(1, Y);
+    pb.thread("P1").store(Y, 1).load(2, X);
+    const auto r =
+        enumerateBehaviors(pb.build(), makeModel(ModelId::WMM));
+    // Every fork was either explored (pushed) or pruned as duplicate;
+    // plus the initial behavior.
+    EXPECT_EQ(r.stats.statesExplored,
+              1 + r.stats.statesForked - r.stats.duplicates);
+    EXPECT_EQ(r.stats.stuck, 0);
+}
+
+TEST(Stats, MaxNodesTracksLargestGraph)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1).store(Y, 2).load(1, X).load(2, Y);
+    const auto r =
+        enumerateBehaviors(pb.build(), makeModel(ModelId::WMM));
+    // 2 init Stores + 4 instructions.
+    EXPECT_EQ(r.stats.maxNodes, 6);
+}
+
+TEST(Encode, FullStateKeyCoversNonMemoryNodes)
+{
+    // Two graphs that differ only in an ALU node's value must encode
+    // differently under memoryOnly=false.
+    auto build = [](Val v) {
+        ExecutionGraph g;
+        Node alu;
+        alu.kind = NodeKind::Alu;
+        alu.valueKnown = alu.executed = true;
+        alu.value = v;
+        g.addNode(alu);
+        return g;
+    };
+    EXPECT_NE(encodeGraph(build(1), false),
+              encodeGraph(build(2), false));
+    EXPECT_EQ(encodeGraph(build(1), true),
+              encodeGraph(build(2), true)); // erased in LS-graph
+}
+
+TEST(Encode, BypassMarkedInEncoding)
+{
+    ExecutionGraph g;
+    Node s;
+    s.kind = NodeKind::Store;
+    s.addrKnown = s.valueKnown = s.executed = true;
+    const NodeId sid = g.addNode(s);
+    Node l;
+    l.kind = NodeKind::Load;
+    l.addrKnown = true;
+    const NodeId lid = g.addNode(l);
+    g.node(lid).source = sid;
+    const std::string plain = encodeGraph(g, true);
+    g.node(lid).bypass = true;
+    EXPECT_NE(encodeGraph(g, true), plain);
+}
+
+TEST(Options, MaxDynamicBoundIsPerThread)
+{
+    // One thread loops forever, the other finishes: the finishing
+    // thread's work must be unaffected by the other's budget.
+    ProgramBuilder pb;
+    pb.thread("P0").label("top").beq(immOp(0), immOp(0), "top");
+    pb.thread("P1").store(X, 5).load(1, X);
+    EnumerationOptions opts;
+    opts.maxDynamicPerThread = 6;
+    const auto r =
+        enumerateBehaviors(pb.build(), makeModel(ModelId::WMM), opts);
+    // No terminal behavior (P0 never finishes), but no crash either.
+    EXPECT_TRUE(r.outcomes.empty());
+    EXPECT_GE(r.stats.stuck, 1);
+}
+
+TEST(Options, ObserverSeesCandidateLists)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1);
+    pb.thread("P1").load(1, X);
+    EnumerationOptions opts;
+    long calls = 0;
+    std::size_t maxChoices = 0;
+    opts.onResolve = [&](const ExecutionGraph &, NodeId,
+                         const std::vector<NodeId> &choices) {
+        ++calls;
+        maxChoices = std::max(maxChoices, choices.size());
+    };
+    enumerateBehaviors(pb.build(), makeModel(ModelId::WMM), opts);
+    EXPECT_GE(calls, 1);
+    EXPECT_EQ(maxChoices, 2u); // init store and P0's store
+}
+
+} // namespace
+} // namespace satom

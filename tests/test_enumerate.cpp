@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Tests for the Section 4 enumeration engine: determinism of
+ * single-thread programs, dataflow execution, branches and loops,
+ * budget handling, memory finalization, and stats plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "enumerate/engine.hpp"
+#include "isa/builder.hpp"
+
+namespace satom
+{
+namespace
+{
+
+constexpr Addr X = 100, Y = 101, Z = 102;
+
+MemoryModel
+wmm()
+{
+    return makeModel(ModelId::WMM);
+}
+
+TEST(Enumerate, SingleThreadIsDeterministic)
+{
+    ProgramBuilder pb;
+    pb.thread("P0")
+        .movi(1, 5)
+        .store(immOp(X), regOp(1))
+        .load(2, X)
+        .add(3, regOp(2), immOp(1))
+        .store(immOp(Y), regOp(3));
+    const auto r = enumerateBehaviors(pb.build(), wmm());
+    ASSERT_EQ(r.outcomes.size(), 1u);
+    EXPECT_EQ(r.outcomes[0].reg(0, 2), 5);
+    EXPECT_EQ(r.outcomes[0].reg(0, 3), 6);
+    EXPECT_EQ(r.outcomes[0].mem(X), 5);
+    EXPECT_EQ(r.outcomes[0].mem(Y), 6);
+    EXPECT_TRUE(r.complete);
+}
+
+TEST(Enumerate, LoadOfInitialMemory)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").load(1, X);
+    pb.init(X, 42);
+    const auto r = enumerateBehaviors(pb.build(), wmm());
+    ASSERT_EQ(r.outcomes.size(), 1u);
+    EXPECT_EQ(r.outcomes[0].reg(0, 1), 42);
+}
+
+TEST(Enumerate, UnwrittenRegisterReadsZero)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").add(1, regOp(9), immOp(3)).store(
+        immOp(X), regOp(1));
+    const auto r = enumerateBehaviors(pb.build(), wmm());
+    ASSERT_EQ(r.outcomes.size(), 1u);
+    EXPECT_EQ(r.outcomes[0].mem(X), 3);
+}
+
+TEST(Enumerate, AluOpcodes)
+{
+    ProgramBuilder pb;
+    pb.thread("P0")
+        .movi(1, 10)
+        .movi(2, 3)
+        .add(3, regOp(1), regOp(2))
+        .sub(4, regOp(1), regOp(2))
+        .mul(5, regOp(1), regOp(2))
+        .xorr(6, regOp(1), regOp(2));
+    const auto r = enumerateBehaviors(pb.build(), wmm());
+    ASSERT_EQ(r.outcomes.size(), 1u);
+    EXPECT_EQ(r.outcomes[0].reg(0, 3), 13);
+    EXPECT_EQ(r.outcomes[0].reg(0, 4), 7);
+    EXPECT_EQ(r.outcomes[0].reg(0, 5), 30);
+    EXPECT_EQ(r.outcomes[0].reg(0, 6), 9);
+}
+
+TEST(Enumerate, BranchTakenAndNotTaken)
+{
+    // r2 = (r1 == 1) ? 7 : 9, driven by a racy Load of x.
+    ProgramBuilder pb;
+    pb.thread("P0")
+        .load(1, X)
+        .beq(regOp(1), immOp(1), "one")
+        .movi(2, 9)
+        .beq(immOp(0), immOp(0), "end")
+        .label("one")
+        .movi(2, 7)
+        .label("end")
+        .fence();
+    pb.thread("P1").store(X, 1);
+    const auto r = enumerateBehaviors(pb.build(), wmm());
+    bool saw7 = false, saw9 = false;
+    for (const auto &o : r.outcomes) {
+        if (o.reg(0, 2) == 7) {
+            saw7 = true;
+            EXPECT_EQ(o.reg(0, 1), 1);
+        }
+        if (o.reg(0, 2) == 9) {
+            saw9 = true;
+            EXPECT_EQ(o.reg(0, 1), 0);
+        }
+    }
+    EXPECT_TRUE(saw7);
+    EXPECT_TRUE(saw9);
+}
+
+TEST(Enumerate, LoopRunsToCompletion)
+{
+    // Count down from 3 with a backward branch.
+    ProgramBuilder pb;
+    pb.thread("P0")
+        .movi(1, 3)
+        .label("top")
+        .sub(1, regOp(1), immOp(1))
+        .bne(regOp(1), immOp(0), "top")
+        .store(immOp(X), regOp(1));
+    const auto r = enumerateBehaviors(pb.build(), wmm());
+    ASSERT_EQ(r.outcomes.size(), 1u);
+    EXPECT_EQ(r.outcomes[0].mem(X), 0);
+    EXPECT_TRUE(r.complete);
+}
+
+TEST(Enumerate, InfiniteLoopHitsBudgetWithoutOutcome)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").label("top").beq(immOp(0), immOp(0), "top");
+    pb.location(X);
+    EnumerationOptions opts;
+    opts.maxDynamicPerThread = 10;
+    const auto r = enumerateBehaviors(pb.build(), wmm(), opts);
+    EXPECT_TRUE(r.outcomes.empty());
+    EXPECT_GE(r.stats.stuck, 1);
+}
+
+TEST(Enumerate, SpinlockWaitTerminates)
+{
+    // P0 spins on a flag P1 eventually sets: bounded unrolling must
+    // still find the terminating behaviors.
+    ProgramBuilder pb;
+    pb.thread("P0")
+        .label("spin")
+        .load(1, X)
+        .beq(regOp(1), immOp(0), "spin")
+        .fence() // acquire: without it WMM may still read y=0
+        .load(2, Y);
+    pb.thread("P1").store(Y, 7).fence().store(X, 1);
+    EnumerationOptions opts;
+    opts.maxDynamicPerThread = 8;
+    const auto r = enumerateBehaviors(pb.build(), wmm(), opts);
+    ASSERT_FALSE(r.outcomes.empty());
+    for (const auto &o : r.outcomes) {
+        EXPECT_EQ(o.reg(0, 1), 1);
+        EXPECT_EQ(o.reg(0, 2), 7); // fence + flag = message received
+    }
+}
+
+TEST(Enumerate, MemoryFinalizationRespectsCrossThreadCycles)
+{
+    // 2+2W under SC: final x=1 && y=1 needs a cyclic store order and
+    // must not be emitted even though each per-address choice looks
+    // locally maximal.
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1).store(Y, 2);
+    pb.thread("P1").store(Y, 1).store(X, 2);
+    const auto r = enumerateBehaviors(pb.build(), makeModel(ModelId::SC));
+    for (const auto &o : r.outcomes)
+        EXPECT_FALSE(o.mem(X) == 1 && o.mem(Y) == 1);
+}
+
+TEST(Enumerate, DistinctExecutionsCounted)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1);
+    pb.thread("P1").load(1, X);
+    const auto r = enumerateBehaviors(pb.build(), wmm());
+    EXPECT_EQ(r.stats.executions, 2); // reads init or the Store
+    EXPECT_EQ(r.outcomes.size(), 2u);
+}
+
+TEST(Enumerate, CollectExecutionsKeepsGraphs)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1);
+    pb.thread("P1").load(1, X);
+    EnumerationOptions opts;
+    opts.collectExecutions = true;
+    const auto r = enumerateBehaviors(pb.build(), wmm(), opts);
+    ASSERT_EQ(r.executions.size(), 2u);
+    for (const auto &g : r.executions)
+        EXPECT_TRUE(g.allResolved());
+}
+
+TEST(Enumerate, DedupPrunesResolutionOrders)
+{
+    // Two independent Loads: both resolution orders collapse.
+    ProgramBuilder pb;
+    pb.thread("P0").load(1, X);
+    pb.thread("P1").load(2, Y);
+    const auto r = enumerateBehaviors(pb.build(), wmm());
+    EXPECT_EQ(r.outcomes.size(), 1u);
+    EXPECT_GE(r.stats.duplicates, 1);
+}
+
+TEST(Enumerate, NonSpeculativeModelsNeverRollBack)
+{
+    ProgramBuilder pb;
+    pb.init(X, Y); // pointer to y
+    pb.thread("P0").load(1, X).store(regOp(1), immOp(7)).load(2, Y);
+    pb.thread("P1").store(Y, 2);
+    const auto r = enumerateBehaviors(pb.build(), wmm());
+    EXPECT_EQ(r.stats.rollbacks, 0);
+    EXPECT_FALSE(r.outcomes.empty());
+}
+
+TEST(Enumerate, RegisterIndirectStoreAliasing)
+{
+    // P0 stores through a pointer loaded from x; non-speculatively the
+    // subsequent Load of y must see the Store when the pointer is y.
+    ProgramBuilder pb;
+    pb.init(X, Y);
+    pb.thread("P0").load(1, X).store(regOp(1), immOp(7)).load(2, Y);
+    const auto r = enumerateBehaviors(pb.build(), wmm());
+    ASSERT_EQ(r.outcomes.size(), 1u);
+    EXPECT_EQ(r.outcomes[0].reg(0, 2), 7);
+    EXPECT_EQ(r.outcomes[0].mem(Y), 7);
+}
+
+TEST(Enumerate, MaxStatesCapMarksIncomplete)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").load(1, X).load(2, Y).load(3, Z);
+    pb.thread("P1").store(X, 1).store(Y, 1).store(Z, 1);
+    EnumerationOptions opts;
+    opts.maxStates = 2;
+    const auto r = enumerateBehaviors(pb.build(), wmm(), opts);
+    EXPECT_FALSE(r.complete);
+}
+
+TEST(Enumerate, StatsArePlausible)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1).load(1, Y);
+    pb.thread("P1").store(Y, 1).load(2, X);
+    const auto r = enumerateBehaviors(pb.build(), wmm());
+    EXPECT_GT(r.stats.statesExplored, 0);
+    EXPECT_GT(r.stats.statesForked, 0);
+    EXPECT_GT(r.stats.maxNodes, 4);
+    EXPECT_EQ(r.stats.stuck, 0);
+    EXPECT_EQ(r.stats.rollbacks, 0);
+}
+
+TEST(Enumerate, OutcomeKeyRoundTrip)
+{
+    Outcome o;
+    o.regs.resize(2);
+    o.regs[0][1] = 5;
+    o.memory[X] = 7;
+    EXPECT_EQ(o.reg(0, 1), 5);
+    EXPECT_EQ(o.reg(1, 3), 0);
+    EXPECT_EQ(o.mem(X), 7);
+    EXPECT_EQ(o.mem(Y), 0);
+    EXPECT_NE(o.key().find("r1=5"), std::string::npos);
+    EXPECT_FALSE(o.regsKey().empty());
+}
+
+} // namespace
+} // namespace satom

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for partial (membar-style) fences: mask semantics, the
+ * minimal-fence requirements of the classic litmus shapes under the
+ * weak model, and the no-over-ordering property of combined masks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+
+#include "baseline/operational.hpp"
+#include "enumerate/engine.hpp"
+#include "litmus/parser.hpp"
+
+namespace satom
+{
+namespace
+{
+
+constexpr Addr X = 100, Y = 101;
+
+bool
+sbWeak(const EnumerationResult &r)
+{
+    for (const auto &o : r.outcomes)
+        if (o.reg(0, 1) == 0 && o.reg(1, 2) == 0)
+            return true;
+    return false;
+}
+
+Program
+sbWith(FenceMask mask)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1).fence(mask).load(1, Y);
+    pb.thread("P1").store(Y, 1).fence(mask).load(2, X);
+    return pb.build();
+}
+
+TEST(FenceMask, Helpers)
+{
+    EXPECT_TRUE(FenceMask::full().isFull());
+    EXPECT_FALSE(FenceMask{}.isFull());
+    EXPECT_TRUE(FenceMask{}.none());
+    EXPECT_TRUE(FenceMask::acquire().loadLoad);
+    EXPECT_TRUE(FenceMask::acquire().loadStore);
+    EXPECT_FALSE(FenceMask::acquire().storeLoad);
+    EXPECT_TRUE(FenceMask::release().storeStore);
+    EXPECT_TRUE(FenceMask::release().loadStore);
+    EXPECT_FALSE(FenceMask::release().loadLoad);
+    EXPECT_EQ(FenceMask::full().toString(), "fence");
+    EXPECT_EQ((FenceMask{true, false, false, true}).toString(),
+              "fence.ll.ss");
+}
+
+TEST(FenceMask, SbNeedsStoreLoad)
+{
+    const MemoryModel wmm = makeModel(ModelId::WMM);
+    // Only the StoreLoad bit closes the SB relaxation.
+    EXPECT_FALSE(sbWeak(enumerateBehaviors(
+        sbWith({false, false, true, false}), wmm)));
+    EXPECT_TRUE(sbWeak(enumerateBehaviors(
+        sbWith({true, true, false, true}), wmm)));
+    EXPECT_FALSE(sbWeak(enumerateBehaviors(
+        sbWith(FenceMask::full()), wmm)));
+}
+
+TEST(FenceMask, MpNeedsStoreStoreAndLoadLoad)
+{
+    const MemoryModel wmm = makeModel(ModelId::WMM);
+    auto mp = [](FenceMask writer, FenceMask reader) {
+        ProgramBuilder pb;
+        pb.thread("P0").store(X, 1).fence(writer).store(Y, 1);
+        pb.thread("P1").load(1, Y).fence(reader).load(2, X);
+        return pb.build();
+    };
+    auto stale = [&](const Program &p) {
+        const auto r = enumerateBehaviors(p, makeModel(ModelId::WMM));
+        for (const auto &o : r.outcomes)
+            if (o.reg(1, 1) == 1 && o.reg(1, 2) == 0)
+                return true;
+        return false;
+    };
+    (void)wmm;
+    const FenceMask ss{false, false, false, true};
+    const FenceMask ll{true, false, false, false};
+    const FenceMask sl{false, false, true, false};
+    EXPECT_FALSE(stale(mp(ss, ll))); // the minimal pair
+    EXPECT_TRUE(stale(mp(sl, ll)));  // wrong writer fence
+    EXPECT_TRUE(stale(mp(ss, sl)));  // wrong reader fence
+    EXPECT_FALSE(stale(mp(FenceMask::release(), FenceMask::acquire())));
+}
+
+TEST(FenceMask, CombinedMaskDoesNotOverOrder)
+{
+    // A #StoreLoad|#LoadStore fence must NOT order Store->Store: the
+    // MP writer stays broken even though both bits are set.
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1).fence({false, true, true, false})
+        .store(Y, 1);
+    pb.thread("P1").load(1, Y).fence().load(2, X);
+    const auto r = enumerateBehaviors(pb.build(), makeModel(ModelId::WMM));
+    bool stale = false;
+    for (const auto &o : r.outcomes)
+        if (o.reg(1, 1) == 1 && o.reg(1, 2) == 0)
+            stale = true;
+    EXPECT_TRUE(stale);
+}
+
+TEST(FenceMask, AcquireReleaseMessagePassing)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 42).fence(FenceMask::release())
+        .store(Y, 1);
+    pb.thread("P1").load(1, Y).fence(FenceMask::acquire()).load(2, X);
+    const auto r = enumerateBehaviors(pb.build(), makeModel(ModelId::WMM));
+    for (const auto &o : r.outcomes)
+        if (o.reg(1, 1) == 1) {
+            EXPECT_EQ(o.reg(1, 2), 42);
+        }
+}
+
+TEST(FenceMask, CoRRNeedsLoadLoad)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1);
+    pb.thread("P1").load(1, X).fence({true, false, false, false})
+        .load(2, X);
+    const auto r = enumerateBehaviors(pb.build(), makeModel(ModelId::WMM));
+    for (const auto &o : r.outcomes)
+        EXPECT_FALSE(o.reg(1, 1) == 1 && o.reg(1, 2) == 0);
+}
+
+TEST(FenceMask, PartialFencesIgnoredWhereTableAlreadyOrders)
+{
+    // Under SC a partial fence changes nothing.
+    const auto strict = enumerateBehaviors(
+        sbWith({false, false, false, false}), makeModel(ModelId::SC));
+    EXPECT_FALSE(sbWeak(strict));
+}
+
+TEST(FenceMask, TsoMachineMatchesGraphOnPartialFences)
+{
+    // Under TSO only the StoreLoad bit matters; graph and machine must
+    // agree for both a draining and a non-draining fence.
+    for (FenceMask mask : {FenceMask{false, false, true, false},
+                           FenceMask{true, true, false, true}}) {
+        const Program p = sbWith(mask);
+        const auto graph =
+            enumerateBehaviors(p, makeModel(ModelId::TSO));
+        const auto oper = enumerateOperationalTSO(p);
+        std::vector<std::string> a, b;
+        for (const auto &o : graph.outcomes)
+            a.push_back(o.key());
+        for (const auto &o : oper.outcomes)
+            b.push_back(o.key());
+        EXPECT_EQ(a, b) << mask.toString();
+    }
+}
+
+TEST(FenceMask, ParserRoundTrip)
+{
+    const char *src = R"(
+name fences
+thread P0
+  st x, 1
+  fence.sl
+  ld r1, y
+  fence.acq
+  ld r2, x
+  fence.ll.ss
+  st y, 2
+)";
+    const auto t = litmus::parseLitmus(src);
+    const auto &code = t.program.threads[0].code;
+    ASSERT_EQ(code.size(), 7u);
+    EXPECT_TRUE(code[1].fence.storeLoad);
+    EXPECT_FALSE(code[1].fence.loadLoad);
+    EXPECT_TRUE(code[3].fence.loadLoad);
+    EXPECT_TRUE(code[3].fence.loadStore);
+    EXPECT_TRUE(code[5].fence.loadLoad);
+    EXPECT_TRUE(code[5].fence.storeStore);
+    EXPECT_FALSE(code[5].fence.loadStore);
+}
+
+TEST(FenceMask, ParserRejectsBadSuffixes)
+{
+    EXPECT_THROW(litmus::parseLitmus("thread P0\n  fence.xx"),
+                 litmus::ParseError);
+    EXPECT_THROW(litmus::parseLitmus("thread P0\n  fence."),
+                 litmus::ParseError);
+}
+
+TEST(FenceMask, RmwParserRoundTrip)
+{
+    const char *src = R"(
+name rmw
+thread P0
+  cas r1, lock, 0, 1
+  swap r2, lock, 0
+  fadd r3, ctr, 5
+)";
+    const auto t = litmus::parseLitmus(src);
+    const auto &code = t.program.threads[0].code;
+    ASSERT_EQ(code.size(), 3u);
+    EXPECT_EQ(code[0].op, Opcode::Cas);
+    EXPECT_EQ(code[1].op, Opcode::Swap);
+    EXPECT_EQ(code[2].op, Opcode::FetchAdd);
+    EXPECT_EQ(code[2].a.imm, 5);
+}
+
+} // namespace
+} // namespace satom

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Unit tests for the execution graph: edges, incremental transitive
+ * closure, cycle rejection, and basic queries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dot.hpp"
+#include "core/encode.hpp"
+#include "core/graph.hpp"
+
+namespace satom
+{
+namespace
+{
+
+Node
+makeStore(ThreadId tid, Addr a, Val v)
+{
+    Node n;
+    n.tid = tid;
+    n.kind = NodeKind::Store;
+    n.addrKnown = true;
+    n.addr = a;
+    n.valueKnown = true;
+    n.value = v;
+    n.executed = true;
+    return n;
+}
+
+Node
+makeLoad(ThreadId tid, Addr a)
+{
+    Node n;
+    n.tid = tid;
+    n.kind = NodeKind::Load;
+    n.addrKnown = true;
+    n.addr = a;
+    return n;
+}
+
+TEST(Graph, AddNodeAssignsDenseIds)
+{
+    ExecutionGraph g;
+    EXPECT_EQ(g.addNode(makeStore(0, 1, 1)), 0);
+    EXPECT_EQ(g.addNode(makeStore(0, 1, 2)), 1);
+    EXPECT_EQ(g.size(), 2);
+}
+
+TEST(Graph, EdgeCreatesOrdering)
+{
+    ExecutionGraph g;
+    const NodeId a = g.addNode(makeStore(0, 1, 1));
+    const NodeId b = g.addNode(makeStore(0, 1, 2));
+    EXPECT_FALSE(g.ordered(a, b));
+    EXPECT_TRUE(g.addEdge(a, b, EdgeKind::Local));
+    EXPECT_TRUE(g.ordered(a, b));
+    EXPECT_FALSE(g.ordered(b, a));
+    EXPECT_TRUE(g.comparable(a, b));
+}
+
+TEST(Graph, TransitiveClosureMaintained)
+{
+    ExecutionGraph g;
+    const NodeId a = g.addNode(makeStore(0, 1, 1));
+    const NodeId b = g.addNode(makeStore(0, 1, 2));
+    const NodeId c = g.addNode(makeStore(0, 1, 3));
+    const NodeId d = g.addNode(makeStore(0, 1, 4));
+    EXPECT_TRUE(g.addEdge(a, b, EdgeKind::Local));
+    EXPECT_TRUE(g.addEdge(c, d, EdgeKind::Local));
+    EXPECT_FALSE(g.ordered(a, d));
+    EXPECT_TRUE(g.addEdge(b, c, EdgeKind::Local));
+    EXPECT_TRUE(g.ordered(a, c));
+    EXPECT_TRUE(g.ordered(a, d));
+    EXPECT_TRUE(g.ordered(b, d));
+}
+
+TEST(Graph, CycleRejectedAndGraphUnchanged)
+{
+    ExecutionGraph g;
+    const NodeId a = g.addNode(makeStore(0, 1, 1));
+    const NodeId b = g.addNode(makeStore(0, 1, 2));
+    EXPECT_TRUE(g.addEdge(a, b, EdgeKind::Local));
+    const auto before = encodeGraph(g, false);
+    EXPECT_FALSE(g.addEdge(b, a, EdgeKind::Atomicity));
+    EXPECT_FALSE(g.addEdge(a, a, EdgeKind::Local));
+    EXPECT_EQ(encodeGraph(g, false), before);
+}
+
+TEST(Graph, ImpliedEdgeDoesNotGrowDirectList)
+{
+    ExecutionGraph g;
+    const NodeId a = g.addNode(makeStore(0, 1, 1));
+    const NodeId b = g.addNode(makeStore(0, 1, 2));
+    const NodeId c = g.addNode(makeStore(0, 1, 3));
+    EXPECT_TRUE(g.addEdge(a, b, EdgeKind::Local));
+    EXPECT_TRUE(g.addEdge(b, c, EdgeKind::Local));
+    const std::size_t direct = g.edges().size();
+    EXPECT_TRUE(g.addEdge(a, c, EdgeKind::Local)); // already implied
+    EXPECT_EQ(g.edges().size(), direct);
+}
+
+TEST(Graph, GreyEdgesDoNotOrder)
+{
+    ExecutionGraph g;
+    const NodeId a = g.addNode(makeStore(0, 1, 1));
+    const NodeId b = g.addNode(makeLoad(0, 1));
+    EXPECT_TRUE(g.addEdge(a, b, EdgeKind::Grey));
+    EXPECT_FALSE(g.ordered(a, b));
+    EXPECT_FALSE(g.comparable(a, b));
+    EXPECT_EQ(g.edgeCount(EdgeKind::Grey), 1);
+}
+
+TEST(Graph, PredsAndSuccsBitsets)
+{
+    ExecutionGraph g;
+    const NodeId a = g.addNode(makeStore(0, 1, 1));
+    const NodeId b = g.addNode(makeStore(0, 1, 2));
+    const NodeId c = g.addNode(makeStore(0, 1, 3));
+    g.addEdge(a, b, EdgeKind::Local);
+    g.addEdge(b, c, EdgeKind::Local);
+    EXPECT_EQ(g.preds(c).count(), 2u);
+    EXPECT_EQ(g.succs(a).count(), 2u);
+    EXPECT_TRUE(g.preds(c).test(static_cast<std::size_t>(a)));
+}
+
+TEST(Graph, StoresToFiltersByAddress)
+{
+    ExecutionGraph g;
+    g.addNode(makeStore(0, 1, 1));
+    g.addNode(makeStore(0, 2, 2));
+    g.addNode(makeLoad(0, 1));
+    Node unknown;
+    unknown.kind = NodeKind::Store;
+    g.addNode(unknown);
+    EXPECT_EQ(g.storesTo(1).size(), 1u);
+    EXPECT_EQ(g.storesTo(2).size(), 1u);
+    EXPECT_EQ(g.stores().size(), 3u);
+    EXPECT_EQ(g.loads().size(), 1u);
+}
+
+TEST(Graph, ClosureSizeCountsOrderedPairs)
+{
+    ExecutionGraph g;
+    const NodeId a = g.addNode(makeStore(0, 1, 1));
+    const NodeId b = g.addNode(makeStore(0, 1, 2));
+    const NodeId c = g.addNode(makeStore(0, 1, 3));
+    g.addEdge(a, b, EdgeKind::Local);
+    g.addEdge(b, c, EdgeKind::Local);
+    EXPECT_EQ(g.closureSize(), 3u); // ab, bc, ac
+}
+
+TEST(Graph, AllResolvedChecksEveryNode)
+{
+    ExecutionGraph g;
+    g.addNode(makeStore(0, 1, 1));
+    EXPECT_TRUE(g.allResolved());
+    const NodeId l = g.addNode(makeLoad(0, 1));
+    EXPECT_FALSE(g.allResolved());
+    g.node(l).source = 0;
+    EXPECT_TRUE(g.allResolved());
+}
+
+TEST(Encode, MemoryOnlyErasesNonMemoryNodes)
+{
+    ExecutionGraph g;
+    Node fence;
+    fence.kind = NodeKind::Fence;
+    fence.executed = true;
+    const NodeId f = g.addNode(fence);
+    const NodeId s = g.addNode(makeStore(0, 1, 1));
+    g.addEdge(f, s, EdgeKind::Local);
+    const std::string full = encodeGraph(g, false);
+    const std::string mem = encodeGraph(g, true);
+    EXPECT_NE(full, mem);
+    EXPECT_LT(mem.size(), full.size());
+}
+
+TEST(Encode, SplicesThroughErasedNodes)
+{
+    // S -> Fence -> L must appear as S before L in the memory-only
+    // encoding because the closure is transitive.
+    ExecutionGraph g;
+    const NodeId s = g.addNode(makeStore(0, 1, 1));
+    Node fence;
+    fence.kind = NodeKind::Fence;
+    fence.executed = true;
+    const NodeId f = g.addNode(fence);
+    const NodeId l = g.addNode(makeLoad(0, 1));
+    g.addEdge(s, f, EdgeKind::Local);
+    g.addEdge(f, l, EdgeKind::Local);
+    EXPECT_TRUE(g.ordered(s, l));
+    const std::string mem = encodeGraph(g, true);
+    EXPECT_NE(mem.find("0,"), std::string::npos);
+}
+
+TEST(Encode, HashDeterministic)
+{
+    ExecutionGraph g;
+    g.addNode(makeStore(0, 1, 1));
+    EXPECT_EQ(hashGraph(g, true), hashGraph(g, true));
+}
+
+TEST(Dot, RendersEdgesWithStyles)
+{
+    ExecutionGraph g;
+    const NodeId s = g.addNode(makeStore(0, 1, 1));
+    const NodeId l = g.addNode(makeLoad(0, 1));
+    g.addEdge(s, l, EdgeKind::Source);
+    DotOptions opts;
+    opts.memoryOnly = false;
+    const std::string dot = graphToDot(g, opts);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("color=blue"), std::string::npos);
+    EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(Node, LabelsAreCompact)
+{
+    Node s = makeStore(0, 7, 3);
+    s.serial = 2;
+    EXPECT_EQ(s.label(), "A.2:St[7]=3");
+    Node init = makeStore(initThread, 5, 0);
+    init.kind = NodeKind::Init;
+    EXPECT_EQ(init.label(), "I:Init[5]=0");
+}
+
+} // namespace
+} // namespace satom

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the mini ISA: instructions, programs, builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+#include "isa/instruction.hpp"
+#include "isa/program.hpp"
+
+namespace satom
+{
+namespace
+{
+
+TEST(Instruction, ClassOfCoversAllOpcodes)
+{
+    EXPECT_EQ(classOf(Opcode::MovImm), InstrClass::Alu);
+    EXPECT_EQ(classOf(Opcode::Add), InstrClass::Alu);
+    EXPECT_EQ(classOf(Opcode::Sub), InstrClass::Alu);
+    EXPECT_EQ(classOf(Opcode::Mul), InstrClass::Alu);
+    EXPECT_EQ(classOf(Opcode::Xor), InstrClass::Alu);
+    EXPECT_EQ(classOf(Opcode::Load), InstrClass::Load);
+    EXPECT_EQ(classOf(Opcode::Store), InstrClass::Store);
+    EXPECT_EQ(classOf(Opcode::Fence), InstrClass::Fence);
+    EXPECT_EQ(classOf(Opcode::BranchEq), InstrClass::Branch);
+    EXPECT_EQ(classOf(Opcode::BranchNe), InstrClass::Branch);
+}
+
+TEST(Instruction, OperandHelpers)
+{
+    const Operand r = regOp(3);
+    EXPECT_TRUE(r.isReg());
+    EXPECT_EQ(r.reg, 3);
+    const Operand i = immOp(42);
+    EXPECT_TRUE(i.isImm());
+    EXPECT_EQ(i.imm, 42);
+    const Operand none;
+    EXPECT_TRUE(none.isNone());
+}
+
+TEST(Instruction, Disassembly)
+{
+    Instruction ld;
+    ld.op = Opcode::Load;
+    ld.dst = 1;
+    ld.addr = immOp(100);
+    EXPECT_EQ(toString(ld), "ld r1, [100]");
+
+    Instruction st;
+    st.op = Opcode::Store;
+    st.addr = regOp(6);
+    st.value = immOp(7);
+    EXPECT_EQ(toString(st), "st [r6], 7");
+}
+
+TEST(Builder, BuildsSimpleProgram)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(100, 1).load(1, 101);
+    pb.thread("P1").store(101, 1).load(2, 100);
+    const Program p = pb.build();
+    ASSERT_EQ(p.numThreads(), 2);
+    EXPECT_EQ(p.threads[0].code.size(), 2u);
+    EXPECT_EQ(p.threads[0].code[0].op, Opcode::Store);
+    EXPECT_EQ(p.threads[1].code[1].op, Opcode::Load);
+    EXPECT_EQ(p.size(), 4u);
+}
+
+TEST(Builder, ResolvesForwardLabels)
+{
+    ProgramBuilder pb;
+    pb.thread("P0")
+        .load(1, 100)
+        .beq(regOp(1), immOp(0), "done")
+        .store(101, 1)
+        .label("done")
+        .store(101, 2);
+    const Program p = pb.build();
+    EXPECT_EQ(p.threads[0].code[1].target, 3);
+}
+
+TEST(Builder, ResolvesBackwardLabels)
+{
+    ProgramBuilder pb;
+    pb.thread("P0")
+        .label("top")
+        .load(1, 100)
+        .bne(regOp(1), immOp(1), "top");
+    const Program p = pb.build();
+    EXPECT_EQ(p.threads[0].code[1].target, 0);
+}
+
+TEST(Builder, UndefinedLabelThrows)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").beq(immOp(0), immOp(0), "nowhere");
+    EXPECT_THROW(pb.build(), std::invalid_argument);
+}
+
+TEST(Builder, DuplicateLabelThrows)
+{
+    ProgramBuilder pb;
+    auto &t = pb.thread("P0");
+    t.label("a");
+    EXPECT_THROW(t.label("a"), std::invalid_argument);
+}
+
+TEST(Builder, ThreadByNameIsIdempotent)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").fence();
+    pb.thread("P0").fence();
+    const Program p = pb.build();
+    ASSERT_EQ(p.numThreads(), 1);
+    EXPECT_EQ(p.threads[0].code.size(), 2u);
+}
+
+TEST(Program, LocationsCollectsImmediatesInitsAndExtras)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(100, 1).load(1, 101);
+    pb.init(102, 9);
+    pb.location(103);
+    const Program p = pb.build();
+    const auto locs = p.locations();
+    ASSERT_EQ(locs.size(), 4u);
+    EXPECT_EQ(locs[0], 100);
+    EXPECT_EQ(locs[3], 103);
+}
+
+TEST(Program, InitialMemoryDefaultsToZero)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").load(1, 100);
+    pb.init(101, 7);
+    const Program p = pb.build();
+    const auto mem = p.initialMemory();
+    EXPECT_EQ(mem.at(100), 0);
+    EXPECT_EQ(mem.at(101), 7);
+}
+
+TEST(Program, RegisterAddressedLocationsNeedDeclaration)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").load(1, 100).store(regOp(1), immOp(5));
+    pb.location(200);
+    const Program p = pb.build();
+    const auto locs = p.locations();
+    EXPECT_EQ(locs.size(), 2u); // 100 and the declared 200
+}
+
+TEST(Program, Disassembly)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(100, 1);
+    pb.init(100, 0);
+    const Program p = pb.build();
+    const std::string s = p.toString();
+    EXPECT_NE(s.find("P0:"), std::string::npos);
+    EXPECT_NE(s.find("st [100], 1"), std::string::npos);
+}
+
+} // namespace
+} // namespace satom

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the reorder tables and model definitions — in particular
+ * that the WMM table is exactly Figure 1 of the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/models.hpp"
+
+namespace satom
+{
+namespace
+{
+
+constexpr InstrClass kAlu = InstrClass::Alu;
+constexpr InstrClass kBr = InstrClass::Branch;
+constexpr InstrClass kLd = InstrClass::Load;
+constexpr InstrClass kSt = InstrClass::Store;
+constexpr InstrClass kFen = InstrClass::Fence;
+
+TEST(ReorderTable, DefaultsToFree)
+{
+    ReorderTable t;
+    for (int i = 0; i < numInstrClasses; ++i)
+        for (int j = 0; j < numInstrClasses; ++j)
+            EXPECT_EQ(t.get(static_cast<InstrClass>(i),
+                            static_cast<InstrClass>(j)),
+                      OrderReq::Free);
+}
+
+TEST(ReorderTable, ConcreteDegradesSameAddr)
+{
+    ReorderTable t;
+    t.set(kSt, kLd, OrderReq::SameAddr);
+    EXPECT_EQ(t.concrete(kSt, kLd, 1, 1), OrderReq::Never);
+    EXPECT_EQ(t.concrete(kSt, kLd, 1, 2), OrderReq::Free);
+    t.set(kLd, kFen, OrderReq::Never);
+    EXPECT_EQ(t.concrete(kLd, kFen, 1, 2), OrderReq::Never);
+}
+
+TEST(ReorderTable, RenderShowsFigureOneLayout)
+{
+    const MemoryModel m = makeModel(ModelId::WMM);
+    const std::string s = m.table.render();
+    EXPECT_NE(s.find("1st\\2nd"), std::string::npos);
+    EXPECT_NE(s.find("never"), std::string::npos);
+    EXPECT_NE(s.find("x!=y"), std::string::npos);
+}
+
+TEST(Models, WmmTableMatchesFigureOne)
+{
+    const ReorderTable &t = makeModel(ModelId::WMM).table;
+
+    // Exactly three same-address entries: L->S, S->L, S->S.
+    EXPECT_EQ(t.get(kLd, kSt), OrderReq::SameAddr);
+    EXPECT_EQ(t.get(kSt, kLd), OrderReq::SameAddr);
+    EXPECT_EQ(t.get(kSt, kSt), OrderReq::SameAddr);
+    // Same-address Load-Load is deliberately unordered (Figure 5).
+    EXPECT_EQ(t.get(kLd, kLd), OrderReq::Free);
+
+    // Branch/Store never entries.
+    EXPECT_EQ(t.get(kBr, kSt), OrderReq::Never);
+    EXPECT_EQ(t.get(kSt, kBr), OrderReq::Never);
+    EXPECT_EQ(t.get(kBr, kLd), OrderReq::Free); // speculation past branches
+
+    // Fences order all Loads and Stores, both directions.
+    EXPECT_EQ(t.get(kLd, kFen), OrderReq::Never);
+    EXPECT_EQ(t.get(kSt, kFen), OrderReq::Never);
+    EXPECT_EQ(t.get(kFen, kLd), OrderReq::Never);
+    EXPECT_EQ(t.get(kFen, kSt), OrderReq::Never);
+
+    // ALU rows and columns are free (data dependencies rule).
+    for (int j = 0; j < numInstrClasses; ++j)
+        EXPECT_EQ(t.get(kAlu, static_cast<InstrClass>(j)),
+                  OrderReq::Free);
+
+    // Count the Never/SameAddr entries: 3 SameAddr + 6 Never.
+    int sameAddr = 0, never = 0;
+    for (int i = 0; i < numInstrClasses; ++i) {
+        for (int j = 0; j < numInstrClasses; ++j) {
+            const OrderReq r = t.get(static_cast<InstrClass>(i),
+                                     static_cast<InstrClass>(j));
+            sameAddr += r == OrderReq::SameAddr;
+            never += r == OrderReq::Never;
+        }
+    }
+    EXPECT_EQ(sameAddr, 3);
+    EXPECT_EQ(never, 6);
+}
+
+TEST(Models, ScOrdersEverythingVisible)
+{
+    const ReorderTable &t = makeModel(ModelId::SC).table;
+    const InstrClass vis[] = {kBr, kLd, kSt, kFen};
+    for (InstrClass a : vis)
+        for (InstrClass b : vis)
+            EXPECT_EQ(t.get(a, b), OrderReq::Never);
+}
+
+TEST(Models, TsoRelaxesOnlyStoreLoad)
+{
+    const ReorderTable &t = makeModel(ModelId::TSOApprox).table;
+    EXPECT_EQ(t.get(kSt, kLd), OrderReq::SameAddr);
+    EXPECT_EQ(t.get(kLd, kLd), OrderReq::Never);
+    EXPECT_EQ(t.get(kLd, kSt), OrderReq::Never);
+    EXPECT_EQ(t.get(kSt, kSt), OrderReq::Never);
+}
+
+TEST(Models, PsoAlsoRelaxesStoreStore)
+{
+    const ReorderTable &t = makeModel(ModelId::PSO).table;
+    EXPECT_EQ(t.get(kSt, kLd), OrderReq::SameAddr);
+    EXPECT_EQ(t.get(kSt, kSt), OrderReq::SameAddr);
+    EXPECT_EQ(t.get(kLd, kSt), OrderReq::Never);
+}
+
+TEST(Models, Flags)
+{
+    EXPECT_FALSE(makeModel(ModelId::SC).tsoBypass);
+    EXPECT_FALSE(makeModel(ModelId::TSOApprox).tsoBypass);
+    EXPECT_TRUE(makeModel(ModelId::TSO).tsoBypass);
+    EXPECT_TRUE(makeModel(ModelId::WMM).nonSpecAliasDeps);
+    EXPECT_FALSE(makeModel(ModelId::WMMSpec).nonSpecAliasDeps);
+    // TSO and TSOApprox share the same reorder axioms.
+    const auto a = makeModel(ModelId::TSO).table;
+    const auto b = makeModel(ModelId::TSOApprox).table;
+    for (int i = 0; i < numInstrClasses; ++i)
+        for (int j = 0; j < numInstrClasses; ++j)
+            EXPECT_EQ(a.get(static_cast<InstrClass>(i),
+                            static_cast<InstrClass>(j)),
+                      b.get(static_cast<InstrClass>(i),
+                            static_cast<InstrClass>(j)));
+}
+
+TEST(Models, NamesAndIds)
+{
+    EXPECT_EQ(allModels().size(), 6u);
+    for (ModelId id : allModels()) {
+        const MemoryModel m = makeModel(id);
+        EXPECT_EQ(m.id, id);
+        EXPECT_EQ(m.name, toString(id));
+        EXPECT_FALSE(m.name.empty());
+    }
+}
+
+} // namespace
+} // namespace satom

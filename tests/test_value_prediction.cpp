@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for value prediction (Section 5's open-ended speculation and
+ * the Section 7 Martin-et-al. discussion).
+ *
+ * The framework's claim, made executable:
+ *  - prediction with TRACKED dependencies is safe: the self-justifying
+ *    Store is `@`-after the predicted Load, so candidates() can never
+ *    pick it, and the behavior set is unchanged;
+ *  - prediction with UNTRACKED (Grey) dependencies is unsafe: the
+ *    out-of-thin-air value appears.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+
+#include <set>
+
+#include "enumerate/engine.hpp"
+#include "litmus/library.hpp"
+
+namespace satom
+{
+namespace
+{
+
+constexpr Addr X = 100, Y = 101;
+constexpr Val thinAir = 42;
+
+/** LB with data dependencies: the classic out-of-thin-air shape. */
+Program
+lbData()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").load(1, X).store(immOp(Y), regOp(1));
+    pb.thread("P1").load(2, Y).store(immOp(X), regOp(2));
+    return pb.build();
+}
+
+bool
+thinAirSeen(const EnumerationResult &r)
+{
+    for (const auto &o : r.outcomes)
+        if (o.reg(0, 1) == thinAir || o.reg(1, 2) == thinAir)
+            return true;
+    return false;
+}
+
+std::set<std::string>
+keys(const std::vector<Outcome> &outcomes)
+{
+    std::set<std::string> out;
+    for (const auto &o : outcomes)
+        out.insert(o.key());
+    return out;
+}
+
+TEST(ValuePrediction, TrackedPredictionIsSafe)
+{
+    EnumerationOptions spec;
+    spec.valuePrediction = true;
+    spec.predictionValues = {thinAir};
+    const auto plain = enumerateBehaviors(lbData(), makeModel(ModelId::WMM));
+    const auto pred =
+        enumerateBehaviors(lbData(), makeModel(ModelId::WMM), spec);
+    EXPECT_EQ(keys(plain.outcomes), keys(pred.outcomes));
+    EXPECT_FALSE(thinAirSeen(pred));
+    // Mispredictions happened and were rolled back.
+    EXPECT_GT(pred.stats.rollbacks, 0);
+}
+
+TEST(ValuePrediction, UntrackedPredictionAdmitsOutOfThinAir)
+{
+    EnumerationOptions unsafe;
+    unsafe.valuePrediction = true;
+    unsafe.trackPredictionDeps = false;
+    unsafe.predictionValues = {thinAir};
+    const auto r =
+        enumerateBehaviors(lbData(), makeModel(ModelId::WMM), unsafe);
+    EXPECT_TRUE(thinAirSeen(r));
+    // The thin-air value self-justifies on BOTH loads at once.
+    bool bothThinAir = false;
+    for (const auto &o : r.outcomes)
+        if (o.reg(0, 1) == thinAir && o.reg(1, 2) == thinAir)
+            bothThinAir = true;
+    EXPECT_TRUE(bothThinAir);
+}
+
+TEST(ValuePrediction, CorrectGuessesAreJustified)
+{
+    // Predicting a value some real Store carries must succeed and add
+    // no behaviors.
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 7);
+    pb.thread("P1").load(1, X).store(immOp(Y), regOp(1));
+    EnumerationOptions spec;
+    spec.valuePrediction = true;
+    const auto plain =
+        enumerateBehaviors(pb.build(), makeModel(ModelId::WMM));
+    const auto pred =
+        enumerateBehaviors(pb.build(), makeModel(ModelId::WMM), spec);
+    EXPECT_EQ(keys(plain.outcomes), keys(pred.outcomes));
+}
+
+TEST(ValuePrediction, MispredictionNeverSurfaces)
+{
+    // Guessing a value no Store ever writes must leave no trace.
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1);
+    pb.thread("P1").load(1, X);
+    EnumerationOptions spec;
+    spec.valuePrediction = true;
+    spec.predictionValues = {99};
+    const auto r =
+        enumerateBehaviors(pb.build(), makeModel(ModelId::WMM), spec);
+    for (const auto &o : r.outcomes)
+        EXPECT_NE(o.reg(1, 1), 99);
+    EXPECT_GT(r.stats.rollbacks, 0);
+}
+
+TEST(ValuePrediction, PredictionAcrossLitmusLibraryIsSafe)
+{
+    // Tracked prediction must not change any classic verdict.
+    for (const auto &t : {litmus::storeBuffering(),
+                          litmus::messagePassing(),
+                          litmus::loadBufferingData(),
+                          litmus::coRR()}) {
+        EnumerationOptions spec;
+        spec.valuePrediction = true;
+        spec.predictionValues = {thinAir};
+        const auto plain =
+            enumerateBehaviors(t.program, makeModel(ModelId::WMM));
+        const auto pred = enumerateBehaviors(
+            t.program, makeModel(ModelId::WMM), spec);
+        EXPECT_EQ(keys(plain.outcomes), keys(pred.outcomes)) << t.name;
+    }
+}
+
+TEST(ValuePrediction, PredictedBranchRollsBackWrongPath)
+{
+    // A branch taken on a wrong guess must leave no observable trace:
+    // the Store on the wrong path dies with the fork.
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1);
+    pb.thread("P1")
+        .load(1, X)
+        .bne(regOp(1), immOp(99), "out")
+        .store(Y, 1) // only reachable if r1 == 99, which never holds
+        .label("out")
+        .fence();
+    EnumerationOptions spec;
+    spec.valuePrediction = true;
+    spec.predictionValues = {99};
+    const auto r =
+        enumerateBehaviors(pb.build(), makeModel(ModelId::WMM), spec);
+    for (const auto &o : r.outcomes) {
+        EXPECT_EQ(o.mem(Y), 0);
+        EXPECT_NE(o.reg(1, 1), 99);
+    }
+}
+
+} // namespace
+} // namespace satom
