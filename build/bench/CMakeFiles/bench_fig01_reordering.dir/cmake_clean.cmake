@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_reordering.dir/bench_fig01_reordering.cpp.o"
+  "CMakeFiles/bench_fig01_reordering.dir/bench_fig01_reordering.cpp.o.d"
+  "bench_fig01_reordering"
+  "bench_fig01_reordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_closure.dir/bench_fig06_closure.cpp.o"
+  "CMakeFiles/bench_fig06_closure.dir/bench_fig06_closure.cpp.o.d"
+  "bench_fig06_closure"
+  "bench_fig06_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

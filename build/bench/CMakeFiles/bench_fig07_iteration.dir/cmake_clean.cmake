@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_iteration.dir/bench_fig07_iteration.cpp.o"
+  "CMakeFiles/bench_fig07_iteration.dir/bench_fig07_iteration.cpp.o.d"
+  "bench_fig07_iteration"
+  "bench_fig07_iteration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

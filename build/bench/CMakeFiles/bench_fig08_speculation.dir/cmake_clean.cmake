@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_speculation.dir/bench_fig08_speculation.cpp.o"
+  "CMakeFiles/bench_fig08_speculation.dir/bench_fig08_speculation.cpp.o.d"
+  "bench_fig08_speculation"
+  "bench_fig08_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_litmus_matrix.dir/bench_litmus_matrix.cpp.o"
+  "CMakeFiles/bench_litmus_matrix.dir/bench_litmus_matrix.cpp.o.d"
+  "bench_litmus_matrix"
+  "bench_litmus_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_litmus_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

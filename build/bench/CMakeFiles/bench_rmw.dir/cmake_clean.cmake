@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rmw.dir/bench_rmw.cpp.o"
+  "CMakeFiles/bench_rmw.dir/bench_rmw.cpp.o.d"
+  "bench_rmw"
+  "bench_rmw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rmw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speculation_ablation.dir/bench_speculation_ablation.cpp.o"
+  "CMakeFiles/bench_speculation_ablation.dir/bench_speculation_ablation.cpp.o.d"
+  "bench_speculation_ablation"
+  "bench_speculation_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speculation_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

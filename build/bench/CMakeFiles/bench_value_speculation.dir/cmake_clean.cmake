@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_value_speculation.dir/bench_value_speculation.cpp.o"
+  "CMakeFiles/bench_value_speculation.dir/bench_value_speculation.cpp.o.d"
+  "bench_value_speculation"
+  "bench_value_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_value_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

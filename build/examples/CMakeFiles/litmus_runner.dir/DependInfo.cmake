@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/litmus_runner.cpp" "examples/CMakeFiles/litmus_runner.dir/litmus_runner.cpp.o" "gcc" "examples/CMakeFiles/litmus_runner.dir/litmus_runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/satom_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/satom_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/satom_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/satom_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/enumerate/CMakeFiles/satom_enumerate.dir/DependInfo.cmake"
+  "/root/repo/build/src/litmus/CMakeFiles/satom_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/satom_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/speculation/CMakeFiles/satom_speculation.dir/DependInfo.cmake"
+  "/root/repo/build/src/tso/CMakeFiles/satom_tso.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/satom_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/satom_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/satom_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/satom_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_runner.dir/litmus_runner.cpp.o"
+  "CMakeFiles/litmus_runner.dir/litmus_runner.cpp.o.d"
+  "litmus_runner"
+  "litmus_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

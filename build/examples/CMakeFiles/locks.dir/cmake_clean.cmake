@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locks.dir/locks.cpp.o"
+  "CMakeFiles/locks.dir/locks.cpp.o.d"
+  "locks"
+  "locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speculation_demo.dir/speculation_demo.cpp.o"
+  "CMakeFiles/speculation_demo.dir/speculation_demo.cpp.o.d"
+  "speculation_demo"
+  "speculation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speculation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("isa")
+subdirs("core")
+subdirs("model")
+subdirs("enumerate")
+subdirs("baseline")
+subdirs("tso")
+subdirs("txn")
+subdirs("checker")
+subdirs("speculation")
+subdirs("coherence")
+subdirs("litmus")
+subdirs("analysis")

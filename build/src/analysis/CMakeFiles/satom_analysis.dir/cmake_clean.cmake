@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satom_analysis.dir/races.cpp.o"
+  "CMakeFiles/satom_analysis.dir/races.cpp.o.d"
+  "CMakeFiles/satom_analysis.dir/well_sync.cpp.o"
+  "CMakeFiles/satom_analysis.dir/well_sync.cpp.o.d"
+  "libsatom_analysis.a"
+  "libsatom_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satom_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satom_baseline.dir/operational.cpp.o"
+  "CMakeFiles/satom_baseline.dir/operational.cpp.o.d"
+  "libsatom_baseline.a"
+  "libsatom_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satom_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satom_checker.dir/checker.cpp.o"
+  "CMakeFiles/satom_checker.dir/checker.cpp.o.d"
+  "libsatom_checker.a"
+  "libsatom_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satom_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

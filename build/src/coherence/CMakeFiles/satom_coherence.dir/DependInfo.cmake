@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coherence/msi.cpp" "src/coherence/CMakeFiles/satom_coherence.dir/msi.cpp.o" "gcc" "src/coherence/CMakeFiles/satom_coherence.dir/msi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/enumerate/CMakeFiles/satom_enumerate.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/satom_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/satom_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/satom_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/satom_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/satom_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satom_coherence.dir/msi.cpp.o"
+  "CMakeFiles/satom_coherence.dir/msi.cpp.o.d"
+  "libsatom_coherence.a"
+  "libsatom_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satom_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

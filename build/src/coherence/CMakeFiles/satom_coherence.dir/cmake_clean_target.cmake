@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsatom_coherence.a"
+)

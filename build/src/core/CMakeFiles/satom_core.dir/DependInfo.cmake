@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/atomicity.cpp" "src/core/CMakeFiles/satom_core.dir/atomicity.cpp.o" "gcc" "src/core/CMakeFiles/satom_core.dir/atomicity.cpp.o.d"
+  "/root/repo/src/core/dot.cpp" "src/core/CMakeFiles/satom_core.dir/dot.cpp.o" "gcc" "src/core/CMakeFiles/satom_core.dir/dot.cpp.o.d"
+  "/root/repo/src/core/encode.cpp" "src/core/CMakeFiles/satom_core.dir/encode.cpp.o" "gcc" "src/core/CMakeFiles/satom_core.dir/encode.cpp.o.d"
+  "/root/repo/src/core/graph.cpp" "src/core/CMakeFiles/satom_core.dir/graph.cpp.o" "gcc" "src/core/CMakeFiles/satom_core.dir/graph.cpp.o.d"
+  "/root/repo/src/core/serialization.cpp" "src/core/CMakeFiles/satom_core.dir/serialization.cpp.o" "gcc" "src/core/CMakeFiles/satom_core.dir/serialization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/satom_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/satom_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

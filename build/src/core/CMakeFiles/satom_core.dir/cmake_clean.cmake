@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satom_core.dir/atomicity.cpp.o"
+  "CMakeFiles/satom_core.dir/atomicity.cpp.o.d"
+  "CMakeFiles/satom_core.dir/dot.cpp.o"
+  "CMakeFiles/satom_core.dir/dot.cpp.o.d"
+  "CMakeFiles/satom_core.dir/encode.cpp.o"
+  "CMakeFiles/satom_core.dir/encode.cpp.o.d"
+  "CMakeFiles/satom_core.dir/graph.cpp.o"
+  "CMakeFiles/satom_core.dir/graph.cpp.o.d"
+  "CMakeFiles/satom_core.dir/serialization.cpp.o"
+  "CMakeFiles/satom_core.dir/serialization.cpp.o.d"
+  "libsatom_core.a"
+  "libsatom_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satom_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

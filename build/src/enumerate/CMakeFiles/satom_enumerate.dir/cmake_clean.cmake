@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satom_enumerate.dir/behavior.cpp.o"
+  "CMakeFiles/satom_enumerate.dir/behavior.cpp.o.d"
+  "CMakeFiles/satom_enumerate.dir/engine.cpp.o"
+  "CMakeFiles/satom_enumerate.dir/engine.cpp.o.d"
+  "CMakeFiles/satom_enumerate.dir/outcome.cpp.o"
+  "CMakeFiles/satom_enumerate.dir/outcome.cpp.o.d"
+  "libsatom_enumerate.a"
+  "libsatom_enumerate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satom_enumerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

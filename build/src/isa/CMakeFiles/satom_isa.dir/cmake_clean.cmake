@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satom_isa.dir/builder.cpp.o"
+  "CMakeFiles/satom_isa.dir/builder.cpp.o.d"
+  "CMakeFiles/satom_isa.dir/instruction.cpp.o"
+  "CMakeFiles/satom_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/satom_isa.dir/program.cpp.o"
+  "CMakeFiles/satom_isa.dir/program.cpp.o.d"
+  "libsatom_isa.a"
+  "libsatom_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satom_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

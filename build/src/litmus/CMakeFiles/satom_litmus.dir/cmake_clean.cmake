@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satom_litmus.dir/condition.cpp.o"
+  "CMakeFiles/satom_litmus.dir/condition.cpp.o.d"
+  "CMakeFiles/satom_litmus.dir/library.cpp.o"
+  "CMakeFiles/satom_litmus.dir/library.cpp.o.d"
+  "CMakeFiles/satom_litmus.dir/parser.cpp.o"
+  "CMakeFiles/satom_litmus.dir/parser.cpp.o.d"
+  "libsatom_litmus.a"
+  "libsatom_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satom_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/models.cpp" "src/model/CMakeFiles/satom_model.dir/models.cpp.o" "gcc" "src/model/CMakeFiles/satom_model.dir/models.cpp.o.d"
+  "/root/repo/src/model/parser.cpp" "src/model/CMakeFiles/satom_model.dir/parser.cpp.o" "gcc" "src/model/CMakeFiles/satom_model.dir/parser.cpp.o.d"
+  "/root/repo/src/model/reorder_table.cpp" "src/model/CMakeFiles/satom_model.dir/reorder_table.cpp.o" "gcc" "src/model/CMakeFiles/satom_model.dir/reorder_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/satom_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/satom_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satom_model.dir/models.cpp.o"
+  "CMakeFiles/satom_model.dir/models.cpp.o.d"
+  "CMakeFiles/satom_model.dir/parser.cpp.o"
+  "CMakeFiles/satom_model.dir/parser.cpp.o.d"
+  "CMakeFiles/satom_model.dir/reorder_table.cpp.o"
+  "CMakeFiles/satom_model.dir/reorder_table.cpp.o.d"
+  "libsatom_model.a"
+  "libsatom_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satom_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satom_speculation.dir/report.cpp.o"
+  "CMakeFiles/satom_speculation.dir/report.cpp.o.d"
+  "libsatom_speculation.a"
+  "libsatom_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satom_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satom_tso.dir/analysis.cpp.o"
+  "CMakeFiles/satom_tso.dir/analysis.cpp.o.d"
+  "libsatom_tso.a"
+  "libsatom_tso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satom_tso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satom_txn.dir/atomic.cpp.o"
+  "CMakeFiles/satom_txn.dir/atomic.cpp.o.d"
+  "libsatom_txn.a"
+  "libsatom_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satom_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

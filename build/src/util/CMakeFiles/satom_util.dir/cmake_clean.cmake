@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satom_util.dir/table.cpp.o"
+  "CMakeFiles/satom_util.dir/table.cpp.o.d"
+  "libsatom_util.a"
+  "libsatom_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satom_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atomicity.dir/test_atomicity.cpp.o"
+  "CMakeFiles/test_atomicity.dir/test_atomicity.cpp.o.d"
+  "test_atomicity"
+  "test_atomicity.pdb"
+  "test_atomicity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atomicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rmw.dir/test_rmw.cpp.o"
+  "CMakeFiles/test_rmw.dir/test_rmw.cpp.o.d"
+  "test_rmw"
+  "test_rmw.pdb"
+  "test_rmw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rmw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_speculation.dir/test_speculation.cpp.o"
+  "CMakeFiles/test_speculation.dir/test_speculation.cpp.o.d"
+  "test_speculation"
+  "test_speculation.pdb"
+  "test_speculation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

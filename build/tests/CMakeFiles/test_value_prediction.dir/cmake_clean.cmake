@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_value_prediction.dir/test_value_prediction.cpp.o"
+  "CMakeFiles/test_value_prediction.dir/test_value_prediction.cpp.o.d"
+  "test_value_prediction"
+  "test_value_prediction.pdb"
+  "test_value_prediction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_value_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bitset[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_atomicity[1]_include.cmake")
+include("/root/repo/build/tests/test_serialization[1]_include.cmake")
+include("/root/repo/build/tests/test_models[1]_include.cmake")
+include("/root/repo/build/tests/test_enumerate[1]_include.cmake")
+include("/root/repo/build/tests/test_litmus[1]_include.cmake")
+include("/root/repo/build/tests/test_crossvalidation[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_coherence[1]_include.cmake")
+include("/root/repo/build/tests/test_speculation[1]_include.cmake")
+include("/root/repo/build/tests/test_tso[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_rmw[1]_include.cmake")
+include("/root/repo/build/tests/test_fences[1]_include.cmake")
+include("/root/repo/build/tests/test_txn[1]_include.cmake")
+include("/root/repo/build/tests/test_value_prediction[1]_include.cmake")
+include("/root/repo/build/tests/test_model_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_checker[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_internals[1]_include.cmake")
