@@ -13,8 +13,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "baseline/operational.hpp"
 #include "bench_util.hpp"
+#include "json_out.hpp"
 #include "litmus/library.hpp"
 
 namespace
@@ -64,6 +67,50 @@ BM_StoreBufferTSO(benchmark::State &state)
     state.SetLabel(t.name);
 }
 
+/**
+ * One record per (model, worker count): enumerate the whole litmus
+ * library and total wall time, states and outcomes.  workers == 1 is
+ * a serial loop over the tests; higher counts fan the independent
+ * tests out over enumerateBatch's work-stealing pool (litmus state
+ * spaces are too small to split inside one test, so across-tests is
+ * where the library run parallelizes).
+ */
+void
+emitJson(const std::string &path)
+{
+    using namespace satom::bench;
+    JsonWriter out;
+    for (ModelId id : {ModelId::SC, ModelId::TSO, ModelId::WMM}) {
+        const MemoryModel m = makeModel(id);
+        std::vector<EnumerationJob> jobs;
+        jobs.reserve(tests().size());
+        for (const auto &lt : tests())
+            jobs.push_back({&lt.program, &m});
+        for (int workers : {1, 2, 4}) {
+            EnumerationOptions opts;
+            opts.numWorkers = workers;
+            const auto t0 = std::chrono::steady_clock::now();
+            const auto rs = enumerateBatch(jobs, opts);
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            long states = 0;
+            long outcomes = 0;
+            for (const auto &r : rs) {
+                states += r.stats.statesExplored;
+                outcomes += static_cast<long>(r.outcomes.size());
+            }
+            out.add({"litmus_matrix", m.name, ms, states, outcomes,
+                     workers});
+        }
+    }
+    if (!out.writeTo(path))
+        std::cerr << "cannot write " << path << "\n";
+    else
+        std::cout << "wrote " << path << "\n";
+}
+
 } // namespace
 
 BENCHMARK(BM_GraphEnumerator)
@@ -75,6 +122,7 @@ int
 main(int argc, char **argv)
 {
     using namespace satom::bench;
+    const std::string jsonPath = extractJsonPath(argc, argv);
     banner("TAB-LITMUS (Table A)",
            "allowed/forbidden matrix across models");
 
@@ -108,6 +156,9 @@ main(int argc, char **argv)
     }
     std::cout << t.render();
     std::cout << "expectation mismatches: " << mismatches << "\n";
+
+    if (!jsonPath.empty())
+        emitJson(jsonPath);
 
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

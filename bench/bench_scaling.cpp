@@ -12,8 +12,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bench_util.hpp"
 #include "isa/builder.hpp"
+#include "json_out.hpp"
 
 namespace
 {
@@ -48,6 +51,48 @@ BM_EnumerateRing(benchmark::State &state)
     state.SetLabel(m.name);
 }
 
+/**
+ * One record per (ring size, model, worker count): wall time, states
+ * and outcomes for a single enumeration of that ring.
+ */
+void
+emitJson(const std::string &path)
+{
+    using namespace satom::bench;
+    JsonWriter out;
+    for (int threads : {2, 3, 4}) {
+        for (int reads : {1, 2}) {
+            if (threads == 4 && reads == 2)
+                continue; // keep runtime bounded
+            const Program p = ring(threads, reads);
+            const std::string bench = "scaling/t" +
+                                      std::to_string(threads) + "r" +
+                                      std::to_string(reads);
+            for (ModelId id : {ModelId::SC, ModelId::WMM}) {
+                const MemoryModel m = makeModel(id);
+                for (int workers : {1, 2, 4}) {
+                    EnumerationOptions opts;
+                    opts.numWorkers = workers;
+                    const auto t0 = std::chrono::steady_clock::now();
+                    const auto r = enumerateBehaviors(p, m, opts);
+                    const double ms =
+                        std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+                    out.add({bench, m.name, ms,
+                             r.stats.statesExplored,
+                             static_cast<long>(r.outcomes.size()),
+                             workers});
+                }
+            }
+        }
+    }
+    if (!out.writeTo(path))
+        std::cerr << "cannot write " << path << "\n";
+    else
+        std::cout << "wrote " << path << "\n";
+}
+
 } // namespace
 
 BENCHMARK(BM_EnumerateRing)
@@ -58,6 +103,7 @@ int
 main(int argc, char **argv)
 {
     using namespace satom::bench;
+    const std::string jsonPath = extractJsonPath(argc, argv);
     banner("TAB-SCALE (Table B)", "enumeration cost vs program size");
 
     TextTable t;
@@ -91,6 +137,9 @@ main(int argc, char **argv)
     std::cout << t.render();
     std::cout << "note: dup rate is the fraction of forks pruned by "
                  "the Load-Store-graph comparison of Section 4.1.\n";
+
+    if (!jsonPath.empty())
+        emitJson(jsonPath);
 
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

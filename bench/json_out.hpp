@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Machine-readable benchmark records.
+ *
+ * The --json mode of the enumeration benches appends one record per
+ * measured configuration and writes a flat JSON array, so downstream
+ * tooling (and BENCH_enumerate.json, the checked-in artifact produced
+ * by run_benchmarks.sh) can diff runs without scraping the text
+ * tables.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace satom::bench
+{
+
+/** One measured configuration. */
+struct JsonRecord
+{
+    std::string bench;  ///< benchmark + workload identifier
+    std::string model;  ///< memory model name
+    double wallMs = 0;  ///< wall-clock time for the workload
+    long states = 0;    ///< states explored (summed over the workload)
+    long outcomes = 0;  ///< distinct outcomes (summed)
+    int workers = 0;    ///< enumeration worker threads
+};
+
+/** Collects records and renders them as a JSON array. */
+class JsonWriter
+{
+  public:
+    void add(JsonRecord r) { records_.push_back(std::move(r)); }
+
+    std::string
+    render() const
+    {
+        std::string out = "[\n";
+        for (std::size_t i = 0; i < records_.size(); ++i) {
+            const JsonRecord &r = records_[i];
+            out += "  {\"bench\": \"" + escape(r.bench) +
+                   "\", \"model\": \"" + escape(r.model) +
+                   "\", \"wall_ms\": " + formatMs(r.wallMs) +
+                   ", \"states\": " + std::to_string(r.states) +
+                   ", \"outcomes\": " + std::to_string(r.outcomes) +
+                   ", \"workers\": " + std::to_string(r.workers) +
+                   ", \"cpus\": " + std::to_string(hostCpus()) + "}";
+            out += i + 1 < records_.size() ? ",\n" : "\n";
+        }
+        out += "]\n";
+        return out;
+    }
+
+    /** Write the array to @p path; false on I/O failure. */
+    bool
+    writeTo(const std::string &path) const
+    {
+        std::ofstream f(path);
+        if (!f)
+            return false;
+        f << render();
+        return static_cast<bool>(f);
+    }
+
+  private:
+    /**
+     * CPUs available to this process — the denominator any parallel
+     * speedup in the record is bounded by.  Worker counts above this
+     * cannot beat serial, so readers of the checked-in artifact need
+     * it to interpret the wall_ms trajectory across machines.
+     */
+    static int
+    hostCpus()
+    {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw > 0 ? static_cast<int>(hw) : 1;
+    }
+
+    static std::string
+    escape(const std::string &s)
+    {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out;
+    }
+
+    static std::string
+    formatMs(double ms)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.3f", ms);
+        return buf;
+    }
+
+    std::vector<JsonRecord> records_;
+};
+
+/** Pull `--json <path>` out of argv (mutating argc/argv); "" if absent. */
+inline std::string
+extractJsonPath(int &argc, char **argv)
+{
+    std::string path;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+            path = argv[++i];
+            continue;
+        }
+        argv[w++] = argv[i];
+    }
+    argc = w;
+    return path;
+}
+
+} // namespace satom::bench

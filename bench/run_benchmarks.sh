@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Run the enumeration benches in --json mode and merge their records
+# into BENCH_enumerate.json (the checked-in benchmark artifact).
+#
+# Usage: bench/run_benchmarks.sh [build-dir]
+#
+# The build dir defaults to ./build and must already contain the bench
+# binaries (cmake --build build -j).  Records are a flat array of
+# {bench, model, wall_ms, states, outcomes, workers, cpus} objects;
+# workers=1 is the serial engine, higher counts the parallel engine
+# (enumerateBatch across the litmus library, frontier waves inside one
+# scaling ring); cpus is what the host could actually run in parallel.
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+out="$repo/BENCH_enumerate.json"
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+for bench in bench_litmus_matrix bench_scaling; do
+    bin="$build/bench/$bench"
+    if [ ! -x "$bin" ]; then
+        echo "error: $bin not built (cmake --build $build -j)" >&2
+        exit 1
+    fi
+    # --benchmark_filter that matches nothing skips the google-benchmark
+    # timing phase; the tables and the JSON records still run.
+    "$bin" --json "$tmpdir/$bench.json" \
+        --benchmark_filter='^$' >/dev/null
+done
+
+if command -v jq >/dev/null 2>&1; then
+    jq -s 'add' "$tmpdir"/bench_litmus_matrix.json \
+        "$tmpdir"/bench_scaling.json > "$out"
+else
+    # Fallback merge: strip the closing/opening brackets between files.
+    {
+        sed '$d' "$tmpdir/bench_litmus_matrix.json" | sed '$s/$/,/'
+        sed '1d' "$tmpdir/bench_scaling.json"
+    } > "$out"
+fi
+
+echo "wrote $out"

@@ -6,7 +6,7 @@
  * Usage:
  *   litmus_runner <file.litmus> [--model NAME]...
  *                 [--model-file <file.model>]... [--outcomes]
- *                 [--dot <file>] [--budget N]
+ *                 [--dot <file>] [--budget N] [--workers N]
  *
  * With no --model/--model-file, runs every bundled model.  Prints the
  * condition verdict per model, checks any `expect` lines in the file,
@@ -39,8 +39,10 @@ usage()
     std::cerr << "usage: litmus_runner <file.litmus> [--model NAME]...\n"
                  "                     [--model-file FILE]...\n"
                  "                     [--outcomes] [--dot FILE]\n"
-                 "                     [--budget N]\n"
-                 "models: SC TSO-approx TSO PSO WMM WMM+spec\n";
+                 "                     [--budget N] [--workers N]\n"
+                 "models: SC TSO-approx TSO PSO WMM WMM+spec\n"
+                 "--workers 0 (default) uses all hardware threads;\n"
+                 "--workers 1 forces the serial engine\n";
     return 2;
 }
 
@@ -57,6 +59,7 @@ main(int argc, char **argv)
     bool showOutcomes = false;
     std::string dotPath;
     int budget = 64;
+    int workers = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -84,7 +87,21 @@ main(int argc, char **argv)
         } else if (arg == "--dot" && i + 1 < argc) {
             dotPath = argv[++i];
         } else if (arg == "--budget" && i + 1 < argc) {
-            budget = std::stoi(argv[++i]);
+            try {
+                budget = std::stoi(argv[++i]);
+            } catch (const std::exception &) {
+                std::cerr << "--budget needs an integer, got '"
+                          << argv[i] << "'\n";
+                return 1;
+            }
+        } else if (arg == "--workers" && i + 1 < argc) {
+            try {
+                workers = std::stoi(argv[++i]);
+            } catch (const std::exception &) {
+                std::cerr << "--workers needs an integer, got '"
+                          << argv[i] << "'\n";
+                return 1;
+            }
         } else if (!arg.empty() && arg[0] == '-') {
             return usage();
         } else {
@@ -126,6 +143,7 @@ main(int argc, char **argv)
     EnumerationOptions opts;
     opts.maxDynamicPerThread = budget;
     opts.collectExecutions = !dotPath.empty();
+    opts.numWorkers = workers;
 
     TextTable table;
     table.header({"model", "executions", "outcomes", "verdict",

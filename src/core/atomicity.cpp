@@ -235,8 +235,10 @@ candidateStores(const ExecutionGraph &g, NodeId load)
         if (!overwritten && ln.kind == NodeKind::Rmw) {
             for (const Node &other : g.nodes()) {
                 if (other.kind == NodeKind::Rmw && other.id != load &&
-                    other.source == sid)
+                    other.source == sid) {
                     overwritten = true;
+                    break;
+                }
             }
         }
         if (!overwritten)

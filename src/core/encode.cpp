@@ -2,8 +2,6 @@
 
 #include <sstream>
 
-#include "util/hash.hpp"
-
 namespace satom
 {
 
@@ -35,10 +33,80 @@ encodeGraph(const ExecutionGraph &g, bool memoryOnly)
     return out.str();
 }
 
+namespace
+{
+
+/** Mix one node's identity, state and source into @p h. */
+void
+hashNode(StreamHash64 &h, const Node &n)
+{
+    // Pack the small discriminators into two words so a node costs a
+    // handful of mixes, not one per field.
+    const std::uint64_t w1 =
+        static_cast<std::uint32_t>(n.id) |
+        (static_cast<std::uint64_t>(
+             static_cast<std::uint8_t>(n.tid + 1))
+         << 32) |
+        (static_cast<std::uint64_t>(n.kind) << 40) |
+        (std::uint64_t{n.addrKnown} << 48) |
+        (std::uint64_t{n.valueKnown} << 49) |
+        (std::uint64_t{n.bypass} << 50);
+    const std::uint64_t w2 =
+        static_cast<std::uint32_t>(n.pindex) |
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+             n.serial))
+         << 32);
+    h.value(w1);
+    h.value(w2);
+    h.signedValue(n.source);
+    if (n.addrKnown)
+        h.signedValue(n.addr);
+    if (n.valueKnown)
+        h.signedValue(n.value);
+}
+
+} // namespace
+
+void
+hashGraphInto(StreamHash64 &h, const ExecutionGraph &g, bool memoryOnly)
+{
+    if (!memoryOnly) {
+        for (const Node &n : g.nodes())
+            hashNode(h, n);
+        // Every node is in the key: the predecessor rows ARE the
+        // closure.  Hash the raw words.
+        for (NodeId v = 0; v < g.size(); ++v) {
+            const auto row = g.preds(v);
+            const std::size_t n = (row.bits() + 63) / 64;
+            for (std::size_t i = 0; i < n && i < row.nwords(); ++i)
+                h.value(row.words()[i]);
+        }
+        return;
+    }
+
+    std::vector<NodeId> picked;
+    picked.reserve(static_cast<std::size_t>(g.size()));
+    for (const auto &n : g.nodes())
+        if (n.isMemory())
+            picked.push_back(n.id);
+
+    for (NodeId id : picked)
+        hashNode(h, g.node(id));
+    for (NodeId v : picked) {
+        const auto row = g.preds(v);
+        for (NodeId u : picked)
+            if (u != v && row.test(static_cast<std::size_t>(u)))
+                h.signedValue(u);
+        h.value(0x726f77); // row separator
+    }
+}
+
 std::uint64_t
 hashGraph(const ExecutionGraph &g, bool memoryOnly)
 {
-    return hashString(encodeGraph(g, memoryOnly));
+    StreamHash64 h;
+    hashGraphInto(h, g, memoryOnly);
+    return h.digest();
 }
 
 } // namespace satom

@@ -9,6 +9,10 @@
  * to memory nodes *is* the spliced graph, so the canonical form is a
  * deterministic byte string over memory nodes, their state, the source
  * map and the restricted closure.
+ *
+ * The string form is kept for tests and debugging; the enumerator dedups
+ * on the streaming 64-bit digest (hashGraphInto), which mixes the same
+ * information without materializing the string.
  */
 
 #pragma once
@@ -16,6 +20,7 @@
 #include <string>
 
 #include "core/graph.hpp"
+#include "util/hash.hpp"
 
 namespace satom
 {
@@ -29,7 +34,14 @@ namespace satom
  */
 std::string encodeGraph(const ExecutionGraph &g, bool memoryOnly);
 
-/** FNV-1a digest of encodeGraph. */
+/**
+ * Mix the canonical content of @p g into @p h without building the
+ * string.  Two graphs with equal encodeGraph strings mix identically.
+ */
+void hashGraphInto(StreamHash64 &h, const ExecutionGraph &g,
+                   bool memoryOnly);
+
+/** One-shot 64-bit digest of the canonical content of @p g. */
 std::uint64_t hashGraph(const ExecutionGraph &g, bool memoryOnly);
 
 } // namespace satom

@@ -1,5 +1,6 @@
 #include "core/graph.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace satom
@@ -69,16 +70,54 @@ ExecutionGraph::addNode(Node n)
 {
     const NodeId id = static_cast<NodeId>(nodes_.size());
     n.id = id;
+    if (n.isStore() && n.addrKnown)
+        indexStore(n.addr, id);
     nodes_.push_back(std::move(n));
-
-    const std::size_t cap = nodes_.size();
-    pred_.emplace_back(cap);
-    succ_.emplace_back(cap);
-    for (auto &b : pred_)
-        b.resize(cap);
-    for (auto &b : succ_)
-        b.resize(cap);
+    pred_.addRow();
+    succ_.addRow();
     return id;
+}
+
+void
+ExecutionGraph::reserveNodes(int n)
+{
+    nodes_.reserve(static_cast<std::size_t>(n));
+    pred_.reserve(n);
+    succ_.reserve(n);
+}
+
+void
+ExecutionGraph::copyFrom(const ExecutionGraph &other)
+{
+    nodes_ = other.nodes_;
+    edges_ = other.edges_;
+    pred_.assignFrom(other.pred_);
+    succ_.assignFrom(other.succ_);
+    storeIndex_ = other.storeIndex_;
+}
+
+void
+ExecutionGraph::indexStore(Addr a, NodeId id)
+{
+    const StoreIndexEntry e{a, id};
+    const auto pos = std::lower_bound(
+        storeIndex_.begin(), storeIndex_.end(), e,
+        [](const StoreIndexEntry &x, const StoreIndexEntry &y) {
+            return x.addr != y.addr ? x.addr < y.addr : x.id < y.id;
+        });
+    storeIndex_.insert(pos, e);
+}
+
+void
+ExecutionGraph::resolveAddr(NodeId id, Addr a)
+{
+    Node &n = nodes_[id];
+    if (n.addrKnown)
+        return;
+    n.addrKnown = true;
+    n.addr = a;
+    if (n.isStore())
+        indexStore(a, id);
 }
 
 bool
@@ -90,21 +129,25 @@ ExecutionGraph::addEdge(NodeId u, NodeId v, EdgeKind kind)
     }
     if (u == v)
         return false;
-    if (pred_[u].test(static_cast<std::size_t>(v)))
+    if (pred_.test(u, static_cast<std::size_t>(v)))
         return false; // would close a cycle
-    if (pred_[v].test(static_cast<std::size_t>(u)))
+    if (pred_.test(v, static_cast<std::size_t>(u)))
         return true; // already implied; keep direct edges minimal
 
     edges_.push_back({u, v, kind});
 
     // Everything at-or-before u is now before everything at-or-after v.
-    Bitset before = pred_[u];
+    Bitset before = preds(u);
     before.set(static_cast<std::size_t>(u));
-    Bitset after = succ_[v];
+    Bitset after = succs(v);
     after.set(static_cast<std::size_t>(v));
 
-    after.forEach([&](std::size_t s) { pred_[s] |= before; });
-    before.forEach([&](std::size_t p) { succ_[p] |= after; });
+    after.forEach([&](std::size_t s) {
+        pred_.orInto(static_cast<int>(s), before);
+    });
+    before.forEach([&](std::size_t p) {
+        succ_.orInto(static_cast<int>(p), after);
+    });
     return true;
 }
 
@@ -122,8 +165,8 @@ std::size_t
 ExecutionGraph::closureSize() const
 {
     std::size_t n = 0;
-    for (const auto &b : pred_)
-        n += b.count();
+    for (int i = 0; i < size(); ++i)
+        n += preds(i).count();
     return n;
 }
 
@@ -156,14 +199,20 @@ ExecutionGraph::stores() const
     return out;
 }
 
-std::vector<NodeId>
+StoreRange
 ExecutionGraph::storesTo(Addr a) const
 {
-    std::vector<NodeId> out;
-    for (const auto &n : nodes_)
-        if (n.isStore() && n.addrKnown && n.addr == a)
-            out.push_back(n.id);
-    return out;
+    const auto cmpAddr = [](const StoreIndexEntry &x, Addr y) {
+        return x.addr < y;
+    };
+    const auto *base = storeIndex_.data();
+    const auto lo = std::lower_bound(storeIndex_.begin(),
+                                     storeIndex_.end(), a, cmpAddr);
+    auto hi = lo;
+    while (hi != storeIndex_.end() && hi->addr == a)
+        ++hi;
+    return StoreRange(base + (lo - storeIndex_.begin()),
+                      base + (hi - storeIndex_.begin()));
 }
 
 } // namespace satom

@@ -4,8 +4,11 @@
  *
  * The graph maintains the strict partial order `@` ("before", Section 3 of
  * the paper) as a full transitive closure, stored as one predecessor and
- * one successor bitset per node and updated incrementally on every edge
- * insertion.  Edge kinds follow Figure 2:
+ * one successor bit row per node (packed into two contiguous BitMatrix
+ * buffers so that copying a graph — which the enumerator does on every
+ * fork — costs two buffer copies rather than one allocation per node)
+ * and updated incrementally on every edge insertion.  Edge kinds follow
+ * Figure 2:
  *
  *  - Local:     thread-local ordering `≺` (reordering axioms + dataflow),
  *  - Source:    observation edges source(L) -> L,
@@ -16,6 +19,13 @@
  * Inserting an edge that would close a cycle fails and leaves the closure
  * untouched; callers treat that as a serializability violation (or a
  * speculation failure requiring rollback).
+ *
+ * Address-resolved Stores are additionally indexed by address, so the
+ * storesTo() lookups in the Store Atomicity closure and the candidate
+ * computation — the hottest loops of the enumeration — do not scan the
+ * node table.  Store addresses must therefore be resolved through
+ * resolveAddr() (or be known at addNode() time); Node::addr of a Store
+ * must not be mutated behind the graph's back.
  */
 
 #pragma once
@@ -24,6 +34,7 @@
 #include <vector>
 
 #include "core/node.hpp"
+#include "util/bitmatrix.hpp"
 #include "util/bitset.hpp"
 
 namespace satom
@@ -46,6 +57,58 @@ struct Edge
     EdgeKind kind = EdgeKind::Local;
 };
 
+/** One entry of the address -> Store index, sorted by (addr, id). */
+struct StoreIndexEntry
+{
+    Addr addr = 0;
+    NodeId id = invalidNode;
+};
+
+/**
+ * The address-resolved Stores to one address, in ascending node-id
+ * order.  A lightweight view into the graph's store index; invalidated
+ * by addNode()/resolveAddr() like any index iterator.
+ */
+class StoreRange
+{
+  public:
+    class iterator
+    {
+      public:
+        explicit iterator(const StoreIndexEntry *p) : p_(p) {}
+        NodeId operator*() const { return p_->id; }
+        iterator &
+        operator++()
+        {
+            ++p_;
+            return *this;
+        }
+        bool operator!=(const iterator &o) const { return p_ != o.p_; }
+        bool operator==(const iterator &o) const { return p_ == o.p_; }
+
+      private:
+        const StoreIndexEntry *p_;
+    };
+
+    StoreRange(const StoreIndexEntry *b, const StoreIndexEntry *e)
+        : b_(b), e_(e)
+    {
+    }
+
+    iterator begin() const { return iterator(b_); }
+    iterator end() const { return iterator(e_); }
+    bool empty() const { return b_ == e_; }
+    std::size_t
+    size() const
+    {
+        return static_cast<std::size_t>(e_ - b_);
+    }
+
+  private:
+    const StoreIndexEntry *b_;
+    const StoreIndexEntry *e_;
+};
+
 /**
  * Execution graph with incremental transitive closure.
  */
@@ -54,6 +117,17 @@ class ExecutionGraph
   public:
     /** Append a node; its id is assigned and returned. */
     NodeId addNode(Node n);
+
+    /** Pre-size internal tables for @p n nodes (capacity only). */
+    void reserveNodes(int n);
+
+    /**
+     * Become a copy of @p other while re-using this graph's buffers.
+     * Equivalent to assignment but performs no allocation once this
+     * graph's capacity covers @p other — the enumerator re-uses one
+     * scratch graph across finalization checks this way.
+     */
+    void copyFrom(const ExecutionGraph &other);
 
     /** Number of nodes. */
     int size() const { return static_cast<int>(nodes_.size()); }
@@ -71,7 +145,7 @@ class ExecutionGraph
     bool
     ordered(NodeId u, NodeId v) const
     {
-        return pred_[v].test(static_cast<std::size_t>(u));
+        return pred_.test(v, static_cast<std::size_t>(u));
     }
 
     /** True iff u `@` v or v `@` u. */
@@ -82,10 +156,18 @@ class ExecutionGraph
     }
 
     /** Closure predecessors of @p id (everything `@`-before it). */
-    const Bitset &preds(NodeId id) const { return pred_[id]; }
+    BitMatrix::RowView
+    preds(NodeId id) const
+    {
+        return pred_.row(id, nodes_.size());
+    }
 
     /** Closure successors of @p id (everything `@`-after it). */
-    const Bitset &succs(NodeId id) const { return succ_[id]; }
+    BitMatrix::RowView
+    succs(NodeId id) const
+    {
+        return succ_.row(id, nodes_.size());
+    }
 
     /**
      * Insert an edge u -> v of the given kind.
@@ -99,6 +181,13 @@ class ExecutionGraph
      * figures).
      */
     bool addEdge(NodeId u, NodeId v, EdgeKind kind);
+
+    /**
+     * Resolve the address of memory node @p id to @p a, keeping the
+     * address index in sync when the node is a Store.  No-op if the
+     * address is already known.
+     */
+    void resolveAddr(NodeId id, Addr a);
 
     /** Count of edges added through addEdge with the given kind. */
     int edgeCount(EdgeKind kind) const;
@@ -116,15 +205,20 @@ class ExecutionGraph
     std::vector<NodeId> stores() const;
 
     /**
-     * Ids of address-resolved Store nodes to @p a.
+     * Address-resolved Store nodes to @p a, ascending id.  O(log S)
+     * via the address index; the returned view is invalidated by
+     * addNode() and resolveAddr().
      */
-    std::vector<NodeId> storesTo(Addr a) const;
+    StoreRange storesTo(Addr a) const;
 
   private:
+    void indexStore(Addr a, NodeId id);
+
     std::vector<Node> nodes_;
     std::vector<Edge> edges_;
-    std::vector<Bitset> pred_;
-    std::vector<Bitset> succ_;
+    BitMatrix pred_;
+    BitMatrix succ_;
+    std::vector<StoreIndexEntry> storeIndex_;
 };
 
 } // namespace satom

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "core/encode.hpp"
+#include "util/hash.hpp"
 
 namespace satom
 {
@@ -20,6 +21,31 @@ Behavior::key() const
     for (const auto &p : pendingAlias)
         out << "|pa" << p.first << ',' << p.second;
     return out.str();
+}
+
+std::uint64_t
+Behavior::hashKey() const
+{
+    StreamHash64 h;
+    hashGraphInto(h, graph, /*memoryOnly=*/false);
+    for (const auto &t : threads) {
+        h.value((static_cast<std::uint64_t>(
+                     static_cast<std::uint32_t>(t.pc))
+                 << 1) |
+                (t.blocked ? 1 : 0));
+        for (const auto &[r, n] : t.regs)
+            h.value(static_cast<std::uint32_t>(n) |
+                    (static_cast<std::uint64_t>(
+                         static_cast<std::uint32_t>(r))
+                     << 32));
+        h.value(0x746872); // thread separator
+    }
+    for (const auto &p : pendingAlias)
+        h.value(static_cast<std::uint32_t>(p.first) |
+                (static_cast<std::uint64_t>(
+                     static_cast<std::uint32_t>(p.second))
+                 << 32));
+    return h.digest();
 }
 
 } // namespace satom

@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -30,6 +31,14 @@ struct ThreadState
     int currentTxn = -1; ///< open transaction instance, or -1
     std::map<Reg, NodeId> regs; ///< register -> producing node
     std::vector<NodeId> emitted; ///< this thread's nodes, program order
+
+    /**
+     * This thread's earlier partial-fence nodes together with the
+     * union of orderings they impose, cached so emitNode wires a new
+     * node against every earlier fence in one pass instead of
+     * re-scanning `emitted` per fence.
+     */
+    std::vector<NodeId> partialFences;
 
     /** True when generation has run the thread's code to completion. */
     bool
@@ -59,6 +68,14 @@ struct Behavior
 
     /** Full-state canonical key for duplicate pruning. */
     std::string key() const;
+
+    /**
+     * 64-bit digest of exactly the state key() serializes (graph,
+     * per-thread pc/blocked/registers, pending alias pairs).  The
+     * enumerator dedups on this digest instead of materializing the
+     * multi-kilobyte string per fork.
+     */
+    std::uint64_t hashKey() const;
 };
 
 } // namespace satom

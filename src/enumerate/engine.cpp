@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <thread>
 #include <unordered_set>
 
 #include <cstdio>
@@ -127,7 +128,7 @@ evalAlu(const ExecutionGraph &g, const Node &n)
 } // namespace
 
 void
-Enumerator::emitNode(Behavior &b, ThreadId tid)
+Enumerator::emitNode(Behavior &b, ThreadId tid) const
 {
     ThreadState &ts = b.threads[static_cast<std::size_t>(tid)];
     const Instruction &ins =
@@ -236,20 +237,24 @@ Enumerator::emitNode(Behavior &b, ThreadId tid)
         }
     }
 
-    // Partial-fence orderings: for every earlier fence F and every
-    // memory op q before F whose class the mask orders against this
-    // node's class, add a direct q -> n edge.
-    if (nn.isMemory()) {
-        for (NodeId fid : ts.emitted) {
-            const Node &fn = b.graph.node(fid);
-            if (!isPartialFence(fn))
+    // Partial-fence orderings: a prior memory op q must order before
+    // this node when some partial fence between them masks the pair of
+    // classes.  One pass over the thread's nodes, checking each memory
+    // op against the cached fence list (fences are rare; the old
+    // fence-major double scan over `emitted` was quadratic per node).
+    if (nn.isMemory() && !ts.partialFences.empty()) {
+        for (NodeId q : ts.emitted) {
+            const Node &qn = b.graph.node(q);
+            if (!qn.isMemory())
                 continue;
-            for (NodeId q : ts.emitted) {
-                const Node &qn = b.graph.node(q);
-                if (qn.serial >= fn.serial || !qn.isMemory())
+            for (NodeId fid : ts.partialFences) {
+                const Node &fn = b.graph.node(fid);
+                if (qn.serial >= fn.serial)
                     continue;
-                if (maskOrders(fn.instr.fence, qn.kind, nn.kind))
+                if (maskOrders(fn.instr.fence, qn.kind, nn.kind)) {
                     b.graph.addEdge(q, id, EdgeKind::Local);
+                    break;
+                }
             }
         }
     }
@@ -260,6 +265,8 @@ Enumerator::emitNode(Behavior &b, ThreadId tid)
         ts.regs[nn.instr.dst] = id;
     }
     ts.emitted.push_back(id);
+    if (isPartialFence(nn))
+        ts.partialFences.push_back(id);
     ++ts.serial;
     if (ins.op == Opcode::TxEnd)
         ts.currentTxn = -1;
@@ -273,7 +280,7 @@ Enumerator::emitNode(Behavior &b, ThreadId tid)
 }
 
 bool
-Enumerator::generate(Behavior &b)
+Enumerator::generate(Behavior &b) const
 {
     bool changed = false;
     for (ThreadId tid = 0; tid < program_.numThreads(); ++tid) {
@@ -296,7 +303,7 @@ Enumerator::generate(Behavior &b)
 }
 
 bool
-Enumerator::executeDataflow(Behavior &b)
+Enumerator::executeDataflow(Behavior &b) const
 {
     ExecutionGraph &g = b.graph;
     bool any = false;
@@ -309,8 +316,7 @@ Enumerator::executeDataflow(Behavior &b)
             if (n.isMemory() && !n.addrKnown &&
                 n.addrSrc != invalidNode &&
                 g.node(n.addrSrc).valueKnown) {
-                n.addrKnown = true;
-                n.addr = g.node(n.addrSrc).value;
+                g.resolveAddr(i, g.node(n.addrSrc).value);
                 changed = true;
             }
             if (n.executed)
@@ -371,7 +377,7 @@ Enumerator::executeDataflow(Behavior &b)
 }
 
 Enumerator::StepStatus
-Enumerator::processPendingAlias(Behavior &b)
+Enumerator::processPendingAlias(Behavior &b) const
 {
     bool changed = false;
     auto it = b.pendingAlias.begin();
@@ -394,7 +400,7 @@ Enumerator::processPendingAlias(Behavior &b)
 }
 
 bool
-Enumerator::runClosure(Behavior &b)
+Enumerator::runClosure(Behavior &b, EnumStats &stats) const
 {
     // The Store Atomicity closure and the transaction interval rules
     // feed each other: new `@` edges can pull foreign nodes into a
@@ -404,8 +410,8 @@ Enumerator::runClosure(Behavior &b)
         ClosureStats cs;
         const ClosureResult res =
             closeStoreAtomicity(b.graph, &cs, options_.applyRuleC);
-        result_.stats.closureIterations += cs.iterations;
-        result_.stats.closureEdges += cs.edgesAdded;
+        stats.closureIterations += cs.iterations;
+        stats.closureEdges += cs.edgesAdded;
         if (res != ClosureResult::Ok)
             return false;
         if (b.nextTxn == 0)
@@ -413,7 +419,7 @@ Enumerator::runClosure(Behavior &b)
         int added = 0;
         if (enforceTxnIntervals(b.graph, &added) !=
             TxnResult::Ok) {
-            ++result_.stats.txnAborts;
+            ++stats.txnAborts;
             return false;
         }
         if (added == 0)
@@ -422,7 +428,7 @@ Enumerator::runClosure(Behavior &b)
 }
 
 bool
-Enumerator::stabilize(Behavior &b)
+Enumerator::stabilize(Behavior &b, EnumStats &stats) const
 {
     bool changed = true;
     while (changed) {
@@ -434,7 +440,7 @@ Enumerator::stabilize(Behavior &b)
             return false;
         changed |= st == StepStatus::Changed;
     }
-    return runClosure(b);
+    return runClosure(b, stats);
 }
 
 bool
@@ -459,28 +465,31 @@ namespace
  * last" means ordering every other same-address Store before it; those
  * edges interact with Load observations through the Store Atomicity
  * rules (e.g. rule b then orders observers of the earlier Stores), so
- * the check augments a copy of the graph and re-runs the closure: any
+ * the check augments a copy of the graph (@p scratch, re-used across
+ * combinations so the buffers stay warm) and re-runs the closure: any
  * cycle or violation means no serialization finishes this way.
  */
 bool
 finalizationConsistent(const ExecutionGraph &g,
-                       const std::map<Addr, NodeId> &chosen)
+                       const std::map<Addr, NodeId> &chosen,
+                       ExecutionGraph &scratch)
 {
-    ExecutionGraph augmented = g;
+    scratch.copyFrom(g);
     for (const auto &[a, last] : chosen) {
-        for (NodeId s : augmented.storesTo(a)) {
+        for (NodeId s : scratch.storesTo(a)) {
             if (s != last &&
-                !augmented.addEdge(s, last, EdgeKind::Atomicity))
+                !scratch.addEdge(s, last, EdgeKind::Atomicity))
                 return false;
         }
     }
-    return closeStoreAtomicity(augmented) == ClosureResult::Ok;
+    return closeStoreAtomicity(scratch) == ClosureResult::Ok;
 }
 
 } // namespace
 
-void
-Enumerator::recordOutcome(const Behavior &b)
+std::uint64_t
+Enumerator::recordOutcome(const Behavior &b, std::set<Outcome> &outcomes,
+                          ExecutionGraph &scratch) const
 {
     Outcome base;
     base.regs.resize(b.threads.size());
@@ -496,9 +505,12 @@ Enumerator::recordOutcome(const Behavior &b)
         std::vector<NodeId> maxs;
         for (NodeId s : stores) {
             bool overwritten = false;
-            for (NodeId s2 : stores)
-                if (s2 != s && b.graph.ordered(s, s2))
+            for (NodeId s2 : stores) {
+                if (s2 != s && b.graph.ordered(s, s2)) {
                     overwritten = true;
+                    break;
+                }
+            }
             if (!overwritten)
                 maxs.push_back(s);
         }
@@ -509,12 +521,12 @@ Enumerator::recordOutcome(const Behavior &b)
     std::map<Addr, NodeId> chosen;
     auto emit = [&](auto &&self, std::size_t i) -> void {
         if (i == maximal.size()) {
-            if (!finalizationConsistent(b.graph, chosen))
+            if (!finalizationConsistent(b.graph, chosen, scratch))
                 return;
             Outcome o = base;
             for (const auto &[a, s] : chosen)
                 o.memory[a] = b.graph.node(s).value;
-            outcomes_.insert(std::move(o));
+            outcomes.insert(std::move(o));
             return;
         }
         for (NodeId s : maximal[i].second) {
@@ -525,12 +537,7 @@ Enumerator::recordOutcome(const Behavior &b)
     };
     emit(emit, 0);
 
-    const std::string ekey = encodeGraph(b.graph, /*memoryOnly=*/true);
-    if (executionKeys_.insert(ekey).second) {
-        ++result_.stats.executions;
-        if (options_.collectExecutions)
-            result_.executions.push_back(b.graph);
-    }
+    return hashGraph(b.graph, /*memoryOnly=*/true);
 }
 
 std::vector<NodeId>
@@ -609,17 +616,18 @@ Enumerator::applySource(Behavior &b, NodeId load, NodeId store,
 }
 
 std::vector<Behavior>
-Enumerator::resolveOne(const Behavior &b, NodeId load)
+Enumerator::resolveOne(const Behavior &b, NodeId load,
+                       EnumStats &stats) const
 {
     std::vector<Behavior> out;
     const Node &ln = b.graph.node(load);
 
     auto fork = [&](const Behavior &base, NodeId store, bool bypass) {
         Behavior f = base;
-        if (applySource(f, load, store, bypass) && stabilize(f))
+        if (applySource(f, load, store, bypass) && stabilize(f, stats))
             out.push_back(std::move(f));
         else
-            ++result_.stats.rollbacks;
+            ++stats.rollbacks;
     };
 
     NodeId youngestLocal = invalidNode;
@@ -676,10 +684,10 @@ Enumerator::resolveOne(const Behavior &b, NodeId load)
     for (NodeId q : priorLocal)
         ok &= drained.graph.addEdge(q, load, EdgeKind::Local);
     std::vector<NodeId> drainedCands;
-    if (ok && runClosure(drained))
+    if (ok && runClosure(drained, stats))
         drainedCands = candidateStores(drained.graph, load);
     else
-        ++result_.stats.rollbacks;
+        ++stats.rollbacks;
 
     if (options_.onResolve) {
         for (NodeId s : drainedCands)
@@ -696,11 +704,11 @@ Enumerator::resolveOne(const Behavior &b, NodeId load)
 }
 
 std::vector<Behavior>
-Enumerator::resolveLoads(const Behavior &b)
+Enumerator::resolveLoads(const Behavior &b, EnumStats &stats) const
 {
     std::vector<Behavior> out;
     for (NodeId lid : eligibleLoads(b)) {
-        auto forks = resolveOne(b, lid);
+        auto forks = resolveOne(b, lid, stats);
         for (auto &f : forks)
             out.push_back(std::move(f));
     }
@@ -725,10 +733,10 @@ Enumerator::resolveLoads(const Behavior &b)
                 fn.valueKnown = true;
                 fn.value = v;
                 fn.predicted = true;
-                if (stabilize(f))
+                if (stabilize(f, stats))
                     out.push_back(std::move(f));
                 else
-                    ++result_.stats.rollbacks;
+                    ++stats.rollbacks;
             }
         }
     }
@@ -738,8 +746,9 @@ Enumerator::resolveLoads(const Behavior &b)
 EnumerationResult
 Enumerator::runReplay()
 {
+    ExecutionGraph scratch;
     Behavior b = initialBehavior();
-    if (!stabilize(b)) {
+    if (!stabilize(b, result_.stats)) {
         result_.consistent = false;
         result_.replayNote = "initial stabilization violated "
                              "Store Atomicity";
@@ -781,7 +790,7 @@ Enumerator::runReplay()
                                  " closes a cycle";
             return result_;
         }
-        if (!stabilize(b)) {
+        if (!stabilize(b, result_.stats)) {
             result_.consistent = false;
             result_.replayNote = "Store Atomicity violated after " +
                                  b.graph.node(lid).label() + " <- " +
@@ -789,49 +798,52 @@ Enumerator::runReplay()
             return result_;
         }
     }
-    recordOutcome(b);
+    const std::uint64_t ekey = recordOutcome(b, outcomes_, scratch);
+    if (executionKeys_.insert(ekey).second) {
+        ++result_.stats.executions;
+        if (options_.collectExecutions)
+            result_.executions.push_back(b.graph);
+    }
     result_.outcomes.assign(outcomes_.begin(), outcomes_.end());
     return result_;
 }
 
-EnumerationResult
-Enumerator::run()
+void
+Enumerator::runSerial()
 {
-    result_ = EnumerationResult{};
-    outcomes_.clear();
-    executionKeys_.clear();
-    initCount_ =
-        static_cast<NodeId>(program_.initialMemory().size());
-
-    if (options_.sourceOracle)
-        return runReplay();
-
+    EnumStats &stats = result_.stats;
     std::vector<Behavior> stack;
-    std::unordered_set<std::string> seen;
+    std::unordered_set<std::uint64_t> seen;
+    ExecutionGraph scratch;
 
     Behavior first = initialBehavior();
-    if (stabilize(first)) {
-        seen.insert(first.key());
+    if (stabilize(first, stats)) {
+        seen.insert(first.hashKey());
         stack.push_back(std::move(first));
     } else {
-        ++result_.stats.rollbacks;
+        ++stats.rollbacks;
     }
 
     while (!stack.empty() &&
-           result_.stats.statesExplored < options_.maxStates) {
+           stats.statesExplored < options_.maxStates) {
         Behavior b = std::move(stack.back());
         stack.pop_back();
-        ++result_.stats.statesExplored;
-        result_.stats.maxNodes =
-            std::max(result_.stats.maxNodes, b.graph.size());
+        ++stats.statesExplored;
+        stats.maxNodes = std::max(stats.maxNodes, b.graph.size());
 
         if (terminal(b)) {
-            recordOutcome(b);
+            const std::uint64_t ekey =
+                recordOutcome(b, outcomes_, scratch);
+            if (executionKeys_.insert(ekey).second) {
+                ++stats.executions;
+                if (options_.collectExecutions)
+                    result_.executions.push_back(b.graph);
+            }
             continue;
         }
-        auto forks = resolveLoads(b);
+        auto forks = resolveLoads(b, stats);
         if (forks.empty()) {
-            ++result_.stats.stuck;
+            ++stats.stuck;
             if (std::getenv("SATOM_DEBUG_STUCK")) {
                 std::fprintf(stderr, "stuck state:\n");
                 for (const Node &n : b.graph.nodes()) {
@@ -849,15 +861,42 @@ Enumerator::run()
             continue;
         }
         for (auto &f : forks) {
-            ++result_.stats.statesForked;
-            if (seen.insert(f.key()).second)
+            ++stats.statesForked;
+            if (seen.insert(f.hashKey()).second)
                 stack.push_back(std::move(f));
             else
-                ++result_.stats.duplicates;
+                ++stats.duplicates;
         }
     }
     if (!stack.empty())
         result_.complete = false;
+}
+
+EnumerationResult
+Enumerator::run()
+{
+    result_ = EnumerationResult{};
+    outcomes_.clear();
+    executionKeys_.clear();
+    initCount_ =
+        static_cast<NodeId>(program_.initialMemory().size());
+
+    if (options_.sourceOracle)
+        return runReplay();
+
+    int workers = options_.numWorkers;
+    if (workers <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        workers = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+    // The observer contract is a serial, deterministic callback order.
+    if (options_.onResolve)
+        workers = 1;
+
+    if (workers > 1)
+        runParallel(workers);
+    else
+        runSerial();
 
     result_.outcomes.assign(outcomes_.begin(), outcomes_.end());
     return result_;

@@ -20,13 +20,21 @@
  * the forked behavior back (it is discarded and counted).  TSO models
  * (tsoBypass == true) add the local-bypass resolution option with a Grey
  * observation edge (Section 6).
+ *
+ * The search tree is embarrassingly parallel across the frontier: with
+ * numWorkers > 1 the engine explores it wave-by-wave on a work-stealing
+ * thread pool (engine_parallel.cpp) with per-worker accumulators and a
+ * deterministic sequential join, so outcomes, flags and stats are
+ * identical to the serial engine for any worker count (see DESIGN.md).
  */
 
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <set>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "enumerate/behavior.hpp"
@@ -45,6 +53,15 @@ struct EnumerationOptions
 
     /** Hard cap on explored behaviors; exceeded => result incomplete. */
     long maxStates = 2000000;
+
+    /**
+     * Worker threads exploring the behavior frontier: 0 picks the
+     * hardware concurrency, 1 runs today's exact serial
+     * depth-first path.  Enumerations with an onResolve observer or a
+     * sourceOracle are always serial (the callbacks are invoked from
+     * the caller's thread, in a deterministic order).
+     */
+    int numWorkers = 0;
 
     /** Keep the final execution graph of every distinct execution. */
     bool collectExecutions = false;
@@ -96,6 +113,7 @@ struct EnumerationOptions
      * the TSO bypass option, if any).  Used by the well-synchronization
      * checker (Section 8): a well-synchronized program offers exactly
      * one choice for every Load of a non-synchronization variable.
+     * Setting it forces serial enumeration.
      */
     std::function<void(const ExecutionGraph &, NodeId,
                        const std::vector<NodeId> &)>
@@ -118,6 +136,23 @@ struct EnumStats
     long closureIterations = 0;
     long closureEdges = 0;
     int maxNodes = 0;          ///< largest graph encountered
+
+    /** Accumulate a per-worker partial into this total. */
+    EnumStats &
+    operator+=(const EnumStats &o)
+    {
+        statesExplored += o.statesExplored;
+        statesForked += o.statesForked;
+        duplicates += o.duplicates;
+        rollbacks += o.rollbacks;
+        txnAborts += o.txnAborts;
+        stuck += o.stuck;
+        executions += o.executions;
+        closureIterations += o.closureIterations;
+        closureEdges += o.closureEdges;
+        maxNodes = maxNodes > o.maxNodes ? maxNodes : o.maxNodes;
+        return *this;
+    }
 };
 
 /** Everything an enumeration run produces. */
@@ -173,23 +208,44 @@ class Enumerator
 
     Behavior initialBehavior() const;
 
-    /** Phases 1+2 to fixpoint. False => discard (violation). */
-    bool stabilize(Behavior &b);
+    /**
+     * Phases 1+2 to fixpoint. False => discard (violation).  All of
+     * the phase helpers below are const and accumulate into the stats
+     * argument only, so parallel workers can run them concurrently on
+     * disjoint behaviors.
+     */
+    bool stabilize(Behavior &b, EnumStats &stats) const;
 
-    bool generate(Behavior &b);
-    void emitNode(Behavior &b, ThreadId tid);
-    bool executeDataflow(Behavior &b);
-    StepStatus processPendingAlias(Behavior &b);
-    bool runClosure(Behavior &b);
+    bool generate(Behavior &b) const;
+    void emitNode(Behavior &b, ThreadId tid) const;
+    bool executeDataflow(Behavior &b) const;
+    StepStatus processPendingAlias(Behavior &b) const;
+    bool runClosure(Behavior &b, EnumStats &stats) const;
 
     bool terminal(const Behavior &b) const;
-    void recordOutcome(const Behavior &b);
+
+    /**
+     * Finalization enumeration of one terminal behavior: insert every
+     * consistent Outcome into @p outcomes (using @p scratch for the
+     * closure re-runs) and return the behavior's execution key.
+     */
+    std::uint64_t recordOutcome(const Behavior &b,
+                                std::set<Outcome> &outcomes,
+                                ExecutionGraph &scratch) const;
 
     /** Phase 3: fork per (eligible Load, candidate). */
-    std::vector<Behavior> resolveLoads(const Behavior &b);
+    std::vector<Behavior> resolveLoads(const Behavior &b,
+                                       EnumStats &stats) const;
 
     std::vector<NodeId> eligibleLoads(const Behavior &b) const;
-    std::vector<Behavior> resolveOne(const Behavior &b, NodeId load);
+    std::vector<Behavior> resolveOne(const Behavior &b, NodeId load,
+                                     EnumStats &stats) const;
+
+    /** Today's depth-first serial exploration. */
+    void runSerial();
+
+    /** Wave-parallel exploration (engine_parallel.cpp). */
+    void runParallel(int workers);
 
     /** Oracle-driven single-path replay (the execution checker). */
     EnumerationResult runReplay();
@@ -202,12 +258,34 @@ class Enumerator
     EnumerationResult result_;
     NodeId initCount_ = 0; ///< nodes 0..initCount_-1 are Init Stores
     std::set<Outcome> outcomes_;
-    std::set<std::string> executionKeys_;
+    std::unordered_set<std::uint64_t> executionKeys_;
 };
 
 /** One-shot convenience wrapper. */
 EnumerationResult enumerateBehaviors(const Program &program,
                                      const MemoryModel &model,
                                      EnumerationOptions options = {});
+
+/** One independent enumeration in a batch; pointees must outlive it. */
+struct EnumerationJob
+{
+    const Program *program;
+    const MemoryModel *model;
+};
+
+/**
+ * Enumerate many independent (program, model) jobs, fanned out over
+ * one work-stealing pool of options.numWorkers threads (0 = hardware
+ * concurrency).  Each job runs the serial engine, so results[i] is
+ * byte-identical to a serial enumerateBehaviors(*jobs[i].program,
+ * *jobs[i].model, options) for every worker count.  This across-jobs
+ * parallelism is what pays on litmus-sized state spaces, where a
+ * single test is too small to split; options with an onResolve
+ * observer or a sourceOracle force the whole batch serial (their
+ * contract is a single-threaded callback order).
+ */
+std::vector<EnumerationResult>
+enumerateBatch(const std::vector<EnumerationJob> &jobs,
+               EnumerationOptions options = {});
 
 } // namespace satom

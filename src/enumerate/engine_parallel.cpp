@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Wave-parallel behavior enumeration (Enumerator::runParallel).
+ *
+ * The frontier of unexplored behaviors is processed in waves.  Within a
+ * wave, workers take items off a work-stealing pool and — sharing no
+ * mutable state beyond a sharded read-mostly seen-key set — compute
+ * each item's forks (with their 64-bit state digests) or, for terminal
+ * behaviors, its outcome set and execution key, into a per-item slot
+ * plus per-worker accumulators.  A sequential join then walks the slots
+ * in item order: it counts exploration, inserts fork keys into the seen
+ * set first-occurrence-first, and builds the next wave's frontier.
+ *
+ * Because the join is sequential and the wave boundary is a barrier,
+ * the frontier sequence, the seen-key set, the duplicate counts and the
+ * truncation point are all independent of the worker count and of the
+ * order in which the pool happened to schedule items — results are
+ * bit-identical for any numWorkers >= 2, and identical to the serial
+ * engine whenever the run completes (a complete run visits exactly the
+ * reachable distinct states, in any order).  Under a maxStates cap the
+ * parallel engine truncates a breadth-first prefix instead of the
+ * serial engine's depth-first prefix; the complete flag still agrees
+ * (both truncate iff there are more distinct states than the cap).
+ */
+
+#include <algorithm>
+
+#include "enumerate/engine.hpp"
+#include "enumerate/engine_parallel.hpp"
+#include "util/sharded_set.hpp"
+
+namespace satom
+{
+
+WorkStealingPool::WorkStealingPool(int workers)
+{
+    if (workers < 1)
+        workers = 1;
+    queues_.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    threads_.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+        threads_.emplace_back([this, w] { workerLoop(w); });
+}
+
+WorkStealingPool::~WorkStealingPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+bool
+WorkStealingPool::popLocal(int w, std::size_t &item)
+{
+    WorkerQueue &q = *queues_[static_cast<std::size_t>(w)];
+    std::lock_guard<std::mutex> lk(q.m);
+    if (q.items.empty())
+        return false;
+    item = q.items.front();
+    q.items.pop_front();
+    return true;
+}
+
+bool
+WorkStealingPool::steal(int thief, std::size_t &item)
+{
+    const int n = workers();
+    for (int d = 1; d < n; ++d) {
+        const int victim = (thief + d) % n;
+        WorkerQueue &q = *queues_[static_cast<std::size_t>(victim)];
+        std::lock_guard<std::mutex> lk(q.m);
+        if (q.items.empty())
+            continue;
+        item = q.items.back();
+        q.items.pop_back();
+        return true;
+    }
+    return false;
+}
+
+void
+WorkStealingPool::workerLoop(int w)
+{
+    std::uint64_t lastBatch = 0;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            wake_.wait(lk,
+                       [&] { return stop_ || batch_ != lastBatch; });
+            if (stop_)
+                return;
+            lastBatch = batch_;
+        }
+        // Drain without touching m_: the global mutex is taken once
+        // per drain to retire the whole count, not once per item.
+        std::size_t item = 0;
+        std::size_t finished = 0;
+        std::exception_ptr err;
+        while (popLocal(w, item) || steal(w, item)) {
+            try {
+                (*task_)(w, item);
+            } catch (...) {
+                if (!err)
+                    err = std::current_exception();
+            }
+            ++finished;
+        }
+        if (finished != 0) {
+            std::lock_guard<std::mutex> lk(m_);
+            if (err && !error_)
+                error_ = err;
+            if ((pending_ -= finished) == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+void
+WorkStealingPool::run(std::size_t n, const Task &fn)
+{
+    if (n == 0)
+        return;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        // Publish the task before any item becomes poppable: a straggler
+        // from the previous wave may grab a fresh item through a queue
+        // mutex alone (without re-reading batch_ under m_), and the
+        // release/acquire on that queue mutex must then already cover
+        // this task_ write — else it calls through the stale pointer.
+        task_ = &fn;
+        pending_ = n;
+        ++batch_;
+        for (std::size_t w = 0; w < queues_.size(); ++w) {
+            std::lock_guard<std::mutex> ql(queues_[w]->m);
+            for (std::size_t i = w; i < n; i += queues_.size())
+                queues_[w]->items.push_back(i);
+        }
+    }
+    wake_.notify_all();
+    std::unique_lock<std::mutex> lk(m_);
+    done_.wait(lk, [&] { return pending_ == 0; });
+    task_ = nullptr;
+    if (error_) {
+        auto e = error_;
+        error_ = nullptr;
+        lk.unlock();
+        std::rethrow_exception(e);
+    }
+}
+
+namespace
+{
+
+/** A fork produced by one frontier item, with its dedup digest. */
+struct ForkSlot
+{
+    Behavior behavior;
+    std::uint64_t key = 0;
+
+    /**
+     * The key was already in the seen set when the worker looked —
+     * i.e. it was inserted at the join of an earlier wave, so the fork
+     * is a duplicate no matter what the current wave contains.  The
+     * worker drops the behavior payload early in that case.
+     */
+    bool knownDuplicate = false;
+};
+
+/** Everything one wave item reports back to the sequential join. */
+struct ItemSlot
+{
+    bool isTerminal = false;
+    bool isStuck = false;
+    std::uint64_t executionKey = 0;
+    std::vector<ForkSlot> forks;
+};
+
+/** Per-worker accumulators, merged after the waves finish. */
+struct WorkerState
+{
+    EnumStats stats;
+    std::set<Outcome> outcomes;
+    ExecutionGraph scratch;
+};
+
+} // namespace
+
+void
+Enumerator::runParallel(int workers)
+{
+    EnumStats &stats = result_.stats;
+    ShardedU64Set seen;
+    std::vector<Behavior> frontier;
+
+    Behavior first = initialBehavior();
+    if (stabilize(first, stats)) {
+        seen.insert(first.hashKey());
+        frontier.push_back(std::move(first));
+    } else {
+        ++stats.rollbacks;
+    }
+
+    std::vector<WorkerState> perWorker(
+        static_cast<std::size_t>(workers));
+    // Waves below this size run inline on the calling thread: litmus
+    // programs spend their whole life in single-digit waves, where
+    // pool dispatch costs more than the work.  The threshold is a
+    // constant (not a function of `workers`) and the join below is
+    // order-based, so results stay worker-count independent.  The pool
+    // itself is created on the first wave that needs it — tiny state
+    // spaces never pay the thread spawn/join.
+    constexpr std::size_t inlineWave = 16;
+    std::unique_ptr<WorkStealingPool> pool;
+
+    while (!frontier.empty() &&
+           stats.statesExplored < options_.maxStates) {
+        const std::size_t take =
+            std::min(frontier.size(),
+                     static_cast<std::size_t>(options_.maxStates -
+                                              stats.statesExplored));
+        std::vector<ItemSlot> slots(take);
+
+        const auto item = [&](int w, std::size_t i) {
+            WorkerState &ws = perWorker[static_cast<std::size_t>(w)];
+            const Behavior &b = frontier[i];
+            ItemSlot &slot = slots[i];
+            ws.stats.maxNodes =
+                std::max(ws.stats.maxNodes, b.graph.size());
+
+            if (terminal(b)) {
+                slot.isTerminal = true;
+                slot.executionKey =
+                    recordOutcome(b, ws.outcomes, ws.scratch);
+                return;
+            }
+            auto forks = resolveLoads(b, ws.stats);
+            if (forks.empty()) {
+                slot.isStuck = true;
+                return;
+            }
+            slot.forks.reserve(forks.size());
+            for (auto &f : forks) {
+                ForkSlot fs;
+                fs.key = f.hashKey();
+                fs.knownDuplicate = seen.contains(fs.key);
+                if (!fs.knownDuplicate)
+                    fs.behavior = std::move(f);
+                slot.forks.push_back(std::move(fs));
+            }
+        };
+        if (take < inlineWave) {
+            for (std::size_t i = 0; i < take; ++i)
+                item(0, i);
+        } else {
+            if (!pool)
+                pool = std::make_unique<WorkStealingPool>(workers);
+            pool->run(take, item);
+        }
+
+        // Sequential join: deterministic regardless of scheduling.
+        std::vector<Behavior> next;
+        for (std::size_t i = 0; i < take; ++i) {
+            ItemSlot &slot = slots[i];
+            ++stats.statesExplored;
+            if (slot.isTerminal) {
+                if (executionKeys_.insert(slot.executionKey).second) {
+                    ++stats.executions;
+                    if (options_.collectExecutions)
+                        result_.executions.push_back(
+                            frontier[i].graph);
+                }
+                continue;
+            }
+            if (slot.isStuck) {
+                ++stats.stuck;
+                continue;
+            }
+            for (ForkSlot &fs : slot.forks) {
+                ++stats.statesForked;
+                if (!fs.knownDuplicate && seen.insert(fs.key))
+                    next.push_back(std::move(fs.behavior));
+                else
+                    ++stats.duplicates;
+            }
+        }
+        // maxStates landed inside the wave: the untouched tail stays
+        // frontier material so the completeness check below sees it.
+        for (std::size_t i = take; i < frontier.size(); ++i)
+            next.push_back(std::move(frontier[i]));
+        frontier = std::move(next);
+    }
+    if (!frontier.empty())
+        result_.complete = false;
+
+    for (WorkerState &ws : perWorker) {
+        stats += ws.stats;
+        outcomes_.merge(ws.outcomes);
+    }
+}
+
+std::vector<EnumerationResult>
+enumerateBatch(const std::vector<EnumerationJob> &jobs,
+               EnumerationOptions options)
+{
+    int workers = options.numWorkers;
+    if (workers <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        workers = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+    if (options.onResolve || options.sourceOracle)
+        workers = 1;
+    if (static_cast<std::size_t>(workers) > jobs.size())
+        workers = static_cast<int>(jobs.size());
+
+    // Each job runs the serial engine: across-jobs parallelism is the
+    // whole point, and it keeps every slot byte-identical to a serial
+    // run regardless of the pool's scheduling.
+    EnumerationOptions perJob = options;
+    perJob.numWorkers = 1;
+
+    std::vector<EnumerationResult> results(jobs.size());
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            results[i] = enumerateBehaviors(*jobs[i].program,
+                                            *jobs[i].model, perJob);
+        return results;
+    }
+
+    WorkStealingPool pool(workers);
+    pool.run(jobs.size(), [&](int, std::size_t i) {
+        results[i] = enumerateBehaviors(*jobs[i].program,
+                                        *jobs[i].model, perJob);
+    });
+    return results;
+}
+
+} // namespace satom

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The work-stealing thread pool behind the parallel enumeration engine.
+ *
+ * The pool owns `workers` persistent threads.  Each run() distributes
+ * item indices round-robin over per-worker deques; a worker drains its
+ * own deque from the front and, when empty, steals from the back of a
+ * sibling's.  run() blocks until every item has executed and rethrows
+ * the first task exception, if any.
+ *
+ * Enumerator::runParallel (engine_parallel.cpp) drives one run() per
+ * frontier wave; determinism of the enumeration comes from the wave
+ * structure and the sequential join, not from the pool, so the pool is
+ * free to schedule items in any order.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace satom
+{
+
+/** Fixed-size pool executing batches of indexed items with stealing. */
+class WorkStealingPool
+{
+  public:
+    /** Task: (worker index, item index). */
+    using Task = std::function<void(int, std::size_t)>;
+
+    explicit WorkStealingPool(int workers);
+    ~WorkStealingPool();
+
+    WorkStealingPool(const WorkStealingPool &) = delete;
+    WorkStealingPool &operator=(const WorkStealingPool &) = delete;
+
+    /**
+     * Run @p fn over items 0..n-1 and wait for completion.  The first
+     * exception thrown by a task is rethrown here (remaining items
+     * still run).  Not reentrant.
+     */
+    void run(std::size_t n, const Task &fn);
+
+    int workers() const { return static_cast<int>(threads_.size()); }
+
+  private:
+    struct WorkerQueue
+    {
+        std::mutex m;
+        std::deque<std::size_t> items;
+    };
+
+    void workerLoop(int w);
+    bool popLocal(int w, std::size_t &item);
+    bool steal(int thief, std::size_t &item);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> threads_;
+
+    std::mutex m_;
+    std::condition_variable wake_; ///< workers wait for a new batch
+    std::condition_variable done_; ///< run() waits for batch drain
+    const Task *task_ = nullptr;
+    std::uint64_t batch_ = 0;      ///< bumped per run() to wake workers
+    std::size_t pending_ = 0;      ///< items not yet finished
+    bool stop_ = false;
+    std::exception_ptr error_;
+};
+
+} // namespace satom

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * A bit matrix: N rows of bits over one contiguous word buffer.
+ *
+ * The execution graph keeps its transitive closure as one predecessor
+ * and one successor bit row per node.  Storing those rows as separate
+ * Bitset objects makes every Behavior fork pay ~2N heap allocations;
+ * the enumerator forks on every Load resolution, so the copy cost of
+ * the closure dominates the search.  BitMatrix packs all rows into a
+ * single vector<uint64_t> with a common row stride: copying a graph's
+ * closure is two buffer memcpys, and re-using a scratch graph performs
+ * no allocation at all once capacity is warm.
+ *
+ * Rows grow in lockstep with the node table.  When the row count
+ * exceeds the current stride capacity the matrix re-lays itself out
+ * with a doubled stride (amortized O(1) per added row).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bitset.hpp"
+
+namespace satom
+{
+
+/** Square-ish bit matrix with contiguous storage and row views. */
+class BitMatrix
+{
+  public:
+    /**
+     * Read-only view of one row.  Mirrors the read API of Bitset so
+     * closure consumers can iterate without materializing a copy; use
+     * the implicit Bitset conversion when a mutable copy is needed.
+     */
+    class RowView
+    {
+      public:
+        RowView(const std::uint64_t *words, std::size_t nwords,
+                std::size_t nbits)
+            : words_(words), nwords_(nwords), nbits_(nbits)
+        {
+        }
+
+        bool
+        test(std::size_t i) const
+        {
+            return (words_[i >> 6] &
+                    (std::uint64_t{1} << (i & 63))) != 0;
+        }
+
+        std::size_t
+        count() const
+        {
+            std::size_t n = 0;
+            for (std::size_t i = 0; i < nwords_; ++i)
+                n += static_cast<std::size_t>(
+                    __builtin_popcountll(words_[i]));
+            return n;
+        }
+
+        bool
+        any() const
+        {
+            for (std::size_t i = 0; i < nwords_; ++i)
+                if (words_[i])
+                    return true;
+            return false;
+        }
+
+        bool none() const { return !any(); }
+
+        /** Invoke @p fn with every set bit index, ascending. */
+        template <typename Fn>
+        void
+        forEach(Fn &&fn) const
+        {
+            for (std::size_t wi = 0; wi < nwords_; ++wi) {
+                std::uint64_t w = words_[wi];
+                while (w) {
+                    const int b = __builtin_ctzll(w);
+                    fn(wi * 64 + static_cast<std::size_t>(b));
+                    w &= w - 1;
+                }
+            }
+        }
+
+        const std::uint64_t *words() const { return words_; }
+        std::size_t nwords() const { return nwords_; }
+
+        /** Logical bit capacity (the owning graph's node count). */
+        std::size_t bits() const { return nbits_; }
+
+        /** Materialize as an owning Bitset of the logical capacity. */
+        operator Bitset() const
+        {
+            Bitset out(nbits_);
+            out.orWords(words_, nwords_);
+            return out;
+        }
+
+      private:
+        const std::uint64_t *words_;
+        std::size_t nwords_;
+        std::size_t nbits_;
+    };
+
+    int rows() const { return rows_; }
+
+    /** Words allocated per row. */
+    std::size_t stride() const { return stride_; }
+
+    /** View of row @p r with logical capacity @p nbits (<= rows()). */
+    RowView
+    row(int r, std::size_t nbits) const
+    {
+        return RowView(words_.data() +
+                           static_cast<std::size_t>(r) * stride_,
+                       stride_, nbits);
+    }
+
+    /** Append one zeroed row, growing the stride when required. */
+    void
+    addRow()
+    {
+        ++rows_;
+        const std::size_t needed =
+            (static_cast<std::size_t>(rows_) + 63) / 64;
+        if (needed > stride_) {
+            relayout(stride_ == 0 ? needed
+                                  : std::max(stride_ * 2, needed));
+        }
+        words_.resize(static_cast<std::size_t>(rows_) * stride_, 0);
+    }
+
+    /** Pre-size for @p nrows rows (no rows are added). */
+    void
+    reserve(int nrows)
+    {
+        const std::size_t s =
+            (static_cast<std::size_t>(nrows) + 63) / 64;
+        if (s > stride_)
+            relayout(s);
+        words_.reserve(static_cast<std::size_t>(nrows) *
+                       std::max(stride_, s));
+    }
+
+    void
+    set(int r, std::size_t bit)
+    {
+        words_[static_cast<std::size_t>(r) * stride_ + (bit >> 6)] |=
+            std::uint64_t{1} << (bit & 63);
+    }
+
+    bool
+    test(int r, std::size_t bit) const
+    {
+        return (words_[static_cast<std::size_t>(r) * stride_ +
+                       (bit >> 6)] &
+                (std::uint64_t{1} << (bit & 63))) != 0;
+    }
+
+    /** Row @p r |= @p b (b must not be wider than the stride). */
+    void
+    orInto(int r, const Bitset &b)
+    {
+        std::uint64_t *dst =
+            words_.data() + static_cast<std::size_t>(r) * stride_;
+        const auto &src = b.words();
+        const std::size_t n = std::min(stride_, src.size());
+        for (std::size_t i = 0; i < n; ++i)
+            dst[i] |= src[i];
+    }
+
+    /** Assign from @p other, re-using this matrix's buffer. */
+    void
+    assignFrom(const BitMatrix &other)
+    {
+        rows_ = other.rows_;
+        stride_ = other.stride_;
+        words_ = other.words_; // vector assign: no realloc if capacity
+    }
+
+    void
+    clear()
+    {
+        rows_ = 0;
+        stride_ = 0;
+        words_.clear();
+    }
+
+  private:
+    void
+    relayout(std::size_t newStride)
+    {
+        std::vector<std::uint64_t> next(
+            static_cast<std::size_t>(rows_) * newStride, 0);
+        for (int r = 0; r < rows_; ++r) {
+            const std::uint64_t *src =
+                words_.data() + static_cast<std::size_t>(r) * stride_;
+            std::uint64_t *dst =
+                next.data() + static_cast<std::size_t>(r) * newStride;
+            for (std::size_t i = 0; i < stride_; ++i)
+                dst[i] = src[i];
+        }
+        words_.swap(next);
+        stride_ = newStride;
+    }
+
+    int rows_ = 0;
+    std::size_t stride_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+/** dst |= row view (word-wise; the view's tail words are zero). */
+inline Bitset &
+operator|=(Bitset &dst, const BitMatrix::RowView &v)
+{
+    dst.orWords(v.words(), v.nwords());
+    return dst;
+}
+
+/** dst &= row view (missing view words are treated as zero). */
+inline Bitset &
+operator&=(Bitset &dst, const BitMatrix::RowView &v)
+{
+    dst.andWords(v.words(), v.nwords());
+    return dst;
+}
+
+} // namespace satom

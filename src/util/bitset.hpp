@@ -92,6 +92,27 @@ class Bitset
         return n;
     }
 
+    /**
+     * this |= the first @p n words of @p w, capped at this set's own
+     * word count (callers pass rows whose tail words are zero).
+     */
+    void
+    orWords(const std::uint64_t *w, std::size_t n)
+    {
+        if (n > words_.size())
+            n = words_.size();
+        for (std::size_t i = 0; i < n; ++i)
+            words_[i] |= w[i];
+    }
+
+    /** this &= the first @p n words of @p w (missing words are zero). */
+    void
+    andWords(const std::uint64_t *w, std::size_t n)
+    {
+        for (std::size_t i = 0; i < words_.size(); ++i)
+            words_[i] &= i < n ? w[i] : 0;
+    }
+
     /** In-place union. */
     Bitset &
     operator|=(const Bitset &other)

@@ -65,4 +65,43 @@ hashString(std::string_view s)
     return h.digest();
 }
 
+/**
+ * Fast streaming 64-bit hasher over word-sized values.
+ *
+ * FNV-1a costs eight multiplies per 64-bit value (one per byte); the
+ * enumerator hashes every forked behavior, which made byte-wise mixing
+ * the hottest function of the whole search.  This hasher absorbs a
+ * word with two multiplies (a murmur-style finalizer on the input,
+ * then a combine), which is plenty of diffusion for duplicate pruning
+ * over key populations in the millions.
+ */
+class StreamHash64
+{
+  public:
+    /** Absorb one 64-bit value. */
+    void
+    value(std::uint64_t v)
+    {
+        v *= 0xff51afd7ed558ccdull;
+        v ^= v >> 33;
+        state_ = (state_ ^ v) * 0xc4ceb9fe1a85ec53ull;
+        state_ ^= state_ >> 29;
+    }
+
+    /** Absorb a signed or narrower integral value. */
+    template <typename T>
+    void
+    signedValue(T v)
+    {
+        value(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(v)));
+    }
+
+    /** Current digest. */
+    std::uint64_t digest() const { return state_; }
+
+  private:
+    std::uint64_t state_ = 0x9e3779b97f4a7c15ull;
+};
+
 } // namespace satom

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * A sharded concurrent set of 64-bit keys.
+ *
+ * The parallel enumeration engine dedups behaviors by 64-bit state
+ * digest.  A single mutex around one hash set would serialize every
+ * worker on the hottest structure of the search; sharding by a mixed
+ * prefix of the key lets lookups and inserts on different shards
+ * proceed concurrently, with one small lock per shard.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+
+namespace satom
+{
+
+/** Striped-lock hash set keyed by uint64_t digests. */
+class ShardedU64Set
+{
+  public:
+    /** Insert @p key; true iff it was not present. */
+    bool
+    insert(std::uint64_t key)
+    {
+        Shard &s = shardFor(key);
+        std::lock_guard<std::mutex> lk(s.m);
+        return s.keys.insert(key).second;
+    }
+
+    /** True iff @p key is present. */
+    bool
+    contains(std::uint64_t key) const
+    {
+        const Shard &s = shardFor(key);
+        std::lock_guard<std::mutex> lk(s.m);
+        return s.keys.count(key) != 0;
+    }
+
+    /** Total number of keys (takes every shard lock). */
+    std::size_t
+    size() const
+    {
+        std::size_t n = 0;
+        for (const Shard &s : shards_) {
+            std::lock_guard<std::mutex> lk(s.m);
+            n += s.keys.size();
+        }
+        return n;
+    }
+
+    void
+    clear()
+    {
+        for (Shard &s : shards_) {
+            std::lock_guard<std::mutex> lk(s.m);
+            s.keys.clear();
+        }
+    }
+
+  private:
+    static constexpr unsigned shardBits = 6;
+    static constexpr std::size_t numShards = std::size_t{1} << shardBits;
+
+    struct Shard
+    {
+        mutable std::mutex m;
+        std::unordered_set<std::uint64_t> keys;
+    };
+
+    /**
+     * Shard selection re-mixes the key so that digests differing only
+     * in high bits still spread across shards.
+     */
+    static std::size_t
+    shardIndex(std::uint64_t key)
+    {
+        key *= 0x9e3779b97f4a7c15ull;
+        return static_cast<std::size_t>(key >> (64 - shardBits));
+    }
+
+    Shard &shardFor(std::uint64_t k) { return shards_[shardIndex(k)]; }
+    const Shard &
+    shardFor(std::uint64_t k) const
+    {
+        return shards_[shardIndex(k)];
+    }
+
+    std::array<Shard, numShards> shards_;
+};
+
+} // namespace satom

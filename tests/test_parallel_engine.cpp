@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Serial/parallel equivalence suite for the enumeration engine.
+ *
+ * For every bundled litmus test under SC, TSO and the weak baseline
+ * model, the wave-parallel engine must produce byte-identical outcome
+ * sets, flags and headline stats to the serial engine for any worker
+ * count.  Under a maxStates truncation the parallel engine explores a
+ * breadth-first prefix instead of the serial depth-first one, so there
+ * the contract is: identical results for every worker count >= 2, the
+ * same complete flag as serial, and outcomes that are a subset of the
+ * untruncated set.
+ *
+ * These tests carry the ctest label `tsan`: they are the intended
+ * workload for a -DSATOM_SANITIZE=thread build.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "enumerate/engine.hpp"
+#include "litmus/library.hpp"
+
+namespace satom
+{
+namespace
+{
+
+struct Case
+{
+    LitmusTest test;
+    ModelId model;
+};
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (const auto &t : litmus::allTests())
+        for (ModelId id : {ModelId::SC, ModelId::TSO, ModelId::WMM})
+            cases.push_back({t, id});
+    return cases;
+}
+
+std::string
+caseName(const testing::TestParamInfo<Case> &info)
+{
+    std::string n = info.param.test.name + "_" +
+                    toString(info.param.model);
+    for (char &c : n)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return n;
+}
+
+/** Canonical byte representation of an outcome set. */
+std::vector<std::string>
+outcomeKeys(const EnumerationResult &r)
+{
+    std::vector<std::string> keys;
+    keys.reserve(r.outcomes.size());
+    for (const auto &o : r.outcomes)
+        keys.push_back(o.key());
+    return keys;
+}
+
+EnumerationResult
+runWith(const Case &c, int workers, long maxStates = 0)
+{
+    EnumerationOptions o;
+    o.numWorkers = workers;
+    if (maxStates > 0)
+        o.maxStates = maxStates;
+    return enumerateBehaviors(c.test.program, makeModel(c.model), o);
+}
+
+class ParallelEngine : public testing::TestWithParam<Case>
+{
+};
+
+TEST_P(ParallelEngine, MatchesSerialOutcomes)
+{
+    const Case &c = GetParam();
+    const auto serial = runWith(c, 1);
+    ASSERT_TRUE(serial.complete);
+
+    for (int workers : {2, 4}) {
+        const auto par = runWith(c, workers);
+        EXPECT_EQ(outcomeKeys(par), outcomeKeys(serial))
+            << c.test.name << " with " << workers << " workers";
+        EXPECT_EQ(par.complete, serial.complete);
+        EXPECT_EQ(par.consistent, serial.consistent);
+        EXPECT_EQ(par.stats.statesExplored,
+                  serial.stats.statesExplored);
+        EXPECT_EQ(par.stats.statesForked, serial.stats.statesForked);
+        EXPECT_EQ(par.stats.duplicates, serial.stats.duplicates);
+        EXPECT_EQ(par.stats.rollbacks, serial.stats.rollbacks);
+        EXPECT_EQ(par.stats.stuck, serial.stats.stuck);
+        EXPECT_EQ(par.stats.executions, serial.stats.executions);
+        EXPECT_EQ(par.stats.maxNodes, serial.stats.maxNodes);
+    }
+}
+
+TEST_P(ParallelEngine, TruncatedRunsAreWorkerCountIndependent)
+{
+    const Case &c = GetParam();
+    const auto full = runWith(c, 1);
+    ASSERT_TRUE(full.complete);
+    if (full.stats.statesExplored < 4)
+        GTEST_SKIP() << "too few states to truncate meaningfully";
+
+    const long cap = full.stats.statesExplored / 2;
+    const auto serialCut = runWith(c, 1, cap);
+    const auto par2 = runWith(c, 2, cap);
+    const auto par4 = runWith(c, 4, cap);
+
+    // Truncation is a property of the state space, not of the engine.
+    EXPECT_FALSE(serialCut.complete);
+    EXPECT_EQ(par2.complete, serialCut.complete);
+    EXPECT_EQ(par4.complete, serialCut.complete);
+
+    // The two parallel runs must agree byte-for-byte.
+    EXPECT_EQ(outcomeKeys(par2), outcomeKeys(par4));
+    EXPECT_EQ(par2.stats.statesExplored, par4.stats.statesExplored);
+    EXPECT_EQ(par2.stats.statesForked, par4.stats.statesForked);
+    EXPECT_EQ(par2.stats.duplicates, par4.stats.duplicates);
+    EXPECT_EQ(par2.stats.executions, par4.stats.executions);
+    EXPECT_EQ(par2.stats.stuck, par4.stats.stuck);
+
+    // Both prefixes only ever see outcomes of the full enumeration.
+    const auto fullKeys = outcomeKeys(full);
+    for (const auto &k : outcomeKeys(par2))
+        EXPECT_NE(std::find(fullKeys.begin(), fullKeys.end(), k),
+                  fullKeys.end())
+            << "truncated run invented outcome " << k;
+    EXPECT_EQ(par2.stats.statesExplored, cap);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLitmus, ParallelEngine,
+                         testing::ValuesIn(allCases()), caseName);
+
+TEST(ParallelEngineDeterminism, RepeatedRunsAreIdentical)
+{
+    // Pick a test with a non-trivial state space and hammer it: the
+    // wave join must make scheduling noise invisible.
+    for (const auto &t : litmus::allTests()) {
+        if (t.name != "IRIW")
+            continue;
+        const Case c{t, ModelId::WMM};
+        const auto first = runWith(c, 4);
+        for (int rep = 0; rep < 3; ++rep) {
+            const auto again = runWith(c, 4);
+            ASSERT_EQ(outcomeKeys(again), outcomeKeys(first));
+            ASSERT_EQ(again.stats.statesExplored,
+                      first.stats.statesExplored);
+            ASSERT_EQ(again.stats.duplicates, first.stats.duplicates);
+        }
+        return;
+    }
+    FAIL() << "IRIW litmus test not found";
+}
+
+TEST(ParallelEngineBatch, BatchMatchesSerialLoop)
+{
+    // enumerateBatch fans whole independent enumerations over the
+    // pool; every slot must be byte-identical to a serial run of the
+    // same (program, model) cell, in input order.
+    const std::vector<MemoryModel> models{makeModel(ModelId::SC),
+                                          makeModel(ModelId::TSO),
+                                          makeModel(ModelId::WMM)};
+    const std::vector<LitmusTest> all = litmus::allTests();
+    std::vector<EnumerationJob> jobs;
+    for (const auto &t : all)
+        for (const auto &m : models)
+            jobs.push_back({&t.program, &m});
+
+    EnumerationOptions opts;
+    opts.numWorkers = 4;
+    const auto batch = enumerateBatch(jobs, opts);
+    ASSERT_EQ(batch.size(), jobs.size());
+    EnumerationOptions serialOpts;
+    serialOpts.numWorkers = 1;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const auto serial = enumerateBehaviors(
+            *jobs[i].program, *jobs[i].model, serialOpts);
+        EXPECT_EQ(outcomeKeys(batch[i]), outcomeKeys(serial))
+            << "job " << i;
+        EXPECT_EQ(batch[i].complete, serial.complete);
+        EXPECT_EQ(batch[i].stats.statesExplored,
+                  serial.stats.statesExplored);
+        EXPECT_EQ(batch[i].stats.duplicates, serial.stats.duplicates);
+        EXPECT_EQ(batch[i].stats.executions, serial.stats.executions);
+    }
+}
+
+TEST(ParallelEngineOptions, AutoWorkerCountMatchesSerial)
+{
+    // numWorkers = 0 resolves to the hardware concurrency; whatever
+    // that is on the build machine, results must match serial.
+    for (const auto &t : litmus::allTests()) {
+        if (t.name != "SB")
+            continue;
+        const Case c{t, ModelId::TSO};
+        EnumerationOptions o;
+        o.numWorkers = 0;
+        const auto auto_ = enumerateBehaviors(c.test.program,
+                                              makeModel(c.model), o);
+        const auto serial = runWith(c, 1);
+        EXPECT_EQ(outcomeKeys(auto_), outcomeKeys(serial));
+        EXPECT_EQ(auto_.complete, serial.complete);
+        return;
+    }
+    FAIL() << "SB litmus test not found";
+}
+
+} // namespace
+} // namespace satom
