@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Run the canonical differential-fuzz sweep (EXPERIMENTS.md) and check
+# the determinism contract: the JSON report must be byte-identical no
+# matter how many workers produced it.
+#
+# Usage: bench/run_fuzz.sh [build-dir] [seed-range]
+#
+# The build dir defaults to ./build and must already contain
+# tools/satom_fuzz (cmake --build build -j); the seed range defaults
+# to 1..200.  Exits non-zero on any oracle discrepancy or report
+# divergence.
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+seeds="${2:-1..200}"
+bin="$build/tools/satom_fuzz"
+
+if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (cmake --build $build -j)" >&2
+    exit 1
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+"$bin" --seeds "$seeds" --json "$tmpdir/serial.json"
+"$bin" --seeds "$seeds" --workers 4 --quiet \
+    --json "$tmpdir/parallel.json"
+
+if ! cmp -s "$tmpdir/serial.json" "$tmpdir/parallel.json"; then
+    echo "error: report differs between worker counts" >&2
+    diff "$tmpdir/serial.json" "$tmpdir/parallel.json" >&2 || true
+    exit 1
+fi
+
+cp "$tmpdir/serial.json" "$repo/fuzz_report.json"
+echo "wrote $repo/fuzz_report.json (worker-count independent)"

@@ -1,0 +1,274 @@
+#include "fuzz/emit.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace satom::fuzz
+{
+
+namespace
+{
+
+/** x, y, z, v3, v4, … in ascending address order. */
+std::map<Addr, std::string>
+locationNames(const Program &p)
+{
+    std::map<Addr, std::string> names;
+    int i = 0;
+    for (Addr a : p.locations()) {
+        static const char *first[] = {"x", "y", "z"};
+        names[a] = i < 3 ? first[i] : "v" + std::to_string(i);
+        ++i;
+    }
+    return names;
+}
+
+/** Branch targets of one thread (for label placement). */
+std::set<int>
+branchTargets(const ThreadCode &t)
+{
+    std::set<int> targets;
+    for (const auto &ins : t.code)
+        if (ins.isBranch())
+            targets.insert(ins.target);
+    return targets;
+}
+
+class LitmusEmitter
+{
+  public:
+    explicit LitmusEmitter(const Program &p)
+        : p_(p), names_(locationNames(p))
+    {
+    }
+
+    std::string
+    render(const std::string &name)
+    {
+        out_ << "name " << name << '\n';
+        if (!names_.empty()) {
+            out_ << "loc";
+            for (const auto &[a, n] : names_)
+                out_ << ' ' << n;
+            out_ << '\n';
+        }
+        for (const auto &[a, v] : p_.init)
+            out_ << "init " << names_.at(a) << '=' << value(v) << '\n';
+        for (const auto &t : p_.threads)
+            thread(t);
+        return out_.str();
+    }
+
+  private:
+    /** Immediate value; `&name` when it is a location's address. */
+    std::string
+    value(Val v) const
+    {
+        auto it = names_.find(v);
+        if (it != names_.end())
+            return "&" + it->second;
+        return std::to_string(v);
+    }
+
+    std::string
+    valueOperand(const Operand &op) const
+    {
+        return op.isReg() ? "r" + std::to_string(op.reg)
+                          : value(op.imm);
+    }
+
+    std::string
+    addrOperand(const Operand &op) const
+    {
+        return op.isReg() ? "[r" + std::to_string(op.reg) + "]"
+                          : names_.at(op.imm);
+    }
+
+    void
+    thread(const ThreadCode &t)
+    {
+        out_ << "thread " << t.name << '\n';
+        const auto targets = branchTargets(t);
+        for (std::size_t i = 0; i <= t.code.size(); ++i) {
+            if (targets.count(static_cast<int>(i)))
+                out_ << "L" << i << ":\n";
+            if (i < t.code.size())
+                instruction(t.code[i]);
+        }
+    }
+
+    void
+    instruction(const Instruction &ins)
+    {
+        out_ << "  ";
+        const std::string dst = "r" + std::to_string(ins.dst);
+        switch (ins.op) {
+          case Opcode::MovImm:
+            out_ << "mov " << dst << ", " << valueOperand(ins.a);
+            break;
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::Mul:
+          case Opcode::Xor:
+            out_ << toString(ins.op) << ' ' << dst << ", "
+                 << valueOperand(ins.a) << ", "
+                 << valueOperand(ins.b);
+            break;
+          case Opcode::Load:
+            out_ << "ld " << dst << ", " << addrOperand(ins.addr);
+            break;
+          case Opcode::Store:
+            out_ << "st " << addrOperand(ins.addr) << ", "
+                 << valueOperand(ins.value);
+            break;
+          case Opcode::Fence:
+            out_ << ins.fence.toString();
+            break;
+          case Opcode::Cas:
+            out_ << "cas " << dst << ", " << addrOperand(ins.addr)
+                 << ", " << valueOperand(ins.a) << ", "
+                 << valueOperand(ins.b);
+            break;
+          case Opcode::Swap:
+            out_ << "swap " << dst << ", " << addrOperand(ins.addr)
+                 << ", " << valueOperand(ins.a);
+            break;
+          case Opcode::FetchAdd:
+            out_ << "fadd " << dst << ", " << addrOperand(ins.addr)
+                 << ", " << valueOperand(ins.a);
+            break;
+          case Opcode::BranchEq:
+          case Opcode::BranchNe:
+            out_ << (ins.op == Opcode::BranchEq ? "beq " : "bne ")
+                 << valueOperand(ins.a) << ", " << valueOperand(ins.b)
+                 << ", L" << ins.target;
+            break;
+          case Opcode::TxBegin:
+            out_ << "txbegin";
+            break;
+          case Opcode::TxEnd:
+            out_ << "txend";
+            break;
+        }
+        out_ << '\n';
+    }
+
+    const Program &p_;
+    std::map<Addr, std::string> names_;
+    std::ostringstream out_;
+};
+
+/** Operand as ProgramBuilder C++ source. */
+std::string
+cxxOperand(const Operand &op)
+{
+    if (op.isReg())
+        return "regOp(" + std::to_string(op.reg) + ")";
+    return "immOp(" + std::to_string(op.imm) + ")";
+}
+
+} // namespace
+
+std::string
+toLitmusText(const Program &p, const std::string &name)
+{
+    return LitmusEmitter(p).render(name);
+}
+
+std::string
+toBuilderCode(const Program &p)
+{
+    std::ostringstream out;
+    out << "ProgramBuilder pb;\n";
+    for (const auto &[a, v] : p.init)
+        out << "pb.init(" << a << ", " << v << ");\n";
+    for (Addr a : p.extraLocations)
+        out << "pb.location(" << a << ");\n";
+    for (const auto &t : p.threads) {
+        out << "{\n    auto &tb = pb.thread(\"" << t.name << "\");\n";
+        const auto targets = branchTargets(t);
+        for (std::size_t i = 0; i <= t.code.size(); ++i) {
+            if (targets.count(static_cast<int>(i)))
+                out << "    tb.label(\"L" << i << "\");\n";
+            if (i >= t.code.size())
+                break;
+            const Instruction &ins = t.code[i];
+            out << "    tb.";
+            const std::string dst = std::to_string(ins.dst);
+            switch (ins.op) {
+              case Opcode::MovImm:
+                out << "movi(" << dst << ", " << ins.a.imm << ")";
+                break;
+              case Opcode::Add:
+              case Opcode::Sub:
+              case Opcode::Mul:
+              case Opcode::Xor: {
+                const char *fn = ins.op == Opcode::Add   ? "add"
+                                 : ins.op == Opcode::Sub ? "sub"
+                                 : ins.op == Opcode::Mul ? "mul"
+                                                         : "xorr";
+                out << fn << '(' << dst << ", " << cxxOperand(ins.a)
+                    << ", " << cxxOperand(ins.b) << ')';
+                break;
+              }
+              case Opcode::Load:
+                out << "load(" << dst << ", " << cxxOperand(ins.addr)
+                    << ')';
+                break;
+              case Opcode::Store:
+                out << "store(" << cxxOperand(ins.addr) << ", "
+                    << cxxOperand(ins.value) << ')';
+                break;
+              case Opcode::Fence:
+                if (ins.fence.isFull()) {
+                    out << "fence()";
+                } else {
+                    out << "fence(FenceMask{"
+                        << (ins.fence.loadLoad ? "true" : "false")
+                        << ", "
+                        << (ins.fence.loadStore ? "true" : "false")
+                        << ", "
+                        << (ins.fence.storeLoad ? "true" : "false")
+                        << ", "
+                        << (ins.fence.storeStore ? "true" : "false")
+                        << "})";
+                }
+                break;
+              case Opcode::Cas:
+                out << "cas(" << dst << ", " << cxxOperand(ins.addr)
+                    << ", " << cxxOperand(ins.a) << ", "
+                    << cxxOperand(ins.b) << ')';
+                break;
+              case Opcode::Swap:
+                out << "swap(" << dst << ", " << cxxOperand(ins.addr)
+                    << ", " << cxxOperand(ins.a) << ')';
+                break;
+              case Opcode::FetchAdd:
+                out << "fetchAdd(" << dst << ", "
+                    << cxxOperand(ins.addr) << ", "
+                    << cxxOperand(ins.a) << ')';
+                break;
+              case Opcode::BranchEq:
+              case Opcode::BranchNe:
+                out << (ins.op == Opcode::BranchEq ? "beq(" : "bne(")
+                    << cxxOperand(ins.a) << ", " << cxxOperand(ins.b)
+                    << ", \"L" << ins.target << "\")";
+                break;
+              case Opcode::TxBegin:
+                out << "txBegin()";
+                break;
+              case Opcode::TxEnd:
+                out << "txEnd()";
+                break;
+            }
+            out << ";\n";
+        }
+        out << "}\n";
+    }
+    out << "Program p = pb.build();\n";
+    return out.str();
+}
+
+} // namespace satom::fuzz

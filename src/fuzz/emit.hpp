@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Program emitters for fuzzing reproducers.
+ *
+ * A failing fuzz program is only useful if a human can re-run it; the
+ * shrinker therefore reports its minimal program in two loadable
+ * forms:
+ *
+ *  - toLitmusText: the litmus text format of src/litmus/parser.hpp,
+ *    directly loadable by `litmus_runner`.  Locations are named x, y,
+ *    z, v3, … in ascending address order and declared with one `loc`
+ *    directive, so re-parsing assigns them consecutive addresses from
+ *    100 in the same order: for programs whose addresses already are
+ *    100, 101, … (everything the generator emits) the round trip is
+ *    exact, and for any program the text is a fixpoint of
+ *    parse → print.  Immediate values that collide with a location's
+ *    address are printed as `&name`, which keeps pointer programs
+ *    meaningful across the address re-mapping.
+ *
+ *  - toBuilderCode: a C++ ProgramBuilder snippet, ready to paste into
+ *    a regression test.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "isa/program.hpp"
+
+namespace satom::fuzz
+{
+
+/** Render @p p in the litmus text format under test name @p name. */
+std::string toLitmusText(const Program &p,
+                         const std::string &name = "fuzz_repro");
+
+/** Render @p p as a C++ ProgramBuilder snippet. */
+std::string toBuilderCode(const Program &p);
+
+} // namespace satom::fuzz

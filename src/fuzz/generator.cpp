@@ -1,0 +1,126 @@
+#include "fuzz/generator.hpp"
+
+#include <string>
+
+#include "isa/builder.hpp"
+
+namespace satom::fuzz
+{
+
+namespace
+{
+
+/** lo + uniform[0, hi-lo]; draws exactly one rng value when hi > lo. */
+int
+span(Rng &rng, int lo, int hi)
+{
+    return hi > lo ? lo + rng.range(hi - lo + 1) : lo;
+}
+
+} // namespace
+
+Program
+generateProgram(std::uint32_t seed, const GeneratorConfig &cfg)
+{
+    Rng rng(seed);
+    ProgramBuilder pb;
+    const int threads = span(rng, cfg.minThreads, cfg.maxThreads);
+    const int total = cfg.storeWeight + cfg.loadWeight +
+                      cfg.fenceWeight + cfg.rmwWeight +
+                      cfg.partialFenceWeight + cfg.branchWeight;
+    int storeValue = 1;
+    auto nextValue = [&]() -> Val {
+        return cfg.valuePool > 0 ? 1 + rng.range(cfg.valuePool)
+                                 : storeValue++;
+    };
+    for (int t = 0; t < threads; ++t) {
+        auto &tb = pb.thread("P" + std::to_string(t));
+        const int ops = span(rng, cfg.minOps, cfg.maxOps);
+        int reg = 1;
+        bool needEndLabel = false;
+        for (int i = 0; i < ops; ++i) {
+            const Addr a = cfg.addrBase + rng.range(cfg.numLocations);
+            int k = rng.range(total);
+            if ((k -= cfg.storeWeight) < 0) {
+                tb.store(a, nextValue());
+            } else if ((k -= cfg.loadWeight) < 0) {
+                tb.load(reg++, a);
+            } else if ((k -= cfg.fenceWeight) < 0) {
+                tb.fence();
+            } else if ((k -= cfg.rmwWeight) < 0) {
+                tb.fetchAdd(reg++, immOp(a), immOp(1));
+            } else if ((k -= cfg.partialFenceWeight) < 0) {
+                static const FenceMask masks[] = {
+                    {false, false, true, false}, // sl
+                    {false, false, false, true}, // ss
+                    {true, false, false, false}, // ll
+                    FenceMask::acquire(),
+                    FenceMask::release(),
+                };
+                tb.fence(masks[rng.range(5)]);
+            } else {
+                // Branch: load a fresh register, then conditionally
+                // jump forward to the end of the thread.  Forward-only
+                // targets keep every program loop-free.
+                const Reg p = reg++;
+                tb.load(p, a).bne(regOp(p), immOp(rng.range(2)),
+                                  "end");
+                needEndLabel = true;
+            }
+        }
+        if (needEndLabel)
+            tb.label("end");
+    }
+    return pb.build();
+}
+
+Program
+generatePointerProgram(std::uint32_t seed, const GeneratorConfig &cfg)
+{
+    Rng rng(seed);
+    ProgramBuilder pb;
+    const Addr ptr = cfg.addrBase;
+    const Addr locA = cfg.addrBase + 1, locB = cfg.addrBase + 2;
+    pb.init(ptr, rng.range(2) ? locA : locB);
+    // Pointer targets may never appear as immediate addresses, so
+    // declare them (undeclared locations have no initializing Store
+    // and cannot be read).
+    pb.location(locA);
+    pb.location(locB);
+    const int threads = span(rng, cfg.minThreads, cfg.maxThreads);
+    int storeValue = 1;
+    for (int t = 0; t < threads; ++t) {
+        auto &tb = pb.thread("P" + std::to_string(t));
+        const int ops = span(rng, cfg.minOps, cfg.maxOps);
+        int reg = 1;
+        for (int i = 0; i < ops; ++i) {
+            switch (rng.range(6)) {
+              case 0:
+                tb.store(rng.range(2) ? locA : locB, storeValue++);
+                break;
+              case 1:
+                tb.store(ptr, rng.range(2) ? locA : locB);
+                break;
+              case 2: {
+                const Reg p = reg++;
+                tb.load(p, ptr).store(regOp(p), immOp(storeValue++));
+                break;
+              }
+              case 3: {
+                const Reg p = reg++;
+                tb.load(p, ptr).load(reg++, regOp(p));
+                break;
+              }
+              case 4:
+                tb.load(reg++, rng.range(2) ? locA : locB);
+                break;
+              case 5:
+                tb.fence();
+                break;
+            }
+        }
+    }
+    return pb.build();
+}
+
+} // namespace satom::fuzz

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Seeded random-program generation for differential fuzzing.
+ *
+ * The generator produces small multithreaded programs over a
+ * configurable address pool: Stores, Loads, full and partial fences,
+ * atomic read-modify-writes and (optionally) forward branches.  It is
+ * the library form of the generator that used to live inline in
+ * tests/test_fuzz.cpp; with a default GeneratorConfig it reproduces
+ * that generator's programs seed-for-seed, so the fixed-seed fuzz
+ * suites keep their historical coverage.
+ *
+ * Determinism contract: a (seed, config) pair identifies one program,
+ * on every platform, forever.  The fuzz driver's reports and the
+ * shrinker's reproducers depend on it — change the draw sequence only
+ * together with the golden-program tests in tests/test_shrink.cpp.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "isa/program.hpp"
+
+namespace satom::fuzz
+{
+
+/** Small deterministic PRNG (xorshift32). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint32_t seed) : state_(seed ? seed : 1) {}
+
+    std::uint32_t
+    next()
+    {
+        state_ ^= state_ << 13;
+        state_ ^= state_ >> 17;
+        state_ ^= state_ << 5;
+        return state_;
+    }
+
+    /** Uniform draw from [0, n). */
+    int range(int n) { return static_cast<int>(next() % n); }
+
+  private:
+    std::uint32_t state_;
+};
+
+/**
+ * Knobs of the random-program generator.  The defaults reproduce the
+ * historical tests/test_fuzz.cpp generator exactly.
+ */
+struct GeneratorConfig
+{
+    /** Thread-count range (inclusive). */
+    int minThreads = 2;
+    int maxThreads = 3;
+
+    /** Per-thread operation-count range (inclusive). */
+    int minOps = 2;
+    int maxOps = 4;
+
+    /** Address pool: numLocations consecutive addresses from addrBase. */
+    int numLocations = 2;
+    Addr addrBase = 100;
+
+    /**
+     * Operation-mix weights.  A draw lands in the cumulative ranges in
+     * this exact order (store, load, full fence, RMW, partial fence,
+     * branch); the default total of 7 with branchWeight = 0 is the
+     * historical branch-free mix.
+     */
+    int storeWeight = 2;
+    int loadWeight = 2;
+    int fenceWeight = 1;
+    int rmwWeight = 1;
+    int partialFenceWeight = 1;
+    int branchWeight = 0;
+
+    /**
+     * Value pool: 0 draws globally unique ascending store values
+     * (1, 2, 3, …, the historical behavior, which keeps every Store
+     * distinguishable); k > 0 draws store values uniformly from
+     * [1, k], deliberately creating value collisions.
+     */
+    int valuePool = 0;
+};
+
+/**
+ * Generate the branch-capable random program for @p seed.
+ *
+ * With branchWeight > 0 a branch op emits a fresh Load followed by a
+ * conditional forward jump to the end of the thread, so every branch
+ * is resolvable and loop-free.
+ */
+Program generateProgram(std::uint32_t seed,
+                        const GeneratorConfig &config = {});
+
+/**
+ * Generate a pointer-chasing program for @p seed: a pointer cell at
+ * config.addrBase is published and dereferenced (addresses stored as
+ * values, register-indirect Loads/Stores), exercising address
+ * resolution, the Section 5.1 disambiguation dependencies and — under
+ * WMM+spec — aliasing speculation with rollback.  Uses the thread-
+ * and op-count ranges of @p config; the op mix is fixed.
+ */
+Program generatePointerProgram(std::uint32_t seed,
+                               const GeneratorConfig &config = {});
+
+} // namespace satom::fuzz

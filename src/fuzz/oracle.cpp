@@ -1,0 +1,308 @@
+#include "fuzz/oracle.hpp"
+
+#include <set>
+
+#include "baseline/operational.hpp"
+#include "checker/checker.hpp"
+#include "enumerate/engine.hpp"
+
+namespace satom::fuzz
+{
+
+namespace
+{
+
+std::set<std::string>
+keys(const std::vector<Outcome> &outcomes)
+{
+    std::set<std::string> out;
+    for (const auto &o : outcomes)
+        out.insert(o.key());
+    return out;
+}
+
+/** Sample up to @p limit elements of @p only, ' | '-separated. */
+std::string
+sample(const std::set<std::string> &only, std::size_t limit = 3)
+{
+    std::string out;
+    std::size_t n = 0;
+    for (const auto &k : only) {
+        if (n++ == limit) {
+            out += " | …";
+            break;
+        }
+        if (!out.empty())
+            out += " | ";
+        out += k;
+    }
+    return out;
+}
+
+/** Keys of @p a missing from @p b. */
+std::set<std::string>
+minus(const std::set<std::string> &a, const std::set<std::string> &b)
+{
+    std::set<std::string> out;
+    for (const auto &k : a)
+        if (!b.count(k))
+            out.insert(k);
+    return out;
+}
+
+/**
+ * The enumerations behind the oracles are always serial: oracle runs
+ * must be bit-reproducible for any fuzz-driver worker count, and the
+ * driver already parallelizes across seeds.
+ */
+EnumerationOptions
+enumOptions(const OracleOptions &o)
+{
+    EnumerationOptions e;
+    e.maxDynamicPerThread = o.maxDynamicPerThread;
+    e.maxStates = o.maxGraphStates;
+    e.numWorkers = 1;
+    return e;
+}
+
+OperationalOptions
+operOptions(const OracleOptions &o)
+{
+    OperationalOptions p;
+    p.maxDynamicPerThread = o.maxDynamicPerThread;
+    p.maxStates = o.maxOperationalStates;
+    return p;
+}
+
+/**
+ * Equality comparison between one axiomatic and one operational
+ * enumeration of the same model.
+ */
+Discrepancy
+compareEquality(OracleId id, const EnumerationResult &graph,
+                const OperationalResult &oper)
+{
+    Discrepancy d;
+    d.oracle = id;
+    d.statesExplored = graph.stats.statesExplored + oper.statesExplored;
+    d.outcomesCompared = static_cast<long>(graph.outcomes.size()) +
+                         static_cast<long>(oper.outcomes.size());
+
+    const auto g = keys(graph.outcomes);
+    const auto o = keys(oper.outcomes);
+
+    // An extra outcome on a complete side is proof; a missing outcome
+    // against an incomplete side is not (satellite: incompleteness
+    // must yield Inconclusive, never a discrepancy).
+    const auto onlyGraph = minus(g, o);
+    const auto onlyOper = minus(o, g);
+    if (!onlyGraph.empty() && oper.complete) {
+        d.verdict = Verdict::Fail;
+        d.detail = "axiomatic-only outcomes: " + sample(onlyGraph);
+        return d;
+    }
+    if (!onlyOper.empty() && graph.complete) {
+        d.verdict = Verdict::Fail;
+        d.detail = "operational-only outcomes: " + sample(onlyOper);
+        return d;
+    }
+    if (!graph.complete || !oper.complete) {
+        d.verdict = Verdict::Inconclusive;
+        d.detail = std::string(!graph.complete ? "axiomatic"
+                                               : "operational") +
+                   " side hit its state budget";
+        return d;
+    }
+    d.verdict = Verdict::Pass;
+    return d;
+}
+
+/** sub ⊆ super for one (modelName pair); accumulates into @p d. */
+bool
+checkInclusion(Discrepancy &d, const char *subName,
+               const EnumerationResult &sub, const char *superName,
+               const EnumerationResult &super)
+{
+    d.statesExplored += sub.stats.statesExplored;
+    d.outcomesCompared += static_cast<long>(sub.outcomes.size());
+    if (!super.complete)
+        return true; // missing keys unprovable; completeness handled
+                     // by the caller's overall verdict
+    const auto missing = minus(keys(sub.outcomes), keys(super.outcomes));
+    if (missing.empty())
+        return true;
+    d.verdict = Verdict::Fail;
+    d.detail = std::string(subName) + " outcomes missing under " +
+               superName + ": " + sample(missing);
+    return false;
+}
+
+Discrepancy
+runInclusionChain(OracleId id, const Program &p,
+                  const std::vector<ModelId> &chain,
+                  const OracleOptions &opts)
+{
+    Discrepancy d;
+    d.oracle = id;
+    std::vector<EnumerationResult> results;
+    bool allComplete = true;
+    for (ModelId m : chain) {
+        results.push_back(
+            enumerateBehaviors(p, makeModel(m), enumOptions(opts)));
+        allComplete &= results.back().complete;
+    }
+    d.statesExplored = results.back().stats.statesExplored;
+    d.outcomesCompared =
+        static_cast<long>(results.back().outcomes.size());
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+        if (!checkInclusion(d, toString(chain[i]).c_str(), results[i],
+                            toString(chain[i + 1]).c_str(),
+                            results[i + 1]))
+            return d;
+    }
+    if (!allComplete) {
+        d.verdict = Verdict::Inconclusive;
+        d.detail = "a model's enumeration hit its state budget";
+    }
+    return d;
+}
+
+Discrepancy
+runWmmRecheck(const Program &p, const OracleOptions &opts)
+{
+    Discrepancy d;
+    d.oracle = OracleId::WmmRecheck;
+    EnumerationOptions eo = enumOptions(opts);
+    eo.collectExecutions = true;
+    const auto r = enumerateBehaviors(p, makeModel(ModelId::WMM), eo);
+    d.statesExplored = r.stats.statesExplored;
+    d.outcomesCompared = static_cast<long>(r.executions.size());
+    CheckOptions co;
+    co.ruleC = true;
+    co.maxDynamicPerThread = opts.maxDynamicPerThread;
+    for (std::size_t i = 0; i < r.executions.size(); ++i) {
+        const auto report = checkExecution(
+            p, makeModel(ModelId::WMM),
+            observationsOf(r.executions[i]), co);
+        if (!report.consistent) {
+            d.verdict = Verdict::Fail;
+            d.detail = "WMM execution " + std::to_string(i) +
+                       " rejected by the post-hoc checker";
+            return d;
+        }
+    }
+    if (!r.complete) {
+        d.verdict = Verdict::Inconclusive;
+        d.detail = "WMM enumeration hit its state budget";
+    }
+    return d;
+}
+
+} // namespace
+
+std::vector<OracleId>
+allOracles()
+{
+    return {OracleId::ScVsOperational, OracleId::TsoVsOperational,
+            OracleId::Inclusion, OracleId::SpecInclusion,
+            OracleId::WmmRecheck};
+}
+
+std::string
+toString(OracleId id)
+{
+    switch (id) {
+      case OracleId::ScVsOperational: return "sc-operational";
+      case OracleId::TsoVsOperational: return "tso-operational";
+      case OracleId::Inclusion: return "inclusion";
+      case OracleId::SpecInclusion: return "spec-inclusion";
+      case OracleId::WmmRecheck: return "wmm-recheck";
+    }
+    return "?";
+}
+
+bool
+oracleFromString(const std::string &name, OracleId &out)
+{
+    for (OracleId id : allOracles()) {
+        if (toString(id) == name) {
+            out = id;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+toString(Verdict v)
+{
+    switch (v) {
+      case Verdict::Pass: return "pass";
+      case Verdict::Fail: return "fail";
+      case Verdict::Inconclusive: return "inconclusive";
+    }
+    return "?";
+}
+
+Discrepancy
+runOracle(OracleId id, const Program &program,
+          const OracleOptions &options)
+{
+    switch (id) {
+      case OracleId::ScVsOperational: {
+        const auto graph = enumerateBehaviors(
+            program, makeModel(ModelId::SC), enumOptions(options));
+        // injectScVsStoreBuffer is the documented intentional bug:
+        // compare SC axioms against the TSO machine (see oracle.hpp).
+        const auto oper =
+            options.injectScVsStoreBuffer
+                ? enumerateOperationalTSO(program, operOptions(options))
+                : enumerateOperationalSC(program, operOptions(options));
+        return compareEquality(id, graph, oper);
+      }
+      case OracleId::TsoVsOperational: {
+        const auto graph = enumerateBehaviors(
+            program, makeModel(ModelId::TSO), enumOptions(options));
+        const auto oper =
+            enumerateOperationalTSO(program, operOptions(options));
+        return compareEquality(id, graph, oper);
+      }
+      case OracleId::Inclusion:
+        return runInclusionChain(
+            id, program, {ModelId::SC, ModelId::TSO, ModelId::WMM},
+            options);
+      case OracleId::SpecInclusion:
+        return runInclusionChain(
+            id, program, {ModelId::WMM, ModelId::WMMSpec}, options);
+      case OracleId::WmmRecheck:
+        return runWmmRecheck(program, options);
+    }
+    return {};
+}
+
+std::vector<Discrepancy>
+runOracles(const Program &program, const std::vector<OracleId> &oracles,
+           const OracleOptions &options)
+{
+    const auto ids = oracles.empty() ? allOracles() : oracles;
+    std::vector<Discrepancy> out;
+    out.reserve(ids.size());
+    for (OracleId id : ids)
+        out.push_back(runOracle(id, program, options));
+    return out;
+}
+
+Verdict
+worstVerdict(const std::vector<Discrepancy> &results)
+{
+    Verdict worst = Verdict::Pass;
+    for (const auto &d : results) {
+        if (d.failed())
+            return Verdict::Fail;
+        if (d.inconclusive())
+            worst = Verdict::Inconclusive;
+    }
+    return worst;
+}
+
+} // namespace satom::fuzz

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Differential oracles: the cross-model agreement predicates that make
+ * random programs into a correctness workload.
+ *
+ * Each oracle compares two independent formalizations of the same
+ * memory model (or an inclusion between models) on one program:
+ *
+ *  - ScVsOperational:  graph enumerator under SC axioms  ==  the
+ *    operational interleaver of src/baseline.
+ *  - TsoVsOperational: graph enumerator under TSO+bypass ==  the
+ *    store-buffer machine.
+ *  - Inclusion:        SC outcomes ⊆ TSO outcomes ⊆ WMM outcomes.
+ *  - SpecInclusion:    WMM outcomes ⊆ WMM+spec outcomes.
+ *  - WmmRecheck:       every WMM execution re-validates through the
+ *    post-hoc checker (checkExecution, rule c ON).
+ *
+ * Verdicts are three-valued.  A side that hits its state budget
+ * (`complete == false`) has an under-approximated outcome set, so a
+ * missing outcome proves nothing: budget-capped comparisons degrade to
+ * Inconclusive, never to a reported discrepancy.  A genuine extra
+ * outcome on a *complete* side is still a failure even when the other
+ * side was capped — failures require proof, passes require complete
+ * evidence, everything else is Inconclusive.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace satom::fuzz
+{
+
+/** The differential oracles, in report order. */
+enum class OracleId
+{
+    ScVsOperational,
+    TsoVsOperational,
+    Inclusion,
+    SpecInclusion,
+    WmmRecheck,
+};
+
+/** All oracles, in report order. */
+std::vector<OracleId> allOracles();
+
+/** Stable CLI/report name, e.g. "sc-operational". */
+std::string toString(OracleId id);
+
+/** Parse a CLI/report name; false if unknown. */
+bool oracleFromString(const std::string &name, OracleId &out);
+
+/** Three-valued oracle verdict. */
+enum class Verdict
+{
+    Pass,         ///< complete evidence on both sides, no difference
+    Fail,         ///< proven disagreement (a Discrepancy)
+    Inconclusive, ///< a budget-capped side prevented a proof
+};
+
+/** Stable report name: "pass", "fail", "inconclusive". */
+std::string toString(Verdict v);
+
+/** Structured result of running one oracle on one program. */
+struct Discrepancy
+{
+    OracleId oracle = OracleId::ScVsOperational;
+    Verdict verdict = Verdict::Pass;
+
+    /** Human-readable evidence (sample differing outcome keys). */
+    std::string detail;
+
+    /** States explored, summed over both sides. */
+    long statesExplored = 0;
+
+    /** Outcome-set sizes, summed over both sides. */
+    long outcomesCompared = 0;
+
+    bool passed() const { return verdict == Verdict::Pass; }
+    bool failed() const { return verdict == Verdict::Fail; }
+    bool inconclusive() const
+    {
+        return verdict == Verdict::Inconclusive;
+    }
+};
+
+/** Budgets and test-only fault injection for the oracles. */
+struct OracleOptions
+{
+    /** Dynamic-instruction budget per thread. */
+    int maxDynamicPerThread = 64;
+
+    /** Graph-enumeration state cap (per model). */
+    long maxGraphStates = 2000000;
+
+    /** Operational-machine state cap (per machine). */
+    long maxOperationalStates = 5000000;
+
+    /**
+     * TESTING ONLY — intentional oracle bug: ScVsOperational compares
+     * the SC graph enumerator against the *TSO store-buffer machine*.
+     * Any program whose TSO behaviors exceed SC (a store-buffering
+     * core) then reports a discrepancy, which is how the fuzz
+     * pipeline's detection and shrinking paths are validated
+     * end-to-end (tests/test_shrink.cpp, `satom_fuzz --inject-bug`).
+     */
+    bool injectScVsStoreBuffer = false;
+};
+
+/** Run one oracle on @p program. */
+Discrepancy runOracle(OracleId id, const Program &program,
+                      const OracleOptions &options = {});
+
+/** Run @p oracles (empty = all) in order; one entry per oracle. */
+std::vector<Discrepancy>
+runOracles(const Program &program,
+           const std::vector<OracleId> &oracles = {},
+           const OracleOptions &options = {});
+
+/** The worst verdict in @p results (Fail > Inconclusive > Pass). */
+Verdict worstVerdict(const std::vector<Discrepancy> &results);
+
+} // namespace satom::fuzz

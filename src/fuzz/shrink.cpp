@@ -1,0 +1,181 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace satom::fuzz
+{
+
+namespace
+{
+
+Program
+dropThread(const Program &p, int t)
+{
+    Program q = p;
+    q.threads.erase(q.threads.begin() + t);
+    return q;
+}
+
+/** Renumber non-address store/init immediates to 1, 2, 3, … */
+Program
+renumberValues(const Program &p, bool &changedOut)
+{
+    // Addresses stay untouched: a value that names a location is
+    // pointer data, not pool pressure.
+    std::set<Val> addrs;
+    for (Addr a : p.locations())
+        addrs.insert(a);
+
+    std::set<Val> values;
+    auto collect = [&](const Operand &op) {
+        if (op.isImm() && !addrs.count(op.imm))
+            values.insert(op.imm);
+    };
+    for (const auto &t : p.threads) {
+        for (const auto &ins : t.code)
+            if (ins.op == Opcode::Store)
+                collect(ins.value);
+    }
+    for (const auto &[a, v] : p.init)
+        if (!addrs.count(v))
+            values.insert(v);
+
+    std::map<Val, Val> remap;
+    Val next = 1;
+    for (Val v : values)
+        remap[v] = next++;
+
+    Program q = p;
+    changedOut = false;
+    auto apply = [&](Operand &op) {
+        if (op.isImm() && remap.count(op.imm) &&
+            remap[op.imm] != op.imm) {
+            op.imm = remap[op.imm];
+            changedOut = true;
+        }
+    };
+    for (auto &t : q.threads) {
+        for (auto &ins : t.code)
+            if (ins.op == Opcode::Store)
+                apply(ins.value);
+    }
+    for (auto &[a, v] : q.init) {
+        if (!addrs.count(v) && remap.count(v) && remap[v] != v) {
+            v = remap[v];
+            changedOut = true;
+        }
+    }
+    return q;
+}
+
+} // namespace
+
+Program
+dropInstruction(const Program &p, int t, int index)
+{
+    Program q = p;
+    auto &code = q.threads[static_cast<std::size_t>(t)].code;
+    code.erase(code.begin() + index);
+    // Branch targets past the removed slot shift down by one; a target
+    // of exactly `index` now denotes the old successor, which the
+    // erase already put at that index.
+    for (auto &ins : code)
+        if (ins.isBranch() && ins.target > index)
+            --ins.target;
+    return q;
+}
+
+ShrinkResult
+shrinkProgram(const Program &failing, const FailurePredicate &stillFails,
+              const ShrinkOptions &options)
+{
+    ShrinkResult res;
+    res.program = failing;
+
+    auto probe = [&](const Program &q) {
+        ++res.probes;
+        return stillFails(q);
+    };
+
+    if (!probe(failing))
+        return res;
+
+    for (int round = 0; round < options.maxRounds; ++round) {
+        ++res.rounds;
+        bool changed = false;
+
+        // Whole threads, highest index first so survivors keep their
+        // indices while we scan.
+        for (int t = static_cast<int>(res.program.threads.size()) - 1;
+             t >= 0 && res.program.threads.size() > 1; --t) {
+            Program q = dropThread(res.program, t);
+            if (probe(q)) {
+                res.program = std::move(q);
+                changed = true;
+            }
+        }
+
+        // Single instructions, last first.  (Re-read the code vector
+        // through res.program each iteration: adopting a candidate
+        // move-assigns res.program, which would invalidate a cached
+        // reference.)
+        for (int t = static_cast<int>(res.program.threads.size()) - 1;
+             t >= 0; --t) {
+            const auto codeSize = [&] {
+                return static_cast<int>(
+                    res.program.threads[static_cast<std::size_t>(t)]
+                        .code.size());
+            };
+            for (int i = codeSize() - 1; i >= 0; --i) {
+                Program q = dropInstruction(res.program, t, i);
+                if (probe(q)) {
+                    res.program = std::move(q);
+                    changed = true;
+                }
+            }
+        }
+
+        // Init entries and pointer-only location declarations.
+        {
+            std::vector<Addr> initAddrs;
+            for (const auto &[a, v] : res.program.init)
+                initAddrs.push_back(a);
+            for (Addr a : initAddrs) {
+                Program q = res.program;
+                q.init.erase(a);
+                if (probe(q)) {
+                    res.program = std::move(q);
+                    changed = true;
+                }
+            }
+            for (std::size_t i = res.program.extraLocations.size();
+                 i-- > 0;) {
+                Program q = res.program;
+                q.extraLocations.erase(q.extraLocations.begin() +
+                                       static_cast<long>(i));
+                if (probe(q)) {
+                    res.program = std::move(q);
+                    changed = true;
+                }
+            }
+        }
+
+        if (options.renumberValues) {
+            bool renumbered = false;
+            Program q = renumberValues(res.program, renumbered);
+            if (renumbered && probe(q)) {
+                res.program = std::move(q);
+                changed = true;
+            }
+        }
+
+        res.changed |= changed;
+        if (!changed)
+            break;
+    }
+    return res;
+}
+
+} // namespace satom::fuzz

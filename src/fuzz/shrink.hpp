@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Delta-debugging minimizer for failing fuzz programs.
+ *
+ * Given a program on which a failure predicate holds (typically "some
+ * oracle reports a definite discrepancy"), the shrinker greedily
+ * applies reductions while the predicate keeps holding:
+ *
+ *  - drop a whole thread,
+ *  - drop one instruction (branch targets are re-fixed),
+ *  - drop an init entry or a pointer-only location declaration,
+ *  - renumber the immediate store/init values to 1, 2, 3, …
+ *    (narrowing the value pool to the smallest canonical one).
+ *
+ * Reductions repeat to a fixpoint, so the result is 1-minimal: no
+ * single remaining thread/instruction/init can be removed without
+ * losing the failure.  The caller's predicate decides what "failing"
+ * means; oracle users must map Inconclusive to *not failing* so the
+ * shrinker never trades a real discrepancy for a budget artifact.
+ */
+
+#pragma once
+
+#include <functional>
+
+#include "isa/program.hpp"
+
+namespace satom::fuzz
+{
+
+/** True iff the candidate program still exhibits the failure. */
+using FailurePredicate = std::function<bool(const Program &)>;
+
+/** Shrinking limits. */
+struct ShrinkOptions
+{
+    /** Cap on full reduction rounds (each round is a fixpoint pass). */
+    int maxRounds = 32;
+
+    /** Also canonicalize store/init values (1, 2, 3, …). */
+    bool renumberValues = true;
+};
+
+/** Minimization result. */
+struct ShrinkResult
+{
+    /** The minimized program (== input if nothing could be removed). */
+    Program program;
+
+    /** Predicate evaluations spent. */
+    long probes = 0;
+
+    /** Reduction rounds executed. */
+    int rounds = 0;
+
+    /** True iff at least one reduction was accepted. */
+    bool changed = false;
+};
+
+/**
+ * Minimize @p failing while @p stillFails holds.  If the predicate
+ * does not hold on the input, the input is returned unchanged.
+ */
+ShrinkResult shrinkProgram(const Program &failing,
+                           const FailurePredicate &stillFails,
+                           const ShrinkOptions &options = {});
+
+/** Remove instruction @p index of thread @p t, re-fixing branch
+ *  targets (exposed for unit tests). */
+Program dropInstruction(const Program &p, int t, int index);
+
+} // namespace satom::fuzz

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Regression tests for two scan bugs fixed in the parallel-engine PR,
+ * where a `break` left an exclusion scan early and the surrounding
+ * loop then skipped candidates it had not yet examined:
+ *
+ *  - candidateStores rule 3 (core/atomicity.cpp): a Store already
+ *    observed by one Rmw must be excluded for a second Rmw, but the
+ *    scan must keep considering the *remaining* same-address Stores.
+ *  - recordOutcome (enumerate/engine.cpp): a Store found to be
+ *    `@`-overwritten is not `@`-maximal, but the remaining Stores to
+ *    that address must still be checked for maximality.
+ *
+ * Each bug is pinned twice: a direct unit test on the function, and an
+ * end-to-end outcome-set assertion through every model.
+ */
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/atomicity.hpp"
+#include "core/graph.hpp"
+#include "enumerate/engine.hpp"
+#include "isa/builder.hpp"
+
+namespace satom
+{
+namespace
+{
+
+constexpr Addr X = 100, Y = 101;
+
+NodeId
+addStore(ExecutionGraph &g, ThreadId tid, Addr a, Val v)
+{
+    Node n;
+    n.tid = tid;
+    n.kind = NodeKind::Store;
+    n.addrKnown = true;
+    n.addr = a;
+    n.valueKnown = true;
+    n.value = v;
+    n.executed = true;
+    return g.addNode(n);
+}
+
+NodeId
+addRmw(ExecutionGraph &g, ThreadId tid, Addr a)
+{
+    Node n;
+    n.tid = tid;
+    n.kind = NodeKind::Rmw;
+    n.addrKnown = true;
+    n.addr = a;
+    return g.addNode(n);
+}
+
+void
+observe(ExecutionGraph &g, NodeId load, NodeId store)
+{
+    Node &ln = g.node(load);
+    ln.source = store;
+    ln.loaded = g.node(store).value;
+    ln.value = ln.loaded + 1;
+    ln.valueKnown = true;
+    ln.executed = true;
+    ASSERT_TRUE(g.addEdge(store, load, EdgeKind::Source));
+}
+
+/**
+ * Rule 3 of candidateStores: a Store can source at most one Rmw.  The
+ * graph holds S(x,0) already observed by Rmw R1, plus a free Store
+ * S2(x,5); an unresolved Rmw R2 must be offered R1 and S2 but not S.
+ * S precedes the valid candidates in the same-address scan, so an
+ * over-eager break while excluding it would lose both of them.
+ */
+TEST(CandidateStoresRegression, SourcedStoreExcludedButScanContinues)
+{
+    ExecutionGraph g;
+    const NodeId s = addStore(g, 0, X, 0);
+    const NodeId r1 = addRmw(g, 1, X);
+    observe(g, r1, s);
+    const NodeId s2 = addStore(g, 0, X, 5);
+    const NodeId r2 = addRmw(g, 2, X);
+
+    std::vector<NodeId> c = candidateStores(g, r2);
+    std::sort(c.begin(), c.end());
+    EXPECT_EQ(c, (std::vector<NodeId>{r1, s2}));
+}
+
+/** End-to-end rule 3: concurrent fetch-adds serialize in every model. */
+class RmwSerialization : public testing::TestWithParam<ModelId>
+{
+};
+
+TEST_P(RmwSerialization, TwoFetchAddsNeverObserveTheSameStore)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").fetchAdd(1, immOp(X), immOp(1));
+    pb.thread("P1").fetchAdd(1, immOp(X), immOp(1));
+    const Program p = pb.build();
+
+    const auto r = enumerateBehaviors(p, makeModel(GetParam()));
+    ASSERT_TRUE(r.complete);
+    ASSERT_FALSE(r.outcomes.empty());
+    for (const Outcome &o : r.outcomes) {
+        EXPECT_EQ(o.mem(X), 2) << o.key();
+        // One Rmw read the initial 0, the other read 1.
+        EXPECT_EQ(o.reg(0, 1) + o.reg(1, 1), 1) << o.key();
+    }
+}
+
+TEST_P(RmwSerialization, ThreeFetchAddsCountToThree)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").fetchAdd(1, immOp(X), immOp(1));
+    pb.thread("P1").fetchAdd(1, immOp(X), immOp(1));
+    pb.thread("P2").fetchAdd(1, immOp(X), immOp(1));
+    const Program p = pb.build();
+
+    const auto r = enumerateBehaviors(p, makeModel(GetParam()));
+    ASSERT_TRUE(r.complete);
+    ASSERT_FALSE(r.outcomes.empty());
+    for (const Outcome &o : r.outcomes) {
+        EXPECT_EQ(o.mem(X), 3) << o.key();
+        EXPECT_EQ(o.reg(0, 1) + o.reg(1, 1) + o.reg(2, 1), 3)
+            << o.key();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, RmwSerialization,
+                         testing::Values(ModelId::SC, ModelId::TSO,
+                                         ModelId::WMM));
+
+/**
+ * recordOutcome maximality: with three Stores to x where the first
+ * scanned is overwritten, the remaining two are both `@`-maximal and
+ * both final memories must be emitted.
+ */
+class FinalMemory : public testing::TestWithParam<ModelId>
+{
+};
+
+TEST_P(FinalMemory, OverwrittenStoreNeverFinal)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1).store(X, 2);
+    const Program p = pb.build();
+
+    const auto r = enumerateBehaviors(p, makeModel(GetParam()));
+    ASSERT_TRUE(r.complete);
+    ASSERT_EQ(r.outcomes.size(), 1u);
+    EXPECT_EQ(r.outcomes.begin()->mem(X), 2);
+}
+
+TEST_P(FinalMemory, BothMaximalStoresFinalize)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1).store(X, 2);
+    pb.thread("P1").store(X, 3);
+    const Program p = pb.build();
+
+    const auto r = enumerateBehaviors(p, makeModel(GetParam()));
+    ASSERT_TRUE(r.complete);
+    std::set<Val> finals;
+    for (const Outcome &o : r.outcomes)
+        finals.insert(o.mem(X));
+    EXPECT_EQ(finals, (std::set<Val>{2, 3}));
+}
+
+TEST_P(FinalMemory, IndependentAddressesFinalizeIndependently)
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1).store(Y, 1);
+    pb.thread("P1").store(X, 2).store(Y, 2);
+    const Program p = pb.build();
+
+    const auto r = enumerateBehaviors(p, makeModel(GetParam()));
+    ASSERT_TRUE(r.complete);
+    std::set<std::pair<Val, Val>> finals;
+    for (const Outcome &o : r.outcomes)
+        finals.insert({o.mem(X), o.mem(Y)});
+    for (Val x : {1, 2})
+        for (Val y : {1, 2})
+            EXPECT_TRUE(finals.count({x, y}))
+                << "missing final x=" << x << " y=" << y;
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, FinalMemory,
+                         testing::Values(ModelId::SC, ModelId::TSO,
+                                         ModelId::WMM));
+
+} // namespace
+} // namespace satom

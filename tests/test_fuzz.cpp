@@ -3,160 +3,41 @@
  * Differential fuzzing: random programs, three independent
  * formalizations, exact agreement required.
  *
- * A deterministic generator produces random multithreaded programs
- * (Stores, Loads, fences, RMWs over a small address set); for each:
+ * The generator and the cross-model oracles live in src/fuzz/ (shared
+ * with the `satom_fuzz` driver); this suite pins them to fixed seeds
+ * so failures reproduce and historical coverage is preserved:
  *
  *  - graph enumerator under SC axioms  ==  operational interleaver,
  *  - graph enumerator under TSO+bypass ==  store-buffer machine,
  *  - SC outcomes ⊆ TSO outcomes ⊆ WMM outcomes,
  *  - WMM executions re-check through the post-hoc checker.
- *
- * Seeds are fixed so failures reproduce.
  */
 
 #include <gtest/gtest.h>
 
 #include "isa/builder.hpp"
 
-#include <set>
-
-#include "baseline/operational.hpp"
-#include "checker/checker.hpp"
 #include "enumerate/engine.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/oracle.hpp"
 
 namespace satom
 {
 namespace
 {
 
-/** Small deterministic PRNG (xorshift32). */
-class Rng
+using fuzz::OracleId;
+using fuzz::Verdict;
+
+/** Assert a pass — an oracle failure prints the program. */
+void
+expectPass(OracleId id, const Program &p)
 {
-  public:
-    explicit Rng(std::uint32_t seed) : state_(seed ? seed : 1) {}
-
-    std::uint32_t
-    next()
-    {
-        state_ ^= state_ << 13;
-        state_ ^= state_ >> 17;
-        state_ ^= state_ << 5;
-        return state_;
-    }
-
-    int range(int n) { return static_cast<int>(next() % n); }
-
-  private:
-    std::uint32_t state_;
-};
-
-/** Random branch-free program over two locations. */
-Program
-randomProgram(std::uint32_t seed)
-{
-    Rng rng(seed);
-    ProgramBuilder pb;
-    const int threads = 2 + rng.range(2);
-    int storeValue = 1;
-    for (int t = 0; t < threads; ++t) {
-        auto &tb = pb.thread("P" + std::to_string(t));
-        const int ops = 2 + rng.range(3);
-        int reg = 1;
-        for (int i = 0; i < ops; ++i) {
-            const Addr a = 100 + rng.range(2);
-            switch (rng.range(7)) {
-              case 0:
-              case 1:
-                tb.store(a, storeValue++);
-                break;
-              case 2:
-              case 3:
-                tb.load(reg++, a);
-                break;
-              case 4:
-                tb.fence();
-                break;
-              case 5:
-                tb.fetchAdd(reg++, immOp(a), immOp(1));
-                break;
-              case 6: {
-                static const FenceMask masks[] = {
-                    {false, false, true, false}, // sl
-                    {false, false, false, true}, // ss
-                    {true, false, false, false}, // ll
-                    FenceMask::acquire(),
-                    FenceMask::release(),
-                };
-                tb.fence(masks[rng.range(5)]);
-                break;
-              }
-            }
-        }
-    }
-    return pb.build();
-}
-
-/**
- * Random program with register-indirect addressing: a pointer cell is
- * published and dereferenced, exercising address resolution, the
- * Section 5.1 disambiguation dependencies, and (under WMM+spec)
- * aliasing speculation with rollback.
- */
-Program
-randomPointerProgram(std::uint32_t seed)
-{
-    Rng rng(seed);
-    ProgramBuilder pb;
-    constexpr Addr ptr = 100, locA = 101, locB = 102;
-    pb.init(ptr, rng.range(2) ? locA : locB);
-    // Pointer targets may never appear as immediate addresses, so
-    // declare them (undeclared locations have no initializing Store
-    // and cannot be read).
-    pb.location(locA);
-    pb.location(locB);
-    const int threads = 2 + rng.range(2);
-    int storeValue = 1;
-    for (int t = 0; t < threads; ++t) {
-        auto &tb = pb.thread("P" + std::to_string(t));
-        const int ops = 2 + rng.range(3);
-        int reg = 1;
-        for (int i = 0; i < ops; ++i) {
-            switch (rng.range(6)) {
-              case 0:
-                tb.store(rng.range(2) ? locA : locB, storeValue++);
-                break;
-              case 1:
-                tb.store(ptr, rng.range(2) ? locA : locB);
-                break;
-              case 2: {
-                const Reg p = reg++;
-                tb.load(p, ptr).store(regOp(p), immOp(storeValue++));
-                break;
-              }
-              case 3: {
-                const Reg p = reg++;
-                tb.load(p, ptr).load(reg++, regOp(p));
-                break;
-              }
-              case 4:
-                tb.load(reg++, rng.range(2) ? locA : locB);
-                break;
-              case 5:
-                tb.fence();
-                break;
-            }
-        }
-    }
-    return pb.build();
-}
-
-std::set<std::string>
-keys(const std::vector<Outcome> &outcomes)
-{
-    std::set<std::string> out;
-    for (const auto &o : outcomes)
-        out.insert(o.key());
-    return out;
+    const auto d = fuzz::runOracle(id, p);
+    EXPECT_TRUE(d.passed())
+        << toString(id) << " [" << toString(d.verdict)
+        << "]: " << d.detail << '\n'
+        << p.toString();
 }
 
 class Fuzz : public testing::TestWithParam<std::uint32_t>
@@ -165,68 +46,37 @@ class Fuzz : public testing::TestWithParam<std::uint32_t>
 
 TEST_P(Fuzz, ScAgreesWithInterleaver)
 {
-    const Program p = randomProgram(GetParam());
-    const auto graph = enumerateBehaviors(p, makeModel(ModelId::SC));
-    const auto oper = enumerateOperationalSC(p);
-    ASSERT_TRUE(graph.complete && oper.complete);
-    EXPECT_EQ(keys(graph.outcomes), keys(oper.outcomes))
-        << p.toString();
+    expectPass(OracleId::ScVsOperational,
+               fuzz::generateProgram(GetParam()));
 }
 
 TEST_P(Fuzz, TsoAgreesWithStoreBuffer)
 {
-    const Program p = randomProgram(GetParam());
-    const auto graph = enumerateBehaviors(p, makeModel(ModelId::TSO));
-    const auto oper = enumerateOperationalTSO(p);
-    ASSERT_TRUE(graph.complete && oper.complete);
-    EXPECT_EQ(keys(graph.outcomes), keys(oper.outcomes))
-        << p.toString();
+    expectPass(OracleId::TsoVsOperational,
+               fuzz::generateProgram(GetParam()));
 }
 
 TEST_P(Fuzz, ModelsAreMonotone)
 {
-    const Program p = randomProgram(GetParam());
-    const auto sc = keys(
-        enumerateBehaviors(p, makeModel(ModelId::SC)).outcomes);
-    const auto tso = keys(
-        enumerateBehaviors(p, makeModel(ModelId::TSO)).outcomes);
-    const auto wmm = keys(
-        enumerateBehaviors(p, makeModel(ModelId::WMM)).outcomes);
-    for (const auto &k : sc)
-        EXPECT_TRUE(tso.count(k)) << p.toString();
-    for (const auto &k : tso)
-        EXPECT_TRUE(wmm.count(k)) << p.toString();
+    expectPass(OracleId::Inclusion, fuzz::generateProgram(GetParam()));
 }
 
 TEST_P(Fuzz, ExecutionsRecheck)
 {
-    const Program p = randomProgram(GetParam());
-    EnumerationOptions opts;
-    opts.collectExecutions = true;
-    const auto r = enumerateBehaviors(p, makeModel(ModelId::WMM), opts);
-    for (const auto &g : r.executions) {
-        const auto check = checkExecution(p, makeModel(ModelId::WMM),
-                                          observationsOf(g));
-        EXPECT_TRUE(check.consistent) << p.toString();
-    }
+    expectPass(OracleId::WmmRecheck, fuzz::generateProgram(GetParam()));
 }
 
 TEST_P(Fuzz, NoRollbacksWithoutSpeculation)
 {
-    const Program p = randomProgram(GetParam());
+    const Program p = fuzz::generateProgram(GetParam());
     const auto r = enumerateBehaviors(p, makeModel(ModelId::WMM));
     EXPECT_EQ(r.stats.rollbacks, 0) << p.toString();
 }
 
 TEST_P(Fuzz, SpeculationOnlyAddsBehaviors)
 {
-    const Program p = randomProgram(GetParam());
-    const auto wmm = keys(
-        enumerateBehaviors(p, makeModel(ModelId::WMM)).outcomes);
-    const auto spec = keys(
-        enumerateBehaviors(p, makeModel(ModelId::WMMSpec)).outcomes);
-    for (const auto &k : wmm)
-        EXPECT_TRUE(spec.count(k)) << p.toString();
+    expectPass(OracleId::SpecInclusion,
+               fuzz::generateProgram(GetParam()));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz,
@@ -238,22 +88,14 @@ class PointerFuzz : public testing::TestWithParam<std::uint32_t>
 
 TEST_P(PointerFuzz, ScAgreesWithInterleaver)
 {
-    const Program p = randomPointerProgram(GetParam());
-    const auto graph = enumerateBehaviors(p, makeModel(ModelId::SC));
-    const auto oper = enumerateOperationalSC(p);
-    ASSERT_TRUE(graph.complete && oper.complete);
-    EXPECT_EQ(keys(graph.outcomes), keys(oper.outcomes))
-        << p.toString();
+    expectPass(OracleId::ScVsOperational,
+               fuzz::generatePointerProgram(GetParam()));
 }
 
 TEST_P(PointerFuzz, TsoAgreesWithStoreBuffer)
 {
-    const Program p = randomPointerProgram(GetParam());
-    const auto graph = enumerateBehaviors(p, makeModel(ModelId::TSO));
-    const auto oper = enumerateOperationalTSO(p);
-    ASSERT_TRUE(graph.complete && oper.complete);
-    EXPECT_EQ(keys(graph.outcomes), keys(oper.outcomes))
-        << p.toString();
+    expectPass(OracleId::TsoVsOperational,
+               fuzz::generatePointerProgram(GetParam()));
 }
 
 TEST_P(PointerFuzz, SpeculationSafeOnPointerPrograms)
@@ -261,18 +103,13 @@ TEST_P(PointerFuzz, SpeculationSafeOnPointerPrograms)
     // The Section 5 claim fuzzed: dropping the disambiguation
     // dependencies (with rollback) preserves every non-speculative
     // behavior, on programs that actually chase pointers.
-    const Program p = randomPointerProgram(GetParam());
-    const auto wmm = keys(
-        enumerateBehaviors(p, makeModel(ModelId::WMM)).outcomes);
-    const auto spec = keys(
-        enumerateBehaviors(p, makeModel(ModelId::WMMSpec)).outcomes);
-    for (const auto &k : wmm)
-        EXPECT_TRUE(spec.count(k)) << p.toString();
+    expectPass(OracleId::SpecInclusion,
+               fuzz::generatePointerProgram(GetParam()));
 }
 
 TEST_P(PointerFuzz, NonSpeculativeNeverRollsBack)
 {
-    const Program p = randomPointerProgram(GetParam());
+    const Program p = fuzz::generatePointerProgram(GetParam());
     const auto r = enumerateBehaviors(p, makeModel(ModelId::WMM));
     EXPECT_EQ(r.stats.rollbacks, 0) << p.toString();
     EXPECT_TRUE(r.complete);
@@ -280,6 +117,63 @@ TEST_P(PointerFuzz, NonSpeculativeNeverRollsBack)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PointerFuzz,
                          testing::Range<std::uint32_t>(100, 125));
+
+/** Branchy generator mode: every oracle holds with branches on too. */
+class BranchFuzz : public testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(BranchFuzz, AllOraclesHold)
+{
+    fuzz::GeneratorConfig cfg;
+    cfg.branchWeight = 2;
+    const Program p = fuzz::generateProgram(GetParam(), cfg);
+    for (const auto &d : fuzz::runOracles(p))
+        EXPECT_TRUE(d.passed())
+            << toString(d.oracle) << ": " << d.detail << '\n'
+            << p.toString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BranchFuzz,
+                         testing::Range<std::uint32_t>(1, 11));
+
+/**
+ * A budget-capped side must make a comparison inconclusive, never a
+ * reported discrepancy: an under-approximated outcome set proves
+ * nothing about missing outcomes.
+ */
+TEST(OracleIncompleteness, CappedGraphSideIsInconclusive)
+{
+    const Program p = fuzz::generateProgram(3);
+    fuzz::OracleOptions opts;
+    opts.maxGraphStates = 1; // graph side cannot finish
+    for (OracleId id : fuzz::allOracles()) {
+        const auto d = fuzz::runOracle(id, p, opts);
+        EXPECT_NE(d.verdict, Verdict::Fail)
+            << toString(id) << ": " << d.detail;
+    }
+}
+
+TEST(OracleIncompleteness, CappedOperationalSideIsInconclusive)
+{
+    const Program p = fuzz::generateProgram(3);
+    fuzz::OracleOptions opts;
+    opts.maxOperationalStates = 1; // machine side cannot finish
+    for (OracleId id :
+         {OracleId::ScVsOperational, OracleId::TsoVsOperational}) {
+        const auto d = fuzz::runOracle(id, p, opts);
+        EXPECT_EQ(d.verdict, Verdict::Inconclusive)
+            << toString(id) << ": " << d.detail;
+    }
+}
+
+TEST(OracleIncompleteness, UncappedRunsPass)
+{
+    const Program p = fuzz::generateProgram(3);
+    for (const auto &d : fuzz::runOracles(p))
+        EXPECT_EQ(d.verdict, Verdict::Pass)
+            << toString(d.oracle) << ": " << d.detail;
+}
 
 } // namespace
 } // namespace satom

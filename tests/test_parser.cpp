@@ -179,6 +179,72 @@ TEST(Parser, ErrorsCarryLineNumbers)
     }
 }
 
+/** Expect @p src to fail with a message containing @p fragment. */
+void
+expectParseError(const std::string &src, const std::string &fragment)
+{
+    try {
+        parseLitmus(src);
+        FAIL() << "expected ParseError for:\n" << src;
+    } catch (const ParseError &e) {
+        EXPECT_NE(std::string(e.what()).find(fragment),
+                  std::string::npos)
+            << "message '" << e.what() << "' lacks '" << fragment
+            << "'";
+    }
+}
+
+TEST(Parser, OperandErrorsAreDiagnosed)
+{
+    expectParseError("thread P0\n  st x, @7", "bad value operand");
+    expectParseError("thread P0\n  st [x7], 1",
+                     "bad register address");
+    expectParseError("thread P0\n  ld r1, [7]",
+                     "bad register address");
+    expectParseError("thread P0\n  mov r1, r2",
+                     "mov takes an immediate");
+    expectParseError("thread P0\n  add x1, r2, r3",
+                     "expected register");
+}
+
+TEST(Parser, ArityErrorsNameTheInstruction)
+{
+    expectParseError("thread P0\n  st x", "'st' takes 2 operands");
+    expectParseError("thread P0\n  ld r1, x, y",
+                     "'ld' takes 2 operands");
+    expectParseError("thread P0\n  add r1, r2",
+                     "'add' takes 3 operands");
+    expectParseError("thread P0\n  beq r1, r2",
+                     "'beq' takes 3 operands");
+}
+
+TEST(Parser, FenceErrorsAreDiagnosed)
+{
+    expectParseError("thread P0\n  fence.xx", "bad fence suffix");
+    expectParseError("thread P0\n  fencell", "unknown instruction");
+    expectParseError("thread P0\n  fence.", "bad fence suffix");
+}
+
+TEST(Parser, DirectiveErrorsAreDiagnosed)
+{
+    expectParseError("name a b", "name takes one identifier");
+    expectParseError("thread P0 P1", "thread takes one identifier");
+    expectParseError("init x", "init expects loc=value");
+    expectParseError("init x=r1", "bad init value");
+    expectParseError("exists x>1", "condition atom needs '='");
+    expectParseError("exists x=?", "bad condition value");
+    expectParseError("thread P0\n  st x, 1\nexists P9:r1=0",
+                     "unknown thread");
+    expectParseError("expect SC=0", "bad expectation");
+    expectParseError("expect RC11=yes", "unknown model");
+}
+
+TEST(Parser, ErrorLineNumbersPointAtTheOffendingLine)
+{
+    expectParseError("name t\nthread P0\n  st x, @", "line 3");
+    expectParseError("name t\n\n\ninit x", "line 4");
+}
+
 TEST(Parser, MissingFileThrows)
 {
     EXPECT_THROW(litmus::parseLitmusFile("/nonexistent/foo.litmus"),

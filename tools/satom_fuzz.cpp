@@ -1,0 +1,431 @@
+/**
+ * @file
+ * Parallel differential-fuzzing driver.
+ *
+ * Usage:
+ *   satom_fuzz --seeds A..B [--workers N] [--json FILE] [--shrink]
+ *              [--pointer] [--threads MIN..MAX] [--ops MIN..MAX]
+ *              [--locations N] [--values K] [--branches W]
+ *              [--oracle NAME]... [--budget N] [--max-states N]
+ *              [--inject-bug] [--quiet]
+ *
+ * Every seed in [A, B] is turned into a random program
+ * (src/fuzz/generator.hpp) and run through the differential oracles
+ * (src/fuzz/oracle.hpp).  Seeds are independent jobs, fanned out over
+ * the PR 1 work-stealing pool exactly like enumerateBatch fans
+ * (program, model) jobs: each seed writes its own pre-allocated slot
+ * and the report is assembled by a sequential join, so the JSON
+ * report is byte-identical for every --workers value (the `fuzz`
+ * ctest label asserts this).  The report deliberately contains no
+ * timing, worker or host fields — wall-clock goes to stdout only.
+ *
+ * --shrink minimizes the first discrepant seed with the
+ * delta-debugging shrinker and prints (and records) the reproducer as
+ * litmus text and builder code.  --inject-bug plants the documented
+ * intentional oracle bug (SC axioms compared against the TSO
+ * store-buffer machine) to validate the detect-and-shrink pipeline.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "enumerate/engine_parallel.hpp"
+#include "fuzz/emit.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/shrink.hpp"
+
+namespace
+{
+
+using namespace satom;
+
+struct DriverConfig
+{
+    std::uint32_t seedFrom = 1;
+    std::uint32_t seedTo = 100;
+    int workers = 0; ///< 0 = hardware concurrency
+    std::string jsonPath;
+    bool shrink = false;
+    bool pointer = false;
+    bool injectBug = false;
+    bool quiet = false;
+    fuzz::GeneratorConfig gen;
+    fuzz::OracleOptions oracle;
+    std::vector<fuzz::OracleId> oracles; ///< empty = all
+};
+
+/** Per-seed slot filled by exactly one worker. */
+struct SeedRecord
+{
+    std::uint32_t seed = 0;
+    int threads = 0;
+    int instructions = 0;
+    fuzz::Verdict verdict = fuzz::Verdict::Pass;
+    long states = 0;
+    long outcomes = 0;
+    std::vector<fuzz::Discrepancy> results;
+};
+
+int
+usage()
+{
+    std::cerr
+        << "usage: satom_fuzz --seeds A..B [--workers N]\n"
+           "                  [--json FILE] [--shrink] [--pointer]\n"
+           "                  [--threads MIN..MAX] [--ops MIN..MAX]\n"
+           "                  [--locations N] [--values K]\n"
+           "                  [--branches W] [--oracle NAME]...\n"
+           "                  [--budget N] [--max-states N]\n"
+           "                  [--inject-bug] [--quiet]\n"
+           "oracles: ";
+    for (fuzz::OracleId id : fuzz::allOracles())
+        std::cerr << toString(id) << ' ';
+    std::cerr << "\n--workers 0 (default) uses all hardware threads\n"
+                 "--inject-bug plants the documented intentional\n"
+                 "  oracle bug (SC vs TSO machine) for self-tests\n";
+    return 2;
+}
+
+/** Parse "A..B" (or a single "A") into a range. */
+bool
+parseRange(const std::string &s, long long &from, long long &to)
+{
+    const auto dots = s.find("..");
+    try {
+        if (dots == std::string::npos) {
+            from = to = std::stoll(s);
+        } else {
+            from = std::stoll(s.substr(0, dots));
+            to = std::stoll(s.substr(dots + 2));
+        }
+    } catch (const std::exception &) {
+        return false;
+    }
+    return from <= to;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+renderJson(const DriverConfig &cfg,
+           const std::vector<fuzz::OracleId> &oracles,
+           const std::vector<SeedRecord> &records, long passed,
+           long failed, long inconclusive, long states, long outcomes,
+           const fuzz::ShrinkResult *shrunk, std::uint32_t shrunkSeed)
+{
+    std::string j = "{\n";
+    j += "  \"tool\": \"satom_fuzz\",\n";
+    j += "  \"seed_from\": " + std::to_string(cfg.seedFrom) + ",\n";
+    j += "  \"seed_to\": " + std::to_string(cfg.seedTo) + ",\n";
+    j += "  \"generator\": {\"pointer\": " +
+         std::string(cfg.pointer ? "true" : "false") +
+         ", \"threads\": \"" + std::to_string(cfg.gen.minThreads) +
+         ".." + std::to_string(cfg.gen.maxThreads) +
+         "\", \"ops\": \"" + std::to_string(cfg.gen.minOps) + ".." +
+         std::to_string(cfg.gen.maxOps) +
+         "\", \"locations\": " + std::to_string(cfg.gen.numLocations) +
+         ", \"value_pool\": " + std::to_string(cfg.gen.valuePool) +
+         ", \"branch_weight\": " +
+         std::to_string(cfg.gen.branchWeight) + "},\n";
+    j += "  \"oracles\": [";
+    for (std::size_t i = 0; i < oracles.size(); ++i)
+        j += std::string(i ? ", " : "") + "\"" +
+             toString(oracles[i]) + "\"";
+    j += "],\n";
+    j += "  \"inject_bug\": " +
+         std::string(cfg.injectBug ? "true" : "false") + ",\n";
+    j += "  \"seeds_run\": " + std::to_string(records.size()) + ",\n";
+    j += "  \"passed\": " + std::to_string(passed) + ",\n";
+    j += "  \"failed\": " + std::to_string(failed) + ",\n";
+    j += "  \"inconclusive\": " + std::to_string(inconclusive) + ",\n";
+    j += "  \"states_explored\": " + std::to_string(states) + ",\n";
+    j += "  \"outcomes_compared\": " + std::to_string(outcomes) + ",\n";
+    j += "  \"seeds\": [\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const SeedRecord &r = records[i];
+        j += "    {\"seed\": " + std::to_string(r.seed) +
+             ", \"threads\": " + std::to_string(r.threads) +
+             ", \"instructions\": " + std::to_string(r.instructions) +
+             ", \"verdict\": \"" + toString(r.verdict) +
+             "\", \"states\": " + std::to_string(r.states) +
+             ", \"outcomes\": " + std::to_string(r.outcomes) + "}";
+        j += i + 1 < records.size() ? ",\n" : "\n";
+    }
+    j += "  ],\n";
+    j += "  \"failures\": [\n";
+    std::string sep;
+    for (const SeedRecord &r : records) {
+        for (const auto &d : r.results) {
+            if (!d.failed())
+                continue;
+            j += sep + "    {\"seed\": " + std::to_string(r.seed) +
+                 ", \"oracle\": \"" + toString(d.oracle) +
+                 "\", \"detail\": \"" + jsonEscape(d.detail) + "\"}";
+            sep = ",\n";
+        }
+    }
+    j += sep.empty() ? "" : "\n";
+    j += "  ],\n";
+    if (shrunk) {
+        j += "  \"shrink\": {\"seed\": " + std::to_string(shrunkSeed) +
+             ", \"threads\": " +
+             std::to_string(shrunk->program.numThreads()) +
+             ", \"instructions\": " +
+             std::to_string(shrunk->program.size()) +
+             ", \"probes\": " + std::to_string(shrunk->probes) +
+             ", \"litmus\": \"" +
+             jsonEscape(fuzz::toLitmusText(shrunk->program)) +
+             "\"}\n";
+    } else {
+        j += "  \"shrink\": null\n";
+    }
+    j += "}\n";
+    return j;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    DriverConfig cfg;
+    bool seedsSet = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--seeds") {
+            const char *v = next();
+            long long a = 0, b = 0;
+            if (!v || !parseRange(v, a, b) || a < 0) {
+                std::cerr << "--seeds needs A..B with 0 <= A <= B\n";
+                return usage();
+            }
+            cfg.seedFrom = static_cast<std::uint32_t>(a);
+            cfg.seedTo = static_cast<std::uint32_t>(b);
+            seedsSet = true;
+        } else if (arg == "--workers") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.workers = std::atoi(v);
+        } else if (arg == "--json") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.jsonPath = v;
+        } else if (arg == "--threads" || arg == "--ops") {
+            const char *v = next();
+            long long a = 0, b = 0;
+            if (!v || !parseRange(v, a, b) || a < 1) {
+                std::cerr << arg << " needs MIN..MAX with MIN >= 1\n";
+                return usage();
+            }
+            if (arg == "--threads") {
+                cfg.gen.minThreads = static_cast<int>(a);
+                cfg.gen.maxThreads = static_cast<int>(b);
+            } else {
+                cfg.gen.minOps = static_cast<int>(a);
+                cfg.gen.maxOps = static_cast<int>(b);
+            }
+        } else if (arg == "--locations") {
+            const char *v = next();
+            if (!v || std::atoi(v) < 1)
+                return usage();
+            cfg.gen.numLocations = std::atoi(v);
+        } else if (arg == "--values") {
+            const char *v = next();
+            if (!v || std::atoi(v) < 0)
+                return usage();
+            cfg.gen.valuePool = std::atoi(v);
+        } else if (arg == "--branches") {
+            const char *v = next();
+            if (!v || std::atoi(v) < 0)
+                return usage();
+            cfg.gen.branchWeight = std::atoi(v);
+        } else if (arg == "--oracle") {
+            const char *v = next();
+            fuzz::OracleId id;
+            if (!v || !fuzz::oracleFromString(v, id)) {
+                std::cerr << "unknown oracle: " << (v ? v : "") << '\n';
+                return usage();
+            }
+            cfg.oracles.push_back(id);
+        } else if (arg == "--budget") {
+            const char *v = next();
+            if (!v || std::atoi(v) < 1)
+                return usage();
+            cfg.oracle.maxDynamicPerThread = std::atoi(v);
+        } else if (arg == "--max-states") {
+            const char *v = next();
+            if (!v || std::atol(v) < 1)
+                return usage();
+            cfg.oracle.maxGraphStates = std::atol(v);
+            cfg.oracle.maxOperationalStates = std::atol(v);
+        } else if (arg == "--shrink") {
+            cfg.shrink = true;
+        } else if (arg == "--pointer") {
+            cfg.pointer = true;
+        } else if (arg == "--inject-bug") {
+            cfg.injectBug = true;
+        } else if (arg == "--quiet") {
+            cfg.quiet = true;
+        } else {
+            std::cerr << "unknown argument: " << arg << '\n';
+            return usage();
+        }
+    }
+    if (!seedsSet)
+        return usage();
+    cfg.oracle.injectScVsStoreBuffer = cfg.injectBug;
+
+    const auto oracles =
+        cfg.oracles.empty() ? fuzz::allOracles() : cfg.oracles;
+    const std::size_t count = cfg.seedTo - cfg.seedFrom + 1;
+
+    auto generate = [&](std::uint32_t seed) {
+        return cfg.pointer
+                   ? fuzz::generatePointerProgram(seed, cfg.gen)
+                   : fuzz::generateProgram(seed, cfg.gen);
+    };
+
+    auto runSeed = [&](std::size_t i, SeedRecord &rec) {
+        const std::uint32_t seed =
+            cfg.seedFrom + static_cast<std::uint32_t>(i);
+        const Program p = generate(seed);
+        rec.seed = seed;
+        rec.threads = p.numThreads();
+        rec.instructions = static_cast<int>(p.size());
+        rec.results = fuzz::runOracles(p, oracles, cfg.oracle);
+        rec.verdict = fuzz::worstVerdict(rec.results);
+        for (const auto &d : rec.results) {
+            rec.states += d.statesExplored;
+            rec.outcomes += d.outcomesCompared;
+        }
+    };
+
+    int workers = cfg.workers;
+    if (workers <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        workers = hw > 0 ? static_cast<int>(hw) : 1;
+    }
+    if (static_cast<std::size_t>(workers) > count)
+        workers = static_cast<int>(count);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<SeedRecord> records(count);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            runSeed(i, records[i]);
+    } else {
+        // enumerateBatch-style fan-out: one slot per seed, any
+        // scheduling; the sequential join below makes the report
+        // independent of the worker count.
+        WorkStealingPool pool(workers);
+        pool.run(count,
+                 [&](int, std::size_t i) { runSeed(i, records[i]); });
+    }
+    const double wallMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    long passed = 0, failed = 0, inconclusive = 0;
+    long states = 0, outcomes = 0;
+    for (const auto &r : records) {
+        passed += r.verdict == fuzz::Verdict::Pass;
+        failed += r.verdict == fuzz::Verdict::Fail;
+        inconclusive += r.verdict == fuzz::Verdict::Inconclusive;
+        states += r.states;
+        outcomes += r.outcomes;
+    }
+
+    // Shrink the first discrepant seed: minimal over "any selected
+    // oracle still definitely fails" (Inconclusive is not a failure,
+    // so budget artifacts can never steer the minimization).
+    const SeedRecord *firstFail = nullptr;
+    for (const auto &r : records)
+        if (r.verdict == fuzz::Verdict::Fail) {
+            firstFail = &r;
+            break;
+        }
+    fuzz::ShrinkResult shrunk;
+    bool haveShrunk = false;
+    if (cfg.shrink && firstFail) {
+        const Program p = generate(firstFail->seed);
+        auto pred = [&](const Program &q) {
+            for (const auto &d : fuzz::runOracles(q, oracles,
+                                                  cfg.oracle))
+                if (d.failed())
+                    return true;
+            return false;
+        };
+        shrunk = fuzz::shrinkProgram(p, pred);
+        haveShrunk = true;
+    }
+
+    if (!cfg.quiet) {
+        std::cout << "satom_fuzz: seeds " << cfg.seedFrom << ".."
+                  << cfg.seedTo << " (" << count << "), workers "
+                  << workers << ", oracles " << oracles.size()
+                  << (cfg.pointer ? ", pointer programs" : "")
+                  << (cfg.injectBug ? ", INTENTIONAL BUG INJECTED"
+                                    : "")
+                  << "\n  passed " << passed << ", failed " << failed
+                  << ", inconclusive " << inconclusive << "; "
+                  << states << " states, " << outcomes
+                  << " outcomes compared; " << wallMs << " ms\n";
+        for (const auto &r : records) {
+            for (const auto &d : r.results) {
+                if (d.failed())
+                    std::cout << "  DISCREPANCY seed " << r.seed
+                              << " [" << toString(d.oracle)
+                              << "]: " << d.detail << '\n';
+            }
+        }
+        if (haveShrunk) {
+            std::cout << "\nshrunk seed " << firstFail->seed << " to "
+                      << shrunk.program.numThreads() << " threads / "
+                      << shrunk.program.size() << " instructions ("
+                      << shrunk.probes << " probes)\n\n--- litmus ---\n"
+                      << fuzz::toLitmusText(shrunk.program)
+                      << "--- builder ---\n"
+                      << fuzz::toBuilderCode(shrunk.program);
+        }
+    }
+
+    if (!cfg.jsonPath.empty()) {
+        const std::string j = renderJson(
+            cfg, oracles, records, passed, failed, inconclusive,
+            states, outcomes, haveShrunk ? &shrunk : nullptr,
+            haveShrunk ? firstFail->seed : 0);
+        std::ofstream f(cfg.jsonPath);
+        if (!f || !(f << j)) {
+            std::cerr << "cannot write " << cfg.jsonPath << '\n';
+            return 2;
+        }
+        if (!cfg.quiet)
+            std::cout << "wrote " << cfg.jsonPath << '\n';
+    }
+    return failed > 0 ? 1 : 0;
+}
