@@ -151,7 +151,8 @@ main(int argc, char **argv)
                                       makeModel(ModelId::WMM), opts);
     int atomicOk = 0;
     for (const auto &g : r.executions)
-        atomicOk += atomicSerializationExists(g);
+        atomicOk += atomicSerializationExists(g) ==
+                    SerializationStatus::Exists;
     std::cout << "executions with contiguous-transaction "
                  "serializations: "
               << atomicOk << " of " << r.executions.size() << "\n";

@@ -49,7 +49,9 @@ class JsonWriter
                    ", \"states\": " + std::to_string(r.states) +
                    ", \"outcomes\": " + std::to_string(r.outcomes) +
                    ", \"workers\": " + std::to_string(r.workers) +
-                   ", \"cpus\": " + std::to_string(hostCpus()) + "}";
+                   ", \"cpus\": " + std::to_string(hostCpus()) +
+                   ", \"starved\": " +
+                   (r.workers > hostCpus() ? "true" : "false") + "}";
             out += i + 1 < records_.size() ? ",\n" : "\n";
         }
         out += "]\n";

@@ -6,16 +6,29 @@
 #
 # The build dir defaults to ./build and must already contain the bench
 # binaries (cmake --build build -j).  Records are a flat array of
-# {bench, model, wall_ms, states, outcomes, workers, cpus} objects;
-# workers=1 is the serial engine, higher counts the parallel engine
-# (enumerateBatch across the litmus library, frontier waves inside one
-# scaling ring); cpus is what the host could actually run in parallel.
+# {bench, model, wall_ms, states, outcomes, workers, cpus, starved}
+# objects; workers=1 is the serial engine, higher counts the parallel
+# engine (enumerateBatch across the litmus library, frontier waves
+# inside one scaling ring); cpus is what the host could actually run
+# in parallel, and starved=true marks records whose worker count
+# exceeded it — their wall_ms measures scheduling overhead, not
+# speedup.
 
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
 out="$repo/BENCH_enumerate.json"
+
+# The benches measure worker counts up to 4; on a smaller host those
+# records are starved and say nothing about parallel speedup.
+cpus="$(nproc 2>/dev/null || echo 1)"
+if [ "$cpus" -lt 4 ]; then
+    echo "warning: only $cpus CPU(s) online but the benches measure" \
+         "up to 4 workers; starved records (workers > cpus, marked" \
+         "\"starved\": true in the JSON) measure scheduling overhead," \
+         "not speedup" >&2
+fi
 
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT

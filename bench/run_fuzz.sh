@@ -25,6 +25,17 @@ fi
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 
+# The parallel leg asks for 4 workers; on a smaller host it is
+# starved and its wall-clock is not a speedup measurement.  The
+# report's own "cpus" field records the host so readers can tell.
+cpus="$(nproc 2>/dev/null || echo 1)"
+if [ "$cpus" -lt 4 ]; then
+    echo "warning: only $cpus CPU(s) online for the --workers 4 leg;" \
+         "wall-clock here measures scheduling overhead, not speedup" \
+         "(the byte-identity check is unaffected; see \"cpus\" in" \
+         "the report)" >&2
+fi
+
 "$bin" --seeds "$seeds" --json "$tmpdir/serial.json"
 "$bin" --seeds "$seeds" --workers 4 --quiet \
     --json "$tmpdir/parallel.json"

@@ -7,6 +7,7 @@
  *   litmus_runner <file.litmus> [--model NAME]...
  *                 [--model-file <file.model>]... [--outcomes]
  *                 [--dot <file>] [--budget N] [--workers N]
+ *                 [--timeout-ms MS] [--max-states N] [--json]
  *
  * With no --model/--model-file, runs every bundled model.  Prints the
  * condition verdict per model, checks any `expect` lines in the file,
@@ -15,6 +16,13 @@
  * src/model/parser.hpp) — the paper's "experiment with a broad range
  * of memory models simply by changing the requirements for
  * instruction reordering".
+ *
+ * --timeout-ms arms a fresh wall-clock deadline per model; a
+ * truncated enumeration renders as "allowed (incomplete: deadline)"
+ * in the table and as a structured "truncation" field under --json.
+ * A truncated enumeration under-approximates: "allowed" stays proof,
+ * "forbidden (incomplete: …)" is not, and expectation checking is
+ * skipped for truncated models rather than reported as MISMATCH.
  */
 
 #include <fstream>
@@ -40,10 +48,30 @@ usage()
                  "                     [--model-file FILE]...\n"
                  "                     [--outcomes] [--dot FILE]\n"
                  "                     [--budget N] [--workers N]\n"
+                 "                     [--timeout-ms MS]\n"
+                 "                     [--max-states N] [--json]\n"
                  "models: SC TSO-approx TSO PSO WMM WMM+spec\n"
                  "--workers 0 (default) uses all hardware threads;\n"
-                 "--workers 1 forces the serial engine\n";
+                 "--workers 1 forces the serial engine\n"
+                 "--timeout-ms bounds each model's enumeration;\n"
+                 "  truncated runs report their reason\n";
     return 2;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    return out;
 }
 
 } // namespace
@@ -57,9 +85,12 @@ main(int argc, char **argv)
     std::vector<ModelId> models;
     std::vector<MemoryModel> customModels;
     bool showOutcomes = false;
+    bool jsonOut = false;
     std::string dotPath;
     int budget = 64;
     int workers = 0;
+    long timeoutMs = 0;
+    long maxStates = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -102,6 +133,28 @@ main(int argc, char **argv)
                           << argv[i] << "'\n";
                 return 1;
             }
+        } else if (arg == "--timeout-ms" && i + 1 < argc) {
+            try {
+                timeoutMs = std::stol(argv[++i]);
+            } catch (const std::exception &) {
+                timeoutMs = 0;
+            }
+            if (timeoutMs < 1) {
+                std::cerr << "--timeout-ms needs a positive integer\n";
+                return 1;
+            }
+        } else if (arg == "--max-states" && i + 1 < argc) {
+            try {
+                maxStates = std::stol(argv[++i]);
+            } catch (const std::exception &) {
+                maxStates = 0;
+            }
+            if (maxStates < 1) {
+                std::cerr << "--max-states needs a positive integer\n";
+                return 1;
+            }
+        } else if (arg == "--json") {
+            jsonOut = true;
         } else if (!arg.empty() && arg[0] == '-') {
             return usage();
         } else {
@@ -134,40 +187,76 @@ main(int argc, char **argv)
         return 1;
     }
 
-    std::cout << "test: " << test.name;
-    if (!test.description.empty())
-        std::cout << " -- " << test.description;
-    std::cout << "\n" << test.program.toString();
-    std::cout << "condition: " << test.cond.toString() << "\n\n";
+    if (!jsonOut) {
+        std::cout << "test: " << test.name;
+        if (!test.description.empty())
+            std::cout << " -- " << test.description;
+        std::cout << "\n" << test.program.toString();
+        std::cout << "condition: " << test.cond.toString() << "\n\n";
+    }
 
     EnumerationOptions opts;
     opts.maxDynamicPerThread = budget;
     opts.collectExecutions = !dotPath.empty();
     opts.numWorkers = workers;
+    if (maxStates > 0)
+        opts.maxStates = maxStates;
 
     TextTable table;
     table.header({"model", "executions", "outcomes", "verdict",
                   "expected"});
+    std::string json = "{\n  \"tool\": \"litmus_runner\",\n"
+                       "  \"test\": \"" +
+                       jsonEscape(test.name) +
+                       "\",\n  \"condition\": \"" +
+                       jsonEscape(test.cond.toString()) +
+                       "\",\n  \"timeout_ms\": " +
+                       std::to_string(timeoutMs) +
+                       ",\n  \"models\": [\n";
     int exitCode = 0;
     for (std::size_t mi = 0; mi < runModels.size(); ++mi) {
         const MemoryModel &model = runModels[mi].model;
+        // A fresh deadline per model: one exploding model must not
+        // starve the ones after it of their time budget.
+        if (timeoutMs > 0)
+            opts.budget = RunBudget::deadlineInMs(timeoutMs);
         const auto r = enumerateBehaviors(test.program, model, opts);
         const bool obs = test.cond.observable(r.outcomes);
         std::string expected = "-";
         if (runModels[mi].bundled) {
             if (auto e = test.expectedFor(model.id)) {
-                expected = *e == obs ? "match" : "MISMATCH";
-                if (*e != obs)
-                    exitCode = 1;
+                // A truncated enumeration under-approximates the
+                // outcome set: an observed "allowed" is still proof,
+                // but "forbidden" may just mean "not explored yet".
+                if (!r.complete && !obs) {
+                    expected = "inconclusive";
+                } else {
+                    expected = *e == obs ? "match" : "MISMATCH";
+                    if (*e != obs)
+                        exitCode = 1;
+                }
             }
         }
+        const std::string verdict =
+            (obs ? "allowed" : "forbidden") +
+            (r.complete ? std::string()
+                        : std::string(" (incomplete: ") +
+                              toString(r.truncation) + ")");
         table.row({model.name, std::to_string(r.stats.executions),
-                   std::to_string(r.outcomes.size()),
-                   (obs ? "allowed" : "forbidden") +
-                       std::string(r.complete ? "" : " (incomplete)"),
+                   std::to_string(r.outcomes.size()), verdict,
                    expected});
+        json += "    {\"model\": \"" + jsonEscape(model.name) +
+                "\", \"executions\": " +
+                std::to_string(r.stats.executions) +
+                ", \"outcomes\": " +
+                std::to_string(r.outcomes.size()) +
+                ", \"observable\": " + (obs ? "true" : "false") +
+                ", \"complete\": " + (r.complete ? "true" : "false") +
+                ", \"truncation\": \"" + toString(r.truncation) +
+                "\", \"expected\": \"" + expected + "\"}";
+        json += mi + 1 < runModels.size() ? ",\n" : "\n";
 
-        if (showOutcomes) {
+        if (showOutcomes && !jsonOut) {
             std::cout << "--- outcomes under " << model.name
                       << " ---\n";
             for (const auto &o : r.outcomes)
@@ -183,11 +272,16 @@ main(int argc, char **argv)
                 dopts.title = test.name;
                 std::ofstream out(dotPath);
                 out << graphToDot(r.executions[i], dopts);
-                std::cout << "wrote " << dotPath << '\n';
+                if (!jsonOut)
+                    std::cout << "wrote " << dotPath << '\n';
                 break;
             }
         }
     }
-    std::cout << table.render();
+    json += "  ],\n  \"exit\": " + std::to_string(exitCode) + "\n}\n";
+    if (jsonOut)
+        std::cout << json;
+    else
+        std::cout << table.render();
     return exitCode;
 }

@@ -51,7 +51,8 @@ class OperationalSearch
   public:
     OperationalSearch(const Program &program, bool tso,
                       const OperationalOptions &opts)
-        : program_(program), tso_(tso), opts_(opts)
+        : program_(program), tso_(tso), opts_(opts),
+          gate_(opts.budget)
     {
     }
 
@@ -66,6 +67,7 @@ class OperationalSearch
         OperationalResult res;
         res.outcomes.assign(outcomes_.begin(), outcomes_.end());
         res.complete = complete_;
+        res.truncation = truncation_;
         res.statesExplored = explored_;
         return res;
     }
@@ -233,11 +235,29 @@ class OperationalSearch
         }
     }
 
+    /** Record a truncation (first reason wins) and mark incomplete. */
+    void
+    truncate(Truncation t)
+    {
+        complete_ = false;
+        if (truncation_ == Truncation::None)
+            truncation_ = t;
+    }
+
     void
     dfs(const MachineState &s)
     {
+        if (halted_)
+            return; // a hard limit tripped; unwind without exploring
         if (explored_ >= opts_.maxStates) {
-            complete_ = false;
+            halted_ = true;
+            truncate(Truncation::StateCap);
+            return;
+        }
+        if (const Truncation t = gate_.poll();
+            t != Truncation::None) {
+            halted_ = true;
+            truncate(t);
             return;
         }
         if (!visited_.insert(s.key()).second)
@@ -256,7 +276,7 @@ class OperationalSearch
                     if (runTransaction(next, tid))
                         dfs(next);
                     else
-                        complete_ = false;
+                        truncate(Truncation::StateCap);
                 } else {
                     step(next, tid);
                     dfs(next);
@@ -279,7 +299,10 @@ class OperationalSearch
         for (std::size_t tid = 0; tid < s.threads.size(); ++tid) {
             const auto &code = program_.threads[tid].code;
             if (s.threads[tid].pc < static_cast<int>(code.size())) {
-                complete_ = false; // budget truncation
+                // Per-thread dynamic budget ran out on this path: the
+                // outcome set is under-approximated, but the other
+                // interleavings are still worth exploring.
+                truncate(Truncation::StateCap);
                 return;
             }
         }
@@ -300,8 +323,11 @@ class OperationalSearch
 
     std::unordered_set<std::string> visited_;
     std::set<Outcome> outcomes_;
+    BudgetGate gate_;
     long explored_ = 0;
     bool complete_ = true;
+    bool halted_ = false; ///< a hard limit ended the whole search
+    Truncation truncation_ = Truncation::None;
     bool inTxn_ = false; ///< inside runTransaction's atomic step
 };
 

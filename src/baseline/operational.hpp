@@ -24,6 +24,7 @@
 
 #include "enumerate/outcome.hpp"
 #include "isa/program.hpp"
+#include "util/run_control.hpp"
 
 namespace satom
 {
@@ -36,6 +37,13 @@ struct OperationalOptions
 
     /** Cap on visited machine states; exceeded => incomplete result. */
     long maxStates = 5000000;
+
+    /**
+     * Run-control budget (deadline / cancellation / memory ceiling),
+     * polled on the interleaving DFS; tripping truncates the search
+     * with a structured reason.
+     */
+    RunBudget budget;
 };
 
 /** Result of an operational enumeration. */
@@ -46,6 +54,14 @@ struct OperationalResult
 
     bool complete = true;
     long statesExplored = 0;
+
+    /**
+     * Why the search was cut short (None <=> complete).  StateCap
+     * covers both the visited-state cap and the per-thread dynamic
+     * instruction budget — either way a bounded resource, not the
+     * model, limited the outcome set.
+     */
+    Truncation truncation = Truncation::None;
 };
 
 /** All SC behaviors of @p program. */

@@ -815,6 +815,7 @@ Enumerator::runSerial()
     std::vector<Behavior> stack;
     std::unordered_set<std::uint64_t> seen;
     ExecutionGraph scratch;
+    BudgetGate gate(options_.budget);
 
     Behavior first = initialBehavior();
     if (stabilize(first, stats)) {
@@ -824,8 +825,15 @@ Enumerator::runSerial()
         ++stats.rollbacks;
     }
 
-    while (!stack.empty() &&
-           stats.statesExplored < options_.maxStates) {
+    while (!stack.empty()) {
+        if (stats.statesExplored >= options_.maxStates) {
+            result_.truncation = Truncation::StateCap;
+            break;
+        }
+        if (const Truncation t = gate.poll(); t != Truncation::None) {
+            result_.truncation = t;
+            break;
+        }
         Behavior b = std::move(stack.back());
         stack.pop_back();
         ++stats.statesExplored;
@@ -868,8 +876,6 @@ Enumerator::runSerial()
                 ++stats.duplicates;
         }
     }
-    if (!stack.empty())
-        result_.complete = false;
 }
 
 EnumerationResult
@@ -898,6 +904,7 @@ Enumerator::run()
     else
         runSerial();
 
+    result_.complete = result_.truncation == Truncation::None;
     result_.outcomes.assign(outcomes_.begin(), outcomes_.end());
     return result_;
 }

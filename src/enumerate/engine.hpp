@@ -41,6 +41,7 @@
 #include "enumerate/outcome.hpp"
 #include "isa/program.hpp"
 #include "model/models.hpp"
+#include "util/run_control.hpp"
 
 namespace satom
 {
@@ -53,6 +54,15 @@ struct EnumerationOptions
 
     /** Hard cap on explored behaviors; exceeded => result incomplete. */
     long maxStates = 2000000;
+
+    /**
+     * Run-control budget: wall-clock deadline, cooperative
+     * cancellation and approximate memory ceiling, polled cheaply on
+     * the exploration loop.  Tripping any limit truncates the run
+     * with the corresponding structured reason
+     * (EnumerationResult::truncation); partial results remain usable.
+     */
+    RunBudget budget;
 
     /**
      * Worker threads exploring the behavior frontier: 0 picks the
@@ -166,7 +176,24 @@ struct EnumerationResult
 
     EnumStats stats;
 
-    /** False if maxStates stopped the run early. */
+    /**
+     * Why the run stopped early, if it did: the state cap, the
+     * budget's deadline / memory ceiling / cancellation token, or a
+     * contained worker fault.  None <=> the search space was
+     * exhausted.  Under every truncation the outcome set is a subset
+     * of the full run's (no partial state is ever half-recorded).
+     */
+    Truncation truncation = Truncation::None;
+
+    /** Diagnostics for truncation == WorkerFault (the first fault). */
+    std::string faultNote;
+
+    /**
+     * False if anything stopped the run early; always equal to
+     * (truncation == Truncation::None).  Kept alongside the
+     * structured reason because "is the outcome set exhaustive" is
+     * the question most consumers ask.
+     */
     bool complete = true;
 
     /**

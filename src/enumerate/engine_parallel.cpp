@@ -177,6 +177,21 @@ struct ItemSlot
 {
     bool isTerminal = false;
     bool isStuck = false;
+
+    /**
+     * The budget tripped (or a fault was seen) before this item was
+     * processed: its behavior is untouched frontier material.
+     */
+    bool skipped = false;
+
+    /**
+     * The item's task threw: the exception was captured here instead
+     * of crossing the pool boundary, so one bad task truncates the
+     * run as WorkerFault instead of std::terminate-ing the process.
+     */
+    bool faulted = false;
+    std::string faultMsg;
+
     std::uint64_t executionKey = 0;
     std::vector<ForkSlot> forks;
 };
@@ -218,8 +233,28 @@ Enumerator::runParallel(int workers)
     constexpr std::size_t inlineWave = 16;
     std::unique_ptr<WorkStealingPool> pool;
 
-    while (!frontier.empty() &&
-           stats.statesExplored < options_.maxStates) {
+    // The wave loop polls the budget once per wave; for waves long
+    // enough to matter, workers also poll a private gate per item and
+    // raise `stop` so the rest of the wave is skipped (not lost: a
+    // skipped item's behavior stays frontier material).  The budget's
+    // deadline/token are absolute, so the wave loop re-detects the
+    // trip deterministically at the next iteration regardless of
+    // which worker saw it first.
+    BudgetGate gate(options_.budget, /*stride=*/1);
+    std::vector<BudgetGate> workerGates(
+        static_cast<std::size_t>(workers),
+        BudgetGate(options_.budget, /*stride=*/1));
+    std::atomic<bool> stop{false};
+
+    while (!frontier.empty()) {
+        if (stats.statesExplored >= options_.maxStates) {
+            result_.truncation = Truncation::StateCap;
+            break;
+        }
+        if (const Truncation t = gate.poll(); t != Truncation::None) {
+            result_.truncation = t;
+            break;
+        }
         const std::size_t take =
             std::min(frontier.size(),
                      static_cast<std::size_t>(options_.maxStates -
@@ -230,43 +265,84 @@ Enumerator::runParallel(int workers)
             WorkerState &ws = perWorker[static_cast<std::size_t>(w)];
             const Behavior &b = frontier[i];
             ItemSlot &slot = slots[i];
-            ws.stats.maxNodes =
-                std::max(ws.stats.maxNodes, b.graph.size());
+            if (stop.load(std::memory_order_relaxed)) {
+                slot.skipped = true;
+                return;
+            }
+            try {
+                fault::maybeInjectWorker();
+                ws.stats.maxNodes =
+                    std::max(ws.stats.maxNodes, b.graph.size());
 
-            if (terminal(b)) {
-                slot.isTerminal = true;
-                slot.executionKey =
-                    recordOutcome(b, ws.outcomes, ws.scratch);
-                return;
+                if (terminal(b)) {
+                    slot.isTerminal = true;
+                    slot.executionKey =
+                        recordOutcome(b, ws.outcomes, ws.scratch);
+                } else {
+                    auto forks = resolveLoads(b, ws.stats);
+                    if (forks.empty()) {
+                        slot.isStuck = true;
+                    } else {
+                        slot.forks.reserve(forks.size());
+                        for (auto &f : forks) {
+                            ForkSlot fs;
+                            fs.key = f.hashKey();
+                            fs.knownDuplicate = seen.contains(fs.key);
+                            if (!fs.knownDuplicate)
+                                fs.behavior = std::move(f);
+                            slot.forks.push_back(std::move(fs));
+                        }
+                    }
+                }
+            } catch (const std::exception &e) {
+                slot.faulted = true;
+                slot.faultMsg = e.what();
+                stop.store(true, std::memory_order_relaxed);
+            } catch (...) {
+                slot.faulted = true;
+                slot.faultMsg = "unknown worker exception";
+                stop.store(true, std::memory_order_relaxed);
             }
-            auto forks = resolveLoads(b, ws.stats);
-            if (forks.empty()) {
-                slot.isStuck = true;
-                return;
-            }
-            slot.forks.reserve(forks.size());
-            for (auto &f : forks) {
-                ForkSlot fs;
-                fs.key = f.hashKey();
-                fs.knownDuplicate = seen.contains(fs.key);
-                if (!fs.knownDuplicate)
-                    fs.behavior = std::move(f);
-                slot.forks.push_back(std::move(fs));
-            }
+            BudgetGate &wg = workerGates[static_cast<std::size_t>(w)];
+            if (wg.poll() != Truncation::None)
+                stop.store(true, std::memory_order_relaxed);
         };
-        if (take < inlineWave) {
-            for (std::size_t i = 0; i < take; ++i)
-                item(0, i);
-        } else {
-            if (!pool)
-                pool = std::make_unique<WorkStealingPool>(workers);
-            pool->run(take, item);
+        try {
+            if (take < inlineWave) {
+                for (std::size_t i = 0; i < take; ++i)
+                    item(0, i);
+            } else {
+                if (!pool)
+                    pool = std::make_unique<WorkStealingPool>(workers);
+                pool->run(take, item);
+            }
+        } catch (const std::exception &e) {
+            // Belt and braces: an exception that escaped the per-item
+            // containment (the pool rethrows the first one after the
+            // wave drains) still ends the run as a contained fault.
+            result_.truncation = Truncation::WorkerFault;
+            result_.faultNote = e.what();
+            break;
         }
 
         // Sequential join: deterministic regardless of scheduling.
+        // Faults are detected in item order, so the recorded fault is
+        // the same whichever worker hit it first.
         std::vector<Behavior> next;
+        bool faulted = false;
         for (std::size_t i = 0; i < take; ++i) {
             ItemSlot &slot = slots[i];
+            if (slot.skipped) {
+                next.push_back(std::move(frontier[i]));
+                continue;
+            }
+            if (slot.faulted) {
+                if (!faulted) {
+                    faulted = true;
+                    result_.faultNote = slot.faultMsg;
+                }
+                continue;
+            }
             ++stats.statesExplored;
             if (slot.isTerminal) {
                 if (executionKeys_.insert(slot.executionKey).second) {
@@ -290,13 +366,19 @@ Enumerator::runParallel(int workers)
             }
         }
         // maxStates landed inside the wave: the untouched tail stays
-        // frontier material so the completeness check below sees it.
+        // frontier material so the truncation check above sees it.
         for (std::size_t i = take; i < frontier.size(); ++i)
             next.push_back(std::move(frontier[i]));
         frontier = std::move(next);
+        if (faulted) {
+            // The wave has drained (the pool barrier guarantees it);
+            // everything joined so far is kept, the faulted item's
+            // subtree is abandoned, and the run finishes as a
+            // contained WorkerFault instead of aborting the process.
+            result_.truncation = Truncation::WorkerFault;
+            break;
+        }
     }
-    if (!frontier.empty())
-        result_.complete = false;
 
     for (WorkerState &ws : perWorker) {
         stats += ws.stats;
@@ -325,18 +407,33 @@ enumerateBatch(const std::vector<EnumerationJob> &jobs,
     perJob.numWorkers = 1;
 
     std::vector<EnumerationResult> results(jobs.size());
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < jobs.size(); ++i)
+    // A faulting job (or an injected fault) is contained to its own
+    // slot: the job reports WorkerFault, every other job still runs.
+    const auto runJob = [&](std::size_t i) {
+        try {
+            fault::maybeInjectWorker();
             results[i] = enumerateBehaviors(*jobs[i].program,
                                             *jobs[i].model, perJob);
+        } catch (const std::exception &e) {
+            results[i] = EnumerationResult{};
+            results[i].truncation = Truncation::WorkerFault;
+            results[i].faultNote = e.what();
+            results[i].complete = false;
+        } catch (...) {
+            results[i] = EnumerationResult{};
+            results[i].truncation = Truncation::WorkerFault;
+            results[i].faultNote = "unknown worker exception";
+            results[i].complete = false;
+        }
+    };
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            runJob(i);
         return results;
     }
 
     WorkStealingPool pool(workers);
-    pool.run(jobs.size(), [&](int, std::size_t i) {
-        results[i] = enumerateBehaviors(*jobs[i].program,
-                                        *jobs[i].model, perJob);
-    });
+    pool.run(jobs.size(), [&](int, std::size_t i) { runJob(i); });
     return results;
 }
 

@@ -62,6 +62,7 @@ enumOptions(const OracleOptions &o)
     e.maxDynamicPerThread = o.maxDynamicPerThread;
     e.maxStates = o.maxGraphStates;
     e.numWorkers = 1;
+    e.budget = o.budget;
     return e;
 }
 
@@ -71,7 +72,15 @@ operOptions(const OracleOptions &o)
     OperationalOptions p;
     p.maxDynamicPerThread = o.maxDynamicPerThread;
     p.maxStates = o.maxOperationalStates;
+    p.budget = o.budget;
     return p;
+}
+
+/** The reason a capped side stopped, for Inconclusive details. */
+std::string
+reasonSuffix(Truncation t)
+{
+    return std::string(" (") + toString(t) + ")";
 }
 
 /**
@@ -108,9 +117,12 @@ compareEquality(OracleId id, const EnumerationResult &graph,
     }
     if (!graph.complete || !oper.complete) {
         d.verdict = Verdict::Inconclusive;
+        d.truncation = !graph.complete ? graph.truncation
+                                       : oper.truncation;
         d.detail = std::string(!graph.complete ? "axiomatic"
                                                : "operational") +
-                   " side hit its state budget";
+                   " side hit its budget" +
+                   reasonSuffix(d.truncation);
         return d;
     }
     d.verdict = Verdict::Pass;
@@ -146,10 +158,13 @@ runInclusionChain(OracleId id, const Program &p,
     d.oracle = id;
     std::vector<EnumerationResult> results;
     bool allComplete = true;
+    Truncation firstTrunc = Truncation::None;
     for (ModelId m : chain) {
         results.push_back(
             enumerateBehaviors(p, makeModel(m), enumOptions(opts)));
         allComplete &= results.back().complete;
+        if (firstTrunc == Truncation::None)
+            firstTrunc = results.back().truncation;
     }
     d.statesExplored = results.back().stats.statesExplored;
     d.outcomesCompared =
@@ -162,7 +177,9 @@ runInclusionChain(OracleId id, const Program &p,
     }
     if (!allComplete) {
         d.verdict = Verdict::Inconclusive;
-        d.detail = "a model's enumeration hit its state budget";
+        d.truncation = firstTrunc;
+        d.detail = "a model's enumeration hit its budget" +
+                   reasonSuffix(firstTrunc);
     }
     return d;
 }
@@ -193,7 +210,9 @@ runWmmRecheck(const Program &p, const OracleOptions &opts)
     }
     if (!r.complete) {
         d.verdict = Verdict::Inconclusive;
-        d.detail = "WMM enumeration hit its state budget";
+        d.truncation = r.truncation;
+        d.detail = "WMM enumeration hit its budget" +
+                   reasonSuffix(r.truncation);
     }
     return d;
 }

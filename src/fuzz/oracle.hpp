@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "isa/program.hpp"
+#include "util/run_control.hpp"
 
 namespace satom::fuzz
 {
@@ -73,6 +74,14 @@ struct Discrepancy
     /** Human-readable evidence (sample differing outcome keys). */
     std::string detail;
 
+    /**
+     * Why an Inconclusive verdict was inconclusive: the structured
+     * truncation reason of the first side that stopped early
+     * (state-cap, deadline, memory-cap, cancelled, worker-fault).
+     * None whenever every side ran to completion.
+     */
+    Truncation truncation = Truncation::None;
+
     /** States explored, summed over both sides. */
     long statesExplored = 0;
 
@@ -98,6 +107,14 @@ struct OracleOptions
 
     /** Operational-machine state cap (per machine). */
     long maxOperationalStates = 5000000;
+
+    /**
+     * Run-control budget shared by every enumeration behind the
+     * oracle (deadline / cancellation / memory ceiling).  A tripped
+     * budget degrades the verdict to Inconclusive with the structured
+     * reason — never to a reported discrepancy.
+     */
+    RunBudget budget;
 
     /**
      * TESTING ONLY — intentional oracle bug: ScVsOperational compares

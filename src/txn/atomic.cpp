@@ -96,8 +96,9 @@ namespace
 class AtomicSearch
 {
   public:
-    AtomicSearch(const ExecutionGraph &g, long cap)
-        : g_(g), cap_(cap),
+    AtomicSearch(const ExecutionGraph &g, long cap,
+                 const RunBudget &budget)
+        : g_(g), cap_(cap), gate_(budget, /*stride=*/256),
           emitted_(static_cast<std::size_t>(g.size()))
     {
         for (const auto &n : g_.nodes())
@@ -105,10 +106,17 @@ class AtomicSearch
                 endOf_[n.txn] = n.id;
     }
 
-    bool
+    SerializationSearchResult
     run()
     {
-        return dfs();
+        SerializationSearchResult res;
+        res.status = dfs();
+        res.steps = steps_;
+        if (res.status == SerializationStatus::Exhausted)
+            res.truncation = gate_.tripped() != Truncation::None
+                                 ? gate_.tripped()
+                                 : Truncation::StateCap;
+        return res;
     }
 
   private:
@@ -137,13 +145,18 @@ class AtomicSearch
         return true;
     }
 
-    bool
+    SerializationStatus
     dfs()
     {
-        if (++steps_ > cap_)
-            return false;
+        // A budget-exhausted branch is *not* evidence of absence:
+        // Exhausted propagates up so the caller can never conclude
+        // NotExists from a capped search.
+        if (++steps_ > cap_ ||
+            gate_.poll() != Truncation::None)
+            return SerializationStatus::Exhausted;
         if (count_ == g_.size())
-            return true;
+            return SerializationStatus::Exists;
+        bool exhausted = false;
         for (const Node &n : g_.nodes()) {
             if (emitted_.test(static_cast<std::size_t>(n.id)) ||
                 !emittable(n))
@@ -167,8 +180,9 @@ class AtomicSearch
             emitted_.set(static_cast<std::size_t>(n.id));
             ++count_;
 
-            if (dfs())
-                return true;
+            const SerializationStatus st = dfs();
+            if (st == SerializationStatus::Exists)
+                return st;
 
             --count_;
             emitted_.reset(static_cast<std::size_t>(n.id));
@@ -179,12 +193,19 @@ class AtomicSearch
                     lastStore_.erase(n.addr);
             }
             openTxn_ = savedOpen;
+
+            if (st == SerializationStatus::Exhausted) {
+                exhausted = true;
+                break; // the budget is gone; stop churning siblings
+            }
         }
-        return false;
+        return exhausted ? SerializationStatus::Exhausted
+                         : SerializationStatus::NotExists;
     }
 
     const ExecutionGraph &g_;
     const long cap_;
+    BudgetGate gate_;
     Bitset emitted_;
     int count_ = 0;
     int openTxn_ = -1;
@@ -195,11 +216,18 @@ class AtomicSearch
 
 } // namespace
 
-bool
+SerializationSearchResult
+searchAtomicSerialization(const ExecutionGraph &g, long cap,
+                          const RunBudget &budget)
+{
+    AtomicSearch search(g, cap, budget);
+    return search.run();
+}
+
+SerializationStatus
 atomicSerializationExists(const ExecutionGraph &g, long cap)
 {
-    AtomicSearch search(g, cap);
-    return search.run();
+    return searchAtomicSerialization(g, cap).status;
 }
 
 } // namespace satom

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/graph.hpp"
+#include "util/run_control.hpp"
 
 namespace satom
 {
@@ -61,11 +62,47 @@ TxnResult enforceTxnIntervals(ExecutionGraph &g,
                               int *edgesAdded = nullptr);
 
 /**
- * True iff a serialization exists in which every transaction's
- * operations are contiguous (no foreign operation between a TxBegin
- * and its TxEnd).  Exponential; used by tests on small graphs to
- * validate that the interval rules are exact.
+ * Three-valued answer of the serialization search.  The search is
+ * exponential and budgeted, and an exhausted budget proves nothing:
+ * conflating Exhausted with NotExists would let a capped search be
+ * miscounted as a transaction conflict abort.
  */
-bool atomicSerializationExists(const ExecutionGraph &g, long cap = 250000);
+enum class SerializationStatus
+{
+    Exists,    ///< a contiguous-transaction serialization was found
+    NotExists, ///< the full space was searched; none exists
+    Exhausted, ///< the step cap or run budget ended the search first
+};
+
+/** Detailed result of the serialization search. */
+struct SerializationSearchResult
+{
+    SerializationStatus status = SerializationStatus::Exhausted;
+
+    /** Why an Exhausted search stopped (StateCap, Deadline, ...). */
+    Truncation truncation = Truncation::None;
+
+    /** DFS steps taken. */
+    long steps = 0;
+};
+
+/**
+ * Search for a serialization in which every transaction's operations
+ * are contiguous (no foreign operation between a TxBegin and its
+ * TxEnd).  Exponential; bounded by @p cap DFS steps and the optional
+ * run budget.  Used by tests on small graphs to validate that the
+ * interval rules are exact.
+ */
+SerializationSearchResult
+searchAtomicSerialization(const ExecutionGraph &g, long cap = 250000,
+                          const RunBudget &budget = {});
+
+/**
+ * Convenience wrapper returning just the three-valued status.  NOTE:
+ * deliberately NOT a bool — a capped search answers Exhausted, which
+ * is neither "exists" nor "does not exist".
+ */
+SerializationStatus atomicSerializationExists(const ExecutionGraph &g,
+                                              long cap = 250000);
 
 } // namespace satom

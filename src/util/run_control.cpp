@@ -1,0 +1,204 @@
+#include "util/run_control.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <stdexcept>
+#include <thread>
+
+#include <unistd.h>
+
+namespace satom
+{
+
+const char *
+toString(Truncation t)
+{
+    switch (t) {
+      case Truncation::None: return "none";
+      case Truncation::StateCap: return "state-cap";
+      case Truncation::Deadline: return "deadline";
+      case Truncation::MemoryCap: return "memory-cap";
+      case Truncation::Cancelled: return "cancelled";
+      case Truncation::WorkerFault: return "worker-fault";
+    }
+    return "?";
+}
+
+bool
+truncationFromString(const std::string &name, Truncation &out)
+{
+    for (Truncation t :
+         {Truncation::None, Truncation::StateCap, Truncation::Deadline,
+          Truncation::MemoryCap, Truncation::Cancelled,
+          Truncation::WorkerFault}) {
+        if (name == toString(t)) {
+            out = t;
+            return true;
+        }
+    }
+    return false;
+}
+
+RunBudget
+RunBudget::deadlineInMs(long ms)
+{
+    RunBudget b;
+    b.deadline = Clock::now() + std::chrono::milliseconds(ms);
+    return b;
+}
+
+std::size_t
+approxRssBytes()
+{
+    // /proc/self/statm: size resident shared ... in pages.  Cheap
+    // enough to read on a strided poll; absent (non-Linux) => 0 and
+    // the memory ceiling simply never trips.
+    std::FILE *f = std::fopen("/proc/self/statm", "r");
+    if (!f)
+        return 0;
+    unsigned long size = 0, resident = 0;
+    const int got = std::fscanf(f, "%lu %lu", &size, &resident);
+    std::fclose(f);
+    if (got != 2)
+        return 0;
+    static const long page = ::sysconf(_SC_PAGESIZE);
+    return static_cast<std::size_t>(resident) *
+           static_cast<std::size_t>(page > 0 ? page : 4096);
+}
+
+Truncation
+BudgetGate::check()
+{
+    // Order matters for determinism of the *reported* reason when
+    // several limits have passed: an explicit cancellation wins, then
+    // the deadline, then the memory ceiling.
+    if (budget_.cancel.cancelRequested())
+        return tripped_ = Truncation::Cancelled;
+    if (budget_.hasDeadline() &&
+        RunBudget::Clock::now() >= budget_.deadline)
+        return tripped_ = Truncation::Deadline;
+    if (budget_.maxRssBytes != 0 &&
+        approxRssBytes() > budget_.maxRssBytes)
+        return tripped_ = Truncation::MemoryCap;
+    return Truncation::None;
+}
+
+namespace fault
+{
+
+namespace
+{
+
+std::atomic<int> g_site{static_cast<int>(Site::None)};
+std::atomic<long> g_param{0};
+std::atomic<long> g_hits{0};
+std::once_flag g_envOnce;
+
+void
+readEnvOnce()
+{
+    std::call_once(g_envOnce, [] {
+        if (const char *spec = std::getenv("SATOM_FAULT"))
+            armFromSpec(spec);
+    });
+}
+
+} // namespace
+
+void
+arm(Site site, long n)
+{
+    g_hits.store(0, std::memory_order_relaxed);
+    g_param.store(n, std::memory_order_relaxed);
+    g_site.store(static_cast<int>(site), std::memory_order_release);
+}
+
+bool
+armFromSpec(const std::string &spec)
+{
+    std::string name = spec;
+    long n = 1;
+    const auto colon = spec.find(':');
+    if (colon != std::string::npos) {
+        name = spec.substr(0, colon);
+        try {
+            n = std::stol(spec.substr(colon + 1));
+        } catch (const std::exception &) {
+            return false;
+        }
+    }
+    if (name == "worker-throw")
+        arm(Site::WorkerThrow, n);
+    else if (name == "alloc-fail")
+        arm(Site::AllocFail, n);
+    else if (name == "stall")
+        arm(Site::Stall, n);
+    else if (name == "kill-after-journal")
+        arm(Site::KillAfterJournal, n);
+    else
+        return false;
+    return true;
+}
+
+void
+disarm()
+{
+    g_site.store(static_cast<int>(Site::None),
+                 std::memory_order_release);
+    g_param.store(0, std::memory_order_relaxed);
+    g_hits.store(0, std::memory_order_relaxed);
+}
+
+bool
+armed()
+{
+    readEnvOnce();
+    return g_site.load(std::memory_order_acquire) !=
+           static_cast<int>(Site::None);
+}
+
+void
+maybeInjectWorker()
+{
+    if (!armed())
+        return;
+    const Site site =
+        static_cast<Site>(g_site.load(std::memory_order_acquire));
+    switch (site) {
+      case Site::WorkerThrow:
+        if (g_hits.fetch_add(1, std::memory_order_relaxed) + 1 ==
+            g_param.load(std::memory_order_relaxed))
+            throw std::runtime_error(
+                "SATOM_FAULT: injected worker fault");
+        break;
+      case Site::AllocFail:
+        if (g_hits.fetch_add(1, std::memory_order_relaxed) + 1 ==
+            g_param.load(std::memory_order_relaxed))
+            throw std::bad_alloc();
+        break;
+      case Site::Stall:
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            g_param.load(std::memory_order_relaxed)));
+        break;
+      default:
+        break;
+    }
+}
+
+bool
+journalKillDue()
+{
+    if (!armed())
+        return false;
+    if (static_cast<Site>(g_site.load(std::memory_order_acquire)) !=
+        Site::KillAfterJournal)
+        return false;
+    return g_hits.fetch_add(1, std::memory_order_relaxed) + 1 >=
+           g_param.load(std::memory_order_relaxed);
+}
+
+} // namespace fault
+
+} // namespace satom

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * The run-control layer: deadlines, cooperative cancellation, memory
+ * ceilings and structured truncation for every search in the system.
+ *
+ * All of the engines (graph enumeration, the operational machines, the
+ * transaction-serialization search, the differential oracles) are
+ * exponential searches; the paper's own case studies — speculation and
+ * TSO — are exactly the models that blow the frontier up.  A search
+ * that stops early must say *why* it stopped, because the consumers
+ * differ: a state-capped oracle side degrades to Inconclusive, a
+ * deadline-capped fuzz seed is retried at reduced budget, a cancelled
+ * run discards nothing, a worker fault is a contained error.  The old
+ * single `complete` bool lost that distinction; a `Truncation` reason
+ * carries it end-to-end.
+ *
+ * A `RunBudget` is a small copyable value (the cancellation token is a
+ * shared handle) injected into each engine's options.  Engines poll a
+ * `BudgetGate` on their hot loop; the gate is strided so the common
+ * disarmed case costs one branch, and once it trips it stays tripped.
+ *
+ * The `fault` namespace is the SATOM_FAULT test-only injection hook:
+ * it lets tests (and CI) plant a worker exception, an allocation
+ * failure, a slow-path stall or a mid-campaign kill to prove that the
+ * containment paths actually contain.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace satom
+{
+
+/** Why a search stopped before exhausting its space. */
+enum class Truncation
+{
+    None,        ///< ran to completion
+    StateCap,    ///< a state/step budget was exhausted
+    Deadline,    ///< the wall-clock deadline passed
+    MemoryCap,   ///< the approximate memory ceiling was exceeded
+    Cancelled,   ///< the cancellation token was triggered
+    WorkerFault, ///< a worker task faulted; partial results kept
+};
+
+/** Stable report name: "none", "state-cap", "deadline", ... */
+const char *toString(Truncation t);
+
+/** Parse a report name back; false if unknown. */
+bool truncationFromString(const std::string &name, Truncation &out);
+
+/**
+ * Shared cooperative-cancellation handle.  Default-constructed tokens
+ * are empty (never cancelled, no allocation); make() creates shared
+ * state that every copy observes.  All operations are thread-safe.
+ */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+
+    static CancelToken
+    make()
+    {
+        CancelToken t;
+        t.flag_ = std::make_shared<std::atomic<bool>>(false);
+        return t;
+    }
+
+    bool valid() const { return static_cast<bool>(flag_); }
+
+    void
+    requestCancel() const
+    {
+        if (flag_)
+            flag_->store(true, std::memory_order_relaxed);
+    }
+
+    bool
+    cancelRequested() const
+    {
+        return flag_ && flag_->load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/**
+ * The limits one run operates under.  Copyable; copies share the
+ * cancellation token.  Default-constructed budgets are unconstrained
+ * and cost nothing to poll.
+ */
+struct RunBudget
+{
+    using Clock = std::chrono::steady_clock;
+
+    /** Wall-clock deadline; the epoch value means "none". */
+    Clock::time_point deadline{};
+
+    /**
+     * Approximate process-RSS ceiling in bytes (0 = none).  Checked
+     * against /proc/self/statm, so the figure is whole-process and
+     * approximate by design — the cap is a safety valve against the
+     * frontier eating the machine, not an allocator.
+     */
+    std::size_t maxRssBytes = 0;
+
+    /** Cooperative cancellation; empty = never cancelled. */
+    CancelToken cancel;
+
+    bool
+    hasDeadline() const
+    {
+        return deadline != Clock::time_point{};
+    }
+
+    /** True iff polling this budget can never trip. */
+    bool
+    unconstrained() const
+    {
+        return !hasDeadline() && maxRssBytes == 0 && !cancel.valid();
+    }
+
+    /** Budget whose deadline is @p ms from now. */
+    static RunBudget deadlineInMs(long ms);
+};
+
+/** Approximate process resident-set size; 0 if unavailable. */
+std::size_t approxRssBytes();
+
+/**
+ * Strided poller over one RunBudget.  poll() is designed for hot
+ * loops: with an unconstrained budget it is one branch; otherwise the
+ * clock/RSS/token reads happen every @p stride calls.  Once a limit
+ * trips, the gate is sticky and every subsequent poll returns the same
+ * reason.  Not thread-safe — give each worker its own gate (they can
+ * share the budget; the token is the only shared state).
+ */
+class BudgetGate
+{
+  public:
+    explicit BudgetGate(const RunBudget &budget, int stride = 32)
+        : budget_(budget), active_(!budget.unconstrained()),
+          stride_(stride > 0 ? stride : 1)
+    {
+    }
+
+    /** Any constraint present at all? */
+    bool active() const { return active_; }
+
+    /** The sticky truncation reason (None until something trips). */
+    Truncation tripped() const { return tripped_; }
+
+    /** Cheap check; returns the reason once a limit trips. */
+    Truncation
+    poll()
+    {
+        if (!active_ || tripped_ != Truncation::None)
+            return tripped_;
+        if (count_++ % stride_ != 0)
+            return Truncation::None;
+        return check();
+    }
+
+  private:
+    Truncation check();
+
+    RunBudget budget_;
+    Truncation tripped_ = Truncation::None;
+    bool active_ = false;
+    int stride_ = 32;
+    unsigned count_ = 0;
+};
+
+/**
+ * SATOM_FAULT — test-only fault injection.
+ *
+ * Armed either programmatically (tests) or from the environment
+ * variable `SATOM_FAULT=<site>[:<n>]` (CLI runs under ctest/CI).
+ * Sites:
+ *
+ *   worker-throw:N        the N-th hit of the "worker" site throws
+ *                         std::runtime_error (a faulting worker task)
+ *   alloc-fail:N          the N-th hit of the "worker" site throws
+ *                         std::bad_alloc (an allocation failure)
+ *   stall:MS              every hit of the "worker" site sleeps MS
+ *                         milliseconds (a slow-path stall)
+ *   kill-after-journal:N  the N-th hit of the "journal" site reports
+ *                         fire (satom_fuzz then _Exit(137)s, the
+ *                         SIGKILL-mid-campaign simulation)
+ *
+ * The disarmed fast path is a single relaxed atomic load.
+ */
+namespace fault
+{
+
+enum class Site
+{
+    None,
+    WorkerThrow,
+    AllocFail,
+    Stall,
+    KillAfterJournal,
+};
+
+/** Arm programmatically; n is the hit index (or ms for Stall). */
+void arm(Site site, long n = 1);
+
+/** Arm from a "<site>[:<n>]" spec; false if unparseable. */
+bool armFromSpec(const std::string &spec);
+
+/** Disarm and reset the hit counter. */
+void disarm();
+
+/** True iff any site is armed (after lazily reading SATOM_FAULT). */
+bool armed();
+
+/**
+ * The "worker" injection point: call from worker-task bodies.  Throws
+ * or stalls according to the armed site; no-op when disarmed.
+ */
+void maybeInjectWorker();
+
+/**
+ * The "journal" injection point: returns true when the armed
+ * kill-after-journal count is reached (the caller performs the kill,
+ * keeping process exit out of library code).
+ */
+bool journalKillDue();
+
+} // namespace fault
+
+} // namespace satom

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Tests for the run-control layer: structured truncation, deadlines,
+ * cancellation, the memory ceiling, worker-fault containment, and the
+ * determinism guarantees that survive truncation.
+ *
+ * The deadline tests use workloads whose full enumeration would run
+ * multi-second (wide ring programs, an adversarial serialization
+ * graph); the assertions are that a ~50ms deadline actually cuts the
+ * search short, that the structured reason says `Deadline`, and that
+ * the engines return partial results instead of wedging.  The fault
+ * tests drive the SATOM_FAULT hook programmatically and are part of
+ * the `tsan` label: a worker exception must drain the wave and come
+ * back as a WorkerFault-truncated result under the thread sanitizer,
+ * not as std::terminate or a race.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <string>
+
+#include "baseline/operational.hpp"
+#include "enumerate/engine.hpp"
+#include "fuzz/oracle.hpp"
+#include "isa/builder.hpp"
+#include "isa/program.hpp"
+#include "txn/atomic.hpp"
+#include "util/run_control.hpp"
+
+namespace satom
+{
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+long
+elapsedMs(Clock::time_point t0)
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               Clock::now() - t0)
+        .count();
+}
+
+/**
+ * Ring program: every thread stores to its own location and reads the
+ * next @p reads threads' locations.  Scales the enumeration frontier
+ * exponentially in both parameters (the bench/bench_scaling.cpp
+ * workload) — ring(5, 5) is a multi-second enumeration on any
+ * hardware this suite runs on.
+ */
+Program
+ring(int threads, int reads)
+{
+    ProgramBuilder pb;
+    for (int i = 0; i < threads; ++i) {
+        auto &t = pb.thread("P" + std::to_string(i));
+        t.store(100 + i, i + 1);
+        for (int r = 1; r <= reads; ++r)
+            t.load(r, 100 + (i + r) % threads);
+    }
+    return pb.build();
+}
+
+std::set<std::string>
+keys(const std::vector<Outcome> &outcomes)
+{
+    std::set<std::string> out;
+    for (const auto &o : outcomes)
+        out.insert(o.key());
+    return out;
+}
+
+/** Every truncated run must satisfy complete == (reason == None). */
+void
+expectConsistent(const EnumerationResult &r)
+{
+    EXPECT_EQ(r.complete, r.truncation == Truncation::None);
+}
+
+// --------------------------------------------------------------------
+// The primitives.
+// --------------------------------------------------------------------
+
+TEST(RunControl, TruncationNamesRoundTrip)
+{
+    for (Truncation t :
+         {Truncation::None, Truncation::StateCap, Truncation::Deadline,
+          Truncation::MemoryCap, Truncation::Cancelled,
+          Truncation::WorkerFault}) {
+        Truncation back = Truncation::None;
+        ASSERT_TRUE(truncationFromString(toString(t), back))
+            << toString(t);
+        EXPECT_EQ(back, t);
+    }
+    Truncation ignored;
+    EXPECT_FALSE(truncationFromString("bogus", ignored));
+}
+
+TEST(RunControl, DefaultTokenNeverCancels)
+{
+    CancelToken t;
+    EXPECT_FALSE(t.valid());
+    EXPECT_FALSE(t.cancelRequested());
+    t.requestCancel(); // no shared state: a no-op, not a crash
+    EXPECT_FALSE(t.cancelRequested());
+}
+
+TEST(RunControl, CancellationSharedAcrossCopies)
+{
+    CancelToken t = CancelToken::make();
+    CancelToken copy = t;
+    EXPECT_FALSE(copy.cancelRequested());
+    t.requestCancel();
+    EXPECT_TRUE(copy.cancelRequested());
+}
+
+TEST(RunControl, UnconstrainedBudgetNeverTrips)
+{
+    BudgetGate gate{RunBudget{}};
+    EXPECT_FALSE(gate.active());
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(gate.poll(), Truncation::None);
+}
+
+TEST(RunControl, GateIsStickyOnceTripped)
+{
+    RunBudget b;
+    b.deadline = RunBudget::Clock::now(); // already passed
+    BudgetGate gate(b, /*stride=*/1);
+    EXPECT_EQ(gate.poll(), Truncation::Deadline);
+    EXPECT_EQ(gate.tripped(), Truncation::Deadline);
+    EXPECT_EQ(gate.poll(), Truncation::Deadline);
+}
+
+TEST(RunControl, CancellationOutranksDeadline)
+{
+    RunBudget b = RunBudget::deadlineInMs(-1); // already passed
+    b.cancel = CancelToken::make();
+    b.cancel.requestCancel();
+    BudgetGate gate(b, 1);
+    EXPECT_EQ(gate.poll(), Truncation::Cancelled);
+}
+
+TEST(RunControl, ApproxRssIsReasonable)
+{
+    const std::size_t rss = approxRssBytes();
+    // Any live process on Linux is at least a few pages resident.
+    EXPECT_GT(rss, 4096u);
+}
+
+// --------------------------------------------------------------------
+// Deadlines on every search entry point: a 50ms budget on a workload
+// whose full search would run multi-second must come back quickly,
+// truncated, with the structured reason `Deadline`.
+// --------------------------------------------------------------------
+
+TEST(Deadline, SerialEngineHonorsDeadline)
+{
+    EnumerationOptions opts;
+    opts.numWorkers = 1;
+    opts.budget = RunBudget::deadlineInMs(50);
+    const auto t0 = Clock::now();
+    const auto r =
+        enumerateBehaviors(ring(5, 5), makeModel(ModelId::SC), opts);
+    EXPECT_LT(elapsedMs(t0), 5000);
+    EXPECT_EQ(r.truncation, Truncation::Deadline);
+    expectConsistent(r);
+}
+
+TEST(Deadline, ParallelEngineHonorsDeadline)
+{
+    EnumerationOptions opts;
+    opts.numWorkers = 4;
+    opts.budget = RunBudget::deadlineInMs(50);
+    const auto t0 = Clock::now();
+    const auto r =
+        enumerateBehaviors(ring(5, 5), makeModel(ModelId::SC), opts);
+    EXPECT_LT(elapsedMs(t0), 5000);
+    EXPECT_EQ(r.truncation, Truncation::Deadline);
+    expectConsistent(r);
+}
+
+TEST(Deadline, OperationalMachineHonorsDeadline)
+{
+    OperationalOptions opts;
+    opts.budget = RunBudget::deadlineInMs(50);
+    const auto t0 = Clock::now();
+    const auto r = enumerateOperationalSC(ring(4, 4), opts);
+    EXPECT_LT(elapsedMs(t0), 5000);
+    EXPECT_EQ(r.truncation, Truncation::Deadline);
+    EXPECT_FALSE(r.complete);
+}
+
+TEST(Deadline, SerializationSearchHonorsDeadline)
+{
+    // Adversarial graph: k same-address stores plus one load per
+    // store that must read it.  Serializations exist (interleave
+    // store/load pairs), but the DFS tries all-stores-first orders
+    // and backtracks exponentially before finding one.
+    ExecutionGraph g;
+    constexpr int k = 14;
+    constexpr Addr X = 1;
+    std::vector<NodeId> stores;
+    for (int i = 0; i < k; ++i) {
+        Node n;
+        n.tid = 0;
+        n.kind = NodeKind::Store;
+        n.addrKnown = true;
+        n.addr = X;
+        n.valueKnown = true;
+        n.value = i + 1;
+        n.executed = true;
+        stores.push_back(g.addNode(n));
+    }
+    for (int i = 0; i < k; ++i) {
+        Node n;
+        n.tid = 1;
+        n.kind = NodeKind::Load;
+        n.addrKnown = true;
+        n.addr = X;
+        n.valueKnown = true;
+        n.value = i + 1;
+        n.executed = true;
+        n.source = stores[static_cast<std::size_t>(i)];
+        const NodeId l = g.addNode(n);
+        ASSERT_TRUE(g.addEdge(stores[static_cast<std::size_t>(i)], l,
+                              EdgeKind::Source));
+    }
+
+    const auto t0 = Clock::now();
+    const auto res = searchAtomicSerialization(
+        g, /*cap=*/1000000000L, RunBudget::deadlineInMs(50));
+    EXPECT_LT(elapsedMs(t0), 5000);
+    EXPECT_EQ(res.status, SerializationStatus::Exhausted);
+    EXPECT_EQ(res.truncation, Truncation::Deadline);
+}
+
+TEST(Deadline, OracleDegradesToInconclusive)
+{
+    // A deadline-truncated oracle side proves nothing: the verdict
+    // must be Inconclusive carrying the Deadline reason, never Fail.
+    fuzz::OracleOptions opts;
+    opts.budget = RunBudget::deadlineInMs(50);
+    const auto t0 = Clock::now();
+    const auto d = fuzz::runOracle(fuzz::OracleId::ScVsOperational,
+                                   ring(4, 4), opts);
+    EXPECT_LT(elapsedMs(t0), 10000);
+    EXPECT_EQ(d.verdict, fuzz::Verdict::Inconclusive);
+    EXPECT_EQ(d.truncation, Truncation::Deadline);
+}
+
+// --------------------------------------------------------------------
+// Cancellation and the memory ceiling.
+// --------------------------------------------------------------------
+
+TEST(RunControl, PreCancelledRunStopsImmediately)
+{
+    EnumerationOptions opts;
+    opts.budget.cancel = CancelToken::make();
+    opts.budget.cancel.requestCancel();
+    for (int workers : {1, 4}) {
+        opts.numWorkers = workers;
+        const auto r = enumerateBehaviors(ring(4, 4),
+                                          makeModel(ModelId::SC), opts);
+        EXPECT_EQ(r.truncation, Truncation::Cancelled) << workers;
+        expectConsistent(r);
+    }
+}
+
+TEST(RunControl, TinyMemoryCeilingTrips)
+{
+    // One byte of allowed RSS: the very first strided check trips.
+    EnumerationOptions opts;
+    opts.budget.maxRssBytes = 1;
+    const auto r =
+        enumerateBehaviors(ring(3, 3), makeModel(ModelId::SC), opts);
+    EXPECT_EQ(r.truncation, Truncation::MemoryCap);
+    expectConsistent(r);
+}
+
+TEST(RunControl, OperationalCancellation)
+{
+    OperationalOptions opts;
+    opts.budget.cancel = CancelToken::make();
+    opts.budget.cancel.requestCancel();
+    const auto r = enumerateOperationalSC(ring(3, 3), opts);
+    EXPECT_EQ(r.truncation, Truncation::Cancelled);
+    EXPECT_FALSE(r.complete);
+}
+
+// --------------------------------------------------------------------
+// Worker-fault containment (tsan-labelled binary: these must be clean
+// under -DSATOM_SANITIZE=thread).
+// --------------------------------------------------------------------
+
+class FaultInjection : public ::testing::Test
+{
+  protected:
+    void TearDown() override { fault::disarm(); }
+};
+
+TEST_F(FaultInjection, WorkerThrowBecomesWorkerFault)
+{
+    fault::arm(fault::Site::WorkerThrow, 1);
+    EnumerationOptions opts;
+    opts.numWorkers = 4;
+    const auto r =
+        enumerateBehaviors(ring(3, 2), makeModel(ModelId::SC), opts);
+    EXPECT_EQ(r.truncation, Truncation::WorkerFault);
+    EXPECT_FALSE(r.complete);
+    EXPECT_NE(r.faultNote.find("injected worker fault"),
+              std::string::npos)
+        << r.faultNote;
+}
+
+TEST_F(FaultInjection, AllocFailureBecomesWorkerFault)
+{
+    fault::arm(fault::Site::AllocFail, 1);
+    EnumerationOptions opts;
+    opts.numWorkers = 4;
+    const auto r =
+        enumerateBehaviors(ring(3, 2), makeModel(ModelId::SC), opts);
+    EXPECT_EQ(r.truncation, Truncation::WorkerFault);
+    EXPECT_FALSE(r.complete);
+    EXPECT_FALSE(r.faultNote.empty());
+}
+
+TEST_F(FaultInjection, LateFaultKeepsPartialOutcomes)
+{
+    // Fault deep into the run: the waves before it are kept, so the
+    // result is a truncated subset, not an empty shrug.
+    fault::arm(fault::Site::WorkerThrow, 500);
+    EnumerationOptions opts;
+    opts.numWorkers = 4;
+    const auto r =
+        enumerateBehaviors(ring(3, 3), makeModel(ModelId::SC), opts);
+    if (r.truncation == Truncation::WorkerFault) {
+        EXPECT_GT(r.stats.statesExplored, 0);
+    } else {
+        // The program had fewer than 500 items; the run completed.
+        EXPECT_EQ(r.truncation, Truncation::None);
+    }
+    expectConsistent(r);
+}
+
+TEST_F(FaultInjection, BatchContainsFaultToOneJob)
+{
+    const Program p = ring(2, 2);
+    const MemoryModel sc = makeModel(ModelId::SC);
+    std::vector<EnumerationJob> jobs(4, EnumerationJob{&p, &sc});
+
+    // Serial batch path: job hits are deterministic, the third job's
+    // enumeration faults, the others must be untouched.
+    fault::arm(fault::Site::WorkerThrow, 3);
+    EnumerationOptions opts;
+    opts.numWorkers = 1;
+    const auto results = enumerateBatch(jobs, opts);
+    ASSERT_EQ(results.size(), 4u);
+    int faulted = 0;
+    for (const auto &r : results)
+        faulted += r.truncation == Truncation::WorkerFault;
+    EXPECT_EQ(faulted, 1);
+    EXPECT_EQ(results[2].truncation, Truncation::WorkerFault);
+    EXPECT_FALSE(results[2].complete);
+    for (std::size_t i : {0u, 1u, 3u}) {
+        EXPECT_EQ(results[i].truncation, Truncation::None) << i;
+        EXPECT_TRUE(results[i].complete) << i;
+        EXPECT_EQ(keys(results[i].outcomes), keys(results[0].outcomes));
+    }
+}
+
+TEST_F(FaultInjection, StallDoesNotChangeResults)
+{
+    // The stall site only slows the worker path down; results and
+    // completeness are unchanged (this is the hook the CI watchdog
+    // tests lean on).
+    const auto clean =
+        enumerateBehaviors(ring(2, 2), makeModel(ModelId::SC));
+    fault::arm(fault::Site::Stall, 1);
+    EnumerationOptions opts;
+    opts.numWorkers = 2;
+    const auto stalled =
+        enumerateBehaviors(ring(2, 2), makeModel(ModelId::SC), opts);
+    fault::disarm();
+    EXPECT_TRUE(stalled.complete);
+    EXPECT_EQ(keys(stalled.outcomes), keys(clean.outcomes));
+}
+
+// --------------------------------------------------------------------
+// Determinism under truncation (satellite: DESIGN.md §9 contract).
+// --------------------------------------------------------------------
+
+TEST(TruncationDeterminism, StateCapSameReasonAndSubset)
+{
+    const Program p = ring(3, 2);
+    const MemoryModel sc = makeModel(ModelId::SC);
+
+    EnumerationOptions full;
+    full.numWorkers = 1;
+    const auto complete = enumerateBehaviors(p, sc, full);
+    ASSERT_TRUE(complete.complete);
+    const auto allKeys = keys(complete.outcomes);
+
+    EnumerationOptions tight;
+    tight.maxStates = 16;
+    for (int workers : {1, 2, 4}) {
+        tight.numWorkers = workers;
+        const auto r = enumerateBehaviors(p, sc, tight);
+        EXPECT_EQ(r.truncation, Truncation::StateCap) << workers;
+        expectConsistent(r);
+        for (const auto &k : keys(r.outcomes))
+            EXPECT_TRUE(allKeys.count(k))
+                << "workers=" << workers
+                << " produced outcome outside the full set: " << k;
+    }
+}
+
+TEST(TruncationDeterminism, SerialStateCapIsExactlyReproducible)
+{
+    // Same engine, same cap => byte-identical truncated outcome sets.
+    EnumerationOptions tight;
+    tight.maxStates = 16;
+    tight.numWorkers = 1;
+    const auto a =
+        enumerateBehaviors(ring(3, 2), makeModel(ModelId::SC), tight);
+    const auto b =
+        enumerateBehaviors(ring(3, 2), makeModel(ModelId::SC), tight);
+    EXPECT_EQ(a.truncation, Truncation::StateCap);
+    EXPECT_EQ(keys(a.outcomes), keys(b.outcomes));
+    EXPECT_EQ(a.stats.statesExplored, b.stats.statesExplored);
+}
+
+TEST(TruncationDeterminism, DeadlineSameReasonAcrossEngines)
+{
+    // The *point* where a deadline lands is timing-dependent, but the
+    // reported reason is not: both engines say Deadline, and whatever
+    // partial outcomes they surfaced came from real behaviors.
+    for (int workers : {1, 4}) {
+        EnumerationOptions opts;
+        opts.numWorkers = workers;
+        opts.budget = RunBudget::deadlineInMs(30);
+        const auto r =
+            enumerateBehaviors(ring(5, 5), makeModel(ModelId::SC), opts);
+        EXPECT_EQ(r.truncation, Truncation::Deadline) << workers;
+        expectConsistent(r);
+    }
+}
+
+} // namespace
+} // namespace satom

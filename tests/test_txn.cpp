@@ -206,7 +206,33 @@ TEST(Txn, ExecutionsHaveAtomicSerializations)
                                       makeModel(ModelId::WMM), opts);
     ASSERT_FALSE(r.executions.empty());
     for (const auto &g : r.executions)
-        EXPECT_TRUE(atomicSerializationExists(g));
+        EXPECT_EQ(atomicSerializationExists(g),
+                  SerializationStatus::Exists);
+}
+
+TEST(Txn, CappedSerializationSearchIsExhaustedNotAbsent)
+{
+    // Regression: with a step cap too small to finish, the search
+    // must report Exhausted (with a structured truncation reason),
+    // never NotExists — a capped branch proves nothing about absence.
+    EnumerationOptions opts;
+    opts.collectExecutions = true;
+    const auto r = enumerateBehaviors(txnIncrement(2),
+                                      makeModel(ModelId::WMM), opts);
+    ASSERT_FALSE(r.executions.empty());
+    const auto &g = r.executions.front();
+
+    ASSERT_EQ(atomicSerializationExists(g), SerializationStatus::Exists);
+    const auto capped = searchAtomicSerialization(g, /*cap=*/2);
+    EXPECT_EQ(capped.status, SerializationStatus::Exhausted);
+    EXPECT_EQ(capped.truncation, Truncation::StateCap);
+
+    // An uncapped search on the same graph still finds it and reports
+    // no truncation.
+    const auto full = searchAtomicSerialization(g);
+    EXPECT_EQ(full.status, SerializationStatus::Exists);
+    EXPECT_EQ(full.truncation, Truncation::None);
+    EXPECT_GT(full.steps, 0);
 }
 
 TEST(Txn, FindTransactionsReportsGroups)

@@ -1,12 +1,13 @@
 /**
  * @file
- * Parallel differential-fuzzing driver.
+ * Parallel differential-fuzzing driver with crash-safe campaigns.
  *
  * Usage:
  *   satom_fuzz --seeds A..B [--workers N] [--json FILE] [--shrink]
  *              [--pointer] [--threads MIN..MAX] [--ops MIN..MAX]
  *              [--locations N] [--values K] [--branches W]
  *              [--oracle NAME]... [--budget N] [--max-states N]
+ *              [--seed-timeout-ms MS] [--journal FILE] [--resume]
  *              [--inject-bug] [--quiet]
  *
  * Every seed in [A, B] is turned into a random program
@@ -17,7 +18,21 @@
  * and the report is assembled by a sequential join, so the JSON
  * report is byte-identical for every --workers value (the `fuzz`
  * ctest label asserts this).  The report deliberately contains no
- * timing, worker or host fields — wall-clock goes to stdout only.
+ * timing, worker or resume fields — wall-clock goes to stdout only.
+ *
+ * Run control (PR 3):
+ *  - --seed-timeout-ms arms a per-seed wall-clock watchdog; a seed
+ *    whose oracles hit the deadline is retried once at a reduced
+ *    state budget (so the retry terminates on the cap instead), and
+ *    otherwise recorded Inconclusive with truncation "deadline".
+ *  - --journal appends one line per completed seed (flushed before
+ *    the next seed retires), making campaigns crash-safe: --resume
+ *    reloads journaled seeds and only computes the missing ones.  A
+ *    resumed campaign's final JSON is byte-identical to an
+ *    uninterrupted run with the same flags (a ctest case and CI
+ *    SIGKILL the driver mid-campaign to prove it).
+ *  - the JSON report is written atomically (tmp + rename), so a kill
+ *    during the write never leaves a torn report.
  *
  * --shrink minimizes the first discrepant seed with the
  * delta-debugging shrinker and prints (and records) the reproducer as
@@ -26,9 +41,16 @@
  * store-buffer machine) to validate the detect-and-shrink pipeline.
  */
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,6 +60,7 @@
 #include "fuzz/generator.hpp"
 #include "fuzz/oracle.hpp"
 #include "fuzz/shrink.hpp"
+#include "util/run_control.hpp"
 
 namespace
 {
@@ -50,6 +73,9 @@ struct DriverConfig
     std::uint32_t seedTo = 100;
     int workers = 0; ///< 0 = hardware concurrency
     std::string jsonPath;
+    std::string journalPath; ///< empty = journaling off
+    bool resume = false;
+    long seedTimeoutMs = 0; ///< 0 = no per-seed watchdog
     bool shrink = false;
     bool pointer = false;
     bool injectBug = false;
@@ -59,16 +85,19 @@ struct DriverConfig
     std::vector<fuzz::OracleId> oracles; ///< empty = all
 };
 
-/** Per-seed slot filled by exactly one worker. */
+/** Per-seed slot filled by exactly one worker (or the journal). */
 struct SeedRecord
 {
     std::uint32_t seed = 0;
     int threads = 0;
     int instructions = 0;
     fuzz::Verdict verdict = fuzz::Verdict::Pass;
+    Truncation truncation = Truncation::None;
     long states = 0;
     long outcomes = 0;
     std::vector<fuzz::Discrepancy> results;
+    bool fromJournal = false; ///< loaded by --resume, not recomputed
+    bool retried = false;     ///< watchdog retry happened (stdout only)
 };
 
 int
@@ -81,11 +110,17 @@ usage()
            "                  [--locations N] [--values K]\n"
            "                  [--branches W] [--oracle NAME]...\n"
            "                  [--budget N] [--max-states N]\n"
+           "                  [--seed-timeout-ms MS]\n"
+           "                  [--journal FILE] [--resume]\n"
            "                  [--inject-bug] [--quiet]\n"
            "oracles: ";
     for (fuzz::OracleId id : fuzz::allOracles())
         std::cerr << toString(id) << ' ';
     std::cerr << "\n--workers 0 (default) uses all hardware threads\n"
+                 "--seed-timeout-ms arms a per-seed watchdog (one\n"
+                 "  retry at reduced state budget, then inconclusive)\n"
+                 "--journal FILE appends one line per completed seed;\n"
+                 "  --resume skips seeds already in the journal\n"
                  "--inject-bug plants the documented intentional\n"
                  "  oracle bug (SC vs TSO machine) for self-tests\n";
     return 2;
@@ -125,6 +160,214 @@ jsonEscape(const std::string &s)
     return out;
 }
 
+int
+hostCpus()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/** Worst-truncation ordering for the per-seed summary field. */
+int
+truncationRank(Truncation t)
+{
+    switch (t) {
+      case Truncation::None: return 0;
+      case Truncation::StateCap: return 1;
+      case Truncation::Deadline: return 2;
+      case Truncation::MemoryCap: return 3;
+      case Truncation::Cancelled: return 4;
+      case Truncation::WorkerFault: return 5;
+    }
+    return 0;
+}
+
+Truncation
+worstTruncation(const std::vector<fuzz::Discrepancy> &results)
+{
+    Truncation worst = Truncation::None;
+    for (const auto &d : results)
+        if (truncationRank(d.truncation) > truncationRank(worst))
+            worst = d.truncation;
+    return worst;
+}
+
+bool
+verdictFromString(const std::string &s, fuzz::Verdict &out)
+{
+    for (fuzz::Verdict v :
+         {fuzz::Verdict::Pass, fuzz::Verdict::Fail,
+          fuzz::Verdict::Inconclusive}) {
+        if (s == toString(v)) {
+            out = v;
+            return true;
+        }
+    }
+    return false;
+}
+
+// --------------------------------------------------------------------
+// Completed-seed journal.
+//
+// One line per finished seed, appended and flushed before the next
+// seed retires, so a campaign killed at any instant loses at most the
+// seeds that were still in flight.  The format is a versioned,
+// whitespace-separated record; free-text details are percent-encoded
+// into a single token ("~" encodes the empty string).  A `#cfg`
+// header line fingerprints the campaign configuration: --resume
+// refuses a journal written under different flags, because mixing
+// configurations would silently corrupt the report-identity
+// invariant.
+// --------------------------------------------------------------------
+
+std::string
+encodeDetail(const std::string &s)
+{
+    if (s.empty())
+        return "~";
+    std::string out;
+    char buf[4];
+    for (unsigned char c : s) {
+        if (c <= ' ' || c == '%' || c == '~' || c >= 127) {
+            std::snprintf(buf, sizeof buf, "%%%02X", c);
+            out += buf;
+        } else {
+            out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+std::string
+decodeDetail(const std::string &s)
+{
+    if (s == "~")
+        return "";
+    std::string out;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '%' && i + 2 < s.size()) {
+            out += static_cast<char>(
+                std::stoi(s.substr(i + 1, 2), nullptr, 16));
+            i += 2;
+        } else {
+            out += s[i];
+        }
+    }
+    return out;
+}
+
+/** Flag fingerprint guarding --resume against mismatched campaigns. */
+std::string
+configFingerprint(const DriverConfig &cfg,
+                  const std::vector<fuzz::OracleId> &oracles)
+{
+    std::ostringstream out;
+    out << "seeds=" << cfg.seedFrom << ".." << cfg.seedTo
+        << " pointer=" << cfg.pointer << " inject=" << cfg.injectBug
+        << " threads=" << cfg.gen.minThreads << ".."
+        << cfg.gen.maxThreads << " ops=" << cfg.gen.minOps << ".."
+        << cfg.gen.maxOps << " locations=" << cfg.gen.numLocations
+        << " values=" << cfg.gen.valuePool
+        << " branches=" << cfg.gen.branchWeight
+        << " budget=" << cfg.oracle.maxDynamicPerThread
+        << " graph-states=" << cfg.oracle.maxGraphStates
+        << " oper-states=" << cfg.oracle.maxOperationalStates
+        << " seed-timeout-ms=" << cfg.seedTimeoutMs << " oracles=";
+    for (fuzz::OracleId id : oracles)
+        out << toString(id) << ',';
+    return out.str();
+}
+
+std::string
+journalLine(const SeedRecord &r)
+{
+    std::ostringstream out;
+    out << "1 " << r.seed << ' ' << r.threads << ' '
+        << r.instructions << ' ' << toString(r.verdict) << ' '
+        << toString(r.truncation) << ' ' << r.states << ' '
+        << r.outcomes << ' ' << r.results.size();
+    for (const auto &d : r.results) {
+        out << ' ' << toString(d.oracle) << ' ' << toString(d.verdict)
+            << ' ' << toString(d.truncation) << ' '
+            << d.statesExplored << ' ' << d.outcomesCompared << ' '
+            << encodeDetail(d.detail);
+    }
+    return out.str();
+}
+
+bool
+parseJournalLine(const std::string &line, SeedRecord &r)
+{
+    std::istringstream in(line);
+    int version = 0;
+    std::string verdict, trunc;
+    std::size_t nresults = 0;
+    if (!(in >> version) || version != 1)
+        return false;
+    if (!(in >> r.seed >> r.threads >> r.instructions >> verdict >>
+          trunc >> r.states >> r.outcomes >> nresults))
+        return false;
+    if (!verdictFromString(verdict, r.verdict) ||
+        !truncationFromString(trunc, r.truncation))
+        return false;
+    r.results.clear();
+    for (std::size_t i = 0; i < nresults; ++i) {
+        fuzz::Discrepancy d;
+        std::string oracle, v, t, detail;
+        if (!(in >> oracle >> v >> t >> d.statesExplored >>
+              d.outcomesCompared >> detail))
+            return false;
+        if (!fuzz::oracleFromString(oracle, d.oracle) ||
+            !verdictFromString(v, d.verdict) ||
+            !truncationFromString(t, d.truncation))
+            return false;
+        d.detail = decodeDetail(detail);
+        r.results.push_back(std::move(d));
+    }
+    r.fromJournal = true;
+    return true;
+}
+
+/**
+ * Load journaled seeds into @p loaded.  Returns false (with a
+ * message) when the journal exists but was written by a campaign
+ * with a different configuration.  Unparseable lines — e.g. the torn
+ * tail a SIGKILL can leave — are skipped: the seed simply reruns.
+ */
+bool
+loadJournal(const std::string &path, const std::string &fingerprint,
+            std::map<std::uint32_t, SeedRecord> &loaded)
+{
+    std::ifstream f(path);
+    if (!f)
+        return true; // no journal yet: nothing to resume, not an error
+    std::string line;
+    bool first = true;
+    while (std::getline(f, line)) {
+        if (first) {
+            first = false;
+            if (line.rfind("#cfg ", 0) == 0) {
+                if (line.substr(5) != fingerprint) {
+                    std::cerr << "error: journal " << path
+                              << " was written by a campaign with "
+                                 "different flags; refusing --resume\n"
+                              << "  journal: " << line.substr(5)
+                              << "\n  current: " << fingerprint
+                              << '\n';
+                    return false;
+                }
+                continue;
+            }
+        }
+        if (line.empty() || line[0] == '#')
+            continue;
+        SeedRecord r;
+        if (parseJournalLine(line, r))
+            loaded[r.seed] = std::move(r);
+    }
+    return true;
+}
+
 std::string
 renderJson(const DriverConfig &cfg,
            const std::vector<fuzz::OracleId> &oracles,
@@ -136,6 +379,9 @@ renderJson(const DriverConfig &cfg,
     j += "  \"tool\": \"satom_fuzz\",\n";
     j += "  \"seed_from\": " + std::to_string(cfg.seedFrom) + ",\n";
     j += "  \"seed_to\": " + std::to_string(cfg.seedTo) + ",\n";
+    j += "  \"cpus\": " + std::to_string(hostCpus()) + ",\n";
+    j += "  \"seed_timeout_ms\": " +
+         std::to_string(cfg.seedTimeoutMs) + ",\n";
     j += "  \"generator\": {\"pointer\": " +
          std::string(cfg.pointer ? "true" : "false") +
          ", \"threads\": \"" + std::to_string(cfg.gen.minThreads) +
@@ -166,6 +412,8 @@ renderJson(const DriverConfig &cfg,
              ", \"threads\": " + std::to_string(r.threads) +
              ", \"instructions\": " + std::to_string(r.instructions) +
              ", \"verdict\": \"" + toString(r.verdict) +
+             "\", \"truncation\": \"" +
+             std::string(toString(r.truncation)) +
              "\", \"states\": " + std::to_string(r.states) +
              ", \"outcomes\": " + std::to_string(r.outcomes) + "}";
         j += i + 1 < records.size() ? ",\n" : "\n";
@@ -202,6 +450,26 @@ renderJson(const DriverConfig &cfg,
     return j;
 }
 
+/**
+ * Atomic report write: the bytes land in FILE.tmp first and are
+ * renamed over FILE only once complete, so a kill mid-write can
+ * never leave a torn report behind.
+ */
+bool
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream f(tmp, std::ios::trunc);
+        if (!f || !(f << content))
+            return false;
+        f.flush();
+        if (!f)
+            return false;
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
 } // namespace
 
 int
@@ -234,6 +502,18 @@ main(int argc, char **argv)
             if (!v)
                 return usage();
             cfg.jsonPath = v;
+        } else if (arg == "--journal") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.journalPath = v;
+        } else if (arg == "--resume") {
+            cfg.resume = true;
+        } else if (arg == "--seed-timeout-ms") {
+            const char *v = next();
+            if (!v || std::atol(v) < 1)
+                return usage();
+            cfg.seedTimeoutMs = std::atol(v);
         } else if (arg == "--threads" || arg == "--ops") {
             const char *v = next();
             long long a = 0, b = 0;
@@ -297,11 +577,43 @@ main(int argc, char **argv)
     }
     if (!seedsSet)
         return usage();
+    if (cfg.resume && cfg.journalPath.empty()) {
+        std::cerr << "--resume needs --journal FILE\n";
+        return usage();
+    }
     cfg.oracle.injectScVsStoreBuffer = cfg.injectBug;
 
     const auto oracles =
         cfg.oracles.empty() ? fuzz::allOracles() : cfg.oracles;
     const std::size_t count = cfg.seedTo - cfg.seedFrom + 1;
+    const std::string fingerprint = configFingerprint(cfg, oracles);
+
+    // Resume: reload every seed the journal already holds.  The
+    // journal is the single source of truth for finished seeds, so
+    // the resumed report is assembled from the exact same records an
+    // uninterrupted run would have produced.
+    std::map<std::uint32_t, SeedRecord> journaled;
+    if (cfg.resume &&
+        !loadJournal(cfg.journalPath, fingerprint, journaled))
+        return 2;
+
+    std::ofstream journal;
+    std::mutex journalMutex;
+    if (!cfg.journalPath.empty()) {
+        const bool fresh =
+            !cfg.resume || !std::ifstream(cfg.journalPath).good();
+        journal.open(cfg.journalPath,
+                     fresh ? std::ios::trunc : std::ios::app);
+        if (!journal) {
+            std::cerr << "cannot open journal " << cfg.journalPath
+                      << '\n';
+            return 2;
+        }
+        if (fresh) {
+            journal << "#cfg " << fingerprint << '\n';
+            journal.flush();
+        }
+    }
 
     auto generate = [&](std::uint32_t seed) {
         return cfg.pointer
@@ -312,38 +624,98 @@ main(int argc, char **argv)
     auto runSeed = [&](std::size_t i, SeedRecord &rec) {
         const std::uint32_t seed =
             cfg.seedFrom + static_cast<std::uint32_t>(i);
-        const Program p = generate(seed);
         rec.seed = seed;
-        rec.threads = p.numThreads();
-        rec.instructions = static_cast<int>(p.size());
-        rec.results = fuzz::runOracles(p, oracles, cfg.oracle);
+        try {
+            const Program p = generate(seed);
+            rec.threads = p.numThreads();
+            rec.instructions = static_cast<int>(p.size());
+
+            fuzz::OracleOptions oo = cfg.oracle;
+            if (cfg.seedTimeoutMs > 0)
+                oo.budget = RunBudget::deadlineInMs(cfg.seedTimeoutMs);
+            rec.results = fuzz::runOracles(p, oracles, oo);
+            rec.truncation = worstTruncation(rec.results);
+
+            // Watchdog retry: a deadline-truncated seed gets one more
+            // attempt at a sharply reduced state budget, so the rerun
+            // terminates on the cap (deterministically) instead of
+            // the clock.
+            if (cfg.seedTimeoutMs > 0 &&
+                rec.truncation == Truncation::Deadline) {
+                fuzz::OracleOptions retry = cfg.oracle;
+                retry.maxGraphStates =
+                    std::max(1000L, cfg.oracle.maxGraphStates / 16);
+                retry.maxOperationalStates = std::max(
+                    1000L, cfg.oracle.maxOperationalStates / 16);
+                retry.budget =
+                    RunBudget::deadlineInMs(cfg.seedTimeoutMs);
+                rec.results = fuzz::runOracles(p, oracles, retry);
+                rec.truncation = worstTruncation(rec.results);
+                rec.retried = true;
+            }
+        } catch (const std::exception &e) {
+            // Fault containment: one faulting seed is recorded as
+            // such and the campaign carries on.
+            rec.results.clear();
+            rec.truncation = Truncation::WorkerFault;
+            fuzz::Discrepancy d;
+            d.verdict = fuzz::Verdict::Inconclusive;
+            d.truncation = Truncation::WorkerFault;
+            d.detail = std::string("seed faulted: ") + e.what();
+            rec.results.push_back(std::move(d));
+        }
         rec.verdict = fuzz::worstVerdict(rec.results);
         for (const auto &d : rec.results) {
             rec.states += d.statesExplored;
             rec.outcomes += d.outcomesCompared;
         }
+
+        if (journal.is_open()) {
+            std::lock_guard<std::mutex> lk(journalMutex);
+            journal << journalLine(rec) << '\n';
+            journal.flush();
+            // SATOM_FAULT=kill-after-journal:N — the SIGKILL
+            // simulation for the crash-safety tests: die hard, no
+            // destructors, exactly as the OOM killer would.
+            if (fault::journalKillDue())
+                std::_Exit(137);
+        }
     };
 
     int workers = cfg.workers;
-    if (workers <= 0) {
-        const unsigned hw = std::thread::hardware_concurrency();
-        workers = hw > 0 ? static_cast<int>(hw) : 1;
-    }
+    if (workers <= 0)
+        workers = hostCpus();
     if (static_cast<std::size_t>(workers) > count)
         workers = static_cast<int>(count);
 
-    const auto t0 = std::chrono::steady_clock::now();
+    // Pre-fill resumed slots; only the remaining seeds fan out.
     std::vector<SeedRecord> records(count);
+    std::vector<std::size_t> todo;
+    todo.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::uint32_t seed =
+            cfg.seedFrom + static_cast<std::uint32_t>(i);
+        const auto it = journaled.find(seed);
+        if (it != journaled.end())
+            records[i] = it->second;
+        else
+            todo.push_back(i);
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    if (static_cast<std::size_t>(workers) > todo.size())
+        workers = std::max<int>(1, static_cast<int>(todo.size()));
     if (workers <= 1) {
-        for (std::size_t i = 0; i < count; ++i)
+        for (std::size_t i : todo)
             runSeed(i, records[i]);
     } else {
         // enumerateBatch-style fan-out: one slot per seed, any
         // scheduling; the sequential join below makes the report
         // independent of the worker count.
         WorkStealingPool pool(workers);
-        pool.run(count,
-                 [&](int, std::size_t i) { runSeed(i, records[i]); });
+        pool.run(todo.size(), [&](int, std::size_t k) {
+            runSeed(todo[k], records[todo[k]]);
+        });
     }
     const double wallMs =
         std::chrono::duration<double, std::milli>(
@@ -351,13 +723,15 @@ main(int argc, char **argv)
             .count();
 
     long passed = 0, failed = 0, inconclusive = 0;
-    long states = 0, outcomes = 0;
+    long states = 0, outcomes = 0, resumed = 0, retried = 0;
     for (const auto &r : records) {
         passed += r.verdict == fuzz::Verdict::Pass;
         failed += r.verdict == fuzz::Verdict::Fail;
         inconclusive += r.verdict == fuzz::Verdict::Inconclusive;
         states += r.states;
         outcomes += r.outcomes;
+        resumed += r.fromJournal;
+        retried += r.retried;
     }
 
     // Shrink the first discrepant seed: minimal over "any selected
@@ -395,6 +769,13 @@ main(int argc, char **argv)
                   << ", inconclusive " << inconclusive << "; "
                   << states << " states, " << outcomes
                   << " outcomes compared; " << wallMs << " ms\n";
+        if (resumed > 0)
+            std::cout << "  resumed " << resumed
+                      << " seeds from journal " << cfg.journalPath
+                      << '\n';
+        if (retried > 0)
+            std::cout << "  watchdog retried " << retried
+                      << " seeds at reduced budget\n";
         for (const auto &r : records) {
             for (const auto &d : r.results) {
                 if (d.failed())
@@ -419,8 +800,7 @@ main(int argc, char **argv)
             cfg, oracles, records, passed, failed, inconclusive,
             states, outcomes, haveShrunk ? &shrunk : nullptr,
             haveShrunk ? firstFail->seed : 0);
-        std::ofstream f(cfg.jsonPath);
-        if (!f || !(f << j)) {
+        if (!writeFileAtomic(cfg.jsonPath, j)) {
             std::cerr << "cannot write " << cfg.jsonPath << '\n';
             return 2;
         }
