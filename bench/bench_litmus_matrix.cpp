@@ -19,6 +19,7 @@
 #include "bench_util.hpp"
 #include "json_out.hpp"
 #include "litmus/library.hpp"
+#include "util/stats.hpp"
 
 namespace
 {
@@ -97,12 +98,14 @@ emitJson(const std::string &path)
                     .count();
             long states = 0;
             long outcomes = 0;
+            stats::StatsRegistry merged;
             for (const auto &r : rs) {
                 states += r.stats.statesExplored;
                 outcomes += static_cast<long>(r.outcomes.size());
+                merged.merge(r.registry);
             }
             out.add({"litmus_matrix", m.name, ms, states, outcomes,
-                     workers});
+                     workers, merged.json()});
         }
     }
     if (!out.writeTo(path))

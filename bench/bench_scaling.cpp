@@ -82,7 +82,7 @@ emitJson(const std::string &path)
                     out.add({bench, m.name, ms,
                              r.stats.statesExplored,
                              static_cast<long>(r.outcomes.size()),
-                             workers});
+                             workers, r.registry.json()});
                 }
             }
         }

@@ -20,6 +20,14 @@
 namespace satom::bench
 {
 
+/**
+ * Record schema version.  2 added the per-record "stats" object (the
+ * search's deterministic StatsRegistry counters, "null" when the
+ * bench didn't capture any or the build compiled stats out) — readers
+ * keyed on the flat field set should check this before scraping.
+ */
+constexpr int jsonSchema = 2;
+
 /** One measured configuration. */
 struct JsonRecord
 {
@@ -29,6 +37,13 @@ struct JsonRecord
     long states = 0;    ///< states explored (summed over the workload)
     long outcomes = 0;  ///< distinct outcomes (summed)
     int workers = 0;    ///< enumeration worker threads
+
+    /**
+     * Pre-rendered stats JSON (StatsRegistry::json()) for the
+     * workload's search, or "" when not captured.  A string rather
+     * than the registry itself so this header needs no stats dep.
+     */
+    std::string statsJson;
 };
 
 /** Collects records and renders them as a JSON array. */
@@ -43,7 +58,8 @@ class JsonWriter
         std::string out = "[\n";
         for (std::size_t i = 0; i < records_.size(); ++i) {
             const JsonRecord &r = records_[i];
-            out += "  {\"bench\": \"" + escape(r.bench) +
+            out += "  {\"schema\": " + std::to_string(jsonSchema) +
+                   ", \"bench\": \"" + escape(r.bench) +
                    "\", \"model\": \"" + escape(r.model) +
                    "\", \"wall_ms\": " + formatMs(r.wallMs) +
                    ", \"states\": " + std::to_string(r.states) +
@@ -51,7 +67,10 @@ class JsonWriter
                    ", \"workers\": " + std::to_string(r.workers) +
                    ", \"cpus\": " + std::to_string(hostCpus()) +
                    ", \"starved\": " +
-                   (r.workers > hostCpus() ? "true" : "false") + "}";
+                   (r.workers > hostCpus() ? "true" : "false") +
+                   ", \"stats\": " +
+                   (r.statsJson.empty() ? "null" : r.statsJson) +
+                   "}";
             out += i + 1 < records_.size() ? ",\n" : "\n";
         }
         out += "]\n";

@@ -6,8 +6,10 @@
 #
 # The build dir defaults to ./build and must already contain the bench
 # binaries (cmake --build build -j).  Records are a flat array of
-# {bench, model, wall_ms, states, outcomes, workers, cpus, starved}
-# objects; workers=1 is the serial engine, higher counts the parallel
+# {schema, bench, model, wall_ms, states, outcomes, workers, cpus,
+# starved, stats} objects (schema 2: stats is the search's
+# deterministic counter object, or null when compiled out);
+# workers=1 is the serial engine, higher counts the parallel
 # engine (enumerateBatch across the litmus library, frontier waves
 # inside one scaling ring); cpus is what the host could actually run
 # in parallel, and starved=true marks records whose worker count

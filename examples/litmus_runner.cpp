@@ -8,6 +8,7 @@
  *                 [--model-file <file.model>]... [--outcomes]
  *                 [--dot <file>] [--budget N] [--workers N]
  *                 [--timeout-ms MS] [--max-states N] [--json]
+ *                 [--stats] [--trace <file>]
  *
  * With no --model/--model-file, runs every bundled model.  Prints the
  * condition verdict per model, checks any `expect` lines in the file,
@@ -23,6 +24,15 @@
  * A truncated enumeration under-approximates: "allowed" stays proof,
  * "forbidden (incomplete: …)" is not, and expectation checking is
  * skipped for truncated models rather than reported as MISMATCH.
+ *
+ * Observability (the stats PR):
+ *  - --stats prints each model's search counters
+ *    (StatsRegistry::table); deterministic counters are identical
+ *    for every --workers value, scheduling telemetry is marked `~`.
+ *    Under --json every model record carries a "stats" object.
+ *  - --trace FILE writes a Chrome trace-event JSON (load it in
+ *    about://tracing or https://ui.perfetto.dev): one span per model
+ *    plus the engine's coarse per-wave / serial-explore spans.
  */
 
 #include <fstream>
@@ -34,6 +44,8 @@
 #include "enumerate/engine.hpp"
 #include "litmus/parser.hpp"
 #include "model/parser.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace
@@ -50,11 +62,15 @@ usage()
                  "                     [--budget N] [--workers N]\n"
                  "                     [--timeout-ms MS]\n"
                  "                     [--max-states N] [--json]\n"
+                 "                     [--stats] [--trace FILE]\n"
                  "models: SC TSO-approx TSO PSO WMM WMM+spec\n"
                  "--workers 0 (default) uses all hardware threads;\n"
                  "--workers 1 forces the serial engine\n"
                  "--timeout-ms bounds each model's enumeration;\n"
-                 "  truncated runs report their reason\n";
+                 "  truncated runs report their reason\n"
+                 "--stats prints per-model search counters\n"
+                 "--trace FILE writes Chrome trace-event JSON\n"
+                 "  (open in about://tracing)\n";
     return 2;
 }
 
@@ -86,7 +102,9 @@ main(int argc, char **argv)
     std::vector<MemoryModel> customModels;
     bool showOutcomes = false;
     bool jsonOut = false;
+    bool showStats = false;
     std::string dotPath;
+    std::string tracePath;
     int budget = 64;
     int workers = 0;
     long timeoutMs = 0;
@@ -118,43 +136,38 @@ main(int argc, char **argv)
         } else if (arg == "--dot" && i + 1 < argc) {
             dotPath = argv[++i];
         } else if (arg == "--budget" && i + 1 < argc) {
-            try {
-                budget = std::stoi(argv[++i]);
-            } catch (const std::exception &) {
+            // cli::parse* (the checked strtol wrappers) instead of a
+            // bare stoi: out-of-range and trailing-junk inputs are
+            // errors, not silent wraps.
+            if (!cli::parseInt(argv[++i], budget)) {
                 std::cerr << "--budget needs an integer, got '"
                           << argv[i] << "'\n";
                 return 1;
             }
         } else if (arg == "--workers" && i + 1 < argc) {
-            try {
-                workers = std::stoi(argv[++i]);
-            } catch (const std::exception &) {
+            if (!cli::parseInt(argv[++i], workers)) {
                 std::cerr << "--workers needs an integer, got '"
                           << argv[i] << "'\n";
                 return 1;
             }
         } else if (arg == "--timeout-ms" && i + 1 < argc) {
-            try {
-                timeoutMs = std::stol(argv[++i]);
-            } catch (const std::exception &) {
-                timeoutMs = 0;
-            }
-            if (timeoutMs < 1) {
+            if (!cli::parseLong(argv[++i], timeoutMs) ||
+                timeoutMs < 1) {
                 std::cerr << "--timeout-ms needs a positive integer\n";
                 return 1;
             }
         } else if (arg == "--max-states" && i + 1 < argc) {
-            try {
-                maxStates = std::stol(argv[++i]);
-            } catch (const std::exception &) {
-                maxStates = 0;
-            }
-            if (maxStates < 1) {
+            if (!cli::parseLong(argv[++i], maxStates) ||
+                maxStates < 1) {
                 std::cerr << "--max-states needs a positive integer\n";
                 return 1;
             }
         } else if (arg == "--json") {
             jsonOut = true;
+        } else if (arg == "--stats") {
+            showStats = true;
+        } else if (arg == "--trace" && i + 1 < argc) {
+            tracePath = argv[++i];
         } else if (!arg.empty() && arg[0] == '-') {
             return usage();
         } else {
@@ -201,6 +214,9 @@ main(int argc, char **argv)
     opts.numWorkers = workers;
     if (maxStates > 0)
         opts.maxStates = maxStates;
+    stats::TraceLog trace;
+    if (!tracePath.empty())
+        opts.trace = &trace;
 
     TextTable table;
     table.header({"model", "executions", "outcomes", "verdict",
@@ -220,7 +236,12 @@ main(int argc, char **argv)
         // starve the ones after it of their time budget.
         if (timeoutMs > 0)
             opts.budget = RunBudget::deadlineInMs(timeoutMs);
-        const auto r = enumerateBehaviors(test.program, model, opts);
+        EnumerationResult r;
+        {
+            // One span per model nesting the engine's own phases.
+            stats::PhaseTimer span(opts.trace, model.name, "model");
+            r = enumerateBehaviors(test.program, model, opts);
+        }
         const bool obs = test.cond.observable(r.outcomes);
         std::string expected = "-";
         if (runModels[mi].bundled) {
@@ -253,9 +274,14 @@ main(int argc, char **argv)
                 ", \"observable\": " + (obs ? "true" : "false") +
                 ", \"complete\": " + (r.complete ? "true" : "false") +
                 ", \"truncation\": \"" + toString(r.truncation) +
-                "\", \"expected\": \"" + expected + "\"}";
+                "\", \"expected\": \"" + expected +
+                "\", \"stats\": " + r.registry.json() + "}";
         json += mi + 1 < runModels.size() ? ",\n" : "\n";
 
+        if (showStats && !jsonOut) {
+            std::cout << "--- stats: " << model.name << " ---\n"
+                      << r.registry.table() << '\n';
+        }
         if (showOutcomes && !jsonOut) {
             std::cout << "--- outcomes under " << model.name
                       << " ---\n";
@@ -283,5 +309,14 @@ main(int argc, char **argv)
         std::cout << json;
     else
         std::cout << table.render();
+    if (!tracePath.empty()) {
+        if (!trace.writeTo(tracePath)) {
+            std::cerr << "cannot write " << tracePath << '\n';
+            return 1;
+        }
+        if (!jsonOut)
+            std::cout << "wrote " << tracePath << " ("
+                      << trace.size() << " events)\n";
+    }
     return exitCode;
 }

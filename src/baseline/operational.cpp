@@ -59,6 +59,10 @@ class OperationalSearch
     OperationalResult
     run()
     {
+        stats::PhaseTimer phase(opts_.trace,
+                                tso_ ? "operational-tso"
+                                     : "operational-sc",
+                                "baseline");
         MachineState init;
         init.memory = program_.initialMemory();
         init.threads.resize(
@@ -69,6 +73,13 @@ class OperationalSearch
         res.complete = complete_;
         res.truncation = truncation_;
         res.statesExplored = explored_;
+        res.stepsExecuted = steps_;
+        res.registry.add(stats::Ctr::OperationalStates,
+                         static_cast<std::uint64_t>(explored_));
+        res.registry.add(stats::Ctr::OperationalSteps,
+                         static_cast<std::uint64_t>(steps_));
+        res.registry.add(stats::Ctr::GatePolls,
+                         static_cast<std::uint64_t>(gatePolls_));
         return res;
     }
 
@@ -158,6 +169,7 @@ class OperationalSearch
         const Instruction &ins =
             program_.threads[tid].code[static_cast<std::size_t>(t.pc)];
         ++t.dyn;
+        ++steps_;
         switch (ins.op) {
           case Opcode::MovImm:
           case Opcode::Add:
@@ -254,6 +266,7 @@ class OperationalSearch
             truncate(Truncation::StateCap);
             return;
         }
+        ++gatePolls_;
         if (const Truncation t = gate_.poll();
             t != Truncation::None) {
             halted_ = true;
@@ -325,6 +338,8 @@ class OperationalSearch
     std::set<Outcome> outcomes_;
     BudgetGate gate_;
     long explored_ = 0;
+    long steps_ = 0;
+    long gatePolls_ = 0;
     bool complete_ = true;
     bool halted_ = false; ///< a hard limit ended the whole search
     Truncation truncation_ = Truncation::None;

@@ -25,6 +25,7 @@
 #include "enumerate/outcome.hpp"
 #include "isa/program.hpp"
 #include "util/run_control.hpp"
+#include "util/stats.hpp"
 
 namespace satom
 {
@@ -44,6 +45,12 @@ struct OperationalOptions
      * with a structured reason.
      */
     RunBudget budget;
+
+    /**
+     * Optional trace sink: the search records one phase event
+     * ("operational-sc"/"operational-tso") covering its lifetime.
+     */
+    stats::TraceLog *trace = nullptr;
 };
 
 /** Result of an operational enumeration. */
@@ -54,6 +61,13 @@ struct OperationalResult
 
     bool complete = true;
     long statesExplored = 0;
+    long stepsExecuted = 0; ///< machine instructions stepped
+
+    /**
+     * Named-counter view (operational-states, operational-steps,
+     * gate-polls) for --stats tables and report JSON.
+     */
+    stats::StatsRegistry registry;
 
     /**
      * Why the search was cut short (None <=> complete).  StateCap

@@ -408,6 +408,7 @@ Enumerator::runClosure(Behavior &b, EnumStats &stats) const
     // mutual fixpoint.
     while (true) {
         ClosureStats cs;
+        ++stats.closureRuns;
         const ClosureResult res =
             closeStoreAtomicity(b.graph, &cs, options_.applyRuleC);
         stats.closureIterations += cs.iterations;
@@ -489,7 +490,8 @@ finalizationConsistent(const ExecutionGraph &g,
 
 std::uint64_t
 Enumerator::recordOutcome(const Behavior &b, std::set<Outcome> &outcomes,
-                          ExecutionGraph &scratch) const
+                          ExecutionGraph &scratch,
+                          EnumStats &stats) const
 {
     Outcome base;
     base.regs.resize(b.threads.size());
@@ -521,6 +523,7 @@ Enumerator::recordOutcome(const Behavior &b, std::set<Outcome> &outcomes,
     std::map<Addr, NodeId> chosen;
     auto emit = [&](auto &&self, std::size_t i) -> void {
         if (i == maximal.size()) {
+            ++stats.finalizeCloses;
             if (!finalizationConsistent(b.graph, chosen, scratch))
                 return;
             Outcome o = base;
@@ -646,6 +649,7 @@ Enumerator::resolveOne(const Behavior &b, NodeId load,
     }
 
     if (youngestLocal == invalidNode) {
+        ++stats.candidateSets;
         const auto cands = candidateStores(b.graph, load);
         if (options_.onResolve)
             options_.onResolve(b.graph, load, cands);
@@ -684,9 +688,10 @@ Enumerator::resolveOne(const Behavior &b, NodeId load,
     for (NodeId q : priorLocal)
         ok &= drained.graph.addEdge(q, load, EdgeKind::Local);
     std::vector<NodeId> drainedCands;
-    if (ok && runClosure(drained, stats))
+    if (ok && runClosure(drained, stats)) {
+        ++stats.candidateSets;
         drainedCands = candidateStores(drained.graph, load);
-    else
+    } else
         ++stats.rollbacks;
 
     if (options_.onResolve) {
@@ -798,7 +803,8 @@ Enumerator::runReplay()
             return result_;
         }
     }
-    const std::uint64_t ekey = recordOutcome(b, outcomes_, scratch);
+    const std::uint64_t ekey =
+        recordOutcome(b, outcomes_, scratch, result_.stats);
     if (executionKeys_.insert(ekey).second) {
         ++result_.stats.executions;
         if (options_.collectExecutions)
@@ -811,6 +817,8 @@ Enumerator::runReplay()
 void
 Enumerator::runSerial()
 {
+    stats::PhaseTimer phase(options_.trace, "serial-explore",
+                            "engine");
     EnumStats &stats = result_.stats;
     std::vector<Behavior> stack;
     std::unordered_set<std::uint64_t> seen;
@@ -830,6 +838,7 @@ Enumerator::runSerial()
             result_.truncation = Truncation::StateCap;
             break;
         }
+        ++stats.gatePolls;
         if (const Truncation t = gate.poll(); t != Truncation::None) {
             result_.truncation = t;
             break;
@@ -841,7 +850,7 @@ Enumerator::runSerial()
 
         if (terminal(b)) {
             const std::uint64_t ekey =
-                recordOutcome(b, outcomes_, scratch);
+                recordOutcome(b, outcomes_, scratch, stats);
             if (executionKeys_.insert(ekey).second) {
                 ++stats.executions;
                 if (options_.collectExecutions)
@@ -878,6 +887,29 @@ Enumerator::runSerial()
     }
 }
 
+void
+exportEnumStats(const EnumStats &s, stats::StatsRegistry &reg)
+{
+    using stats::Ctr;
+    const auto u = [](long v) {
+        return static_cast<std::uint64_t>(v < 0 ? 0 : v);
+    };
+    reg.add(Ctr::StatesExplored, u(s.statesExplored));
+    reg.add(Ctr::StatesGenerated, u(s.statesForked));
+    reg.add(Ctr::StatesDeduped, u(s.duplicates));
+    reg.add(Ctr::StatesPruned, u(s.rollbacks));
+    reg.add(Ctr::TxnAborts, u(s.txnAborts));
+    reg.add(Ctr::StatesStuck, u(s.stuck));
+    reg.add(Ctr::Executions, u(s.executions));
+    reg.add(Ctr::CandidateSets, u(s.candidateSets));
+    reg.add(Ctr::ClosureRuns, u(s.closureRuns));
+    reg.add(Ctr::ClosureIterations, u(s.closureIterations));
+    reg.add(Ctr::ClosureEdges, u(s.closureEdges));
+    reg.add(Ctr::FinalizationCloses, u(s.finalizeCloses));
+    reg.peak(Ctr::MaxGraphNodes, u(s.maxNodes));
+    reg.add(Ctr::GatePolls, u(s.gatePolls));
+}
+
 EnumerationResult
 Enumerator::run()
 {
@@ -887,8 +919,11 @@ Enumerator::run()
     initCount_ =
         static_cast<NodeId>(program_.initialMemory().size());
 
-    if (options_.sourceOracle)
-        return runReplay();
+    if (options_.sourceOracle) {
+        runReplay();
+        exportEnumStats(result_.stats, result_.registry);
+        return result_;
+    }
 
     int workers = options_.numWorkers;
     if (workers <= 0) {
@@ -906,6 +941,9 @@ Enumerator::run()
 
     result_.complete = result_.truncation == Truncation::None;
     result_.outcomes.assign(outcomes_.begin(), outcomes_.end());
+    // runParallel may already have deposited wave/steal telemetry in
+    // the registry; the EnumStats export sums on top of it.
+    exportEnumStats(result_.stats, result_.registry);
     return result_;
 }
 

@@ -42,6 +42,7 @@
 #include "isa/program.hpp"
 #include "model/models.hpp"
 #include "util/run_control.hpp"
+#include "util/stats.hpp"
 
 namespace satom
 {
@@ -128,6 +129,14 @@ struct EnumerationOptions
     std::function<void(const ExecutionGraph &, NodeId,
                        const std::vector<NodeId> &)>
         onResolve;
+
+    /**
+     * Optional trace sink: the engine records coarse phase/wave events
+     * (one per frontier wave, one per serial exploration) into it for
+     * offline profiling (`litmus_runner --trace`).  Never touched on
+     * the per-behavior hot path; null (the default) records nothing.
+     */
+    stats::TraceLog *trace = nullptr;
 };
 
 /** Counters describing one enumeration run. */
@@ -143,8 +152,13 @@ struct EnumStats
     long stuck = 0;            ///< non-terminal behaviors with no
                                ///< eligible Load (budget exhaustion)
     long executions = 0;       ///< distinct complete executions found
+    long candidateSets = 0;    ///< candidates(L) sets built
+    long closureRuns = 0;      ///< Store Atomicity closure invocations
     long closureIterations = 0;
     long closureEdges = 0;
+    long finalizeCloses = 0;   ///< closure re-runs for last-Store combos
+    long gatePolls = 0;        ///< budget-gate polls (telemetry: the
+                               ///< poll pattern differs serial/parallel)
     int maxNodes = 0;          ///< largest graph encountered
 
     /** Accumulate a per-worker partial into this total. */
@@ -158,12 +172,24 @@ struct EnumStats
         txnAborts += o.txnAborts;
         stuck += o.stuck;
         executions += o.executions;
+        candidateSets += o.candidateSets;
+        closureRuns += o.closureRuns;
         closureIterations += o.closureIterations;
         closureEdges += o.closureEdges;
+        finalizeCloses += o.finalizeCloses;
+        gatePolls += o.gatePolls;
         maxNodes = maxNodes > o.maxNodes ? maxNodes : o.maxNodes;
         return *this;
     }
 };
+
+/**
+ * Copy @p s into the named-counter registry @p reg (the export form
+ * consumed by --stats tables, fuzz/bench JSON and journal records).
+ * Every EnumStats field except gatePolls lands in a deterministic
+ * counter — see stats.hpp for the deterministic/telemetry split.
+ */
+void exportEnumStats(const EnumStats &s, stats::StatsRegistry &reg);
 
 /** Everything an enumeration run produces. */
 struct EnumerationResult
@@ -175,6 +201,16 @@ struct EnumerationResult
     std::vector<ExecutionGraph> executions;
 
     EnumStats stats;
+
+    /**
+     * The same run described as named counters (exportEnumStats of
+     * `stats`, plus the parallel engine's wave/steal telemetry).
+     * Deterministic counters are identical for serial and parallel
+     * runs of the same job; telemetry counters are not — see
+     * StatsRegistry::deterministicEquals.  All-zero when the build
+     * has SATOM_STATS=OFF.
+     */
+    stats::StatsRegistry registry;
 
     /**
      * Why the run stopped early, if it did: the state cap, the
@@ -254,11 +290,13 @@ class Enumerator
     /**
      * Finalization enumeration of one terminal behavior: insert every
      * consistent Outcome into @p outcomes (using @p scratch for the
-     * closure re-runs) and return the behavior's execution key.
+     * closure re-runs, counted into @p stats) and return the
+     * behavior's execution key.
      */
     std::uint64_t recordOutcome(const Behavior &b,
                                 std::set<Outcome> &outcomes,
-                                ExecutionGraph &scratch) const;
+                                ExecutionGraph &scratch,
+                                EnumStats &stats) const;
 
     /** Phase 3: fork per (eligible Load, candidate). */
     std::vector<Behavior> resolveLoads(const Behavior &b,

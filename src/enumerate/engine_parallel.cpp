@@ -79,6 +79,7 @@ WorkStealingPool::steal(int thief, std::size_t &item)
             continue;
         item = q.items.back();
         q.items.pop_back();
+        steals_.fetch_add(1, std::memory_order_relaxed);
         return true;
     }
     return false;
@@ -251,6 +252,7 @@ Enumerator::runParallel(int workers)
             result_.truncation = Truncation::StateCap;
             break;
         }
+        ++stats.gatePolls;
         if (const Truncation t = gate.poll(); t != Truncation::None) {
             result_.truncation = t;
             break;
@@ -260,6 +262,14 @@ Enumerator::runParallel(int workers)
                      static_cast<std::size_t>(options_.maxStates -
                                               stats.statesExplored));
         std::vector<ItemSlot> slots(take);
+
+        // Wave-shape telemetry (deposited directly: the wave loop runs
+        // on the calling thread, never concurrently with itself).
+        result_.registry.add(stats::Ctr::Waves);
+        result_.registry.add(stats::Ctr::WaveItems, take);
+        result_.registry.peak(stats::Ctr::MaxWaveSize, take);
+        const std::int64_t waveStart =
+            options_.trace ? options_.trace->nowUs() : 0;
 
         const auto item = [&](int w, std::size_t i) {
             WorkerState &ws = perWorker[static_cast<std::size_t>(w)];
@@ -277,7 +287,8 @@ Enumerator::runParallel(int workers)
                 if (terminal(b)) {
                     slot.isTerminal = true;
                     slot.executionKey =
-                        recordOutcome(b, ws.outcomes, ws.scratch);
+                        recordOutcome(b, ws.outcomes, ws.scratch,
+                                      ws.stats);
                 } else {
                     auto forks = resolveLoads(b, ws.stats);
                     if (forks.empty()) {
@@ -303,6 +314,7 @@ Enumerator::runParallel(int workers)
                 slot.faultMsg = "unknown worker exception";
                 stop.store(true, std::memory_order_relaxed);
             }
+            ++ws.stats.gatePolls;
             BudgetGate &wg = workerGates[static_cast<std::size_t>(w)];
             if (wg.poll() != Truncation::None)
                 stop.store(true, std::memory_order_relaxed);
@@ -323,6 +335,14 @@ Enumerator::runParallel(int workers)
             result_.truncation = Truncation::WorkerFault;
             result_.faultNote = e.what();
             break;
+        }
+        if (options_.trace) {
+            const std::uint64_t waveNo =
+                result_.registry.get(stats::Ctr::Waves);
+            options_.trace->complete(
+                "wave " + std::to_string(waveNo), "wave", waveStart,
+                options_.trace->nowUs() - waveStart, /*tid=*/0,
+                "{\"items\": " + std::to_string(take) + "}");
         }
 
         // Sequential join: deterministic regardless of scheduling.
@@ -384,6 +404,8 @@ Enumerator::runParallel(int workers)
         stats += ws.stats;
         outcomes_.merge(ws.outcomes);
     }
+    if (pool)
+        result_.registry.add(stats::Ctr::Steals, pool->stealCount());
 }
 
 std::vector<EnumerationResult>

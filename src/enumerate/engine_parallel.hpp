@@ -16,6 +16,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -51,6 +52,17 @@ class WorkStealingPool
 
     int workers() const { return static_cast<int>(threads_.size()); }
 
+    /**
+     * Successful steals over the pool's lifetime (telemetry: the
+     * value depends on scheduling luck and is never part of any
+     * determinism contract).
+     */
+    std::uint64_t
+    stealCount() const
+    {
+        return steals_.load(std::memory_order_relaxed);
+    }
+
   private:
     struct WorkerQueue
     {
@@ -73,6 +85,7 @@ class WorkStealingPool
     std::size_t pending_ = 0;      ///< items not yet finished
     bool stop_ = false;
     std::exception_ptr error_;
+    std::atomic<std::uint64_t> steals_{0};
 };
 
 } // namespace satom

@@ -1,0 +1,161 @@
+#include "fuzz/journal.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace satom::fuzz
+{
+
+bool
+verdictFromString(const std::string &s, Verdict &out)
+{
+    for (Verdict v :
+         {Verdict::Pass, Verdict::Fail, Verdict::Inconclusive}) {
+        if (s == toString(v)) {
+            out = v;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+encodeDetail(const std::string &s)
+{
+    if (s.empty())
+        return "~";
+    std::string out;
+    char buf[4];
+    for (unsigned char c : s) {
+        if (c <= ' ' || c == '%' || c == '~' || c >= 127) {
+            std::snprintf(buf, sizeof buf, "%%%02X", c);
+            out += buf;
+        } else {
+            out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+bool
+decodeDetail(const std::string &s, std::string &out)
+{
+    out.clear();
+    if (s == "~")
+        return true;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '%') {
+            out += s[i];
+            continue;
+        }
+        // Both escape chars must exist and be hex before they reach
+        // stoi: a truncated trailing "%"/"%X" or a "%GG" is journal
+        // corruption, not a decodable token.
+        if (i + 2 >= s.size() ||
+            !std::isxdigit(static_cast<unsigned char>(s[i + 1])) ||
+            !std::isxdigit(static_cast<unsigned char>(s[i + 2]))) {
+            out.clear();
+            return false;
+        }
+        out += static_cast<char>(
+            std::stoi(s.substr(i + 1, 2), nullptr, 16));
+        i += 2;
+    }
+    return true;
+}
+
+std::string
+journalLine(const SeedRecord &r)
+{
+    std::ostringstream out;
+    out << journalVersion << ' ' << r.seed << ' ' << r.threads << ' '
+        << r.instructions << ' ' << toString(r.verdict) << ' '
+        << toString(r.truncation) << ' ' << r.states << ' '
+        << r.outcomes << ' ' << r.stats.serialize() << ' '
+        << r.results.size();
+    for (const auto &d : r.results) {
+        out << ' ' << toString(d.oracle) << ' ' << toString(d.verdict)
+            << ' ' << toString(d.truncation) << ' '
+            << d.statesExplored << ' ' << d.outcomesCompared << ' '
+            << encodeDetail(d.detail);
+    }
+    return out.str();
+}
+
+bool
+parseJournalLine(const std::string &line, SeedRecord &r)
+{
+    std::istringstream in(line);
+    int version = 0;
+    std::string verdict, trunc;
+    std::size_t nresults = 0;
+    if (!(in >> version) || version != journalVersion)
+        return false;
+    if (!(in >> r.seed >> r.threads >> r.instructions >> verdict >>
+          trunc >> r.states >> r.outcomes))
+        return false;
+    if (!verdictFromString(verdict, r.verdict) ||
+        !truncationFromString(trunc, r.truncation))
+        return false;
+    if (!r.stats.deserialize(in))
+        return false;
+    if (!(in >> nresults))
+        return false;
+    r.results.clear();
+    for (std::size_t i = 0; i < nresults; ++i) {
+        Discrepancy d;
+        std::string oracle, v, t, detail;
+        if (!(in >> oracle >> v >> t >> d.statesExplored >>
+              d.outcomesCompared >> detail))
+            return false;
+        if (!oracleFromString(oracle, d.oracle) ||
+            !verdictFromString(v, d.verdict) ||
+            !truncationFromString(t, d.truncation))
+            return false;
+        if (!decodeDetail(detail, d.detail))
+            return false;
+        r.results.push_back(std::move(d));
+    }
+    r.fromJournal = true;
+    return true;
+}
+
+JournalLoad
+loadJournal(const std::string &path, const std::string &fingerprint)
+{
+    JournalLoad load;
+    std::ifstream f(path);
+    if (!f)
+        return load; // no journal yet: nothing to resume, not an error
+    std::string line;
+    bool first = true;
+    while (std::getline(f, line)) {
+        if (first) {
+            first = false;
+            if (line.rfind("#cfg ", 0) == 0) {
+                load.journalCfg = line.substr(5);
+                if (load.journalCfg != fingerprint) {
+                    load.ok = false;
+                    return load;
+                }
+                continue;
+            }
+        }
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            ++load.corruptLines; // an unexpected header mid-file
+            continue;
+        }
+        SeedRecord r;
+        if (parseJournalLine(line, r))
+            load.seeds[r.seed] = std::move(r);
+        else
+            ++load.corruptLines;
+    }
+    return load;
+}
+
+} // namespace satom::fuzz

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The completed-seed journal behind satom_fuzz's crash-safe
+ * campaigns, extracted into the library so its corruption handling is
+ * unit-testable (tests/test_fuzz.cpp) instead of living only behind
+ * the driver's CLI.
+ *
+ * One line per finished seed, appended and flushed before the next
+ * seed retires, so a campaign killed at any instant loses at most the
+ * seeds still in flight.  The format is a versioned, whitespace-
+ * separated record; free-text details are percent-encoded into a
+ * single token ("~" encodes the empty string).  A `#cfg` header line
+ * fingerprints the campaign configuration: --resume refuses a journal
+ * written under different flags, because mixing configurations would
+ * silently corrupt the report-identity invariant.
+ *
+ * Robustness contract: a corrupt record — the torn tail a SIGKILL can
+ * leave, a truncated percent-escape, a version from another build —
+ * must NEVER throw out of the loader.  parseJournalLine answers false
+ * and loadJournal counts the line as corrupt and moves on; the seed
+ * simply recomputes.  (The seed PR shipped a decoder that fed
+ * unvalidated chars to `std::stoi(..., 16)`, so one corrupt escape
+ * killed the whole --resume with an uncaught std::invalid_argument.)
+ *
+ * Version history:
+ *  - 1: seed summary + per-oracle results (PR 3).
+ *  - 2: + the seed's merged deterministic stats counters
+ *       (StatsRegistry::serialize), so resumed seeds reproduce the
+ *       same per-seed "stats" JSON without recomputing.  v1 lines
+ *       fail to parse under v2 and rerun — safe, never wrong.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracle.hpp"
+#include "util/run_control.hpp"
+#include "util/stats.hpp"
+
+namespace satom::fuzz
+{
+
+/** Journal record version written by this build. */
+constexpr int journalVersion = 2;
+
+/** Everything one campaign seed produced. */
+struct SeedRecord
+{
+    std::uint32_t seed = 0;
+    int threads = 0;
+    int instructions = 0;
+    Verdict verdict = Verdict::Pass;
+    Truncation truncation = Truncation::None;
+    long states = 0;
+    long outcomes = 0;
+
+    /** Merged deterministic counters of the seed's oracle runs. */
+    satom::stats::StatsRegistry stats;
+
+    std::vector<Discrepancy> results;
+    bool fromJournal = false; ///< loaded by --resume, not recomputed
+    bool retried = false;     ///< watchdog retry happened (stdout only)
+};
+
+/** Parse a report verdict name ("pass"/"fail"/...); false if unknown. */
+bool verdictFromString(const std::string &s, Verdict &out);
+
+/** Percent-encode @p s into one whitespace-free journal token. */
+std::string encodeDetail(const std::string &s);
+
+/**
+ * Decode a journal detail token into @p out.  False — with @p out
+ * cleared — on a malformed escape (non-hex chars, or a truncated
+ * trailing "%"/"%X"): the caller must treat the record as corrupt.
+ */
+bool decodeDetail(const std::string &s, std::string &out);
+
+/** Render @p r as one version-`journalVersion` journal line. */
+std::string journalLine(const SeedRecord &r);
+
+/**
+ * Parse one journal line.  False on any malformed field (wrong
+ * version, bad verdict/truncation name, corrupt detail escape, stats
+ * blob mismatch, missing tokens); @p r is unspecified then and the
+ * caller skips the record.
+ */
+bool parseJournalLine(const std::string &line, SeedRecord &r);
+
+/** Result of reading a campaign journal back. */
+struct JournalLoad
+{
+    /**
+     * False iff the journal exists but its #cfg fingerprint differs
+     * from the current campaign's — resuming would mix configurations
+     * and must be refused.
+     */
+    bool ok = true;
+
+    /** The journal's own fingerprint, for the mismatch message. */
+    std::string journalCfg;
+
+    /** Unparseable (corrupt/torn/old-version) records skipped. */
+    long corruptLines = 0;
+
+    /** Cleanly loaded seeds, by seed number. */
+    std::map<std::uint32_t, SeedRecord> seeds;
+};
+
+/**
+ * Load the journal at @p path.  A missing file is a clean empty load
+ * (nothing to resume).  Corrupt records are counted and skipped —
+ * their seeds recompute; they never abort the resume.
+ */
+JournalLoad loadJournal(const std::string &path,
+                        const std::string &fingerprint);
+
+} // namespace satom::fuzz

@@ -96,6 +96,8 @@ compareEquality(OracleId id, const EnumerationResult &graph,
     d.statesExplored = graph.stats.statesExplored + oper.statesExplored;
     d.outcomesCompared = static_cast<long>(graph.outcomes.size()) +
                          static_cast<long>(oper.outcomes.size());
+    d.stats.merge(graph.registry);
+    d.stats.merge(oper.registry);
 
     const auto g = keys(graph.outcomes);
     const auto o = keys(oper.outcomes);
@@ -165,6 +167,7 @@ runInclusionChain(OracleId id, const Program &p,
         allComplete &= results.back().complete;
         if (firstTrunc == Truncation::None)
             firstTrunc = results.back().truncation;
+        d.stats.merge(results.back().registry);
     }
     d.statesExplored = results.back().stats.statesExplored;
     d.outcomesCompared =
@@ -194,6 +197,7 @@ runWmmRecheck(const Program &p, const OracleOptions &opts)
     const auto r = enumerateBehaviors(p, makeModel(ModelId::WMM), eo);
     d.statesExplored = r.stats.statesExplored;
     d.outcomesCompared = static_cast<long>(r.executions.size());
+    d.stats.merge(r.registry);
     CheckOptions co;
     co.ruleC = true;
     co.maxDynamicPerThread = opts.maxDynamicPerThread;
@@ -263,9 +267,13 @@ toString(Verdict v)
     return "?";
 }
 
+namespace
+{
+
+/** Dispatch table body of runOracle, before the shared bookkeeping. */
 Discrepancy
-runOracle(OracleId id, const Program &program,
-          const OracleOptions &options)
+runOracleImpl(OracleId id, const Program &program,
+              const OracleOptions &options)
 {
     switch (id) {
       case OracleId::ScVsOperational: {
@@ -297,6 +305,17 @@ runOracle(OracleId id, const Program &program,
         return runWmmRecheck(program, options);
     }
     return {};
+}
+
+} // namespace
+
+Discrepancy
+runOracle(OracleId id, const Program &program,
+          const OracleOptions &options)
+{
+    Discrepancy d = runOracleImpl(id, program, options);
+    d.stats.add(stats::Ctr::OracleRuns);
+    return d;
 }
 
 std::vector<Discrepancy>

@@ -31,6 +31,7 @@
 
 #include "isa/program.hpp"
 #include "util/run_control.hpp"
+#include "util/stats.hpp"
 
 namespace satom::fuzz
 {
@@ -87,6 +88,13 @@ struct Discrepancy
 
     /** Outcome-set sizes, summed over both sides. */
     long outcomesCompared = 0;
+
+    /**
+     * Merged named counters of every enumeration behind the oracle
+     * (all sides are serial, so the whole registry is deterministic
+     * and safe to export into the byte-identical fuzz report).
+     */
+    satom::stats::StatsRegistry stats;
 
     bool passed() const { return verdict == Verdict::Pass; }
     bool failed() const { return verdict == Verdict::Fail; }

@@ -93,14 +93,44 @@ class Parser
                isInteger(s.substr(1));
     }
 
+    /**
+     * Checked numeric conversions.  isInteger() only vets the digits,
+     * so a 30-digit immediate or r99999999999 still overflows the
+     * underlying type — surface that as a ParseError with the line
+     * number instead of letting std::out_of_range escape the parser.
+     */
+    long long
+    integerValue(const std::string &digits)
+    {
+        try {
+            return std::stoll(digits);
+        } catch (const std::out_of_range &) {
+            fail("integer '" + digits + "' out of range");
+        }
+    }
+
+    int
+    registerNumber(const std::string &digits,
+                   const std::string &tok)
+    {
+        try {
+            const int r = std::stoi(digits);
+            if (r < 0)
+                fail("bad register '" + tok + "'");
+            return r;
+        } catch (const std::out_of_range &) {
+            fail("register number in '" + tok + "' out of range");
+        }
+    }
+
     /** Parse a value operand: integer, rN or &loc. */
     Operand
     valueOperand(const std::string &tok)
     {
         if (isInteger(tok))
-            return immOp(std::stoll(tok));
+            return immOp(integerValue(tok));
         if (isRegister(tok))
-            return regOp(std::stoi(tok.substr(1)));
+            return regOp(registerNumber(tok.substr(1), tok));
         if (tok.size() > 1 && tok[0] == '&')
             return immOp(location(tok.substr(1)));
         fail("bad value operand '" + tok + "'");
@@ -114,7 +144,7 @@ class Parser
             const std::string inner = tok.substr(1, tok.size() - 2);
             if (!isRegister(inner))
                 fail("bad register address '" + tok + "'");
-            return regOp(std::stoi(inner.substr(1)));
+            return regOp(registerNumber(inner.substr(1), tok));
         }
         return immOp(location(tok));
     }
@@ -124,7 +154,7 @@ class Parser
     {
         if (!isRegister(tok))
             fail("expected register, got '" + tok + "'");
-        return std::stoi(tok.substr(1));
+        return registerNumber(tok.substr(1), tok);
     }
 
     static std::vector<std::string>
@@ -189,7 +219,7 @@ class Parser
         const Addr a = location(tok.substr(0, eq));
         const std::string v = tok.substr(eq + 1);
         if (isInteger(v))
-            pb_.init(a, std::stoll(v));
+            pb_.init(a, integerValue(v));
         else if (v.size() > 1 && v[0] == '&')
             pb_.init(a, location(v.substr(1)));
         else
@@ -344,7 +374,7 @@ class Parser
         const std::string rhs = tok.substr(eq + 1);
         Val v = 0;
         if (isInteger(rhs))
-            v = std::stoll(rhs);
+            v = integerValue(rhs);
         else if (rhs.size() > 1 && rhs[0] == '&')
             v = location(rhs.substr(1));
         else

@@ -112,6 +112,10 @@ class AtomicSearch
         SerializationSearchResult res;
         res.status = dfs();
         res.steps = steps_;
+        res.registry.add(stats::Ctr::SerializationSteps,
+                         static_cast<std::uint64_t>(steps_));
+        res.registry.add(stats::Ctr::GatePolls,
+                         static_cast<std::uint64_t>(steps_));
         if (res.status == SerializationStatus::Exhausted)
             res.truncation = gate_.tripped() != Truncation::None
                                  ? gate_.tripped()

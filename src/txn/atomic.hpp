@@ -29,6 +29,7 @@
 
 #include "core/graph.hpp"
 #include "util/run_control.hpp"
+#include "util/stats.hpp"
 
 namespace satom
 {
@@ -84,6 +85,9 @@ struct SerializationSearchResult
 
     /** DFS steps taken. */
     long steps = 0;
+
+    /** Named-counter view (serialization-steps) of the search. */
+    stats::StatsRegistry registry;
 };
 
 /**

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Checked CLI numeric parsing, shared by litmus_runner and
+ * satom_fuzz.
+ *
+ * `std::atoi("garbage")` returns 0 and `std::stoi` throws — neither
+ * is a usage error the user can act on.  These helpers report failure
+ * (empty input, trailing junk, out-of-range) through a bool so each
+ * tool prints its own "bad value for --flag" message and exits with
+ * its usage convention.
+ */
+
+#pragma once
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace satom::cli
+{
+
+/**
+ * Parse the whole of @p s as a base-10 long into @p out.  False on
+ * empty input, non-numeric characters, trailing junk or overflow;
+ * @p out is untouched on failure.
+ */
+inline bool
+parseLong(const std::string &s, long &out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const long v = std::strtol(s.c_str(), &end, 10);
+    if (errno == ERANGE || end != s.c_str() + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+/** parseLong restricted to int range. */
+inline bool
+parseInt(const std::string &s, int &out)
+{
+    long v = 0;
+    if (!parseLong(s, v))
+        return false;
+    if (v < std::numeric_limits<int>::min() ||
+        v > std::numeric_limits<int>::max())
+        return false;
+    out = static_cast<int>(v);
+    return true;
+}
+
+} // namespace satom::cli

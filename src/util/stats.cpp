@@ -1,0 +1,323 @@
+#include "stats.hpp"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+namespace satom::stats
+{
+
+namespace
+{
+
+constexpr CtrInfo kInfo[numCounters] = {
+    // deterministic
+    {"states-explored", false, true},
+    {"states-generated", false, true},
+    {"states-deduped", false, true},
+    {"states-pruned", false, true},
+    {"txn-aborts", false, true},
+    {"states-stuck", false, true},
+    {"executions", false, true},
+    {"candidate-sets", false, true},
+    {"closure-runs", false, true},
+    {"closure-iterations", false, true},
+    {"closure-edges", false, true},
+    {"finalization-closures", false, true},
+    {"max-graph-nodes", true, true},
+    {"operational-states", false, true},
+    {"operational-steps", false, true},
+    {"serialization-steps", false, true},
+    {"oracle-runs", false, true},
+    // telemetry
+    {"gate-polls", false, false},
+    {"waves", false, false},
+    {"wave-items", false, false},
+    {"max-wave-size", true, false},
+    {"steals", false, false},
+};
+
+} // namespace
+
+const CtrInfo &
+info(Ctr c)
+{
+    return kInfo[static_cast<std::size_t>(c)];
+}
+
+void
+StatsRegistry::merge(const StatsRegistry &o)
+{
+#if SATOM_STATS_ENABLED
+    for (int i = 0; i < numCounters; ++i) {
+        if (kInfo[i].maximum) {
+            if (o.v_[i] > v_[i])
+                v_[i] = o.v_[i];
+        } else {
+            v_[i] += o.v_[i];
+        }
+    }
+#else
+    (void)o;
+#endif
+}
+
+bool
+StatsRegistry::deterministicEquals(const StatsRegistry &o) const
+{
+#if SATOM_STATS_ENABLED
+    for (int i = 0; i < numCounters; ++i)
+        if (kInfo[i].deterministic && v_[i] != o.v_[i])
+            return false;
+#else
+    (void)o;
+#endif
+    return true;
+}
+
+bool
+StatsRegistry::empty() const
+{
+#if SATOM_STATS_ENABLED
+    for (int i = 0; i < numCounters; ++i)
+        if (v_[i] != 0)
+            return false;
+#endif
+    return true;
+}
+
+std::string
+StatsRegistry::table() const
+{
+#if SATOM_STATS_ENABLED
+    std::string out;
+    for (int i = 0; i < numCounters; ++i) {
+        if (v_[i] == 0)
+            continue;
+        std::string name = kInfo[i].name;
+        if (!kInfo[i].deterministic)
+            name += " ~";
+        out += "  ";
+        out += name;
+        // pad to a fixed column so the numbers line up
+        constexpr std::size_t col = 26;
+        if (name.size() + 2 < col)
+            out.append(col - name.size() - 2, ' ');
+        out += std::to_string(v_[i]);
+        out += '\n';
+    }
+    if (out.empty())
+        out = "  (no counters fired)\n";
+    return out;
+#else
+    return "  (stats compiled out; rebuild with -DSATOM_STATS=ON)\n";
+#endif
+}
+
+std::string
+StatsRegistry::json() const
+{
+#if SATOM_STATS_ENABLED
+    std::string out = "{";
+    bool first = true;
+    for (int i = 0; i < numCounters; ++i) {
+        if (!kInfo[i].deterministic || v_[i] == 0)
+            continue;
+        if (!first)
+            out += ", ";
+        first = false;
+        out += '"';
+        out += kInfo[i].name;
+        out += "\": ";
+        out += std::to_string(v_[i]);
+    }
+    out += '}';
+    return out;
+#else
+    return "null";
+#endif
+}
+
+std::string
+StatsRegistry::serialize() const
+{
+#if SATOM_STATS_ENABLED
+    int k = 0;
+    for (int i = 0; i < numCounters; ++i)
+        if (kInfo[i].deterministic && v_[i] != 0)
+            ++k;
+    std::string out = std::to_string(k);
+    for (int i = 0; i < numCounters; ++i) {
+        if (!kInfo[i].deterministic || v_[i] == 0)
+            continue;
+        out += ' ';
+        out += std::to_string(i);
+        out += ':';
+        out += std::to_string(v_[i]);
+    }
+    return out;
+#else
+    return "0";
+#endif
+}
+
+bool
+StatsRegistry::deserialize(std::istream &in)
+{
+    long k = 0;
+    if (!(in >> k) || k < 0 || k > numCounters)
+        return false;
+    for (long n = 0; n < k; ++n) {
+        std::string tok;
+        if (!(in >> tok))
+            return false;
+        const std::size_t colon = tok.find(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= tok.size())
+            return false;
+        long idx = -1;
+        unsigned long long val = 0;
+        try {
+            std::size_t done = 0;
+            idx = std::stol(tok.substr(0, colon), &done);
+            if (done != colon)
+                return false;
+            val = std::stoull(tok.substr(colon + 1), &done);
+            if (done != tok.size() - colon - 1)
+                return false;
+        } catch (const std::exception &) {
+            return false;
+        }
+        if (idx < 0 || idx >= numCounters ||
+            !kInfo[idx].deterministic)
+            return false;
+#if SATOM_STATS_ENABLED
+        v_[static_cast<std::size_t>(idx)] = val;
+#else
+        (void)val;
+#endif
+    }
+    return true;
+}
+
+TraceLog::TraceLog()
+#if SATOM_STATS_ENABLED
+    : epoch_(std::chrono::steady_clock::now())
+#endif
+{
+}
+
+std::int64_t
+TraceLog::nowUs() const
+{
+#if SATOM_STATS_ENABLED
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+#else
+    return 0;
+#endif
+}
+
+void
+TraceLog::complete(const std::string &name, const std::string &cat,
+                   std::int64_t tsUs, std::int64_t durUs, int tid,
+                   const std::string &argsJson)
+{
+#if SATOM_STATS_ENABLED
+    std::lock_guard<std::mutex> lock(m_);
+    events_.push_back({name, cat, tsUs, durUs, tid, argsJson});
+#else
+    (void)name;
+    (void)cat;
+    (void)tsUs;
+    (void)durUs;
+    (void)tid;
+    (void)argsJson;
+#endif
+}
+
+std::size_t
+TraceLog::size() const
+{
+#if SATOM_STATS_ENABLED
+    std::lock_guard<std::mutex> lock(m_);
+    return events_.size();
+#else
+    return 0;
+#endif
+}
+
+std::string
+TraceLog::render() const
+{
+#if SATOM_STATS_ENABLED
+    auto escape = [](const std::string &s) {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out;
+    };
+
+    std::lock_guard<std::mutex> lock(m_);
+    std::string out = "{\"traceEvents\": [\n";
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const Event &e = events_[i];
+        out += "  {\"name\": \"" + escape(e.name) +
+               "\", \"cat\": \"" + escape(e.cat) +
+               "\", \"ph\": \"X\", \"ts\": " + std::to_string(e.tsUs) +
+               ", \"dur\": " + std::to_string(e.durUs) +
+               ", \"pid\": 1, \"tid\": " + std::to_string(e.tid);
+        if (!e.argsJson.empty())
+            out += ", \"args\": " + e.argsJson;
+        out += "}";
+        out += i + 1 < events_.size() ? ",\n" : "\n";
+    }
+    out += "]}\n";
+    return out;
+#else
+    return "{\"traceEvents\": []}\n";
+#endif
+}
+
+bool
+TraceLog::writeTo(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    f << render();
+    return static_cast<bool>(f);
+}
+
+PhaseTimer::PhaseTimer(TraceLog *log, std::string name,
+                       std::string cat, int tid)
+#if SATOM_STATS_ENABLED
+    : log_(log), name_(std::move(name)), cat_(std::move(cat)),
+      tid_(tid)
+#endif
+{
+#if SATOM_STATS_ENABLED
+    if (log_)
+        startUs_ = log_->nowUs();
+#else
+    (void)log;
+    (void)name;
+    (void)cat;
+    (void)tid;
+#endif
+}
+
+PhaseTimer::~PhaseTimer()
+{
+#if SATOM_STATS_ENABLED
+    if (log_)
+        log_->complete(name_, cat_, startUs_,
+                       log_->nowUs() - startUs_, tid_);
+#endif
+}
+
+} // namespace satom::stats

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Search observability: per-search counter registries, RAII phase
+ * timers and Chrome trace-event export.
+ *
+ * Every engine in the system (graph enumeration, the parallel wave
+ * loop, the operational machines, the transaction-serialization
+ * search, the differential oracles) is an exponential search, and
+ * after the parallel/fuzzing/run-control layers we can *run* huge
+ * searches but not *see* them.  This layer answers "where do states,
+ * dedup pressure and closure work go" with two instruments:
+ *
+ *  - `StatsRegistry`: a fixed set of named monotonic counters.  Each
+ *    counter is either *deterministic* (a property of the search
+ *    space — states generated/deduped/pruned, candidate sets built,
+ *    closure recomputations — identical for a serial and a parallel
+ *    run of the same job, any worker count) or *telemetry*
+ *    (scheduling-dependent — wave shapes, steal counts, budget-gate
+ *    polls).  Only the deterministic class is exported into reports
+ *    that promise byte-identity (`satom_fuzz --json`, bench JSON);
+ *    the human `--stats` table prints both, telemetry marked `~`.
+ *    Parallel engines keep one registry shard per worker (inside the
+ *    per-worker EnumStats accumulators) and merge shards with the
+ *    same deterministic sequential join that merges outcomes, so the
+ *    registry is as reproducible as the result it describes.
+ *
+ *  - `TraceLog` + `PhaseTimer`: coarse-grained phases (one per model
+ *    enumeration, per operational machine, per frontier wave) recorded
+ *    as Chrome trace-event JSON.  Load the file in about://tracing or
+ *    https://ui.perfetto.dev to see where the wall-clock went.  Timers
+ *    are intentionally coarse: counters answer "how much work", the
+ *    trace answers "when" — per-behavior events would swamp both the
+ *    log and the hot path.
+ *
+ * Zero cost when off: configure with -DSATOM_STATS=OFF and every
+ * method here compiles to an empty inline body (the registries carry
+ * no storage), so the enumeration hot path keeps its numbers.  The
+ * default is ON in every build type; the measured overhead is a few
+ * counter increments per explored behavior (see DESIGN.md §10 for the
+ * Release measurement).
+ */
+
+#pragma once
+
+#ifndef SATOM_STATS_ENABLED
+#define SATOM_STATS_ENABLED 1
+#endif
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace satom::stats
+{
+
+/** True iff the build carries real counters (SATOM_STATS=ON). */
+constexpr bool
+enabled()
+{
+    return SATOM_STATS_ENABLED != 0;
+}
+
+/**
+ * Every counter the system records.  Order is the export order and
+ * the journal serialization order: append new counters at the end of
+ * their class and bump the satom_fuzz journal version (the per-seed
+ * stats ride in journal records; a reordered enum would silently
+ * reshuffle resumed campaigns).
+ */
+enum class Ctr : int
+{
+    // -- deterministic: search-space shape, worker-count independent --
+    StatesExplored,     ///< behaviors taken off the worklist
+    StatesGenerated,    ///< behaviors created by Load resolution
+    StatesDeduped,      ///< forks pruned as duplicate Load-Store states
+    StatesPruned,       ///< forks rolled back (Store Atomicity)
+    TxnAborts,          ///< forks discarded for transaction conflicts
+    StatesStuck,        ///< non-terminal behaviors with no eligible Load
+    Executions,         ///< distinct complete executions
+    CandidateSets,      ///< candidates(L) sets built
+    ClosureRuns,        ///< Store Atomicity closure invocations
+    ClosureIterations,  ///< closure fixpoint iterations
+    ClosureEdges,       ///< `@` edges inserted by the closure
+    FinalizationCloses, ///< closure re-runs checking last-Store combos
+    MaxGraphNodes,      ///< largest graph encountered (maximum)
+    OperationalStates,  ///< operational-machine states visited
+    OperationalSteps,   ///< operational-machine instructions executed
+    SerializationSteps, ///< txn serialization-search DFS steps
+    OracleRuns,         ///< differential oracles evaluated
+
+    // -- telemetry: scheduling/mode dependent, never byte-compared --
+    GatePolls,          ///< budget-gate polls on the hot loops
+    Waves,              ///< parallel frontier waves dispatched
+    WaveItems,          ///< frontier items processed across all waves
+    MaxWaveSize,        ///< largest single wave (maximum)
+    Steals,             ///< successful work-steals in the pool
+
+    Count_,
+};
+
+constexpr int numCounters = static_cast<int>(Ctr::Count_);
+
+/** Static description of one counter. */
+struct CtrInfo
+{
+    const char *name;   ///< stable report key, e.g. "states-explored"
+    bool maximum;       ///< merges by max instead of sum
+    bool deterministic; ///< identical for serial vs parallel runs
+};
+
+/** Metadata for @p c (valid for every value below Ctr::Count_). */
+const CtrInfo &info(Ctr c);
+
+/**
+ * A per-search set of monotonic counters.  Copyable value type; a
+ * parallel engine gives each worker its own shard and merges them at
+ * the join.  With SATOM_STATS=OFF the class is empty and every method
+ * an inline no-op.
+ */
+class StatsRegistry
+{
+  public:
+    /** Bump counter @p c by @p n (sum semantics). */
+    void
+    add(Ctr c, std::uint64_t n = 1)
+    {
+#if SATOM_STATS_ENABLED
+        v_[static_cast<std::size_t>(c)] += n;
+#else
+        (void)c;
+        (void)n;
+#endif
+    }
+
+    /** Raise maximum-counter @p c to at least @p n. */
+    void
+    peak(Ctr c, std::uint64_t n)
+    {
+#if SATOM_STATS_ENABLED
+        auto &slot = v_[static_cast<std::size_t>(c)];
+        if (n > slot)
+            slot = n;
+#else
+        (void)c;
+        (void)n;
+#endif
+    }
+
+    std::uint64_t
+    get(Ctr c) const
+    {
+#if SATOM_STATS_ENABLED
+        return v_[static_cast<std::size_t>(c)];
+#else
+        (void)c;
+        return 0;
+#endif
+    }
+
+    /** Fold @p o in: sums add, maxima take the larger side. */
+    void merge(const StatsRegistry &o);
+
+    /** Equality over the deterministic counters only. */
+    bool deterministicEquals(const StatsRegistry &o) const;
+
+    /** True iff every counter is zero (also true when compiled out). */
+    bool empty() const;
+
+    /**
+     * Two-column human table of all nonzero counters; telemetry rows
+     * are marked with a trailing `~` (scheduling-dependent).
+     */
+    std::string table() const;
+
+    /**
+     * Deterministic JSON object of the nonzero *deterministic*
+     * counters, in enum order: `{"states-explored": 12, ...}`.  `{}`
+     * when none fired; `null` when stats are compiled out — so a
+     * report's byte-identity contract holds within any one build.
+     */
+    std::string json() const;
+
+    /**
+     * Journal token form of the deterministic counters:
+     * `k i:v i:v ...` (k nonzero entries, enum-index:value pairs).
+     * Compiled-out builds serialize `0`.
+     */
+    std::string serialize() const;
+
+    /**
+     * Parse the token form back from @p in; false on malformed input
+     * (the caller treats the journal record as corrupt).  Counter
+     * indices outside the current enum are rejected, so a journal
+     * from a different schema reruns its seeds instead of loading
+     * garbage.
+     */
+    bool deserialize(std::istream &in);
+
+  private:
+#if SATOM_STATS_ENABLED
+    std::array<std::uint64_t, numCounters> v_{};
+#endif
+};
+
+/**
+ * Collector of Chrome trace events ("traceEvents" JSON).  Thread-safe
+ * (one mutex per log; events are coarse so contention is nil).  The
+ * timebase is the log's construction instant, so timestamps start
+ * near zero.
+ */
+class TraceLog
+{
+  public:
+    TraceLog();
+
+    /** Microseconds since the log was created. */
+    std::int64_t nowUs() const;
+
+    /**
+     * Record a complete ("ph":"X") event covering
+     * [@p tsUs, @p tsUs + @p durUs].  @p argsJson, when nonempty, must
+     * be a JSON object literal and lands in the event's "args".
+     */
+    void complete(const std::string &name, const std::string &cat,
+                  std::int64_t tsUs, std::int64_t durUs, int tid = 0,
+                  const std::string &argsJson = "");
+
+    /** Number of events recorded so far. */
+    std::size_t size() const;
+
+    /** Render the whole log as a Chrome trace-event JSON document. */
+    std::string render() const;
+
+    /** Write render() to @p path; false on I/O failure. */
+    bool writeTo(const std::string &path) const;
+
+  private:
+#if SATOM_STATS_ENABLED
+    struct Event
+    {
+        std::string name;
+        std::string cat;
+        std::int64_t tsUs;
+        std::int64_t durUs;
+        int tid;
+        std::string argsJson;
+    };
+
+    std::chrono::steady_clock::time_point epoch_;
+    mutable std::mutex m_;
+    std::vector<Event> events_;
+#endif
+};
+
+/**
+ * RAII phase timer: records one complete event on @p log (nullptr =
+ * inert, no clock reads) covering the scope's lifetime.
+ */
+class PhaseTimer
+{
+  public:
+    PhaseTimer(TraceLog *log, std::string name,
+               std::string cat = "phase", int tid = 0);
+    ~PhaseTimer();
+
+    PhaseTimer(const PhaseTimer &) = delete;
+    PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+  private:
+#if SATOM_STATS_ENABLED
+    TraceLog *log_;
+    std::string name_;
+    std::string cat_;
+    int tid_;
+    std::int64_t startUs_ = 0;
+#endif
+};
+
+} // namespace satom::stats

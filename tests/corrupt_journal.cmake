@@ -1,0 +1,25 @@
+# Corrupts a satom_fuzz campaign journal in place, simulating the
+# damage a crash or disk fault can leave behind: the last record is
+# replaced by (a) a garbage record with an invalid percent-escape and
+# (b) a torn prefix of the original line.  The driver's --resume must
+# skip both and recompute that seed — the corrupt_journal ctest chain
+# then byte-compares the resumed report against an uninterrupted run.
+#
+# Usage: cmake -DJOURNAL=<path> -P corrupt_journal.cmake
+if(NOT JOURNAL)
+    message(FATAL_ERROR "pass -DJOURNAL=<path>")
+endif()
+file(STRINGS "${JOURNAL}" lines)
+list(LENGTH lines n)
+if(n LESS 2)
+    message(FATAL_ERROR "journal ${JOURNAL} too short to corrupt")
+endif()
+math(EXPR last "${n} - 1")
+list(GET lines ${last} lastline)
+list(REMOVE_AT lines ${last})
+string(SUBSTRING "${lastline}" 0 25 torn)
+list(APPEND lines "2 999 garbage %GG record")
+list(APPEND lines "${torn}")
+string(JOIN "\n" out ${lines})
+file(WRITE "${JOURNAL}" "${out}\n")
+message(STATUS "corrupted last record of ${JOURNAL}")

@@ -15,10 +15,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "isa/builder.hpp"
 
 #include "enumerate/engine.hpp"
 #include "fuzz/generator.hpp"
+#include "fuzz/journal.hpp"
 #include "fuzz/oracle.hpp"
 
 namespace satom
@@ -173,6 +177,125 @@ TEST(OracleIncompleteness, UncappedRunsPass)
     for (const auto &d : fuzz::runOracles(p))
         EXPECT_EQ(d.verdict, Verdict::Pass)
             << toString(d.oracle) << ": " << d.detail;
+}
+
+// ---------------------------------------------------------------
+// The campaign journal (src/fuzz/journal.hpp): corrupt records must
+// be skipped, never thrown through --resume.
+// ---------------------------------------------------------------
+
+TEST(Journal, DetailEncodingRoundTrips)
+{
+    for (const std::string s :
+         {std::string(), std::string("plain"),
+          std::string("spaces and\ttabs\nnewlines"),
+          std::string("100%~tilde"), std::string("\x01\x7f\xff")}) {
+        std::string back;
+        ASSERT_TRUE(fuzz::decodeDetail(fuzz::encodeDetail(s), back))
+            << fuzz::encodeDetail(s);
+        EXPECT_EQ(back, s);
+    }
+}
+
+TEST(Journal, MalformedEscapesAreCorruptionNotCrashes)
+{
+    // The seed PR fed these to std::stoi(..., 16) unvalidated: "%GG"
+    // threw std::invalid_argument out of the journal loader and a
+    // single corrupt line killed the whole --resume.
+    std::string out;
+    for (const std::string s :
+         {std::string("%GG"), std::string("abc%GGdef"),
+          std::string("%"), std::string("x%"), std::string("%A"),
+          std::string("%4"), std::string("%%41")}) {
+        EXPECT_FALSE(fuzz::decodeDetail(s, out)) << s;
+        EXPECT_TRUE(out.empty());
+    }
+}
+
+TEST(Journal, LinesRoundTripWithStats)
+{
+    fuzz::SeedRecord r;
+    r.seed = 42;
+    r.threads = 3;
+    r.instructions = 9;
+    r.verdict = fuzz::Verdict::Fail;
+    r.truncation = Truncation::StateCap;
+    r.states = 100;
+    r.outcomes = 7;
+    r.stats.add(stats::Ctr::StatesExplored, 100);
+    r.stats.peak(stats::Ctr::MaxGraphNodes, 12);
+    fuzz::Discrepancy d;
+    d.oracle = OracleId::ScVsOperational;
+    d.verdict = fuzz::Verdict::Fail;
+    d.truncation = Truncation::StateCap;
+    d.statesExplored = 100;
+    d.outcomesCompared = 7;
+    d.detail = "outcome 1/0 only on one side\n(100% mismatch)";
+    r.results.push_back(d);
+
+    fuzz::SeedRecord back;
+    ASSERT_TRUE(fuzz::parseJournalLine(fuzz::journalLine(r), back));
+    EXPECT_EQ(back.seed, r.seed);
+    EXPECT_EQ(back.threads, r.threads);
+    EXPECT_EQ(back.verdict, r.verdict);
+    EXPECT_EQ(back.truncation, r.truncation);
+    EXPECT_EQ(back.states, r.states);
+    EXPECT_TRUE(back.fromJournal);
+    EXPECT_TRUE(back.stats.deterministicEquals(r.stats));
+    ASSERT_EQ(back.results.size(), 1u);
+    EXPECT_EQ(back.results[0].detail, d.detail);
+}
+
+TEST(Journal, OldVersionAndTornLinesAreRejected)
+{
+    fuzz::SeedRecord r;
+    // A v1 line (the pre-stats format, no serialized registry).
+    EXPECT_FALSE(fuzz::parseJournalLine(
+        "1 5 2 6 pass none 10 3 0", r));
+    // Torn tails of a valid v2 line, as a SIGKILL mid-append leaves.
+    // The detail ends in an escaped char, so cutting inside the final
+    // token leaves a half escape ("%7") the decoder must reject.
+    fuzz::SeedRecord full;
+    full.seed = 5;
+    fuzz::Discrepancy d;
+    d.detail = "tail~";
+    full.results.push_back(d);
+    const std::string line = fuzz::journalLine(full);
+    for (std::size_t cut :
+         {line.size() - 1, line.size() - 2, std::size_t{3}})
+        EXPECT_FALSE(
+            fuzz::parseJournalLine(line.substr(0, cut), r))
+            << line.substr(0, cut);
+}
+
+TEST(Journal, LoadSkipsCorruptLinesAndCountsThem)
+{
+    const std::string path =
+        testing::TempDir() + "/satom_journal_corrupt_test";
+    const std::string cfg = "seeds=1..3 test-fingerprint";
+    fuzz::SeedRecord a, b;
+    a.seed = 1;
+    b.seed = 2;
+    {
+        std::ofstream f(path, std::ios::trunc);
+        f << "#cfg " << cfg << '\n'
+          << fuzz::journalLine(a) << '\n'
+          << "2 999 this line is garbage\n"
+          << fuzz::journalLine(b) << '\n'
+          << fuzz::journalLine(b).substr(0, 9); // torn tail
+    }
+    const fuzz::JournalLoad load = fuzz::loadJournal(path, cfg);
+    EXPECT_TRUE(load.ok);
+    EXPECT_EQ(load.corruptLines, 2);
+    EXPECT_EQ(load.seeds.size(), 2u);
+    EXPECT_TRUE(load.seeds.count(1));
+    EXPECT_TRUE(load.seeds.count(2));
+
+    // A fingerprint mismatch refuses the whole resume.
+    const fuzz::JournalLoad bad = fuzz::loadJournal(path, "other");
+    EXPECT_FALSE(bad.ok);
+    EXPECT_EQ(bad.journalCfg, cfg);
+    std::remove(path.c_str());
 }
 
 } // namespace

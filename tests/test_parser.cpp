@@ -251,5 +251,42 @@ TEST(Parser, MissingFileThrows)
                  ParseError);
 }
 
+TEST(Parser, OutOfRangeNumbersAreParseErrors)
+{
+    // These used to escape as uncaught std::out_of_range from
+    // std::stoi/std::stoll and kill the process; the conversions are
+    // checked now, so a fuzzed or fat-fingered file diagnoses like
+    // any other syntax error.
+    expectParseError("thread P0\n  ld r99999999999, x",
+                     "out of range");
+    expectParseError("thread P0\n  st x, r99999999999",
+                     "out of range");
+    expectParseError("thread P0\n  ld r1, [r99999999999]",
+                     "out of range");
+    expectParseError(
+        "thread P0\n  st x, 999999999999999999999999999999",
+        "out of range");
+    expectParseError("init x=999999999999999999999999999999",
+                     "out of range");
+    expectParseError(
+        "thread P0\n  st x, 1\n"
+        "exists P0:r1=999999999999999999999999999999",
+        "out of range");
+}
+
+TEST(Parser, OutOfRangeNumbersCarryLineNumbers)
+{
+    expectParseError("name t\nthread P0\n  ld r99999999999, x",
+                     "line 3");
+}
+
+TEST(Parser, NegativeRegisterNumbersAreRejected)
+{
+    // "r-5" used to slip through as register -5 because the integer
+    // scanner accepts a sign.
+    expectParseError("thread P0\n  ld r1, [r-5]", "bad register");
+    expectParseError("thread P0\n  st x, r-5", "bad register");
+}
+
 } // namespace
 } // namespace satom

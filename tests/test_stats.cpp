@@ -1,0 +1,268 @@
+/**
+ * @file
+ * The observability layer: StatsRegistry mechanics, the determinism
+ * partition (deterministic counters identical for every worker
+ * count, telemetry exempt), trace rendering, and the checked CLI
+ * number parsing shared by the drivers.
+ *
+ * The headline invariant pinned here is the one the exports rely on:
+ * a search's deterministic counters describe the search space, not
+ * the schedule, so `--workers N` never changes an exported stats
+ * object (fuzz report, bench record, litmus_runner --json).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "enumerate/engine.hpp"
+#include "litmus/library.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+namespace satom
+{
+namespace
+{
+
+using stats::Ctr;
+using stats::StatsRegistry;
+
+TEST(StatsRegistry, AddPeakGet)
+{
+    if (!stats::enabled())
+        GTEST_SKIP() << "built with SATOM_STATS=OFF";
+    StatsRegistry r;
+    EXPECT_TRUE(r.empty());
+    r.add(Ctr::StatesExplored);
+    r.add(Ctr::StatesExplored, 4);
+    r.peak(Ctr::MaxGraphNodes, 7);
+    r.peak(Ctr::MaxGraphNodes, 3); // below the peak: no effect
+    EXPECT_EQ(r.get(Ctr::StatesExplored), 5u);
+    EXPECT_EQ(r.get(Ctr::MaxGraphNodes), 7u);
+    EXPECT_FALSE(r.empty());
+}
+
+TEST(StatsRegistry, MergeSumsCountersAndMaxesPeaks)
+{
+    if (!stats::enabled())
+        GTEST_SKIP() << "built with SATOM_STATS=OFF";
+    StatsRegistry a, b;
+    a.add(Ctr::Executions, 3);
+    a.peak(Ctr::MaxGraphNodes, 10);
+    b.add(Ctr::Executions, 4);
+    b.peak(Ctr::MaxGraphNodes, 6);
+    a.merge(b);
+    EXPECT_EQ(a.get(Ctr::Executions), 7u);
+    EXPECT_EQ(a.get(Ctr::MaxGraphNodes), 10u); // max, not sum
+}
+
+TEST(StatsRegistry, DeterministicEqualsIgnoresTelemetry)
+{
+    if (!stats::enabled())
+        GTEST_SKIP() << "built with SATOM_STATS=OFF";
+    StatsRegistry a, b;
+    a.add(Ctr::StatesExplored, 9);
+    b.add(Ctr::StatesExplored, 9);
+    // Scheduling telemetry differs wildly between runs; it must not
+    // break equality.
+    a.add(Ctr::GatePolls, 100);
+    a.add(Ctr::Steals, 5);
+    b.add(Ctr::GatePolls, 7);
+    EXPECT_TRUE(a.deterministicEquals(b));
+    b.add(Ctr::StatesExplored, 1);
+    EXPECT_FALSE(a.deterministicEquals(b));
+}
+
+TEST(StatsRegistry, SerializeRoundTrips)
+{
+    if (!stats::enabled())
+        GTEST_SKIP() << "built with SATOM_STATS=OFF";
+    StatsRegistry a;
+    a.add(Ctr::StatesExplored, 123);
+    a.add(Ctr::ClosureEdges, 45678901234ull);
+    a.peak(Ctr::MaxGraphNodes, 17);
+    a.add(Ctr::GatePolls, 9); // telemetry: not serialized
+    std::istringstream in(a.serialize());
+    StatsRegistry b;
+    ASSERT_TRUE(b.deserialize(in));
+    EXPECT_TRUE(a.deterministicEquals(b));
+    EXPECT_EQ(b.get(Ctr::ClosureEdges), 45678901234ull);
+    EXPECT_EQ(b.get(Ctr::GatePolls), 0u);
+}
+
+TEST(StatsRegistry, DeserializeRejectsMalformedStreams)
+{
+    if (!stats::enabled())
+        GTEST_SKIP() << "built with SATOM_STATS=OFF";
+    const auto rejects = [](const std::string &s) {
+        std::istringstream in(s);
+        StatsRegistry r;
+        EXPECT_FALSE(r.deserialize(in)) << "accepted: " << s;
+    };
+    rejects("");           // missing count
+    rejects("x");          // non-numeric count
+    rejects("1");          // count without entries
+    rejects("1 0");        // entry without ':'
+    rejects("1 0:x");      // non-numeric value
+    rejects("1 999:1");    // index out of range
+    rejects("2 0:1");      // fewer entries than announced
+    // Telemetry counters never appear in the serialized form; an
+    // index pointing at one is corruption.
+    rejects("1 " + std::to_string(static_cast<int>(Ctr::GatePolls)) +
+            ":5");
+}
+
+TEST(StatsRegistry, JsonListsDeterministicCountersOnly)
+{
+    StatsRegistry r;
+    if (!stats::enabled()) {
+        EXPECT_EQ(r.json(), "null");
+        return;
+    }
+    EXPECT_EQ(r.json(), "{}");
+    r.add(Ctr::StatesExplored, 2);
+    r.add(Ctr::GatePolls, 50);
+    const std::string j = r.json();
+    EXPECT_NE(j.find("\"states-explored\": 2"), std::string::npos);
+    EXPECT_EQ(j.find("gate-polls"), std::string::npos);
+}
+
+TEST(StatsRegistry, TableMarksTelemetry)
+{
+    if (!stats::enabled())
+        GTEST_SKIP() << "built with SATOM_STATS=OFF";
+    StatsRegistry r;
+    r.add(Ctr::Executions, 3);
+    r.add(Ctr::Steals, 2);
+    const std::string t = r.table();
+    EXPECT_NE(t.find("executions"), std::string::npos);
+    EXPECT_NE(t.find("steals ~"), std::string::npos);
+}
+
+TEST(TraceLog, RendersChromeTraceEvents)
+{
+    stats::TraceLog log;
+    log.complete("wave 1", "wave", 10, 25, 0, "{\"items\": 4}");
+    {
+        stats::PhaseTimer t(&log, "phase \"x\"", "engine");
+    }
+    EXPECT_EQ(log.size(), 2u);
+    const std::string j = log.render();
+    EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(j.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(j.find("\"args\": {\"items\": 4}"), std::string::npos);
+    EXPECT_NE(j.find("phase \\\"x\\\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// The determinism contract across the engines.
+// ---------------------------------------------------------------
+
+TEST(StatsDeterminism, SerialAndParallelSearchesAgree)
+{
+    // The deterministic counters describe the search space: the same
+    // states are explored, deduped and closed no matter how the wave
+    // loop schedules them, so serial and 4-worker runs must export
+    // identical registries (this is what makes per-seed stats safe
+    // inside the byte-identical fuzz report).
+    int checked = 0;
+    for (const auto &t : litmus::allTests()) {
+        if (checked >= 6)
+            break;
+        for (ModelId id : {ModelId::SC, ModelId::WMM}) {
+            const MemoryModel m = makeModel(id);
+            EnumerationOptions serial;
+            serial.numWorkers = 1;
+            EnumerationOptions par;
+            par.numWorkers = 4;
+            const auto a = enumerateBehaviors(t.program, m, serial);
+            const auto b = enumerateBehaviors(t.program, m, par);
+            EXPECT_EQ(a.outcomes, b.outcomes) << t.name;
+            EXPECT_TRUE(a.registry.deterministicEquals(b.registry))
+                << t.name << " under " << m.name << ":\nserial:\n"
+                << a.registry.table() << "parallel:\n"
+                << b.registry.table();
+        }
+        ++checked;
+    }
+    EXPECT_GE(checked, 6);
+}
+
+TEST(StatsDeterminism, RegistriesFireDuringEnumeration)
+{
+    if (!stats::enabled())
+        GTEST_SKIP() << "built with SATOM_STATS=OFF";
+    const auto tests = litmus::allTests(); // returned by value
+    const auto r = enumerateBehaviors(tests.front().program,
+                                      makeModel(ModelId::SC));
+    EXPECT_GT(r.registry.get(Ctr::StatesExplored), 0u);
+    EXPECT_GT(r.registry.get(Ctr::Executions), 0u);
+    EXPECT_GT(r.registry.get(Ctr::MaxGraphNodes), 0u);
+    EXPECT_EQ(r.registry.get(Ctr::Executions),
+              static_cast<std::uint64_t>(r.stats.executions));
+}
+
+TEST(StatsDeterminism, BatchCountersSumOverJobs)
+{
+    if (!stats::enabled())
+        GTEST_SKIP() << "built with SATOM_STATS=OFF";
+    // enumerateBatch runs each job like a lone enumeration; merging
+    // the per-job registries must reproduce the sum of individual
+    // runs (nothing is lost or double-counted by the fan-out).
+    const auto &tests = litmus::allTests();
+    ASSERT_GE(tests.size(), 3u);
+    const MemoryModel m = makeModel(ModelId::WMM);
+    std::vector<EnumerationJob> jobs;
+    for (std::size_t i = 0; i < 3; ++i)
+        jobs.push_back({&tests[i].program, &m});
+    EnumerationOptions opts;
+    opts.numWorkers = 2;
+    const auto rs = enumerateBatch(jobs, opts);
+    ASSERT_EQ(rs.size(), 3u);
+    StatsRegistry merged;
+    for (const auto &r : rs)
+        merged.merge(r.registry);
+    StatsRegistry expected;
+    for (std::size_t i = 0; i < 3; ++i)
+        expected.merge(
+            enumerateBehaviors(tests[i].program, m).registry);
+    EXPECT_TRUE(merged.deterministicEquals(expected))
+        << "batch:\n"
+        << merged.table() << "individual:\n"
+        << expected.table();
+}
+
+// ---------------------------------------------------------------
+// The checked CLI number parsing the drivers share.
+// ---------------------------------------------------------------
+
+TEST(CliParse, AcceptsPlainIntegers)
+{
+    int i = 0;
+    long l = 0;
+    EXPECT_TRUE(cli::parseInt("42", i));
+    EXPECT_EQ(i, 42);
+    EXPECT_TRUE(cli::parseInt("-7", i));
+    EXPECT_EQ(i, -7);
+    EXPECT_TRUE(cli::parseLong("123456789", l));
+    EXPECT_EQ(l, 123456789L);
+}
+
+TEST(CliParse, RejectsGarbageOverflowAndTrailingJunk)
+{
+    int i = 99;
+    long l = 99;
+    EXPECT_FALSE(cli::parseInt("", i));
+    EXPECT_FALSE(cli::parseInt("abc", i));
+    EXPECT_FALSE(cli::parseInt("12abc", i));
+    EXPECT_FALSE(cli::parseInt("99999999999999999999", i));
+    EXPECT_FALSE(cli::parseLong("99999999999999999999", l));
+    EXPECT_FALSE(cli::parseLong("1 2", l));
+    // Failed parses leave the output untouched.
+    EXPECT_EQ(i, 99);
+    EXPECT_EQ(l, 99);
+}
+
+} // namespace
+} // namespace satom

@@ -58,9 +58,12 @@
 #include "enumerate/engine_parallel.hpp"
 #include "fuzz/emit.hpp"
 #include "fuzz/generator.hpp"
+#include "fuzz/journal.hpp"
 #include "fuzz/oracle.hpp"
 #include "fuzz/shrink.hpp"
+#include "util/cli.hpp"
 #include "util/run_control.hpp"
+#include "util/stats.hpp"
 
 namespace
 {
@@ -85,20 +88,10 @@ struct DriverConfig
     std::vector<fuzz::OracleId> oracles; ///< empty = all
 };
 
-/** Per-seed slot filled by exactly one worker (or the journal). */
-struct SeedRecord
-{
-    std::uint32_t seed = 0;
-    int threads = 0;
-    int instructions = 0;
-    fuzz::Verdict verdict = fuzz::Verdict::Pass;
-    Truncation truncation = Truncation::None;
-    long states = 0;
-    long outcomes = 0;
-    std::vector<fuzz::Discrepancy> results;
-    bool fromJournal = false; ///< loaded by --resume, not recomputed
-    bool retried = false;     ///< watchdog retry happened (stdout only)
-};
+// The per-seed slot (fuzz::SeedRecord) and the completed-seed journal
+// live in src/fuzz/journal.{hpp,cpp} since the stats PR, so the
+// corrupt-line handling is unit-testable.
+using fuzz::SeedRecord;
 
 int
 usage()
@@ -192,70 +185,6 @@ worstTruncation(const std::vector<fuzz::Discrepancy> &results)
     return worst;
 }
 
-bool
-verdictFromString(const std::string &s, fuzz::Verdict &out)
-{
-    for (fuzz::Verdict v :
-         {fuzz::Verdict::Pass, fuzz::Verdict::Fail,
-          fuzz::Verdict::Inconclusive}) {
-        if (s == toString(v)) {
-            out = v;
-            return true;
-        }
-    }
-    return false;
-}
-
-// --------------------------------------------------------------------
-// Completed-seed journal.
-//
-// One line per finished seed, appended and flushed before the next
-// seed retires, so a campaign killed at any instant loses at most the
-// seeds that were still in flight.  The format is a versioned,
-// whitespace-separated record; free-text details are percent-encoded
-// into a single token ("~" encodes the empty string).  A `#cfg`
-// header line fingerprints the campaign configuration: --resume
-// refuses a journal written under different flags, because mixing
-// configurations would silently corrupt the report-identity
-// invariant.
-// --------------------------------------------------------------------
-
-std::string
-encodeDetail(const std::string &s)
-{
-    if (s.empty())
-        return "~";
-    std::string out;
-    char buf[4];
-    for (unsigned char c : s) {
-        if (c <= ' ' || c == '%' || c == '~' || c >= 127) {
-            std::snprintf(buf, sizeof buf, "%%%02X", c);
-            out += buf;
-        } else {
-            out += static_cast<char>(c);
-        }
-    }
-    return out;
-}
-
-std::string
-decodeDetail(const std::string &s)
-{
-    if (s == "~")
-        return "";
-    std::string out;
-    for (std::size_t i = 0; i < s.size(); ++i) {
-        if (s[i] == '%' && i + 2 < s.size()) {
-            out += static_cast<char>(
-                std::stoi(s.substr(i + 1, 2), nullptr, 16));
-            i += 2;
-        } else {
-            out += s[i];
-        }
-    }
-    return out;
-}
-
 /** Flag fingerprint guarding --resume against mismatched campaigns. */
 std::string
 configFingerprint(const DriverConfig &cfg,
@@ -272,100 +201,11 @@ configFingerprint(const DriverConfig &cfg,
         << " budget=" << cfg.oracle.maxDynamicPerThread
         << " graph-states=" << cfg.oracle.maxGraphStates
         << " oper-states=" << cfg.oracle.maxOperationalStates
-        << " seed-timeout-ms=" << cfg.seedTimeoutMs << " oracles=";
+        << " seed-timeout-ms=" << cfg.seedTimeoutMs
+        << " stats=" << (stats::enabled() ? 1 : 0) << " oracles=";
     for (fuzz::OracleId id : oracles)
         out << toString(id) << ',';
     return out.str();
-}
-
-std::string
-journalLine(const SeedRecord &r)
-{
-    std::ostringstream out;
-    out << "1 " << r.seed << ' ' << r.threads << ' '
-        << r.instructions << ' ' << toString(r.verdict) << ' '
-        << toString(r.truncation) << ' ' << r.states << ' '
-        << r.outcomes << ' ' << r.results.size();
-    for (const auto &d : r.results) {
-        out << ' ' << toString(d.oracle) << ' ' << toString(d.verdict)
-            << ' ' << toString(d.truncation) << ' '
-            << d.statesExplored << ' ' << d.outcomesCompared << ' '
-            << encodeDetail(d.detail);
-    }
-    return out.str();
-}
-
-bool
-parseJournalLine(const std::string &line, SeedRecord &r)
-{
-    std::istringstream in(line);
-    int version = 0;
-    std::string verdict, trunc;
-    std::size_t nresults = 0;
-    if (!(in >> version) || version != 1)
-        return false;
-    if (!(in >> r.seed >> r.threads >> r.instructions >> verdict >>
-          trunc >> r.states >> r.outcomes >> nresults))
-        return false;
-    if (!verdictFromString(verdict, r.verdict) ||
-        !truncationFromString(trunc, r.truncation))
-        return false;
-    r.results.clear();
-    for (std::size_t i = 0; i < nresults; ++i) {
-        fuzz::Discrepancy d;
-        std::string oracle, v, t, detail;
-        if (!(in >> oracle >> v >> t >> d.statesExplored >>
-              d.outcomesCompared >> detail))
-            return false;
-        if (!fuzz::oracleFromString(oracle, d.oracle) ||
-            !verdictFromString(v, d.verdict) ||
-            !truncationFromString(t, d.truncation))
-            return false;
-        d.detail = decodeDetail(detail);
-        r.results.push_back(std::move(d));
-    }
-    r.fromJournal = true;
-    return true;
-}
-
-/**
- * Load journaled seeds into @p loaded.  Returns false (with a
- * message) when the journal exists but was written by a campaign
- * with a different configuration.  Unparseable lines — e.g. the torn
- * tail a SIGKILL can leave — are skipped: the seed simply reruns.
- */
-bool
-loadJournal(const std::string &path, const std::string &fingerprint,
-            std::map<std::uint32_t, SeedRecord> &loaded)
-{
-    std::ifstream f(path);
-    if (!f)
-        return true; // no journal yet: nothing to resume, not an error
-    std::string line;
-    bool first = true;
-    while (std::getline(f, line)) {
-        if (first) {
-            first = false;
-            if (line.rfind("#cfg ", 0) == 0) {
-                if (line.substr(5) != fingerprint) {
-                    std::cerr << "error: journal " << path
-                              << " was written by a campaign with "
-                                 "different flags; refusing --resume\n"
-                              << "  journal: " << line.substr(5)
-                              << "\n  current: " << fingerprint
-                              << '\n';
-                    return false;
-                }
-                continue;
-            }
-        }
-        if (line.empty() || line[0] == '#')
-            continue;
-        SeedRecord r;
-        if (parseJournalLine(line, r))
-            loaded[r.seed] = std::move(r);
-    }
-    return true;
 }
 
 std::string
@@ -377,6 +217,7 @@ renderJson(const DriverConfig &cfg,
 {
     std::string j = "{\n";
     j += "  \"tool\": \"satom_fuzz\",\n";
+    j += "  \"schema\": 2,\n";
     j += "  \"seed_from\": " + std::to_string(cfg.seedFrom) + ",\n";
     j += "  \"seed_to\": " + std::to_string(cfg.seedTo) + ",\n";
     j += "  \"cpus\": " + std::to_string(hostCpus()) + ",\n";
@@ -415,7 +256,8 @@ renderJson(const DriverConfig &cfg,
              "\", \"truncation\": \"" +
              std::string(toString(r.truncation)) +
              "\", \"states\": " + std::to_string(r.states) +
-             ", \"outcomes\": " + std::to_string(r.outcomes) + "}";
+             ", \"outcomes\": " + std::to_string(r.outcomes) +
+             ", \"stats\": " + r.stats.json() + "}";
         j += i + 1 < records.size() ? ",\n" : "\n";
     }
     j += "  ],\n";
@@ -494,9 +336,11 @@ main(int argc, char **argv)
             seedsSet = true;
         } else if (arg == "--workers") {
             const char *v = next();
-            if (!v)
+            if (!v || !cli::parseInt(v, cfg.workers) ||
+                cfg.workers < 0) {
+                std::cerr << "--workers needs an integer >= 0\n";
                 return usage();
-            cfg.workers = std::atoi(v);
+            }
         } else if (arg == "--json") {
             const char *v = next();
             if (!v)
@@ -511,9 +355,12 @@ main(int argc, char **argv)
             cfg.resume = true;
         } else if (arg == "--seed-timeout-ms") {
             const char *v = next();
-            if (!v || std::atol(v) < 1)
+            if (!v || !cli::parseLong(v, cfg.seedTimeoutMs) ||
+                cfg.seedTimeoutMs < 1) {
+                std::cerr << "--seed-timeout-ms needs an integer "
+                             ">= 1\n";
                 return usage();
-            cfg.seedTimeoutMs = std::atol(v);
+            }
         } else if (arg == "--threads" || arg == "--ops") {
             const char *v = next();
             long long a = 0, b = 0;
@@ -530,19 +377,25 @@ main(int argc, char **argv)
             }
         } else if (arg == "--locations") {
             const char *v = next();
-            if (!v || std::atoi(v) < 1)
+            if (!v || !cli::parseInt(v, cfg.gen.numLocations) ||
+                cfg.gen.numLocations < 1) {
+                std::cerr << "--locations needs an integer >= 1\n";
                 return usage();
-            cfg.gen.numLocations = std::atoi(v);
+            }
         } else if (arg == "--values") {
             const char *v = next();
-            if (!v || std::atoi(v) < 0)
+            if (!v || !cli::parseInt(v, cfg.gen.valuePool) ||
+                cfg.gen.valuePool < 0) {
+                std::cerr << "--values needs an integer >= 0\n";
                 return usage();
-            cfg.gen.valuePool = std::atoi(v);
+            }
         } else if (arg == "--branches") {
             const char *v = next();
-            if (!v || std::atoi(v) < 0)
+            if (!v || !cli::parseInt(v, cfg.gen.branchWeight) ||
+                cfg.gen.branchWeight < 0) {
+                std::cerr << "--branches needs an integer >= 0\n";
                 return usage();
-            cfg.gen.branchWeight = std::atoi(v);
+            }
         } else if (arg == "--oracle") {
             const char *v = next();
             fuzz::OracleId id;
@@ -553,15 +406,21 @@ main(int argc, char **argv)
             cfg.oracles.push_back(id);
         } else if (arg == "--budget") {
             const char *v = next();
-            if (!v || std::atoi(v) < 1)
+            if (!v ||
+                !cli::parseInt(v, cfg.oracle.maxDynamicPerThread) ||
+                cfg.oracle.maxDynamicPerThread < 1) {
+                std::cerr << "--budget needs an integer >= 1\n";
                 return usage();
-            cfg.oracle.maxDynamicPerThread = std::atoi(v);
+            }
         } else if (arg == "--max-states") {
             const char *v = next();
-            if (!v || std::atol(v) < 1)
+            long cap = 0;
+            if (!v || !cli::parseLong(v, cap) || cap < 1) {
+                std::cerr << "--max-states needs an integer >= 1\n";
                 return usage();
-            cfg.oracle.maxGraphStates = std::atol(v);
-            cfg.oracle.maxOperationalStates = std::atol(v);
+            }
+            cfg.oracle.maxGraphStates = cap;
+            cfg.oracle.maxOperationalStates = cap;
         } else if (arg == "--shrink") {
             cfg.shrink = true;
         } else if (arg == "--pointer") {
@@ -591,11 +450,26 @@ main(int argc, char **argv)
     // Resume: reload every seed the journal already holds.  The
     // journal is the single source of truth for finished seeds, so
     // the resumed report is assembled from the exact same records an
-    // uninterrupted run would have produced.
+    // uninterrupted run would have produced.  Corrupt lines (torn
+    // SIGKILL tails, old-version records) are skipped with a notice:
+    // their seeds just recompute.
     std::map<std::uint32_t, SeedRecord> journaled;
-    if (cfg.resume &&
-        !loadJournal(cfg.journalPath, fingerprint, journaled))
-        return 2;
+    if (cfg.resume) {
+        fuzz::JournalLoad load =
+            fuzz::loadJournal(cfg.journalPath, fingerprint);
+        if (!load.ok) {
+            std::cerr << "error: journal " << cfg.journalPath
+                      << " was written by a campaign with different "
+                         "flags; refusing --resume\n"
+                      << "  journal: " << load.journalCfg
+                      << "\n  current: " << fingerprint << '\n';
+            return 2;
+        }
+        if (load.corruptLines > 0 && !cfg.quiet)
+            std::cout << "journal: skipped " << load.corruptLines
+                      << " corrupt record(s); those seeds recompute\n";
+        journaled = std::move(load.seeds);
+    }
 
     std::ofstream journal;
     std::mutex journalMutex;
@@ -668,11 +542,12 @@ main(int argc, char **argv)
         for (const auto &d : rec.results) {
             rec.states += d.statesExplored;
             rec.outcomes += d.outcomesCompared;
+            rec.stats.merge(d.stats);
         }
 
         if (journal.is_open()) {
             std::lock_guard<std::mutex> lk(journalMutex);
-            journal << journalLine(rec) << '\n';
+            journal << fuzz::journalLine(rec) << '\n';
             journal.flush();
             // SATOM_FAULT=kill-after-journal:N — the SIGKILL
             // simulation for the crash-safety tests: die hard, no
