@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Checkpoint-format throughput: what one engine snapshot costs to
+ * encode, decode and persist, so the checkpoint cadence
+ * (--checkpoint-every) can be chosen against real numbers.
+ *
+ * The snapshot is not synthetic: a state-capped enumeration of a
+ * store-buffering ring checkpoints through the production path
+ * (writeEngineSnapshot) and the captured file — real frontier
+ * behaviors, dedup keys, outcomes — is the corpus every benchmark
+ * here round-trips.  CRC32 is measured separately since it bounds
+ * every other number.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "bench_util.hpp"
+#include "enumerate/frontier_store.hpp"
+#include "isa/builder.hpp"
+#include "util/snapshot.hpp"
+
+namespace
+{
+
+using namespace satom;
+
+/** t threads; thread i stores to its slot then reads the others. */
+Program
+ring(int threads, int reads)
+{
+    ProgramBuilder pb;
+    for (int i = 0; i < threads; ++i) {
+        auto &t = pb.thread("P" + std::to_string(i));
+        t.store(100 + i, i + 1);
+        for (int r = 1; r <= reads; ++r)
+            t.load(r, 100 + (i + r) % threads);
+    }
+    return pb.build();
+}
+
+struct Corpus
+{
+    EngineSnapshot snap;
+    std::string fingerprint;
+    std::string bytes; ///< the encoded stream
+};
+
+/** Capture a mid-run snapshot through the production checkpoint path. */
+Corpus
+capture(long maxStates)
+{
+    // ring(3,3) explores far more than 2000 states, so every cap used
+    // below truncates and the on-truncation checkpoint always fires.
+    const Program p = ring(3, 3);
+    const MemoryModel m = makeModel(ModelId::WMM);
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("satom_bench_snapshot_" + std::to_string(maxStates) +
+          ".snap"))
+            .string();
+    EnumerationOptions opts;
+    opts.maxStates = maxStates;
+    opts.checkpointPath = path;
+    enumerateBehaviors(p, m, opts);
+
+    Corpus c;
+    c.fingerprint = enumerationFingerprint(p, m, opts);
+    const auto st = readEngineSnapshot(path, c.fingerprint, c.snap);
+    std::remove(path.c_str());
+    if (!st.ok()) {
+        std::fprintf(stderr, "capture failed: %s\n",
+                     snapshot::toString(st.error));
+        std::abort();
+    }
+    c.bytes = encodeEngineSnapshot(c.snap, c.fingerprint);
+    return c;
+}
+
+const Corpus &
+corpus(long maxStates)
+{
+    static Corpus small = capture(200);
+    static Corpus large = capture(2000);
+    return maxStates <= 200 ? small : large;
+}
+
+void
+BM_EncodeSnapshot(benchmark::State &state)
+{
+    const Corpus &c = corpus(state.range(0));
+    for (auto _ : state) {
+        auto bytes = encodeEngineSnapshot(c.snap, c.fingerprint);
+        benchmark::DoNotOptimize(bytes);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(c.bytes.size()));
+    state.counters["frontier"] =
+        static_cast<double>(c.snap.frontier.size());
+    state.counters["stream_bytes"] =
+        static_cast<double>(c.bytes.size());
+}
+
+void
+BM_DecodeSnapshot(benchmark::State &state)
+{
+    const Corpus &c = corpus(state.range(0));
+    for (auto _ : state) {
+        EngineSnapshot snap;
+        const auto st =
+            decodeEngineSnapshot(c.bytes, c.fingerprint, snap);
+        benchmark::DoNotOptimize(st);
+        benchmark::DoNotOptimize(snap);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(c.bytes.size()));
+}
+
+void
+BM_WriteSnapshotToDisk(benchmark::State &state)
+{
+    const Corpus &c = corpus(state.range(0));
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "satom_bench_snapshot_write.snap")
+            .string();
+    for (auto _ : state) {
+        const auto st =
+            writeEngineSnapshot(path, c.snap, c.fingerprint);
+        benchmark::DoNotOptimize(st);
+    }
+    std::remove(path.c_str());
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(c.bytes.size()));
+}
+
+void
+BM_Crc32(benchmark::State &state)
+{
+    const std::string buf(
+        static_cast<std::size_t>(state.range(0)), 'x');
+    for (auto _ : state) {
+        const auto c = snapshot::crc32(buf.data(), buf.size());
+        benchmark::DoNotOptimize(c);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(buf.size()));
+}
+
+} // namespace
+
+BENCHMARK(BM_EncodeSnapshot)
+    ->Arg(200)
+    ->Arg(2000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DecodeSnapshot)
+    ->Arg(200)
+    ->Arg(2000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_WriteSnapshotToDisk)
+    ->Arg(200)
+    ->Arg(2000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Crc32)->Arg(1 << 10)->Arg(1 << 20);
+
+int
+main(int argc, char **argv)
+{
+    satom::bench::banner("SNAPSHOT",
+                         "checkpoint encode/decode/persist cost");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

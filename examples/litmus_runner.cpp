@@ -33,8 +33,22 @@
  *  - --trace FILE writes a Chrome trace-event JSON (load it in
  *    about://tracing or https://ui.perfetto.dev): one span per model
  *    plus the engine's coarse per-wave / serial-explore spans.
+ *
+ * Crash safety (the checkpoint PR):
+ *  - --checkpoint FILE persists the engine state atomically every
+ *    --checkpoint-every N retired states (and on any truncation);
+ *    --resume-from FILE continues an interrupted run bit-equivalently.
+ *    Both demand exactly one model (a snapshot belongs to a single
+ *    enumeration).  --spill-dir DIR lets memory-capped runs spill cold
+ *    frontier segments out of core instead of truncating;
+ *    --spill-limit N forces spilling deterministically (tests).
+ *
+ * Exit codes: 0 all verdicts match, 1 some expectation MISMATCHed,
+ * 2 some model truncated/inconclusive (or output I/O failed),
+ * 64 usage/parse error (including an unloadable/mismatched snapshot).
  */
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -42,9 +56,11 @@
 
 #include "core/dot.hpp"
 #include "enumerate/engine.hpp"
+#include "enumerate/frontier_store.hpp"
 #include "litmus/parser.hpp"
 #include "model/parser.hpp"
 #include "util/cli.hpp"
+#include "util/run_control.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -52,6 +68,12 @@ namespace
 {
 
 using namespace satom;
+
+/** Exit codes (documented in README.md). */
+constexpr int exitOk = 0;         ///< every verdict matched
+constexpr int exitMismatch = 1;   ///< some expectation MISMATCHed
+constexpr int exitInconclusive = 2; ///< truncated / I/O failure
+constexpr int exitUsage = 64;     ///< bad flags or unparsable input
 
 int
 usage()
@@ -63,6 +85,11 @@ usage()
                  "                     [--timeout-ms MS]\n"
                  "                     [--max-states N] [--json]\n"
                  "                     [--stats] [--trace FILE]\n"
+                 "                     [--checkpoint FILE]\n"
+                 "                     [--checkpoint-every N]\n"
+                 "                     [--resume-from FILE]\n"
+                 "                     [--spill-dir DIR]\n"
+                 "                     [--spill-limit N]\n"
                  "models: SC TSO-approx TSO PSO WMM WMM+spec\n"
                  "--workers 0 (default) uses all hardware threads;\n"
                  "--workers 1 forces the serial engine\n"
@@ -70,8 +97,16 @@ usage()
                  "  truncated runs report their reason\n"
                  "--stats prints per-model search counters\n"
                  "--trace FILE writes Chrome trace-event JSON\n"
-                 "  (open in about://tracing)\n";
-    return 2;
+                 "  (open in about://tracing)\n"
+                 "--checkpoint FILE writes crash-safe engine snapshots\n"
+                 "  (every --checkpoint-every N states and on any\n"
+                 "  truncation); --resume-from FILE continues one;\n"
+                 "  both require a single --model\n"
+                 "--spill-dir DIR spills cold frontier segments out of\n"
+                 "  core under memory pressure (--spill-limit N forces\n"
+                 "  a deterministic frontier cap)\n"
+                 "exit: 0 ok, 1 mismatch, 2 inconclusive, 64 usage\n";
+    return exitUsage;
 }
 
 std::string
@@ -109,6 +144,11 @@ main(int argc, char **argv)
     int workers = 0;
     long timeoutMs = 0;
     long maxStates = 0;
+    std::string checkpointPath;
+    long checkpointEvery = 0;
+    std::string resumeFrom;
+    std::string spillDir;
+    long spillLimit = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -129,7 +169,7 @@ main(int argc, char **argv)
                 customModels.push_back(parseModelFile(argv[++i]));
             } catch (const ModelParseError &e) {
                 std::cerr << e.what() << '\n';
-                return 1;
+                return exitUsage;
             }
         } else if (arg == "--outcomes") {
             showOutcomes = true;
@@ -142,25 +182,25 @@ main(int argc, char **argv)
             if (!cli::parseInt(argv[++i], budget)) {
                 std::cerr << "--budget needs an integer, got '"
                           << argv[i] << "'\n";
-                return 1;
+                return exitUsage;
             }
         } else if (arg == "--workers" && i + 1 < argc) {
             if (!cli::parseInt(argv[++i], workers)) {
                 std::cerr << "--workers needs an integer, got '"
                           << argv[i] << "'\n";
-                return 1;
+                return exitUsage;
             }
         } else if (arg == "--timeout-ms" && i + 1 < argc) {
             if (!cli::parseLong(argv[++i], timeoutMs) ||
                 timeoutMs < 1) {
                 std::cerr << "--timeout-ms needs a positive integer\n";
-                return 1;
+                return exitUsage;
             }
         } else if (arg == "--max-states" && i + 1 < argc) {
             if (!cli::parseLong(argv[++i], maxStates) ||
                 maxStates < 1) {
                 std::cerr << "--max-states needs a positive integer\n";
-                return 1;
+                return exitUsage;
             }
         } else if (arg == "--json") {
             jsonOut = true;
@@ -168,6 +208,25 @@ main(int argc, char **argv)
             showStats = true;
         } else if (arg == "--trace" && i + 1 < argc) {
             tracePath = argv[++i];
+        } else if (arg == "--checkpoint" && i + 1 < argc) {
+            checkpointPath = argv[++i];
+        } else if (arg == "--checkpoint-every" && i + 1 < argc) {
+            if (!cli::parseLong(argv[++i], checkpointEvery) ||
+                checkpointEvery < 1) {
+                std::cerr
+                    << "--checkpoint-every needs a positive integer\n";
+                return exitUsage;
+            }
+        } else if (arg == "--resume-from" && i + 1 < argc) {
+            resumeFrom = argv[++i];
+        } else if (arg == "--spill-dir" && i + 1 < argc) {
+            spillDir = argv[++i];
+        } else if (arg == "--spill-limit" && i + 1 < argc) {
+            if (!cli::parseLong(argv[++i], spillLimit) ||
+                spillLimit < 1) {
+                std::cerr << "--spill-limit needs a positive integer\n";
+                return exitUsage;
+            }
         } else if (!arg.empty() && arg[0] == '-') {
             return usage();
         } else {
@@ -192,12 +251,23 @@ main(int argc, char **argv)
     for (auto &m : customModels)
         runModels.push_back({std::move(m), false});
 
+    // A snapshot belongs to one enumeration; checkpointing or
+    // resuming a multi-model sweep would interleave incompatible
+    // states in one file.
+    if ((!checkpointPath.empty() || !resumeFrom.empty() ||
+         !spillDir.empty()) &&
+        runModels.size() != 1) {
+        std::cerr << "--checkpoint/--resume-from/--spill-dir require "
+                     "exactly one --model/--model-file\n";
+        return exitUsage;
+    }
+
     LitmusTest test;
     try {
         test = litmus::parseLitmusFile(path);
     } catch (const litmus::ParseError &e) {
         std::cerr << e.what() << '\n';
-        return 1;
+        return exitUsage;
     }
 
     if (!jsonOut) {
@@ -217,6 +287,37 @@ main(int argc, char **argv)
     stats::TraceLog trace;
     if (!tracePath.empty())
         opts.trace = &trace;
+    opts.checkpointPath = checkpointPath;
+    opts.checkpointEvery = checkpointEvery;
+    opts.spillDir = spillDir;
+    opts.spillFrontierLimit = static_cast<std::size_t>(spillLimit);
+    if (!checkpointPath.empty()) {
+        // The kill-and-resume harness: process exit stays out of
+        // library code, so the _Exit lives here, armed only when
+        // SATOM_FAULT=kill-after-checkpoint[:n] is in the environment.
+        opts.onCheckpoint = [] {
+            if (fault::checkpointKillDue())
+                std::_Exit(137);
+        };
+    }
+
+    // Resume: load and validate the snapshot against this exact
+    // program/model/options fingerprint before any exploration.
+    EngineSnapshot resumeSnap;
+    if (!resumeFrom.empty()) {
+        const std::string fp = enumerationFingerprint(
+            test.program, runModels[0].model, opts);
+        const snapshot::Status st =
+            readEngineSnapshot(resumeFrom, fp, resumeSnap);
+        if (!st.ok()) {
+            std::cerr << "cannot resume from " << resumeFrom << ": "
+                      << snapshot::toString(st.error)
+                      << (st.detail.empty() ? "" : " (" + st.detail +
+                                                       ")")
+                      << '\n';
+            return exitUsage;
+        }
+    }
 
     TextTable table;
     table.header({"model", "executions", "outcomes", "verdict",
@@ -240,7 +341,10 @@ main(int argc, char **argv)
         {
             // One span per model nesting the engine's own phases.
             stats::PhaseTimer span(opts.trace, model.name, "model");
-            r = enumerateBehaviors(test.program, model, opts);
+            r = resumeFrom.empty()
+                    ? enumerateBehaviors(test.program, model, opts)
+                    : resumeEnumeration(test.program, model, opts,
+                                        resumeSnap);
         }
         const bool obs = test.cond.observable(r.outcomes);
         std::string expected = "-";
@@ -254,10 +358,14 @@ main(int argc, char **argv)
                 } else {
                     expected = *e == obs ? "match" : "MISMATCH";
                     if (*e != obs)
-                        exitCode = 1;
+                        exitCode = exitMismatch;
                 }
             }
         }
+        // A truncated model leaves the sweep inconclusive unless a
+        // hard MISMATCH (the stronger verdict) was already recorded.
+        if (!r.complete && exitCode == exitOk)
+            exitCode = exitInconclusive;
         const std::string verdict =
             (obs ? "allowed" : "forbidden") +
             (r.complete ? std::string()
@@ -312,7 +420,7 @@ main(int argc, char **argv)
     if (!tracePath.empty()) {
         if (!trace.writeTo(tracePath)) {
             std::cerr << "cannot write " << tracePath << '\n';
-            return 1;
+            return exitInconclusive;
         }
         if (!jsonOut)
             std::cout << "wrote " << tracePath << " ("

@@ -11,6 +11,7 @@
 
 #include "core/atomicity.hpp"
 #include "core/encode.hpp"
+#include "enumerate/frontier_store.hpp"
 #include "txn/atomic.hpp"
 
 namespace satom
@@ -814,6 +815,46 @@ Enumerator::runReplay()
     return result_;
 }
 
+bool
+Enumerator::writeCheckpoint(
+    int engineMode, Truncation reason,
+    const std::vector<Behavior> &frontier,
+    std::vector<std::uint64_t> seenKeys,
+    const std::vector<std::string> &spillSegments)
+{
+    if (options_.checkpointPath.empty())
+        return true;
+    EngineSnapshot snap;
+    snap.engineMode = engineMode;
+    snap.truncation = reason;
+    snap.stats = result_.stats;
+    snap.registry = result_.registry;
+    snap.outcomes = outcomes_;
+    snap.executionKeys.assign(executionKeys_.begin(),
+                              executionKeys_.end());
+    std::sort(snap.executionKeys.begin(), snap.executionKeys.end());
+    std::sort(seenKeys.begin(), seenKeys.end());
+    snap.seenKeys = std::move(seenKeys);
+    snap.frontier = frontier;
+    if (options_.collectExecutions)
+        snap.executions = result_.executions;
+    snap.spillSegments = spillSegments;
+
+    const snapshot::Status st = writeEngineSnapshot(
+        options_.checkpointPath, snap, fingerprint_);
+    if (!st.ok()) {
+        // A run whose crash-safety net is failing should not keep
+        // burning hours it cannot recover: stop as a contained fault.
+        result_.truncation = Truncation::WorkerFault;
+        result_.faultNote = "checkpoint write failed: " + st.detail;
+        return false;
+    }
+    result_.registry.add(stats::Ctr::CheckpointsWritten);
+    if (options_.onCheckpoint)
+        options_.onCheckpoint();
+    return true;
+}
+
 void
 Enumerator::runSerial()
 {
@@ -823,17 +864,66 @@ Enumerator::runSerial()
     std::vector<Behavior> stack;
     std::unordered_set<std::uint64_t> seen;
     ExecutionGraph scratch;
-    BudgetGate gate(options_.budget);
+    SpillQueue spill(options_.spillDir, fingerprint_);
 
-    Behavior first = initialBehavior();
-    if (stabilize(first, stats)) {
-        seen.insert(first.hashKey());
-        stack.push_back(std::move(first));
+    // With a spill directory configured, the memory ceiling spills
+    // cold stack segments instead of truncating: strip the RSS limit
+    // from the gate and watch it here.
+    RunBudget gateBudget = options_.budget;
+    std::size_t rssSpillAt = 0;
+    if (spill.enabled() && gateBudget.maxRssBytes != 0) {
+        rssSpillAt =
+            gateBudget.maxRssBytes - gateBudget.maxRssBytes / 4;
+        gateBudget.maxRssBytes = 0;
+    }
+    BudgetGate gate(gateBudget);
+
+    if (resume_) {
+        stack = resume_->frontier;
+        seen.insert(resume_->seenKeys.begin(),
+                    resume_->seenKeys.end());
+        spill.adoptSegments(resume_->spillSegments);
     } else {
-        ++stats.rollbacks;
+        Behavior first = initialBehavior();
+        if (stabilize(first, stats)) {
+            seen.insert(first.hashKey());
+            stack.push_back(std::move(first));
+        } else {
+            ++stats.rollbacks;
+        }
     }
 
-    while (!stack.empty()) {
+    auto ckpt = [&](Truncation reason) {
+        return writeCheckpoint(
+            /*engineMode=*/0, reason, stack,
+            std::vector<std::uint64_t>(seen.begin(), seen.end()),
+            spill.segments());
+    };
+    long sinceCkpt = 0;
+    unsigned rssStride = 0;
+
+    while (true) {
+        if (stack.empty()) {
+            if (spill.empty())
+                break;
+            std::vector<Behavior> segment;
+            const snapshot::Status st =
+                spill.reload(segment, result_.registry);
+            if (!st.ok()) {
+                result_.truncation = Truncation::WorkerFault;
+                result_.faultNote =
+                    "spill reload failed: " + st.detail;
+                break;
+            }
+            stack = std::move(segment);
+            continue;
+        }
+        if (options_.checkpointEvery > 0 &&
+            sinceCkpt >= options_.checkpointEvery) {
+            sinceCkpt = 0;
+            if (!ckpt(Truncation::None))
+                break;
+        }
         if (stats.statesExplored >= options_.maxStates) {
             result_.truncation = Truncation::StateCap;
             break;
@@ -843,9 +933,43 @@ Enumerator::runSerial()
             result_.truncation = t;
             break;
         }
+        // Spill trigger: the deterministic frontier limit, or (auto
+        // mode) approximate RSS crossing 3/4 of the stripped ceiling.
+        // The spilled prefix is the coldest bottom of the stack, and
+        // segments reload last-spilled-first once the stack drains,
+        // so the depth-first order is exactly the unspilled one.
+        if (spill.enabled()) {
+            std::size_t keep = 0;
+            if (options_.spillFrontierLimit > 0) {
+                if (stack.size() > options_.spillFrontierLimit)
+                    keep = std::max<std::size_t>(
+                        1, options_.spillFrontierLimit / 2);
+            } else if (rssSpillAt != 0 && stack.size() > 1 &&
+                       ++rssStride % 64 == 0 &&
+                       approxRssBytes() > rssSpillAt) {
+                keep = std::max<std::size_t>(1, stack.size() / 2);
+            }
+            if (keep != 0 && stack.size() > keep) {
+                std::vector<Behavior> cold(
+                    std::make_move_iterator(stack.begin()),
+                    std::make_move_iterator(stack.end() -
+                                            static_cast<long>(keep)));
+                stack.erase(stack.begin(),
+                            stack.end() - static_cast<long>(keep));
+                if (!spill.spill(std::move(cold),
+                                 result_.registry)) {
+                    result_.truncation = Truncation::WorkerFault;
+                    result_.faultNote =
+                        "spill write failed (I/O error or injected "
+                        "spill-io-fail)";
+                    break;
+                }
+            }
+        }
         Behavior b = std::move(stack.back());
         stack.pop_back();
         ++stats.statesExplored;
+        ++sinceCkpt;
         stats.maxNodes = std::max(stats.maxNodes, b.graph.size());
 
         if (terminal(b)) {
@@ -885,6 +1009,10 @@ Enumerator::runSerial()
                 ++stats.duplicates;
         }
     }
+    // A truncated run leaves its resume point behind (WorkerFault
+    // included: the snapshot covers everything joined so far).
+    if (result_.truncation != Truncation::None)
+        ckpt(result_.truncation);
 }
 
 void
@@ -919,6 +1047,23 @@ Enumerator::run()
     initCount_ =
         static_cast<NodeId>(program_.initialMemory().size());
 
+    if (!options_.checkpointPath.empty() ||
+        !options_.spillDir.empty() || resume_)
+        fingerprint_ =
+            enumerationFingerprint(program_, model_, options_);
+
+    // Resuming: the snapshot's accumulators replace the fresh ones;
+    // the engines pick up its frontier / seen keys / spill segments.
+    if (resume_) {
+        result_.stats = resume_->stats;
+        result_.registry = resume_->registry;
+        outcomes_ = resume_->outcomes;
+        executionKeys_.insert(resume_->executionKeys.begin(),
+                              resume_->executionKeys.end());
+        if (options_.collectExecutions)
+            result_.executions = resume_->executions;
+    }
+
     if (options_.sourceOracle) {
         runReplay();
         exportEnumStats(result_.stats, result_.registry);
@@ -948,11 +1093,29 @@ Enumerator::run()
 }
 
 EnumerationResult
+Enumerator::resume(const EngineSnapshot &snap)
+{
+    resume_ = &snap;
+    EnumerationResult r = run();
+    resume_ = nullptr;
+    return r;
+}
+
+EnumerationResult
 enumerateBehaviors(const Program &program, const MemoryModel &model,
                    EnumerationOptions options)
 {
     Enumerator e(program, model, options);
     return e.run();
+}
+
+EnumerationResult
+resumeEnumeration(const Program &program, const MemoryModel &model,
+                  const EnumerationOptions &options,
+                  const EngineSnapshot &snap)
+{
+    Enumerator e(program, model, options);
+    return e.resume(snap);
 }
 
 } // namespace satom

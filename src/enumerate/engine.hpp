@@ -137,6 +137,48 @@ struct EnumerationOptions
      * the per-behavior hot path; null (the default) records nothing.
      */
     stats::TraceLog *trace = nullptr;
+
+    /**
+     * Crash-safety: when nonempty, the engine persists an
+     * EngineSnapshot (frontier, seen keys, outcomes, counters) to
+     * this path via tmp+rename — every `checkpointEvery` retired
+     * states and on any truncation — so an interrupted run resumes
+     * bit-equivalently via Enumerator::resume.  The serial engine
+     * checkpoints between state retirements (exact DFS stack); the
+     * parallel engine at wave barriers (worker-count independent).
+     */
+    std::string checkpointPath;
+
+    /**
+     * Retired-state cadence for periodic checkpoints; 0 writes only
+     * the on-truncation snapshot.  Ignored without checkpointPath.
+     */
+    long checkpointEvery = 0;
+
+    /**
+     * Out-of-core spill: when nonempty, cold frontier segments are
+     * written to snapshot-format files in this directory instead of
+     * truncating on memory pressure, and reloaded as the in-memory
+     * frontier drains.  The directory must exist.
+     */
+    std::string spillDir;
+
+    /**
+     * Deterministic spill trigger: spill whenever the in-memory
+     * frontier exceeds this many behaviors (tests use it to force
+     * out-of-core paths machine-independently).  0 = automatic mode:
+     * spill when approximate RSS nears budget.maxRssBytes (with
+     * spillDir set, the memory ceiling spills instead of truncating).
+     */
+    std::size_t spillFrontierLimit = 0;
+
+    /**
+     * Invoked (on the engine's thread) after each successful
+     * checkpoint write.  The kill-and-resume harness installs the
+     * SATOM_FAULT=kill-after-checkpoint `_Exit` here, keeping process
+     * exit out of library code.
+     */
+    std::function<void()> onCheckpoint;
 };
 
 /** Counters describing one enumeration run. */
@@ -254,6 +296,8 @@ struct EnumerationResult
     }
 };
 
+struct EngineSnapshot; // frontier_store.hpp
+
 /**
  * Enumerate all behaviors of @p program under @p model.
  */
@@ -265,6 +309,19 @@ class Enumerator
 
     /** Run the procedure to completion (or to a cap). */
     EnumerationResult run();
+
+    /**
+     * Continue a checkpointed exploration: the frontier, dedup keys,
+     * outcomes and counters of @p snap replace the initial behavior,
+     * and the run proceeds under this enumerator's options (which may
+     * raise maxStates / the budget relative to the interrupted run —
+     * they are excluded from the snapshot fingerprint).  The caller
+     * must have validated @p snap against enumerationFingerprint for
+     * this program/model/options.  The final result of an
+     * interrupted-then-resumed run is bit-equivalent (outcomes,
+     * deterministic counters) to an uninterrupted one.
+     */
+    EnumerationResult resume(const EngineSnapshot &snap);
 
   private:
     enum class StepStatus { NoChange, Changed, Violation };
@@ -314,6 +371,18 @@ class Enumerator
 
     /** Oracle-driven single-path replay (the execution checker). */
     EnumerationResult runReplay();
+
+    /**
+     * Persist the current engine state (shared by the serial and
+     * wave engines; engine.cpp).  Sorts @p seenKeys, snapshots the
+     * accumulators and writes checkpointPath atomically.  On write
+     * failure records a contained WorkerFault truncation and returns
+     * false so the caller stops.  No-op (true) without checkpointPath.
+     */
+    bool writeCheckpoint(int engineMode, Truncation reason,
+                         const std::vector<Behavior> &frontier,
+                         std::vector<std::uint64_t> seenKeys,
+                         const std::vector<std::string> &spillSegments);
     static bool applySource(Behavior &b, NodeId load, NodeId store,
                             bool bypass);
 
@@ -324,12 +393,24 @@ class Enumerator
     NodeId initCount_ = 0; ///< nodes 0..initCount_-1 are Init Stores
     std::set<Outcome> outcomes_;
     std::unordered_set<std::uint64_t> executionKeys_;
+
+    /** Set while resume() drives run(); consumed by the engines. */
+    const EngineSnapshot *resume_ = nullptr;
+
+    /** Snapshot/spill fingerprint, computed when either is enabled. */
+    std::string fingerprint_;
 };
 
 /** One-shot convenience wrapper. */
 EnumerationResult enumerateBehaviors(const Program &program,
                                      const MemoryModel &model,
                                      EnumerationOptions options = {});
+
+/** One-shot resume from a loaded snapshot (Enumerator::resume). */
+EnumerationResult resumeEnumeration(const Program &program,
+                                    const MemoryModel &model,
+                                    const EnumerationOptions &options,
+                                    const EngineSnapshot &snap);
 
 /** One independent enumeration in a batch; pointees must outlive it. */
 struct EnumerationJob

@@ -27,6 +27,7 @@
 
 #include "enumerate/engine.hpp"
 #include "enumerate/engine_parallel.hpp"
+#include "enumerate/frontier_store.hpp"
 #include "util/sharded_set.hpp"
 
 namespace satom
@@ -213,13 +214,33 @@ Enumerator::runParallel(int workers)
     EnumStats &stats = result_.stats;
     ShardedU64Set seen;
     std::vector<Behavior> frontier;
+    SpillQueue spill(options_.spillDir, fingerprint_);
 
-    Behavior first = initialBehavior();
-    if (stabilize(first, stats)) {
-        seen.insert(first.hashKey());
-        frontier.push_back(std::move(first));
+    // With a spill directory configured, the memory ceiling spills
+    // cold frontier segments instead of truncating: strip the RSS
+    // limit from every gate (wave loop AND workers — a tripped worker
+    // gate would skip items forever) and watch it at wave barriers.
+    RunBudget gateBudget = options_.budget;
+    std::size_t rssSpillAt = 0;
+    if (spill.enabled() && gateBudget.maxRssBytes != 0) {
+        rssSpillAt =
+            gateBudget.maxRssBytes - gateBudget.maxRssBytes / 4;
+        gateBudget.maxRssBytes = 0;
+    }
+
+    if (resume_) {
+        frontier = resume_->frontier;
+        for (std::uint64_t k : resume_->seenKeys)
+            seen.insert(k);
+        spill.adoptSegments(resume_->spillSegments);
     } else {
-        ++stats.rollbacks;
+        Behavior first = initialBehavior();
+        if (stabilize(first, stats)) {
+            seen.insert(first.hashKey());
+            frontier.push_back(std::move(first));
+        } else {
+            ++stats.rollbacks;
+        }
     }
 
     std::vector<WorkerState> perWorker(
@@ -241,13 +262,56 @@ Enumerator::runParallel(int workers)
     // deadline/token are absolute, so the wave loop re-detects the
     // trip deterministically at the next iteration regardless of
     // which worker saw it first.
-    BudgetGate gate(options_.budget, /*stride=*/1);
+    BudgetGate gate(gateBudget, /*stride=*/1);
     std::vector<BudgetGate> workerGates(
         static_cast<std::size_t>(workers),
-        BudgetGate(options_.budget, /*stride=*/1));
+        BudgetGate(gateBudget, /*stride=*/1));
     std::atomic<bool> stop{false};
 
-    while (!frontier.empty()) {
+    // Checkpoints happen at wave barriers only, where the per-worker
+    // accumulators can be drained into the run totals (set-union
+    // outcomes plus commutative sums, so the snapshot is identical for
+    // every worker count).
+    const auto drainWorkers = [&] {
+        for (WorkerState &ws : perWorker) {
+            stats += ws.stats;
+            ws.stats = EnumStats{};
+            outcomes_.merge(ws.outcomes);
+            ws.outcomes.clear();
+        }
+    };
+    const auto ckpt = [&](Truncation reason) {
+        drainWorkers();
+        std::vector<std::uint64_t> keys;
+        keys.reserve(seen.size());
+        seen.forEach([&](std::uint64_t k) { keys.push_back(k); });
+        return writeCheckpoint(/*engineMode=*/1, reason, frontier,
+                               std::move(keys), spill.segments());
+    };
+    long sinceCkpt = 0;
+
+    while (true) {
+        if (frontier.empty()) {
+            if (spill.empty())
+                break;
+            std::vector<Behavior> segment;
+            const snapshot::Status st =
+                spill.reload(segment, result_.registry);
+            if (!st.ok()) {
+                result_.truncation = Truncation::WorkerFault;
+                result_.faultNote =
+                    "spill reload failed: " + st.detail;
+                break;
+            }
+            frontier = std::move(segment);
+            continue;
+        }
+        if (options_.checkpointEvery > 0 &&
+            sinceCkpt >= options_.checkpointEvery) {
+            sinceCkpt = 0;
+            if (!ckpt(Truncation::None))
+                break;
+        }
         if (stats.statesExplored >= options_.maxStates) {
             result_.truncation = Truncation::StateCap;
             break;
@@ -364,6 +428,7 @@ Enumerator::runParallel(int workers)
                 continue;
             }
             ++stats.statesExplored;
+            ++sinceCkpt;
             if (slot.isTerminal) {
                 if (executionKeys_.insert(slot.executionKey).second) {
                     ++stats.executions;
@@ -398,14 +463,50 @@ Enumerator::runParallel(int workers)
             result_.truncation = Truncation::WorkerFault;
             break;
         }
+
+        // Spill trigger, at the barrier: keep the hot head (the next
+        // wave), spill the cold tail.  Segments reload last-spilled-
+        // first once the in-memory frontier drains; for a given
+        // spillFrontierLimit the wave sequence stays deterministic for
+        // every worker count, and a complete run's outcomes and
+        // deterministic counters are exploration-order independent.
+        if (spill.enabled()) {
+            std::size_t keep = 0;
+            if (options_.spillFrontierLimit > 0) {
+                if (frontier.size() > options_.spillFrontierLimit)
+                    keep = std::max<std::size_t>(
+                        1, options_.spillFrontierLimit / 2);
+            } else if (rssSpillAt != 0 && frontier.size() > 1 &&
+                       approxRssBytes() > rssSpillAt) {
+                keep = std::max<std::size_t>(1, frontier.size() / 2);
+            }
+            if (keep != 0 && frontier.size() > keep) {
+                std::vector<Behavior> cold(
+                    std::make_move_iterator(
+                        frontier.begin() + static_cast<long>(keep)),
+                    std::make_move_iterator(frontier.end()));
+                frontier.erase(frontier.begin() +
+                                   static_cast<long>(keep),
+                               frontier.end());
+                if (!spill.spill(std::move(cold),
+                                 result_.registry)) {
+                    result_.truncation = Truncation::WorkerFault;
+                    result_.faultNote =
+                        "spill write failed (I/O error or injected "
+                        "spill-io-fail)";
+                    break;
+                }
+            }
+        }
     }
 
-    for (WorkerState &ws : perWorker) {
-        stats += ws.stats;
-        outcomes_.merge(ws.outcomes);
-    }
+    drainWorkers();
     if (pool)
         result_.registry.add(stats::Ctr::Steals, pool->stealCount());
+    // A truncated run leaves its resume point behind (WorkerFault
+    // included: the snapshot covers everything joined so far).
+    if (result_.truncation != Truncation::None)
+        ckpt(result_.truncation);
 }
 
 std::vector<EnumerationResult>

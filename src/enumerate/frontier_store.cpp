@@ -1,0 +1,792 @@
+#include "enumerate/frontier_store.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+#include <unistd.h>
+
+#include "util/atomic_file.hpp"
+#include "util/hash.hpp"
+#include "util/run_control.hpp"
+
+namespace satom
+{
+
+using snapshot::ByteReader;
+using snapshot::ByteWriter;
+using snapshot::Error;
+using snapshot::Status;
+
+namespace
+{
+
+// ---- primitive codecs ------------------------------------------------
+//
+// Readers validate every count against the bytes remaining (an element
+// is at least one byte), so a corrupted length can never drive an
+// allocation or a loop beyond the payload it arrived in.
+
+void
+putOperand(ByteWriter &w, const Operand &op)
+{
+    w.u8(static_cast<std::uint8_t>(op.kind));
+    w.i32(op.reg);
+    w.i64(op.imm);
+}
+
+bool
+getOperand(ByteReader &r, Operand &op)
+{
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(Operand::Kind::Imm))
+        return false;
+    op.kind = static_cast<Operand::Kind>(kind);
+    op.reg = r.i32();
+    op.imm = r.i64();
+    return !r.failed();
+}
+
+void
+putInstruction(ByteWriter &w, const Instruction &ins)
+{
+    w.u8(static_cast<std::uint8_t>(ins.op));
+    w.i32(ins.dst);
+    putOperand(w, ins.a);
+    putOperand(w, ins.b);
+    putOperand(w, ins.addr);
+    putOperand(w, ins.value);
+    w.i32(ins.target);
+    w.boolean(ins.fence.loadLoad);
+    w.boolean(ins.fence.loadStore);
+    w.boolean(ins.fence.storeLoad);
+    w.boolean(ins.fence.storeStore);
+}
+
+bool
+getInstruction(ByteReader &r, Instruction &ins)
+{
+    const std::uint8_t op = r.u8();
+    if (op > static_cast<std::uint8_t>(Opcode::TxEnd))
+        return false;
+    ins.op = static_cast<Opcode>(op);
+    ins.dst = r.i32();
+    if (!getOperand(r, ins.a) || !getOperand(r, ins.b) ||
+        !getOperand(r, ins.addr) || !getOperand(r, ins.value))
+        return false;
+    ins.target = r.i32();
+    ins.fence.loadLoad = r.boolean();
+    ins.fence.loadStore = r.boolean();
+    ins.fence.storeLoad = r.boolean();
+    ins.fence.storeStore = r.boolean();
+    return !r.failed();
+}
+
+void
+putNode(ByteWriter &w, const Node &n)
+{
+    w.i32(n.id);
+    w.i32(n.tid);
+    w.i32(n.pindex);
+    w.i32(n.serial);
+    w.u8(static_cast<std::uint8_t>(n.kind));
+    putInstruction(w, n.instr);
+    w.i32(n.aSrc);
+    w.i32(n.bSrc);
+    w.i32(n.addrSrc);
+    w.i32(n.valSrc);
+    w.boolean(n.executed);
+    w.boolean(n.addrKnown);
+    w.i64(n.addr);
+    w.boolean(n.valueKnown);
+    w.i64(n.value);
+    w.i64(n.loaded);
+    w.i32(n.source);
+    w.boolean(n.bypass);
+    w.boolean(n.predicted);
+    w.i32(n.txn);
+    w.boolean(n.branchTaken);
+}
+
+bool
+getNode(ByteReader &r, Node &n)
+{
+    n.id = r.i32();
+    n.tid = r.i32();
+    n.pindex = r.i32();
+    n.serial = r.i32();
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(NodeKind::Rmw))
+        return false;
+    n.kind = static_cast<NodeKind>(kind);
+    if (!getInstruction(r, n.instr))
+        return false;
+    n.aSrc = r.i32();
+    n.bSrc = r.i32();
+    n.addrSrc = r.i32();
+    n.valSrc = r.i32();
+    n.executed = r.boolean();
+    n.addrKnown = r.boolean();
+    n.addr = r.i64();
+    n.valueKnown = r.boolean();
+    n.value = r.i64();
+    n.loaded = r.i64();
+    n.source = r.i32();
+    n.bypass = r.boolean();
+    n.predicted = r.boolean();
+    n.txn = r.i32();
+    n.branchTaken = r.boolean();
+    return !r.failed();
+}
+
+/** A count field that must be plausible for the bytes that remain. */
+bool
+getCount(ByteReader &r, std::uint32_t &n)
+{
+    n = r.u32();
+    return !r.failed() && n <= r.remaining();
+}
+
+void
+putGraph(ByteWriter &w, const ExecutionGraph &g)
+{
+    w.u32(static_cast<std::uint32_t>(g.size()));
+    for (const Node &n : g.nodes())
+        putNode(w, n);
+    w.u32(static_cast<std::uint32_t>(g.edges().size()));
+    for (const Edge &e : g.edges()) {
+        w.i32(e.from);
+        w.i32(e.to);
+        w.u8(static_cast<std::uint8_t>(e.kind));
+    }
+}
+
+/**
+ * Rebuild a graph by adding nodes in their final resolved state and
+ * replaying the direct edges in insertion order.  Each recorded edge
+ * was non-implied when first inserted, so the replay appends the
+ * identical direct-edge list and recomputes the identical closure; a
+ * replayed edge that fails (cycle) means the payload is inconsistent.
+ */
+bool
+getGraph(ByteReader &r, ExecutionGraph &g)
+{
+    g = ExecutionGraph{};
+    std::uint32_t nn = 0;
+    if (!getCount(r, nn))
+        return false;
+    g.reserveNodes(static_cast<int>(nn));
+    for (std::uint32_t i = 0; i < nn; ++i) {
+        Node n;
+        if (!getNode(r, n))
+            return false;
+        if (n.id != static_cast<NodeId>(i))
+            return false;
+        auto inRange = [&](NodeId ref) {
+            return ref == invalidNode ||
+                   (ref >= 0 && ref < static_cast<NodeId>(nn));
+        };
+        if (!inRange(n.aSrc) || !inRange(n.bSrc) ||
+            !inRange(n.addrSrc) || !inRange(n.valSrc) ||
+            !inRange(n.source))
+            return false;
+        if (g.addNode(std::move(n)) != static_cast<NodeId>(i))
+            return false;
+    }
+    std::uint32_t ne = 0;
+    if (!getCount(r, ne))
+        return false;
+    for (std::uint32_t i = 0; i < ne; ++i) {
+        const NodeId from = r.i32();
+        const NodeId to = r.i32();
+        const std::uint8_t kind = r.u8();
+        if (r.failed() ||
+            kind > static_cast<std::uint8_t>(EdgeKind::Grey))
+            return false;
+        if (from < 0 || from >= static_cast<NodeId>(nn) || to < 0 ||
+            to >= static_cast<NodeId>(nn))
+            return false;
+        if (!g.addEdge(from, to, static_cast<EdgeKind>(kind)))
+            return false;
+    }
+    return true;
+}
+
+void
+putThreadState(ByteWriter &w, const ThreadState &ts)
+{
+    w.i32(ts.pc);
+    w.boolean(ts.blocked);
+    w.i32(ts.blockingBranch);
+    w.i32(ts.serial);
+    w.i32(ts.currentTxn);
+    w.u32(static_cast<std::uint32_t>(ts.regs.size()));
+    for (const auto &[reg, nid] : ts.regs) {
+        w.i32(reg);
+        w.i32(nid);
+    }
+    w.u32(static_cast<std::uint32_t>(ts.emitted.size()));
+    for (NodeId id : ts.emitted)
+        w.i32(id);
+    w.u32(static_cast<std::uint32_t>(ts.partialFences.size()));
+    for (NodeId id : ts.partialFences)
+        w.i32(id);
+}
+
+bool
+getThreadState(ByteReader &r, ThreadState &ts, NodeId numNodes)
+{
+    ts.pc = r.i32();
+    ts.blocked = r.boolean();
+    ts.blockingBranch = r.i32();
+    ts.serial = r.i32();
+    ts.currentTxn = r.i32();
+    auto validId = [&](NodeId id) {
+        return id >= 0 && id < numNodes;
+    };
+    std::uint32_t n = 0;
+    if (!getCount(r, n))
+        return false;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const Reg reg = r.i32();
+        const NodeId nid = r.i32();
+        if (r.failed() || !validId(nid))
+            return false;
+        ts.regs[reg] = nid;
+    }
+    if (!getCount(r, n))
+        return false;
+    ts.emitted.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const NodeId id = r.i32();
+        if (r.failed() || !validId(id))
+            return false;
+        ts.emitted.push_back(id);
+    }
+    if (!getCount(r, n))
+        return false;
+    ts.partialFences.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const NodeId id = r.i32();
+        if (r.failed() || !validId(id))
+            return false;
+        ts.partialFences.push_back(id);
+    }
+    return !r.failed();
+}
+
+void
+putOutcome(ByteWriter &w, const Outcome &o)
+{
+    w.u32(static_cast<std::uint32_t>(o.regs.size()));
+    for (const auto &regs : o.regs) {
+        w.u32(static_cast<std::uint32_t>(regs.size()));
+        for (const auto &[reg, val] : regs) {
+            w.i32(reg);
+            w.i64(val);
+        }
+    }
+    w.u32(static_cast<std::uint32_t>(o.memory.size()));
+    for (const auto &[addr, val] : o.memory) {
+        w.i64(addr);
+        w.i64(val);
+    }
+}
+
+bool
+getOutcome(ByteReader &r, Outcome &o)
+{
+    std::uint32_t nt = 0;
+    if (!getCount(r, nt))
+        return false;
+    o.regs.resize(nt);
+    for (std::uint32_t t = 0; t < nt; ++t) {
+        std::uint32_t nr = 0;
+        if (!getCount(r, nr))
+            return false;
+        for (std::uint32_t i = 0; i < nr; ++i) {
+            const Reg reg = r.i32();
+            const Val val = r.i64();
+            o.regs[t][reg] = val;
+        }
+    }
+    std::uint32_t nm = 0;
+    if (!getCount(r, nm))
+        return false;
+    for (std::uint32_t i = 0; i < nm; ++i) {
+        const Addr addr = r.i64();
+        const Val val = r.i64();
+        o.memory[addr] = val;
+    }
+    return !r.failed();
+}
+
+void
+putStats(ByteWriter &w, const EnumStats &s)
+{
+    w.i64(s.statesExplored);
+    w.i64(s.statesForked);
+    w.i64(s.duplicates);
+    w.i64(s.rollbacks);
+    w.i64(s.txnAborts);
+    w.i64(s.stuck);
+    w.i64(s.executions);
+    w.i64(s.candidateSets);
+    w.i64(s.closureRuns);
+    w.i64(s.closureIterations);
+    w.i64(s.closureEdges);
+    w.i64(s.finalizeCloses);
+    w.i64(s.gatePolls);
+    w.i32(s.maxNodes);
+}
+
+bool
+getStats(ByteReader &r, EnumStats &s)
+{
+    s.statesExplored = r.i64();
+    s.statesForked = r.i64();
+    s.duplicates = r.i64();
+    s.rollbacks = r.i64();
+    s.txnAborts = r.i64();
+    s.stuck = r.i64();
+    s.executions = r.i64();
+    s.candidateSets = r.i64();
+    s.closureRuns = r.i64();
+    s.closureIterations = r.i64();
+    s.closureEdges = r.i64();
+    s.finalizeCloses = r.i64();
+    s.gatePolls = r.i64();
+    s.maxNodes = r.i32();
+    return !r.failed();
+}
+
+void
+putRegistry(ByteWriter &w, const stats::StatsRegistry &reg)
+{
+    w.u32(static_cast<std::uint32_t>(stats::numCounters));
+    for (int i = 0; i < stats::numCounters; ++i)
+        w.u64(reg.get(static_cast<stats::Ctr>(i)));
+}
+
+bool
+getRegistry(ByteReader &r, stats::StatsRegistry &reg)
+{
+    std::uint32_t n = 0;
+    if (!getCount(r, n))
+        return false;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint64_t v = r.u64();
+        if (r.failed())
+            return false;
+        if (i >= static_cast<std::uint32_t>(stats::numCounters))
+            continue; // unknown future counter: ignore
+        const auto c = static_cast<stats::Ctr>(i);
+        if (stats::info(c).maximum)
+            reg.peak(c, v);
+        else
+            reg.add(c, v);
+    }
+    return true;
+}
+
+std::string
+putU64List(const std::vector<std::uint64_t> &keys)
+{
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(keys.size()));
+    for (std::uint64_t k : keys)
+        w.u64(k);
+    return w.take();
+}
+
+bool
+getU64List(std::string_view payload, std::vector<std::uint64_t> &out)
+{
+    ByteReader r(payload);
+    std::uint32_t n = 0;
+    if (!getCount(r, n))
+        return false;
+    out.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        out.push_back(r.u64());
+    return !r.failed();
+}
+
+std::string
+putFrontier(const std::vector<Behavior> &frontier)
+{
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(frontier.size()));
+    for (const Behavior &b : frontier)
+        serializeBehavior(w, b);
+    return w.take();
+}
+
+bool
+getFrontier(std::string_view payload, std::vector<Behavior> &out)
+{
+    ByteReader r(payload);
+    std::uint32_t n = 0;
+    if (!getCount(r, n))
+        return false;
+    out.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        Behavior b;
+        if (!deserializeBehavior(r, b))
+            return false;
+        out.push_back(std::move(b));
+    }
+    return true;
+}
+
+} // namespace
+
+void
+serializeBehavior(ByteWriter &w, const Behavior &b)
+{
+    putGraph(w, b.graph);
+    w.u32(static_cast<std::uint32_t>(b.threads.size()));
+    for (const ThreadState &ts : b.threads)
+        putThreadState(w, ts);
+    w.u32(static_cast<std::uint32_t>(b.pendingAlias.size()));
+    for (const PendingAliasPair &p : b.pendingAlias) {
+        w.i32(p.first);
+        w.i32(p.second);
+    }
+    w.i32(b.nextTxn);
+}
+
+bool
+deserializeBehavior(ByteReader &r, Behavior &b)
+{
+    if (!getGraph(r, b.graph))
+        return false;
+    const NodeId numNodes = static_cast<NodeId>(b.graph.size());
+    std::uint32_t nt = 0;
+    if (!getCount(r, nt))
+        return false;
+    b.threads.resize(nt);
+    for (std::uint32_t t = 0; t < nt; ++t)
+        if (!getThreadState(r, b.threads[t], numNodes))
+            return false;
+    std::uint32_t np = 0;
+    if (!getCount(r, np))
+        return false;
+    b.pendingAlias.reserve(np);
+    for (std::uint32_t i = 0; i < np; ++i) {
+        PendingAliasPair p;
+        p.first = r.i32();
+        p.second = r.i32();
+        if (r.failed() || p.first < 0 || p.first >= numNodes ||
+            p.second < 0 || p.second >= numNodes)
+            return false;
+        b.pendingAlias.push_back(p);
+    }
+    b.nextTxn = r.i32();
+    return !r.failed();
+}
+
+std::string
+enumerationFingerprint(const Program &program,
+                       const MemoryModel &model,
+                       const EnumerationOptions &options)
+{
+    // The program (text + initial memory) is hashed to keep the
+    // fingerprint one short line; everything else is explicit so a
+    // mismatch message is actionable.
+    Fnv1a ph;
+    ph.str(program.toString());
+    for (const auto &[addr, val] : program.initialMemory()) {
+        ph.value(addr);
+        ph.value(val);
+    }
+
+    std::string fp = "prog=";
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(ph.digest()));
+    fp += hex;
+    fp += " model=" + model.name + "/" +
+          std::to_string(static_cast<int>(model.id)) + " table=";
+    for (int i = 0; i < numInstrClasses; ++i)
+        for (int j = 0; j < numInstrClasses; ++j)
+            fp += std::to_string(static_cast<int>(
+                model.table.get(static_cast<InstrClass>(i),
+                                static_cast<InstrClass>(j))));
+    fp += model.nonSpecAliasDeps ? " aliasdeps=1" : " aliasdeps=0";
+    fp += model.tsoBypass ? " bypass=1" : " bypass=0";
+    fp += " mdpt=" + std::to_string(options.maxDynamicPerThread);
+    fp += options.applyRuleC ? " rulec=1" : " rulec=0";
+    fp += options.valuePrediction ? " vp=1" : " vp=0";
+    fp += " pvals=";
+    for (Val v : options.predictionValues)
+        fp += std::to_string(v) + ",";
+    fp += options.trackPredictionDeps ? " trackdeps=1" : " trackdeps=0";
+    fp += options.collectExecutions ? " collect=1" : " collect=0";
+    return fp;
+}
+
+std::string
+encodeEngineSnapshot(const EngineSnapshot &snap,
+                     const std::string &fingerprint)
+{
+    snapshot::RecordWriter rw(fingerprint);
+
+    {
+        ByteWriter w;
+        w.u32(static_cast<std::uint32_t>(snap.engineMode));
+        w.str(toString(snap.truncation));
+        rw.record(snaprec::Meta, w.take());
+    }
+    {
+        ByteWriter w;
+        putStats(w, snap.stats);
+        rw.record(snaprec::Stats, w.take());
+    }
+    {
+        ByteWriter w;
+        putRegistry(w, snap.registry);
+        rw.record(snaprec::Registry, w.take());
+    }
+    {
+        ByteWriter w;
+        w.u32(static_cast<std::uint32_t>(snap.outcomes.size()));
+        for (const Outcome &o : snap.outcomes)
+            putOutcome(w, o);
+        rw.record(snaprec::Outcomes, w.take());
+    }
+    rw.record(snaprec::ExecKeys, putU64List(snap.executionKeys));
+    rw.record(snaprec::SeenKeys, putU64List(snap.seenKeys));
+    rw.record(snaprec::Frontier, putFrontier(snap.frontier));
+    if (!snap.executions.empty()) {
+        ByteWriter w;
+        w.u32(static_cast<std::uint32_t>(snap.executions.size()));
+        for (const ExecutionGraph &g : snap.executions)
+            putGraph(w, g);
+        rw.record(snaprec::Executions, w.take());
+    }
+    {
+        ByteWriter w;
+        w.u32(static_cast<std::uint32_t>(snap.spillSegments.size()));
+        for (const std::string &s : snap.spillSegments)
+            w.str(s);
+        rw.record(snaprec::Spill, w.take());
+    }
+    return rw.finish();
+}
+
+snapshot::Status
+decodeEngineSnapshot(std::string_view bytes,
+                     const std::string &expectFingerprint,
+                     EngineSnapshot &snap)
+{
+    snapshot::RecordReader rr;
+    Status st = rr.open(bytes, expectFingerprint);
+    if (!st.ok())
+        return st;
+
+    EngineSnapshot out;
+    const auto bad = [](std::uint32_t type) {
+        return Status::fail(Error::BadRecord,
+                            "record type " + std::to_string(type) +
+                                " payload is inconsistent");
+    };
+
+    std::uint32_t type = 0;
+    std::string_view payload;
+    while (rr.next(type, payload)) {
+        ByteReader r(payload);
+        switch (type) {
+        case snaprec::Meta: {
+            out.engineMode = static_cast<int>(r.u32());
+            const std::string trunc = r.str();
+            if (r.failed() ||
+                !truncationFromString(trunc, out.truncation))
+                return bad(type);
+            break;
+        }
+        case snaprec::Stats:
+            if (!getStats(r, out.stats))
+                return bad(type);
+            break;
+        case snaprec::Registry:
+            if (!getRegistry(r, out.registry))
+                return bad(type);
+            break;
+        case snaprec::Outcomes: {
+            std::uint32_t n = 0;
+            if (!getCount(r, n))
+                return bad(type);
+            for (std::uint32_t i = 0; i < n; ++i) {
+                Outcome o;
+                if (!getOutcome(r, o))
+                    return bad(type);
+                out.outcomes.insert(std::move(o));
+            }
+            break;
+        }
+        case snaprec::ExecKeys:
+            if (!getU64List(payload, out.executionKeys))
+                return bad(type);
+            break;
+        case snaprec::SeenKeys:
+            if (!getU64List(payload, out.seenKeys))
+                return bad(type);
+            break;
+        case snaprec::Frontier:
+            if (!getFrontier(payload, out.frontier))
+                return bad(type);
+            break;
+        case snaprec::Executions: {
+            std::uint32_t n = 0;
+            if (!getCount(r, n))
+                return bad(type);
+            out.executions.reserve(n);
+            for (std::uint32_t i = 0; i < n; ++i) {
+                ExecutionGraph g;
+                if (!getGraph(r, g))
+                    return bad(type);
+                out.executions.push_back(std::move(g));
+            }
+            break;
+        }
+        case snaprec::Spill: {
+            std::uint32_t n = 0;
+            if (!getCount(r, n))
+                return bad(type);
+            for (std::uint32_t i = 0; i < n; ++i) {
+                const std::string s = r.str();
+                if (r.failed())
+                    return bad(type);
+                out.spillSegments.push_back(s);
+            }
+            break;
+        }
+        default:
+            break; // unknown record type: skip (forward compat)
+        }
+    }
+    if (!rr.status().ok())
+        return rr.status();
+    snap = std::move(out);
+    return Status{};
+}
+
+snapshot::Status
+writeEngineSnapshot(const std::string &path,
+                    const EngineSnapshot &snap,
+                    const std::string &fingerprint)
+{
+    std::string bytes = encodeEngineSnapshot(snap, fingerprint);
+    if (fault::snapshotTornDue() && bytes.size() > 16) {
+        // Injected crash/disk-full tear: drop the tail mid-record so
+        // the reader must reject the file as Torn.
+        bytes.resize(bytes.size() - bytes.size() / 3);
+    }
+    if (!writeFileAtomic(path, bytes))
+        return Status::fail(Error::Io,
+                            "cannot write snapshot to " + path);
+    return Status{};
+}
+
+snapshot::Status
+readEngineSnapshot(const std::string &path,
+                   const std::string &expectFingerprint,
+                   EngineSnapshot &snap)
+{
+    std::string bytes;
+    if (!readFileBytes(path, bytes))
+        return Status::fail(Error::Io,
+                            "cannot read snapshot " + path);
+    return decodeEngineSnapshot(bytes, expectFingerprint, snap);
+}
+
+namespace
+{
+
+/** Process-wide segment id: enumerations sharing one spill directory
+ *  (e.g. concurrent oracle sides) must not collide on file names. */
+std::atomic<std::uint64_t> g_segCounter{0};
+
+} // namespace
+
+SpillQueue::SpillQueue(std::string dir, std::string fingerprint)
+    : dir_(std::move(dir)), fingerprint_(std::move(fingerprint))
+{
+}
+
+void
+SpillQueue::adoptSegments(std::vector<std::string> segs)
+{
+    segments_ = std::move(segs);
+}
+
+bool
+SpillQueue::spill(std::vector<Behavior> &&behaviors,
+                  stats::StatsRegistry &reg)
+{
+    if (!enabled() || behaviors.empty())
+        return true;
+    const std::uint64_t id =
+        g_segCounter.fetch_add(1, std::memory_order_relaxed);
+    char name[64];
+    std::snprintf(name, sizeof(name), "/spill-%ld-%llu.seg",
+                  static_cast<long>(::getpid()),
+                  static_cast<unsigned long long>(id));
+    const std::string path = dir_ + name;
+
+    snapshot::RecordWriter rw(fingerprint_);
+    rw.record(snaprec::Frontier, putFrontier(behaviors));
+    if (fault::spillIoFailDue() ||
+        !writeFileAtomic(path, rw.finish()))
+        return false;
+    segments_.push_back(path);
+    reg.add(stats::Ctr::SpillSegments);
+    return true;
+}
+
+snapshot::Status
+SpillQueue::reload(std::vector<Behavior> &out,
+                   stats::StatsRegistry &reg)
+{
+    if (segments_.empty())
+        return Status::fail(Error::Io, "no spill segments to reload");
+    const std::string path = segments_.back();
+    segments_.pop_back();
+
+    if (fault::spillIoFailDue())
+        return Status::fail(Error::Io,
+                            "injected spill-io-fail on " + path);
+    std::string bytes;
+    if (!readFileBytes(path, bytes))
+        return Status::fail(Error::Io,
+                            "cannot read spill segment " + path);
+
+    snapshot::RecordReader rr;
+    Status st = rr.open(bytes, fingerprint_);
+    if (!st.ok())
+        return st;
+    bool got = false;
+    std::uint32_t type = 0;
+    std::string_view payload;
+    while (rr.next(type, payload)) {
+        if (type == snaprec::Frontier) {
+            if (!getFrontier(payload, out))
+                return Status::fail(Error::BadRecord,
+                                    "spill segment " + path +
+                                        " frontier is inconsistent");
+            got = true;
+        }
+    }
+    if (!rr.status().ok())
+        return rr.status();
+    if (!got)
+        return Status::fail(Error::BadRecord,
+                            "spill segment " + path +
+                                " has no frontier record");
+    reg.add(stats::Ctr::SpillReloadBytes, bytes.size());
+    std::remove(path.c_str());
+    return Status{};
+}
+
+} // namespace satom

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Checkpoint/restore and out-of-core spill for the enumeration engine.
+ *
+ * An EngineSnapshot is the complete mid-run state of one enumeration:
+ * the pending frontier (each behavior's graph nodes, direct edges in
+ * insertion order, load resolutions and per-thread state), the dedup
+ * seen-key set, the outcome accumulator, the execution-key set and the
+ * run's counters.  The serial engine's snapshot preserves its exact
+ * depth-first stack order, so a resumed run replays the identical
+ * exploration; the parallel engine snapshots at wave barriers, where
+ * the frontier sequence is worker-count independent.  Either way the
+ * final EnumerationResult of interrupted-then-resumed exploration is
+ * bit-equivalent (outcomes and deterministic counters) to an
+ * uninterrupted run.
+ *
+ * Graph fidelity rests on two properties of ExecutionGraph: (a) every
+ * direct edge in edges() was non-implied at its own insertion point,
+ * so replaying the direct-edge list in order on the reconstructed node
+ * set reproduces the identical edge list and transitive closure; and
+ * (b) the store index is maintained sorted by (addr, id) whether a
+ * store's address was known at addNode() time or resolved later, so
+ * adding nodes in their final resolved state lands the same index.
+ *
+ * The SpillQueue turns memory pressure into out-of-core execution:
+ * cold frontier segments are written as snapshot-format files (one
+ * frontier record each) in a spill directory and reloaded last-spilled
+ * -first as the in-memory frontier drains.  For the serial stack that
+ * LIFO discipline preserves the exact DFS order; for the parallel
+ * frontier it preserves the deterministic wave sequence for a given
+ * spill limit.  Segment files are deleted as they are reloaded.
+ *
+ * Everything here degrades structurally, never undefined: corrupt,
+ * torn, version-mismatched or configuration-mismatched input yields a
+ * snapshot::Status, and spill I/O failures surface as a contained
+ * truncation in the engine.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "enumerate/engine.hpp"
+#include "util/snapshot.hpp"
+
+namespace satom
+{
+
+/** Record types inside an engine snapshot / spill segment. */
+namespace snaprec
+{
+inline constexpr std::uint32_t Meta = 1;
+inline constexpr std::uint32_t Stats = 2;
+inline constexpr std::uint32_t Registry = 3;
+inline constexpr std::uint32_t Outcomes = 4;
+inline constexpr std::uint32_t ExecKeys = 5;
+inline constexpr std::uint32_t SeenKeys = 6;
+inline constexpr std::uint32_t Frontier = 7;
+inline constexpr std::uint32_t Executions = 8;
+inline constexpr std::uint32_t Spill = 9;
+} // namespace snaprec
+
+/** Complete checkpointed state of one enumeration run. */
+struct EngineSnapshot
+{
+    /** 0 = serial stack, 1 = parallel wave frontier (informational:
+     *  a snapshot may be resumed under either engine; byte-identical
+     *  continuation is guaranteed when the mode matches). */
+    int engineMode = 0;
+
+    /** Why the checkpoint was taken (None = periodic cadence). */
+    Truncation truncation = Truncation::None;
+
+    /** Counters accumulated up to the checkpoint. */
+    EnumStats stats;
+
+    /** Telemetry registry at the checkpoint (waves, checkpoints,
+     *  spill counters; deterministic counters are re-derived from
+     *  `stats` when the resumed run finishes). */
+    stats::StatsRegistry registry;
+
+    /** Outcomes recorded so far. */
+    std::set<Outcome> outcomes;
+
+    /** Distinct execution keys recorded so far (sorted). */
+    std::vector<std::uint64_t> executionKeys;
+
+    /** Dedup digests of every state ever enqueued (sorted). */
+    std::vector<std::uint64_t> seenKeys;
+
+    /** Pending frontier, coldest first (serial: stack bottom-to-top;
+     *  the engines pop/consume exactly as they would have live). */
+    std::vector<Behavior> frontier;
+
+    /** Collected execution graphs (collectExecutions mode only). */
+    std::vector<ExecutionGraph> executions;
+
+    /** Spill segment files still on disk, in spill order; the resumed
+     *  engine adopts them (the snapshot references, not copies, the
+     *  out-of-core part of the frontier). */
+    std::vector<std::string> spillSegments;
+};
+
+/**
+ * The `#cfg`-style fingerprint identifying what a snapshot may resume:
+ * program text + initial memory (hashed), the model definition, and
+ * every option that changes the search space.  Deliberately EXCLUDES
+ * maxStates, budget and numWorkers, so a resume may raise caps or
+ * change worker count.
+ */
+std::string enumerationFingerprint(const Program &program,
+                                   const MemoryModel &model,
+                                   const EnumerationOptions &options);
+
+/** Serialize one behavior (exposed for spill segments and tests). */
+void serializeBehavior(snapshot::ByteWriter &w, const Behavior &b);
+
+/**
+ * Rebuild a behavior; false on malformed input (bounds violation,
+ * node-id mismatch, out-of-range reference, edge replay closing a
+ * cycle).  @p b is left unspecified on failure.
+ */
+bool deserializeBehavior(snapshot::ByteReader &r, Behavior &b);
+
+/** Encode a snapshot to its full byte stream (header + records). */
+std::string encodeEngineSnapshot(const EngineSnapshot &snap,
+                                 const std::string &fingerprint);
+
+/**
+ * Decode @p bytes into @p snap, validating magic/version/CRCs and —
+ * when nonempty — @p expectFingerprint.  On any failure @p snap is
+ * untouched and the Status says why.
+ */
+snapshot::Status decodeEngineSnapshot(
+    std::string_view bytes, const std::string &expectFingerprint,
+    EngineSnapshot &snap);
+
+/**
+ * Persist @p snap to @p path via tmp+rename.  Honors the
+ * SATOM_FAULT=torn-snapshot site by truncating the stream mid-record
+ * before writing (testing the reader's torn-tail rejection).
+ */
+snapshot::Status writeEngineSnapshot(const std::string &path,
+                                     const EngineSnapshot &snap,
+                                     const std::string &fingerprint);
+
+/** Load and decode the snapshot at @p path. */
+snapshot::Status readEngineSnapshot(
+    const std::string &path, const std::string &expectFingerprint,
+    EngineSnapshot &snap);
+
+/**
+ * Disk-backed LIFO queue of frontier segments (the out-of-core half
+ * of the frontier).  Not thread-safe; owned by one engine run and
+ * touched only from its wave/stack loop.
+ */
+class SpillQueue
+{
+  public:
+    SpillQueue(std::string dir, std::string fingerprint);
+
+    /** True iff a spill directory was configured. */
+    bool enabled() const { return !dir_.empty(); }
+
+    bool empty() const { return segments_.empty(); }
+
+    /** Segment files currently on disk, in spill order. */
+    const std::vector<std::string> &segments() const
+    {
+        return segments_;
+    }
+
+    /** Adopt segments referenced by a resumed snapshot. */
+    void adoptSegments(std::vector<std::string> segs);
+
+    /**
+     * Write @p behaviors (coldest first) as a new segment file.
+     * False on I/O failure (including an injected spill-io-fail), in
+     * which case no segment is recorded and the behaviors are lost —
+     * the engine treats that as a contained truncation.
+     */
+    bool spill(std::vector<Behavior> &&behaviors,
+               stats::StatsRegistry &reg);
+
+    /**
+     * Reload the most recently spilled segment into @p out (same
+     * coldest-first order it was spilled in) and delete its file.
+     * Status tells why on failure; the failed segment is dropped from
+     * the queue either way (it cannot be retried).
+     */
+    snapshot::Status reload(std::vector<Behavior> &out,
+                            stats::StatsRegistry &reg);
+
+  private:
+    std::string dir_;
+    std::string fingerprint_;
+    std::vector<std::string> segments_;
+};
+
+} // namespace satom

@@ -1,5 +1,6 @@
 #include "fuzz/journal.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <fstream>
@@ -122,6 +123,41 @@ parseJournalLine(const std::string &line, SeedRecord &r)
     return true;
 }
 
+void
+SeedIndex::finalize()
+{
+    // Stable sort keeps equal seeds in append order, so "keep the
+    // last of each run" below is exactly the old map's last-write-
+    // wins overwrite.
+    std::stable_sort(records_.begin(), records_.end(),
+                     [](const SeedRecord &a, const SeedRecord &b) {
+                         return a.seed < b.seed;
+                     });
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        if (i + 1 < records_.size() &&
+            records_[i + 1].seed == records_[i].seed)
+            continue;
+        if (out != i)
+            records_[out] = std::move(records_[i]);
+        ++out;
+    }
+    records_.resize(out);
+}
+
+const SeedRecord *
+SeedIndex::find(std::uint32_t seed) const
+{
+    const auto it = std::lower_bound(
+        records_.begin(), records_.end(), seed,
+        [](const SeedRecord &r, std::uint32_t s) {
+            return r.seed < s;
+        });
+    if (it == records_.end() || it->seed != seed)
+        return nullptr;
+    return &*it;
+}
+
 JournalLoad
 loadJournal(const std::string &path, const std::string &fingerprint)
 {
@@ -151,10 +187,11 @@ loadJournal(const std::string &path, const std::string &fingerprint)
         }
         SeedRecord r;
         if (parseJournalLine(line, r))
-            load.seeds[r.seed] = std::move(r);
+            load.seeds.add(std::move(r));
         else
             ++load.corruptLines;
     }
+    load.seeds.finalize();
     return load;
 }
 

@@ -33,7 +33,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -90,6 +89,52 @@ std::string journalLine(const SeedRecord &r);
  */
 bool parseJournalLine(const std::string &line, SeedRecord &r);
 
+/**
+ * Seed-keyed index over loaded journal records: a sorted vector with
+ * binary-search lookup.  The node-per-record std::map the loader used
+ * before scaled poorly to overnight campaigns (10^5+ journaled seeds
+ * meant 10^5 rebalancing allocations on every --resume); records now
+ * load into one contiguous append-only vector, sorted once in
+ * finalize().  Append order wins for duplicate seeds, matching the
+ * map-overwrite semantics the resume identity tests pin down.
+ */
+class SeedIndex
+{
+  public:
+    /** Append a loaded record (index is unsorted until finalize). */
+    void
+    add(SeedRecord r)
+    {
+        records_.push_back(std::move(r));
+    }
+
+    /**
+     * Sort by seed and drop all but the last-appended record of each
+     * seed.  Called once by loadJournal; add() after this re-requires
+     * it.
+     */
+    void finalize();
+
+    /** Binary-search @p seed; nullptr when absent. */
+    const SeedRecord *find(std::uint32_t seed) const;
+
+    std::size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+
+    /** 1 if @p seed is present, else 0 (std::map-compatible spelling). */
+    std::size_t
+    count(std::uint32_t seed) const
+    {
+        return find(seed) != nullptr ? 1 : 0;
+    }
+
+    /** The records, sorted by seed (valid after finalize()). */
+    const std::vector<SeedRecord> &records() const { return records_; }
+
+  private:
+    std::vector<SeedRecord> records_;
+};
+
 /** Result of reading a campaign journal back. */
 struct JournalLoad
 {
@@ -106,8 +151,8 @@ struct JournalLoad
     /** Unparseable (corrupt/torn/old-version) records skipped. */
     long corruptLines = 0;
 
-    /** Cleanly loaded seeds, by seed number. */
-    std::map<std::uint32_t, SeedRecord> seeds;
+    /** Cleanly loaded seeds, indexed by seed number. */
+    SeedIndex seeds;
 };
 
 /**

@@ -63,6 +63,7 @@ enumOptions(const OracleOptions &o)
     e.maxStates = o.maxGraphStates;
     e.numWorkers = 1;
     e.budget = o.budget;
+    e.spillDir = o.spillDir;
     return e;
 }
 

@@ -125,6 +125,14 @@ struct OracleOptions
     RunBudget budget;
 
     /**
+     * Out-of-core spill directory for the graph enumerations behind
+     * the oracles (EnumerationOptions::spillDir): with a memory
+     * ceiling in `budget`, cold frontier segments spill here instead
+     * of truncating the run to Inconclusive.  Empty = no spilling.
+     */
+    std::string spillDir;
+
+    /**
      * TESTING ONLY — intentional oracle bug: ScVsOperational compares
      * the SC graph enumerator against the *TSO store-buffer machine*.
      * Any program whose TSO behaviors exceed SC (a store-buffering

@@ -1,0 +1,49 @@
+#include "util/atomic_file.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace satom
+{
+
+bool
+writeFileAtomic(const std::string &path, const std::string &content)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream f(tmp, std::ios::trunc | std::ios::binary);
+        if (!f || !f.write(content.data(),
+                           static_cast<std::streamsize>(
+                               content.size()))) {
+            std::remove(tmp.c_str());
+            return false;
+        }
+        f.flush();
+        if (!f) {
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+readFileBytes(const std::string &path, std::string &out)
+{
+    out.clear();
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    if (f.bad())
+        return false;
+    out = buf.str();
+    return true;
+}
+
+} // namespace satom

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Crash-safe file writing, shared by every persistent artifact in the
+ * system (fuzz reports, campaign journals, engine snapshots, spill
+ * segments).
+ *
+ * Two patterns cover all of them:
+ *
+ *  - writeFileAtomic(): the tmp+rename pattern.  The bytes land in
+ *    `path.tmp` first and are renamed over `path` only once the write
+ *    and flush completed, so a reader never observes a torn file: it
+ *    sees either the old content or the new, never a prefix.  POSIX
+ *    rename() is atomic within a filesystem.  This was previously
+ *    inlined in the satom_fuzz report path; the snapshot writer and
+ *    the litmus_runner checkpoint path share it now.
+ *
+ *  - AppendLog: the flushed append-only pattern of the campaign
+ *    journal.  Each line is written and flushed before the caller
+ *    retires the unit of work it records, so a kill at any instant
+ *    loses at most the in-flight record — and leaves at most one torn
+ *    tail line, which the reader-side parsers are required to skip.
+ *
+ * Neither helper throws: failures are reported through return values,
+ * because the writers run on campaign/engine hot paths where an
+ * exception would tear down the very run the artifact is protecting.
+ */
+
+#pragma once
+
+#include <fstream>
+#include <string>
+
+namespace satom
+{
+
+/**
+ * Write @p content to @p path via tmp+rename.  False on any I/O
+ * failure (the tmp file is removed on a failed write; @p path is
+ * never left torn).
+ */
+bool writeFileAtomic(const std::string &path,
+                     const std::string &content);
+
+/**
+ * Read the whole of @p path into @p out.  False if the file cannot
+ * be opened or read; @p out is cleared then.
+ */
+bool readFileBytes(const std::string &path, std::string &out);
+
+/**
+ * Append-only log with per-line flushing: the journal discipline.
+ * open() either truncates (a fresh log) or appends (a resumed one);
+ * appendLine() writes one line and flushes it to the OS before
+ * returning, making the record crash-durable up to the page cache.
+ */
+class AppendLog
+{
+  public:
+    /** Open @p path; truncate when @p fresh, append otherwise. */
+    bool
+    open(const std::string &path, bool fresh)
+    {
+        f_.open(path, fresh ? std::ios::trunc : std::ios::app);
+        return f_.good();
+    }
+
+    bool isOpen() const { return f_.is_open(); }
+
+    /** Write @p line + '\n' and flush; false on I/O failure. */
+    bool
+    appendLine(const std::string &line)
+    {
+        if (!f_.is_open())
+            return false;
+        f_ << line << '\n';
+        f_.flush();
+        return f_.good();
+    }
+
+  private:
+    std::ofstream f_;
+};
+
+} // namespace satom

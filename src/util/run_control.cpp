@@ -137,6 +137,12 @@ armFromSpec(const std::string &spec)
         arm(Site::Stall, n);
     else if (name == "kill-after-journal")
         arm(Site::KillAfterJournal, n);
+    else if (name == "kill-after-checkpoint")
+        arm(Site::KillAfterCheckpoint, n);
+    else if (name == "torn-snapshot")
+        arm(Site::TornSnapshot, n);
+    else if (name == "spill-io-fail")
+        arm(Site::SpillIoFail, n);
     else
         return false;
     return true;
@@ -187,16 +193,46 @@ maybeInjectWorker()
     }
 }
 
+namespace
+{
+
+/** Shared countdown logic for the site-specific "due" predicates. */
 bool
-journalKillDue()
+siteHitDue(Site wanted)
 {
     if (!armed())
         return false;
     if (static_cast<Site>(g_site.load(std::memory_order_acquire)) !=
-        Site::KillAfterJournal)
+        wanted)
         return false;
     return g_hits.fetch_add(1, std::memory_order_relaxed) + 1 >=
            g_param.load(std::memory_order_relaxed);
+}
+
+} // namespace
+
+bool
+journalKillDue()
+{
+    return siteHitDue(Site::KillAfterJournal);
+}
+
+bool
+checkpointKillDue()
+{
+    return siteHitDue(Site::KillAfterCheckpoint);
+}
+
+bool
+snapshotTornDue()
+{
+    return siteHitDue(Site::TornSnapshot);
+}
+
+bool
+spillIoFailDue()
+{
+    return siteHitDue(Site::SpillIoFail);
 }
 
 } // namespace fault

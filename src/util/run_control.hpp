@@ -193,6 +193,16 @@ class BudgetGate
  *   kill-after-journal:N  the N-th hit of the "journal" site reports
  *                         fire (satom_fuzz then _Exit(137)s, the
  *                         SIGKILL-mid-campaign simulation)
+ *   kill-after-checkpoint:N  the N-th hit of the "checkpoint" site
+ *                         reports fire (litmus_runner then
+ *                         _Exit(137)s: SIGKILL between an engine
+ *                         checkpoint and run completion)
+ *   torn-snapshot:N       the N-th snapshot write truncates its byte
+ *                         stream mid-record (a crash/disk-full tear,
+ *                         which the reader must reject as Torn)
+ *   spill-io-fail:N       the N-th spill-segment write or reload
+ *                         fails as if the disk did (the engine must
+ *                         degrade to a MemoryCap truncation, not UB)
  *
  * The disarmed fast path is a single relaxed atomic load.
  */
@@ -206,6 +216,9 @@ enum class Site
     AllocFail,
     Stall,
     KillAfterJournal,
+    KillAfterCheckpoint,
+    TornSnapshot,
+    SpillIoFail,
 };
 
 /** Arm programmatically; n is the hit index (or ms for Stall). */
@@ -232,6 +245,27 @@ void maybeInjectWorker();
  * keeping process exit out of library code).
  */
 bool journalKillDue();
+
+/**
+ * The "checkpoint" injection point: returns true when the armed
+ * kill-after-checkpoint count is reached (the CLI performs the kill,
+ * keeping process exit out of library code).
+ */
+bool checkpointKillDue();
+
+/**
+ * The "snapshot write" injection point: returns true when the armed
+ * torn-snapshot count is reached; the snapshot writer then truncates
+ * the stream it persists, simulating a torn tail.
+ */
+bool snapshotTornDue();
+
+/**
+ * The "spill I/O" injection point: returns true when the armed
+ * spill-io-fail count is reached; the spill queue then reports the
+ * write/reload as failed.
+ */
+bool spillIoFailDue();
 
 } // namespace fault
 

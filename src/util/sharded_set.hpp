@@ -62,6 +62,22 @@ class ShardedU64Set
         }
     }
 
+    /**
+     * Visit every key (takes each shard lock in turn; shard-internal
+     * order is unspecified, so callers that need a canonical order —
+     * the checkpoint writer — must sort what they collect).
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Shard &s : shards_) {
+            std::lock_guard<std::mutex> lk(s.m);
+            for (std::uint64_t k : s.keys)
+                fn(k);
+        }
+    }
+
   private:
     static constexpr unsigned shardBits = 6;
     static constexpr std::size_t numShards = std::size_t{1} << shardBits;

@@ -1,0 +1,206 @@
+#include "util/snapshot.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace satom::snapshot
+{
+
+const char *
+toString(Error e)
+{
+    switch (e) {
+    case Error::None:
+        return "none";
+    case Error::Io:
+        return "io";
+    case Error::BadMagic:
+        return "bad-magic";
+    case Error::BadVersion:
+        return "bad-version";
+    case Error::CfgMismatch:
+        return "cfg-mismatch";
+    case Error::Torn:
+        return "torn";
+    case Error::BadCrc:
+        return "bad-crc";
+    case Error::BadRecord:
+        return "bad-record";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        t[i] = c;
+    }
+    return t;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t n, std::uint32_t seed)
+{
+    static const std::array<std::uint32_t, 256> table =
+        makeCrcTable();
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < n; ++i)
+        c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+RecordWriter::RecordWriter(std::string_view fingerprint)
+{
+    buf_.append(magic, sizeof(magic));
+    ByteWriter w;
+    w.u32(formatVersion);
+    w.str(fingerprint);
+    const std::string header = w.take();
+    buf_ += header;
+    ByteWriter crcw;
+    crcw.u32(crc32(header.data(), header.size()));
+    buf_ += crcw.take();
+}
+
+void
+RecordWriter::record(std::uint32_t type, std::string_view payload)
+{
+    ByteWriter w;
+    w.u32(type);
+    w.u64(payload.size());
+    buf_ += w.take();
+    buf_.append(payload.data(), payload.size());
+    ByteWriter crcw;
+    crcw.u32(crc32(payload.data(), payload.size()));
+    buf_ += crcw.take();
+}
+
+std::string
+RecordWriter::finish()
+{
+    if (!finished_) {
+        record(recordEnd, {});
+        finished_ = true;
+    }
+    return std::move(buf_);
+}
+
+Status
+RecordReader::open(std::string_view bytes,
+                   std::string_view expectFingerprint)
+{
+    data_ = bytes;
+    pos_ = 0;
+    sawEnd_ = false;
+    status_ = Status{};
+
+    if (data_.size() < sizeof(magic) ||
+        std::memcmp(data_.data(), magic, sizeof(magic)) != 0) {
+        status_ = Status::fail(Error::BadMagic,
+                               "not a SATOMSNP snapshot file");
+        return status_;
+    }
+    pos_ = sizeof(magic);
+
+    // The header (version + fingerprint) is length-delimited, so we
+    // parse it with a ByteReader over the remainder and then verify
+    // its own CRC before trusting either field.
+    ByteReader r(data_.substr(pos_));
+    const std::uint32_t version = r.u32();
+    const std::string fp = r.str();
+    if (r.failed()) {
+        status_ = Status::fail(Error::Torn,
+                               "truncated snapshot header");
+        return status_;
+    }
+    const std::size_t headerLen =
+        4 + 4 + fp.size(); // u32 version + length-prefixed string
+    const std::uint32_t wantCrc = r.u32();
+    if (r.failed()) {
+        status_ = Status::fail(Error::Torn,
+                               "truncated snapshot header");
+        return status_;
+    }
+    const std::uint32_t gotCrc =
+        crc32(data_.data() + pos_, headerLen);
+    if (gotCrc != wantCrc) {
+        status_ = Status::fail(Error::BadCrc,
+                               "snapshot header checksum mismatch");
+        return status_;
+    }
+    if (version != formatVersion) {
+        status_ = Status::fail(
+            Error::BadVersion,
+            "snapshot format version " + std::to_string(version) +
+                ", this build reads " +
+                std::to_string(formatVersion));
+        return status_;
+    }
+    if (!expectFingerprint.empty() && fp != expectFingerprint) {
+        status_ = Status::fail(
+            Error::CfgMismatch,
+            "snapshot was taken under a different configuration: "
+            "snapshot=[" +
+                fp + "] current=[" + std::string(expectFingerprint) +
+                "]");
+        return status_;
+    }
+    fingerprint_ = fp;
+    pos_ += headerLen + 4; // header + its CRC
+    return status_;
+}
+
+bool
+RecordReader::next(std::uint32_t &type, std::string_view &payload)
+{
+    if (!status_.ok() || sawEnd_)
+        return false;
+    if (pos_ >= data_.size()) {
+        status_ = Status::fail(
+            Error::Torn, "snapshot ends without an end record");
+        return false;
+    }
+    ByteReader r(data_.substr(pos_));
+    const std::uint32_t t = r.u32();
+    const std::uint64_t len = r.u64();
+    if (r.failed() || r.remaining() < len + 4) {
+        status_ = Status::fail(
+            Error::Torn,
+            "record frame truncated at byte " + std::to_string(pos_));
+        return false;
+    }
+    const std::size_t payloadOff = pos_ + 4 + 8;
+    const std::string_view body = data_.substr(
+        payloadOff, static_cast<std::size_t>(len));
+    ByteReader crcr(
+        data_.substr(payloadOff + static_cast<std::size_t>(len), 4));
+    const std::uint32_t wantCrc = crcr.u32();
+    if (crc32(body.data(), body.size()) != wantCrc) {
+        status_ = Status::fail(
+            Error::BadCrc, "record type " + std::to_string(t) +
+                               " at byte " + std::to_string(pos_) +
+                               " failed its checksum");
+        return false;
+    }
+    pos_ = payloadOff + static_cast<std::size_t>(len) + 4;
+    if (t == recordEnd) {
+        sawEnd_ = true;
+        return false; // clean end: status_.ok() stays true
+    }
+    type = t;
+    payload = body;
+    return true;
+}
+
+} // namespace satom::snapshot

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * The versioned, CRC-checked binary snapshot format behind engine
+ * checkpoints and frontier spill segments.
+ *
+ * Layout of a snapshot file:
+ *
+ *   magic(8) = "SATOMSNP"
+ *   u32 formatVersion
+ *   u32 fingerprintLen | fingerprint bytes   (the #cfg string)
+ *   u32 crc32(formatVersion || fingerprint)
+ *   record*                                   (framed, see below)
+ *   end record (type = recordEnd, empty payload)
+ *
+ * Each record is framed as
+ *
+ *   u32 type | u64 payloadLen | payload bytes | u32 crc32(payload)
+ *
+ * so a reader can (a) skip record types it does not know, (b) detect
+ * a bit flip anywhere in a payload via the CRC, and (c) detect a torn
+ * tail — the damage a SIGKILL or disk-full leaves — as either a frame
+ * whose declared length runs past EOF or a file that ends before the
+ * explicit end record.  Checkpoints are written tmp+rename and should
+ * never tear; spill segments and crash debris can, and the reader
+ * must degrade to a structured error, never UB or an exception.
+ *
+ * The fingerprint plays the same role as the fuzz journal's #cfg
+ * header: a snapshot resumed under a different program / model /
+ * semantic option set would silently corrupt the bit-equivalence
+ * contract, so mismatches are refused with both strings in the error.
+ *
+ * ByteWriter/ByteReader are the primitive codecs (little-endian fixed
+ * width).  ByteReader is fail-sticky and bounds-checked: any read past
+ * the end flips the fail flag and returns zeros, so record decoders
+ * can decode unconditionally and check failed() once at the end.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace satom::snapshot
+{
+
+/** Bytes 0..7 of every snapshot/spill file. */
+inline constexpr char magic[8] = {'S', 'A', 'T', 'O',
+                                  'M', 'S', 'N', 'P'};
+
+/** Format version written by this build. */
+inline constexpr std::uint32_t formatVersion = 1;
+
+/** The explicit end-of-stream record type. */
+inline constexpr std::uint32_t recordEnd = 0xE0Fu;
+
+/** Why a snapshot could not be read. */
+enum class Error
+{
+    None,        ///< loaded cleanly
+    Io,          ///< the file cannot be opened or read
+    BadMagic,    ///< not a snapshot file at all
+    BadVersion,  ///< written by a different format version
+    CfgMismatch, ///< fingerprint differs from the current run's
+    Torn,        ///< truncated mid-record or missing the end record
+    BadCrc,      ///< a payload failed its checksum (bit flip)
+    BadRecord,   ///< a payload decoded to inconsistent state
+};
+
+/** Stable name: "none", "io", "bad-magic", ... */
+const char *toString(Error e);
+
+/** Structured outcome of a snapshot read/write. */
+struct Status
+{
+    Error error = Error::None;
+    std::string detail; ///< human-readable specifics
+
+    bool ok() const { return error == Error::None; }
+
+    static Status
+    fail(Error e, std::string d)
+    {
+        return Status{e, std::move(d)};
+    }
+};
+
+/** CRC-32 (IEEE 802.3 polynomial, the zlib convention). */
+std::uint32_t crc32(const void *data, std::size_t n,
+                    std::uint32_t seed = 0);
+
+/** Little-endian serializer into a growable byte buffer. */
+class ByteWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(static_cast<char>(v));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+    void
+    str(std::string_view s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        buf_.append(s.data(), s.size());
+    }
+
+    const std::string &bytes() const { return buf_; }
+    std::string take() { return std::move(buf_); }
+
+  private:
+    std::string buf_;
+};
+
+/**
+ * Bounds-checked little-endian reader over a byte span.  All getters
+ * return zero/empty after a bounds violation and set failed(); they
+ * never read out of bounds and never throw.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::string_view data) : data_(data) {}
+
+    std::uint8_t
+    u8()
+    {
+        if (pos_ >= data_.size()) {
+            failed_ = true;
+            return 0;
+        }
+        return static_cast<std::uint8_t>(data_[pos_++]);
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+        return v;
+    }
+
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    bool boolean() { return u8() != 0; }
+
+    std::string
+    str()
+    {
+        const std::uint32_t n = u32();
+        if (failed_ || data_.size() - pos_ < n) {
+            failed_ = true;
+            return {};
+        }
+        std::string s(data_.substr(pos_, n));
+        pos_ += n;
+        return s;
+    }
+
+    bool failed() const { return failed_; }
+    bool atEnd() const { return pos_ >= data_.size(); }
+    std::size_t remaining() const { return data_.size() - pos_; }
+
+  private:
+    std::string_view data_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+/**
+ * Assembles one snapshot byte stream: header, framed records, end
+ * marker.  The caller persists bytes() (atomically, for checkpoints).
+ */
+class RecordWriter
+{
+  public:
+    explicit RecordWriter(std::string_view fingerprint);
+
+    /** Append one framed record of @p type. */
+    void record(std::uint32_t type, std::string_view payload);
+
+    /** Append the end record and return the full stream. */
+    std::string finish();
+
+  private:
+    std::string buf_;
+    bool finished_ = false;
+};
+
+/**
+ * Walks the framed records of a snapshot byte stream.  open()
+ * validates magic/version/header-CRC and (when @p expectFingerprint
+ * is nonempty) the configuration fingerprint.  next() yields records
+ * until the end marker; a stream that stops without one is Torn.
+ */
+class RecordReader
+{
+  public:
+    /** Validate the header; Status tells why on failure. */
+    Status open(std::string_view bytes,
+                std::string_view expectFingerprint);
+
+    /**
+     * Fetch the next record.  True with type/payload set on success;
+     * false at the end marker or on malformed input — check status()
+     * to distinguish (ok() == clean end).
+     */
+    bool next(std::uint32_t &type, std::string_view &payload);
+
+    const Status &status() const { return status_; }
+
+    /** The fingerprint stored in the stream's header. */
+    const std::string &fingerprint() const { return fingerprint_; }
+
+  private:
+    std::string_view data_;
+    std::size_t pos_ = 0;
+    std::string fingerprint_;
+    Status status_;
+    bool sawEnd_ = false;
+};
+
+} // namespace satom::snapshot

@@ -35,6 +35,9 @@ constexpr CtrInfo kInfo[numCounters] = {
     {"wave-items", false, false},
     {"max-wave-size", true, false},
     {"steals", false, false},
+    {"checkpoints-written", false, false},
+    {"spill-segments", false, false},
+    {"spill-reload-bytes", false, false},
 };
 
 } // namespace

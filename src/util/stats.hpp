@@ -98,6 +98,9 @@ enum class Ctr : int
     WaveItems,          ///< frontier items processed across all waves
     MaxWaveSize,        ///< largest single wave (maximum)
     Steals,             ///< successful work-steals in the pool
+    CheckpointsWritten, ///< engine snapshots persisted this run
+    SpillSegments,      ///< frontier segments spilled to disk
+    SpillReloadBytes,   ///< spill segment bytes read back in
 
     Count_,
 };

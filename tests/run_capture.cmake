@@ -1,0 +1,29 @@
+# Run a command, capture its stdout to a file, and require an exact
+# exit code.  ctest's COMMAND cannot redirect stdout or assert a
+# specific nonzero code (WILL_FAIL accepts *any* failure), and the
+# crash-resume chains below need both: litmus_runner --json writes to
+# stdout, and a SATOM_FAULT kill must exit with exactly 137 — any
+# other failure is a real bug, not the injected one.
+#
+# Usage:
+#   cmake -DOUT=<stdout-file> -DEXPECT_RC=<code>
+#         "-DCMD=<prog;arg;arg;...>" [-DMKDIR=<dir>]
+#         -P run_capture.cmake
+#
+# Pass environment via `${CMAKE_COMMAND};-E;env;VAR=v;<prog>;...` in
+# CMD.  MKDIR pre-creates a directory (e.g. the spill dir, which the
+# engine requires to exist).
+
+if(MKDIR)
+    file(MAKE_DIRECTORY "${MKDIR}")
+endif()
+
+execute_process(COMMAND ${CMD}
+                OUTPUT_FILE "${OUT}"
+                RESULT_VARIABLE rc)
+
+if(NOT "${rc}" STREQUAL "${EXPECT_RC}")
+    message(FATAL_ERROR
+            "command exited with '${rc}', expected '${EXPECT_RC}': "
+            "${CMD}")
+endif()

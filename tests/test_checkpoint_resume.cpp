@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Crash-safe checkpoint/restore and out-of-core spill of the
+ * enumeration engine (src/enumerate/frontier_store.hpp).
+ *
+ * The contract under test is bit-equivalence: an enumeration that is
+ * interrupted (state cap, cancellation, a simulated SIGKILL between
+ * checkpoints) and resumed from its snapshot must finish with exactly
+ * the outcomes and deterministic counters of an uninterrupted run —
+ * serial or wave-parallel, with or without frontier segments spilled
+ * to disk.  The failure half of the contract matters as much: corrupt
+ * or mismatched snapshots are refused with a structured error, and
+ * checkpoint/spill I/O failures degrade to a contained truncation,
+ * never UB or a wrong answer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "enumerate/engine.hpp"
+#include "enumerate/frontier_store.hpp"
+#include "isa/builder.hpp"
+#include "util/run_control.hpp"
+
+namespace satom
+{
+namespace
+{
+
+constexpr Addr X = 100, Y = 101;
+
+MemoryModel
+wmm()
+{
+    return makeModel(ModelId::WMM);
+}
+
+/** IRIW: racy enough for a real frontier, small enough to exhaust. */
+Program
+iriw()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1);
+    pb.thread("P1").store(Y, 1);
+    pb.thread("P2").load(1, X).load(2, Y);
+    pb.thread("P3").load(1, Y).load(2, X);
+    return pb.build();
+}
+
+std::vector<std::string>
+keysOf(const EnumerationResult &r)
+{
+    std::vector<std::string> keys;
+    keys.reserve(r.outcomes.size());
+    for (const auto &o : r.outcomes)
+        keys.push_back(o.key());
+    return keys;
+}
+
+/** The bit-equivalence check: outcomes + deterministic counters. */
+void
+expectEquivalent(const EnumerationResult &resumed,
+                 const EnumerationResult &baseline)
+{
+    EXPECT_TRUE(resumed.complete);
+    EXPECT_EQ(resumed.truncation, Truncation::None);
+    EXPECT_EQ(keysOf(resumed), keysOf(baseline));
+    EXPECT_EQ(resumed.stats.statesExplored,
+              baseline.stats.statesExplored);
+    EXPECT_EQ(resumed.stats.statesForked,
+              baseline.stats.statesForked);
+    EXPECT_EQ(resumed.stats.duplicates, baseline.stats.duplicates);
+    EXPECT_EQ(resumed.stats.stuck, baseline.stats.stuck);
+    EXPECT_EQ(resumed.stats.executions, baseline.stats.executions);
+    EXPECT_EQ(resumed.stats.maxNodes, baseline.stats.maxNodes);
+    EXPECT_TRUE(
+        resumed.registry.deterministicEquals(baseline.registry));
+}
+
+/** A fresh path under the test tempdir (removed by each test). */
+std::string
+tempPath(const std::string &name)
+{
+    const std::string p = testing::TempDir() + "/" + name;
+    std::remove(p.c_str());
+    return p;
+}
+
+std::string
+tempDir(const std::string &name)
+{
+    const std::string d = testing::TempDir() + "/" + name;
+    std::filesystem::remove_all(d);
+    std::filesystem::create_directories(d);
+    return d;
+}
+
+class CheckpointResume : public testing::Test
+{
+  protected:
+    void TearDown() override { fault::disarm(); }
+};
+
+TEST_F(CheckpointResume, FingerprintExcludesCapsAndWorkers)
+{
+    const Program p = iriw();
+    EnumerationOptions a, b;
+    b.maxStates = 17;
+    b.numWorkers = 4;
+    b.budget = RunBudget::deadlineInMs(1);
+    // Caps, worker count and budget may change across a resume.
+    EXPECT_EQ(enumerationFingerprint(p, wmm(), a),
+              enumerationFingerprint(p, wmm(), b));
+    // Anything that changes the search space may not.
+    EnumerationOptions c;
+    c.applyRuleC = false;
+    EXPECT_NE(enumerationFingerprint(p, wmm(), a),
+              enumerationFingerprint(p, wmm(), c));
+    EXPECT_NE(enumerationFingerprint(p, wmm(), a),
+              enumerationFingerprint(p, makeModel(ModelId::SC), a));
+}
+
+TEST_F(CheckpointResume, SerialStateCapResumeIsBitEquivalent)
+{
+    const Program p = iriw();
+    const auto baseline = enumerateBehaviors(p, wmm(), {});
+    ASSERT_TRUE(baseline.complete);
+
+    const std::string ck = tempPath("serial_cap.snap");
+    EnumerationOptions capped;
+    capped.maxStates = 10;
+    capped.checkpointPath = ck;
+    const auto interrupted = enumerateBehaviors(p, wmm(), capped);
+    EXPECT_FALSE(interrupted.complete);
+    EXPECT_EQ(interrupted.truncation, Truncation::StateCap);
+
+    EnumerationOptions full;
+    full.checkpointPath = ck;
+    EngineSnapshot snap;
+    ASSERT_TRUE(readEngineSnapshot(
+                    ck, enumerationFingerprint(p, wmm(), full), snap)
+                    .ok());
+    EXPECT_EQ(snap.truncation, Truncation::StateCap);
+    EXPECT_FALSE(snap.frontier.empty());
+
+    // The resume raises the cap (excluded from the fingerprint) and
+    // must land exactly on the uninterrupted run.
+    expectEquivalent(resumeEnumeration(p, wmm(), full, snap),
+                     baseline);
+    std::remove(ck.c_str());
+}
+
+TEST_F(CheckpointResume, PeriodicCheckpointsFireAndResumeMatches)
+{
+    const Program p = iriw();
+    const auto baseline = enumerateBehaviors(p, wmm(), {});
+
+    const std::string ck = tempPath("periodic.snap");
+    EnumerationOptions opts;
+    opts.checkpointPath = ck;
+    opts.checkpointEvery = 4;
+    int written = 0;
+    opts.onCheckpoint = [&written] { ++written; };
+    const auto full = enumerateBehaviors(p, wmm(), opts);
+    ASSERT_TRUE(full.complete);
+    EXPECT_GT(written, 1);
+
+    // The file holds the *last periodic* snapshot — a mid-run state.
+    // Resuming from it must replay the identical remainder.
+    EngineSnapshot snap;
+    ASSERT_TRUE(readEngineSnapshot(
+                    ck, enumerationFingerprint(p, wmm(), opts), snap)
+                    .ok());
+    EXPECT_EQ(snap.truncation, Truncation::None);
+    opts.onCheckpoint = nullptr;
+    expectEquivalent(resumeEnumeration(p, wmm(), opts, snap),
+                     baseline);
+    std::remove(ck.c_str());
+}
+
+TEST_F(CheckpointResume, CancelledRunResumesToTheSameAnswer)
+{
+    const Program p = iriw();
+    const auto baseline = enumerateBehaviors(p, wmm(), {});
+
+    // Cancel from the checkpoint hook: the library-level analog of
+    // the CLI's SATOM_FAULT=kill-after-checkpoint _Exit.
+    const std::string ck = tempPath("cancelled.snap");
+    EnumerationOptions opts;
+    opts.checkpointPath = ck;
+    opts.checkpointEvery = 5;
+    opts.budget.cancel = CancelToken::make();
+    opts.onCheckpoint = [&opts] { opts.budget.cancel.requestCancel(); };
+    const auto interrupted = enumerateBehaviors(p, wmm(), opts);
+    EXPECT_FALSE(interrupted.complete);
+    EXPECT_EQ(interrupted.truncation, Truncation::Cancelled);
+
+    EnumerationOptions fresh;
+    fresh.checkpointPath = ck;
+    EngineSnapshot snap;
+    ASSERT_TRUE(
+        readEngineSnapshot(
+            ck, enumerationFingerprint(p, wmm(), fresh), snap)
+            .ok());
+    expectEquivalent(resumeEnumeration(p, wmm(), fresh, snap),
+                     baseline);
+    std::remove(ck.c_str());
+}
+
+TEST_F(CheckpointResume, ParallelWaveResumeIsBitEquivalent)
+{
+    const Program p = iriw();
+    const auto baseline = enumerateBehaviors(p, wmm(), {});
+
+    const std::string ck = tempPath("parallel_cap.snap");
+    EnumerationOptions capped;
+    capped.numWorkers = 4;
+    capped.maxStates = 10;
+    capped.checkpointPath = ck;
+    const auto interrupted = enumerateBehaviors(p, wmm(), capped);
+    EXPECT_FALSE(interrupted.complete);
+    EXPECT_EQ(interrupted.truncation, Truncation::StateCap);
+
+    EnumerationOptions full;
+    full.numWorkers = 4;
+    EngineSnapshot snap;
+    ASSERT_TRUE(readEngineSnapshot(
+                    ck, enumerationFingerprint(p, wmm(), full), snap)
+                    .ok());
+    EXPECT_EQ(snap.engineMode, 1);
+    expectEquivalent(resumeEnumeration(p, wmm(), full, snap),
+                     baseline);
+
+    // Worker-count independence: the same wave-barrier snapshot
+    // resumed serially (fingerprints exclude numWorkers) still lands
+    // on the identical outcomes and deterministic counters.
+    EnumerationOptions serial;
+    serial.numWorkers = 1;
+    expectEquivalent(resumeEnumeration(p, wmm(), serial, snap),
+                     baseline);
+    std::remove(ck.c_str());
+}
+
+TEST_F(CheckpointResume, SerialSpillRunMatchesInMemoryRun)
+{
+    const Program p = iriw();
+    const auto baseline = enumerateBehaviors(p, wmm(), {});
+
+    EnumerationOptions opts;
+    opts.spillDir = tempDir("spill_serial");
+    opts.spillFrontierLimit = 1; // force constant out-of-core traffic
+    const auto spilled = enumerateBehaviors(p, wmm(), opts);
+    expectEquivalent(spilled, baseline);
+    EXPECT_GT(spilled.registry.get(stats::Ctr::SpillSegments), 0u);
+    EXPECT_GT(spilled.registry.get(stats::Ctr::SpillReloadBytes),
+              0u);
+    // Every segment was reloaded and deleted: nothing left on disk.
+    EXPECT_TRUE(
+        std::filesystem::is_empty(opts.spillDir));
+    std::filesystem::remove_all(opts.spillDir);
+}
+
+TEST_F(CheckpointResume, ParallelSpillRunMatchesInMemoryRun)
+{
+    const Program p = iriw();
+    const auto baseline = enumerateBehaviors(p, wmm(), {});
+
+    EnumerationOptions opts;
+    opts.numWorkers = 4;
+    opts.spillDir = tempDir("spill_parallel");
+    opts.spillFrontierLimit = 1;
+    const auto spilled = enumerateBehaviors(p, wmm(), opts);
+    expectEquivalent(spilled, baseline);
+    EXPECT_GT(spilled.registry.get(stats::Ctr::SpillSegments), 0u);
+    EXPECT_TRUE(std::filesystem::is_empty(opts.spillDir));
+    std::filesystem::remove_all(opts.spillDir);
+}
+
+TEST_F(CheckpointResume, ResumeAdoptsOutstandingSpillSegments)
+{
+    const Program p = iriw();
+    const auto baseline = enumerateBehaviors(p, wmm(), {});
+
+    // Interrupt a spilling run so the snapshot references segments
+    // still on disk; the resumed engine must adopt and drain them.
+    const std::string ck = tempPath("spill_resume.snap");
+    EnumerationOptions capped;
+    capped.maxStates = 8;
+    capped.checkpointPath = ck;
+    capped.spillDir = tempDir("spill_resume");
+    capped.spillFrontierLimit = 1;
+    const auto interrupted = enumerateBehaviors(p, wmm(), capped);
+    EXPECT_FALSE(interrupted.complete);
+
+    EnumerationOptions full = capped;
+    full.maxStates = EnumerationOptions{}.maxStates;
+    EngineSnapshot snap;
+    ASSERT_TRUE(readEngineSnapshot(
+                    ck, enumerationFingerprint(p, wmm(), full), snap)
+                    .ok());
+    ASSERT_FALSE(snap.spillSegments.empty());
+    for (const auto &seg : snap.spillSegments)
+        EXPECT_TRUE(std::filesystem::exists(seg)) << seg;
+
+    expectEquivalent(resumeEnumeration(p, wmm(), full, snap),
+                     baseline);
+    EXPECT_TRUE(std::filesystem::is_empty(capped.spillDir));
+    std::filesystem::remove_all(capped.spillDir);
+    std::remove(ck.c_str());
+}
+
+TEST_F(CheckpointResume, CorruptSnapshotsAreRefusedStructurally)
+{
+    const Program p = iriw();
+    const std::string ck = tempPath("corrupt_base.snap");
+    EnumerationOptions capped;
+    capped.maxStates = 10;
+    capped.checkpointPath = ck;
+    enumerateBehaviors(p, wmm(), capped);
+    const std::string fp = enumerationFingerprint(p, wmm(), capped);
+
+    std::string bytes;
+    {
+        std::ifstream in(ck, std::ios::binary);
+        ASSERT_TRUE(in);
+        bytes.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+    const auto damage = [&](const std::string &name,
+                            const std::string &content) {
+        const std::string path = tempPath(name);
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(content.data(),
+                  static_cast<std::streamsize>(content.size()));
+        return path;
+    };
+
+    EngineSnapshot snap;
+    // Bit flip in the record region: BadCrc.
+    std::string flipped = bytes;
+    flipped[bytes.size() / 2] ^= 0x04;
+    EXPECT_EQ(readEngineSnapshot(damage("flip.snap", flipped), fp,
+                                 snap)
+                  .error,
+              snapshot::Error::BadCrc);
+
+    // Torn tail (the kill-mid-write debris): Torn.
+    EXPECT_EQ(readEngineSnapshot(
+                  damage("torn.snap",
+                         bytes.substr(0, bytes.size() - 7)),
+                  fp, snap)
+                  .error,
+              snapshot::Error::Torn);
+
+    // Different configuration (other model): CfgMismatch.
+    EXPECT_EQ(readEngineSnapshot(
+                  ck,
+                  enumerationFingerprint(
+                      p, makeModel(ModelId::SC), capped),
+                  snap)
+                  .error,
+              snapshot::Error::CfgMismatch);
+
+    // Missing file: Io.
+    EXPECT_EQ(readEngineSnapshot(tempPath("absent.snap"), fp, snap)
+                  .error,
+              snapshot::Error::Io);
+    std::remove(ck.c_str());
+}
+
+TEST_F(CheckpointResume, InjectedTornWriteIsRejectedOnRead)
+{
+    // SATOM_FAULT=torn-snapshot truncates the persisted stream
+    // mid-record; the reader must answer Torn, never decode garbage.
+    const std::string ck = tempPath("torn_fault.snap");
+    EngineSnapshot snap;
+    snap.stats.statesExplored = 99;
+    snap.seenKeys = {1, 2, 3};
+    fault::arm(fault::Site::TornSnapshot, 1);
+    ASSERT_TRUE(writeEngineSnapshot(ck, snap, "fp").ok());
+    fault::disarm();
+
+    EngineSnapshot back;
+    EXPECT_EQ(readEngineSnapshot(ck, "fp", back).error,
+              snapshot::Error::Torn);
+    std::remove(ck.c_str());
+}
+
+TEST_F(CheckpointResume, SpillWriteFailureIsAContainedTruncation)
+{
+    const Program p = iriw();
+    EnumerationOptions opts;
+    opts.spillDir = tempDir("spill_fault");
+    opts.spillFrontierLimit = 1;
+    fault::arm(fault::Site::SpillIoFail, 1);
+    const auto r = enumerateBehaviors(p, wmm(), opts);
+    fault::disarm();
+    EXPECT_FALSE(r.complete);
+    EXPECT_EQ(r.truncation, Truncation::WorkerFault);
+    EXPECT_NE(r.faultNote.find("spill"), std::string::npos)
+        << r.faultNote;
+    std::filesystem::remove_all(opts.spillDir);
+}
+
+TEST_F(CheckpointResume, CheckpointWriteFailureIsContained)
+{
+    const Program p = iriw();
+    EnumerationOptions opts;
+    opts.checkpointPath =
+        testing::TempDir() + "/no-such-dir/ck.snap";
+    opts.checkpointEvery = 1;
+    const auto r = enumerateBehaviors(p, wmm(), opts);
+    EXPECT_FALSE(r.complete);
+    EXPECT_EQ(r.truncation, Truncation::WorkerFault);
+    EXPECT_NE(r.faultNote.find("checkpoint"), std::string::npos)
+        << r.faultNote;
+}
+
+} // namespace
+} // namespace satom

@@ -298,5 +298,84 @@ TEST(Journal, LoadSkipsCorruptLinesAndCountsThem)
     std::remove(path.c_str());
 }
 
+TEST(Journal, SeedIndexIsLastWriteWinsLikeTheMapItReplaced)
+{
+    fuzz::SeedIndex idx;
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::uint32_t s : {5u, 1u, 3u, 1u}) {
+            fuzz::SeedRecord r;
+            r.seed = s;
+            r.states = pass * 100 + static_cast<long>(idx.size());
+            idx.add(std::move(r));
+        }
+    idx.finalize();
+    EXPECT_EQ(idx.size(), 3u);
+    EXPECT_EQ(idx.count(1), 1u);
+    EXPECT_EQ(idx.count(2), 0u);
+    EXPECT_EQ(idx.find(4), nullptr);
+    ASSERT_NE(idx.find(1), nullptr);
+    // The last-appended duplicate wins, exactly as the std::map
+    // overwrite this index replaced behaved.
+    EXPECT_EQ(idx.find(1)->states, 107);
+    // records() comes back sorted by seed after finalize().
+    ASSERT_EQ(idx.records().size(), 3u);
+    EXPECT_EQ(idx.records()[0].seed, 1u);
+    EXPECT_EQ(idx.records()[1].seed, 3u);
+    EXPECT_EQ(idx.records()[2].seed, 5u);
+}
+
+TEST(Journal, ResumeScalesToAHundredThousandSeeds)
+{
+    // The overnight-campaign load the sorted-vector SeedIndex exists
+    // for: 10^5 journaled seeds must load, dedup and look up without
+    // the node-per-record allocations of the old std::map — and the
+    // resume must stay byte-identical: re-rendering every loaded
+    // record reproduces the exact journal line it came from.
+    const std::string path =
+        testing::TempDir() + "/satom_journal_scale_test";
+    const std::string cfg = "scale-test-fingerprint";
+    constexpr std::uint32_t n = 100000;
+    std::vector<std::string> lines;
+    lines.reserve(n);
+    {
+        std::ofstream f(path, std::ios::trunc);
+        f << "#cfg " << cfg << '\n';
+        for (std::uint32_t s = 1; s <= n; ++s) {
+            fuzz::SeedRecord r;
+            r.seed = s;
+            r.threads = 2 + static_cast<int>(s % 3);
+            r.instructions = static_cast<int>(s % 17);
+            r.verdict = s % 7 ? fuzz::Verdict::Pass
+                              : fuzz::Verdict::Inconclusive;
+            r.truncation =
+                s % 7 ? Truncation::None : Truncation::Deadline;
+            r.states = static_cast<long>(s) * 3;
+            r.outcomes = static_cast<long>(s % 29);
+            lines.push_back(fuzz::journalLine(r));
+            f << lines.back() << '\n';
+        }
+        // A re-journaled seed 1 appended at the end (the crash-retry
+        // case) must shadow the original record.
+        fuzz::SeedRecord dup;
+        dup.seed = 1;
+        dup.states = 424242;
+        lines[0] = fuzz::journalLine(dup);
+        f << lines[0] << '\n';
+    }
+
+    const fuzz::JournalLoad load = fuzz::loadJournal(path, cfg);
+    EXPECT_TRUE(load.ok);
+    EXPECT_EQ(load.corruptLines, 0);
+    ASSERT_EQ(load.seeds.size(), static_cast<std::size_t>(n));
+    for (std::uint32_t s = 1; s <= n; ++s) {
+        const fuzz::SeedRecord *r = load.seeds.find(s);
+        ASSERT_NE(r, nullptr) << s;
+        ASSERT_EQ(fuzz::journalLine(*r), lines[s - 1]) << s;
+    }
+    EXPECT_EQ(load.seeds.find(0), nullptr);
+    EXPECT_EQ(load.seeds.find(n + 1), nullptr);
+    std::remove(path.c_str());
+}
+
 } // namespace
 } // namespace satom

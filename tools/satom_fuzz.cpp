@@ -8,7 +8,12 @@
  *              [--locations N] [--values K] [--branches W]
  *              [--oracle NAME]... [--budget N] [--max-states N]
  *              [--seed-timeout-ms MS] [--journal FILE] [--resume]
- *              [--inject-bug] [--quiet]
+ *              [--spill-dir DIR] [--inject-bug] [--quiet]
+ *
+ * Exit codes: 0 all seeds passed, 1 some oracle reported a
+ * discrepancy, 2 some seed stayed inconclusive (or report/journal
+ * I/O failed), 64 usage error (including a --resume journal written
+ * under different flags).
  *
  * Every seed in [A, B] is turned into a random program
  * (src/fuzz/generator.hpp) and run through the differential oracles
@@ -48,7 +53,6 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -61,6 +65,7 @@
 #include "fuzz/journal.hpp"
 #include "fuzz/oracle.hpp"
 #include "fuzz/shrink.hpp"
+#include "util/atomic_file.hpp"
 #include "util/cli.hpp"
 #include "util/run_control.hpp"
 #include "util/stats.hpp"
@@ -105,6 +110,7 @@ usage()
            "                  [--budget N] [--max-states N]\n"
            "                  [--seed-timeout-ms MS]\n"
            "                  [--journal FILE] [--resume]\n"
+           "                  [--spill-dir DIR]\n"
            "                  [--inject-bug] [--quiet]\n"
            "oracles: ";
     for (fuzz::OracleId id : fuzz::allOracles())
@@ -114,9 +120,12 @@ usage()
                  "  retry at reduced state budget, then inconclusive)\n"
                  "--journal FILE appends one line per completed seed;\n"
                  "  --resume skips seeds already in the journal\n"
+                 "--spill-dir DIR lets memory-capped enumerations\n"
+                 "  spill cold frontier segments out of core\n"
                  "--inject-bug plants the documented intentional\n"
-                 "  oracle bug (SC vs TSO machine) for self-tests\n";
-    return 2;
+                 "  oracle bug (SC vs TSO machine) for self-tests\n"
+                 "exit: 0 ok, 1 discrepancy, 2 inconclusive, 64 usage\n";
+    return 64;
 }
 
 /** Parse "A..B" (or a single "A") into a range. */
@@ -292,26 +301,6 @@ renderJson(const DriverConfig &cfg,
     return j;
 }
 
-/**
- * Atomic report write: the bytes land in FILE.tmp first and are
- * renamed over FILE only once complete, so a kill mid-write can
- * never leave a torn report behind.
- */
-bool
-writeFileAtomic(const std::string &path, const std::string &content)
-{
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream f(tmp, std::ios::trunc);
-        if (!f || !(f << content))
-            return false;
-        f.flush();
-        if (!f)
-            return false;
-    }
-    return std::rename(tmp.c_str(), path.c_str()) == 0;
-}
-
 } // namespace
 
 int
@@ -353,6 +342,11 @@ main(int argc, char **argv)
             cfg.journalPath = v;
         } else if (arg == "--resume") {
             cfg.resume = true;
+        } else if (arg == "--spill-dir") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.oracle.spillDir = v;
         } else if (arg == "--seed-timeout-ms") {
             const char *v = next();
             if (!v || !cli::parseLong(v, cfg.seedTimeoutMs) ||
@@ -453,7 +447,7 @@ main(int argc, char **argv)
     // uninterrupted run would have produced.  Corrupt lines (torn
     // SIGKILL tails, old-version records) are skipped with a notice:
     // their seeds just recompute.
-    std::map<std::uint32_t, SeedRecord> journaled;
+    fuzz::SeedIndex journaled;
     if (cfg.resume) {
         fuzz::JournalLoad load =
             fuzz::loadJournal(cfg.journalPath, fingerprint);
@@ -463,7 +457,7 @@ main(int argc, char **argv)
                          "flags; refusing --resume\n"
                       << "  journal: " << load.journalCfg
                       << "\n  current: " << fingerprint << '\n';
-            return 2;
+            return 64;
         }
         if (load.corruptLines > 0 && !cfg.quiet)
             std::cout << "journal: skipped " << load.corruptLines
@@ -471,22 +465,21 @@ main(int argc, char **argv)
         journaled = std::move(load.seeds);
     }
 
-    std::ofstream journal;
+    // The journal is an AppendLog (util/atomic_file.hpp): one flushed
+    // line per completed seed, so a kill loses at most the in-flight
+    // record — and leaves at most one torn tail the loader skips.
+    AppendLog journal;
     std::mutex journalMutex;
     if (!cfg.journalPath.empty()) {
         const bool fresh =
             !cfg.resume || !std::ifstream(cfg.journalPath).good();
-        journal.open(cfg.journalPath,
-                     fresh ? std::ios::trunc : std::ios::app);
-        if (!journal) {
+        if (!journal.open(cfg.journalPath, fresh)) {
             std::cerr << "cannot open journal " << cfg.journalPath
                       << '\n';
             return 2;
         }
-        if (fresh) {
-            journal << "#cfg " << fingerprint << '\n';
-            journal.flush();
-        }
+        if (fresh)
+            journal.appendLine("#cfg " + fingerprint);
     }
 
     auto generate = [&](std::uint32_t seed) {
@@ -545,10 +538,9 @@ main(int argc, char **argv)
             rec.stats.merge(d.stats);
         }
 
-        if (journal.is_open()) {
+        if (journal.isOpen()) {
             std::lock_guard<std::mutex> lk(journalMutex);
-            journal << fuzz::journalLine(rec) << '\n';
-            journal.flush();
+            journal.appendLine(fuzz::journalLine(rec));
             // SATOM_FAULT=kill-after-journal:N — the SIGKILL
             // simulation for the crash-safety tests: die hard, no
             // destructors, exactly as the OOM killer would.
@@ -570,9 +562,8 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < count; ++i) {
         const std::uint32_t seed =
             cfg.seedFrom + static_cast<std::uint32_t>(i);
-        const auto it = journaled.find(seed);
-        if (it != journaled.end())
-            records[i] = it->second;
+        if (const SeedRecord *r = journaled.find(seed))
+            records[i] = *r;
         else
             todo.push_back(i);
     }
@@ -682,5 +673,8 @@ main(int argc, char **argv)
         if (!cfg.quiet)
             std::cout << "wrote " << cfg.jsonPath << '\n';
     }
-    return failed > 0 ? 1 : 0;
+    // 1 beats 2: a proven discrepancy outranks an unproven seed.
+    if (failed > 0)
+        return 1;
+    return inconclusive > 0 ? 2 : 0;
 }
