@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Throughput of the dispatched SIMD kernels (src/util/kernels.hpp),
+ * per kernel x word count x tier.
+ *
+ * The google-benchmark section reports bytes/second for each
+ * combination the host can execute (SetBytesProcessed, so the tables
+ * show GB/s directly).  The --json section emits schema-2 records
+ * compatible with BENCH_enumerate.json:
+ *
+ *   bench   "kernels/<kernel>/w<words>"
+ *   model   the kernel tier ("scalar", "sse2", "avx2")
+ *   wall_ms wall time of the measured rep loop
+ *   states  total bytes the loop processed (so GB/s =
+ *           states / wall_ms / 1e6)
+ *   outcomes rep count
+ *   workers 1 (kernels are single-threaded primitives)
+ *   stats   null
+ *
+ * Buffers are offset one word from their allocation so the measured
+ * pointers are 8-byte- but not 32-byte-aligned — the alignment the
+ * closure rows actually have inside std::vector.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "json_out.hpp"
+#include "util/kernels.hpp"
+
+namespace
+{
+
+using satom::kern::KernelTable;
+using satom::kern::Tier;
+
+std::vector<Tier>
+supportedTiers()
+{
+    std::vector<Tier> out{Tier::Scalar};
+    if (satom::kern::bestSupportedTier() >= Tier::Sse2)
+        out.push_back(Tier::Sse2);
+    if (satom::kern::bestSupportedTier() >= Tier::Avx2)
+        out.push_back(Tier::Avx2);
+    return out;
+}
+
+/** Deterministic pseudo-random buffer with one word of slack. */
+std::vector<std::uint64_t>
+fill(std::size_t n, std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::vector<std::uint64_t> v(n + 1);
+    for (auto &w : v)
+        w = rng();
+    return v;
+}
+
+constexpr std::size_t kWordCounts[] = {8, 64, 512, 4096};
+
+enum KernelId
+{
+    OrInto,
+    AndInto,
+    AnyAnd,
+    Popcount,
+    Premix,
+    FindU64,
+    NumKernels
+};
+
+const char *const kKernelNames[NumKernels] = {
+    "orInto", "andInto", "anyAnd", "popcount", "premix", "findU64"};
+
+/**
+ * One pass of kernel @p id over @p n words; returns bytes touched.
+ * The probed key for findU64 is absent, so it scans the whole group.
+ */
+std::size_t
+runKernel(const KernelTable &k, KernelId id, std::uint64_t *dst,
+          const std::uint64_t *src, std::size_t n)
+{
+    switch (id) {
+    case OrInto:
+        k.orInto(dst, src, n);
+        return 16 * n;
+    case AndInto:
+        k.andInto(dst, src, n);
+        return 16 * n;
+    case AnyAnd:
+        benchmark::DoNotOptimize(k.anyAnd(dst, src, n));
+        return 16 * n;
+    case Popcount:
+        benchmark::DoNotOptimize(k.popcount(src, n));
+        return 8 * n;
+    case Premix:
+        k.premix(dst, src, n);
+        return 16 * n;
+    case FindU64:
+        benchmark::DoNotOptimize(k.findU64(src, n, 1));
+        return 8 * n;
+    default:
+        return 0;
+    }
+}
+
+void
+BM_Kernel(benchmark::State &state)
+{
+    const auto id = static_cast<KernelId>(state.range(0));
+    const std::size_t n = static_cast<std::size_t>(state.range(1));
+    const auto tier = static_cast<Tier>(state.range(2));
+    if (tier > satom::kern::bestSupportedTier()) {
+        state.SkipWithError("tier not supported by this host");
+        return;
+    }
+    const KernelTable &k = satom::kern::tableFor(tier);
+    auto a = fill(n, 1), b = fill(n, 2);
+    std::size_t bytes = 0;
+    for (auto _ : state)
+        bytes += runKernel(k, id, a.data() + 1, b.data() + 1, n);
+    state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+    state.SetLabel(std::string(kKernelNames[id]) + "/" +
+                   satom::kern::tierName(tier));
+}
+
+/** Schema-2 records: one per kernel x size x supported tier. */
+void
+emitJson(const std::string &path)
+{
+    using namespace satom::bench;
+    JsonWriter out;
+    for (int id = 0; id < NumKernels; ++id) {
+        for (const std::size_t n : kWordCounts) {
+            auto a = fill(n, 1), b = fill(n, 2);
+            for (const Tier tier : supportedTiers()) {
+                const KernelTable &k = satom::kern::tableFor(tier);
+                // Calibrate rep count to ~2ms of work.
+                long reps = 1;
+                for (;;) {
+                    const auto t0 = std::chrono::steady_clock::now();
+                    for (long r = 0; r < reps; ++r)
+                        runKernel(k, static_cast<KernelId>(id),
+                                  a.data() + 1, b.data() + 1, n);
+                    const double ms =
+                        std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+                    if (ms >= 2.0 || reps >= (1L << 24)) {
+                        JsonRecord rec;
+                        rec.bench = std::string("kernels/") +
+                                    kKernelNames[id] + "/w" +
+                                    std::to_string(n);
+                        rec.model = satom::kern::tierName(tier);
+                        rec.wallMs = ms;
+                        rec.states = static_cast<long>(
+                            runKernel(k, static_cast<KernelId>(id),
+                                      a.data() + 1, b.data() + 1, n) *
+                            static_cast<std::size_t>(reps));
+                        rec.outcomes = reps;
+                        rec.workers = 1;
+                        out.add(rec);
+                        break;
+                    }
+                    reps *= 4;
+                }
+            }
+        }
+    }
+    if (!out.writeTo(path))
+        std::cerr << "cannot write " << path << "\n";
+    else
+        std::cout << "wrote " << path << "\n";
+}
+
+} // namespace
+
+BENCHMARK(BM_Kernel)
+    ->ArgsProduct({{OrInto, AndInto, AnyAnd, Popcount, Premix, FindU64},
+                   {64, 4096},
+                   {0, 1, 2}})
+    ->Unit(benchmark::kMicrosecond);
+
+int
+main(int argc, char **argv)
+{
+    using namespace satom::bench;
+    const std::string jsonPath = extractJsonPath(argc, argv);
+    std::cout << "kernel dispatch: best tier "
+              << satom::kern::tierName(satom::kern::bestSupportedTier())
+              << ", active "
+              << satom::kern::tierName(satom::kern::activeTier())
+              << "\n";
+    if (!jsonPath.empty())
+        emitJson(jsonPath);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -87,6 +87,30 @@ emitJson(const std::string &path)
             }
         }
     }
+    // A 40-node ring (5 threads x (1 store + 7 loads)), state-capped:
+    // large enough that closure cost dominates, so the record's
+    // closure-iterations / closure-runs ratio exposes whether the
+    // incremental frontier is working (~1.0) or every close is
+    // re-sweeping (>> 1).  See EXPERIMENTS.md "Incremental closure".
+    {
+        const Program p = ring(5, 7);
+        for (ModelId id : {ModelId::SC, ModelId::WMM}) {
+            const MemoryModel m = makeModel(id);
+            EnumerationOptions opts;
+            opts.numWorkers = 1;
+            opts.maxStates = 3000;
+            const auto t0 = std::chrono::steady_clock::now();
+            const auto r = enumerateBehaviors(p, m, opts);
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            out.add({"scaling/t5r7-capped", m.name, ms,
+                     r.stats.statesExplored,
+                     static_cast<long>(r.outcomes.size()), 1,
+                     r.registry.json()});
+        }
+    }
     if (!out.writeTo(path))
         std::cerr << "cannot write " << path << "\n";
     else

@@ -35,7 +35,7 @@ fi
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 
-for bench in bench_litmus_matrix bench_scaling; do
+for bench in bench_litmus_matrix bench_scaling bench_kernels; do
     bin="$build/bench/$bench"
     if [ ! -x "$bin" ]; then
         echo "error: $bin not built (cmake --build $build -j)" >&2
@@ -49,12 +49,14 @@ done
 
 if command -v jq >/dev/null 2>&1; then
     jq -s 'add' "$tmpdir"/bench_litmus_matrix.json \
-        "$tmpdir"/bench_scaling.json > "$out"
+        "$tmpdir"/bench_scaling.json \
+        "$tmpdir"/bench_kernels.json > "$out"
 else
     # Fallback merge: strip the closing/opening brackets between files.
     {
         sed '$d' "$tmpdir/bench_litmus_matrix.json" | sed '$s/$/,/'
-        sed '1d' "$tmpdir/bench_scaling.json"
+        sed '1d' "$tmpdir/bench_scaling.json" | sed '$d' | sed '$s/$/,/'
+        sed '1d' "$tmpdir/bench_kernels.json"
     } > "$out"
 fi
 

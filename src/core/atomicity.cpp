@@ -1,5 +1,10 @@
 #include "core/atomicity.hpp"
 
+#include <algorithm>
+#include <utility>
+
+#include "util/kernels.hpp"
+
 namespace satom
 {
 
@@ -58,14 +63,24 @@ applyRuleC(ExecutionGraph &g, NodeId l1, NodeId l2)
     const NodeId s1 = g.node(l1).source;
     const NodeId s2 = g.node(l2).source;
 
+    // Raw-row intersection pre-checks before materializing Bitsets:
+    // most pairs have an empty common-ancestor or common-successor
+    // set and the early-exit kernel answers that without allocating.
+    {
+        const auto p1 = g.preds(l1), p2 = g.preds(l2);
+        if (!kern::anyAnd(p1.words(), p2.words(),
+                          std::min(p1.nwords(), p2.nwords())))
+            return 0;
+        const auto q1 = g.succs(s1), q2 = g.succs(s2);
+        if (!kern::anyAnd(q1.words(), q2.words(),
+                          std::min(q1.nwords(), q2.nwords())))
+            return 0;
+    }
+
     Bitset ancestors = g.preds(l1);
     ancestors &= g.preds(l2);
-    if (ancestors.none())
-        return 0;
     Bitset successors = g.succs(s1);
     successors &= g.succs(s2);
-    if (successors.none())
-        return 0;
 
     int added = 0;
     bool violated = false;
@@ -93,44 +108,169 @@ applyRuleC(ExecutionGraph &g, NodeId l1, NodeId l2)
 ClosureResult
 closeStoreAtomicity(ExecutionGraph &g, ClosureStats *stats, bool ruleC)
 {
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        if (stats)
-            ++stats->iterations;
+    // A rule-(c) close of a graph never closed under rule (c) must
+    // sweep everything: rules a/b alone do not discharge the pairwise
+    // obligations, so the frontier under-approximates the work.
+    const bool fullSweep = ruleC && !g.ruleCClosed();
 
-        const auto loads = resolvedLoads(g);
-        for (NodeId lid : loads) {
-            const int added = applyRulesAB(g, lid);
-            if (added < 0)
-                return ClosureResult::Violation;
-            if (added > 0) {
-                changed = true;
-                if (stats)
-                    stats->edgesAdded += added;
-            }
+    if (!fullSweep && g.dirtySince().none()) {
+        // Nothing dirtied since a close that covered these rules: the
+        // standing Ok verdict holds (violated graphs are discarded by
+        // every caller, so no stale Violation can be standing).  This
+        // path runs once per retired state on the hot loop, so it
+        // must not allocate — count the skipped loads inline.
+        if (stats) {
+            int n = 0;
+            for (const auto &node : g.nodes())
+                if (node.isLoad() && node.source != invalidNode)
+                    ++n;
+            stats->frontierSkipped += n;
         }
-        if (!ruleC)
-            continue;
+        return ClosureResult::Ok;
+    }
+
+    // The engine closes after every observation (thousands of closes
+    // per millisecond on litmus-sized graphs), so the worklist state
+    // is thread-local scratch: cleared per close, allocated once.
+    struct Scratch
+    {
+        std::vector<NodeId> loads;
+        std::vector<char> abActive, cActive, examined;
+        std::vector<std::pair<std::size_t, std::size_t>> pairs;
+        Bitset delta;
+    };
+    thread_local Scratch sc;
+
+    sc.delta = g.dirtySince();
+    g.clearDirty();
+    Bitset &delta = sc.delta;
+
+    sc.loads.clear();
+    for (const auto &n : g.nodes())
+        if (n.isLoad() && n.source != invalidNode)
+            sc.loads.push_back(n.id);
+    const auto &loads = sc.loads;
+
+    if (stats)
+        ++stats->iterations;
+
+    // Worklist flags per resolved Load: abActive re-runs rules a/b,
+    // cActive re-runs every rule-(c) pair the load belongs to.
+    sc.abActive.assign(loads.size(), 0);
+    sc.cActive.assign(loads.size(), 0);
+    sc.examined.assign(loads.size(), 0);
+    auto &abActive = sc.abActive;
+    auto &cActive = sc.cActive;
+    auto &examined = sc.examined;
+
+    // Same-address distinct-source pairs (fixed during a close: rules
+    // only add edges, never resolve loads or addresses).
+    auto &pairs = sc.pairs;
+    pairs.clear();
+    if (ruleC) {
         for (std::size_t i = 0; i < loads.size(); ++i) {
             for (std::size_t j = i + 1; j < loads.size(); ++j) {
                 const Node &a = g.node(loads[i]);
                 const Node &b = g.node(loads[j]);
-                if (a.addr != b.addr || a.source == b.source)
-                    continue;
-                const int added = applyRuleC(g, loads[i], loads[j]);
-                if (added < 0)
-                    return ClosureResult::Violation;
-                if (added > 0) {
-                    changed = true;
-                    if (stats)
-                        stats->edgesAdded += added;
-                }
+                if (a.addr == b.addr && a.source != b.source)
+                    pairs.emplace_back(i, j);
             }
         }
     }
-    return hasOverwrittenObservation(g) ? ClosureResult::Violation
-                                        : ClosureResult::Ok;
+
+    // A load re-enters the worklist when a node whose closure rows its
+    // rules read was dirtied: itself, its source, or a same-address
+    // Store.  Rule (c) reads only the load and source rows (the A/B
+    // endpoints are members of those rows, not independent inputs).
+    const auto activate = [&](const Bitset &d) {
+        for (std::size_t i = 0; i < loads.size(); ++i) {
+            const Node &ln = g.node(loads[i]);
+            const bool self =
+                d.test(static_cast<std::size_t>(loads[i])) ||
+                d.test(static_cast<std::size_t>(ln.source));
+            if (self && ruleC)
+                cActive[i] = 1;
+            bool ab = self;
+            if (!ab) {
+                for (NodeId sid : g.storesTo(ln.addr)) {
+                    if (d.test(static_cast<std::size_t>(sid))) {
+                        ab = true;
+                        break;
+                    }
+                }
+            }
+            if (ab)
+                abActive[i] = 1;
+        }
+    };
+
+    if (fullSweep) {
+        std::fill(abActive.begin(), abActive.end(), 1);
+        std::fill(cActive.begin(), cActive.end(), 1);
+    } else {
+        activate(delta);
+    }
+
+    for (;;) {
+        for (std::size_t i = 0; i < loads.size(); ++i) {
+            if (!abActive[i])
+                continue;
+            abActive[i] = 0;
+            examined[i] = 1;
+            if (stats)
+                ++stats->frontierLoads;
+            const int added = applyRulesAB(g, loads[i]);
+            if (added < 0)
+                return ClosureResult::Violation;
+            if (added > 0 && stats)
+                stats->edgesAdded += added;
+        }
+        if (ruleC) {
+            for (const auto &[i, j] : pairs) {
+                if (!cActive[i] && !cActive[j])
+                    continue;
+                examined[i] = 1;
+                examined[j] = 1;
+                const int added = applyRuleC(g, loads[i], loads[j]);
+                if (added < 0)
+                    return ClosureResult::Violation;
+                if (added > 0 && stats)
+                    stats->edgesAdded += added;
+            }
+            std::fill(cActive.begin(), cActive.end(), 0);
+        }
+        delta = g.dirtySince();
+        g.clearDirty();
+        if (delta.none())
+            break;
+        activate(delta);
+    }
+
+    g.markClosed(ruleC);
+
+    if (stats) {
+        int ex = 0;
+        for (char e : examined)
+            ex += e;
+        stats->frontierSkipped += static_cast<int>(loads.size()) - ex;
+    }
+
+    // Overwritten-observation check, restricted to examined loads: a
+    // load outside the frontier kept its own and its same-address
+    // Stores' rows, so its verdict from the previous Ok close stands.
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        if (!examined[i])
+            continue;
+        const Node &ln = g.node(loads[i]);
+        for (NodeId sid : g.storesTo(ln.addr)) {
+            if (sid == ln.source || sid == loads[i])
+                continue;
+            if (g.ordered(ln.source, sid) &&
+                g.ordered(sid, loads[i]))
+                return ClosureResult::Violation;
+        }
+    }
+    return ClosureResult::Ok;
 }
 
 bool
@@ -201,6 +341,26 @@ candidateStores(const ExecutionGraph &g, NodeId load)
     if (!ln.addrKnown)
         return out;
 
+    // Above one closure-row word, an unresolved-node mask turns the
+    // per-store "is every predecessor resolved" scan into one row
+    // intersection; the mask is thread-local scratch (cleared, never
+    // reallocated) and costs one pass over the node table.  At or
+    // below 64 nodes that pass costs more than walking the handful of
+    // predecessor bits directly, so small graphs skip the mask.
+    const bool useMask = g.size() > 64;
+    thread_local Bitset unresolved;
+    bool anyUnresolved = false;
+    if (useMask) {
+        unresolved.clear();
+        unresolved.resize(static_cast<std::size_t>(g.size()));
+        for (const Node &n : g.nodes()) {
+            if (!n.resolved()) {
+                unresolved.set(static_cast<std::size_t>(n.id));
+                anyUnresolved = true;
+            }
+        }
+    }
+
     const auto sameAddr = g.storesTo(ln.addr);
     for (NodeId sid : sameAddr) {
         const Node &sn = g.node(sid);
@@ -210,13 +370,37 @@ candidateStores(const ExecutionGraph &g, NodeId load)
             continue; // observing it would close a cycle
 
         // 1. Everything before S must be resolved.
-        bool predsResolved = true;
-        g.preds(sid).forEach([&](std::size_t p) {
-            if (!g.node(static_cast<NodeId>(p)).resolved())
-                predsResolved = false;
-        });
-        if (!predsResolved)
-            continue;
+        if (useMask) {
+            if (anyUnresolved) {
+                const auto row = g.preds(sid);
+                if (kern::anyAnd(row.words(),
+                                 unresolved.words().data(),
+                                 std::min(row.nwords(),
+                                          unresolved.words().size())))
+                    continue;
+            }
+        } else {
+            bool predsResolved = true;
+            const auto row = g.preds(sid);
+            const std::uint64_t *w = row.words();
+            const std::size_t nw = row.nwords();
+            for (std::size_t wi = 0; wi < nw && predsResolved; ++wi) {
+                std::uint64_t word = w[wi];
+                while (word) {
+                    const int bit = __builtin_ctzll(word);
+                    word &= word - 1;
+                    const auto p =
+                        static_cast<NodeId>(64 * wi +
+                                            static_cast<std::size_t>(bit));
+                    if (!g.node(p).resolved()) {
+                        predsResolved = false;
+                        break;
+                    }
+                }
+            }
+            if (!predsResolved)
+                continue;
+        }
 
         // 2. S must not certainly be overwritten before L.
         bool overwritten = false;
@@ -250,13 +434,24 @@ candidateStores(const ExecutionGraph &g, NodeId load)
 bool
 predecessorLoadsResolved(const ExecutionGraph &g, NodeId id)
 {
-    bool ok = true;
-    g.preds(id).forEach([&](std::size_t p) {
-        const Node &n = g.node(static_cast<NodeId>(p));
-        if (n.isLoad() && n.source == invalidNode)
-            ok = false;
-    });
-    return ok;
+    // Word-skipping early-exit scan: the common case is "all
+    // resolved", and the first unresolved predecessor Load settles it.
+    const auto row = g.preds(id);
+    const std::uint64_t *w = row.words();
+    const std::size_t nw = row.nwords();
+    for (std::size_t wi = kern::findNonZero(w, nw, 0); wi < nw;
+         wi = kern::findNonZero(w, nw, wi + 1)) {
+        std::uint64_t word = w[wi];
+        while (word) {
+            const int b = __builtin_ctzll(word);
+            const Node &n = g.node(
+                static_cast<NodeId>(wi * 64 + static_cast<std::size_t>(b)));
+            if (n.isLoad() && n.source == invalidNode)
+                return false;
+            word &= word - 1;
+        }
+    }
+    return true;
 }
 
 } // namespace satom

@@ -30,8 +30,10 @@ enum class ClosureResult
 /** Bookkeeping for benches and tests. */
 struct ClosureStats
 {
-    int iterations = 0; ///< fixpoint sweeps performed
+    int iterations = 0; ///< frontier drains (0 when nothing was dirty)
     int edgesAdded = 0; ///< Atomicity edges inserted
+    int frontierLoads = 0;   ///< load examinations actually performed
+    int frontierSkipped = 0; ///< loads left untouched by the frontier
 };
 
 /**
@@ -45,6 +47,21 @@ struct ClosureStats
  * Rules consult the source *map* of each resolved Load, so TSO bypass
  * observations (whose Source edge is Grey and absent from `@`)
  * participate exactly as Section 6 prescribes.
+ *
+ * The fixpoint is *incremental*: only Loads whose rule inputs — their
+ * own closure rows, their source's, or a same-address Store's — were
+ * dirtied since the graph's last close re-enter the worklist (the
+ * graph tracks the dirty frontier; see ExecutionGraph::dirtySince).
+ * The rules are monotone over `@`, so restricting re-examination to
+ * the frontier reaches the same fixpoint, the same violation verdicts
+ * and the same edge insertions as a full sweep would.  A rule-(c)
+ * close of a graph not previously closed under rule (c) falls back to
+ * a full sweep, and a close that finds the frontier empty returns the
+ * standing verdict without iterating (iterations stays 0).
+ *
+ * A graph for which this function returned Violation must be
+ * discarded (every caller does): the frontier is consumed on entry,
+ * so re-closing a violated graph would report the stale Ok.
  *
  * @param g     graph to close (mutated in place)
  * @param stats optional statistics sink

@@ -1,5 +1,6 @@
 #include "core/encode.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace satom
@@ -74,12 +75,12 @@ hashGraphInto(StreamHash64 &h, const ExecutionGraph &g, bool memoryOnly)
         for (const Node &n : g.nodes())
             hashNode(h, n);
         // Every node is in the key: the predecessor rows ARE the
-        // closure.  Hash the raw words.
+        // closure.  Hash the raw words, batch-premixed per row.
         for (NodeId v = 0; v < g.size(); ++v) {
             const auto row = g.preds(v);
-            const std::size_t n = (row.bits() + 63) / 64;
-            for (std::size_t i = 0; i < n && i < row.nwords(); ++i)
-                h.value(row.words()[i]);
+            const std::size_t n =
+                std::min((row.bits() + 63) / 64, row.nwords());
+            h.words(row.words(), n);
         }
         return;
     }

@@ -75,7 +75,16 @@ ExecutionGraph::addNode(Node n)
     nodes_.push_back(std::move(n));
     pred_.addRow();
     succ_.addRow();
+    markDirty(static_cast<std::size_t>(id));
     return id;
+}
+
+void
+ExecutionGraph::markDirty(std::size_t i)
+{
+    if (i >= dirty_.size())
+        dirty_.resize(nodes_.size());
+    dirty_.set(i);
 }
 
 void
@@ -94,6 +103,8 @@ ExecutionGraph::copyFrom(const ExecutionGraph &other)
     pred_.assignFrom(other.pred_);
     succ_.assignFrom(other.succ_);
     storeIndex_ = other.storeIndex_;
+    dirty_ = other.dirty_;
+    ruleCClosed_ = other.ruleCClosed_;
 }
 
 void
@@ -118,6 +129,9 @@ ExecutionGraph::resolveAddr(NodeId id, Addr a)
     n.addr = a;
     if (n.isStore())
         indexStore(a, id);
+    // A late-resolved address changes which loads/stores the closure
+    // rules relate, even though no closure row moved.
+    markDirty(static_cast<std::size_t>(id));
 }
 
 bool
@@ -125,14 +139,27 @@ ExecutionGraph::addEdge(NodeId u, NodeId v, EdgeKind kind)
 {
     if (kind == EdgeKind::Grey) {
         edges_.push_back({u, v, kind});
+        // The source map changed without any closure row moving; the
+        // closure rules read source(L), so the endpoints re-enter the
+        // frontier (the TSO bypass path depends on this).
+        markDirty(static_cast<std::size_t>(u));
+        markDirty(static_cast<std::size_t>(v));
         return true;
     }
     if (u == v)
         return false;
     if (pred_.test(u, static_cast<std::size_t>(v)))
         return false; // would close a cycle
-    if (pred_.test(v, static_cast<std::size_t>(u)))
-        return true; // already implied; keep direct edges minimal
+    if (pred_.test(v, static_cast<std::size_t>(u))) {
+        // Already implied; keep direct edges minimal.  No closure row
+        // moves, but callers attach meaning to the edge itself —
+        // applySource updates source(L) right before adding the Source
+        // edge — so the endpoints must still re-enter the frontier or
+        // an incremental close would never re-examine the load.
+        markDirty(static_cast<std::size_t>(u));
+        markDirty(static_cast<std::size_t>(v));
+        return true;
+    }
 
     edges_.push_back({u, v, kind});
 
@@ -148,6 +175,12 @@ ExecutionGraph::addEdge(NodeId u, NodeId v, EdgeKind kind)
     before.forEach([&](std::size_t p) {
         succ_.orInto(static_cast<int>(p), after);
     });
+
+    // Exactly the rows that changed: pred rows of `after`, succ rows
+    // of `before`.
+    dirty_.resize(nodes_.size());
+    dirty_ |= before;
+    dirty_ |= after;
     return true;
 }
 

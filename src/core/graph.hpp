@@ -211,14 +211,57 @@ class ExecutionGraph
      */
     StoreRange storesTo(Addr a) const;
 
+    /**
+     * Nodes whose ordering-relevant state changed since the last
+     * markClosed(): new nodes, both cones of every inserted ordering
+     * edge, the endpoints of Grey edges (the source map changed even
+     * though `@` did not), and late-resolved addresses.  The Store
+     * Atomicity closure restricts its fixpoint to this frontier.
+     */
+    const Bitset &dirtySince() const { return dirty_; }
+
+    /** Forget the dirty frontier without asserting closure. */
+    void
+    clearDirty()
+    {
+        dirty_.clear();
+    }
+
+    /**
+     * True iff the last completed Store Atomicity close ran with rule
+     * (c) enabled and nothing was dirtied since.  A rule-(c) close of
+     * a graph whose flag is false must sweep all nodes: rules (a)/(b)
+     * alone do not establish the pairwise rule-(c) obligations.
+     */
+    bool ruleCClosed() const { return ruleCClosed_; }
+
+    /**
+     * Record that a Store Atomicity close just completed (with rule
+     * (c) iff @p ruleC): clears the frontier and sets the coverage
+     * flag.  Also used when adopting decoded snapshot graphs, whose
+     * edge replay marks every row dirty even though the persisted
+     * state was closed — without this, resumed runs would re-examine
+     * everything and their frontier counters would diverge from
+     * uninterrupted ones.
+     */
+    void
+    markClosed(bool ruleC)
+    {
+        dirty_.clear();
+        ruleCClosed_ = ruleC;
+    }
+
   private:
     void indexStore(Addr a, NodeId id);
+    void markDirty(std::size_t i);
 
     std::vector<Node> nodes_;
     std::vector<Edge> edges_;
     BitMatrix pred_;
     BitMatrix succ_;
     std::vector<StoreIndexEntry> storeIndex_;
+    Bitset dirty_;
+    bool ruleCClosed_ = false;
 };
 
 } // namespace satom

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <set>
 #include <thread>
-#include <unordered_set>
 
 #include <cstdio>
 #include <cstdlib>
@@ -13,6 +12,7 @@
 #include "core/encode.hpp"
 #include "enumerate/frontier_store.hpp"
 #include "txn/atomic.hpp"
+#include "util/kernels.hpp"
 
 namespace satom
 {
@@ -414,6 +414,8 @@ Enumerator::runClosure(Behavior &b, EnumStats &stats) const
             closeStoreAtomicity(b.graph, &cs, options_.applyRuleC);
         stats.closureIterations += cs.iterations;
         stats.closureEdges += cs.edgesAdded;
+        stats.closureFrontierLoads += cs.frontierLoads;
+        stats.closureFrontierSkipped += cs.frontierSkipped;
         if (res != ClosureResult::Ok)
             return false;
         if (b.nextTxn == 0)
@@ -664,10 +666,28 @@ Enumerator::resolveOne(const Behavior &b, NodeId load,
     const Node &yn = b.graph.node(youngestLocal);
     bool bypassOk = yn.valueKnown && !b.graph.ordered(load, youngestLocal);
     if (bypassOk) {
-        b.graph.preds(youngestLocal).forEach([&](std::size_t p) {
-            if (!b.graph.node(static_cast<NodeId>(p)).resolved())
-                bypassOk = false;
-        });
+        // Early-exit word scan: the first unresolved predecessor
+        // settles it.
+        const auto row = b.graph.preds(youngestLocal);
+        const std::uint64_t *w = row.words();
+        const std::size_t nw = row.nwords();
+        for (std::size_t wi = kern::findNonZero(w, nw, 0);
+             wi < nw && bypassOk;
+             wi = kern::findNonZero(w, nw, wi + 1)) {
+            std::uint64_t word = w[wi];
+            while (word) {
+                const int bit = __builtin_ctzll(word);
+                if (!b.graph
+                         .node(static_cast<NodeId>(
+                             wi * 64 +
+                             static_cast<std::size_t>(bit)))
+                         .resolved()) {
+                    bypassOk = false;
+                    break;
+                }
+                word &= word - 1;
+            }
+        }
     }
     if (bypassOk) {
         for (NodeId s : b.graph.storesTo(ln.addr)) {
@@ -806,7 +826,7 @@ Enumerator::runReplay()
     }
     const std::uint64_t ekey =
         recordOutcome(b, outcomes_, scratch, result_.stats);
-    if (executionKeys_.insert(ekey).second) {
+    if (executionKeys_.insert(ekey)) {
         ++result_.stats.executions;
         if (options_.collectExecutions)
             result_.executions.push_back(b.graph);
@@ -830,8 +850,10 @@ Enumerator::writeCheckpoint(
     snap.stats = result_.stats;
     snap.registry = result_.registry;
     snap.outcomes = outcomes_;
-    snap.executionKeys.assign(executionKeys_.begin(),
-                              executionKeys_.end());
+    snap.executionKeys.reserve(executionKeys_.size());
+    executionKeys_.forEach([&](std::uint64_t k) {
+        snap.executionKeys.push_back(k);
+    });
     std::sort(snap.executionKeys.begin(), snap.executionKeys.end());
     std::sort(seenKeys.begin(), seenKeys.end());
     snap.seenKeys = std::move(seenKeys);
@@ -862,7 +884,7 @@ Enumerator::runSerial()
                             "engine");
     EnumStats &stats = result_.stats;
     std::vector<Behavior> stack;
-    std::unordered_set<std::uint64_t> seen;
+    FlatU64Set seen;
     ExecutionGraph scratch;
     SpillQueue spill(options_.spillDir, fingerprint_);
 
@@ -880,8 +902,15 @@ Enumerator::runSerial()
 
     if (resume_) {
         stack = resume_->frontier;
-        seen.insert(resume_->seenKeys.begin(),
-                    resume_->seenKeys.end());
+        // Decoded snapshot graphs are rebuilt by edge replay, which
+        // marks every row dirty; the persisted behaviors were closed
+        // when captured.  Restore the closed state so the incremental
+        // closure's frontier counters match an uninterrupted run.
+        for (Behavior &b : stack)
+            b.graph.markClosed(options_.applyRuleC);
+        seen.reserve(resume_->seenKeys.size());
+        for (std::uint64_t k : resume_->seenKeys)
+            seen.insert(k);
         spill.adoptSegments(resume_->spillSegments);
     } else {
         Behavior first = initialBehavior();
@@ -894,10 +923,11 @@ Enumerator::runSerial()
     }
 
     auto ckpt = [&](Truncation reason) {
-        return writeCheckpoint(
-            /*engineMode=*/0, reason, stack,
-            std::vector<std::uint64_t>(seen.begin(), seen.end()),
-            spill.segments());
+        std::vector<std::uint64_t> keys;
+        keys.reserve(seen.size());
+        seen.forEach([&](std::uint64_t k) { keys.push_back(k); });
+        return writeCheckpoint(/*engineMode=*/0, reason, stack,
+                               std::move(keys), spill.segments());
     };
     long sinceCkpt = 0;
     unsigned rssStride = 0;
@@ -916,6 +946,11 @@ Enumerator::runSerial()
                 break;
             }
             stack = std::move(segment);
+            // Spilled behaviors were closed when captured; their
+            // decoded graphs are all-dirty (edge replay), so restore
+            // the closed state (same reasoning as the resume path).
+            for (Behavior &rb : stack)
+                rb.graph.markClosed(options_.applyRuleC);
             continue;
         }
         if (options_.checkpointEvery > 0 &&
@@ -975,7 +1010,7 @@ Enumerator::runSerial()
         if (terminal(b)) {
             const std::uint64_t ekey =
                 recordOutcome(b, outcomes_, scratch, stats);
-            if (executionKeys_.insert(ekey).second) {
+            if (executionKeys_.insert(ekey)) {
                 ++stats.executions;
                 if (options_.collectExecutions)
                     result_.executions.push_back(b.graph);
@@ -1003,7 +1038,7 @@ Enumerator::runSerial()
         }
         for (auto &f : forks) {
             ++stats.statesForked;
-            if (seen.insert(f.hashKey()).second)
+            if (seen.insert(f.hashKey()))
                 stack.push_back(std::move(f));
             else
                 ++stats.duplicates;
@@ -1033,9 +1068,16 @@ exportEnumStats(const EnumStats &s, stats::StatsRegistry &reg)
     reg.add(Ctr::ClosureRuns, u(s.closureRuns));
     reg.add(Ctr::ClosureIterations, u(s.closureIterations));
     reg.add(Ctr::ClosureEdges, u(s.closureEdges));
+    reg.add(Ctr::ClosureFrontierLoads, u(s.closureFrontierLoads));
+    reg.add(Ctr::ClosureFrontierSkipped,
+            u(s.closureFrontierSkipped));
     reg.add(Ctr::FinalizationCloses, u(s.finalizeCloses));
     reg.peak(Ctr::MaxGraphNodes, u(s.maxNodes));
     reg.add(Ctr::GatePolls, u(s.gatePolls));
+    // Which kernel tier served this run — telemetry by design: every
+    // tier produces byte-identical deterministic output.
+    reg.peak(Ctr::SimdTier,
+             static_cast<std::uint64_t>(kern::activeTier()) + 1);
 }
 
 EnumerationResult
@@ -1058,8 +1100,9 @@ Enumerator::run()
         result_.stats = resume_->stats;
         result_.registry = resume_->registry;
         outcomes_ = resume_->outcomes;
-        executionKeys_.insert(resume_->executionKeys.begin(),
-                              resume_->executionKeys.end());
+        executionKeys_.reserve(resume_->executionKeys.size());
+        for (std::uint64_t k : resume_->executionKeys)
+            executionKeys_.insert(k);
         if (options_.collectExecutions)
             result_.executions = resume_->executions;
     }

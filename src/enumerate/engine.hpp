@@ -34,7 +34,6 @@
 #include <functional>
 #include <set>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "enumerate/behavior.hpp"
@@ -43,6 +42,7 @@
 #include "model/models.hpp"
 #include "util/run_control.hpp"
 #include "util/stats.hpp"
+#include "util/u64set.hpp"
 
 namespace satom
 {
@@ -198,6 +198,8 @@ struct EnumStats
     long closureRuns = 0;      ///< Store Atomicity closure invocations
     long closureIterations = 0;
     long closureEdges = 0;
+    long closureFrontierLoads = 0;   ///< loads the closure examined
+    long closureFrontierSkipped = 0; ///< loads outside the frontier
     long finalizeCloses = 0;   ///< closure re-runs for last-Store combos
     long gatePolls = 0;        ///< budget-gate polls (telemetry: the
                                ///< poll pattern differs serial/parallel)
@@ -218,6 +220,8 @@ struct EnumStats
         closureRuns += o.closureRuns;
         closureIterations += o.closureIterations;
         closureEdges += o.closureEdges;
+        closureFrontierLoads += o.closureFrontierLoads;
+        closureFrontierSkipped += o.closureFrontierSkipped;
         finalizeCloses += o.finalizeCloses;
         gatePolls += o.gatePolls;
         maxNodes = maxNodes > o.maxNodes ? maxNodes : o.maxNodes;
@@ -392,7 +396,7 @@ class Enumerator
     EnumerationResult result_;
     NodeId initCount_ = 0; ///< nodes 0..initCount_-1 are Init Stores
     std::set<Outcome> outcomes_;
-    std::unordered_set<std::uint64_t> executionKeys_;
+    FlatU64Set executionKeys_;
 
     /** Set while resume() drives run(); consumed by the engines. */
     const EngineSnapshot *resume_ = nullptr;

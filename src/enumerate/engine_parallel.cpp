@@ -230,6 +230,12 @@ Enumerator::runParallel(int workers)
 
     if (resume_) {
         frontier = resume_->frontier;
+        // Decoded snapshot graphs are rebuilt by edge replay (all
+        // rows dirty); the captured behaviors were closed.  Restore
+        // that so incremental-closure counters match an uninterrupted
+        // run (same fix as runSerial's resume path).
+        for (Behavior &b : frontier)
+            b.graph.markClosed(options_.applyRuleC);
         for (std::uint64_t k : resume_->seenKeys)
             seen.insert(k);
         spill.adoptSegments(resume_->spillSegments);
@@ -304,6 +310,10 @@ Enumerator::runParallel(int workers)
                 break;
             }
             frontier = std::move(segment);
+            // Spilled behaviors were closed when captured; restore
+            // the closed state after decode (see the resume path).
+            for (Behavior &rb : frontier)
+                rb.graph.markClosed(options_.applyRuleC);
             continue;
         }
         if (options_.checkpointEvery > 0 &&
@@ -332,6 +342,9 @@ Enumerator::runParallel(int workers)
         result_.registry.add(stats::Ctr::Waves);
         result_.registry.add(stats::Ctr::WaveItems, take);
         result_.registry.peak(stats::Ctr::MaxWaveSize, take);
+        // take >= 1 here (empty frontiers reload or break above), so
+        // the 0-means-unset sentinel of the minimum merge is safe.
+        result_.registry.trough(stats::Ctr::MinWaveSize, take);
         const std::int64_t waveStart =
             options_.trace ? options_.trace->nowUs() : 0;
 
@@ -430,7 +443,7 @@ Enumerator::runParallel(int workers)
             ++stats.statesExplored;
             ++sinceCkpt;
             if (slot.isTerminal) {
-                if (executionKeys_.insert(slot.executionKey).second) {
+                if (executionKeys_.insert(slot.executionKey)) {
                     ++stats.executions;
                     if (options_.collectExecutions)
                         result_.executions.push_back(

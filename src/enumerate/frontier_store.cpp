@@ -338,6 +338,10 @@ putStats(ByteWriter &w, const EnumStats &s)
     w.i64(s.finalizeCloses);
     w.i64(s.gatePolls);
     w.i32(s.maxNodes);
+    // Appended fields keep their place at the end: the snapshot format
+    // version covers the layout as a whole.
+    w.i64(s.closureFrontierLoads);
+    w.i64(s.closureFrontierSkipped);
 }
 
 bool
@@ -357,6 +361,8 @@ getStats(ByteReader &r, EnumStats &s)
     s.finalizeCloses = r.i64();
     s.gatePolls = r.i64();
     s.maxNodes = r.i32();
+    s.closureFrontierLoads = r.i64();
+    s.closureFrontierSkipped = r.i64();
     return !r.failed();
 }
 
@@ -383,7 +389,10 @@ getRegistry(ByteReader &r, stats::StatsRegistry &reg)
         const auto c = static_cast<stats::Ctr>(i);
         if (stats::info(c).maximum)
             reg.peak(c, v);
-        else
+        else if (stats::info(c).minimum) {
+            if (v != 0)
+                reg.trough(c, v);
+        } else
             reg.add(c, v);
     }
     return true;

@@ -43,8 +43,11 @@
 namespace satom::fuzz
 {
 
-/** Journal record version written by this build. */
-constexpr int journalVersion = 2;
+/** Journal record version written by this build.  v3: the stats
+ *  token stream gained the closure-frontier counters (enum indices
+ *  shifted past oracle-runs), so v2 journals must rerun their seeds
+ *  rather than load misattributed counters. */
+constexpr int journalVersion = 3;
 
 /** Everything one campaign seed produced. */
 struct SeedRecord

@@ -55,20 +55,13 @@ class BitMatrix
         std::size_t
         count() const
         {
-            std::size_t n = 0;
-            for (std::size_t i = 0; i < nwords_; ++i)
-                n += static_cast<std::size_t>(
-                    __builtin_popcountll(words_[i]));
-            return n;
+            return kern::popcount(words_, nwords_);
         }
 
         bool
         any() const
         {
-            for (std::size_t i = 0; i < nwords_; ++i)
-                if (words_[i])
-                    return true;
-            return false;
+            return kern::anyWord(words_, nwords_);
         }
 
         bool none() const { return !any(); }
@@ -78,7 +71,10 @@ class BitMatrix
         void
         forEach(Fn &&fn) const
         {
-            for (std::size_t wi = 0; wi < nwords_; ++wi) {
+            for (std::size_t wi =
+                     kern::findNonZero(words_, nwords_, 0);
+                 wi < nwords_;
+                 wi = kern::findNonZero(words_, nwords_, wi + 1)) {
                 std::uint64_t w = words_[wi];
                 while (w) {
                     const int b = __builtin_ctzll(w);
@@ -170,9 +166,7 @@ class BitMatrix
         std::uint64_t *dst =
             words_.data() + static_cast<std::size_t>(r) * stride_;
         const auto &src = b.words();
-        const std::size_t n = std::min(stride_, src.size());
-        for (std::size_t i = 0; i < n; ++i)
-            dst[i] |= src[i];
+        kern::orInto(dst, src.data(), std::min(stride_, src.size()));
     }
 
     /** Assign from @p other, re-using this matrix's buffer. */

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/kernels.hpp"
+
 namespace satom
 {
 
@@ -73,10 +75,7 @@ class Bitset
     bool
     any() const
     {
-        for (auto w : words_)
-            if (w)
-                return true;
-        return false;
+        return kern::anyWord(words_.data(), words_.size());
     }
 
     /** True iff no bit is set. */
@@ -86,10 +85,7 @@ class Bitset
     std::size_t
     count() const
     {
-        std::size_t n = 0;
-        for (auto w : words_)
-            n += static_cast<std::size_t>(__builtin_popcountll(w));
-        return n;
+        return kern::popcount(words_.data(), words_.size());
     }
 
     /**
@@ -101,16 +97,17 @@ class Bitset
     {
         if (n > words_.size())
             n = words_.size();
-        for (std::size_t i = 0; i < n; ++i)
-            words_[i] |= w[i];
+        kern::orInto(words_.data(), w, n);
     }
 
     /** this &= the first @p n words of @p w (missing words are zero). */
     void
     andWords(const std::uint64_t *w, std::size_t n)
     {
-        for (std::size_t i = 0; i < words_.size(); ++i)
-            words_[i] &= i < n ? w[i] : 0;
+        const std::size_t common = std::min(n, words_.size());
+        kern::andInto(words_.data(), w, common);
+        for (std::size_t i = common; i < words_.size(); ++i)
+            words_[i] = 0;
     }
 
     /** In-place union. */
@@ -118,8 +115,8 @@ class Bitset
     operator|=(const Bitset &other)
     {
         grow_to(other);
-        for (std::size_t i = 0; i < other.words_.size(); ++i)
-            words_[i] |= other.words_[i];
+        kern::orInto(words_.data(), other.words_.data(),
+                     other.words_.size());
         return *this;
     }
 
@@ -127,8 +124,11 @@ class Bitset
     Bitset &
     operator&=(const Bitset &other)
     {
-        for (std::size_t i = 0; i < words_.size(); ++i)
-            words_[i] &= i < other.words_.size() ? other.words_[i] : 0;
+        const std::size_t common =
+            std::min(words_.size(), other.words_.size());
+        kern::andInto(words_.data(), other.words_.data(), common);
+        for (std::size_t i = common; i < words_.size(); ++i)
+            words_[i] = 0;
         return *this;
     }
 
@@ -137,8 +137,7 @@ class Bitset
     operator-=(const Bitset &other)
     {
         const std::size_t n = std::min(words_.size(), other.words_.size());
-        for (std::size_t i = 0; i < n; ++i)
-            words_[i] &= ~other.words_[i];
+        kern::andNotInto(words_.data(), other.words_.data(), n);
         return *this;
     }
 
@@ -175,13 +174,14 @@ class Bitset
     bool
     isSubsetOf(const Bitset &other) const
     {
-        for (std::size_t i = 0; i < words_.size(); ++i) {
-            const std::uint64_t b =
-                i < other.words_.size() ? other.words_[i] : 0;
-            if (words_[i] & ~b)
-                return false;
-        }
-        return true;
+        const std::size_t common =
+            std::min(words_.size(), other.words_.size());
+        if (kern::anyAndNot(words_.data(), other.words_.data(),
+                            common))
+            return false;
+        // Any bit of ours beyond other's storage cannot be in other.
+        return !kern::anyWord(words_.data() + common,
+                              words_.size() - common);
     }
 
     /** Invoke @p fn with the index of every set bit, ascending. */
@@ -189,7 +189,10 @@ class Bitset
     void
     forEach(Fn &&fn) const
     {
-        for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+        const std::size_t n = words_.size();
+        for (std::size_t wi = kern::findNonZero(words_.data(), n, 0);
+             wi < n;
+             wi = kern::findNonZero(words_.data(), n, wi + 1)) {
             std::uint64_t w = words_[wi];
             while (w) {
                 const int b = __builtin_ctzll(w);

@@ -10,6 +10,8 @@
 #include <string>
 #include <string_view>
 
+#include "util/kernels.hpp"
+
 namespace satom
 {
 
@@ -95,6 +97,30 @@ class StreamHash64
     {
         value(static_cast<std::uint64_t>(
             static_cast<std::int64_t>(v)));
+    }
+
+    /**
+     * Absorb @p n words, equal to calling value() on each in order.
+     *
+     * The per-word premix (multiply + xor-shift) is independent across
+     * inputs, so it runs through the dispatched kernel in blocks; only
+     * the order-sensitive combine stays sequential.  Digests are
+     * bit-identical to the word-at-a-time path on every tier.
+     */
+    void
+    words(const std::uint64_t *w, std::size_t n)
+    {
+        std::uint64_t mixed[64];
+        while (n > 0) {
+            const std::size_t blk = n < 64 ? n : 64;
+            kern::premix(mixed, w, blk);
+            for (std::size_t i = 0; i < blk; ++i) {
+                state_ = (state_ ^ mixed[i]) * 0xc4ceb9fe1a85ec53ull;
+                state_ ^= state_ >> 29;
+            }
+            w += blk;
+            n -= blk;
+        }
     }
 
     /** Current digest. */

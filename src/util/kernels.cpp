@@ -1,0 +1,629 @@
+/**
+ * @file
+ * Tier implementations and runtime dispatch for the kernel layer.
+ *
+ * Every tier of every primitive must be bit-identical; the SSE2/AVX2
+ * bodies therefore mirror the scalar loops exactly, vector-width
+ * blocks first, scalar tail last.  The only nontrivial translation is
+ * the 64-bit multiply in premix(): AVX2 has no 64x64 mullo, so it is
+ * assembled from three 32x32->64 partial products (exact mod 2^64).
+ */
+
+#include "util/kernels.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define SATOM_KERN_X86 1
+#include <immintrin.h>
+#else
+#define SATOM_KERN_X86 0
+#endif
+
+namespace satom::kern
+{
+
+namespace
+{
+
+// ---- scalar tier -----------------------------------------------------
+
+void
+orScalar(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] |= src[i];
+}
+
+void
+andScalar(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] &= src[i];
+}
+
+void
+andNotScalar(std::uint64_t *dst, const std::uint64_t *src,
+             std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] &= ~src[i];
+}
+
+bool
+anyAndScalar(const std::uint64_t *a, const std::uint64_t *b,
+             std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (a[i] & b[i])
+            return true;
+    return false;
+}
+
+bool
+anyAndNotScalar(const std::uint64_t *a, const std::uint64_t *b,
+                std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (a[i] & ~b[i])
+            return true;
+    return false;
+}
+
+bool
+anyWordScalar(const std::uint64_t *w, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (w[i])
+            return true;
+    return false;
+}
+
+std::size_t
+popcountScalar(const std::uint64_t *w, std::size_t n)
+{
+    std::size_t c = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        c += static_cast<std::size_t>(__builtin_popcountll(w[i]));
+    return c;
+}
+
+std::size_t
+findNonZeroScalar(const std::uint64_t *w, std::size_t n,
+                  std::size_t from)
+{
+    for (std::size_t i = from; i < n; ++i)
+        if (w[i])
+            return i;
+    return n;
+}
+
+void
+premixScalar(std::uint64_t *dst, const std::uint64_t *src,
+             std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t v = src[i];
+        v *= 0xff51afd7ed558ccdull;
+        v ^= v >> 33;
+        dst[i] = v;
+    }
+}
+
+std::size_t
+findU64Scalar(const std::uint64_t *slots, std::size_t n,
+              std::uint64_t key)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        if (slots[i] == key)
+            return i;
+    return n;
+}
+
+constexpr KernelTable kScalar = {
+    orScalar,       andScalar,     andNotScalar,
+    anyAndScalar,   anyAndNotScalar, anyWordScalar,
+    popcountScalar, findNonZeroScalar, premixScalar,
+    findU64Scalar,
+};
+
+#if SATOM_KERN_X86
+
+// ---- SSE2 tier (128-bit, 2 words per vector) -------------------------
+
+__attribute__((target("sse2"))) inline bool
+nonzero128(__m128i v)
+{
+    // No ptest before SSE4.1: compare 32-bit lanes against zero and
+    // demand all-equal via the byte movemask.
+    return _mm_movemask_epi8(
+               _mm_cmpeq_epi32(v, _mm_setzero_si128())) != 0xffff;
+}
+
+__attribute__((target("sse2"))) void
+orSse2(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128i a = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(dst + i));
+        const __m128i b = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + i));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + i),
+                         _mm_or_si128(a, b));
+    }
+    for (; i < n; ++i)
+        dst[i] |= src[i];
+}
+
+__attribute__((target("sse2"))) void
+andSse2(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128i a = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(dst + i));
+        const __m128i b = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + i));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + i),
+                         _mm_and_si128(a, b));
+    }
+    for (; i < n; ++i)
+        dst[i] &= src[i];
+}
+
+__attribute__((target("sse2"))) void
+andNotSse2(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128i a = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(dst + i));
+        const __m128i b = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + i));
+        // andnot computes ~first & second.
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + i),
+                         _mm_andnot_si128(b, a));
+    }
+    for (; i < n; ++i)
+        dst[i] &= ~src[i];
+}
+
+__attribute__((target("sse2"))) bool
+anyAndSse2(const std::uint64_t *a, const std::uint64_t *b,
+           std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128i va = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(a + i));
+        const __m128i vb = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(b + i));
+        if (nonzero128(_mm_and_si128(va, vb)))
+            return true;
+    }
+    for (; i < n; ++i)
+        if (a[i] & b[i])
+            return true;
+    return false;
+}
+
+__attribute__((target("sse2"))) bool
+anyAndNotSse2(const std::uint64_t *a, const std::uint64_t *b,
+              std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128i va = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(a + i));
+        const __m128i vb = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(b + i));
+        if (nonzero128(_mm_andnot_si128(vb, va)))
+            return true;
+    }
+    for (; i < n; ++i)
+        if (a[i] & ~b[i])
+            return true;
+    return false;
+}
+
+__attribute__((target("sse2"))) bool
+anyWordSse2(const std::uint64_t *w, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        if (nonzero128(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(w + i))))
+            return true;
+    }
+    for (; i < n; ++i)
+        if (w[i])
+            return true;
+    return false;
+}
+
+__attribute__((target("sse2"))) std::size_t
+findNonZeroSse2(const std::uint64_t *w, std::size_t n,
+                std::size_t from)
+{
+    std::size_t i = from;
+    for (; i + 2 <= n; i += 2) {
+        if (nonzero128(_mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(w + i))))
+            return w[i] ? i : i + 1;
+    }
+    for (; i < n; ++i)
+        if (w[i])
+            return i;
+    return n;
+}
+
+__attribute__((target("sse2"))) void
+premixSse2(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    constexpr std::uint64_t kC = 0xff51afd7ed558ccdull;
+    const __m128i k = _mm_set1_epi64x(static_cast<long long>(kC));
+    const __m128i kHi = _mm_srli_epi64(k, 32);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + i));
+        // v*k mod 2^64 = lo(v)*lo(k) + ((lo(v)*hi(k)+hi(v)*lo(k))<<32)
+        const __m128i ll = _mm_mul_epu32(v, k);
+        const __m128i vh = _mm_srli_epi64(v, 32);
+        const __m128i cross = _mm_add_epi64(_mm_mul_epu32(vh, k),
+                                            _mm_mul_epu32(v, kHi));
+        v = _mm_add_epi64(ll, _mm_slli_epi64(cross, 32));
+        v = _mm_xor_si128(v, _mm_srli_epi64(v, 33));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + i), v);
+    }
+    for (; i < n; ++i) {
+        std::uint64_t v = src[i];
+        v *= kC;
+        v ^= v >> 33;
+        dst[i] = v;
+    }
+}
+
+__attribute__((target("sse2"))) std::size_t
+findU64Sse2(const std::uint64_t *slots, std::size_t n,
+            std::uint64_t key)
+{
+    const __m128i k = _mm_set1_epi64x(static_cast<long long>(key));
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(slots + i));
+        // 64-bit equality out of 32-bit compares: both halves of a
+        // lane must match, so AND the compare with its pair-swap.
+        const __m128i eq = _mm_cmpeq_epi32(v, k);
+        const __m128i sw =
+            _mm_shuffle_epi32(eq, _MM_SHUFFLE(2, 3, 0, 1));
+        const int m = _mm_movemask_pd(
+            _mm_castsi128_pd(_mm_and_si128(eq, sw)));
+        if (m)
+            return i + static_cast<std::size_t>(
+                           __builtin_ctz(static_cast<unsigned>(m)));
+    }
+    for (; i < n; ++i)
+        if (slots[i] == key)
+            return i;
+    return n;
+}
+
+constexpr KernelTable kSse2 = {
+    orSse2,       andSse2,     andNotSse2,
+    anyAndSse2,   anyAndNotSse2, anyWordSse2,
+    popcountScalar, // no SSE2 popcount beats the builtin here
+    findNonZeroSse2, premixSse2, findU64Sse2,
+};
+
+// ---- AVX2 tier (256-bit, 4 words per vector) -------------------------
+
+__attribute__((target("avx2"))) void
+orAvx2(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + i));
+        const __m256i b = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),
+                            _mm256_or_si256(a, b));
+    }
+    for (; i < n; ++i)
+        dst[i] |= src[i];
+}
+
+__attribute__((target("avx2"))) void
+andAvx2(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + i));
+        const __m256i b = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),
+                            _mm256_and_si256(a, b));
+    }
+    for (; i < n; ++i)
+        dst[i] &= src[i];
+}
+
+__attribute__((target("avx2"))) void
+andNotAvx2(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + i));
+        const __m256i b = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),
+                            _mm256_andnot_si256(b, a));
+    }
+    for (; i < n; ++i)
+        dst[i] &= ~src[i];
+}
+
+__attribute__((target("avx2"))) bool
+anyAndAvx2(const std::uint64_t *a, const std::uint64_t *b,
+           std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i));
+        const __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i));
+        if (!_mm256_testz_si256(va, vb)) // ZF = ((a & b) == 0)
+            return true;
+    }
+    for (; i < n; ++i)
+        if (a[i] & b[i])
+            return true;
+    return false;
+}
+
+__attribute__((target("avx2"))) bool
+anyAndNotAvx2(const std::uint64_t *a, const std::uint64_t *b,
+              std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i));
+        const __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i));
+        if (!_mm256_testc_si256(vb, va)) // CF = ((~b & a) == 0)
+            return true;
+    }
+    for (; i < n; ++i)
+        if (a[i] & ~b[i])
+            return true;
+    return false;
+}
+
+__attribute__((target("avx2"))) bool
+anyWordAvx2(const std::uint64_t *w, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(w + i));
+        if (!_mm256_testz_si256(v, v))
+            return true;
+    }
+    for (; i < n; ++i)
+        if (w[i])
+            return true;
+    return false;
+}
+
+__attribute__((target("avx2"))) std::size_t
+popcountAvx2(const std::uint64_t *w, std::size_t n)
+{
+    // Nibble-LUT popcount (pshufb) accumulated with psadbw.
+    const __m256i lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1,
+        2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i low = _mm256_set1_epi8(0x0f);
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(w + i));
+        const __m256i lo = _mm256_and_si256(v, low);
+        const __m256i hi =
+            _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
+        const __m256i cnt =
+            _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                            _mm256_shuffle_epi8(lut, hi));
+        acc = _mm256_add_epi64(
+            acc, _mm256_sad_epu8(cnt, _mm256_setzero_si256()));
+    }
+    std::uint64_t lanes[4];
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    std::size_t c = static_cast<std::size_t>(lanes[0] + lanes[1] +
+                                             lanes[2] + lanes[3]);
+    for (; i < n; ++i)
+        c += static_cast<std::size_t>(__builtin_popcountll(w[i]));
+    return c;
+}
+
+__attribute__((target("avx2"))) std::size_t
+findNonZeroAvx2(const std::uint64_t *w, std::size_t n,
+                std::size_t from)
+{
+    std::size_t i = from;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(w + i));
+        if (!_mm256_testz_si256(v, v)) {
+            for (std::size_t j = i;; ++j)
+                if (w[j])
+                    return j;
+        }
+    }
+    for (; i < n; ++i)
+        if (w[i])
+            return i;
+    return n;
+}
+
+__attribute__((target("avx2"))) void
+premixAvx2(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    constexpr std::uint64_t kC = 0xff51afd7ed558ccdull;
+    const __m256i k = _mm256_set1_epi64x(static_cast<long long>(kC));
+    const __m256i kHi = _mm256_srli_epi64(k, 32);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i));
+        const __m256i ll = _mm256_mul_epu32(v, k);
+        const __m256i vh = _mm256_srli_epi64(v, 32);
+        const __m256i cross = _mm256_add_epi64(
+            _mm256_mul_epu32(vh, k), _mm256_mul_epu32(v, kHi));
+        v = _mm256_add_epi64(ll, _mm256_slli_epi64(cross, 32));
+        v = _mm256_xor_si256(v, _mm256_srli_epi64(v, 33));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i), v);
+    }
+    for (; i < n; ++i) {
+        std::uint64_t v = src[i];
+        v *= kC;
+        v ^= v >> 33;
+        dst[i] = v;
+    }
+}
+
+__attribute__((target("avx2"))) std::size_t
+findU64Avx2(const std::uint64_t *slots, std::size_t n,
+            std::uint64_t key)
+{
+    const __m256i k = _mm256_set1_epi64x(static_cast<long long>(key));
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(slots + i));
+        const int m = _mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(v, k)));
+        if (m)
+            return i + static_cast<std::size_t>(
+                           __builtin_ctz(static_cast<unsigned>(m)));
+    }
+    for (; i < n; ++i)
+        if (slots[i] == key)
+            return i;
+    return n;
+}
+
+constexpr KernelTable kAvx2 = {
+    orAvx2,       andAvx2,     andNotAvx2,
+    anyAndAvx2,   anyAndNotAvx2, anyWordAvx2,
+    popcountAvx2, findNonZeroAvx2, premixAvx2,
+    findU64Avx2,
+};
+
+#endif // SATOM_KERN_X86
+
+std::atomic<int> g_tier{static_cast<int>(Tier::Scalar)};
+
+/** SATOM_SIMD=avx2|sse2|scalar, clamped to hardware; else best. */
+Tier
+chooseStartupTier()
+{
+    Tier t = bestSupportedTier();
+    if (const char *env = std::getenv("SATOM_SIMD")) {
+        Tier want = t;
+        if (!std::strcmp(env, "scalar"))
+            want = Tier::Scalar;
+        else if (!std::strcmp(env, "sse2"))
+            want = Tier::Sse2;
+        else if (!std::strcmp(env, "avx2"))
+            want = Tier::Avx2;
+        if (static_cast<int>(want) < static_cast<int>(t))
+            t = want;
+    }
+    return t;
+}
+
+/** Startup initializer: upgrade the constant-init scalar dispatch. */
+struct DispatchInit
+{
+    DispatchInit() { setTier(chooseStartupTier()); }
+} g_dispatchInit;
+
+} // namespace
+
+namespace detail
+{
+std::atomic<const KernelTable *> g_active{&kScalar};
+} // namespace detail
+
+const KernelTable &
+tableFor(Tier t)
+{
+    if (static_cast<int>(t) > static_cast<int>(bestSupportedTier()))
+        t = bestSupportedTier();
+#if SATOM_KERN_X86
+    switch (t) {
+      case Tier::Avx2:
+        return kAvx2;
+      case Tier::Sse2:
+        return kSse2;
+      case Tier::Scalar:
+        break;
+    }
+#else
+    (void)t;
+#endif
+    return kScalar;
+}
+
+Tier
+bestSupportedTier()
+{
+#if SATOM_KERN_X86
+    if (__builtin_cpu_supports("avx2"))
+        return Tier::Avx2;
+    if (__builtin_cpu_supports("sse2"))
+        return Tier::Sse2;
+#endif
+    return Tier::Scalar;
+}
+
+Tier
+activeTier()
+{
+    return static_cast<Tier>(g_tier.load(std::memory_order_relaxed));
+}
+
+bool
+setTier(Tier t)
+{
+    if (static_cast<int>(t) > static_cast<int>(bestSupportedTier()))
+        return false;
+    detail::g_active.store(&tableFor(t), std::memory_order_relaxed);
+    g_tier.store(static_cast<int>(t), std::memory_order_relaxed);
+    return true;
+}
+
+const char *
+tierName(Tier t)
+{
+    switch (t) {
+      case Tier::Avx2:
+        return "avx2";
+      case Tier::Sse2:
+        return "sse2";
+      case Tier::Scalar:
+        break;
+    }
+    return "scalar";
+}
+
+} // namespace satom::kern

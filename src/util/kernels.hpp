@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Runtime-dispatched word-vector kernels (the SIMD layer).
+ *
+ * Every hot loop of the enumeration engine is word-parallel bit work:
+ * the transitive-closure rows OR/AND into each other on every edge
+ * insertion, the Store Atomicity rules intersect pred/succ rows, the
+ * dedup path hashes raw closure words, and the seen-key sets probe
+ * 64-bit digests.  This header is the single place those primitives
+ * live.  Each primitive has three implementations — portable scalar,
+ * SSE2 (128-bit) and AVX2 (256-bit) — compiled with per-function
+ * target attributes (no special compiler flags), and one of them is
+ * selected once at startup by CPUID probing, overridable with
+ * `SATOM_SIMD=avx2|sse2|scalar` (requests above what the host
+ * supports clamp down; unknown values are ignored).
+ *
+ * Correctness contract: every tier computes bit-identical results for
+ * every input, including misaligned pointers and ragged tail lengths.
+ * All dedup keys, report JSON, snapshots and fuzz journals are
+ * therefore byte-identical across tiers — the dispatch choice is
+ * recorded only in the telemetry counter `simd-tier`, never in any
+ * deterministic output (tests/test_kernels.cpp pins this with a
+ * randomized cross-tier property suite).
+ *
+ * The inline wrappers below short-circuit very small inputs to local
+ * scalar loops: closure rows of litmus-sized graphs are one or two
+ * words, where an indirect call costs more than the work.  The
+ * dispatch table is only consulted above kInlineWords; tests exercise
+ * the dispatched implementations directly through tableFor().
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace satom::kern
+{
+
+/** Dispatch tiers, best-last.  Values are stable (telemetry uses
+ *  tier+1 so scalar is distinguishable from "not recorded"). */
+enum class Tier : int
+{
+    Scalar = 0,
+    Sse2 = 1,
+    Avx2 = 2,
+};
+
+/** The word-vector primitives one tier implements. */
+struct KernelTable
+{
+    /** dst[i] |= src[i] for i < n. */
+    void (*orInto)(std::uint64_t *dst, const std::uint64_t *src,
+                   std::size_t n);
+    /** dst[i] &= src[i] for i < n. */
+    void (*andInto)(std::uint64_t *dst, const std::uint64_t *src,
+                    std::size_t n);
+    /** dst[i] &= ~src[i] for i < n. */
+    void (*andNotInto)(std::uint64_t *dst, const std::uint64_t *src,
+                       std::size_t n);
+    /** True iff some (a[i] & b[i]) != 0 (early exit). */
+    bool (*anyAnd)(const std::uint64_t *a, const std::uint64_t *b,
+                   std::size_t n);
+    /** True iff some (a[i] & ~b[i]) != 0 (early exit). */
+    bool (*anyAndNot)(const std::uint64_t *a, const std::uint64_t *b,
+                      std::size_t n);
+    /** True iff some w[i] != 0 (early exit). */
+    bool (*anyWord)(const std::uint64_t *w, std::size_t n);
+    /** Total population count of w[0..n). */
+    std::size_t (*popcount)(const std::uint64_t *w, std::size_t n);
+    /** Index of the first nonzero word at or after @p from, or n. */
+    std::size_t (*findNonZero)(const std::uint64_t *w, std::size_t n,
+                               std::size_t from);
+    /**
+     * dst[i] = premix(src[i]): the per-word input finalizer of
+     * StreamHash64 (v *= 0xff51afd7ed558ccd; v ^= v >> 33).  The
+     * sequential combine stays scalar, so batched digests equal the
+     * word-at-a-time ones on every tier.
+     */
+    void (*premix)(std::uint64_t *dst, const std::uint64_t *src,
+                   std::size_t n);
+    /** Index of the first slot equal to @p key, or n (probe groups). */
+    std::size_t (*findU64)(const std::uint64_t *slots, std::size_t n,
+                           std::uint64_t key);
+};
+
+namespace detail
+{
+/** Active table; constant-initialized to scalar so pre-main uses are
+ *  safe, upgraded to the detected tier by a startup initializer. */
+extern std::atomic<const KernelTable *> g_active;
+} // namespace detail
+
+/** The currently dispatched kernel table. */
+inline const KernelTable &
+table()
+{
+    return *detail::g_active.load(std::memory_order_relaxed);
+}
+
+/** The table implementing @p t (clamped to what the host supports). */
+const KernelTable &tableFor(Tier t);
+
+/** Best tier the host CPU supports. */
+Tier bestSupportedTier();
+
+/** Tier currently dispatched. */
+Tier activeTier();
+
+/**
+ * Force the dispatch to @p t (test hook; also how the SATOM_SIMD
+ * override is applied).  Returns false — leaving the dispatch
+ * unchanged — when the host cannot execute @p t.
+ */
+bool setTier(Tier t);
+
+/** Stable lowercase name: "scalar", "sse2", "avx2". */
+const char *tierName(Tier t);
+
+/** Inputs below this word count run the local scalar loops. */
+constexpr std::size_t kInlineWords = 4;
+
+inline void
+orInto(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    if (n < kInlineWords) {
+        for (std::size_t i = 0; i < n; ++i)
+            dst[i] |= src[i];
+        return;
+    }
+    table().orInto(dst, src, n);
+}
+
+inline void
+andInto(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    if (n < kInlineWords) {
+        for (std::size_t i = 0; i < n; ++i)
+            dst[i] &= src[i];
+        return;
+    }
+    table().andInto(dst, src, n);
+}
+
+inline void
+andNotInto(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    if (n < kInlineWords) {
+        for (std::size_t i = 0; i < n; ++i)
+            dst[i] &= ~src[i];
+        return;
+    }
+    table().andNotInto(dst, src, n);
+}
+
+inline bool
+anyAnd(const std::uint64_t *a, const std::uint64_t *b, std::size_t n)
+{
+    if (n < kInlineWords) {
+        for (std::size_t i = 0; i < n; ++i)
+            if (a[i] & b[i])
+                return true;
+        return false;
+    }
+    return table().anyAnd(a, b, n);
+}
+
+inline bool
+anyAndNot(const std::uint64_t *a, const std::uint64_t *b, std::size_t n)
+{
+    if (n < kInlineWords) {
+        for (std::size_t i = 0; i < n; ++i)
+            if (a[i] & ~b[i])
+                return true;
+        return false;
+    }
+    return table().anyAndNot(a, b, n);
+}
+
+inline bool
+anyWord(const std::uint64_t *w, std::size_t n)
+{
+    if (n < kInlineWords) {
+        for (std::size_t i = 0; i < n; ++i)
+            if (w[i])
+                return true;
+        return false;
+    }
+    return table().anyWord(w, n);
+}
+
+inline std::size_t
+popcount(const std::uint64_t *w, std::size_t n)
+{
+    if (n < kInlineWords) {
+        std::size_t c = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            c += static_cast<std::size_t>(__builtin_popcountll(w[i]));
+        return c;
+    }
+    return table().popcount(w, n);
+}
+
+inline std::size_t
+findNonZero(const std::uint64_t *w, std::size_t n, std::size_t from)
+{
+    if (n - from < kInlineWords || from >= n) {
+        for (std::size_t i = from; i < n; ++i)
+            if (w[i])
+                return i;
+        return n;
+    }
+    return table().findNonZero(w, n, from);
+}
+
+inline void
+premix(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    if (n < kInlineWords) {
+        for (std::size_t i = 0; i < n; ++i) {
+            std::uint64_t v = src[i];
+            v *= 0xff51afd7ed558ccdull;
+            v ^= v >> 33;
+            dst[i] = v;
+        }
+        return;
+    }
+    table().premix(dst, src, n);
+}
+
+inline std::size_t
+findU64(const std::uint64_t *slots, std::size_t n, std::uint64_t key)
+{
+    if (n < kInlineWords) {
+        for (std::size_t i = 0; i < n; ++i)
+            if (slots[i] == key)
+                return i;
+        return n;
+    }
+    return table().findU64(slots, n, key);
+}
+
+} // namespace satom::kern

@@ -14,7 +14,8 @@
 #include <array>
 #include <cstdint>
 #include <mutex>
-#include <unordered_set>
+
+#include "util/u64set.hpp"
 
 namespace satom
 {
@@ -29,7 +30,7 @@ class ShardedU64Set
     {
         Shard &s = shardFor(key);
         std::lock_guard<std::mutex> lk(s.m);
-        return s.keys.insert(key).second;
+        return s.keys.insert(key);
     }
 
     /** True iff @p key is present. */
@@ -38,7 +39,7 @@ class ShardedU64Set
     {
         const Shard &s = shardFor(key);
         std::lock_guard<std::mutex> lk(s.m);
-        return s.keys.count(key) != 0;
+        return s.keys.contains(key);
     }
 
     /** Total number of keys (takes every shard lock). */
@@ -73,8 +74,7 @@ class ShardedU64Set
     {
         for (const Shard &s : shards_) {
             std::lock_guard<std::mutex> lk(s.m);
-            for (std::uint64_t k : s.keys)
-                fn(k);
+            s.keys.forEach(fn);
         }
     }
 
@@ -85,7 +85,7 @@ class ShardedU64Set
     struct Shard
     {
         mutable std::mutex m;
-        std::unordered_set<std::uint64_t> keys;
+        FlatU64Set keys;
     };
 
     /**

@@ -48,8 +48,9 @@ namespace satom::snapshot
 inline constexpr char magic[8] = {'S', 'A', 'T', 'O',
                                   'M', 'S', 'N', 'P'};
 
-/** Format version written by this build. */
-inline constexpr std::uint32_t formatVersion = 1;
+/** Format version written by this build.  v2: EnumStats gained the
+ *  closure-frontier fields and the registry the kernel/wave rows. */
+inline constexpr std::uint32_t formatVersion = 2;
 
 /** The explicit end-of-stream record type. */
 inline constexpr std::uint32_t recordEnd = 0xE0Fu;

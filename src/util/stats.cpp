@@ -29,6 +29,8 @@ constexpr CtrInfo kInfo[numCounters] = {
     {"operational-steps", false, true},
     {"serialization-steps", false, true},
     {"oracle-runs", false, true},
+    {"closure-frontier-loads", false, true},
+    {"closure-frontier-skipped", false, true},
     // telemetry
     {"gate-polls", false, false},
     {"waves", false, false},
@@ -38,6 +40,8 @@ constexpr CtrInfo kInfo[numCounters] = {
     {"checkpoints-written", false, false},
     {"spill-segments", false, false},
     {"spill-reload-bytes", false, false},
+    {"simd-tier", true, false},
+    {"min-wave-size", false, false, true},
 };
 
 } // namespace
@@ -55,6 +59,10 @@ StatsRegistry::merge(const StatsRegistry &o)
     for (int i = 0; i < numCounters; ++i) {
         if (kInfo[i].maximum) {
             if (o.v_[i] > v_[i])
+                v_[i] = o.v_[i];
+        } else if (kInfo[i].minimum) {
+            // 0 is "unset": any recorded trough beats it.
+            if (o.v_[i] != 0 && (v_[i] == 0 || o.v_[i] < v_[i]))
                 v_[i] = o.v_[i];
         } else {
             v_[i] += o.v_[i];

@@ -91,6 +91,8 @@ enum class Ctr : int
     OperationalSteps,   ///< operational-machine instructions executed
     SerializationSteps, ///< txn serialization-search DFS steps
     OracleRuns,         ///< differential oracles evaluated
+    ClosureFrontierLoads,   ///< loads examined by incremental closure
+    ClosureFrontierSkipped, ///< loads skipped as outside the frontier
 
     // -- telemetry: scheduling/mode dependent, never byte-compared --
     GatePolls,          ///< budget-gate polls on the hot loops
@@ -101,6 +103,8 @@ enum class Ctr : int
     CheckpointsWritten, ///< engine snapshots persisted this run
     SpillSegments,      ///< frontier segments spilled to disk
     SpillReloadBytes,   ///< spill segment bytes read back in
+    SimdTier,           ///< dispatched kernel tier + 1 (maximum)
+    MinWaveSize,        ///< smallest single wave (minimum)
 
     Count_,
 };
@@ -113,6 +117,7 @@ struct CtrInfo
     const char *name;   ///< stable report key, e.g. "states-explored"
     bool maximum;       ///< merges by max instead of sum
     bool deterministic; ///< identical for serial vs parallel runs
+    bool minimum = false; ///< merges by min over nonzero (0 = unset)
 };
 
 /** Metadata for @p c (valid for every value below Ctr::Count_). */
@@ -146,6 +151,24 @@ class StatsRegistry
 #if SATOM_STATS_ENABLED
         auto &slot = v_[static_cast<std::size_t>(c)];
         if (n > slot)
+            slot = n;
+#else
+        (void)c;
+        (void)n;
+#endif
+    }
+
+    /**
+     * Lower minimum-counter @p c toward @p n.  Zero means "never
+     * recorded" (the sentinel the merge honors), so a trough of a real
+     * zero cannot be represented — callers record n >= 1.
+     */
+    void
+    trough(Ctr c, std::uint64_t n)
+    {
+#if SATOM_STATS_ENABLED
+        auto &slot = v_[static_cast<std::size_t>(c)];
+        if (slot == 0 || n < slot)
             slot = n;
 #else
         (void)c;

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Flat open-addressing set of 64-bit keys with SIMD group probing.
+ *
+ * The enumeration engine's seen-key sets hold millions of uniformly
+ * distributed digests and never erase.  std::unordered_set pays a heap
+ * node and a pointer chase per key; this set stores the keys directly
+ * in one power-of-two slot array and probes them a cache-line group at
+ * a time through kern::findU64 (SSE2/AVX2 compare-equal sweeps when
+ * dispatched).  Zero is reserved as the empty-slot marker, with a side
+ * flag covering the (legal) zero key.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/kernels.hpp"
+
+namespace satom
+{
+
+/** Insert-only hash set of uint64_t keys (no erase). */
+class FlatU64Set
+{
+  public:
+    FlatU64Set() = default;
+
+    /** True iff @p key is present. */
+    bool
+    contains(std::uint64_t key) const
+    {
+        if (key == 0)
+            return hasZero_;
+        if (slots_.empty())
+            return false;
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t g = startGroup(key);
+        for (;;) {
+            const std::uint64_t *grp = slots_.data() + g;
+            if (kern::findU64(grp, kGroup, key) < kGroup)
+                return true;
+            if (kern::findU64(grp, kGroup, 0) < kGroup)
+                return false; // an empty slot ends the probe chain
+            g = (g + kGroup) & mask;
+        }
+    }
+
+    /** Insert @p key; true iff it was not present. */
+    bool
+    insert(std::uint64_t key)
+    {
+        if (key == 0) {
+            if (hasZero_)
+                return false;
+            hasZero_ = true;
+            ++size_;
+            return true;
+        }
+        if (slots_.empty() || (size_ + 1) * 8 > slots_.size() * 7)
+            grow();
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t g = startGroup(key);
+        for (;;) {
+            std::uint64_t *grp = slots_.data() + g;
+            if (kern::findU64(grp, kGroup, key) < kGroup)
+                return false;
+            const std::size_t e = kern::findU64(grp, kGroup, 0);
+            if (e < kGroup) {
+                grp[e] = key;
+                ++size_;
+                return true;
+            }
+            g = (g + kGroup) & mask;
+        }
+    }
+
+    /** Number of keys. */
+    std::size_t size() const { return size_; }
+
+    void
+    clear()
+    {
+        slots_.clear();
+        size_ = 0;
+        hasZero_ = false;
+    }
+
+    /** Pre-size so @p n keys fit without rehashing. */
+    void
+    reserve(std::size_t n)
+    {
+        std::size_t cap = kGroup * 2;
+        while (n * 8 > cap * 7)
+            cap *= 2;
+        if (cap > slots_.size())
+            rehash(cap);
+    }
+
+    /** Visit every key (slot order — callers needing canonical order
+     *  must sort what they collect). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        if (hasZero_)
+            fn(std::uint64_t{0});
+        const std::size_t n = slots_.size();
+        for (std::size_t i = kern::findNonZero(slots_.data(), n, 0);
+             i < n;
+             i = kern::findNonZero(slots_.data(), n, i + 1))
+            fn(slots_[i]);
+    }
+
+  private:
+    static constexpr std::size_t kGroup = 8;
+
+    /** Group-aligned start position from a fibonacci-mixed key. */
+    std::size_t
+    startGroup(std::uint64_t key) const
+    {
+        const std::uint64_t h = key * 0x9e3779b97f4a7c15ull;
+        // slots_.size() is a power of two and a multiple of kGroup.
+        return static_cast<std::size_t>(
+                   h & (slots_.size() - 1)) &
+               ~(kGroup - 1);
+    }
+
+    void grow() { rehash(slots_.empty() ? 16 : slots_.size() * 2); }
+
+    void
+    rehash(std::size_t newCap)
+    {
+        std::vector<std::uint64_t> old;
+        old.swap(slots_);
+        slots_.assign(newCap, 0);
+        for (std::uint64_t k : old) {
+            if (!k)
+                continue;
+            const std::size_t mask = slots_.size() - 1;
+            std::size_t g = startGroup(k);
+            for (;;) {
+                std::uint64_t *grp = slots_.data() + g;
+                const std::size_t e = kern::findU64(grp, kGroup, 0);
+                if (e < kGroup) {
+                    grp[e] = k;
+                    break;
+                }
+                g = (g + kGroup) & mask;
+            }
+        }
+    }
+
+    std::vector<std::uint64_t> slots_;
+    std::size_t size_ = 0;
+    bool hasZero_ = false;
+};
+
+} // namespace satom

@@ -237,8 +237,13 @@ TEST(StoreAtomicity, Figure7IteratedClosure)
     ASSERT_EQ(closeStoreAtomicity(g, &stats), ClosureResult::Ok);
     EXPECT_TRUE(g.ordered(s3, s4)); // edge c
     EXPECT_TRUE(g.ordered(s1, l5));
-    EXPECT_TRUE(g.ordered(s1, s2)); // edge d, found on a later sweep
-    EXPECT_GE(stats.iterations, 2);
+    EXPECT_TRUE(g.ordered(s1, s2)); // edge d, found on a later round
+    // Iterations now count frontier drains, not full sweeps: the
+    // second observe dirties both loads, so one drain (with internal
+    // re-activation rounds) reaches the edge-d fixpoint.
+    EXPECT_GE(stats.iterations, 1);
+    EXPECT_GE(stats.edgesAdded, 2);
+    EXPECT_GE(stats.frontierLoads, 1);
     EXPECT_TRUE(satisfiesStoreAtomicity(g));
 }
 

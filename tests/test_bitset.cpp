@@ -75,6 +75,93 @@ TEST(Bitset, UnionIntersectionDifference)
     EXPECT_FALSE(d.test(65));
 }
 
+TEST(Bitset, TailWordBoundaries)
+{
+    // The kernel layer operates on whole 64-bit words; sizes at and
+    // around word boundaries pin down that the final partial word is
+    // masked correctly by every operation.
+    for (const std::size_t n : {std::size_t{63}, std::size_t{64},
+                                std::size_t{65}, std::size_t{127}}) {
+        SCOPED_TRACE("n=" + std::to_string(n));
+        Bitset a(n), b(n);
+        a.set(0);
+        a.set(n - 1);
+        b.set(n - 1);
+
+        EXPECT_EQ(a.count(), 2u);
+        EXPECT_TRUE(a.any());
+        EXPECT_TRUE(b.isSubsetOf(a));
+        EXPECT_FALSE(a.isSubsetOf(b));
+
+        Bitset u = a | b;
+        EXPECT_EQ(u.count(), 2u);
+        EXPECT_TRUE(u.test(n - 1));
+
+        Bitset i = a & b;
+        EXPECT_EQ(i.count(), 1u);
+        EXPECT_TRUE(i.test(n - 1));
+
+        Bitset d = a;
+        d -= b;
+        EXPECT_EQ(d.count(), 1u);
+        EXPECT_TRUE(d.test(0));
+        EXPECT_FALSE(d.test(n - 1));
+
+        // Full set: count equals size, forEach visits every index in
+        // order, and the last bit is the last visited.
+        Bitset full(n);
+        for (std::size_t k = 0; k < n; ++k)
+            full.set(k);
+        EXPECT_EQ(full.count(), n);
+        std::size_t visits = 0, last = 0;
+        full.forEach([&](std::size_t k) {
+            ++visits;
+            last = k;
+        });
+        EXPECT_EQ(visits, n);
+        EXPECT_EQ(last, n - 1);
+
+        // Clearing only the boundary bit leaves its neighbors alone.
+        full.reset(n - 1);
+        EXPECT_EQ(full.count(), n - 1);
+        if (n >= 2)
+            EXPECT_TRUE(full.test(n - 2));
+    }
+}
+
+TEST(Bitset, MixedSizeOperandsAtBoundaries)
+{
+    // Operands of different word counts: the shorter one acts as if
+    // zero-extended for |, &, -= and isSubsetOf.
+    Bitset small(63), big(127);
+    small.set(5);
+    small.set(62);
+    big.set(5);
+    big.set(100);
+
+    Bitset u = big;
+    u |= small;
+    EXPECT_TRUE(u.test(62));
+    EXPECT_TRUE(u.test(100));
+    EXPECT_EQ(u.count(), 3u);
+
+    Bitset i = big;
+    i &= small;
+    EXPECT_TRUE(i.test(5));
+    EXPECT_FALSE(i.test(100));
+    EXPECT_EQ(i.count(), 1u);
+
+    Bitset d = big;
+    d -= small;
+    EXPECT_FALSE(d.test(5));
+    EXPECT_TRUE(d.test(100));
+
+    EXPECT_FALSE(small.isSubsetOf(big)); // bit 62 missing from big
+    Bitset small2(65);
+    small2.set(5);
+    EXPECT_TRUE(small2.isSubsetOf(big));
+}
+
 TEST(Bitset, SubsetAndEquality)
 {
     Bitset a(40), b(40);

@@ -1,0 +1,511 @@
+/**
+ * @file
+ * The SIMD kernel layer's correctness contract, pinned three ways:
+ *
+ *  1. A randomized cross-tier property suite: every dispatched
+ *     implementation (scalar, SSE2, AVX2 — whatever the host can
+ *     execute) must compute bit-identical results to a reference
+ *     loop written here, over misaligned pointers and ragged tail
+ *     lengths.  tableFor() reaches the dispatched code directly, so
+ *     the kInlineWords short-circuit cannot hide a broken tier.
+ *
+ *  2. Engine-level equality: enumerating the same program under
+ *     SC/TSO/WMM with the scalar tier forced and with the best tier
+ *     must produce identical outcome sets and identical deterministic
+ *     counters — the dispatch choice must never leak into any
+ *     deterministic output (reports, dedup keys, snapshots).
+ *
+ *  3. The incremental Store Atomicity closure: a second close over an
+ *     unchanged graph drains no frontier, and interleaving observes
+ *     with closes reaches the same fixpoint as one batched close —
+ *     the invariant that lets the engine skip redundant sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/atomicity.hpp"
+#include "core/graph.hpp"
+#include "enumerate/engine.hpp"
+#include "isa/builder.hpp"
+#include "util/hash.hpp"
+#include "util/kernels.hpp"
+#include "util/u64set.hpp"
+
+namespace satom
+{
+namespace
+{
+
+using kern::KernelTable;
+using kern::Tier;
+
+/** The tiers this host can actually execute (scalar always can). */
+std::vector<Tier>
+supportedTiers()
+{
+    std::vector<Tier> out{Tier::Scalar};
+    if (kern::bestSupportedTier() >= Tier::Sse2)
+        out.push_back(Tier::Sse2);
+    if (kern::bestSupportedTier() >= Tier::Avx2)
+        out.push_back(Tier::Avx2);
+    return out;
+}
+
+/** Word counts that stress every vector-width boundary and tail. */
+const std::size_t kSizes[] = {0,  1,  2,  3,  4,  5,   7,   8,
+                              9,  15, 16, 17, 31, 32,  33,  63,
+                              64, 65, 100, 127, 128, 129, 255, 300};
+
+/**
+ * A buffer with one word of slack so tests can hand the kernels a
+ * pointer that is 8-byte- but not 16/32-byte-aligned — the rows the
+ * engine passes live inside std::vector and carry no extra alignment.
+ */
+std::vector<std::uint64_t>
+randomWords(std::mt19937_64 &rng, std::size_t n, int density)
+{
+    std::vector<std::uint64_t> v(n + 1);
+    for (auto &w : v) {
+        w = rng();
+        for (int d = 0; d < density; ++d)
+            w &= rng(); // sparser with each AND
+    }
+    return v;
+}
+
+TEST(Kernels, TierNamesAndClamping)
+{
+    EXPECT_STREQ(kern::tierName(Tier::Scalar), "scalar");
+    EXPECT_STREQ(kern::tierName(Tier::Sse2), "sse2");
+    EXPECT_STREQ(kern::tierName(Tier::Avx2), "avx2");
+    // tableFor clamps requests above the host's best tier instead of
+    // handing back code the CPU would fault on.
+    const KernelTable &best = kern::tableFor(kern::bestSupportedTier());
+    EXPECT_EQ(&kern::tableFor(Tier::Avx2), &best);
+}
+
+TEST(Kernels, CrossTierPropertySuite)
+{
+    std::mt19937_64 rng(0x5eed5a70u);
+    for (const std::size_t n : kSizes) {
+        for (const int density : {0, 2, 6}) {
+            for (const std::size_t off : {std::size_t{0}, std::size_t{1}}) {
+                if (n == 0 && off == 1)
+                    continue;
+                auto abuf = randomWords(rng, n, density);
+                auto bbuf = randomWords(rng, n, density);
+                const std::uint64_t *a = abuf.data() + off;
+                const std::uint64_t *b = bbuf.data() + off;
+
+                // Reference results, computed longhand.
+                std::vector<std::uint64_t> refOr(n), refAnd(n),
+                    refAndNot(n), refMix(n);
+                bool refAnyAnd = false, refAnyAndNot = false,
+                     refAnyWord = false;
+                std::size_t refPop = 0;
+                for (std::size_t i = 0; i < n; ++i) {
+                    refOr[i] = a[i] | b[i];
+                    refAnd[i] = a[i] & b[i];
+                    refAndNot[i] = a[i] & ~b[i];
+                    refAnyAnd |= (a[i] & b[i]) != 0;
+                    refAnyAndNot |= (a[i] & ~b[i]) != 0;
+                    refAnyWord |= a[i] != 0;
+                    refPop += static_cast<std::size_t>(
+                        __builtin_popcountll(a[i]));
+                    std::uint64_t v = a[i];
+                    v *= 0xff51afd7ed558ccdull;
+                    v ^= v >> 33;
+                    refMix[i] = v;
+                }
+
+                for (const Tier t : supportedTiers()) {
+                    const KernelTable &k = kern::tableFor(t);
+                    SCOPED_TRACE(std::string("tier=") +
+                                 kern::tierName(t) +
+                                 " n=" + std::to_string(n) +
+                                 " off=" + std::to_string(off));
+
+                    std::vector<std::uint64_t> dst(a, a + n);
+                    k.orInto(dst.data(), b, n);
+                    EXPECT_EQ(dst, refOr);
+
+                    dst.assign(a, a + n);
+                    k.andInto(dst.data(), b, n);
+                    EXPECT_EQ(dst, refAnd);
+
+                    dst.assign(a, a + n);
+                    k.andNotInto(dst.data(), b, n);
+                    EXPECT_EQ(dst, refAndNot);
+
+                    EXPECT_EQ(k.anyAnd(a, b, n), refAnyAnd);
+                    EXPECT_EQ(k.anyAndNot(a, b, n), refAnyAndNot);
+                    EXPECT_EQ(k.anyWord(a, n), refAnyWord);
+                    EXPECT_EQ(k.popcount(a, n), refPop);
+
+                    dst.assign(n, 0);
+                    k.premix(dst.data(), a, n);
+                    EXPECT_EQ(dst, refMix);
+                }
+            }
+        }
+    }
+}
+
+TEST(Kernels, FindNonZeroEveryStart)
+{
+    std::mt19937_64 rng(0xf1fdbeefu);
+    for (const std::size_t n : {std::size_t{5}, std::size_t{64},
+                                std::size_t{129}}) {
+        // Very sparse so scans actually have to skip zero words.
+        auto buf = randomWords(rng, n, 8);
+        const std::uint64_t *w = buf.data();
+        for (std::size_t from = 0; from <= n; ++from) {
+            std::size_t ref = n;
+            for (std::size_t i = from; i < n; ++i)
+                if (w[i]) {
+                    ref = i;
+                    break;
+                }
+            for (const Tier t : supportedTiers())
+                EXPECT_EQ(kern::tableFor(t).findNonZero(w, n, from), ref)
+                    << kern::tierName(t) << " n=" << n
+                    << " from=" << from;
+        }
+    }
+}
+
+TEST(Kernels, FindU64EveryPosition)
+{
+    std::mt19937_64 rng(0xab5e7u);
+    for (const std::size_t n : {std::size_t{8}, std::size_t{16},
+                                std::size_t{40}}) {
+        auto buf = randomWords(rng, n, 0);
+        const std::uint64_t key = 0x123456789abcdef0ull;
+        for (std::size_t at = 0; at <= n; ++at) {
+            std::vector<std::uint64_t> slots(buf.begin(),
+                                             buf.begin() +
+                                                 static_cast<long>(n));
+            for (auto &s : slots)
+                if (s == key)
+                    s ^= 1; // scrub accidental hits
+            if (at < n)
+                slots[at] = key;
+            const std::size_t ref = at; // first (only) hit, or n
+            for (const Tier t : supportedTiers())
+                EXPECT_EQ(kern::tableFor(t).findU64(slots.data(), n, key),
+                          ref)
+                    << kern::tierName(t) << " n=" << n << " at=" << at;
+        }
+    }
+}
+
+TEST(Kernels, BatchedStreamHashEqualsWordAtATime)
+{
+    std::mt19937_64 rng(0x4a5431u);
+    const Tier before = kern::activeTier();
+    for (const std::size_t n : kSizes) {
+        auto buf = randomWords(rng, n, 0);
+        StreamHash64 ref;
+        for (std::size_t i = 0; i < n; ++i)
+            ref.value(buf[i]);
+        for (const Tier t : supportedTiers()) {
+            ASSERT_TRUE(kern::setTier(t));
+            StreamHash64 h;
+            h.words(buf.data(), n);
+            EXPECT_EQ(h.digest(), ref.digest())
+                << kern::tierName(t) << " n=" << n;
+        }
+    }
+    kern::setTier(before);
+}
+
+TEST(Kernels, FlatU64SetMatchesReference)
+{
+    std::mt19937_64 rng(0x5e71d0u);
+    const Tier before = kern::activeTier();
+    for (const Tier t : supportedTiers()) {
+        ASSERT_TRUE(kern::setTier(t));
+        FlatU64Set set;
+        std::unordered_set<std::uint64_t> ref;
+        for (int i = 0; i < 4000; ++i) {
+            // Small key space forces duplicates; 0 exercises the
+            // reserved-empty-slot path.
+            const std::uint64_t key = rng() % 512;
+            EXPECT_EQ(set.insert(key), ref.insert(key).second);
+            EXPECT_TRUE(set.contains(key));
+            EXPECT_EQ(set.contains(key + 1000), ref.count(key + 1000) > 0);
+        }
+        EXPECT_EQ(set.size(), ref.size());
+        std::set<std::uint64_t> seen;
+        set.forEach([&](std::uint64_t k) { seen.insert(k); });
+        EXPECT_EQ(seen, std::set<std::uint64_t>(ref.begin(), ref.end()));
+        set.clear();
+        EXPECT_EQ(set.size(), 0u);
+        EXPECT_FALSE(set.contains(0));
+        EXPECT_TRUE(set.insert(0));
+    }
+    kern::setTier(before);
+}
+
+// ---------------------------------------------------------------
+// Incremental-closure invariants.
+// ---------------------------------------------------------------
+
+NodeId
+addStore(ExecutionGraph &g, ThreadId tid, Addr a, Val v)
+{
+    Node n;
+    n.tid = tid;
+    n.kind = NodeKind::Store;
+    n.addrKnown = true;
+    n.addr = a;
+    n.valueKnown = true;
+    n.value = v;
+    n.executed = true;
+    return g.addNode(n);
+}
+
+NodeId
+addLoad(ExecutionGraph &g, ThreadId tid, Addr a)
+{
+    Node n;
+    n.tid = tid;
+    n.kind = NodeKind::Load;
+    n.addrKnown = true;
+    n.addr = a;
+    return g.addNode(n);
+}
+
+void
+observe(ExecutionGraph &g, NodeId load, NodeId store)
+{
+    Node &ln = g.node(load);
+    ln.source = store;
+    ln.value = g.node(store).value;
+    ln.valueKnown = true;
+    ln.executed = true;
+    ASSERT_TRUE(g.addEdge(store, load, EdgeKind::Source));
+}
+
+constexpr Addr X = 1, Y = 2;
+
+TEST(IncrementalClosure, SecondCloseDrainsNothing)
+{
+    ExecutionGraph g;
+    const NodeId s1 = addStore(g, 0, X, 1);
+    const NodeId l1 = addLoad(g, 1, X);
+    const NodeId s2 = addStore(g, 1, Y, 2);
+    const NodeId l2 = addLoad(g, 0, Y);
+    ASSERT_TRUE(g.addEdge(l1, s2, EdgeKind::Local));
+    observe(g, l1, s1);
+    observe(g, l2, s2);
+
+    ClosureStats first;
+    ASSERT_EQ(closeStoreAtomicity(g, &first), ClosureResult::Ok);
+    EXPECT_GE(first.iterations, 1);
+    EXPECT_GE(first.frontierLoads, 2);
+
+    // Nothing changed: the standing verdict holds without a drain,
+    // and both loads are skipped as outside the (empty) frontier.
+    ClosureStats second;
+    ASSERT_EQ(closeStoreAtomicity(g, &second), ClosureResult::Ok);
+    EXPECT_EQ(second.iterations, 0);
+    EXPECT_EQ(second.frontierLoads, 0);
+    EXPECT_EQ(second.frontierSkipped, 2);
+    EXPECT_EQ(second.edgesAdded, 0);
+}
+
+TEST(IncrementalClosure, RuleCUpgradeForcesFullSweep)
+{
+    // A graph closed without rule c carries obligations an incremental
+    // rule-c close cannot see in its (empty) frontier; the closure
+    // must detect the upgrade and run a full sweep.
+    ExecutionGraph g;
+    const NodeId s1 = addStore(g, 0, X, 1);
+    const NodeId l1 = addLoad(g, 1, X);
+    const NodeId l2 = addLoad(g, 2, X);
+    const NodeId s2 = addStore(g, 3, X, 2);
+    observe(g, l1, s1);
+    observe(g, l2, s2);
+    ASSERT_EQ(closeStoreAtomicity(g, nullptr, /*ruleC=*/false),
+              ClosureResult::Ok);
+
+    ClosureStats stats;
+    ASSERT_EQ(closeStoreAtomicity(g, &stats, /*ruleC=*/true),
+              ClosureResult::Ok);
+    EXPECT_EQ(stats.iterations, 1); // full sweep, not skipped
+    EXPECT_EQ(stats.frontierSkipped, 0);
+}
+
+TEST(IncrementalClosure, InterleavedClosesReachBatchFixpoint)
+{
+    // Randomized: run the same observation sequence twice — closing
+    // after every observe versus once at the end — and require
+    // identical verdicts and identical orderings at the fixpoint.
+    std::mt19937_64 rng(0xc105u);
+    for (int trial = 0; trial < 40; ++trial) {
+        // Draw one program shape, then instantiate it identically in
+        // both graphs.
+        struct Instr
+        {
+            ThreadId tid;
+            bool store;
+            Addr addr;
+            Val val;
+        };
+        std::vector<Instr> prog;
+        const int nThreads = 2 + static_cast<int>(rng() % 3);
+        for (ThreadId t = 0; t < nThreads; ++t)
+            for (int i = 0; i < 3; ++i)
+                prog.push_back({t, rng() % 2 == 0,
+                                static_cast<Addr>(1 + rng() % 2),
+                                static_cast<Val>(10 * t + i + 1)});
+
+        ExecutionGraph inc, batch;
+        std::vector<NodeId> stores, loads;
+        for (ExecutionGraph *g : {&inc, &batch}) {
+            NodeId prev[8] = {};
+            bool started[8] = {};
+            std::vector<NodeId> gs, gl;
+            for (const Instr &in : prog) {
+                const NodeId id =
+                    in.store ? addStore(*g, in.tid, in.addr, in.val)
+                             : addLoad(*g, in.tid, in.addr);
+                (in.store ? gs : gl).push_back(id);
+                if (started[in.tid])
+                    ASSERT_TRUE(g->addEdge(prev[in.tid], id,
+                                           EdgeKind::Local));
+                prev[in.tid] = id;
+                started[in.tid] = true;
+            }
+            stores = gs; // identical node ids in both graphs
+            loads = gl;
+        }
+
+        // One same-addr source per load, drawn once.  An observation
+        // addEdge refuses (it would close a cycle against the already
+        // closed orderings) is skipped, as the engine would discard
+        // that fork; accepted ones are replayed into the batch graph.
+        const auto tryObserve = [](ExecutionGraph &g, NodeId load,
+                                   NodeId store) {
+            if (!g.addEdge(store, load, EdgeKind::Source))
+                return false;
+            Node &ln = g.node(load);
+            ln.source = store;
+            ln.value = g.node(store).value;
+            ln.valueKnown = true;
+            ln.executed = true;
+            return true;
+        };
+        std::vector<std::pair<NodeId, NodeId>> applied;
+        bool incOk = true;
+        for (const NodeId l : loads) {
+            std::vector<NodeId> cands;
+            for (const NodeId s : stores)
+                if (inc.node(s).addr == inc.node(l).addr)
+                    cands.push_back(s);
+            if (cands.empty())
+                continue;
+            const NodeId src = cands[rng() % cands.size()];
+            if (!tryObserve(inc, l, src))
+                continue;
+            applied.push_back({l, src});
+            incOk = closeStoreAtomicity(inc) == ClosureResult::Ok;
+            if (!incOk)
+                break; // a violated graph must be discarded
+        }
+        // The batch graph's orderings are a subset of inc's at every
+        // prefix, so every replayed edge must be accepted.
+        for (const auto &[l, src] : applied)
+            ASSERT_TRUE(tryObserve(batch, l, src));
+        const bool batchOk =
+            closeStoreAtomicity(batch) == ClosureResult::Ok;
+        ASSERT_EQ(incOk, batchOk) << "trial " << trial;
+        if (!incOk)
+            continue; // a violated graph's rows are unspecified
+        for (NodeId u = 0; u < static_cast<NodeId>(inc.size()); ++u)
+            for (NodeId v = 0; v < static_cast<NodeId>(inc.size()); ++v)
+                ASSERT_EQ(inc.ordered(u, v), batch.ordered(u, v))
+                    << "trial " << trial << " u=" << u << " v=" << v;
+    }
+}
+
+// ---------------------------------------------------------------
+// Engine-level cross-tier equality.
+// ---------------------------------------------------------------
+
+Program
+sbProgram()
+{
+    ProgramBuilder pb;
+    constexpr Addr A = 100, B = 101;
+    pb.thread("P0").store(immOp(A), immOp(1)).load(1, B);
+    pb.thread("P1").store(immOp(B), immOp(1)).load(1, A);
+    return pb.build();
+}
+
+Program
+ringProgram(int threads, int reads)
+{
+    ProgramBuilder pb;
+    for (int i = 0; i < threads; ++i) {
+        auto &t = pb.thread("P" + std::to_string(i));
+        t.store(100 + i, i + 1);
+        for (int r = 1; r <= reads; ++r)
+            t.load(r, 100 + (i + r) % threads);
+    }
+    return pb.build();
+}
+
+/** Canonical text rendering of an outcome set, for equality checks. */
+std::string
+renderOutcomes(const EnumerationResult &r)
+{
+    std::vector<std::string> lines;
+    for (const auto &o : r.outcomes)
+        lines.push_back(o.key());
+    std::sort(lines.begin(), lines.end());
+    std::string out;
+    for (const auto &l : lines) {
+        out += l;
+        out += '\n';
+    }
+    return out;
+}
+
+TEST(Kernels, EngineOutcomesIdenticalAcrossTiers)
+{
+    const Tier before = kern::activeTier();
+    const std::vector<Program> programs{sbProgram(), ringProgram(3, 2)};
+    for (std::size_t pi = 0; pi < programs.size(); ++pi) {
+        for (const ModelId id :
+             {ModelId::SC, ModelId::TSO, ModelId::WMM}) {
+            ASSERT_TRUE(kern::setTier(Tier::Scalar));
+            const auto scalar =
+                enumerateBehaviors(programs[pi], makeModel(id));
+            ASSERT_TRUE(kern::setTier(kern::bestSupportedTier()));
+            const auto best =
+                enumerateBehaviors(programs[pi], makeModel(id));
+            SCOPED_TRACE(std::string("program=") + std::to_string(pi) +
+                         " model=" + toString(id) + " best=" +
+                         kern::tierName(kern::bestSupportedTier()));
+            EXPECT_EQ(renderOutcomes(scalar), renderOutcomes(best));
+            EXPECT_EQ(scalar.outcomes.size(), best.outcomes.size());
+            EXPECT_TRUE(
+                scalar.registry.deterministicEquals(best.registry));
+            EXPECT_EQ(scalar.registry.json(), best.registry.json());
+        }
+    }
+    kern::setTier(before);
+}
+
+} // namespace
+} // namespace satom
