@@ -17,6 +17,7 @@
 
 #include "baseline/operational.hpp"
 #include "bench_util.hpp"
+#include "cache/result_cache.hpp"
 #include "json_out.hpp"
 #include "litmus/library.hpp"
 #include "util/stats.hpp"
@@ -106,6 +107,39 @@ emitJson(const std::string &path)
             }
             out.add({"litmus_matrix", m.name, ms, states, outcomes,
                      workers, merged.json()});
+        }
+    }
+    // Cold-vs-warm canonical result cache over the whole library
+    // batch (serial, WMM): the warm pass answers every test from the
+    // cache, which bounds the cache's best case on real litmus
+    // workloads.
+    {
+        const MemoryModel m = makeModel(ModelId::WMM);
+        std::vector<EnumerationJob> jobs;
+        jobs.reserve(tests().size());
+        for (const auto &lt : tests())
+            jobs.push_back({&lt.program, &m});
+        cache::ResultCache rc; // in-memory, no directory attached
+        EnumerationOptions opts;
+        opts.numWorkers = 1;
+        opts.resultCache = &rc;
+        for (const char *phase : {"cold", "warm"}) {
+            const auto t0 = std::chrono::steady_clock::now();
+            const auto rs = enumerateBatch(jobs, opts);
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            long states = 0;
+            long outcomes = 0;
+            stats::StatsRegistry merged;
+            for (const auto &r : rs) {
+                states += r.stats.statesExplored;
+                outcomes += static_cast<long>(r.outcomes.size());
+                merged.merge(r.registry);
+            }
+            out.add({"litmus_matrix", m.name, ms, states, outcomes,
+                     1, merged.json(), phase});
         }
     }
     if (!out.writeTo(path))

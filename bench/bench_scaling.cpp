@@ -15,6 +15,7 @@
 #include <chrono>
 
 #include "bench_util.hpp"
+#include "cache/result_cache.hpp"
 #include "isa/builder.hpp"
 #include "json_out.hpp"
 
@@ -109,6 +110,31 @@ emitJson(const std::string &path)
                      r.stats.statesExplored,
                      static_cast<long>(r.outcomes.size()), 1,
                      r.registry.json()});
+        }
+    }
+    // Cold-vs-warm canonical result cache on the t3r2/WMM ring (the
+    // EXPERIMENTS.md dup-rate recipe): the cold record pays one
+    // canonicalize + enumerate + insert, the warm record replays the
+    // stored outcome set — the wall_ms gap is the per-program price
+    // of never enumerating the same program twice.
+    {
+        const Program p = ring(3, 2);
+        const MemoryModel m = makeModel(ModelId::WMM);
+        cache::ResultCache rc; // in-memory, no directory attached
+        EnumerationOptions opts;
+        opts.numWorkers = 1;
+        opts.resultCache = &rc;
+        for (const char *phase : {"cold", "warm"}) {
+            const auto t0 = std::chrono::steady_clock::now();
+            const auto r = enumerateBehaviors(p, m, opts);
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            out.add({"scaling/t3r2", m.name, ms,
+                     r.stats.statesExplored,
+                     static_cast<long>(r.outcomes.size()), 1,
+                     r.registry.json(), phase});
         }
     }
     if (!out.writeTo(path))

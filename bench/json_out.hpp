@@ -23,10 +23,12 @@ namespace satom::bench
 /**
  * Record schema version.  2 added the per-record "stats" object (the
  * search's deterministic StatsRegistry counters, "null" when the
- * bench didn't capture any or the build compiled stats out) — readers
- * keyed on the flat field set should check this before scraping.
+ * bench didn't capture any or the build compiled stats out); 3 added
+ * "cache" ("off" | "cold" | "warm" — the result-cache state the
+ * configuration was measured under) — readers keyed on the flat
+ * field set should check this before scraping.
  */
-constexpr int jsonSchema = 2;
+constexpr int jsonSchema = 3;
 
 /** One measured configuration. */
 struct JsonRecord
@@ -44,6 +46,14 @@ struct JsonRecord
      * than the registry itself so this header needs no stats dep.
      */
     std::string statsJson;
+
+    /**
+     * Result-cache state for the measurement: "off" (no cache
+     * attached, the historical configurations), "cold" (cache
+     * attached but empty) or "warm" (every enumeration served from
+     * the cache).  Last so older aggregate initializers default it.
+     */
+    std::string cache = "off";
 };
 
 /** Collects records and renders them as a JSON array. */
@@ -65,7 +75,8 @@ class JsonWriter
                    ", \"states\": " + std::to_string(r.states) +
                    ", \"outcomes\": " + std::to_string(r.outcomes) +
                    ", \"workers\": " + std::to_string(r.workers) +
-                   ", \"cpus\": " + std::to_string(hostCpus()) +
+                   ", \"cache\": \"" + escape(r.cache) +
+                   "\", \"cpus\": " + std::to_string(hostCpus()) +
                    ", \"starved\": " +
                    (r.workers > hostCpus() ? "true" : "false") +
                    ", \"stats\": " +

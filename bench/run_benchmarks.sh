@@ -6,15 +6,17 @@
 #
 # The build dir defaults to ./build and must already contain the bench
 # binaries (cmake --build build -j).  Records are a flat array of
-# {schema, bench, model, wall_ms, states, outcomes, workers, cpus,
-# starved, stats} objects (schema 2: stats is the search's
-# deterministic counter object, or null when compiled out);
-# workers=1 is the serial engine, higher counts the parallel
-# engine (enumerateBatch across the litmus library, frontier waves
-# inside one scaling ring); cpus is what the host could actually run
-# in parallel, and starved=true marks records whose worker count
-# exceeded it — their wall_ms measures scheduling overhead, not
-# speedup.
+# {schema, bench, model, wall_ms, states, outcomes, workers, cache,
+# cpus, starved, stats} objects (schema 3: stats is the search's
+# deterministic counter object, or null when compiled out; cache is
+# "off" | "cold" | "warm", the canonical-result-cache state the
+# record was measured under — cold pays canonicalize+enumerate+store,
+# warm replays the stored outcome sets); workers=1 is the serial
+# engine, higher counts the parallel engine (enumerateBatch across
+# the litmus library, frontier waves inside one scaling ring); cpus
+# is what the host could actually run in parallel, and starved=true
+# marks records whose worker count exceeded it — their wall_ms
+# measures scheduling overhead, not speedup.
 
 set -euo pipefail
 

@@ -42,6 +42,9 @@
  *    enumeration).  --spill-dir DIR lets memory-capped runs spill cold
  *    frontier segments out of core instead of truncating;
  *    --spill-limit N forces spilling deterministically (tests).
+ *  - --cache DIR serves repeat (and isomorphic) enumerations from the
+ *    canonical result cache; a damaged cache file is announced and
+ *    treated as cold, never an error exit.
  *
  * Exit codes: 0 all verdicts match, 1 some expectation MISMATCHed,
  * 2 some model truncated/inconclusive (or output I/O failed),
@@ -54,6 +57,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/result_cache.hpp"
 #include "core/dot.hpp"
 #include "enumerate/engine.hpp"
 #include "enumerate/frontier_store.hpp"
@@ -90,6 +94,7 @@ usage()
                  "                     [--resume-from FILE]\n"
                  "                     [--spill-dir DIR]\n"
                  "                     [--spill-limit N]\n"
+                 "                     [--cache DIR]\n"
                  "models: SC TSO-approx TSO PSO WMM WMM+spec\n"
                  "--workers 0 (default) uses all hardware threads;\n"
                  "--workers 1 forces the serial engine\n"
@@ -105,6 +110,10 @@ usage()
                  "--spill-dir DIR spills cold frontier segments out of\n"
                  "  core under memory pressure (--spill-limit N forces\n"
                  "  a deterministic frontier cap)\n"
+                 "--cache DIR serves repeat enumerations from the\n"
+                 "  canonical result cache (damaged cache = cold);\n"
+                 "  exclusive with --checkpoint/--resume-from/\n"
+                 "  --spill-dir\n"
                  "exit: 0 ok, 1 mismatch, 2 inconclusive, 64 usage\n";
     return exitUsage;
 }
@@ -149,6 +158,7 @@ main(int argc, char **argv)
     std::string resumeFrom;
     std::string spillDir;
     long spillLimit = 0;
+    std::string cachePath;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -227,6 +237,8 @@ main(int argc, char **argv)
                 std::cerr << "--spill-limit needs a positive integer\n";
                 return exitUsage;
             }
+        } else if (arg == "--cache" && i + 1 < argc) {
+            cachePath = argv[++i];
         } else if (!arg.empty() && arg[0] == '-') {
             return usage();
         } else {
@@ -262,6 +274,17 @@ main(int argc, char **argv)
         return exitUsage;
     }
 
+    // The cache stores only complete, plain-options enumerations; a
+    // checkpointed / resumed / spilling run is a different execution
+    // regime, so combining them is a flag error, not a silent no-op.
+    if (!cachePath.empty() &&
+        (!checkpointPath.empty() || !resumeFrom.empty() ||
+         !spillDir.empty())) {
+        std::cerr << "--cache cannot be combined with --checkpoint/"
+                     "--resume-from/--spill-dir\n";
+        return exitUsage;
+    }
+
     LitmusTest test;
     try {
         test = litmus::parseLitmusFile(path);
@@ -291,6 +314,21 @@ main(int argc, char **argv)
     opts.checkpointEvery = checkpointEvery;
     opts.spillDir = spillDir;
     opts.spillFrontierLimit = static_cast<std::size_t>(spillLimit);
+
+    // Canonical result cache: a damaged file is announced on stderr
+    // and the run proceeds cold — caching never changes a verdict,
+    // the table, or the exit code.
+    cache::ResultCache resultCache;
+    if (!cachePath.empty()) {
+        const snapshot::Status cst = resultCache.open(cachePath);
+        if (!cst.ok())
+            std::cerr << "cache " << resultCache.path() << ": "
+                      << snapshot::toString(cst.error)
+                      << (cst.detail.empty() ? ""
+                                             : " (" + cst.detail + ")")
+                      << "; starting cold\n";
+        opts.resultCache = &resultCache;
+    }
     if (!checkpointPath.empty()) {
         // The kill-and-resume harness: process exit stays out of
         // library code, so the _Exit lives here, armed only when
@@ -425,6 +463,17 @@ main(int argc, char **argv)
         if (!jsonOut)
             std::cout << "wrote " << tracePath << " ("
                       << trace.size() << " events)\n";
+    }
+    if (!cachePath.empty()) {
+        if (!resultCache.save())
+            std::cerr << "warning: cannot write cache "
+                      << resultCache.path() << '\n';
+        // stderr so the line is greppable without perturbing the
+        // table or the JSON report on stdout.
+        std::cerr << "cache: hits=" << resultCache.hits()
+                  << " misses=" << resultCache.misses()
+                  << " entries=" << resultCache.size() << " ("
+                  << resultCache.path() << ")\n";
     }
     return exitCode;
 }

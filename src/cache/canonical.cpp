@@ -1,0 +1,408 @@
+#include "cache/canonical.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/hash.hpp"
+#include "util/snapshot.hpp"
+
+namespace satom::cache
+{
+
+namespace
+{
+
+/** Label maps under construction (original -> canonical). */
+struct LabelMaps
+{
+    bool relabelAddrs = false;
+    bool relabelVals = false;
+    std::map<Addr, Addr> addr;
+    std::map<Val, Val> val;
+
+    Addr
+    mapAddr(Addr a)
+    {
+        if (!relabelAddrs)
+            return a;
+        auto it = addr.find(a);
+        if (it != addr.end())
+            return it->second;
+        const Addr id = static_cast<Addr>(addr.size());
+        addr.emplace(a, id);
+        return id;
+    }
+
+    Val
+    mapVal(Val v)
+    {
+        if (!relabelVals)
+            return v;
+        if (v == 0)
+            return 0; // memory and registers initialize to 0
+        auto it = val.find(v);
+        if (it != val.end())
+            return it->second;
+        const Val id = static_cast<Val>(val.size() + 1);
+        val.emplace(v, id);
+        return id;
+    }
+};
+
+/** Per-thread register rename, 0,1,2,... in first-use order. */
+std::map<Reg, Reg>
+regRename(const ThreadCode &t)
+{
+    std::map<Reg, Reg> m;
+    const auto use = [&m](Reg r) {
+        if (r >= 0 && !m.count(r))
+            m.emplace(r, static_cast<Reg>(m.size()));
+    };
+    for (const Instruction &ins : t.code) {
+        // Fixed scan order; any fixed order is equally canonical.
+        if (ins.a.isReg())
+            use(ins.a.reg);
+        if (ins.b.isReg())
+            use(ins.b.reg);
+        if (ins.addr.isReg())
+            use(ins.addr.reg);
+        if (ins.value.isReg())
+            use(ins.value.reg);
+        use(ins.dst);
+    }
+    return m;
+}
+
+void
+encodeOperand(snapshot::ByteWriter &w, const Operand &o,
+              const std::map<Reg, Reg> &regs, LabelMaps &labels,
+              bool isAddrField)
+{
+    w.u8(static_cast<std::uint8_t>(o.kind));
+    if (o.isReg()) {
+        auto it = regs.find(o.reg);
+        w.i32(it != regs.end() ? it->second : o.reg);
+    } else if (o.isImm()) {
+        w.i64(isAddrField ? static_cast<std::int64_t>(
+                                labels.mapAddr(o.imm))
+                          : static_cast<std::int64_t>(
+                                labels.mapVal(o.imm)));
+    }
+}
+
+void
+encodeInstruction(snapshot::ByteWriter &w, const Instruction &ins,
+                  const std::map<Reg, Reg> &regs, LabelMaps &labels)
+{
+    w.u8(static_cast<std::uint8_t>(ins.op));
+    encodeOperand(w, ins.a, regs, labels, false);
+    encodeOperand(w, ins.b, regs, labels, false);
+    encodeOperand(w, ins.addr, regs, labels, true);
+    encodeOperand(w, ins.value, regs, labels, false);
+    if (ins.dst >= 0) {
+        auto it = regs.find(ins.dst);
+        w.i32(it != regs.end() ? it->second : ins.dst);
+    } else {
+        w.i32(-1);
+    }
+    w.i32(ins.target);
+    w.u8(static_cast<std::uint8_t>(
+        (ins.fence.loadLoad ? 1 : 0) | (ins.fence.loadStore ? 2 : 0) |
+        (ins.fence.storeLoad ? 4 : 0) |
+        (ins.fence.storeStore ? 8 : 0)));
+}
+
+/**
+ * Label-invariant per-thread encoding: canonical registers plus
+ * thread-local first-occurrence address/value labels (gated like the
+ * global maps).  Two threads have equal skeletons iff some global
+ * relabeling can make their instruction streams equal, which is what
+ * the thread sort may depend on without becoming circular.
+ */
+std::string
+threadSkeleton(const ThreadCode &t, const std::map<Reg, Reg> &regs,
+               bool relabelAddrs, bool relabelVals)
+{
+    snapshot::ByteWriter w;
+    LabelMaps local;
+    local.relabelAddrs = relabelAddrs;
+    local.relabelVals = relabelVals;
+    w.u32(static_cast<std::uint32_t>(t.code.size()));
+    for (const Instruction &ins : t.code)
+        encodeInstruction(w, ins, regs, local);
+    return w.take();
+}
+
+/**
+ * Full program encoding for one candidate thread order.  Returns the
+ * encoding and fills @p labels with the global maps it used.
+ */
+std::string
+encodeProgram(const Program &p, const std::vector<int> &order,
+              const std::vector<std::map<Reg, Reg>> &regMaps,
+              bool relabelAddrs, bool relabelVals, LabelMaps &labels)
+{
+    snapshot::ByteWriter w;
+    labels = LabelMaps{};
+    labels.relabelAddrs = relabelAddrs;
+    labels.relabelVals = relabelVals;
+    w.str("satom-canonical v1");
+    w.u32(static_cast<std::uint32_t>(order.size()));
+    for (int t : order) {
+        const ThreadCode &tc = p.threads[static_cast<std::size_t>(t)];
+        w.u32(static_cast<std::uint32_t>(tc.code.size()));
+        for (const Instruction &ins : tc.code)
+            encodeInstruction(w, ins, regMaps[static_cast<std::size_t>(t)],
+                              labels);
+    }
+    // Explicit init image and extra locations: empty whenever the
+    // relabeling gates passed (the gates require it), identity-mapped
+    // and already sorted otherwise.
+    w.u32(static_cast<std::uint32_t>(p.init.size()));
+    for (const auto &[a, v] : p.init) {
+        w.i64(labels.mapAddr(a));
+        w.i64(labels.mapVal(v));
+    }
+    std::vector<Addr> extra = p.extraLocations;
+    std::sort(extra.begin(), extra.end());
+    extra.erase(std::unique(extra.begin(), extra.end()), extra.end());
+    w.u32(static_cast<std::uint32_t>(extra.size()));
+    for (Addr a : extra)
+        w.i64(labels.mapAddr(a));
+    return w.take();
+}
+
+} // namespace
+
+Addr
+CanonicalProgram::originalAddr(Addr a) const
+{
+    if (!addrsRelabeled)
+        return a;
+    auto it = addrOf.find(a);
+    return it != addrOf.end() ? it->second : a;
+}
+
+Val
+CanonicalProgram::originalVal(Val v) const
+{
+    if (!valsRelabeled)
+        return v;
+    if (v == 0)
+        return 0;
+    auto it = valOf.find(v);
+    return it != valOf.end() ? it->second : v;
+}
+
+CanonicalProgram
+canonicalize(const Program &p)
+{
+    const int n = p.numThreads();
+
+    // Relabeling gates (see the header).  Address relabeling needs
+    // every access to name its location as an immediate with no
+    // out-of-band locations; value relabeling additionally forbids
+    // arithmetic, which distinguishes concrete values.
+    bool addrSafe = p.init.empty() && p.extraLocations.empty();
+    bool valSafe = true;
+    for (const ThreadCode &t : p.threads) {
+        for (const Instruction &ins : t.code) {
+            if (ins.isMemory() && !ins.addr.isImm())
+                addrSafe = false;
+            switch (ins.op) {
+              case Opcode::Add:
+              case Opcode::Sub:
+              case Opcode::Mul:
+              case Opcode::Xor:
+              case Opcode::FetchAdd:
+                valSafe = false;
+                break;
+              default:
+                break;
+            }
+        }
+    }
+    valSafe = valSafe && addrSafe;
+
+    std::vector<std::map<Reg, Reg>> regMaps;
+    regMaps.reserve(static_cast<std::size_t>(n));
+    for (const ThreadCode &t : p.threads)
+        regMaps.push_back(regRename(t));
+
+    // Thread order: sort by skeleton, then minimize the full encoding
+    // over permutations of equal-skeleton groups.
+    std::vector<std::string> skel(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        skel[static_cast<std::size_t>(i)] = threadSkeleton(
+            p.threads[static_cast<std::size_t>(i)],
+            regMaps[static_cast<std::size_t>(i)], addrSafe, valSafe);
+
+    std::vector<int> order(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        order[static_cast<std::size_t>(i)] = i;
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return skel[static_cast<std::size_t>(a)] <
+               skel[static_cast<std::size_t>(b)];
+    });
+
+    // Equal-skeleton runs [begin, end) and their permutation budget.
+    std::vector<std::pair<std::size_t, std::size_t>> groups;
+    long perms = 1;
+    for (std::size_t b = 0; b < order.size();) {
+        std::size_t e = b + 1;
+        while (e < order.size() &&
+               skel[static_cast<std::size_t>(order[e])] ==
+                   skel[static_cast<std::size_t>(order[b])])
+            ++e;
+        if (e - b > 1) {
+            groups.emplace_back(b, e);
+            for (std::size_t k = 2; k <= e - b && perms <= kPermCap;
+                 ++k)
+                perms *= static_cast<long>(k);
+        }
+        b = e;
+    }
+
+    std::string bestEnc;
+    std::vector<int> bestOrder;
+    LabelMaps bestLabels;
+    const auto consider = [&](const std::vector<int> &cand) {
+        LabelMaps labels;
+        std::string enc = encodeProgram(p, cand, regMaps, addrSafe,
+                                        valSafe, labels);
+        if (bestEnc.empty() || enc < bestEnc) {
+            bestEnc = std::move(enc);
+            bestOrder = cand;
+            bestLabels = std::move(labels);
+        }
+    };
+
+    if (groups.empty() || perms > kPermCap) {
+        consider(order);
+    } else {
+        // Depth-first over the cross product of group permutations.
+        std::vector<int> cand = order;
+        const std::function<void(std::size_t)> rec =
+            [&](std::size_t g) {
+                if (g == groups.size()) {
+                    consider(cand);
+                    return;
+                }
+                const auto [b, e] = groups[g];
+                std::sort(cand.begin() + static_cast<long>(b),
+                          cand.begin() + static_cast<long>(e));
+                do {
+                    rec(g + 1);
+                } while (std::next_permutation(
+                    cand.begin() + static_cast<long>(b),
+                    cand.begin() + static_cast<long>(e)));
+            };
+        rec(0);
+    }
+
+    // Materialize the canonical program and the inverse maps.
+    CanonicalProgram cp;
+    cp.addrsRelabeled = addrSafe;
+    cp.valsRelabeled = valSafe;
+    cp.encoding = std::move(bestEnc);
+    cp.fingerprint = fingerprintBytes(cp.encoding);
+    cp.threadOf = bestOrder;
+    cp.regOf.resize(static_cast<std::size_t>(n));
+
+    LabelMaps rebuild;
+    rebuild.relabelAddrs = addrSafe;
+    rebuild.relabelVals = valSafe;
+    cp.program.threads.reserve(static_cast<std::size_t>(n));
+    for (int c = 0; c < n; ++c) {
+        const int t = bestOrder[static_cast<std::size_t>(c)];
+        const ThreadCode &tc = p.threads[static_cast<std::size_t>(t)];
+        const auto &regs = regMaps[static_cast<std::size_t>(t)];
+        ThreadCode out;
+        out.name = "T";
+        out.name += std::to_string(c);
+        out.code.reserve(tc.code.size());
+        for (Instruction ins : tc.code) {
+            const auto mapReg = [&regs](Reg r) {
+                if (r < 0)
+                    return r;
+                auto it = regs.find(r);
+                return it != regs.end() ? it->second : r;
+            };
+            const auto mapOperand = [&](Operand &o, bool isAddr) {
+                if (o.isReg())
+                    o.reg = mapReg(o.reg);
+                else if (o.isImm())
+                    o.imm = isAddr ? static_cast<Val>(rebuild.mapAddr(
+                                         o.imm))
+                                   : rebuild.mapVal(o.imm);
+            };
+            // Same operand order as the encoder, so the rebuilt maps
+            // equal the winning encoding's maps exactly.
+            mapOperand(ins.a, false);
+            mapOperand(ins.b, false);
+            mapOperand(ins.addr, true);
+            mapOperand(ins.value, false);
+            ins.dst = mapReg(ins.dst);
+            out.code.push_back(ins);
+        }
+        cp.program.threads.push_back(std::move(out));
+        for (const auto &[orig, canon] : regs)
+            cp.regOf[static_cast<std::size_t>(c)].emplace(canon, orig);
+    }
+    for (const auto &[a, v] : p.init)
+        cp.program.init.emplace(rebuild.mapAddr(a), rebuild.mapVal(v));
+    {
+        std::vector<Addr> extra = p.extraLocations;
+        std::sort(extra.begin(), extra.end());
+        extra.erase(std::unique(extra.begin(), extra.end()),
+                    extra.end());
+        for (Addr a : extra)
+            cp.program.extraLocations.push_back(rebuild.mapAddr(a));
+    }
+    for (const auto &[orig, canon] : rebuild.addr)
+        cp.addrOf.emplace(canon, orig);
+    for (const auto &[orig, canon] : rebuild.val)
+        cp.valOf.emplace(canon, orig);
+    return cp;
+}
+
+std::string
+contextEncoding(const MemoryModel &model, int maxDynamicPerThread,
+                long maxStates)
+{
+    snapshot::ByteWriter w;
+    w.str("satom-cache-ctx v1");
+    for (int a = 0; a < numInstrClasses; ++a)
+        for (int b = 0; b < numInstrClasses; ++b)
+            w.u8(static_cast<std::uint8_t>(
+                model.table.get(static_cast<InstrClass>(a),
+                                static_cast<InstrClass>(b))));
+    w.boolean(model.nonSpecAliasDeps);
+    w.boolean(model.tsoBypass);
+    w.i32(maxDynamicPerThread);
+    w.i64(maxStates);
+    return w.take();
+}
+
+std::uint64_t
+fingerprintBytes(std::string_view bytes)
+{
+    StreamHash64 h;
+    h.value(static_cast<std::uint64_t>(bytes.size()));
+    std::uint64_t word = 0;
+    int shift = 0;
+    for (unsigned char c : bytes) {
+        word |= static_cast<std::uint64_t>(c) << shift;
+        shift += 8;
+        if (shift == 64) {
+            h.value(word);
+            word = 0;
+            shift = 0;
+        }
+    }
+    if (shift != 0)
+        h.value(word);
+    return h.digest();
+}
+
+} // namespace satom::cache

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Program canonicalization for the cross-run result cache.
+ *
+ * The paper's thesis — a memory model is a reorder table plus Store
+ * Atomicity over the Load–Store graph — makes the behavior set of a
+ * program invariant under every renaming that preserves that graph's
+ * shape: register names (thread-local), the order threads are listed
+ * in, and (when values only flow by copy and compare) the concrete
+ * address and value labels.  `canonicalize` quotients a Program by
+ * those symmetries, producing a canonical representative plus the
+ * inverse label maps needed to translate the canonical program's
+ * outcomes back into the original's labels:
+ *
+ *  - registers: renamed 0,1,2,... per thread in first-use order
+ *    (always sound; registers never cross threads),
+ *  - threads: ordered by a label-invariant per-thread "skeleton"
+ *    encoding, ties broken by minimizing the full program encoding
+ *    over the tied threads' permutations (bounded; see kPermCap),
+ *  - addresses: relabeled 0,1,2,... in first-occurrence order, only
+ *    when every memory access uses an immediate address and the
+ *    program declares no explicit init/extra locations (a program
+ *    that computes addresses conflates the value and address
+ *    domains, where relabeling is unsound),
+ *  - values: relabeled 1,2,3,... in first-occurrence order with 0
+ *    pinned (0 is the implicit initial value of memory and of
+ *    never-written registers), only when addresses were relabelable
+ *    AND no arithmetic opcode (Add/Sub/Mul/Xor/FetchAdd) appears —
+ *    the remaining opcodes move values by copy or compare them for
+ *    equality, both invariant under a 0-pinning bijection.
+ *
+ * When a relabeling gate fails the corresponding map degrades to the
+ *identity; register renaming and thread ordering always apply, so
+ * every program still has a canonical form — weaker gates only mean
+ * fewer isomorphic programs share it.
+ *
+ * The canonical program's stable byte encoding is hashed with
+ * StreamHash64 into the cache key's program fingerprint; the model
+ * side of the key hashes the reorder table, the model flags and the
+ * semantic enumeration limits (contextEncoding).  Cache consumers
+ * store the full encodings next to the 64-bit fingerprints and
+ * compare them on lookup, so a hash collision degrades to a miss,
+ * never to a wrong result.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "model/models.hpp"
+
+namespace satom::cache
+{
+
+/**
+ * A canonicalized program plus the inverse maps (canonical label ->
+ * original label) that de-canonicalize its outcomes.
+ */
+struct CanonicalProgram
+{
+    /** The canonical representative (threads named T0, T1, ...). */
+    Program program;
+
+    /** Canonical thread index -> original thread index. */
+    std::vector<int> threadOf;
+
+    /** Per canonical thread: canonical register -> original. */
+    std::vector<std::map<Reg, Reg>> regOf;
+
+    /** Canonical address -> original (identity map if not relabeled). */
+    std::map<Addr, Addr> addrOf;
+
+    /** Canonical value -> original (identity map if not relabeled). */
+    std::map<Val, Val> valOf;
+
+    /** Did the address-relabeling gate pass? */
+    bool addrsRelabeled = false;
+
+    /** Did the value-relabeling gate pass? */
+    bool valsRelabeled = false;
+
+    /** Stable byte encoding of the canonical program. */
+    std::string encoding;
+
+    /** StreamHash64 of `encoding` (the cache key's program half). */
+    std::uint64_t fingerprint = 0;
+
+    /** Map a canonical address back to the original's labels. */
+    Addr originalAddr(Addr a) const;
+
+    /** Map a canonical value back to the original's labels. */
+    Val originalVal(Val v) const;
+};
+
+/**
+ * Tied-thread permutation budget: when the product of factorials of
+ * the equal-skeleton group sizes exceeds this, the tie is broken by
+ * original thread index instead of full-encoding minimization (still
+ * deterministic; only exotic many-identical-thread programs lose the
+ * cross-isomorphism guarantee).
+ */
+inline constexpr long kPermCap = 720;
+
+/** Canonicalize @p p (see the file comment for the invariants). */
+CanonicalProgram canonicalize(const Program &p);
+
+/**
+ * Stable byte encoding of the model/limits half of a cache key: the
+ * 5x5 reorder table, the two semantic model flags, the per-thread
+ * dynamic-instruction budget and the state cap (a complete result is
+ * only reusable under the limits it was produced with), plus the
+ * cache schema version.  The model *name* is deliberately excluded:
+ * two models with equal tables and flags define the same behavior
+ * sets.
+ */
+std::string contextEncoding(const MemoryModel &model,
+                            int maxDynamicPerThread, long maxStates);
+
+/** StreamHash64 over a byte string (length-prefixed, LE words). */
+std::uint64_t fingerprintBytes(std::string_view bytes);
+
+} // namespace satom::cache

@@ -1,0 +1,265 @@
+#include "cache/result_cache.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "util/atomic_file.hpp"
+#include "util/hash.hpp"
+#include "util/run_control.hpp"
+#include "util/stats.hpp"
+
+namespace satom::cache
+{
+
+namespace
+{
+
+/** Record type of one cache entry inside the container. */
+constexpr std::uint32_t kRecEntry = 1;
+
+} // namespace
+
+std::uint64_t
+ResultCache::mixKey(std::uint64_t programFp, std::uint64_t contextFp)
+{
+    StreamHash64 h;
+    h.value(programFp);
+    h.value(contextFp);
+    return h.digest();
+}
+
+std::string
+ResultCache::containerFingerprint() const
+{
+    // The schema version rides in the fingerprint: bumping it makes
+    // every older file a CfgMismatch, i.e. a cold cache.  The stats
+    // mode rides along because payloads embed a serialized registry.
+    return "satom-cache v" + std::to_string(cacheSchemaVersion) +
+           " stats=" + (stats::enabled() ? "1" : "0");
+}
+
+snapshot::Status
+ResultCache::open(const std::string &dir)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    entries_.clear();
+    front_.clear();
+    buckets_.clear();
+    dirty_ = false;
+
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec); // best effort
+    path_ = dir + "/results.satomc";
+
+    if (!std::filesystem::exists(path_, ec)) {
+        openStatus_ = snapshot::Status{}; // cold, clean
+        return openStatus_;
+    }
+
+    std::string bytes;
+    if (!readFileBytes(path_, bytes)) {
+        openStatus_ = snapshot::Status::fail(
+            snapshot::Error::Io, "cannot read " + path_);
+        return openStatus_;
+    }
+
+    snapshot::RecordReader reader;
+    snapshot::Status st = reader.open(bytes, containerFingerprint());
+    if (!st.ok()) {
+        openStatus_ = st;
+        return openStatus_;
+    }
+
+    std::uint32_t type = 0;
+    std::string_view payload;
+    while (reader.next(type, payload)) {
+        if (type != kRecEntry)
+            continue; // unknown record types are skippable by design
+        snapshot::ByteReader b(payload);
+        Entry e;
+        e.programFp = b.u64();
+        e.contextFp = b.u64();
+        e.programEncoding = b.str();
+        e.contextEncoding = b.str();
+        e.payload = b.str();
+        if (b.failed() || !b.atEnd()) {
+            entries_.clear();
+            front_.clear();
+            buckets_.clear();
+            openStatus_ = snapshot::Status::fail(
+                snapshot::Error::BadRecord,
+                "cache entry record decodes to inconsistent state");
+            return openStatus_;
+        }
+        insertLocked(std::move(e));
+    }
+    if (!reader.status().ok()) {
+        entries_.clear();
+        front_.clear();
+        buckets_.clear();
+        openStatus_ = reader.status();
+        return openStatus_;
+    }
+    dirty_ = false; // loading is not an insert
+    openStatus_ = snapshot::Status{};
+    return openStatus_;
+}
+
+bool
+ResultCache::insertLocked(Entry e)
+{
+    const std::uint64_t mixed = mixKey(e.programFp, e.contextFp);
+    auto &bucket = buckets_[mixed];
+    for (std::size_t idx : bucket) {
+        const Entry &have = entries_[idx];
+        if (have.programFp == e.programFp &&
+            have.contextFp == e.contextFp &&
+            have.programEncoding == e.programEncoding &&
+            have.contextEncoding == e.contextEncoding)
+            return false; // first write wins
+    }
+    bucket.push_back(entries_.size());
+    entries_.push_back(std::move(e));
+    front_.insert(mixed);
+    return true;
+}
+
+bool
+ResultCache::lookup(std::uint64_t programFp, std::uint64_t contextFp,
+                    const std::string &programEncoding,
+                    const std::string &contextEncoding,
+                    std::string &payload)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    const std::uint64_t mixed = mixKey(programFp, contextFp);
+    if (!front_.contains(mixed)) {
+        ++misses_;
+        return false;
+    }
+    auto it = buckets_.find(mixed);
+    if (it != buckets_.end()) {
+        for (std::size_t idx : it->second) {
+            const Entry &e = entries_[idx];
+            if (e.programFp == programFp &&
+                e.contextFp == contextFp &&
+                e.programEncoding == programEncoding &&
+                e.contextEncoding == contextEncoding) {
+                payload = e.payload;
+                ++hits_;
+                return true;
+            }
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+void
+ResultCache::insert(std::uint64_t programFp, std::uint64_t contextFp,
+                    std::string programEncoding,
+                    std::string contextEncoding, std::string payload)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    Entry e;
+    e.programFp = programFp;
+    e.contextFp = contextFp;
+    e.programEncoding = std::move(programEncoding);
+    e.contextEncoding = std::move(contextEncoding);
+    e.payload = std::move(payload);
+    if (insertLocked(std::move(e)))
+        dirty_ = true;
+}
+
+bool
+ResultCache::save()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    if (path_.empty() || !dirty_)
+        return true;
+
+    std::string fingerprint = containerFingerprint();
+    // Injected "written by an older schema" file: reopening must see
+    // a CfgMismatch and start cold.
+    if (fault::cacheStaleDue())
+        fingerprint = "satom-cache v0 stats=?";
+
+    snapshot::RecordWriter writer(fingerprint);
+    std::vector<std::size_t> order(entries_.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    // Sorted entries make the file a pure function of the entry set:
+    // two campaigns inserting in any order persist identical bytes.
+    std::sort(order.begin(), order.end(),
+              [this](std::size_t a, std::size_t b) {
+                  const Entry &x = entries_[a];
+                  const Entry &y = entries_[b];
+                  if (x.programFp != y.programFp)
+                      return x.programFp < y.programFp;
+                  if (x.contextFp != y.contextFp)
+                      return x.contextFp < y.contextFp;
+                  if (x.programEncoding != y.programEncoding)
+                      return x.programEncoding < y.programEncoding;
+                  return x.contextEncoding < y.contextEncoding;
+              });
+    for (std::size_t i : order) {
+        const Entry &e = entries_[i];
+        snapshot::ByteWriter b;
+        b.u64(e.programFp);
+        b.u64(e.contextFp);
+        b.str(e.programEncoding);
+        b.str(e.contextEncoding);
+        b.str(e.payload);
+        writer.record(kRecEntry, b.bytes());
+    }
+    std::string bytes = writer.finish();
+
+    // Injected corruption (test-only): a torn tail or a payload bit
+    // flip, which open() must reject as Torn / BadCrc and treat as a
+    // cold cache.
+    if (fault::cacheTornDue() && bytes.size() > 32)
+        bytes.resize(bytes.size() / 2);
+    if (fault::cacheFlipDue()) {
+        // First byte of the first record's payload: 8 magic + 4
+        // version + (4 + fp) + 4 header CRC, then 4 type + 8 length.
+        const std::size_t firstPayloadAt =
+            8 + 4 + 4 + fingerprint.size() + 4 + 4 + 8;
+        if (firstPayloadAt < bytes.size())
+            bytes[firstPayloadAt] =
+                static_cast<char>(bytes[firstPayloadAt] ^ 0x20);
+    }
+
+    if (!writeFileAtomic(path_, bytes))
+        return false;
+    dirty_ = false;
+    return true;
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return entries_.size();
+}
+
+std::uint64_t
+ResultCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return hits_;
+}
+
+std::uint64_t
+ResultCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return misses_;
+}
+
+bool
+ResultCache::dirty() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return dirty_;
+}
+
+} // namespace satom::cache

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The persistent, content-addressed outcome cache.
+ *
+ * A ResultCache maps a (program fingerprint, context fingerprint) key
+ * — both 64-bit StreamHash64 digests of the canonical byte encodings
+ * produced by cache/canonical.hpp — to an opaque payload (the
+ * serialized canonical enumeration result; the codec lives with the
+ * engine in enumerate/cache_adapter.*).  Entries keep the full
+ * encodings next to the fingerprints and lookups compare them, so a
+ * 64-bit collision is a miss, never a wrong answer.
+ *
+ * In RAM the cache is a FlatU64Set-fronted index: a lookup first
+ * probes the flat set of mixed keys (the overwhelmingly common miss
+ * costs one open-addressing probe, no map walk), then a bucket map,
+ * then the encoding comparison.  Lookup/insert are thread-safe — the
+ * batch engine and the fuzz driver consult one cache from many
+ * workers.
+ *
+ * On disk the cache is one snapshot-container file
+ * (`<dir>/results.satomc`): the PR 5 magic/version/fingerprint header
+ * with per-record CRC framing, written via writeFileAtomic so a
+ * crash leaves the old file, never a torn one.  The container
+ * fingerprint carries the cache schema version and the build's
+ * stats mode; any read problem — truncation, bit flip, version bump,
+ * foreign fingerprint — degrades to a *cold cache* with a structured
+ * openStatus(), never an error exit: a bad cache is a miss, not a
+ * failure.  save() writes entries sorted by key, so two campaigns
+ * that produced the same entry set in any order persist
+ * byte-identical files.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/snapshot.hpp"
+#include "util/u64set.hpp"
+
+namespace satom::cache
+{
+
+/** Bumped whenever the entry payload codec changes shape. */
+inline constexpr std::uint32_t cacheSchemaVersion = 1;
+
+class ResultCache
+{
+  public:
+    /**
+     * Attach to @p dir (created if missing) and load
+     * `dir/results.satomc` when present.  Never fails hard: a
+     * missing file is simply a cold cache (ok), and a damaged one
+     * leaves the cache cold with the structured reason in the
+     * returned status (also kept in openStatus()).
+     */
+    snapshot::Status open(const std::string &dir);
+
+    /**
+     * Look up (@p programFp, @p contextFp), verifying the stored
+     * encodings against @p programEncoding / @p contextEncoding.
+     * True with @p payload filled on a hit.  Counts hits()/misses().
+     */
+    bool lookup(std::uint64_t programFp, std::uint64_t contextFp,
+                const std::string &programEncoding,
+                const std::string &contextEncoding,
+                std::string &payload);
+
+    /**
+     * Insert an entry; a duplicate key with matching encodings is
+     * ignored (the first write wins — payloads for one key are
+     * deterministic, so they are identical anyway).
+     */
+    void insert(std::uint64_t programFp, std::uint64_t contextFp,
+                std::string programEncoding,
+                std::string contextEncoding, std::string payload);
+
+    /**
+     * Persist to the attached directory via tmp+rename, entries
+     * sorted by key.  True on success or when there is nothing to do
+     * (no directory attached, or no inserts since the last save).
+     */
+    bool save();
+
+    /** Entries currently resident. */
+    std::size_t size() const;
+
+    /** Lookups served from the cache so far. */
+    std::uint64_t hits() const;
+
+    /** Lookups that fell through so far. */
+    std::uint64_t misses() const;
+
+    /** Inserts since the last successful save()? */
+    bool dirty() const;
+
+    /** How the on-disk file loaded (ok == clean or absent). */
+    const snapshot::Status &openStatus() const { return openStatus_; }
+
+    /** The attached file path ("" when memory-only). */
+    const std::string &path() const { return path_; }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t programFp = 0;
+        std::uint64_t contextFp = 0;
+        std::string programEncoding;
+        std::string contextEncoding;
+        std::string payload;
+    };
+
+    static std::uint64_t mixKey(std::uint64_t programFp,
+                                std::uint64_t contextFp);
+
+    /** Unlocked insert shared by insert() and the loader. */
+    bool insertLocked(Entry e);
+
+    std::string containerFingerprint() const;
+
+    mutable std::mutex m_;
+    std::string path_;
+    snapshot::Status openStatus_;
+    std::deque<Entry> entries_;
+    FlatU64Set front_;
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>>
+        buckets_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    bool dirty_ = false;
+};
+
+} // namespace satom::cache

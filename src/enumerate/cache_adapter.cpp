@@ -1,0 +1,231 @@
+#include "enumerate/cache_adapter.hpp"
+
+#include <chrono>
+#include <set>
+#include <sstream>
+
+#include "cache/canonical.hpp"
+#include "cache/result_cache.hpp"
+#include "util/kernels.hpp"
+#include "util/snapshot.hpp"
+
+namespace satom::cache_adapter
+{
+
+namespace
+{
+
+/**
+ * Map a canonical-program outcome back into the original program's
+ * labels: thread slots through the inverse permutation, registers
+ * through the per-thread inverse rename, addresses and values
+ * through the inverse label maps (identity when the gate failed).
+ */
+Outcome
+decanonicalizeOutcome(const cache::CanonicalProgram &cp,
+                      const Outcome &o)
+{
+    Outcome out;
+    out.regs.resize(cp.threadOf.size());
+    for (std::size_t c = 0; c < o.regs.size(); ++c) {
+        if (c >= cp.threadOf.size())
+            break;
+        const auto t =
+            static_cast<std::size_t>(cp.threadOf[c]);
+        const auto &inv = cp.regOf[c];
+        for (const auto &[reg, val] : o.regs[c]) {
+            auto it = inv.find(reg);
+            const Reg orig = it != inv.end() ? it->second : reg;
+            out.regs[t][orig] = cp.originalVal(val);
+        }
+    }
+    for (const auto &[addr, val] : o.memory)
+        out.memory[cp.originalAddr(addr)] = cp.originalVal(val);
+    return out;
+}
+
+void
+decanonicalizeOutcomes(const cache::CanonicalProgram &cp,
+                       EnumerationResult &r)
+{
+    std::set<Outcome> mapped;
+    for (const Outcome &o : r.outcomes)
+        mapped.insert(decanonicalizeOutcome(cp, o));
+    r.outcomes.assign(mapped.begin(), mapped.end());
+}
+
+std::uint64_t
+ceilMs(std::chrono::steady_clock::duration d)
+{
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(d)
+            .count();
+    return static_cast<std::uint64_t>((us + 999) / 1000);
+}
+
+} // namespace
+
+bool
+cacheable(const EnumerationOptions &options)
+{
+    return options.resultCache != nullptr && !options.sourceOracle &&
+           !options.onResolve && !options.collectExecutions &&
+           !options.valuePrediction &&
+           options.predictionValues.empty() && options.applyRuleC &&
+           options.trackPredictionDeps &&
+           options.checkpointPath.empty() && options.spillDir.empty();
+}
+
+std::string
+encodeCachedResult(const EnumerationResult &result)
+{
+    snapshot::ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(result.outcomes.size()));
+    for (const Outcome &o : result.outcomes) {
+        w.u32(static_cast<std::uint32_t>(o.regs.size()));
+        for (const auto &regs : o.regs) {
+            w.u32(static_cast<std::uint32_t>(regs.size()));
+            for (const auto &[r, v] : regs) {
+                w.i32(r);
+                w.i64(v);
+            }
+        }
+        w.u32(static_cast<std::uint32_t>(o.memory.size()));
+        for (const auto &[a, v] : o.memory) {
+            w.i64(a);
+            w.i64(v);
+        }
+    }
+    const EnumStats &s = result.stats;
+    w.i64(s.statesExplored);
+    w.i64(s.statesForked);
+    w.i64(s.duplicates);
+    w.i64(s.rollbacks);
+    w.i64(s.txnAborts);
+    w.i64(s.stuck);
+    w.i64(s.executions);
+    w.i64(s.candidateSets);
+    w.i64(s.closureRuns);
+    w.i64(s.closureIterations);
+    w.i64(s.closureEdges);
+    w.i64(s.closureFrontierLoads);
+    w.i64(s.closureFrontierSkipped);
+    w.i64(s.finalizeCloses);
+    w.i64(s.gatePolls);
+    w.i32(s.maxNodes);
+    w.str(result.registry.serialize());
+    return w.take();
+}
+
+bool
+decodeCachedResult(const std::string &payload,
+                   EnumerationResult &result)
+{
+    snapshot::ByteReader b(payload);
+    EnumerationResult r;
+    const std::uint32_t numOutcomes = b.u32();
+    for (std::uint32_t i = 0; i < numOutcomes && !b.failed(); ++i) {
+        Outcome o;
+        const std::uint32_t numThreads = b.u32();
+        if (b.failed() ||
+            numThreads > payload.size()) // implausible => corrupt
+            return false;
+        o.regs.resize(numThreads);
+        for (std::uint32_t t = 0; t < numThreads; ++t) {
+            const std::uint32_t numRegs = b.u32();
+            if (b.failed() || numRegs > payload.size())
+                return false;
+            for (std::uint32_t k = 0; k < numRegs; ++k) {
+                const Reg reg = b.i32();
+                const Val val = b.i64();
+                o.regs[t][reg] = val;
+            }
+        }
+        const std::uint32_t numMem = b.u32();
+        if (b.failed() || numMem > payload.size())
+            return false;
+        for (std::uint32_t k = 0; k < numMem; ++k) {
+            const Addr a = b.i64();
+            const Val v = b.i64();
+            o.memory[a] = v;
+        }
+        r.outcomes.push_back(std::move(o));
+    }
+    EnumStats &s = r.stats;
+    s.statesExplored = b.i64();
+    s.statesForked = b.i64();
+    s.duplicates = b.i64();
+    s.rollbacks = b.i64();
+    s.txnAborts = b.i64();
+    s.stuck = b.i64();
+    s.executions = b.i64();
+    s.candidateSets = b.i64();
+    s.closureRuns = b.i64();
+    s.closureIterations = b.i64();
+    s.closureEdges = b.i64();
+    s.closureFrontierLoads = b.i64();
+    s.closureFrontierSkipped = b.i64();
+    s.finalizeCloses = b.i64();
+    s.gatePolls = b.i64();
+    s.maxNodes = b.i32();
+    const std::string registryTokens = b.str();
+    if (b.failed() || !b.atEnd())
+        return false;
+    std::istringstream in(registryTokens);
+    if (!r.registry.deserialize(in))
+        return false;
+    r.truncation = Truncation::None;
+    r.complete = true;
+    r.consistent = true;
+    result = std::move(r);
+    return true;
+}
+
+EnumerationResult
+runCachedEnumeration(const Program &program, const MemoryModel &model,
+                     const EnumerationOptions &options)
+{
+    const auto canonStart = std::chrono::steady_clock::now();
+    const cache::CanonicalProgram cp = cache::canonicalize(program);
+    const std::string ctxEnc = cache::contextEncoding(
+        model, options.maxDynamicPerThread, options.maxStates);
+    const std::uint64_t ctxFp = cache::fingerprintBytes(ctxEnc);
+    const std::uint64_t canonMs =
+        ceilMs(std::chrono::steady_clock::now() - canonStart);
+
+    std::string payload;
+    if (options.resultCache->lookup(cp.fingerprint, ctxFp,
+                                    cp.encoding, ctxEnc, payload)) {
+        EnumerationResult r;
+        if (decodeCachedResult(payload, r)) {
+            decanonicalizeOutcomes(cp, r);
+            // The stored registry carries the deterministic class
+            // only; restore the telemetry a fresh run would record.
+            r.registry.peak(
+                stats::Ctr::SimdTier,
+                static_cast<std::uint64_t>(kern::activeTier()) + 1);
+            r.registry.add(stats::Ctr::CacheHits, 1);
+            r.registry.add(stats::Ctr::CacheCanonMs, canonMs);
+            return r;
+        }
+        // An undecodable payload cannot happen through this codec;
+        // degrade to a miss rather than fault.
+    }
+
+    // Miss: enumerate the canonical program, so the stored (and
+    // returned) deterministic result is identical for every program
+    // in the isomorphism class — a later hit replays exactly this.
+    EnumerationOptions sub = options;
+    sub.resultCache = nullptr;
+    EnumerationResult r = enumerateBehaviors(cp.program, model, sub);
+    if (r.truncation == Truncation::None)
+        options.resultCache->insert(cp.fingerprint, ctxFp,
+                                    cp.encoding, ctxEnc,
+                                    encodeCachedResult(r));
+    decanonicalizeOutcomes(cp, r);
+    r.registry.add(stats::Ctr::CacheMisses, 1);
+    r.registry.add(stats::Ctr::CacheCanonMs, canonMs);
+    return r;
+}
+
+} // namespace satom::cache_adapter

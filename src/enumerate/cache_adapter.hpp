@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Glue between the enumeration engine and the canonical result cache.
+ *
+ * When EnumerationOptions::resultCache is set and the option set is
+ * cacheable, enumerateBehaviors routes through runCachedEnumeration
+ * instead of forking a single behavior:
+ *
+ *  - the program is canonicalized (cache/canonical.hpp) and the key
+ *    (program fingerprint, context fingerprint) derived,
+ *  - a hit decodes the stored canonical result — outcomes, EnumStats,
+ *    the deterministic counter registry — and maps the outcomes back
+ *    through the inverse label maps,
+ *  - a miss enumerates the *canonical* program, stores the canonical
+ *    result (only when complete: a truncated outcome set must never
+ *    be served as the behavior set), and de-canonicalizes the same
+ *    way.
+ *
+ * Enumerating the canonical program on a miss is what makes a hit
+ * indistinguishable from a miss: every isomorphic program yields the
+ * same outcomes AND the same deterministic counters regardless of
+ * which seed populated the entry, which worker count ran, or whether
+ * the cache was warm — so reports that promise byte-identity keep it
+ * with caching on.  Cache traffic itself (cache-hits / cache-misses /
+ * cache-canon-ms) is recorded as telemetry counters only.
+ *
+ * Cacheable means: plain exhaustive enumeration.  Replay oracles,
+ * observers, collected executions, value prediction, the rule-c /
+ * dependency-tracking research modes and checkpoint/spill runs all
+ * bypass the cache (they either return more than an outcome set or
+ * change semantics the context key does not cover).
+ */
+
+#pragma once
+
+#include <string>
+
+#include "enumerate/engine.hpp"
+
+namespace satom::cache_adapter
+{
+
+/** Is this option set eligible for the result cache at all? */
+bool cacheable(const EnumerationOptions &options);
+
+/** Serialize a canonical EnumerationResult into a cache payload. */
+std::string encodeCachedResult(const EnumerationResult &result);
+
+/**
+ * Decode a cache payload; false when the payload is malformed (the
+ * caller treats the lookup as a miss).
+ */
+bool decodeCachedResult(const std::string &payload,
+                        EnumerationResult &result);
+
+/** The cached path of enumerateBehaviors (see the file comment). */
+EnumerationResult runCachedEnumeration(const Program &program,
+                                       const MemoryModel &model,
+                                       const EnumerationOptions &options);
+
+} // namespace satom::cache_adapter

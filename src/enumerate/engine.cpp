@@ -10,6 +10,7 @@
 
 #include "core/atomicity.hpp"
 #include "core/encode.hpp"
+#include "enumerate/cache_adapter.hpp"
 #include "enumerate/frontier_store.hpp"
 #include "txn/atomic.hpp"
 #include "util/kernels.hpp"
@@ -1148,6 +1149,13 @@ EnumerationResult
 enumerateBehaviors(const Program &program, const MemoryModel &model,
                    EnumerationOptions options)
 {
+    // The canonical result cache intercepts cacheable enumerations
+    // before any behavior is forked (cache_adapter.cpp); everything
+    // else — and every cache miss, via the canonical program — runs
+    // the engine below.
+    if (cache_adapter::cacheable(options))
+        return cache_adapter::runCachedEnumeration(program, model,
+                                                   options);
     Enumerator e(program, model, options);
     return e.run();
 }

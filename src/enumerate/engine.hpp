@@ -47,6 +47,11 @@
 namespace satom
 {
 
+namespace cache
+{
+class ResultCache; // cache/result_cache.hpp
+}
+
 /** Tuning knobs for the enumeration. */
 struct EnumerationOptions
 {
@@ -179,6 +184,21 @@ struct EnumerationOptions
      * exit out of library code.
      */
     std::function<void()> onCheckpoint;
+
+    /**
+     * The cross-run canonical result cache.  When set and the option
+     * set is cacheable (plain exhaustive enumeration — see
+     * cache_adapter.hpp), enumerateBehaviors consults it *before*
+     * forking anything: the program is canonicalized, a hit
+     * de-canonicalizes the stored outcome set through the inverse
+     * label maps, a miss enumerates the canonical program and stores
+     * the complete result.  Hits and misses return identical
+     * deterministic results, so byte-identity contracts survive a
+     * warm cache.  enumerateBatch jobs share this handle (the cache
+     * is thread-safe).  Not owned; may be null (the default: no
+     * caching).
+     */
+    cache::ResultCache *resultCache = nullptr;
 };
 
 /** Counters describing one enumeration run. */

@@ -33,6 +33,11 @@
 #include "util/run_control.hpp"
 #include "util/stats.hpp"
 
+namespace satom::cache
+{
+class ResultCache; // cache/result_cache.hpp
+}
+
 namespace satom::fuzz
 {
 
@@ -90,9 +95,11 @@ struct Discrepancy
     long outcomesCompared = 0;
 
     /**
-     * Merged named counters of every enumeration behind the oracle
-     * (all sides are serial, so the whole registry is deterministic
-     * and safe to export into the byte-identical fuzz report).
+     * Merged named counters of every enumeration behind the oracle.
+     * All sides are serial, so the deterministic class (the only one
+     * reports export) is reproducible run-to-run; cache traffic
+     * counters are telemetry, so a warm result cache cannot perturb
+     * the byte-identical fuzz report.
      */
     satom::stats::StatsRegistry stats;
 
@@ -131,6 +138,16 @@ struct OracleOptions
      * of truncating the run to Inconclusive.  Empty = no spilling.
      */
     std::string spillDir;
+
+    /**
+     * Canonical result cache shared by the graph enumerations behind
+     * the oracles (EnumerationOptions::resultCache; null = no
+     * caching).  Hits replay the exact deterministic result of the
+     * miss path, so per-seed records stay byte-identical whether the
+     * cache was cold or warm; the operational machines never cache.
+     * Not owned; must outlive the oracle runs.
+     */
+    satom::cache::ResultCache *resultCache = nullptr;
 
     /**
      * TESTING ONLY — intentional oracle bug: ScVsOperational compares

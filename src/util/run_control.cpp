@@ -143,6 +143,12 @@ armFromSpec(const std::string &spec)
         arm(Site::TornSnapshot, n);
     else if (name == "spill-io-fail")
         arm(Site::SpillIoFail, n);
+    else if (name == "torn-cache")
+        arm(Site::TornCache, n);
+    else if (name == "flip-cache")
+        arm(Site::FlipCache, n);
+    else if (name == "stale-cache")
+        arm(Site::StaleCache, n);
     else
         return false;
     return true;
@@ -233,6 +239,24 @@ bool
 spillIoFailDue()
 {
     return siteHitDue(Site::SpillIoFail);
+}
+
+bool
+cacheTornDue()
+{
+    return siteHitDue(Site::TornCache);
+}
+
+bool
+cacheFlipDue()
+{
+    return siteHitDue(Site::FlipCache);
+}
+
+bool
+cacheStaleDue()
+{
+    return siteHitDue(Site::StaleCache);
 }
 
 } // namespace fault

@@ -203,6 +203,15 @@ class BudgetGate
  *   spill-io-fail:N       the N-th spill-segment write or reload
  *                         fails as if the disk did (the engine must
  *                         degrade to a MemoryCap truncation, not UB)
+ *   torn-cache:N          the N-th result-cache save truncates its
+ *                         byte stream (reopening must see Torn and
+ *                         start cold)
+ *   flip-cache:N          the N-th result-cache save flips a payload
+ *                         bit (reopening must see BadCrc, not load
+ *                         a damaged entry)
+ *   stale-cache:N         the N-th result-cache save stamps an old
+ *                         schema fingerprint (reopening must see
+ *                         CfgMismatch — the version-bump case)
  *
  * The disarmed fast path is a single relaxed atomic load.
  */
@@ -219,6 +228,9 @@ enum class Site
     KillAfterCheckpoint,
     TornSnapshot,
     SpillIoFail,
+    TornCache,
+    FlipCache,
+    StaleCache,
 };
 
 /** Arm programmatically; n is the hit index (or ms for Stall). */
@@ -266,6 +278,16 @@ bool snapshotTornDue();
  * write/reload as failed.
  */
 bool spillIoFailDue();
+
+/**
+ * The result-cache save injection points: true when the armed
+ * torn-cache / flip-cache / stale-cache count is reached; the cache
+ * writer then corrupts the bytes it persists (the corresponding
+ * reopen must degrade to a structured cold-cache status).
+ */
+bool cacheTornDue();
+bool cacheFlipDue();
+bool cacheStaleDue();
 
 } // namespace fault
 

@@ -42,6 +42,9 @@ constexpr CtrInfo kInfo[numCounters] = {
     {"spill-reload-bytes", false, false},
     {"simd-tier", true, false},
     {"min-wave-size", false, false, true},
+    {"cache-hits", false, false},
+    {"cache-misses", false, false},
+    {"cache-canon-ms", false, false},
 };
 
 } // namespace

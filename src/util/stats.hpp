@@ -105,6 +105,13 @@ enum class Ctr : int
     SpillReloadBytes,   ///< spill segment bytes read back in
     SimdTier,           ///< dispatched kernel tier + 1 (maximum)
     MinWaveSize,        ///< smallest single wave (minimum)
+    // Result-cache traffic is telemetry by construction: a cache hit
+    // replays the exact deterministic result the miss path computes,
+    // so reports stay byte-identical whether an entry was warm, and
+    // hit/miss ordering under parallel seeds is scheduling-dependent.
+    CacheHits,          ///< enumerations served by the result cache
+    CacheMisses,        ///< cache consults that ran the engine
+    CacheCanonMs,       ///< canonicalization time, ms ceiling per call
 
     Count_,
 };

@@ -1,0 +1,763 @@
+/**
+ * @file
+ * The isomorphism test battery for the canonical result cache.
+ *
+ * Three layers, mirroring the cache's soundness argument:
+ *
+ *  1. Canonicalization properties (randomized, 500+ cases): every
+ *     label-preserving transformation of a program — register
+ *     renames, thread permutations, address/value relabelings (the
+ *     latter two only when the canonicalizer's own gates certify
+ *     them) — lands on the identical canonical fingerprint, while
+ *     semantic perturbations (a weakened fence, a swapped address,
+ *     a flipped branch polarity) land on distinct ones.
+ *
+ *  2. Engine-level equality: for fuzz seeds and SC/TSO/WMM, the
+ *     outcome set served through the cache — on the miss path (which
+ *     enumerates the canonical representative and de-canonicalizes)
+ *     and on the hit path (which replays the stored payload) — is
+ *     exactly the fresh enumeration's, including hits served across
+ *     members of one isomorphism class.
+ *
+ *  3. The persistent ResultCache: save/reload round trips, duplicate
+ *     and collision handling, and the corruption battery — truncated,
+ *     bit-flipped and version-bumped cache files must be rejected
+ *     with the structured snapshot error, leave the cache cold and
+ *     usable, and never abort.
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/canonical.hpp"
+#include "cache/result_cache.hpp"
+#include "enumerate/cache_adapter.hpp"
+#include "enumerate/engine.hpp"
+#include "fuzz/generator.hpp"
+#include "model/models.hpp"
+#include "util/run_control.hpp"
+#include "util/snapshot.hpp"
+#include "util/stats.hpp"
+
+namespace
+{
+
+using namespace satom;
+
+// ---------------------------------------------------------------
+// Label-preserving transformations (the isomorphisms under test).
+// ---------------------------------------------------------------
+
+Program
+permuteThreads(Program p, std::mt19937 &rng)
+{
+    std::shuffle(p.threads.begin(), p.threads.end(), rng);
+    return p;
+}
+
+/** Bijectively rename every thread's registers (fresh id range). */
+Program
+renameRegisters(Program p, std::mt19937 &rng)
+{
+    for (auto &t : p.threads) {
+        std::set<Reg> used;
+        auto scan = [&](const Operand &o) {
+            if (o.isReg())
+                used.insert(o.reg);
+        };
+        for (const auto &ins : t.code) {
+            scan(ins.a);
+            scan(ins.b);
+            scan(ins.addr);
+            scan(ins.value);
+            if (ins.dst >= 0)
+                used.insert(ins.dst);
+        }
+        std::vector<Reg> from(used.begin(), used.end());
+        std::vector<Reg> to = from;
+        std::shuffle(to.begin(), to.end(), rng);
+        std::map<Reg, Reg> m;
+        // The +100 offset guarantees a bijection disjoint from the
+        // original names even when the shuffle is the identity.
+        for (std::size_t i = 0; i < from.size(); ++i)
+            m[from[i]] = to[i] + 100;
+        auto apply = [&](Operand &o) {
+            if (o.isReg())
+                o.reg = m[o.reg];
+        };
+        for (auto &ins : t.code) {
+            apply(ins.a);
+            apply(ins.b);
+            apply(ins.addr);
+            apply(ins.value);
+            if (ins.dst >= 0)
+                ins.dst = m[ins.dst];
+        }
+    }
+    return p;
+}
+
+/** Bijectively relabel every immediate address operand. */
+Program
+relabelAddresses(Program p, std::mt19937 &rng)
+{
+    std::set<Addr> used;
+    for (const auto &t : p.threads)
+        for (const auto &ins : t.code)
+            if (ins.addr.isImm())
+                used.insert(ins.addr.imm);
+    std::vector<Addr> from(used.begin(), used.end());
+    std::vector<Addr> to = from;
+    std::shuffle(to.begin(), to.end(), rng);
+    std::map<Addr, Addr> m;
+    for (std::size_t i = 0; i < from.size(); ++i)
+        m[from[i]] = to[i] + 1000;
+    for (auto &t : p.threads)
+        for (auto &ins : t.code)
+            if (ins.addr.isImm())
+                ins.addr.imm = m[ins.addr.imm];
+    return p;
+}
+
+/** Bijectively relabel immediate values (0 stays 0). */
+Program
+relabelValues(Program p, std::mt19937 &rng)
+{
+    std::set<Val> used;
+    auto scan = [&](const Operand &o) {
+        if (o.isImm() && o.imm != 0)
+            used.insert(o.imm);
+    };
+    for (const auto &t : p.threads)
+        for (const auto &ins : t.code) {
+            scan(ins.a);
+            scan(ins.b);
+            scan(ins.value);
+        }
+    std::vector<Val> from(used.begin(), used.end());
+    std::vector<Val> to = from;
+    std::shuffle(to.begin(), to.end(), rng);
+    std::map<Val, Val> m;
+    for (std::size_t i = 0; i < from.size(); ++i)
+        m[from[i]] = to[i] + 5000;
+    auto apply = [&](Operand &o) {
+        if (o.isImm() && o.imm != 0)
+            o.imm = m[o.imm];
+    };
+    for (auto &t : p.threads)
+        for (auto &ins : t.code) {
+            apply(ins.a);
+            apply(ins.b);
+            apply(ins.value);
+        }
+    return p;
+}
+
+std::set<std::string>
+outcomeKeys(const std::vector<Outcome> &outcomes)
+{
+    std::set<std::string> keys;
+    for (const auto &o : outcomes)
+        keys.insert(o.key());
+    return keys;
+}
+
+/** The two-thread message-passing core used by the perturbation tests. */
+Program
+messagePassing(Addr x, Addr y, Val v)
+{
+    Program p;
+    p.threads.resize(2);
+    p.threads[0].name = "P0";
+    Instruction st0;
+    st0.op = Opcode::Store;
+    st0.addr = immOp(x);
+    st0.value = immOp(v);
+    Instruction st1 = st0;
+    st1.addr = immOp(y);
+    p.threads[0].code = {st0, st1};
+    p.threads[1].name = "P1";
+    Instruction ld0;
+    ld0.op = Opcode::Load;
+    ld0.dst = 0;
+    ld0.addr = immOp(y);
+    Instruction ld1 = ld0;
+    ld1.dst = 1;
+    ld1.addr = immOp(x);
+    p.threads[1].code = {ld0, ld1};
+    return p;
+}
+
+// ---------------------------------------------------------------
+// 1. Canonicalization properties.
+// ---------------------------------------------------------------
+
+// 250 seeds x two independently drawn transformation bundles = 500
+// randomized isomorphism cases (plus the relabeling sub-cases when
+// the canonicalizer's gates certify them).
+TEST(Canonical, RandomizedIsomorphismsShareTheFingerprint)
+{
+    fuzz::GeneratorConfig cfg;
+    cfg.branchWeight = 1; // exercise branch targets too
+    for (std::uint32_t seed = 1; seed <= 250; ++seed) {
+        const Program p = fuzz::generateProgram(seed, cfg);
+        const auto base = cache::canonicalize(p);
+        ASSERT_FALSE(base.encoding.empty());
+        for (int round = 0; round < 2; ++round) {
+            std::mt19937 rng(seed * 7919u + round);
+            Program q = renameRegisters(permuteThreads(p, rng), rng);
+            if (base.addrsRelabeled)
+                q = relabelAddresses(q, rng);
+            if (base.valsRelabeled)
+                q = relabelValues(q, rng);
+            const auto canon = cache::canonicalize(q);
+            EXPECT_EQ(base.fingerprint, canon.fingerprint)
+                << "seed " << seed << " round " << round;
+            EXPECT_EQ(base.encoding, canon.encoding)
+                << "seed " << seed << " round " << round;
+        }
+    }
+}
+
+TEST(Canonical, RelabelingGatesHoldOnGeneratorPrograms)
+{
+    // The default generator emits only immediate addresses and no
+    // init image, so the address gate must pass; the value gate
+    // passes exactly when no FetchAdd was drawn.
+    int addrGated = 0;
+    for (std::uint32_t seed = 1; seed <= 50; ++seed) {
+        const Program p = fuzz::generateProgram(seed);
+        const auto c = cache::canonicalize(p);
+        addrGated += c.addrsRelabeled;
+        bool hasArith = false;
+        for (const auto &t : p.threads)
+            for (const auto &ins : t.code)
+                hasArith |= ins.op == Opcode::FetchAdd ||
+                            ins.op == Opcode::Add ||
+                            ins.op == Opcode::Sub ||
+                            ins.op == Opcode::Mul ||
+                            ins.op == Opcode::Xor;
+        EXPECT_TRUE(c.addrsRelabeled) << "seed " << seed;
+        EXPECT_EQ(c.valsRelabeled, !hasArith) << "seed " << seed;
+    }
+    EXPECT_EQ(addrGated, 50);
+}
+
+TEST(Canonical, InitImageDisablesAddressRelabeling)
+{
+    Program p = messagePassing(100, 101, 1);
+    EXPECT_TRUE(cache::canonicalize(p).addrsRelabeled);
+    p.init[100] = 7;
+    const auto c = cache::canonicalize(p);
+    EXPECT_FALSE(c.addrsRelabeled);
+    EXPECT_FALSE(c.valsRelabeled);
+    // Identity maps: canonical labels are the original labels.
+    EXPECT_EQ(c.originalAddr(100), 100);
+    EXPECT_EQ(c.originalVal(7), 7);
+}
+
+TEST(Canonical, MessagePassingIsOneIsomorphismClass)
+{
+    const auto base = cache::canonicalize(messagePassing(100, 101, 1));
+    // Different addresses, different value, swapped thread order:
+    // all the same class.
+    EXPECT_EQ(base.fingerprint,
+              cache::canonicalize(messagePassing(7, 9, 5)).fingerprint);
+    Program swapped = messagePassing(3, 4, 2);
+    std::swap(swapped.threads[0], swapped.threads[1]);
+    EXPECT_EQ(base.fingerprint,
+              cache::canonicalize(swapped).fingerprint);
+}
+
+TEST(Canonical, SemanticPerturbationsChangeTheFingerprint)
+{
+    const Program p = messagePassing(100, 101, 1);
+    const auto base = cache::canonicalize(p);
+
+    // Swapped address: the second load now re-reads y instead of x,
+    // a different aliasing structure.
+    Program aliased = p;
+    aliased.threads[1].code[1].addr = immOp(101);
+    EXPECT_NE(base.fingerprint,
+              cache::canonicalize(aliased).fingerprint);
+
+    // A full fence between the stores.
+    Program fenced = p;
+    Instruction fence;
+    fence.op = Opcode::Fence;
+    fence.fence = FenceMask::full();
+    fenced.threads[0].code.insert(fenced.threads[0].code.begin() + 1,
+                                  fence);
+    const auto fencedCanon = cache::canonicalize(fenced);
+    EXPECT_NE(base.fingerprint, fencedCanon.fingerprint);
+
+    // The same fence weakened to acquire: distinct from both.
+    Program weakened = fenced;
+    weakened.threads[0].code[1].fence = FenceMask::acquire();
+    const auto weakenedCanon = cache::canonicalize(weakened);
+    EXPECT_NE(base.fingerprint, weakenedCanon.fingerprint);
+    EXPECT_NE(fencedCanon.fingerprint, weakenedCanon.fingerprint);
+
+    // Store values collapsed to one label ({1,1}) versus kept
+    // distinct ({1,2}): a bijection preserves the equality pattern,
+    // so these are distinct classes.
+    Program collapsed = p;
+    collapsed.threads[0].code[1].value = immOp(1);
+    Program distinctVals = p;
+    distinctVals.threads[0].code[1].value = immOp(2);
+    EXPECT_NE(cache::canonicalize(collapsed).fingerprint,
+              cache::canonicalize(distinctVals).fingerprint);
+
+    // Branch polarity.
+    Program beq = p;
+    Instruction br;
+    br.op = Opcode::BranchEq;
+    br.a = regOp(0);
+    br.b = immOp(0);
+    br.target = 2;
+    beq.threads[1].code.insert(beq.threads[1].code.begin() + 1, br);
+    Program bne = beq;
+    bne.threads[1].code[1].op = Opcode::BranchNe;
+    EXPECT_NE(cache::canonicalize(beq).fingerprint,
+              cache::canonicalize(bne).fingerprint);
+}
+
+TEST(Canonical, ManyIdenticalThreadsStayWithinThePermutationBudget)
+{
+    // 4 identical threads: 4! = 24 <= kPermCap, so the tie-break
+    // minimizes over all permutations and any ordering of the
+    // threads canonicalizes identically.
+    Program p;
+    for (int t = 0; t < 4; ++t) {
+        ThreadCode tc;
+        tc.name = "W" + std::to_string(t);
+        Instruction st;
+        st.op = Opcode::Store;
+        st.addr = immOp(100 + t);
+        st.value = immOp(1);
+        Instruction ld;
+        ld.op = Opcode::Load;
+        ld.dst = 0;
+        ld.addr = immOp(100 + ((t + 1) % 4));
+        tc.code = {st, ld};
+        p.threads.push_back(tc);
+    }
+    const auto base = cache::canonicalize(p);
+    std::mt19937 rng(42);
+    for (int round = 0; round < 10; ++round) {
+        const Program q = permuteThreads(p, rng);
+        EXPECT_EQ(base.fingerprint,
+                  cache::canonicalize(q).fingerprint);
+    }
+}
+
+TEST(Canonical, ContextEncodingSeparatesModelsAndLimits)
+{
+    const auto sc = makeModel(ModelId::SC);
+    const auto tso = makeModel(ModelId::TSO);
+    const auto wmm = makeModel(ModelId::WMM);
+    EXPECT_NE(cache::contextEncoding(sc, 64, 1000),
+              cache::contextEncoding(tso, 64, 1000));
+    EXPECT_NE(cache::contextEncoding(tso, 64, 1000),
+              cache::contextEncoding(wmm, 64, 1000));
+    // The limits are part of the key: a complete result is only
+    // reusable under the caps it was produced with.
+    EXPECT_NE(cache::contextEncoding(wmm, 64, 1000),
+              cache::contextEncoding(wmm, 64, 2000));
+    EXPECT_NE(cache::contextEncoding(wmm, 64, 1000),
+              cache::contextEncoding(wmm, 32, 1000));
+    // The model *name* is not: equal tables define equal behaviors.
+    MemoryModel renamed = wmm;
+    renamed.name = "WMM-renamed";
+    EXPECT_EQ(cache::contextEncoding(wmm, 64, 1000),
+              cache::contextEncoding(renamed, 64, 1000));
+}
+
+// ---------------------------------------------------------------
+// 2. Engine-level equality through the cache.
+// ---------------------------------------------------------------
+
+TEST(CacheEngine, HitAndMissEqualFreshEnumeration)
+{
+    cache::ResultCache rc; // in-memory: no directory attached
+    const std::vector<ModelId> models = {ModelId::SC, ModelId::TSO,
+                                         ModelId::WMM};
+    for (std::uint32_t seed = 1; seed <= 200; ++seed) {
+        const Program p = fuzz::generateProgram(seed);
+        for (ModelId m : models) {
+            EnumerationOptions fresh;
+            fresh.numWorkers = 1;
+            const auto plain =
+                enumerateBehaviors(p, makeModel(m), fresh);
+
+            EnumerationOptions cached = fresh;
+            cached.resultCache = &rc;
+            const auto miss =
+                enumerateBehaviors(p, makeModel(m), cached);
+            const auto hit =
+                enumerateBehaviors(p, makeModel(m), cached);
+
+            ASSERT_EQ(outcomeKeys(plain.outcomes),
+                      outcomeKeys(miss.outcomes))
+                << "seed " << seed << " model " << toString(m);
+            ASSERT_EQ(outcomeKeys(plain.outcomes),
+                      outcomeKeys(hit.outcomes))
+                << "seed " << seed << " model " << toString(m);
+            EXPECT_EQ(plain.complete, hit.complete);
+            EXPECT_EQ(plain.stats.executions, hit.stats.executions);
+        }
+    }
+    EXPECT_GT(rc.hits(), 0u);
+    EXPECT_GT(rc.misses(), 0u);
+}
+
+TEST(CacheEngine, IsomorphicProgramsHitAcrossTheClass)
+{
+    cache::ResultCache rc;
+    const auto wmm = makeModel(ModelId::WMM);
+    std::uint64_t expectHits = 0;
+    for (std::uint32_t seed = 1; seed <= 60; ++seed) {
+        const Program p = fuzz::generateProgram(seed);
+        const auto base = cache::canonicalize(p);
+        std::mt19937 rng(seed);
+        Program q = renameRegisters(permuteThreads(p, rng), rng);
+        if (base.addrsRelabeled)
+            q = relabelAddresses(q, rng);
+        if (base.valsRelabeled)
+            q = relabelValues(q, rng);
+
+        EnumerationOptions opts;
+        opts.numWorkers = 1;
+        EnumerationOptions cached = opts;
+        cached.resultCache = &rc;
+
+        // Populate with p, then q must be served from p's entry --
+        // and still report q's own labels.
+        enumerateBehaviors(p, wmm, cached);
+        const auto viaCache = enumerateBehaviors(q, wmm, cached);
+        expectHits += 1;
+        EXPECT_EQ(rc.hits(), expectHits) << "seed " << seed;
+
+        const auto freshQ = enumerateBehaviors(q, wmm, opts);
+        ASSERT_EQ(outcomeKeys(freshQ.outcomes),
+                  outcomeKeys(viaCache.outcomes))
+            << "seed " << seed;
+    }
+}
+
+TEST(CacheEngine, IncompatibleOptionsBypassTheCache)
+{
+    cache::ResultCache rc;
+    const Program p = fuzz::generateProgram(3);
+    EnumerationOptions opts;
+    opts.numWorkers = 1;
+    opts.resultCache = &rc;
+    opts.collectExecutions = true; // cacheable() gate must refuse
+    enumerateBehaviors(p, makeModel(ModelId::WMM), opts);
+    enumerateBehaviors(p, makeModel(ModelId::WMM), opts);
+    EXPECT_EQ(rc.hits(), 0u);
+    EXPECT_EQ(rc.misses(), 0u);
+    EXPECT_EQ(rc.size(), 0u);
+}
+
+TEST(CacheEngine, DecodeRejectsGarbagePayloads)
+{
+    EnumerationResult r;
+    EXPECT_FALSE(cache_adapter::decodeCachedResult("", r));
+    EXPECT_FALSE(cache_adapter::decodeCachedResult("garbage", r));
+    std::mt19937 rng(1234);
+    for (int i = 0; i < 200; ++i) {
+        std::string junk(static_cast<std::size_t>(rng() % 256), '\0');
+        for (auto &c : junk)
+            c = static_cast<char>(rng());
+        EnumerationResult out;
+        cache_adapter::decodeCachedResult(junk, out); // must not crash
+    }
+    // A valid payload truncated anywhere must fail, not misdecode.
+    const Program p = fuzz::generateProgram(5);
+    EnumerationOptions opts;
+    opts.numWorkers = 1;
+    const auto full = enumerateBehaviors(p, makeModel(ModelId::SC), opts);
+    const std::string good = cache_adapter::encodeCachedResult(full);
+    EnumerationResult ok;
+    ASSERT_TRUE(cache_adapter::decodeCachedResult(good, ok));
+    EXPECT_EQ(outcomeKeys(full.outcomes), outcomeKeys(ok.outcomes));
+    for (std::size_t cut = 0; cut < good.size();
+         cut += std::max<std::size_t>(1, good.size() / 64)) {
+        EnumerationResult bad;
+        EXPECT_FALSE(cache_adapter::decodeCachedResult(
+            good.substr(0, cut), bad));
+    }
+}
+
+// ---------------------------------------------------------------
+// 3. The persistent ResultCache.
+// ---------------------------------------------------------------
+
+class ResultCacheFile : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::path(::testing::TempDir()) /
+               ("satom_cache_" +
+                std::string(::testing::UnitTest::GetInstance()
+                                ->current_test_info()
+                                ->name()));
+        std::filesystem::remove_all(dir_);
+        fault::disarm();
+    }
+
+    void TearDown() override
+    {
+        fault::disarm();
+        std::filesystem::remove_all(dir_);
+    }
+
+    std::string dir() const { return dir_.string(); }
+    std::string file() const
+    {
+        return (dir_ / "results.satomc").string();
+    }
+
+    std::string
+    readAll() const
+    {
+        std::ifstream in(file(), std::ios::binary);
+        return std::string(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+    }
+
+    void
+    writeAll(const std::string &bytes) const
+    {
+        std::ofstream out(file(),
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    /** Save a two-entry cache into dir(). */
+    void
+    populate()
+    {
+        cache::ResultCache rc;
+        ASSERT_TRUE(rc.open(dir()).ok());
+        rc.insert(1, 2, "progA", "ctx", "payloadA");
+        rc.insert(3, 4, "progB", "ctx", "payloadB");
+        ASSERT_TRUE(rc.save());
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(ResultCacheFile, SaveReloadRoundTrip)
+{
+    populate();
+    cache::ResultCache rc;
+    EXPECT_TRUE(rc.open(dir()).ok());
+    EXPECT_EQ(rc.size(), 2u);
+    std::string payload;
+    EXPECT_TRUE(rc.lookup(1, 2, "progA", "ctx", payload));
+    EXPECT_EQ(payload, "payloadA");
+    EXPECT_TRUE(rc.lookup(3, 4, "progB", "ctx", payload));
+    EXPECT_EQ(payload, "payloadB");
+    EXPECT_FALSE(rc.lookup(5, 6, "progC", "ctx", payload));
+    EXPECT_EQ(rc.hits(), 2u);
+    EXPECT_EQ(rc.misses(), 1u);
+}
+
+TEST_F(ResultCacheFile, SavedBytesAreAPureFunctionOfTheEntries)
+{
+    populate();
+    const std::string first = readAll();
+    ASSERT_FALSE(first.empty());
+    std::filesystem::remove_all(dir_);
+    // Same entries inserted in the opposite order: identical file
+    // (entries are sorted on save), which is what lets CI `cmp`
+    // resumed and uninterrupted campaigns' caches.
+    cache::ResultCache rc;
+    ASSERT_TRUE(rc.open(dir()).ok());
+    rc.insert(3, 4, "progB", "ctx", "payloadB");
+    rc.insert(1, 2, "progA", "ctx", "payloadA");
+    ASSERT_TRUE(rc.save());
+    EXPECT_EQ(first, readAll());
+}
+
+TEST_F(ResultCacheFile, FirstWriteWinsOnDuplicates)
+{
+    cache::ResultCache rc;
+    ASSERT_TRUE(rc.open(dir()).ok());
+    rc.insert(1, 2, "prog", "ctx", "first");
+    rc.insert(1, 2, "prog", "ctx", "second");
+    EXPECT_EQ(rc.size(), 1u);
+    std::string payload;
+    ASSERT_TRUE(rc.lookup(1, 2, "prog", "ctx", payload));
+    EXPECT_EQ(payload, "first");
+}
+
+TEST_F(ResultCacheFile, FingerprintCollisionDegradesToAMiss)
+{
+    cache::ResultCache rc;
+    ASSERT_TRUE(rc.open(dir()).ok());
+    rc.insert(1, 2, "progA", "ctx", "payloadA");
+    std::string payload;
+    // Same 64-bit keys, different encoding: must miss, not serve
+    // the colliding entry.
+    EXPECT_FALSE(rc.lookup(1, 2, "progX", "ctx", payload));
+    EXPECT_FALSE(rc.lookup(1, 2, "progA", "ctxX", payload));
+    EXPECT_TRUE(rc.lookup(1, 2, "progA", "ctx", payload));
+}
+
+TEST_F(ResultCacheFile, TruncatedFileIsRejectedAndCold)
+{
+    populate();
+    const std::string bytes = readAll();
+    writeAll(bytes.substr(0, bytes.size() / 2));
+    cache::ResultCache rc;
+    const auto st = rc.open(dir());
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(rc.size(), 0u);
+    EXPECT_FALSE(rc.openStatus().ok());
+    // Cold but fully usable: insert and save still work.
+    rc.insert(9, 9, "prog", "ctx", "payload");
+    EXPECT_TRUE(rc.save());
+    cache::ResultCache again;
+    EXPECT_TRUE(again.open(dir()).ok());
+    EXPECT_EQ(again.size(), 1u);
+}
+
+TEST_F(ResultCacheFile, BitFlippedRecordIsRejectedAndCold)
+{
+    populate();
+    std::string bytes = readAll();
+    // Flip one byte in the record region (past the 20+fp header).
+    bytes[bytes.size() - 5] ^= 0x20;
+    writeAll(bytes);
+    cache::ResultCache rc;
+    const auto st = rc.open(dir());
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(rc.size(), 0u);
+}
+
+TEST_F(ResultCacheFile, VersionBumpIsRejectedAndCold)
+{
+    populate();
+    {
+        // Rewrite the container with a bumped schema fingerprint --
+        // exactly what a future cacheSchemaVersion would produce.
+        snapshot::RecordWriter w("satom-cache v999 stats=0");
+        w.record(1, "not-a-real-entry");
+        writeAll(w.finish());
+    }
+    cache::ResultCache rc;
+    const auto st = rc.open(dir());
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.error, snapshot::Error::CfgMismatch);
+    EXPECT_EQ(rc.size(), 0u);
+    rc.insert(9, 9, "prog", "ctx", "payload");
+    EXPECT_TRUE(rc.save());
+}
+
+TEST_F(ResultCacheFile, CorruptEntryPayloadIsRejected)
+{
+    {
+        cache::ResultCache rc;
+        ASSERT_TRUE(rc.open(dir()).ok());
+        rc.insert(1, 2, "prog", "ctx", "payload");
+        ASSERT_TRUE(rc.save());
+    }
+    // A structurally valid container whose entry record does not
+    // decode as an entry.
+    snapshot::RecordWriter w(("satom-cache v" +
+                              std::to_string(
+                                  cache::cacheSchemaVersion) +
+                              " stats=" +
+                              (stats::enabled() ? "1" : "0")));
+    w.record(1, "tiny");
+    writeAll(w.finish());
+    cache::ResultCache rc;
+    EXPECT_FALSE(rc.open(dir()).ok());
+    EXPECT_EQ(rc.size(), 0u);
+}
+
+TEST_F(ResultCacheFile, FaultSitesDamageTheSavedFileAsAdvertised)
+{
+    // torn-cache: the saved file loses its tail.
+    {
+        cache::ResultCache rc;
+        ASSERT_TRUE(rc.open(dir()).ok());
+        rc.insert(1, 2, "prog", "ctx", "payload-long-enough");
+        fault::arm(fault::Site::TornCache, 1);
+        ASSERT_TRUE(rc.save());
+        fault::disarm();
+        cache::ResultCache check;
+        EXPECT_FALSE(check.open(dir()).ok());
+    }
+    std::filesystem::remove_all(dir_);
+    // flip-cache: one payload byte flipped -> CRC rejection.
+    {
+        cache::ResultCache rc;
+        ASSERT_TRUE(rc.open(dir()).ok());
+        rc.insert(1, 2, "prog", "ctx", "payload-long-enough");
+        fault::arm(fault::Site::FlipCache, 1);
+        ASSERT_TRUE(rc.save());
+        fault::disarm();
+        cache::ResultCache check;
+        const auto st = check.open(dir());
+        EXPECT_FALSE(st.ok());
+        EXPECT_EQ(st.error, snapshot::Error::BadCrc);
+    }
+    std::filesystem::remove_all(dir_);
+    // stale-cache: the fingerprint is stamped with an old version.
+    {
+        cache::ResultCache rc;
+        ASSERT_TRUE(rc.open(dir()).ok());
+        rc.insert(1, 2, "prog", "ctx", "payload-long-enough");
+        fault::arm(fault::Site::StaleCache, 1);
+        ASSERT_TRUE(rc.save());
+        fault::disarm();
+        cache::ResultCache check;
+        const auto st = check.open(dir());
+        EXPECT_FALSE(st.ok());
+        EXPECT_EQ(st.error, snapshot::Error::CfgMismatch);
+    }
+}
+
+TEST_F(ResultCacheFile, PersistedHitsServeTheEngine)
+{
+    const Program p = fuzz::generateProgram(11);
+    const auto wmm = makeModel(ModelId::WMM);
+    EnumerationOptions opts;
+    opts.numWorkers = 1;
+    const auto fresh = enumerateBehaviors(p, wmm, opts);
+    {
+        cache::ResultCache rc;
+        ASSERT_TRUE(rc.open(dir()).ok());
+        EnumerationOptions cached = opts;
+        cached.resultCache = &rc;
+        enumerateBehaviors(p, wmm, cached);
+        EXPECT_EQ(rc.misses(), 1u);
+        ASSERT_TRUE(rc.save());
+    }
+    cache::ResultCache rc;
+    ASSERT_TRUE(rc.open(dir()).ok());
+    EnumerationOptions cached = opts;
+    cached.resultCache = &rc;
+    const auto warm = enumerateBehaviors(p, wmm, cached);
+    EXPECT_EQ(rc.hits(), 1u);
+    EXPECT_EQ(rc.misses(), 0u);
+    EXPECT_EQ(outcomeKeys(fresh.outcomes),
+              outcomeKeys(warm.outcomes));
+}
+
+} // namespace

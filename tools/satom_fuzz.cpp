@@ -8,7 +8,8 @@
  *              [--locations N] [--values K] [--branches W]
  *              [--oracle NAME]... [--budget N] [--max-states N]
  *              [--seed-timeout-ms MS] [--journal FILE] [--resume]
- *              [--spill-dir DIR] [--inject-bug] [--quiet]
+ *              [--spill-dir DIR] [--cache DIR] [--inject-bug]
+ *              [--quiet]
  *
  * Exit codes: 0 all seeds passed, 1 some oracle reported a
  * discrepancy, 2 some seed stayed inconclusive (or report/journal
@@ -39,6 +40,17 @@
  *  - the JSON report is written atomically (tmp + rename), so a kill
  *    during the write never leaves a torn report.
  *
+ * --cache DIR attaches the canonical result cache: every graph
+ * enumeration behind the oracles is canonicalized and served from /
+ * stored into DIR (isomorphic seeds enumerate once per campaign, and
+ * not at all when a previous campaign left a warm cache).  Hits and
+ * misses produce identical deterministic records, so the report stays
+ * byte-identical cold vs warm, for every worker count.  With
+ * --journal the cache file is synced before each seed's journal line
+ * retires, so a killed-and-resumed campaign ends with the same cache
+ * (and report) as an uninterrupted one.  A damaged cache file is
+ * announced and treated as cold — never an error exit.
+ *
  * --shrink minimizes the first discrepant seed with the
  * delta-debugging shrinker and prints (and records) the reproducer as
  * litmus text and builder code.  --inject-bug plants the documented
@@ -59,6 +71,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/result_cache.hpp"
 #include "enumerate/engine_parallel.hpp"
 #include "fuzz/emit.hpp"
 #include "fuzz/generator.hpp"
@@ -82,6 +95,7 @@ struct DriverConfig
     int workers = 0; ///< 0 = hardware concurrency
     std::string jsonPath;
     std::string journalPath; ///< empty = journaling off
+    std::string cachePath;   ///< empty = result cache off
     bool resume = false;
     long seedTimeoutMs = 0; ///< 0 = no per-seed watchdog
     bool shrink = false;
@@ -110,7 +124,7 @@ usage()
            "                  [--budget N] [--max-states N]\n"
            "                  [--seed-timeout-ms MS]\n"
            "                  [--journal FILE] [--resume]\n"
-           "                  [--spill-dir DIR]\n"
+           "                  [--spill-dir DIR] [--cache DIR]\n"
            "                  [--inject-bug] [--quiet]\n"
            "oracles: ";
     for (fuzz::OracleId id : fuzz::allOracles())
@@ -122,6 +136,8 @@ usage()
                  "  --resume skips seeds already in the journal\n"
                  "--spill-dir DIR lets memory-capped enumerations\n"
                  "  spill cold frontier segments out of core\n"
+                 "--cache DIR serves isomorphic seeds from the\n"
+                 "  canonical result cache (damaged cache = cold)\n"
                  "--inject-bug plants the documented intentional\n"
                  "  oracle bug (SC vs TSO machine) for self-tests\n"
                  "exit: 0 ok, 1 discrepancy, 2 inconclusive, 64 usage\n";
@@ -211,6 +227,7 @@ configFingerprint(const DriverConfig &cfg,
         << " graph-states=" << cfg.oracle.maxGraphStates
         << " oper-states=" << cfg.oracle.maxOperationalStates
         << " seed-timeout-ms=" << cfg.seedTimeoutMs
+        << " cache=" << (cfg.cachePath.empty() ? 0 : 1)
         << " stats=" << (stats::enabled() ? 1 : 0) << " oracles=";
     for (fuzz::OracleId id : oracles)
         out << toString(id) << ',';
@@ -347,6 +364,11 @@ main(int argc, char **argv)
             if (!v)
                 return usage();
             cfg.oracle.spillDir = v;
+        } else if (arg == "--cache") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            cfg.cachePath = v;
         } else if (arg == "--seed-timeout-ms") {
             const char *v = next();
             if (!v || !cli::parseLong(v, cfg.seedTimeoutMs) ||
@@ -482,6 +504,23 @@ main(int argc, char **argv)
             journal.appendLine("#cfg " + fingerprint);
     }
 
+    // The canonical result cache: isomorphic seeds enumerate once per
+    // campaign, and not at all when a previous campaign left this
+    // directory warm.  A damaged cache file is announced and treated
+    // as cold — the cache is an accelerator, never a correctness
+    // input, so it can never change a verdict or the exit code.
+    cache::ResultCache resultCache;
+    if (!cfg.cachePath.empty()) {
+        const auto st = resultCache.open(cfg.cachePath);
+        if (!st.ok())
+            std::cerr << "cache " << resultCache.path() << ": "
+                      << snapshot::toString(st.error)
+                      << (st.detail.empty() ? ""
+                                            : " (" + st.detail + ")")
+                      << "; starting cold\n";
+        cfg.oracle.resultCache = &resultCache;
+    }
+
     auto generate = [&](std::uint32_t seed) {
         return cfg.pointer
                    ? fuzz::generatePointerProgram(seed, cfg.gen)
@@ -540,6 +579,13 @@ main(int argc, char **argv)
 
         if (journal.isOpen()) {
             std::lock_guard<std::mutex> lk(journalMutex);
+            // Sync the cache before the journal line retires the
+            // seed: a kill right after the append still leaves the
+            // cache current through every journaled seed, so a
+            // resumed campaign finishes with the same cache file as
+            // an uninterrupted one.
+            if (cfg.oracle.resultCache)
+                resultCache.save();
             journal.appendLine(fuzz::journalLine(rec));
             // SATOM_FAULT=kill-after-journal:N — the SIGKILL
             // simulation for the crash-safety tests: die hard, no
@@ -673,6 +719,19 @@ main(int argc, char **argv)
         if (!cfg.quiet)
             std::cout << "wrote " << cfg.jsonPath << '\n';
     }
+    if (!cfg.cachePath.empty()) {
+        if (!resultCache.save())
+            std::cerr << "warning: cannot write cache "
+                      << resultCache.path() << '\n';
+        // stderr, unconditionally: visible under --quiet, greppable
+        // by the CI warm-pass assertion, and never part of the
+        // byte-compared report.
+        std::cerr << "cache: hits=" << resultCache.hits()
+                  << " misses=" << resultCache.misses()
+                  << " entries=" << resultCache.size() << " ("
+                  << resultCache.path() << ")\n";
+    }
+
     // 1 beats 2: a proven discrepancy outranks an unproven seed.
     if (failed > 0)
         return 1;
