@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Service-plane overload stress: closed-loop clients at a multiple of
+ * worker capacity against an in-process Service.
+ *
+ * The driver runs `--load-factor` × `--workers` closed-loop clients
+ * (each submits one interactive enumeration, waits for its response,
+ * submits the next) for `--duration-ms`, which holds the offered load
+ * at a fixed multiple of sustainable capacity — the regime the
+ * admission-control design is for.  What the numbers must show
+ * (DESIGN.md §14):
+ *
+ *  - admitted jobs stay within the class latency target (the depth
+ *    bound caps queue wait, so `ok` p99 is bounded by
+ *    depth × service time, not by offered load);
+ *  - the excess is shed *immediately* (`shed` p99 is microseconds —
+ *    rejection never waits in line);
+ *  - nothing is silently lost: submitted = ok + shed + stale + other.
+ *
+ * --stats prints one JSON object with per-status counts and p50/p99
+ * latency histograms; --json PATH appends a schema-3 bench record so
+ * run_benchmarks.sh can collect it alongside the enumeration benches.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_out.hpp"
+#include "service/service.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+
+namespace
+{
+
+using namespace satom;
+using Clock = std::chrono::steady_clock;
+
+/** t threads; thread i stores its slot then reads `reads` others. */
+std::string
+ringLitmus(int threads, int reads)
+{
+    std::ostringstream os;
+    os << "name ring\ninit";
+    for (int i = 0; i < threads; ++i)
+        os << " x" << i << "=0";
+    os << "\n";
+    for (int i = 0; i < threads; ++i) {
+        os << "thread P" << i << "\n  st x" << i << ", " << (i + 1)
+           << "\n";
+        for (int r = 1; r <= reads; ++r)
+            os << "  ld r" << r << ", x" << ((i + r) % threads)
+               << "\n";
+    }
+    os << "exists P0:r1=0\n";
+    return os.str();
+}
+
+/** Everything the client fleet measures, split by response status. */
+struct Tally
+{
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> ok{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> stale{0};
+    std::atomic<std::uint64_t> other{0};
+    stats::LatencyHistogram okLatency;   ///< submit -> ok response
+    stats::LatencyHistogram shedLatency; ///< submit -> shed response
+};
+
+std::string
+statusOf(const std::string &line)
+{
+    const std::string key = "\"status\": \"";
+    const std::size_t at = line.find(key);
+    if (at == std::string::npos)
+        return "?";
+    const std::size_t from = at + key.size();
+    return line.substr(from, line.find('"', from) - from);
+}
+
+/** One closed-loop client: submit, await the response, repeat. */
+void
+clientLoop(service::Service &svc, const std::string &request,
+           Clock::time_point until, Tally &tally)
+{
+    while (Clock::now() < until) {
+        std::mutex m;
+        std::condition_variable cv;
+        std::string response;
+        bool got = false;
+        const auto t0 = Clock::now();
+        tally.submitted.fetch_add(1, std::memory_order_relaxed);
+        svc.handleLine(request, CancelToken{},
+                       [&](const std::string &line) {
+                           {
+                               std::lock_guard<std::mutex> lock(m);
+                               response = line;
+                               got = true;
+                           }
+                           cv.notify_one();
+                           return true;
+                       });
+        {
+            std::unique_lock<std::mutex> lock(m);
+            cv.wait(lock, [&] { return got; });
+        }
+        const auto us = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - t0)
+                .count());
+        const std::string status = statusOf(response);
+        if (status == "ok") {
+            tally.ok.fetch_add(1, std::memory_order_relaxed);
+            tally.okLatency.record(us);
+        } else if (status == "shed") {
+            tally.shed.fetch_add(1, std::memory_order_relaxed);
+            tally.shedLatency.record(us);
+        } else if (status == "stale") {
+            tally.stale.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            tally.other.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: bench_service_stress [--workers N] [--load-factor N]\n"
+        "         [--duration-ms N] [--threads N] [--reads N]\n"
+        "         [--depth N] [--target-ms N] [--stats] [--json PATH]\n");
+    return 64;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string jsonPath = bench::extractJsonPath(argc, argv);
+
+    int workers = 2;
+    int loadFactor = 4;
+    long durationMs = 3000;
+    int threads = 3;
+    int reads = 2;
+    long depth = 0;    // 0 = class default
+    long targetMs = 0; // 0 = class default
+    bool printStats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto val = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        long v = 0;
+        if (arg == "--workers" && val() && cli::parseLong(argv[i], v))
+            workers = static_cast<int>(v);
+        else if (arg == "--load-factor" && val() &&
+                 cli::parseLong(argv[i], v))
+            loadFactor = static_cast<int>(v);
+        else if (arg == "--duration-ms" && val() &&
+                 cli::parseLong(argv[i], v))
+            durationMs = v;
+        else if (arg == "--threads" && val() &&
+                 cli::parseLong(argv[i], v))
+            threads = static_cast<int>(v);
+        else if (arg == "--reads" && val() && cli::parseLong(argv[i], v))
+            reads = static_cast<int>(v);
+        else if (arg == "--depth" && val() && cli::parseLong(argv[i], v))
+            depth = v;
+        else if (arg == "--target-ms" && val() &&
+                 cli::parseLong(argv[i], v))
+            targetMs = v;
+        else if (arg == "--stats")
+            printStats = true;
+        else
+            return usage();
+    }
+    if (workers < 1 || loadFactor < 1 || durationMs < 1)
+        return usage();
+
+    service::ServiceConfig cfg;
+    cfg.workers = workers;
+    auto &interactive =
+        cfg.classes[static_cast<std::size_t>(
+            service::JobClass::Interactive)];
+    if (depth > 0)
+        interactive.maxDepth = static_cast<std::size_t>(depth);
+    if (targetMs > 0)
+        interactive.targetMs = targetMs;
+
+    service::Service svc(cfg);
+    svc.start();
+
+    const std::string request =
+        "{\"id\": \"stress\", \"op\": \"enumerate\", "
+        "\"class\": \"interactive\", \"model\": \"WMM\", "
+        "\"litmus\": \"" +
+        service::jsonEscape(ringLitmus(threads, reads)) + "\"}";
+
+    Tally tally;
+    const int clients = workers * loadFactor;
+    const auto until =
+        Clock::now() + std::chrono::milliseconds(durationMs);
+    std::vector<std::thread> fleet;
+    fleet.reserve(static_cast<std::size_t>(clients));
+    for (int i = 0; i < clients; ++i)
+        fleet.emplace_back([&] {
+            clientLoop(svc, request, until, tally);
+        });
+    for (auto &t : fleet)
+        t.join();
+    svc.stop();
+
+    const auto &queueWait =
+        svc.queueWait(service::JobClass::Interactive);
+    std::ostringstream js;
+    js << "{\"bench\": \"service-stress\", \"workers\": " << workers
+       << ", \"clients\": " << clients
+       << ", \"load_factor\": " << loadFactor
+       << ", \"duration_ms\": " << durationMs
+       << ", \"target_ms\": " << interactive.targetMs
+       << ", \"depth\": " << interactive.maxDepth
+       << ", \"submitted\": " << tally.submitted.load()
+       << ", \"ok\": " << tally.ok.load()
+       << ", \"shed\": " << tally.shed.load()
+       << ", \"stale\": " << tally.stale.load()
+       << ", \"other\": " << tally.other.load()
+       << ", \"ok_latency\": " << tally.okLatency.json()
+       << ", \"shed_latency\": " << tally.shedLatency.json()
+       << ", \"queue_wait\": " << queueWait.json()
+       << ", \"ok_p99_within_target\": "
+       << (tally.okLatency.percentileUs(0.99) <=
+                   static_cast<std::uint64_t>(interactive.targetMs) *
+                       1000
+               ? "true"
+               : "false")
+       << "}";
+    const std::string report = js.str();
+
+    if (printStats)
+        std::printf("%s\n", report.c_str());
+    else
+        std::printf(
+            "service-stress: %llu submitted, %llu ok (p99 %llu us), "
+            "%llu shed (p99 %llu us), %llu stale, %llu other\n",
+            static_cast<unsigned long long>(tally.submitted.load()),
+            static_cast<unsigned long long>(tally.ok.load()),
+            static_cast<unsigned long long>(
+                tally.okLatency.percentileUs(0.99)),
+            static_cast<unsigned long long>(tally.shed.load()),
+            static_cast<unsigned long long>(
+                tally.shedLatency.percentileUs(0.99)),
+            static_cast<unsigned long long>(tally.stale.load()),
+            static_cast<unsigned long long>(tally.other.load()));
+
+    if (!jsonPath.empty()) {
+        bench::JsonWriter out;
+        bench::JsonRecord rec;
+        rec.bench = "service-stress/ring" + std::to_string(threads) +
+                    "x" + std::to_string(reads);
+        rec.model = "WMM";
+        rec.wallMs = static_cast<double>(durationMs);
+        rec.states = static_cast<long>(tally.submitted.load());
+        rec.outcomes = static_cast<long>(tally.ok.load());
+        rec.workers = workers;
+        rec.statsJson = report;
+        out.add(rec);
+        if (!out.writeTo(jsonPath)) {
+            std::fprintf(stderr,
+                         "bench_service_stress: cannot write %s\n",
+                         jsonPath.c_str());
+            return 2;
+        }
+    }
+
+    // Accounting must close: every submission got exactly one answer.
+    const std::uint64_t answered = tally.ok.load() + tally.shed.load() +
+                                   tally.stale.load() +
+                                   tally.other.load();
+    if (answered != tally.submitted.load()) {
+        std::fprintf(stderr,
+                     "bench_service_stress: lost responses (%llu of "
+                     "%llu)\n",
+                     static_cast<unsigned long long>(answered),
+                     static_cast<unsigned long long>(
+                         tally.submitted.load()));
+        return 2;
+    }
+    return 0;
+}

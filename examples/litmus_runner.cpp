@@ -64,6 +64,7 @@
 #include "litmus/parser.hpp"
 #include "model/parser.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 #include "util/run_control.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -105,8 +106,10 @@ usage()
                  "  (open in about://tracing)\n"
                  "--checkpoint FILE writes crash-safe engine snapshots\n"
                  "  (every --checkpoint-every N states and on any\n"
-                 "  truncation); --resume-from FILE continues one;\n"
-                 "  both require a single --model\n"
+                 "  truncation; without N the cadence is autotuned\n"
+                 "  from measured snapshot write throughput);\n"
+                 "  --resume-from FILE continues one; both require a\n"
+                 "  single --model\n"
                  "--spill-dir DIR spills cold frontier segments out of\n"
                  "  core under memory pressure (--spill-limit N forces\n"
                  "  a deterministic frontier cap)\n"
@@ -154,7 +157,10 @@ main(int argc, char **argv)
     long timeoutMs = 0;
     long maxStates = 0;
     std::string checkpointPath;
-    long checkpointEvery = 0;
+    // Autotuned by default (engine.hpp: negative = derive the cadence
+    // from measured snapshot write throughput); an explicit
+    // --checkpoint-every N pins it.
+    long checkpointEvery = -1;
     std::string resumeFrom;
     std::string spillDir;
     long spillLimit = 0;
@@ -322,11 +328,11 @@ main(int argc, char **argv)
     if (!cachePath.empty()) {
         const snapshot::Status cst = resultCache.open(cachePath);
         if (!cst.ok())
-            std::cerr << "cache " << resultCache.path() << ": "
-                      << snapshot::toString(cst.error)
-                      << (cst.detail.empty() ? ""
-                                             : " (" + cst.detail + ")")
-                      << "; starting cold\n";
+            log::line("cache " + resultCache.path() + ": " +
+                      snapshot::toString(cst.error) +
+                      (cst.detail.empty() ? ""
+                                          : " (" + cst.detail + ")") +
+                      "; starting cold");
         opts.resultCache = &resultCache;
     }
     if (!checkpointPath.empty()) {

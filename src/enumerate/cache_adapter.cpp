@@ -181,35 +181,75 @@ decodeCachedResult(const std::string &payload,
     return true;
 }
 
+namespace
+{
+
+/**
+ * The shared hit path: canonicalize, look up, decode and restore the
+ * telemetry a fresh run would record.  False on a miss (or on the
+ * cannot-happen undecodable payload, degraded to a miss).
+ */
+bool
+lookupHit(const Program &program, const MemoryModel &model,
+          const EnumerationOptions &options,
+          cache::CanonicalProgram &cp, std::string &ctxEnc,
+          std::uint64_t &ctxFp, std::uint64_t &canonMs,
+          EnumerationResult &out)
+{
+    const auto canonStart = std::chrono::steady_clock::now();
+    cp = cache::canonicalize(program);
+    ctxEnc = cache::contextEncoding(
+        model, options.maxDynamicPerThread, options.maxStates);
+    ctxFp = cache::fingerprintBytes(ctxEnc);
+    canonMs = ceilMs(std::chrono::steady_clock::now() - canonStart);
+
+    std::string payload;
+    if (!options.resultCache->lookup(cp.fingerprint, ctxFp,
+                                     cp.encoding, ctxEnc, payload))
+        return false;
+    EnumerationResult r;
+    if (!decodeCachedResult(payload, r))
+        return false;
+    decanonicalizeOutcomes(cp, r);
+    // The stored registry carries the deterministic class only;
+    // restore the telemetry a fresh run would record.
+    r.registry.peak(stats::Ctr::SimdTier,
+                    static_cast<std::uint64_t>(kern::activeTier()) +
+                        1);
+    r.registry.add(stats::Ctr::CacheHits, 1);
+    r.registry.add(stats::Ctr::CacheCanonMs, canonMs);
+    out = std::move(r);
+    return true;
+}
+
+} // namespace
+
+bool
+tryCachedLookup(const Program &program, const MemoryModel &model,
+                const EnumerationOptions &options,
+                EnumerationResult &out)
+{
+    cache::CanonicalProgram cp;
+    std::string ctxEnc;
+    std::uint64_t ctxFp = 0;
+    std::uint64_t canonMs = 0;
+    return lookupHit(program, model, options, cp, ctxEnc, ctxFp,
+                     canonMs, out);
+}
+
 EnumerationResult
 runCachedEnumeration(const Program &program, const MemoryModel &model,
                      const EnumerationOptions &options)
 {
-    const auto canonStart = std::chrono::steady_clock::now();
-    const cache::CanonicalProgram cp = cache::canonicalize(program);
-    const std::string ctxEnc = cache::contextEncoding(
-        model, options.maxDynamicPerThread, options.maxStates);
-    const std::uint64_t ctxFp = cache::fingerprintBytes(ctxEnc);
-    const std::uint64_t canonMs =
-        ceilMs(std::chrono::steady_clock::now() - canonStart);
-
-    std::string payload;
-    if (options.resultCache->lookup(cp.fingerprint, ctxFp,
-                                    cp.encoding, ctxEnc, payload)) {
-        EnumerationResult r;
-        if (decodeCachedResult(payload, r)) {
-            decanonicalizeOutcomes(cp, r);
-            // The stored registry carries the deterministic class
-            // only; restore the telemetry a fresh run would record.
-            r.registry.peak(
-                stats::Ctr::SimdTier,
-                static_cast<std::uint64_t>(kern::activeTier()) + 1);
-            r.registry.add(stats::Ctr::CacheHits, 1);
-            r.registry.add(stats::Ctr::CacheCanonMs, canonMs);
-            return r;
-        }
-        // An undecodable payload cannot happen through this codec;
-        // degrade to a miss rather than fault.
+    cache::CanonicalProgram cp;
+    std::string ctxEnc;
+    std::uint64_t ctxFp = 0;
+    std::uint64_t canonMs = 0;
+    {
+        EnumerationResult hit;
+        if (lookupHit(program, model, options, cp, ctxEnc, ctxFp,
+                      canonMs, hit))
+            return hit;
     }
 
     // Miss: enumerate the canonical program, so the stored (and

@@ -58,4 +58,16 @@ EnumerationResult runCachedEnumeration(const Program &program,
                                        const MemoryModel &model,
                                        const EnumerationOptions &options);
 
+/**
+ * Probe-only lookup: true (and @p out filled exactly as a hit in
+ * runCachedEnumeration would fill it) when the cache already holds
+ * this enumeration; false on a miss — the engine is never run.  The
+ * degraded read-only mode of satomd serves warm queries through this
+ * while refusing cold ones.  Requires options.resultCache != nullptr
+ * and a cacheable() option set.
+ */
+bool tryCachedLookup(const Program &program, const MemoryModel &model,
+                     const EnumerationOptions &options,
+                     EnumerationResult &out);
+
 } // namespace satom::cache_adapter

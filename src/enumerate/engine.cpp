@@ -863,8 +863,13 @@ Enumerator::writeCheckpoint(
         snap.executions = result_.executions;
     snap.spillSegments = spillSegments;
 
+    const auto writeStart = std::chrono::steady_clock::now();
     const snapshot::Status st = writeEngineSnapshot(
         options_.checkpointPath, snap, fingerprint_);
+    const double writeSec =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - writeStart)
+            .count();
     if (!st.ok()) {
         // A run whose crash-safety net is failing should not keep
         // burning hours it cannot recover: stop as a contained fault.
@@ -873,9 +878,40 @@ Enumerator::writeCheckpoint(
         return false;
     }
     result_.registry.add(stats::Ctr::CheckpointsWritten);
+    tuneCheckpointCadence(writeSec);
     if (options_.onCheckpoint)
         options_.onCheckpoint();
     return true;
+}
+
+void
+Enumerator::tuneCheckpointCadence(double writeSec)
+{
+    if (options_.checkpointEvery >= 0)
+        return;
+    const double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - runStart_)
+            .count();
+    const auto explored =
+        static_cast<double>(result_.stats.statesExplored);
+    if (elapsed <= 0 || explored <= 0)
+        return;
+    // One snapshot write per `cadence` retired states costs writeSec
+    // against cadence/rate seconds of exploration; solve for the
+    // cadence that keeps that ratio at ~2%.  Clamped so a freak
+    // measurement can neither checkpoint every state nor effectively
+    // never (the snapshot grows with the search, so each write
+    // re-tunes with a current size).
+    const double rate = explored / elapsed;
+    const double target = writeSec * rate * 50.0;
+    constexpr double minCadence = 64.0;
+    constexpr double maxCadence = 1048576.0;
+    const long cadence = static_cast<long>(
+        std::max(minCadence, std::min(maxCadence, target)));
+    ckptCadence_ = cadence;
+    result_.registry.peak(stats::Ctr::CheckpointCadence,
+                          static_cast<std::uint64_t>(cadence));
 }
 
 void
@@ -954,8 +990,7 @@ Enumerator::runSerial()
                 rb.graph.markClosed(options_.applyRuleC);
             continue;
         }
-        if (options_.checkpointEvery > 0 &&
-            sinceCkpt >= options_.checkpointEvery) {
+        if (ckptCadence_ > 0 && sinceCkpt >= ckptCadence_) {
             sinceCkpt = 0;
             if (!ckpt(Truncation::None))
                 break;
@@ -1087,6 +1122,16 @@ Enumerator::run()
     result_ = EnumerationResult{};
     outcomes_.clear();
     executionKeys_.clear();
+    runStart_ = std::chrono::steady_clock::now();
+    // Autotune (negative cadence) starts from a small probe so the
+    // first snapshot write — the measurement — happens early.  A
+    // positive cadence without a checkpoint path would still pay for
+    // frontier/seen-key collection per period, so it is zeroed.
+    ckptCadence_ = options_.checkpointPath.empty()
+                       ? 0
+                       : (options_.checkpointEvery >= 0
+                              ? options_.checkpointEvery
+                              : 256);
     initCount_ =
         static_cast<NodeId>(program_.initialMemory().size());
 

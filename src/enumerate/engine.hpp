@@ -156,7 +156,13 @@ struct EnumerationOptions
 
     /**
      * Retired-state cadence for periodic checkpoints; 0 writes only
-     * the on-truncation snapshot.  Ignored without checkpointPath.
+     * the on-truncation snapshot.  Negative values request autotune:
+     * the engine starts from a small probe cadence, measures each
+     * snapshot write, and re-derives the cadence from the observed
+     * state-retirement rate so periodic checkpointing costs ~2% of
+     * the run regardless of snapshot size or disk speed (the tuned
+     * value is visible as the `checkpoint-cadence` telemetry
+     * counter).  Ignored without checkpointPath.
      */
     long checkpointEvery = 0;
 
@@ -407,6 +413,13 @@ class Enumerator
                          const std::vector<Behavior> &frontier,
                          std::vector<std::uint64_t> seenKeys,
                          const std::vector<std::string> &spillSegments);
+
+    /**
+     * Autotune hook (checkpointEvery < 0): re-derive the periodic
+     * cadence from the @p writeSec just spent persisting a snapshot
+     * and the run's observed state-retirement rate.
+     */
+    void tuneCheckpointCadence(double writeSec);
     static bool applySource(Behavior &b, NodeId load, NodeId store,
                             bool bypass);
 
@@ -423,6 +436,17 @@ class Enumerator
 
     /** Snapshot/spill fingerprint, computed when either is enabled. */
     std::string fingerprint_;
+
+    /**
+     * Effective periodic-checkpoint cadence the engines poll: the
+     * explicit checkpointEvery when >= 0, else the autotuned value
+     * (seeded with a small probe so the first measurement happens
+     * early in the run).
+     */
+    long ckptCadence_ = 0;
+
+    /** Run start instant; denominator of the autotune rate. */
+    std::chrono::steady_clock::time_point runStart_{};
 };
 
 /** One-shot convenience wrapper. */

@@ -316,8 +316,7 @@ Enumerator::runParallel(int workers)
                 rb.graph.markClosed(options_.applyRuleC);
             continue;
         }
-        if (options_.checkpointEvery > 0 &&
-            sinceCkpt >= options_.checkpointEvery) {
+        if (ckptCadence_ > 0 && sinceCkpt >= ckptCadence_) {
             sinceCkpt = 0;
             if (!ckpt(Truncation::None))
                 break;
@@ -345,6 +344,16 @@ Enumerator::runParallel(int workers)
         // take >= 1 here (empty frontiers reload or break above), so
         // the 0-means-unset sentinel of the minimum merge is safe.
         result_.registry.trough(stats::Ctr::MinWaveSize, take);
+        // Occupancy of the thinnest wave as a percentage of the
+        // worker pool (floored at 1 for the same sentinel reason): a
+        // low trough means waves too thin to feed the workers — the
+        // signal the ROADMAP's depth-sliced seeding idea needs.
+        result_.registry.trough(
+            stats::Ctr::WaveOccupancy,
+            std::max<std::uint64_t>(
+                1, std::min<std::uint64_t>(
+                       100, take * 100 /
+                                static_cast<std::size_t>(workers))));
         const std::int64_t waveStart =
             options_.trace ? options_.trace->nowUs() : 0;
 

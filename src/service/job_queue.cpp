@@ -1,0 +1,140 @@
+#include "service/job_queue.hpp"
+
+#include <algorithm>
+
+namespace satom::service
+{
+
+const char *
+toString(JobClass c)
+{
+    switch (c) {
+      case JobClass::Interactive: return "interactive";
+      case JobClass::Batch: return "batch";
+      case JobClass::Bulk: return "bulk";
+    }
+    return "?";
+}
+
+bool
+jobClassFromString(const std::string &name, JobClass &out)
+{
+    for (JobClass c : {JobClass::Interactive, JobClass::Batch,
+                       JobClass::Bulk}) {
+        if (name == toString(c)) {
+            out = c;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::array<ClassConfig, numJobClasses>
+defaultClassConfigs()
+{
+    // Depths bound worst-case queue wait: with the class's whole
+    // queue ahead of a job, it must still be startable within the
+    // latency target on a single busy worker.
+    return {{
+        {64, 2000},    // interactive: small litmus queries
+        {256, 15000},  // batch: matrix sweeps
+        {1024, 60000}, // bulk: fuzz slices, campaigns
+    }};
+}
+
+PriorityJobQueue::PriorityJobQueue(
+    const std::array<ClassConfig, numJobClasses> &cfg)
+    : cfg_(cfg)
+{
+}
+
+std::size_t
+PriorityJobQueue::effectiveLimit(std::size_t i) const
+{
+    const std::size_t full = cfg_[i].maxDepth;
+    const auto pct = static_cast<std::size_t>(
+        std::clamp(shedPct_[i], 1, 100));
+    return std::max<std::size_t>(1, full * pct / 100);
+}
+
+Admission
+PriorityJobQueue::submit(QueuedJob job, std::size_t &depthOut,
+                         std::size_t &limitOut)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    const auto i = static_cast<std::size_t>(job.cls);
+    depthOut = q_[i].size();
+    limitOut = effectiveLimit(i);
+    if (closed_)
+        return Admission::Closed;
+    if (q_[i].size() >= limitOut)
+        return Admission::Shed;
+    job.seq = nextSeq_++;
+    q_[i].push_back(std::move(job));
+    depthOut = q_[i].size();
+    cv_.notify_one();
+    return Admission::Admitted;
+}
+
+bool
+PriorityJobQueue::pop(QueuedJob &out)
+{
+    std::unique_lock<std::mutex> lock(m_);
+    cv_.wait(lock, [&] {
+        if (closed_)
+            return true;
+        for (const auto &q : q_)
+            if (!q.empty())
+                return true;
+        return false;
+    });
+    for (auto &q : q_) {
+        if (!q.empty()) {
+            out = std::move(q.front());
+            q.pop_front();
+            return true;
+        }
+    }
+    return false; // closed and drained
+}
+
+void
+PriorityJobQueue::close()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    closed_ = true;
+    cv_.notify_all();
+}
+
+std::size_t
+PriorityJobQueue::depth(JobClass c) const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return q_[static_cast<std::size_t>(c)].size();
+}
+
+std::size_t
+PriorityJobQueue::totalDepth() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    std::size_t n = 0;
+    for (const auto &q : q_)
+        n += q.size();
+    return n;
+}
+
+void
+PriorityJobQueue::setShedFactor(JobClass c, int percent)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    shedPct_[static_cast<std::size_t>(c)] =
+        std::clamp(percent, 1, 100);
+}
+
+const ClassConfig &
+PriorityJobQueue::config(JobClass c) const
+{
+    return cfg_[static_cast<std::size_t>(c)];
+}
+
+} // namespace satom::service

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The priority job queue behind satomd: typed job classes, bounded
+ * per-class depth with immediate admission decisions, and
+ * priority-ordered dequeue.
+ *
+ * The design follows rippled's JobQueue: every job carries a *class*
+ * (a typed priority with its own latency target), each class has a
+ * bounded queue depth, and a submission that would exceed the bound
+ * is rejected *at admission* with a structured shed decision — never
+ * parked to time out later.  Shed-don't-stall is the core overload
+ * property: under sustained overload the queue depth (and therefore
+ * the queue wait of every admitted job) stays bounded, and the
+ * clients that cannot be served learn it in microseconds instead of
+ * after their deadline.
+ *
+ * Deadlines are not enforced here — the queue only stores the
+ * admission instant and deadline the service derived from the class
+ * latency target; the service's workers drop past-deadline jobs at
+ * dequeue (the `stale` path).  The load monitor shrinks the
+ * *effective* depth of a class under pressure via setShedFactor(),
+ * which makes shedding kick in earlier without touching queued jobs.
+ *
+ * Thread-safe throughout; pop() blocks until a job or close().
+ */
+
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "util/run_control.hpp"
+
+namespace satom::service
+{
+
+/**
+ * Typed job priorities, highest first.  Interactive jobs are small
+ * litmus queries a human is waiting on; batch jobs are matrix sweeps;
+ * bulk jobs are fuzz slices and other background campaigns.
+ */
+enum class JobClass : int
+{
+    Interactive = 0,
+    Batch = 1,
+    Bulk = 2,
+};
+
+constexpr int numJobClasses = 3;
+
+/** Stable wire name: "interactive", "batch", "bulk". */
+const char *toString(JobClass c);
+
+/** Parse a wire name back; false if unknown. */
+bool jobClassFromString(const std::string &name, JobClass &out);
+
+/** Per-class admission control and latency policy. */
+struct ClassConfig
+{
+    /** Maximum queued jobs of this class (admission bound). */
+    std::size_t maxDepth = 0;
+
+    /**
+     * Latency target in ms: an admitted job's RunBudget deadline is
+     * admission + targetMs, and the load monitor's shedding
+     * thresholds are fractions of it.
+     */
+    long targetMs = 0;
+};
+
+/** The default class table (depth, latency target). */
+std::array<ClassConfig, numJobClasses> defaultClassConfigs();
+
+/** One admitted job, as the worker loop sees it. */
+struct QueuedJob
+{
+    using Clock = std::chrono::steady_clock;
+
+    std::uint64_t seq = 0; ///< admission order (diagnostics)
+    JobClass cls = JobClass::Batch;
+
+    /**
+     * The job's run budget: deadline = admitted + class target, the
+     * cancellation token shared with the submitting connection.  The
+     * service threads it into every engine/oracle the job runs.
+     */
+    RunBudget budget;
+
+    Clock::time_point admitted{};
+    Clock::time_point deadline{};
+
+    /** Execute the job and deliver its response. */
+    std::function<void()> run;
+
+    /**
+     * Deliver a structured response *without* running — the dequeue
+     * paths that drop a job ("stale", "cancelled", "dropped").
+     */
+    std::function<void(const char *status)> abandon;
+};
+
+/** The admission decision for one submission. */
+enum class Admission
+{
+    Admitted, ///< queued; the worker loop will run or abandon it
+    Shed,     ///< over the class's (effective) depth bound
+    Closed,   ///< the queue is shutting down
+};
+
+class PriorityJobQueue
+{
+  public:
+    explicit PriorityJobQueue(
+        const std::array<ClassConfig, numJobClasses> &cfg);
+
+    /**
+     * Admission: queue @p job or reject it immediately.  On Shed,
+     * @p depthOut / @p limitOut carry the class's depth and effective
+     * bound for the structured response.  Never blocks.
+     */
+    Admission submit(QueuedJob job, std::size_t &depthOut,
+                     std::size_t &limitOut);
+
+    /**
+     * Blocking dequeue in class-priority order (FIFO within a
+     * class); false once the queue is closed *and* drained — workers
+     * run every already-admitted job (or abandon it structurally)
+     * before exiting.
+     */
+    bool pop(QueuedJob &out);
+
+    /** Stop admitting; wake every popper once drained. */
+    void close();
+
+    std::size_t depth(JobClass c) const;
+    std::size_t totalDepth() const;
+
+    /**
+     * The load monitor's lever: effective depth bound = maxDepth *
+     * @p percent / 100 (floored at 1), so a class under pressure
+     * sheds earlier.  100 restores the configured bound.
+     */
+    void setShedFactor(JobClass c, int percent);
+
+    const ClassConfig &config(JobClass c) const;
+
+  private:
+    std::size_t effectiveLimit(std::size_t i) const; // m_ held
+
+    mutable std::mutex m_;
+    std::condition_variable cv_;
+    std::array<std::deque<QueuedJob>, numJobClasses> q_;
+    std::array<ClassConfig, numJobClasses> cfg_;
+    std::array<int, numJobClasses> shedPct_{100, 100, 100};
+    bool closed_ = false;
+    std::uint64_t nextSeq_ = 1;
+};
+
+} // namespace satom::service

@@ -1,0 +1,135 @@
+#include "service/load_monitor.hpp"
+
+namespace satom::service
+{
+
+LoadMonitor::LoadMonitor(
+    const Config &cfg,
+    const std::array<long, numJobClasses> &targetsMs)
+    : cfg_(cfg), targetsMs_(targetsMs)
+{
+}
+
+void
+LoadMonitor::onDequeue(JobClass cls, long waitedUs,
+                       Clock::time_point now)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    if (!windowStarted_) {
+        windowStarted_ = true;
+        windowStart_ = now;
+    }
+    auto &slot = windowMaxWaitUs_[static_cast<std::size_t>(cls)];
+    if (waitedUs > slot)
+        slot = waitedUs;
+    if (now - windowStart_ >=
+        std::chrono::milliseconds(cfg_.windowMs)) {
+        rollWindow();
+        windowStart_ = now;
+    }
+}
+
+void
+LoadMonitor::advance(Clock::time_point now)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    if (!windowStarted_) {
+        windowStarted_ = true;
+        windowStart_ = now;
+        return;
+    }
+    if (now - windowStart_ >=
+        std::chrono::milliseconds(cfg_.windowMs)) {
+        rollWindow();
+        windowStart_ = now;
+    }
+}
+
+void
+LoadMonitor::rollWindow()
+{
+    // m_ held.  Classify the completed window.
+    bool anyHot = false;
+    for (std::size_t i = 0; i < numJobClasses; ++i) {
+        const long thresholdUs =
+            targetsMs_[i] * 1000 * cfg_.pressurePct / 100;
+        lastHot_[i] = thresholdUs > 0 &&
+                      windowMaxWaitUs_[i] > thresholdUs;
+        anyHot = anyHot || lastHot_[i];
+        windowMaxWaitUs_[i] = 0;
+    }
+    if (anyHot) {
+        ++hotStreak_;
+        calmStreak_ = 0;
+    } else {
+        ++calmStreak_;
+        hotStreak_ = 0;
+    }
+
+    const auto st = static_cast<State>(
+        state_.load(std::memory_order_relaxed));
+    State next = st;
+    switch (st) {
+      case State::Normal:
+        if (hotStreak_ >= 1)
+            next = State::Pressure;
+        break;
+      case State::Pressure:
+        if (cfg_.readOnlyEnabled &&
+            hotStreak_ >= cfg_.overloadWindows) {
+            next = State::ReadOnly;
+            ++trips_;
+        } else if (calmStreak_ >= 1) {
+            next = State::Normal;
+        }
+        break;
+      case State::ReadOnly:
+        // Hysteresis: leaving read-only takes a sustained calm
+        // streak, so the mode cannot flap at the edge of capacity.
+        if (calmStreak_ >= cfg_.recoverWindows)
+            next = State::Normal;
+        break;
+    }
+    state_.store(static_cast<int>(next), std::memory_order_relaxed);
+}
+
+LoadMonitor::State
+LoadMonitor::state() const
+{
+    return static_cast<State>(state_.load(std::memory_order_relaxed));
+}
+
+const char *
+LoadMonitor::stateName() const
+{
+    switch (state()) {
+      case State::Normal: return "normal";
+      case State::Pressure: return "pressure";
+      case State::ReadOnly: return "read-only";
+    }
+    return "?";
+}
+
+bool
+LoadMonitor::readOnly() const
+{
+    return state() == State::ReadOnly;
+}
+
+int
+LoadMonitor::shedFactor(JobClass cls) const
+{
+    if (state() != State::Normal)
+        return 50;
+    std::lock_guard<std::mutex> lock(m_);
+    return lastHot_[static_cast<std::size_t>(cls)] ? 50 : 100;
+}
+
+long
+LoadMonitor::readOnlyTrips() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return trips_;
+}
+
+} // namespace satom::service

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The overload detector behind satomd's graceful degradation.
+ *
+ * The monitor watches one signal per class — the *queue wait* each
+ * job experienced between admission and dequeue, the purest measure
+ * of "the workers are not keeping up" — in fixed windows, and runs a
+ * three-state machine (DESIGN.md §14):
+ *
+ *   normal ──hot window──▶ pressure ──`overloadWindows` consecutive
+ *     ▲                        │         hot windows──▶ read-only
+ *     │◀──calm window──────────┘                            │
+ *     │◀──────────`recoverWindows` consecutive calm─────────┘
+ *
+ * A window is *hot* for a class when the worst queue wait observed
+ * in it exceeds `pressurePct`% of the class latency target.  Under
+ * pressure the per-class shed factor drops to 50%, shrinking the
+ * effective admission depth so shedding starts earlier (bounding the
+ * wait of jobs already queued).  Sustained overload trips read-only
+ * mode: the service keeps answering warm cache hits but refuses cold
+ * enumerations with a `degraded` response until `recoverWindows`
+ * consecutive calm windows pass (hysteresis, so the mode cannot
+ * flap on the edge of capacity).
+ *
+ * All inputs take an explicit time point, so tests drive the state
+ * machine deterministically with a synthetic clock.
+ */
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+#include "service/job_queue.hpp"
+
+namespace satom::service
+{
+
+class LoadMonitor
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    struct Config
+    {
+        long windowMs = 500;     ///< sampling window length
+        int overloadWindows = 4; ///< hot streak tripping read-only
+        int recoverWindows = 4;  ///< calm streak leaving read-only
+        int pressurePct = 50;    ///< hot = wait > pct% of target
+        bool readOnlyEnabled = true;
+    };
+
+    enum class State
+    {
+        Normal,
+        Pressure,
+        ReadOnly,
+    };
+
+    LoadMonitor(const Config &cfg,
+                const std::array<long, numJobClasses> &targetsMs);
+
+    /** Record one dequeue: @p waitedUs of queue wait for @p cls. */
+    void onDequeue(JobClass cls, long waitedUs, Clock::time_point now);
+
+    /**
+     * Roll the window forward if it elapsed; called from onDequeue
+     * and from the service's idle tick so a queue that went silent
+     * (total overload or total calm) still advances the machine.
+     */
+    void advance(Clock::time_point now);
+
+    State state() const;
+    const char *stateName() const;
+    bool readOnly() const;
+
+    /**
+     * Admission lever for @p cls: 100 when calm, 50 while the class
+     * ran hot in the last completed window or the machine is out of
+     * Normal — the queue shrinks its effective depth by this.
+     */
+    int shedFactor(JobClass cls) const;
+
+    /** Read-only transitions so far (the read-only-trips counter). */
+    long readOnlyTrips() const;
+
+  private:
+    void rollWindow();
+
+    Config cfg_;
+    std::array<long, numJobClasses> targetsMs_;
+
+    mutable std::mutex m_;
+    Clock::time_point windowStart_{};
+    bool windowStarted_ = false;
+    std::array<long, numJobClasses> windowMaxWaitUs_{};
+    std::array<bool, numJobClasses> lastHot_{};
+    int hotStreak_ = 0;
+    int calmStreak_ = 0;
+    long trips_ = 0;
+    std::atomic<int> state_{static_cast<int>(State::Normal)};
+};
+
+} // namespace satom::service

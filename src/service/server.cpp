@@ -1,0 +1,228 @@
+#include "service/server.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/log.hpp"
+
+namespace satom::service
+{
+
+namespace
+{
+
+constexpr std::size_t maxLineBytes = 1u << 20; // 1 MiB request cap
+
+void
+setSendTimeout(int fd, long ms)
+{
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = (ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+} // namespace
+
+SocketServer::SocketServer(Service &svc, std::string socketPath)
+    : svc_(svc), path_(std::move(socketPath))
+{
+}
+
+SocketServer::~SocketServer()
+{
+    stop();
+}
+
+bool
+SocketServer::start(std::string &err)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path_.size() >= sizeof addr.sun_path) {
+        err = "socket path too long: " + path_;
+        return false;
+    }
+    std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+
+    // A stale inode is the normal aftermath of kill -9; rebinding
+    // over it must succeed for restart to be clean.
+    ::unlink(path_.c_str());
+
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        err = "bind " + path_ + ": " + std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+    if (::listen(listenFd_, 64) != 0) {
+        err = "listen " + path_ + ": " + std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        ::unlink(path_.c_str());
+        return false;
+    }
+
+    stopping_.store(false, std::memory_order_relaxed);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+SocketServer::stop()
+{
+    if (listenFd_ < 0)
+        return;
+    stopping_.store(true, std::memory_order_relaxed);
+    ::shutdown(listenFd_, SHUT_RDWR);
+    ::close(listenFd_);
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    listenFd_ = -1;
+
+    std::vector<std::shared_ptr<Conn>> conns;
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        conns.swap(conns_);
+        threads.swap(threads_);
+    }
+    for (auto &c : conns)
+        dropConn(*c);
+    for (auto &t : threads)
+        if (t.joinable())
+            t.join();
+    for (auto &c : conns) {
+        if (c->fd >= 0) {
+            ::close(c->fd);
+            c->fd = -1;
+        }
+    }
+    ::unlink(path_.c_str());
+}
+
+void
+SocketServer::acceptLoop()
+{
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (stopping_.load(std::memory_order_relaxed)) {
+            if (fd >= 0)
+                ::close(fd);
+            break;
+        }
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            // EMFILE, ENFILE, aborted handshakes: log and keep
+            // serving — the accept loop must outlive every transient.
+            log::line(std::string("satomd: accept: ") +
+                      std::strerror(errno) + "; continuing");
+            struct timespec ts = {0, 10 * 1000 * 1000};
+            ::nanosleep(&ts, nullptr);
+            continue;
+        }
+        if (fault::acceptFailDue()) {
+            log::line("satomd: accept: injected failure; continuing");
+            ::close(fd);
+            continue;
+        }
+
+        setSendTimeout(fd, 5000);
+        auto conn = std::make_shared<Conn>();
+        conn->fd = fd;
+        std::lock_guard<std::mutex> lock(m_);
+        conns_.push_back(conn);
+        threads_.emplace_back(
+            [this, conn]() mutable { connLoop(std::move(conn)); });
+    }
+}
+
+void
+SocketServer::dropConn(Conn &conn)
+{
+    conn.dead.store(true, std::memory_order_relaxed);
+    conn.token.requestCancel();
+    if (conn.fd >= 0)
+        ::shutdown(conn.fd, SHUT_RDWR);
+}
+
+bool
+SocketServer::sendLine(Conn &conn, const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(conn.writeM);
+    if (conn.dead.load(std::memory_order_relaxed))
+        return false;
+    if (fault::slowClientDue()) {
+        // The client stopped reading and the send timed out: drop the
+        // connection and cancel its jobs rather than wedge a worker.
+        log::line("satomd: injected client write timeout; "
+                  "dropping connection");
+        dropConn(conn);
+        return false;
+    }
+    const std::string out = line + "\n";
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+        const ssize_t n = ::send(conn.fd, out.data() + sent,
+                                 out.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            dropConn(conn);
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void
+SocketServer::connLoop(std::shared_ptr<Conn> conn)
+{
+    Service::Sink sink = [this, conn](const std::string &line) {
+        return sendLine(*conn, line);
+    };
+
+    std::string buf;
+    char chunk[4096];
+    while (!conn->dead.load(std::memory_order_relaxed)) {
+        const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+        if (n == 0)
+            break; // EOF: client gone
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        buf.append(chunk, static_cast<std::size_t>(n));
+
+        std::size_t nl;
+        while ((nl = buf.find('\n')) != std::string::npos) {
+            std::string line = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+            svc_.handleLine(line, conn->token, sink);
+        }
+        if (buf.size() > maxLineBytes) {
+            sink(errorResponse("", "request line too long"));
+            break;
+        }
+    }
+    // Disconnect cancels everything this connection submitted; the
+    // workers turn the queued remainder into `cancelled` abandons.
+    dropConn(*conn);
+}
+
+} // namespace satom::service

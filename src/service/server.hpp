@@ -1,0 +1,82 @@
+/**
+ * @file
+ * satomd's transport: a Unix-domain stream socket speaking the
+ * newline-delimited JSON of wire.hpp.
+ *
+ * One accept thread, one thread per connection.  Each connection owns
+ * a cancellation token shared into every job it submits: EOF, a read
+ * error, a write error or an injected client write timeout
+ * (SATOM_FAULT=slow-client) cancels that connection's in-flight and
+ * queued jobs — a stuck or vanished client never wedges a worker.
+ * Responses go through a per-connection write mutex (admission
+ * threads and workers interleave on the same fd) with a send timeout,
+ * so one unread socket buffer cannot block the service plane.
+ *
+ * The listener unlinks a pre-existing socket path before binding:
+ * after a kill -9 the stale inode is the expected state, and restart
+ * must be clean (the crash-recovery CI does exactly this).
+ * SATOM_FAULT=accept-fail:N makes the N-th accept fail as if the
+ * kernel did; the loop logs and keeps serving.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.hpp"
+
+namespace satom::service
+{
+
+class SocketServer
+{
+  public:
+    SocketServer(Service &svc, std::string socketPath);
+    ~SocketServer();
+
+    SocketServer(const SocketServer &) = delete;
+    SocketServer &operator=(const SocketServer &) = delete;
+
+    /** Bind + listen + start accepting; false with @p err on failure. */
+    bool start(std::string &err);
+
+    /** Close the listener, drop every connection, join all threads. */
+    void stop();
+
+    const std::string &path() const { return path_; }
+
+  private:
+    struct Conn
+    {
+        int fd = -1;
+        CancelToken token = CancelToken::make();
+        std::mutex writeM;
+        std::atomic<bool> dead{false};
+    };
+
+    void acceptLoop();
+    void connLoop(std::shared_ptr<Conn> conn);
+
+    /** Mark @p conn dead, cancel its jobs, shut the fd down. */
+    static void dropConn(Conn &conn);
+
+    /** Send one response line; false when the connection is gone. */
+    bool sendLine(Conn &conn, const std::string &line);
+
+    Service &svc_;
+    std::string path_;
+    int listenFd_ = -1;
+    std::atomic<bool> stopping_{false};
+    std::thread acceptThread_;
+
+    std::mutex m_;
+    std::vector<std::shared_ptr<Conn>> conns_;
+    std::vector<std::thread> threads_;
+};
+
+} // namespace satom::service

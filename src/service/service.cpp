@@ -1,0 +1,523 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "enumerate/cache_adapter.hpp"
+#include "enumerate/engine.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/oracle.hpp"
+#include "litmus/parser.hpp"
+#include "util/log.hpp"
+
+namespace satom::service
+{
+
+namespace
+{
+
+std::array<long, numJobClasses>
+targetsOf(const std::array<ClassConfig, numJobClasses> &classes)
+{
+    std::array<long, numJobClasses> t{};
+    for (std::size_t i = 0; i < numJobClasses; ++i)
+        t[i] = classes[i].targetMs;
+    return t;
+}
+
+long
+elapsedUs(Service::Clock::time_point from, Service::Clock::time_point to)
+{
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        to - from)
+                        .count();
+    return us > 0 ? static_cast<long>(us) : 0;
+}
+
+/**
+ * The deterministic `ok` line for one enumeration: no timing fields,
+ * outcomes sorted by canonical key (the engine's invariant), and only
+ * the deterministic counter class — byte-identical across runs,
+ * restarts, cache states.
+ */
+std::string
+renderEnumerate(const std::string &id, const LitmusTest &test,
+                ModelId mid, const EnumerationResult &result)
+{
+    std::ostringstream os;
+    os << "{\"id\": \"" << jsonEscape(id)
+       << "\", \"status\": \"ok\", \"op\": \"enumerate\""
+       << ", \"test\": \"" << jsonEscape(test.name) << "\""
+       << ", \"model\": \"" << satom::toString(mid) << "\""
+       << ", \"observable\": "
+       << (test.cond.observable(result.outcomes) ? "true" : "false")
+       << ", \"complete\": " << (result.complete ? "true" : "false")
+       << ", \"truncation\": \"" << satom::toString(result.truncation)
+       << "\", \"executions\": " << result.stats.executions
+       << ", \"outcomes\": [";
+    bool first = true;
+    for (const auto &o : result.outcomes) {
+        os << (first ? "" : ", ") << "\"" << jsonEscape(o.key())
+           << "\"";
+        first = false;
+    }
+    os << "], \"stats\": " << result.registry.json() << "}";
+    return os.str();
+}
+
+} // namespace
+
+Service::Service(const ServiceConfig &cfg)
+    : cfg_(cfg), queue_(cfg.classes),
+      monitor_(cfg.monitor, targetsOf(cfg.classes))
+{
+    if (cfg_.workers < 1)
+        cfg_.workers = 1;
+    if (!cfg_.cacheDir.empty()) {
+        const snapshot::Status st = cache_.open(cfg_.cacheDir);
+        cacheOpen_ = true; // a damaged cache is a cold cache, not an error
+        if (!st.ok())
+            log::line("satomd: cache " + cache_.path() + ": " +
+                      snapshot::toString(st.error) +
+                      (st.detail.empty() ? "" : " (" + st.detail + ")") +
+                      "; starting cold");
+    }
+}
+
+Service::~Service()
+{
+    stop();
+}
+
+void
+Service::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    {
+        std::lock_guard<std::mutex> lock(tickM_);
+        stopping_ = false;
+    }
+    workers_.reserve(static_cast<std::size_t>(cfg_.workers));
+    for (int i = 0; i < cfg_.workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    ticker_ = std::thread([this] { tickLoop(); });
+}
+
+void
+Service::stop()
+{
+    queue_.close();
+    if (started_) {
+        for (auto &w : workers_)
+            w.join();
+        workers_.clear();
+        {
+            std::lock_guard<std::mutex> lock(tickM_);
+            stopping_ = true;
+        }
+        tickCv_.notify_all();
+        ticker_.join();
+        started_ = false;
+    }
+    if (cacheOpen_ && cache_.dirty() && !cache_.save())
+        log::line("satomd: warning: could not save result cache to " +
+                  cache_.path());
+}
+
+void
+Service::handleLine(const std::string &line, const CancelToken &conn,
+                    Sink sink)
+{
+    if (line.find_first_not_of(" \t\r") == std::string::npos)
+        return; // blank keep-alive
+
+    Request req;
+    std::string err;
+    if (!parseRequest(line, req, err)) {
+        sink(errorResponse(req.id, err));
+        return;
+    }
+
+    switch (req.op) {
+      case Op::Ping:
+        sink("{\"id\": \"" + jsonEscape(req.id) +
+             "\", \"status\": \"ok\", \"op\": \"ping\", \"mode\": \"" +
+             monitor_.stateName() + "\"}");
+        return;
+      case Op::Stats: sink(statsResponse(req.id)); return;
+      case Op::Mode:
+        readOnlyOverride_.store(req.readOnly,
+                                std::memory_order_relaxed);
+        sink(modeResponse(req.id));
+        return;
+      case Op::Enumerate:
+      case Op::Matrix:
+      case Op::Fuzz: admit(req, conn, sink); return;
+    }
+}
+
+void
+Service::admit(const Request &req, const CancelToken &conn,
+               const Sink &sink)
+{
+    QueuedJob job;
+    job.cls = req.cls;
+    job.admitted = Clock::now();
+    job.deadline = job.admitted + std::chrono::milliseconds(
+                                      queue_.config(req.cls).targetMs);
+    job.budget.deadline = job.deadline;
+    job.budget.cancel = conn;
+
+    const RunBudget budget = job.budget;
+    const std::string id = req.id;
+    const JobClass cls = req.cls;
+    job.run = [this, req, budget, sink] { runJob(req, budget, sink); };
+    job.abandon = [id, cls, sink](const char *status) {
+        if (std::string(status) == "stale")
+            sink(staleResponse(id, cls));
+        else
+            sink(statusResponse(id, status));
+    };
+
+    std::size_t depth = 0;
+    std::size_t limit = 0;
+    switch (queue_.submit(std::move(job), depth, limit)) {
+      case Admission::Admitted:
+        bump(stats::Ctr::JobsAdmitted);
+        raise(stats::Ctr::QueueDepthPeak, queue_.totalDepth());
+        break;
+      case Admission::Shed:
+        bump(stats::Ctr::JobsShed);
+        sink(shedResponse(id, cls, depth, limit));
+        break;
+      case Admission::Closed:
+        sink(errorResponse(id, "service is shutting down"));
+        break;
+    }
+}
+
+void
+Service::workerLoop()
+{
+    QueuedJob job;
+    while (queue_.pop(job)) {
+        const auto now = Clock::now();
+        const long waitedUs = elapsedUs(job.admitted, now);
+        const auto ci = static_cast<std::size_t>(job.cls);
+        queueWait_[ci].record(static_cast<std::uint64_t>(waitedUs));
+        monitor_.onDequeue(job.cls, waitedUs, now);
+        applyPressure();
+
+        // Drop before paying: cancelled clients, injected scheduler
+        // faults, then deadlines that passed while the job queued.
+        if (job.budget.cancel.cancelRequested()) {
+            bump(stats::Ctr::JobsCancelled);
+            job.abandon("cancelled");
+            continue;
+        }
+        if (fault::jobDropDue()) {
+            bump(stats::Ctr::JobsDropped);
+            job.abandon("dropped");
+            continue;
+        }
+        if (now >= job.deadline) {
+            bump(stats::Ctr::JobsStale);
+            job.abandon("stale");
+            continue;
+        }
+
+        const auto t0 = Clock::now();
+        job.run();
+        serviceTime_[ci].record(
+            static_cast<std::uint64_t>(elapsedUs(t0, Clock::now())));
+    }
+}
+
+void
+Service::runJob(const Request &req, const RunBudget &budget,
+                const Sink &sink)
+{
+    try {
+        fault::maybeInjectWorker();
+        const bool served = req.op == Op::Fuzz
+                                ? executeFuzz(req, budget, sink)
+                                : executeEnumerate(req, budget, sink);
+        if (served)
+            bump(stats::Ctr::JobsServed);
+    } catch (const std::exception &e) {
+        // One bad job never takes the daemon down: the fault is
+        // contained to a structured response, as in enumerateBatch.
+        bump(stats::Ctr::JobsFaulted);
+        sink(faultResponse(req.id, e.what()));
+    }
+}
+
+bool
+Service::executeEnumerate(const Request &req, const RunBudget &budget,
+                          const Sink &sink)
+{
+    LitmusTest test;
+    try {
+        test = litmus::parseLitmus(req.litmusText);
+    } catch (const std::exception &e) {
+        sink(errorResponse(req.id, std::string("litmus: ") + e.what()));
+        return true;
+    }
+
+    const bool ro = readOnly();
+    std::ostringstream rows;
+    bool first = true;
+    for (ModelId mid : req.models) {
+        const MemoryModel model = makeModel(mid);
+        EnumerationOptions opts;
+        if (req.maxStates > 0)
+            opts.maxStates = req.maxStates;
+        opts.budget = budget;
+        opts.numWorkers = 1; // per-job serial, parallel across jobs
+        opts.resultCache = cacheOpen_ ? &cache_ : nullptr;
+
+        EnumerationResult result;
+        if (ro) {
+            // Degraded mode serves warm hits only; the engine never
+            // starts on a cold key.
+            if (!opts.resultCache ||
+                !cache_adapter::cacheable(opts) ||
+                !cache_adapter::tryCachedLookup(test.program, model,
+                                                opts, result)) {
+                sink(degradedResponse(
+                    req.id, "read-only: cold enumeration refused (" +
+                                satom::toString(mid) + ")"));
+                return true;
+            }
+        } else {
+            result = enumerateBehaviors(test.program, model, opts);
+        }
+
+        if (result.truncation == Truncation::Cancelled) {
+            bump(stats::Ctr::JobsCancelled);
+            sink(statusResponse(req.id, "cancelled"));
+            return false;
+        }
+        if (result.truncation == Truncation::WorkerFault) {
+            bump(stats::Ctr::JobsFaulted);
+            sink(faultResponse(req.id, result.faultNote.empty()
+                                           ? "worker fault"
+                                           : result.faultNote));
+            return false;
+        }
+
+        if (req.op == Op::Enumerate) {
+            sink(renderEnumerate(req.id, test, mid, result));
+            return true;
+        }
+        rows << (first ? "" : ", ") << "{\"model\": \""
+             << satom::toString(mid) << "\", \"observable\": "
+             << (test.cond.observable(result.outcomes) ? "true"
+                                                       : "false")
+             << ", \"complete\": "
+             << (result.complete ? "true" : "false")
+             << ", \"truncation\": \""
+             << satom::toString(result.truncation)
+             << "\", \"outcomes\": " << result.outcomes.size() << "}";
+        first = false;
+    }
+
+    sink("{\"id\": \"" + jsonEscape(req.id) +
+         "\", \"status\": \"ok\", \"op\": \"matrix\", \"test\": \"" +
+         jsonEscape(test.name) + "\", \"results\": [" + rows.str() +
+         "]}");
+    return true;
+}
+
+bool
+Service::executeFuzz(const Request &req, const RunBudget &budget,
+                     const Sink &sink)
+{
+    if (readOnly()) {
+        sink(degradedResponse(req.id,
+                              "read-only: fuzz slice refused"));
+        return true;
+    }
+
+    fuzz::GeneratorConfig gen;
+    fuzz::OracleOptions oo;
+    oo.budget = budget;
+    oo.resultCache = cacheOpen_ ? &cache_ : nullptr;
+
+    long passed = 0;
+    long failed = 0;
+    long inconclusive = 0;
+    std::uint32_t ran = 0;
+    Truncation cut = Truncation::None;
+    std::ostringstream failures;
+    bool firstFail = true;
+
+    for (std::uint64_t s = req.seedFrom; s <= req.seedTo; ++s) {
+        const auto seed = static_cast<std::uint32_t>(s);
+        if (budget.cancel.cancelRequested()) {
+            bump(stats::Ctr::JobsCancelled);
+            sink(statusResponse(req.id, "cancelled"));
+            return false;
+        }
+        if (budget.hasDeadline() && Clock::now() >= budget.deadline) {
+            cut = Truncation::Deadline;
+            break;
+        }
+        const Program p = fuzz::generateProgram(seed, gen);
+        const auto results = fuzz::runOracles(p, {}, oo);
+        switch (fuzz::worstVerdict(results)) {
+          case fuzz::Verdict::Pass: ++passed; break;
+          case fuzz::Verdict::Fail:
+            ++failed;
+            for (const auto &d : results) {
+                if (!d.failed())
+                    continue;
+                failures << (firstFail ? "" : ", ")
+                         << "{\"seed\": " << seed << ", \"oracle\": \""
+                         << fuzz::toString(d.oracle) << "\"}";
+                firstFail = false;
+            }
+            break;
+          case fuzz::Verdict::Inconclusive: ++inconclusive; break;
+        }
+        ++ran;
+    }
+
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(req.seedTo) - req.seedFrom + 1;
+    std::ostringstream os;
+    os << "{\"id\": \"" << jsonEscape(req.id)
+       << "\", \"status\": \"ok\", \"op\": \"fuzz\", \"seeds\": \""
+       << req.seedFrom << ".." << req.seedTo << "\", \"ran\": " << ran
+       << ", \"passed\": " << passed << ", \"failed\": " << failed
+       << ", \"inconclusive\": " << inconclusive << ", \"complete\": "
+       << (cut == Truncation::None && ran == span ? "true" : "false")
+       << ", \"truncation\": \"" << satom::toString(cut)
+       << "\", \"failures\": [" << failures.str() << "]}";
+    sink(os.str());
+    return true;
+}
+
+std::string
+Service::statsResponse(const std::string &id) const
+{
+    std::ostringstream os;
+    os << "{\"id\": \"" << jsonEscape(id)
+       << "\", \"status\": \"ok\", \"op\": \"stats\", \"mode\": \""
+       << monitor_.stateName() << "\", \"read_only\": "
+       << (readOnly() ? "true" : "false") << ", \"pinned\": "
+       << (readOnlyOverride_.load(std::memory_order_relaxed) >= 0
+               ? "true"
+               : "false")
+       << ", \"classes\": [";
+    for (std::size_t i = 0; i < numJobClasses; ++i) {
+        const auto c = static_cast<JobClass>(i);
+        os << (i ? ", " : "") << "{\"class\": \"" << toString(c)
+           << "\", \"depth\": " << queue_.depth(c)
+           << ", \"max_depth\": " << queue_.config(c).maxDepth
+           << ", \"target_ms\": " << queue_.config(c).targetMs
+           << ", \"queue_wait\": " << queueWait_[i].json()
+           << ", \"service_time\": " << serviceTime_[i].json() << "}";
+    }
+    os << "], \"counters\": {";
+    {
+        std::lock_guard<std::mutex> lock(statsM_);
+        bool first = true;
+        for (int i = 0; i < stats::numCounters; ++i) {
+            const auto c = static_cast<stats::Ctr>(i);
+            const std::uint64_t v = counters_.get(c);
+            if (v == 0)
+                continue;
+            os << (first ? "" : ", ") << "\"" << stats::info(c).name
+               << "\": " << v;
+            first = false;
+        }
+    }
+    os << "}}";
+    return os.str();
+}
+
+std::string
+Service::modeResponse(const std::string &id) const
+{
+    const int pin = readOnlyOverride_.load(std::memory_order_relaxed);
+    return "{\"id\": \"" + jsonEscape(id) +
+           "\", \"status\": \"ok\", \"op\": \"mode\", \"read_only\": " +
+           (readOnly() ? "true" : "false") +
+           ", \"pinned\": " + (pin >= 0 ? "true" : "false") +
+           ", \"monitor\": \"" + monitor_.stateName() + "\"}";
+}
+
+bool
+Service::readOnly() const
+{
+    const int pin = readOnlyOverride_.load(std::memory_order_relaxed);
+    if (pin >= 0)
+        return pin == 1;
+    return monitor_.readOnly();
+}
+
+std::uint64_t
+Service::counter(stats::Ctr c) const
+{
+    std::lock_guard<std::mutex> lock(statsM_);
+    return counters_.get(c);
+}
+
+void
+Service::tickLoop()
+{
+    const auto tick = std::chrono::milliseconds(
+        std::max<long>(1, cfg_.monitor.windowMs / 2));
+    std::unique_lock<std::mutex> lock(tickM_);
+    while (!stopping_) {
+        tickCv_.wait_for(lock, tick, [&] { return stopping_; });
+        if (stopping_)
+            break;
+        lock.unlock();
+        // Advance the monitor even when the queue went silent, and
+        // persist cache growth (atomic tmp+rename: a kill -9 between
+        // ticks leaves the previous file, never a torn one).
+        monitor_.advance(Clock::now());
+        applyPressure();
+        if (cacheOpen_ && cache_.dirty() && !cache_.save())
+            log::line("satomd: warning: could not save result cache "
+                      "to " +
+                      cache_.path());
+        lock.lock();
+    }
+}
+
+void
+Service::applyPressure()
+{
+    for (int i = 0; i < numJobClasses; ++i) {
+        const auto c = static_cast<JobClass>(i);
+        queue_.setShedFactor(c, monitor_.shedFactor(c));
+    }
+    const long trips = monitor_.readOnlyTrips();
+    std::lock_guard<std::mutex> lock(statsM_);
+    if (trips > seenTrips_) {
+        counters_.add(stats::Ctr::ReadOnlyTrips,
+                      static_cast<std::uint64_t>(trips - seenTrips_));
+        seenTrips_ = trips;
+    }
+}
+
+void
+Service::bump(stats::Ctr c, std::uint64_t n)
+{
+    std::lock_guard<std::mutex> lock(statsM_);
+    counters_.add(c, n);
+}
+
+void
+Service::raise(stats::Ctr c, std::uint64_t n)
+{
+    std::lock_guard<std::mutex> lock(statsM_);
+    counters_.peak(c, n);
+}
+
+} // namespace satom::service

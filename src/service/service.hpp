@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The satomd service core: admission, execution and degradation,
+ * independent of any transport.
+ *
+ * A Service owns the priority job queue, the load monitor, the worker
+ * pool and (optionally) a persistent result cache.  The socket layer
+ * (server.hpp) feeds it request *lines* and a per-connection response
+ * sink + cancellation token; tests drive handleLine() directly, so
+ * every admission/shedding/degradation path is unit-testable without
+ * a socket.
+ *
+ * Control-plane ops (ping / stats / mode) are answered inline on the
+ * caller's thread — they must work precisely when the job queue is
+ * saturated.  Job ops (enumerate / matrix / fuzz) go through
+ * admission: a submission over the class's effective depth bound gets
+ * an immediate structured `shed` response; an admitted job carries a
+ * RunBudget whose deadline is admission + the class latency target
+ * and whose cancellation token is the connection's, so client
+ * disconnects cancel in-flight work and a job that ran long truncates
+ * with a structured reason instead of wedging a worker.
+ *
+ * Workers drop at dequeue — cancelled, injected-drop, then stale (the
+ * deadline passed while queued) — before paying for execution, and
+ * contain job faults to a `fault` response: one bad job never takes
+ * the daemon down (the enumerateBatch containment discipline, lifted
+ * to the service plane).
+ *
+ * Degradation: the load monitor watches per-class queue waits; under
+ * pressure it shrinks effective admission depths (shedding earlier),
+ * and under sustained overload it trips read-only mode, where warm
+ * cache hits are still served (cache_adapter::tryCachedLookup) but
+ * cold enumerations are refused with a `degraded` response.  The
+ * `mode` op can pin read-only on or off for operations.
+ *
+ * Determinism contract: an `ok` response for a job op carries no
+ * timestamps and sorted outcome keys, so identical job payloads
+ * produce byte-identical responses across runs, restarts, worker
+ * counts and cache states.
+ */
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/result_cache.hpp"
+#include "service/job_queue.hpp"
+#include "service/load_monitor.hpp"
+#include "service/wire.hpp"
+#include "util/stats.hpp"
+
+namespace satom::service
+{
+
+/** Everything a Service is configured with. */
+struct ServiceConfig
+{
+    /** Worker threads draining the job queue. */
+    int workers = 2;
+
+    /** Result-cache directory; empty = no cache (read-only mode then
+     *  refuses every job op). */
+    std::string cacheDir;
+
+    /** Per-class admission depth and latency target. */
+    std::array<ClassConfig, numJobClasses> classes =
+        defaultClassConfigs();
+
+    /** Overload-detection knobs. */
+    LoadMonitor::Config monitor;
+};
+
+class Service
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /**
+     * Response delivery: one line per call, no trailing newline.
+     * Returns false when the client is gone (the service keeps going;
+     * the connection token is the cancellation signal, not the sink).
+     * Sinks are called from admission threads *and* worker threads —
+     * they must be internally synchronized (the socket layer holds a
+     * per-connection write mutex).
+     */
+    using Sink = std::function<bool(const std::string &)>;
+
+    explicit Service(const ServiceConfig &cfg);
+    ~Service();
+
+    Service(const Service &) = delete;
+    Service &operator=(const Service &) = delete;
+
+    /** Spin up workers and the monitor tick thread. */
+    void start();
+
+    /**
+     * Stop admitting, drain already-admitted jobs (each is run or
+     * structurally abandoned), join everything, persist the cache.
+     */
+    void stop();
+
+    /**
+     * Handle one request line from a connection.  Control-plane and
+     * rejection responses are delivered inline; admitted jobs answer
+     * from a worker thread through the same @p sink.
+     */
+    void handleLine(const std::string &line, const CancelToken &conn,
+                    Sink sink);
+
+    /** Effective read-only state (operator override or monitor). */
+    bool readOnly() const;
+
+    LoadMonitor &monitor() { return monitor_; }
+    PriorityJobQueue &queue() { return queue_; }
+
+    /** One service counter (tests and the stress bench). */
+    std::uint64_t counter(stats::Ctr c) const;
+
+    /** Per-class latency views (tests and the stress bench). */
+    const stats::LatencyHistogram &queueWait(JobClass c) const
+    {
+        return queueWait_[static_cast<std::size_t>(c)];
+    }
+    const stats::LatencyHistogram &serviceTime(JobClass c) const
+    {
+        return serviceTime_[static_cast<std::size_t>(c)];
+    }
+
+  private:
+    void admit(const Request &req, const CancelToken &conn,
+               const Sink &sink);
+    void runJob(const Request &req, const RunBudget &budget,
+                const Sink &sink);
+    bool executeEnumerate(const Request &req, const RunBudget &budget,
+                          const Sink &sink);
+    bool executeFuzz(const Request &req, const RunBudget &budget,
+                     const Sink &sink);
+    std::string statsResponse(const std::string &id) const;
+    std::string modeResponse(const std::string &id) const;
+
+    void workerLoop();
+    void tickLoop();
+
+    /** Push the monitor's shed factors into the queue; fold new
+     *  read-only trips into the counter registry. */
+    void applyPressure();
+
+    void bump(stats::Ctr c, std::uint64_t n = 1);
+    void raise(stats::Ctr c, std::uint64_t n);
+
+    ServiceConfig cfg_;
+    PriorityJobQueue queue_;
+    LoadMonitor monitor_;
+
+    cache::ResultCache cache_;
+    bool cacheOpen_ = false;
+
+    mutable std::mutex statsM_;
+    stats::StatsRegistry counters_;
+    long seenTrips_ = 0;
+
+    std::array<stats::LatencyHistogram, numJobClasses> queueWait_;
+    std::array<stats::LatencyHistogram, numJobClasses> serviceTime_;
+
+    /** mode op: 1 pin read-only, 0 pin writable, -1 monitor decides. */
+    std::atomic<int> readOnlyOverride_{-1};
+
+    std::vector<std::thread> workers_;
+    std::thread ticker_;
+    std::mutex tickM_;
+    std::condition_variable tickCv_;
+    bool stopping_ = false;
+    bool started_ = false;
+};
+
+} // namespace satom::service

@@ -1,0 +1,549 @@
+#include "service/wire.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace satom::service
+{
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a string, depth-bounded. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s_(text) {}
+
+    bool
+    parse(JsonValue &out, std::string &err)
+    {
+        if (!parseValue(out, 0)) {
+            err = err_.empty() ? "malformed JSON" : err_;
+            return false;
+        }
+        skipWs();
+        if (pos_ != s_.size()) {
+            err = "trailing characters after JSON value";
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    static constexpr int maxDepth = 64;
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    fail(const char *what)
+    {
+        if (err_.empty())
+            err_ = std::string(what) + " at offset " +
+                   std::to_string(pos_);
+        return false;
+    }
+
+    bool
+    literal(const char *lit)
+    {
+        std::size_t n = 0;
+        while (lit[n] != '\0')
+            ++n;
+        if (s_.compare(pos_, n, lit) != 0)
+            return fail("bad literal");
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > maxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos_ >= s_.size())
+            return fail("unexpected end of input");
+        switch (s_[pos_]) {
+          case '{': return parseObject(out, depth);
+          case '[': return parseArray(out, depth);
+          case '"':
+            out.type = JsonValue::Type::String;
+            return parseString(out.str);
+          case 't':
+            out.type = JsonValue::Type::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.type = JsonValue::Type::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.type = JsonValue::Type::Null;
+            return literal("null");
+          default: return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out, int depth)
+    {
+        out.type = JsonValue::Type::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            JsonValue v;
+            if (!parseValue(v, depth + 1))
+                return false;
+            out.obj.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (pos_ < s_.size() && s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out, int depth)
+    {
+        out.type = JsonValue::Type::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue v;
+            if (!parseValue(v, depth + 1))
+                return false;
+            out.arr.push_back(std::move(v));
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (pos_ < s_.size() && s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // '"'
+        out.clear();
+        while (pos_ < s_.size()) {
+            const char c = s_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                if (pos_ + 1 >= s_.size())
+                    return fail("dangling escape");
+                const char e = s_[pos_ + 1];
+                pos_ += 2;
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > s_.size())
+                        return fail("short \\u escape");
+                    unsigned cp = 0;
+                    for (int k = 0; k < 4; ++k) {
+                        const char h = s_[pos_ + k];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    pos_ += 4;
+                    // UTF-8 encode the BMP code unit (surrogate
+                    // halves come through as-is; job payloads are
+                    // ASCII in practice).
+                    if (cp < 0x80) {
+                        out += static_cast<char>(cp);
+                    } else if (cp < 0x800) {
+                        out += static_cast<char>(0xC0 | (cp >> 6));
+                        out +=
+                            static_cast<char>(0x80 | (cp & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (cp >> 12));
+                        out += static_cast<char>(0x80 |
+                                                 ((cp >> 6) & 0x3F));
+                        out +=
+                            static_cast<char>(0x80 | (cp & 0x3F));
+                    }
+                    break;
+                  }
+                  default: return fail("unknown escape");
+                }
+                continue;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            out += c;
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && s_[pos_] == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' ||
+                s_[pos_] == 'E' || s_[pos_] == '+' ||
+                s_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected value");
+        const std::string tok = s_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            return fail("bad number");
+        out.type = JsonValue::Type::Number;
+        out.number = v;
+        return true;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+    std::string err_;
+};
+
+/** Integer view of a JSON number member; @p def when absent. */
+long
+longField(const JsonValue &obj, const std::string &key, long def)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v || v->type != JsonValue::Type::Number)
+        return def;
+    return static_cast<long>(v->number);
+}
+
+bool
+parseSeedRange(const std::string &spec, std::uint32_t &from,
+               std::uint32_t &to)
+{
+    const std::size_t dots = spec.find("..");
+    if (dots == std::string::npos)
+        return false;
+    try {
+        std::size_t done = 0;
+        const long long a = std::stoll(spec.substr(0, dots), &done);
+        if (done != dots)
+            return false;
+        const std::string rest = spec.substr(dots + 2);
+        const long long b = std::stoll(rest, &done);
+        if (done != rest.size())
+            return false;
+        if (a < 0 || b < a || b > 0xFFFFFFFFLL)
+            return false;
+        from = static_cast<std::uint32_t>(a);
+        to = static_cast<std::uint32_t>(b);
+        return true;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string &err)
+{
+    JsonParser p(text);
+    return p.parse(out, err);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+const char *
+toString(Op op)
+{
+    switch (op) {
+      case Op::Ping: return "ping";
+      case Op::Stats: return "stats";
+      case Op::Mode: return "mode";
+      case Op::Enumerate: return "enumerate";
+      case Op::Matrix: return "matrix";
+      case Op::Fuzz: return "fuzz";
+    }
+    return "?";
+}
+
+bool
+modelFromString(const std::string &name, ModelId &out)
+{
+    for (ModelId id : allModels()) {
+        if (name == satom::toString(id)) {
+            out = id;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseRequest(const std::string &line, Request &out, std::string &err)
+{
+    JsonValue root;
+    if (!parseJson(line, root, err))
+        return false;
+    if (root.type != JsonValue::Type::Object) {
+        err = "request must be a JSON object";
+        return false;
+    }
+
+    const JsonValue *id = root.find("id");
+    if (!id || id->type != JsonValue::Type::String ||
+        id->str.empty()) {
+        err = "missing request \"id\" (nonempty string)";
+        return false;
+    }
+    out.id = id->str;
+
+    const JsonValue *op = root.find("op");
+    if (!op || op->type != JsonValue::Type::String) {
+        err = "missing request \"op\"";
+        return false;
+    }
+    bool known = false;
+    for (Op o : {Op::Ping, Op::Stats, Op::Mode, Op::Enumerate,
+                 Op::Matrix, Op::Fuzz}) {
+        if (op->str == toString(o)) {
+            out.op = o;
+            known = true;
+            break;
+        }
+    }
+    if (!known) {
+        err = "unknown op \"" + op->str + "\"";
+        return false;
+    }
+
+    out.cls = out.op == Op::Fuzz ? JobClass::Bulk : JobClass::Batch;
+    if (const JsonValue *cls = root.find("class")) {
+        if (cls->type != JsonValue::Type::String ||
+            !jobClassFromString(cls->str, out.cls)) {
+            err = "unknown class (interactive|batch|bulk)";
+            return false;
+        }
+    }
+
+    switch (out.op) {
+      case Op::Ping:
+      case Op::Stats: return true;
+
+      case Op::Mode: {
+        const JsonValue *ro = root.find("read_only");
+        if (ro && ro->type == JsonValue::Type::Bool) {
+            out.readOnly = ro->boolean ? 1 : 0;
+        } else if (ro && ro->type == JsonValue::Type::String &&
+                   ro->str == "auto") {
+            out.readOnly = -1;
+        } else {
+            err = "\"mode\" needs read_only: true|false|\"auto\"";
+            return false;
+        }
+        return true;
+      }
+
+      case Op::Enumerate:
+      case Op::Matrix: {
+        const JsonValue *lit = root.find("litmus");
+        if (!lit || lit->type != JsonValue::Type::String ||
+            lit->str.empty()) {
+            err = "missing \"litmus\" text";
+            return false;
+        }
+        out.litmusText = lit->str;
+        out.maxStates = longField(root, "max_states", 0);
+        if (out.maxStates < 0) {
+            err = "\"max_states\" must be >= 0";
+            return false;
+        }
+        if (out.op == Op::Enumerate) {
+            const JsonValue *m = root.find("model");
+            if (!m || m->type != JsonValue::Type::String) {
+                err = "missing \"model\"";
+                return false;
+            }
+            ModelId mid;
+            if (!modelFromString(m->str, mid)) {
+                err = "unknown model \"" + m->str + "\"";
+                return false;
+            }
+            out.models = {mid};
+        } else {
+            out.models.clear();
+            if (const JsonValue *ms = root.find("models")) {
+                if (ms->type != JsonValue::Type::Array) {
+                    err = "\"models\" must be an array";
+                    return false;
+                }
+                for (const JsonValue &m : ms->arr) {
+                    ModelId mid;
+                    if (m.type != JsonValue::Type::String ||
+                        !modelFromString(m.str, mid)) {
+                        err = "unknown model in \"models\"";
+                        return false;
+                    }
+                    out.models.push_back(mid);
+                }
+            }
+            if (out.models.empty())
+                out.models = allModels();
+        }
+        return true;
+      }
+
+      case Op::Fuzz: {
+        const JsonValue *seeds = root.find("seeds");
+        if (!seeds || seeds->type != JsonValue::Type::String ||
+            !parseSeedRange(seeds->str, out.seedFrom, out.seedTo)) {
+            err = "\"fuzz\" needs seeds \"A..B\" with 0 <= A <= B";
+            return false;
+        }
+        return true;
+      }
+    }
+    err = "unreachable";
+    return false;
+}
+
+std::string
+errorResponse(const std::string &id, const std::string &reason)
+{
+    return "{\"id\": \"" + jsonEscape(id) +
+           "\", \"status\": \"error\", \"reason\": \"" +
+           jsonEscape(reason) + "\"}";
+}
+
+std::string
+statusResponse(const std::string &id, const char *status)
+{
+    return "{\"id\": \"" + jsonEscape(id) + "\", \"status\": \"" +
+           status + "\"}";
+}
+
+std::string
+shedResponse(const std::string &id, JobClass cls, std::size_t depth,
+             std::size_t limit)
+{
+    return "{\"id\": \"" + jsonEscape(id) +
+           "\", \"status\": \"shed\", \"class\": \"" +
+           toString(cls) +
+           "\", \"depth\": " + std::to_string(depth) +
+           ", \"limit\": " + std::to_string(limit) + "}";
+}
+
+std::string
+staleResponse(const std::string &id, JobClass cls)
+{
+    return "{\"id\": \"" + jsonEscape(id) +
+           "\", \"status\": \"stale\", \"class\": \"" +
+           toString(cls) + "\"}";
+}
+
+std::string
+degradedResponse(const std::string &id, const std::string &reason)
+{
+    return "{\"id\": \"" + jsonEscape(id) +
+           "\", \"status\": \"degraded\", \"reason\": \"" +
+           jsonEscape(reason) + "\"}";
+}
+
+std::string
+faultResponse(const std::string &id, const std::string &reason)
+{
+    return "{\"id\": \"" + jsonEscape(id) +
+           "\", \"status\": \"fault\", \"reason\": \"" +
+           jsonEscape(reason) + "\"}";
+}
+
+} // namespace satom::service

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * satomd's wire format: newline-delimited JSON over a local socket.
+ *
+ * One request object per line in, one response object per line out.
+ * Every request carries a client-chosen "id" echoed on its response
+ * (responses may arrive out of submission order: a shed decision is
+ * immediate while an admitted job answers when it runs).  Ops:
+ *
+ *   {"id":"1","op":"ping"}
+ *   {"id":"2","op":"stats"}
+ *   {"id":"3","op":"mode","read_only":true|false|"auto"}
+ *   {"id":"4","op":"enumerate","class":"interactive",
+ *    "litmus":"...","model":"WMM","max_states":200000}
+ *   {"id":"5","op":"matrix","litmus":"...","models":["SC","TSO"]}
+ *   {"id":"6","op":"fuzz","class":"bulk","seeds":"1..50"}
+ *
+ * Response statuses: "ok", "shed" (admission bound hit), "stale"
+ * (deadline passed before a worker reached it), "cancelled" (client
+ * gone), "dropped" (injected scheduler fault), "degraded" (read-only
+ * mode refused a cold enumeration), "fault" (contained worker
+ * fault), "error" (malformed request).  `ok` responses for
+ * enumerate/matrix carry no timing fields and sorted outcome sets,
+ * so identical job payloads produce byte-identical responses across
+ * runs, restarts and cache states — the determinism contract the
+ * crash-recovery CI asserts with cmp.
+ *
+ * The JSON parser here is deliberately minimal (objects, arrays,
+ * strings with standard escapes, numbers, true/false/null, bounded
+ * nesting): the repo takes no dependencies, and the service plane
+ * needs exactly enough JSON to read a job description.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/models.hpp"
+#include "service/job_queue.hpp"
+
+namespace satom::service
+{
+
+/** A parsed JSON value (ordered object representation). */
+struct JsonValue
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+};
+
+/**
+ * Parse @p text as one JSON document; false (with @p err set) on
+ * malformed input, trailing garbage, or nesting deeper than 64.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string &err);
+
+/** Backslash-escape for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/** What a request asks for. */
+enum class Op
+{
+    Ping,
+    Stats,
+    Mode,
+    Enumerate,
+    Matrix,
+    Fuzz,
+};
+
+const char *toString(Op op);
+
+/** One parsed, validated request. */
+struct Request
+{
+    std::string id;
+    Op op = Op::Ping;
+    JobClass cls = JobClass::Batch;
+    std::string litmusText;      ///< enumerate / matrix
+    std::vector<ModelId> models; ///< enumerate: 1; matrix: >=1
+    long maxStates = 0;          ///< 0 = engine default
+    std::uint32_t seedFrom = 0;  ///< fuzz slice
+    std::uint32_t seedTo = 0;
+    int readOnly = -1; ///< mode: 1 force on, 0 force off, -1 auto
+};
+
+/**
+ * Parse and validate one request line.  False with a human-readable
+ * @p err (the caller wraps it in an error response) on anything
+ * malformed; litmus *text* is carried through unparsed — program
+ * parse errors are job-execution errors, reported per-job.
+ */
+bool parseRequest(const std::string &line, Request &out,
+                  std::string &err);
+
+/** Parse a model name over the bundled set; false if unknown. */
+bool modelFromString(const std::string &name, ModelId &out);
+
+// -- response builders (each returns one line, no trailing \n) --
+
+std::string errorResponse(const std::string &id,
+                          const std::string &reason);
+std::string statusResponse(const std::string &id, const char *status);
+std::string shedResponse(const std::string &id, JobClass cls,
+                         std::size_t depth, std::size_t limit);
+std::string staleResponse(const std::string &id, JobClass cls);
+std::string degradedResponse(const std::string &id,
+                             const std::string &reason);
+std::string faultResponse(const std::string &id,
+                          const std::string &reason);
+
+} // namespace satom::service

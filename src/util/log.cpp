@@ -1,0 +1,38 @@
+#include "util/log.hpp"
+
+#include <mutex>
+
+namespace satom::log
+{
+
+namespace
+{
+
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
+
+void
+line(const std::string &s)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::string buf = s;
+    buf += '\n';
+    std::fwrite(buf.data(), 1, buf.size(), stderr);
+    std::fflush(stderr);
+}
+
+void
+block(std::FILE *f, const std::string &blockText)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fwrite(blockText.data(), 1, blockText.size(), f);
+    std::fflush(f);
+}
+
+} // namespace satom::log

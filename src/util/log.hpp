@@ -1,0 +1,39 @@
+/**
+ * @file
+ * A single process-wide line-buffered diagnostic writer.
+ *
+ * Several layers announce conditions on stderr — the result cache's
+ * cold-start notices, the fuzz driver's discrepancy lines and final
+ * summary, satomd's accept/shed log — and once workers run
+ * concurrently, naked `std::cerr <<` chains can interleave partial
+ * lines from different threads into garbage.  Every diagnostic
+ * therefore goes through one mutex-guarded writer that emits a
+ * complete line (or a pre-assembled multi-line block) with a single
+ * buffered write, so concurrent writers serialize at line
+ * granularity and a reader of the stream only ever sees whole lines.
+ *
+ * This is for human-facing diagnostics only; machine-readable outputs
+ * (reports, journals, wire responses) have their own disciplines
+ * (atomic files, append logs, per-connection write locks).
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace satom::log
+{
+
+/** Write @p s + '\n' to stderr as one uninterleavable write. */
+void line(const std::string &s);
+
+/**
+ * Write @p block to @p f verbatim (no newline appended) as one
+ * uninterleavable write, under the same mutex as line() — so a
+ * multi-line summary block on stdout cannot be split by a concurrent
+ * stderr diagnostic from another thread.
+ */
+void block(std::FILE *f, const std::string &block);
+
+} // namespace satom::log

@@ -149,6 +149,12 @@ armFromSpec(const std::string &spec)
         arm(Site::FlipCache, n);
     else if (name == "stale-cache")
         arm(Site::StaleCache, n);
+    else if (name == "accept-fail")
+        arm(Site::AcceptFail, n);
+    else if (name == "job-drop")
+        arm(Site::JobDrop, n);
+    else if (name == "slow-client")
+        arm(Site::SlowClient, n);
     else
         return false;
     return true;
@@ -215,6 +221,23 @@ siteHitDue(Site wanted)
            g_param.load(std::memory_order_relaxed);
 }
 
+/**
+ * Exact-hit variant for sites the process survives: only the N-th hit
+ * fires, so an injected accept failure or dropped job is a one-shot
+ * event the service must recover from, not a permanent outage.
+ */
+bool
+siteHitExact(Site wanted)
+{
+    if (!armed())
+        return false;
+    if (static_cast<Site>(g_site.load(std::memory_order_acquire)) !=
+        wanted)
+        return false;
+    return g_hits.fetch_add(1, std::memory_order_relaxed) + 1 ==
+           g_param.load(std::memory_order_relaxed);
+}
+
 } // namespace
 
 bool
@@ -257,6 +280,24 @@ bool
 cacheStaleDue()
 {
     return siteHitDue(Site::StaleCache);
+}
+
+bool
+acceptFailDue()
+{
+    return siteHitExact(Site::AcceptFail);
+}
+
+bool
+jobDropDue()
+{
+    return siteHitExact(Site::JobDrop);
+}
+
+bool
+slowClientDue()
+{
+    return siteHitExact(Site::SlowClient);
 }
 
 } // namespace fault

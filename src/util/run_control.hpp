@@ -212,6 +212,18 @@ class BudgetGate
  *   stale-cache:N         the N-th result-cache save stamps an old
  *                         schema fingerprint (reopening must see
  *                         CfgMismatch — the version-bump case)
+ *   accept-fail:N         the N-th connection accept in satomd fails
+ *                         as if the kernel did (EMFILE et al.); the
+ *                         accept loop must log and keep serving
+ *   job-drop:N            the N-th job dequeued by a satomd worker is
+ *                         dropped before execution (a scheduler
+ *                         fault); the client must get a structured
+ *                         `dropped` response, not silence
+ *   slow-client:N         the N-th response write in satomd behaves
+ *                         as if the client stopped reading (write
+ *                         timeout); the server must drop that
+ *                         connection and cancel its jobs, never
+ *                         block a worker
  *
  * The disarmed fast path is a single relaxed atomic load.
  */
@@ -231,6 +243,9 @@ enum class Site
     TornCache,
     FlipCache,
     StaleCache,
+    AcceptFail,
+    JobDrop,
+    SlowClient,
 };
 
 /** Arm programmatically; n is the hit index (or ms for Stall). */
@@ -288,6 +303,18 @@ bool spillIoFailDue();
 bool cacheTornDue();
 bool cacheFlipDue();
 bool cacheStaleDue();
+
+/**
+ * The service injection points: true when the armed accept-fail /
+ * job-drop / slow-client count is reached.  The accept loop then
+ * fails one accept, a queue worker drops one dequeued job (answering
+ * with a structured `dropped` response), or a response write is
+ * treated as a client write timeout (the connection is dropped and
+ * its jobs cancelled).
+ */
+bool acceptFailDue();
+bool jobDropDue();
+bool slowClientDue();
 
 } // namespace fault
 

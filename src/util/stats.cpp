@@ -45,6 +45,17 @@ constexpr CtrInfo kInfo[numCounters] = {
     {"cache-hits", false, false},
     {"cache-misses", false, false},
     {"cache-canon-ms", false, false},
+    {"wave-occupancy", false, false, true},
+    {"checkpoint-cadence", true, false},
+    {"jobs-admitted", false, false},
+    {"jobs-shed", false, false},
+    {"jobs-stale", false, false},
+    {"jobs-dropped", false, false},
+    {"jobs-cancelled", false, false},
+    {"jobs-faulted", false, false},
+    {"jobs-served", false, false},
+    {"queue-depth-peak", true, false},
+    {"read-only-trips", false, false},
 };
 
 } // namespace
@@ -212,6 +223,16 @@ StatsRegistry::deserialize(std::istream &in)
 #endif
     }
     return true;
+}
+
+std::string
+LatencyHistogram::json() const
+{
+    std::string out = "{\"count\": " + std::to_string(count());
+    out += ", \"p50_us\": " + std::to_string(percentileUs(0.50));
+    out += ", \"p99_us\": " + std::to_string(percentileUs(0.99));
+    out += "}";
+    return out;
 }
 
 TraceLog::TraceLog()

@@ -47,6 +47,7 @@
 #endif
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
@@ -112,6 +113,19 @@ enum class Ctr : int
     CacheHits,          ///< enumerations served by the result cache
     CacheMisses,        ///< cache consults that ran the engine
     CacheCanonMs,       ///< canonicalization time, ms ceiling per call
+    WaveOccupancy,      ///< thinnest wave as % of workers (minimum)
+    CheckpointCadence,  ///< autotuned checkpoint period (maximum)
+    // Service-plane traffic (satomd): admission, shedding and job
+    // outcomes are load- and timing-dependent by nature.
+    JobsAdmitted,       ///< jobs accepted into the priority queue
+    JobsShed,           ///< submissions rejected at admission
+    JobsStale,          ///< jobs dropped at dequeue past deadline
+    JobsDropped,        ///< jobs dropped by fault injection
+    JobsCancelled,      ///< jobs cancelled by client disconnect
+    JobsFaulted,        ///< jobs whose worker faulted (contained)
+    JobsServed,         ///< jobs executed to a response
+    QueueDepthPeak,     ///< deepest total queue backlog (maximum)
+    ReadOnlyTrips,      ///< times the load monitor entered read-only
 
     Count_,
 };
@@ -237,6 +251,88 @@ class StatsRegistry
 #if SATOM_STATS_ENABLED
     std::array<std::uint64_t, numCounters> v_{};
 #endif
+};
+
+/**
+ * Lock-free log2-bucketed latency histogram (microsecond samples).
+ *
+ * The service plane records queue-wait and service times from many
+ * worker threads and reads p50/p99 both for operators (`stats`
+ * responses, the stress bench) and for *control* — the load monitor
+ * sheds on these percentiles — so unlike the counter registry this
+ * class is always compiled in, never gated by SATOM_STATS.  Buckets
+ * are powers of two, so a reported percentile is the upper edge of
+ * its bucket: conservative (never under-reports) and within 2x of
+ * the true value, which is exactly the precision an overload
+ * threshold needs.  record() is two relaxed atomic RMWs.
+ */
+class LatencyHistogram
+{
+  public:
+    void
+    record(std::uint64_t us)
+    {
+        std::size_t b = 0;
+        while (b + 1 < kBuckets && us >= (std::uint64_t{1} << (b + 1)))
+            ++b;
+        buckets_[b].fetch_add(1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Upper bucket edge at quantile @p p in [0,1]; 0 when empty.
+     * Reads are racy against concurrent record()s by design — the
+     * consumers are monitoring loops, not invariants.
+     */
+    std::uint64_t
+    percentileUs(double p) const
+    {
+        const std::uint64_t n = count();
+        if (n == 0)
+            return 0;
+        if (p < 0)
+            p = 0;
+        if (p > 1)
+            p = 1;
+        const auto target = static_cast<std::uint64_t>(p * (n - 1)) + 1;
+        std::uint64_t cum = 0;
+        for (std::size_t b = 0; b < kBuckets; ++b) {
+            cum += buckets_[b].load(std::memory_order_relaxed);
+            if (cum >= target)
+                return upperEdgeUs(b);
+        }
+        return upperEdgeUs(kBuckets - 1);
+    }
+
+    /** `{"count": N, "p50_us": ..., "p99_us": ...}` */
+    std::string json() const;
+
+    /** Forget every sample (load-monitor window rollover). */
+    void
+    reset()
+    {
+        for (auto &b : buckets_)
+            b.store(0, std::memory_order_relaxed);
+        count_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    static constexpr std::size_t kBuckets = 40; // ~2^40 us ≈ 12 days
+
+    static std::uint64_t
+    upperEdgeUs(std::size_t b)
+    {
+        return b == 0 ? 1 : (std::uint64_t{1} << (b + 1)) - 1;
+    }
+
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
 };
 
 /**

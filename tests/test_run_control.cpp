@@ -449,5 +449,102 @@ TEST(TruncationDeterminism, DeadlineSameReasonAcrossEngines)
     }
 }
 
+// --------------------------------------------------------------------
+// Deadline propagation across nested scopes — the satomd job shape:
+// one RunBudget minted at admission (deadline = admission + class
+// target) threads through every engine and oracle the job runs, so a
+// job that ran long truncates *everywhere* instead of getting a fresh
+// allotment per scope.
+// --------------------------------------------------------------------
+
+TEST(DeadlinePropagation, ExpiredBudgetTruncatesBeforeWork)
+{
+    // The admission-to-dequeue expiry case: the deadline passed while
+    // the job sat queued, so the engine handed the budget must trip
+    // on its first strided poll, not after a full enumeration.
+    EnumerationOptions opts;
+    opts.numWorkers = 1;
+    opts.budget = RunBudget::deadlineInMs(-1); // already in the past
+    const auto t0 = Clock::now();
+    const auto r =
+        enumerateBehaviors(ring(4, 4), makeModel(ModelId::SC), opts);
+    EXPECT_LT(elapsedMs(t0), 10000);
+    EXPECT_EQ(r.truncation, Truncation::Deadline);
+    expectConsistent(r);
+}
+
+TEST(DeadlinePropagation, OneBudgetSharedAcrossSequentialScopes)
+{
+    // job -> engine -> engine: the first scope eats the whole
+    // allotment; the second, handed the *same* budget value, must
+    // observe the shared deadline instead of starting a fresh clock.
+    // This is exactly a satomd matrix job whose first model ran long.
+    const RunBudget budget = RunBudget::deadlineInMs(60);
+    EnumerationOptions opts;
+    opts.numWorkers = 1;
+    opts.budget = budget;
+    const auto first =
+        enumerateBehaviors(ring(5, 5), makeModel(ModelId::SC), opts);
+    EXPECT_EQ(first.truncation, Truncation::Deadline);
+    expectConsistent(first);
+
+    const auto t0 = Clock::now();
+    const auto second =
+        enumerateBehaviors(ring(4, 4), makeModel(ModelId::SC), opts);
+    EXPECT_LT(elapsedMs(t0), 10000);
+    EXPECT_EQ(second.truncation, Truncation::Deadline);
+    expectConsistent(second);
+    // The spent budget buys (almost) nothing: the second scope does
+    // far less work than an unbudgeted run of the same program.
+    EnumerationOptions free;
+    free.numWorkers = 1;
+    const auto full =
+        enumerateBehaviors(ring(4, 4), makeModel(ModelId::SC), free);
+    ASSERT_TRUE(full.complete);
+    EXPECT_LT(second.stats.statesExplored, full.stats.statesExplored);
+}
+
+TEST(DeadlinePropagation, SpentBudgetReachesOraclesThroughTheJob)
+{
+    // job -> oracle -> engine: the deepest nesting a service job
+    // produces.  A budget exhausted before the oracle starts must
+    // degrade it to Inconclusive-with-Deadline immediately — the same
+    // structured answer OracleDegradesToInconclusive checks for a
+    // mid-run expiry, now at the "expired between admission and
+    // dequeue" boundary.
+    fuzz::OracleOptions opts;
+    opts.budget = RunBudget::deadlineInMs(-1);
+    const auto t0 = Clock::now();
+    const auto d = fuzz::runOracle(fuzz::OracleId::ScVsOperational,
+                                   ring(4, 4), opts);
+    EXPECT_LT(elapsedMs(t0), 10000);
+    EXPECT_EQ(d.verdict, fuzz::Verdict::Inconclusive);
+    EXPECT_EQ(d.truncation, Truncation::Deadline);
+}
+
+TEST(DeadlinePropagation, CancellationOfTheSharedTokenStopsEveryScope)
+{
+    // The same nesting, cancelled instead of timed out: requesting
+    // cancellation on the one shared token (a client disconnect in
+    // satomd) stops both an engine and an oracle handed copies of it.
+    RunBudget budget;
+    budget.cancel = CancelToken::make();
+    budget.cancel.requestCancel();
+
+    EnumerationOptions eopts;
+    eopts.numWorkers = 1;
+    eopts.budget = budget;
+    const auto r =
+        enumerateBehaviors(ring(4, 4), makeModel(ModelId::SC), eopts);
+    EXPECT_EQ(r.truncation, Truncation::Cancelled);
+
+    fuzz::OracleOptions oopts;
+    oopts.budget = budget;
+    const auto d = fuzz::runOracle(fuzz::OracleId::ScVsOperational,
+                                   ring(3, 3), oopts);
+    EXPECT_EQ(d.verdict, fuzz::Verdict::Inconclusive);
+    EXPECT_EQ(d.truncation, Truncation::Cancelled);
+}
+
 } // namespace
 } // namespace satom

@@ -1,0 +1,865 @@
+/**
+ * @file
+ * Tests for the satomd service plane: the wire format, the priority
+ * job queue's admission control, the load monitor's shedding state
+ * machine, and the Service itself — driven in-process through
+ * handleLine (every admission / stale / cancel / drop / fault /
+ * degraded path without a socket) and over a real Unix socket (client
+ * disconnect cancellation, accept-fault recovery, slow-client drop).
+ *
+ * Determinism discipline: admission-path tests submit *before*
+ * start(), so no worker races the assertion; the monitor tests drive
+ * the state machine with synthetic time points; deadline tests give a
+ * multi-second workload a tens-of-ms class target, which cannot
+ * flake in the passing direction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/server.hpp"
+#include "service/service.hpp"
+#include "util/run_control.hpp"
+#include "util/stats.hpp"
+
+namespace satom::service
+{
+namespace
+{
+
+constexpr const char *kSB =
+    "name SB\n"
+    "init x=0 y=0\n"
+    "thread P0\n"
+    "  st x, 1\n"
+    "  ld r1, y\n"
+    "thread P1\n"
+    "  st y, 1\n"
+    "  ld r2, x\n"
+    "exists P0:r1=0 /\\ P1:r2=0\n";
+
+/** Multi-second enumeration workload (test_run_control's ring). */
+std::string
+ringLitmus(int threads, int reads)
+{
+    std::ostringstream os;
+    os << "name ring\ninit";
+    for (int i = 0; i < threads; ++i)
+        os << " x" << i << "=0";
+    os << "\n";
+    for (int i = 0; i < threads; ++i) {
+        os << "thread P" << i << "\n  st x" << i << ", " << (i + 1)
+           << "\n";
+        for (int r = 1; r <= reads; ++r)
+            os << "  ld r" << r << ", x" << ((i + r) % threads)
+               << "\n";
+    }
+    os << "exists P0:r1=0\n";
+    return os.str();
+}
+
+std::string
+enumerateReq(const std::string &id, const std::string &litmus,
+             const std::string &model,
+             const std::string &cls = "batch")
+{
+    return "{\"id\": \"" + id + "\", \"op\": \"enumerate\", "
+           "\"class\": \"" + cls + "\", \"model\": \"" + model +
+           "\", \"litmus\": \"" + jsonEscape(litmus) + "\"}";
+}
+
+/** Thread-safe response collector for in-process handleLine tests. */
+class Collector
+{
+  public:
+    Service::Sink
+    sink()
+    {
+        return [this](const std::string &line) {
+            {
+                std::lock_guard<std::mutex> lock(m_);
+                lines_.push_back(line);
+            }
+            cv_.notify_all();
+            return true;
+        };
+    }
+
+    /** Block until response @p index exists; "" on timeout. */
+    std::string
+    wait(std::size_t index, long timeoutMs = 30000)
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        if (!cv_.wait_for(lock, std::chrono::milliseconds(timeoutMs),
+                          [&] { return lines_.size() > index; }))
+            return "";
+        return lines_[index];
+    }
+
+    std::size_t
+    count()
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        return lines_.size();
+    }
+
+  private:
+    std::mutex m_;
+    std::condition_variable cv_;
+    std::vector<std::string> lines_;
+};
+
+bool
+has(const std::string &line, const std::string &needle)
+{
+    return line.find(needle) != std::string::npos;
+}
+
+// --------------------------------------------------------------------
+// Wire format.
+// --------------------------------------------------------------------
+
+TEST(Wire, ParsesEveryOp)
+{
+    Request r;
+    std::string err;
+
+    ASSERT_TRUE(parseRequest("{\"id\":\"1\",\"op\":\"ping\"}", r, err))
+        << err;
+    EXPECT_EQ(r.op, Op::Ping);
+    EXPECT_EQ(r.id, "1");
+
+    ASSERT_TRUE(parseRequest(
+        enumerateReq("e", kSB, "TSO", "interactive"), r, err))
+        << err;
+    EXPECT_EQ(r.op, Op::Enumerate);
+    EXPECT_EQ(r.cls, JobClass::Interactive);
+    ASSERT_EQ(r.models.size(), 1u);
+    EXPECT_EQ(r.models[0], ModelId::TSO);
+    EXPECT_TRUE(has(r.litmusText, "st x, 1"));
+
+    ASSERT_TRUE(parseRequest("{\"id\":\"m\",\"op\":\"matrix\","
+                             "\"litmus\":\"name T\"}",
+                             r, err))
+        << err;
+    EXPECT_EQ(r.op, Op::Matrix);
+    EXPECT_EQ(r.cls, JobClass::Batch); // default for job ops
+    EXPECT_EQ(r.models.size(), allModels().size());
+
+    ASSERT_TRUE(parseRequest(
+        "{\"id\":\"f\",\"op\":\"fuzz\",\"seeds\":\"3..17\"}", r, err))
+        << err;
+    EXPECT_EQ(r.op, Op::Fuzz);
+    EXPECT_EQ(r.cls, JobClass::Bulk); // fuzz defaults to bulk
+    EXPECT_EQ(r.seedFrom, 3u);
+    EXPECT_EQ(r.seedTo, 17u);
+
+    ASSERT_TRUE(parseRequest(
+        "{\"id\":\"mo\",\"op\":\"mode\",\"read_only\":\"auto\"}", r,
+        err))
+        << err;
+    EXPECT_EQ(r.readOnly, -1);
+}
+
+TEST(Wire, RejectsMalformedRequests)
+{
+    Request r;
+    std::string err;
+    EXPECT_FALSE(parseRequest("not json", r, err));
+    EXPECT_FALSE(parseRequest("{\"op\":\"ping\"}", r, err)); // no id
+    EXPECT_FALSE(
+        parseRequest("{\"id\":\"\",\"op\":\"ping\"}", r, err));
+    EXPECT_FALSE(
+        parseRequest("{\"id\":\"1\",\"op\":\"bogus\"}", r, err));
+    EXPECT_FALSE(parseRequest(
+        "{\"id\":\"1\",\"op\":\"ping\",\"class\":\"vip\"}", r, err));
+    EXPECT_FALSE(parseRequest("{\"id\":\"1\",\"op\":\"enumerate\","
+                              "\"litmus\":\"x\",\"model\":\"ZZZ\"}",
+                              r, err));
+    EXPECT_FALSE(parseRequest(
+        "{\"id\":\"1\",\"op\":\"fuzz\",\"seeds\":\"9..2\"}", r, err));
+    EXPECT_FALSE(parseRequest(
+        "{\"id\":\"1\",\"op\":\"ping\"} trailing", r, err));
+}
+
+TEST(Wire, JsonEscapeRoundTripsThroughParser)
+{
+    const std::string nasty =
+        "line\nbreak\ttab \"quote\" back\\slash \x01ctrl";
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJson("{\"k\": \"" + jsonEscape(nasty) + "\"}", v,
+                          err))
+        << err;
+    const JsonValue *k = v.find("k");
+    ASSERT_NE(k, nullptr);
+    EXPECT_EQ(k->str, nasty);
+}
+
+TEST(Wire, JsonParserBoundsNesting)
+{
+    std::string deep;
+    for (int i = 0; i < 80; ++i)
+        deep += "[";
+    for (int i = 0; i < 80; ++i)
+        deep += "]";
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(parseJson(deep, v, err));
+    EXPECT_TRUE(has(err, "deep"));
+}
+
+// --------------------------------------------------------------------
+// The priority queue: admission, priority order, shedding.
+// --------------------------------------------------------------------
+
+QueuedJob
+job(JobClass cls)
+{
+    QueuedJob j;
+    j.cls = cls;
+    j.run = [] {};
+    j.abandon = [](const char *) {};
+    return j;
+}
+
+TEST(JobQueue, PriorityOrderAndClassFifo)
+{
+    PriorityJobQueue q(defaultClassConfigs());
+    std::size_t d = 0;
+    std::size_t l = 0;
+    std::vector<int> order;
+    auto submit = [&](JobClass c, int tag) {
+        QueuedJob j = job(c);
+        j.run = [&order, tag] { order.push_back(tag); };
+        ASSERT_EQ(q.submit(std::move(j), d, l), Admission::Admitted);
+    };
+    submit(JobClass::Bulk, 30);
+    submit(JobClass::Batch, 20);
+    submit(JobClass::Interactive, 10);
+    submit(JobClass::Interactive, 11);
+    submit(JobClass::Bulk, 31);
+
+    q.close();
+    QueuedJob j;
+    while (q.pop(j))
+        j.run();
+    EXPECT_EQ(order, (std::vector<int>{10, 11, 20, 30, 31}));
+}
+
+TEST(JobQueue, ShedsAtDepthBoundImmediately)
+{
+    auto cfg = defaultClassConfigs();
+    cfg[0] = {2, 1000};
+    PriorityJobQueue q(cfg);
+    std::size_t d = 0;
+    std::size_t l = 0;
+    EXPECT_EQ(q.submit(job(JobClass::Interactive), d, l),
+              Admission::Admitted);
+    EXPECT_EQ(q.submit(job(JobClass::Interactive), d, l),
+              Admission::Admitted);
+    EXPECT_EQ(q.submit(job(JobClass::Interactive), d, l),
+              Admission::Shed);
+    EXPECT_EQ(d, 2u);
+    EXPECT_EQ(l, 2u);
+    // Other classes are untouched by a full interactive queue.
+    EXPECT_EQ(q.submit(job(JobClass::Bulk), d, l),
+              Admission::Admitted);
+}
+
+TEST(JobQueue, ShedFactorShrinksEffectiveDepth)
+{
+    auto cfg = defaultClassConfigs();
+    cfg[1] = {4, 1000};
+    PriorityJobQueue q(cfg);
+    q.setShedFactor(JobClass::Batch, 50);
+    std::size_t d = 0;
+    std::size_t l = 0;
+    EXPECT_EQ(q.submit(job(JobClass::Batch), d, l),
+              Admission::Admitted);
+    EXPECT_EQ(q.submit(job(JobClass::Batch), d, l),
+              Admission::Admitted);
+    EXPECT_EQ(q.submit(job(JobClass::Batch), d, l), Admission::Shed);
+    EXPECT_EQ(l, 2u);
+    q.setShedFactor(JobClass::Batch, 100);
+    EXPECT_EQ(q.submit(job(JobClass::Batch), d, l),
+              Admission::Admitted);
+}
+
+TEST(JobQueue, CloseDrainsThenRefuses)
+{
+    PriorityJobQueue q(defaultClassConfigs());
+    std::size_t d = 0;
+    std::size_t l = 0;
+    ASSERT_EQ(q.submit(job(JobClass::Batch), d, l),
+              Admission::Admitted);
+    q.close();
+    EXPECT_EQ(q.submit(job(JobClass::Batch), d, l),
+              Admission::Closed);
+    QueuedJob j;
+    EXPECT_TRUE(q.pop(j)); // the admitted job still comes out
+    EXPECT_FALSE(q.pop(j));
+}
+
+// --------------------------------------------------------------------
+// The load monitor's shedding state machine, on a synthetic clock.
+// --------------------------------------------------------------------
+
+class MonitorTest : public ::testing::Test
+{
+  protected:
+    LoadMonitor::Config cfg_{/*windowMs=*/100, /*overloadWindows=*/4,
+                             /*recoverWindows=*/4, /*pressurePct=*/50,
+                             /*readOnlyEnabled=*/true};
+    std::array<long, numJobClasses> targets_{100, 100, 100};
+    LoadMonitor::Clock::time_point t_ = LoadMonitor::Clock::now();
+
+    /** One full window containing a single observed wait. */
+    void
+    window(LoadMonitor &m, long waitedUs)
+    {
+        m.onDequeue(JobClass::Interactive, waitedUs, t_);
+        t_ += std::chrono::milliseconds(cfg_.windowMs);
+        m.advance(t_);
+    }
+};
+
+TEST_F(MonitorTest, TripsAndRecoversWithHysteresis)
+{
+    LoadMonitor m(cfg_, targets_);
+    EXPECT_EQ(m.state(), LoadMonitor::State::Normal);
+    EXPECT_EQ(m.shedFactor(JobClass::Interactive), 100);
+
+    // Hot = wait > 50% of the 100ms target = 50000us.
+    window(m, 60000);
+    EXPECT_EQ(m.state(), LoadMonitor::State::Pressure);
+    EXPECT_EQ(m.shedFactor(JobClass::Interactive), 50);
+    EXPECT_EQ(m.shedFactor(JobClass::Bulk), 50); // out of Normal
+
+    // Three more hot windows trip read-only (overloadWindows = 4).
+    window(m, 60000);
+    window(m, 60000);
+    EXPECT_EQ(m.state(), LoadMonitor::State::Pressure);
+    window(m, 60000);
+    EXPECT_EQ(m.state(), LoadMonitor::State::ReadOnly);
+    EXPECT_TRUE(m.readOnly());
+    EXPECT_EQ(m.readOnlyTrips(), 1);
+
+    // Recovery needs recoverWindows consecutive calm windows; a hot
+    // one in between resets the streak (hysteresis).
+    window(m, 1000);
+    window(m, 1000);
+    window(m, 1000);
+    EXPECT_EQ(m.state(), LoadMonitor::State::ReadOnly);
+    window(m, 60000); // relapse
+    window(m, 1000);
+    window(m, 1000);
+    window(m, 1000);
+    EXPECT_EQ(m.state(), LoadMonitor::State::ReadOnly);
+    window(m, 1000);
+    EXPECT_EQ(m.state(), LoadMonitor::State::Normal);
+    EXPECT_EQ(m.readOnlyTrips(), 1);
+}
+
+TEST_F(MonitorTest, PressureClearsAfterOneCalmWindow)
+{
+    LoadMonitor m(cfg_, targets_);
+    window(m, 60000);
+    EXPECT_EQ(m.state(), LoadMonitor::State::Pressure);
+    window(m, 1000);
+    EXPECT_EQ(m.state(), LoadMonitor::State::Normal);
+    EXPECT_EQ(m.readOnlyTrips(), 0);
+}
+
+TEST_F(MonitorTest, ReadOnlyCanBeDisabled)
+{
+    cfg_.readOnlyEnabled = false;
+    LoadMonitor m(cfg_, targets_);
+    for (int i = 0; i < 10; ++i)
+        window(m, 60000);
+    EXPECT_EQ(m.state(), LoadMonitor::State::Pressure);
+    EXPECT_FALSE(m.readOnly());
+    EXPECT_EQ(m.readOnlyTrips(), 0);
+}
+
+TEST(LatencyHistogram, ConservativePercentiles)
+{
+    stats::LatencyHistogram h;
+    EXPECT_EQ(h.percentileUs(0.5), 0u);
+    for (int i = 0; i < 99; ++i)
+        h.record(100); // bucket [64,128) -> upper edge 127
+    h.record(100000);  // bucket upper edge 131071
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.percentileUs(0.5), 127u);
+    EXPECT_EQ(h.percentileUs(0.99), 127u); // rank 99 of 100
+    EXPECT_EQ(h.percentileUs(1.0), 131071u);
+    EXPECT_TRUE(has(h.json(), "\"count\": 100"));
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+}
+
+// --------------------------------------------------------------------
+// The Service, in-process.
+// --------------------------------------------------------------------
+
+class ServiceTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { fault::disarm(); }
+};
+
+TEST_F(ServiceTest, ControlPlaneAnswersInline)
+{
+    // No start(): control-plane ops never touch the job queue.
+    Service svc(ServiceConfig{});
+    Collector c;
+    svc.handleLine("{\"id\":\"p\",\"op\":\"ping\"}", CancelToken{},
+                   c.sink());
+    svc.handleLine("{\"id\":\"s\",\"op\":\"stats\"}", CancelToken{},
+                   c.sink());
+    svc.handleLine("{\"id\":\"x\",\"op\":\"nope\"}", CancelToken{},
+                   c.sink());
+    ASSERT_EQ(c.count(), 3u);
+    EXPECT_TRUE(has(c.wait(0), "\"status\": \"ok\""));
+    EXPECT_TRUE(has(c.wait(0), "\"mode\": \"normal\""));
+    EXPECT_TRUE(has(c.wait(1), "\"op\": \"stats\""));
+    EXPECT_TRUE(has(c.wait(1), "\"target_ms\": 2000"));
+    EXPECT_TRUE(has(c.wait(2), "\"status\": \"error\""));
+}
+
+TEST_F(ServiceTest, EnumerateIsDeterministicallyByteIdentical)
+{
+    ServiceConfig cfg;
+    cfg.workers = 2;
+    Service svc(cfg);
+    svc.start();
+    Collector c;
+    svc.handleLine(enumerateReq("a", kSB, "SC"), CancelToken{},
+                   c.sink());
+    const std::string first = c.wait(0);
+    svc.handleLine(enumerateReq("a", kSB, "SC"), CancelToken{},
+                   c.sink());
+    const std::string second = c.wait(1);
+    svc.stop();
+
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second); // the byte-identity contract
+    EXPECT_TRUE(has(first, "\"status\": \"ok\""));
+    EXPECT_TRUE(has(first, "\"observable\": false")); // SC forbids SB
+    EXPECT_TRUE(has(first, "\"complete\": true"));
+}
+
+TEST_F(ServiceTest, MatrixAndFuzzServe)
+{
+    Service svc(ServiceConfig{});
+    svc.start();
+    Collector c;
+    svc.handleLine("{\"id\":\"m\",\"op\":\"matrix\",\"litmus\":\"" +
+                       jsonEscape(kSB) +
+                       "\",\"models\":[\"SC\",\"TSO\",\"WMM\"]}",
+                   CancelToken{}, c.sink());
+    svc.handleLine("{\"id\":\"f\",\"op\":\"fuzz\",\"seeds\":\"1..3\"}",
+                   CancelToken{}, c.sink());
+    const std::string m = c.wait(0);
+    const std::string f = c.wait(1);
+    svc.stop();
+
+    EXPECT_TRUE(has(m, "\"op\": \"matrix\""));
+    EXPECT_TRUE(has(
+        m, "{\"model\": \"SC\", \"observable\": false")); // SB core
+    EXPECT_TRUE(has(
+        m, "{\"model\": \"TSO\", \"observable\": true"));
+    EXPECT_TRUE(has(f, "\"op\": \"fuzz\""));
+    EXPECT_TRUE(has(f, "\"ran\": 3"));
+    EXPECT_TRUE(has(f, "\"failed\": 0"));
+    EXPECT_EQ(svc.counter(stats::Ctr::JobsServed), 2u);
+}
+
+TEST_F(ServiceTest, OverDepthSubmissionShedsImmediately)
+{
+    ServiceConfig cfg;
+    cfg.classes[0] = {1, 2000}; // interactive: depth bound 1
+    Service svc(cfg);           // never started: nothing dequeues
+    Collector c;
+    const std::string req =
+        enumerateReq("q", kSB, "SC", "interactive");
+    svc.handleLine(req, CancelToken{}, c.sink());
+    svc.handleLine(req, CancelToken{}, c.sink());
+    // The admitted job has no worker yet; the shed answer is already
+    // here — rejection is immediate, never queued to time out.
+    ASSERT_EQ(c.count(), 1u);
+    const std::string shed = c.wait(0);
+    EXPECT_TRUE(has(shed, "\"status\": \"shed\""));
+    EXPECT_TRUE(has(shed, "\"class\": \"interactive\""));
+    EXPECT_TRUE(has(shed, "\"depth\": 1"));
+    EXPECT_TRUE(has(shed, "\"limit\": 1"));
+    EXPECT_EQ(svc.counter(stats::Ctr::JobsShed), 1u);
+    EXPECT_EQ(svc.counter(stats::Ctr::JobsAdmitted), 1u);
+}
+
+TEST_F(ServiceTest, DeadlineExpiringInQueueDropsAsStale)
+{
+    // Satellite: deadline propagation across admission -> dequeue.
+    // The deadline derives from the class target at admission; it
+    // expires while the job sits queued (no worker is running), so
+    // the worker that finally dequeues it must answer `stale`
+    // without paying for execution.
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.classes[0] = {8, 5}; // interactive target: 5ms
+    Service svc(cfg);
+    Collector c;
+    svc.handleLine(enumerateReq("late", kSB, "SC", "interactive"),
+                   CancelToken{}, c.sink());
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    svc.start();
+    const std::string r = c.wait(0);
+    svc.stop();
+    EXPECT_TRUE(has(r, "\"status\": \"stale\"")) << r;
+    EXPECT_TRUE(has(r, "\"class\": \"interactive\""));
+    EXPECT_EQ(svc.counter(stats::Ctr::JobsStale), 1u);
+    EXPECT_EQ(svc.counter(stats::Ctr::JobsServed), 0u);
+}
+
+TEST_F(ServiceTest, DeadlinePropagatesIntoTheEngine)
+{
+    // Satellite: the job's RunBudget reaches the engine — a
+    // multi-second enumeration under a 50ms class target comes back
+    // quickly as a deadline-truncated ok, not a wedged worker.
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.classes[0] = {8, 50};
+    Service svc(cfg);
+    svc.start();
+    Collector c;
+    svc.handleLine(
+        enumerateReq("big", ringLitmus(5, 5), "SC", "interactive"),
+        CancelToken{}, c.sink());
+    const std::string r = c.wait(0);
+    svc.stop();
+    EXPECT_TRUE(has(r, "\"status\": \"ok\"")) << r;
+    EXPECT_TRUE(has(r, "\"truncation\": \"deadline\"")) << r;
+    EXPECT_TRUE(has(r, "\"complete\": false"));
+}
+
+TEST_F(ServiceTest, DeadlinePropagatesIntoFuzzOracles)
+{
+    // Satellite: the same budget threads service -> oracle -> engine.
+    // A 500-seed slice under a 100ms bulk target truncates with the
+    // structured reason instead of running for minutes.
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.classes[2] = {8, 100};
+    Service svc(cfg);
+    svc.start();
+    Collector c;
+    svc.handleLine(
+        "{\"id\":\"fz\",\"op\":\"fuzz\",\"seeds\":\"1..500\"}",
+        CancelToken{}, c.sink());
+    const std::string r = c.wait(0);
+    svc.stop();
+    EXPECT_TRUE(has(r, "\"status\": \"ok\"")) << r;
+    EXPECT_TRUE(has(r, "\"complete\": false")) << r;
+    EXPECT_TRUE(has(r, "\"truncation\": \"deadline\"")) << r;
+}
+
+TEST_F(ServiceTest, CancelledBeforeDequeueIsDropped)
+{
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    Service svc(cfg);
+    Collector c;
+    CancelToken conn = CancelToken::make();
+    svc.handleLine(enumerateReq("gone", kSB, "SC"), conn, c.sink());
+    conn.requestCancel(); // the client vanished while the job queued
+    svc.start();
+    const std::string r = c.wait(0);
+    svc.stop();
+    EXPECT_TRUE(has(r, "\"status\": \"cancelled\"")) << r;
+    EXPECT_EQ(svc.counter(stats::Ctr::JobsCancelled), 1u);
+}
+
+TEST_F(ServiceTest, InjectedJobDropAnswersStructurally)
+{
+    fault::arm(fault::Site::JobDrop, 1);
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    Service svc(cfg);
+    Collector c;
+    svc.handleLine(enumerateReq("d1", kSB, "SC"), CancelToken{},
+                   c.sink());
+    svc.handleLine(enumerateReq("d2", kSB, "SC"), CancelToken{},
+                   c.sink());
+    svc.start();
+    const std::string first = c.wait(0);
+    const std::string second = c.wait(1);
+    svc.stop();
+    // Only the first dequeue hits the one-shot site; the daemon
+    // recovers and serves the next job normally.
+    EXPECT_TRUE(has(first, "\"status\": \"dropped\"")) << first;
+    EXPECT_TRUE(has(second, "\"status\": \"ok\"")) << second;
+    EXPECT_EQ(svc.counter(stats::Ctr::JobsDropped), 1u);
+}
+
+TEST_F(ServiceTest, WorkerFaultIsContainedToOneJob)
+{
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    Service svc(cfg);
+    svc.start();
+    Collector c;
+    fault::arm(fault::Site::WorkerThrow, 1);
+    svc.handleLine(enumerateReq("boom", kSB, "SC"), CancelToken{},
+                   c.sink());
+    const std::string faulted = c.wait(0);
+    fault::disarm();
+    svc.handleLine(enumerateReq("fine", kSB, "SC"), CancelToken{},
+                   c.sink());
+    const std::string ok = c.wait(1);
+    svc.stop();
+    EXPECT_TRUE(has(faulted, "\"status\": \"fault\"")) << faulted;
+    EXPECT_TRUE(has(ok, "\"status\": \"ok\"")) << ok;
+    EXPECT_EQ(svc.counter(stats::Ctr::JobsFaulted), 1u);
+}
+
+TEST_F(ServiceTest, ReadOnlyModeServesWarmAndRefusesCold)
+{
+    ServiceConfig cfg;
+    // Unique per process, and scrubbed up front: a persisted cache
+    // from an earlier run would make this test's "cold" key warm.
+    cfg.cacheDir = ::testing::TempDir() + "satomd_ro_cache_" +
+                   std::to_string(::getpid());
+    std::remove((cfg.cacheDir + "/results.satomc").c_str());
+    Service svc(cfg);
+    svc.start();
+    Collector c;
+
+    // Warm the cache with a writable enumeration.
+    svc.handleLine(enumerateReq("warm", kSB, "WMM"), CancelToken{},
+                   c.sink());
+    const std::string warm = c.wait(0);
+    ASSERT_TRUE(has(warm, "\"status\": \"ok\"")) << warm;
+
+    // Pin read-only: the warm key replays byte-identically, the cold
+    // one is refused with `degraded`, fuzz (always cold) likewise.
+    svc.handleLine(
+        "{\"id\":\"m\",\"op\":\"mode\",\"read_only\":true}",
+        CancelToken{}, c.sink());
+    EXPECT_TRUE(has(c.wait(1), "\"read_only\": true"));
+    EXPECT_TRUE(svc.readOnly());
+
+    svc.handleLine(enumerateReq("warm", kSB, "WMM"), CancelToken{},
+                   c.sink());
+    EXPECT_EQ(c.wait(2), warm);
+
+    svc.handleLine(enumerateReq("cold", ringLitmus(2, 1), "SC"),
+                   CancelToken{}, c.sink());
+    EXPECT_TRUE(has(c.wait(3), "\"status\": \"degraded\""));
+
+    svc.handleLine("{\"id\":\"f\",\"op\":\"fuzz\",\"seeds\":\"1..2\"}",
+                   CancelToken{}, c.sink());
+    EXPECT_TRUE(has(c.wait(4), "\"status\": \"degraded\""));
+
+    // Back to auto: the monitor is calm, so cold work flows again.
+    svc.handleLine(
+        "{\"id\":\"m2\",\"op\":\"mode\",\"read_only\":\"auto\"}",
+        CancelToken{}, c.sink());
+    svc.handleLine(enumerateReq("cold", ringLitmus(2, 1), "SC"),
+                   CancelToken{}, c.sink());
+    EXPECT_TRUE(has(c.wait(6), "\"status\": \"ok\""));
+    svc.stop();
+}
+
+// --------------------------------------------------------------------
+// The socket layer.
+// --------------------------------------------------------------------
+
+class SocketTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "satomd_test_" +
+                std::to_string(::getpid()) + ".sock";
+        ASSERT_LT(path_.size(), sizeof(sockaddr_un{}.sun_path));
+    }
+
+    void TearDown() override
+    {
+        fault::disarm();
+        ::unlink(path_.c_str());
+    }
+
+    int
+    connectTo()
+    {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return -1;
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof addr) != 0) {
+            ::close(fd);
+            return -1;
+        }
+        timeval tv{10, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        return fd;
+    }
+
+    static bool
+    sendLine(int fd, const std::string &line)
+    {
+        const std::string out = line + "\n";
+        return ::send(fd, out.data(), out.size(), MSG_NOSIGNAL) ==
+               static_cast<ssize_t>(out.size());
+    }
+
+    /** Read one '\n'-terminated line; "" on EOF/timeout. */
+    static std::string
+    recvLine(int fd)
+    {
+        std::string buf;
+        char ch;
+        while (true) {
+            const ssize_t n = ::recv(fd, &ch, 1, 0);
+            if (n <= 0)
+                return "";
+            if (ch == '\n')
+                return buf;
+            buf += ch;
+        }
+    }
+
+    std::string path_;
+};
+
+TEST_F(SocketTest, PingOverSocketAndStaleSocketRebind)
+{
+    ServiceConfig cfg;
+    Service svc(cfg);
+    svc.start();
+    {
+        // A stale inode from a previous (killed) daemon must not
+        // block startup.
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+        ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                         sizeof addr),
+                  0);
+        ::close(fd); // leaves the inode behind, like kill -9 does
+    }
+    SocketServer server(svc, path_);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    const int fd = connectTo();
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(sendLine(fd, "{\"id\":\"p\",\"op\":\"ping\"}"));
+    EXPECT_TRUE(has(recvLine(fd), "\"status\": \"ok\""));
+    ::close(fd);
+    server.stop();
+    svc.stop();
+}
+
+TEST_F(SocketTest, DisconnectCancelsInFlightJob)
+{
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    Service svc(cfg);
+    svc.start();
+    SocketServer server(svc, path_);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    const int fd = connectTo();
+    ASSERT_GE(fd, 0);
+    // A multi-second job; drop the connection while it runs.
+    ASSERT_TRUE(sendLine(fd, enumerateReq("w", ringLitmus(5, 5),
+                                          "SC")));
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    ::close(fd);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    while (svc.counter(stats::Ctr::JobsCancelled) == 0 &&
+           std::chrono::steady_clock::now() - t0 <
+               std::chrono::seconds(20))
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(svc.counter(stats::Ctr::JobsCancelled), 1u);
+    server.stop();
+    svc.stop();
+}
+
+TEST_F(SocketTest, InjectedAcceptFailureRecovers)
+{
+    ServiceConfig cfg;
+    Service svc(cfg);
+    svc.start();
+    SocketServer server(svc, path_);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    fault::arm(fault::Site::AcceptFail, 1);
+    const int dropped = connectTo();
+    ASSERT_GE(dropped, 0); // the kernel accepted; the server dropped
+    char ch;
+    EXPECT_LE(::recv(dropped, &ch, 1, 0), 0); // immediate EOF
+    ::close(dropped);
+
+    // The accept loop survived the fault and keeps serving.
+    const int fd = connectTo();
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(sendLine(fd, "{\"id\":\"p\",\"op\":\"ping\"}"));
+    EXPECT_TRUE(has(recvLine(fd), "\"status\": \"ok\""));
+    ::close(fd);
+    server.stop();
+    svc.stop();
+}
+
+TEST_F(SocketTest, InjectedSlowClientIsDroppedNotWedged)
+{
+    ServiceConfig cfg;
+    Service svc(cfg);
+    svc.start();
+    SocketServer server(svc, path_);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    fault::arm(fault::Site::SlowClient, 1);
+    const int slow = connectTo();
+    ASSERT_GE(slow, 0);
+    ASSERT_TRUE(sendLine(slow, "{\"id\":\"p\",\"op\":\"ping\"}"));
+    // The injected write timeout drops the connection: EOF, no line.
+    EXPECT_EQ(recvLine(slow), "");
+    ::close(slow);
+
+    const int fd = connectTo();
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(sendLine(fd, "{\"id\":\"p2\",\"op\":\"ping\"}"));
+    EXPECT_TRUE(has(recvLine(fd), "\"status\": \"ok\""));
+    ::close(fd);
+    server.stop();
+    svc.stop();
+}
+
+} // namespace
+} // namespace satom::service

@@ -80,6 +80,7 @@
 #include "fuzz/shrink.hpp"
 #include "util/atomic_file.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 #include "util/run_control.hpp"
 #include "util/stats.hpp"
 
@@ -513,11 +514,11 @@ main(int argc, char **argv)
     if (!cfg.cachePath.empty()) {
         const auto st = resultCache.open(cfg.cachePath);
         if (!st.ok())
-            std::cerr << "cache " << resultCache.path() << ": "
-                      << snapshot::toString(st.error)
-                      << (st.detail.empty() ? ""
-                                            : " (" + st.detail + ")")
-                      << "; starting cold\n";
+            log::line("cache " + resultCache.path() + ": " +
+                      snapshot::toString(st.error) +
+                      (st.detail.empty() ? ""
+                                         : " (" + st.detail + ")") +
+                      "; starting cold");
         cfg.oracle.resultCache = &resultCache;
     }
 
@@ -671,40 +672,44 @@ main(int argc, char **argv)
     }
 
     if (!cfg.quiet) {
-        std::cout << "satom_fuzz: seeds " << cfg.seedFrom << ".."
-                  << cfg.seedTo << " (" << count << "), workers "
-                  << workers << ", oracles " << oracles.size()
-                  << (cfg.pointer ? ", pointer programs" : "")
-                  << (cfg.injectBug ? ", INTENTIONAL BUG INJECTED"
-                                    : "")
-                  << "\n  passed " << passed << ", failed " << failed
-                  << ", inconclusive " << inconclusive << "; "
-                  << states << " states, " << outcomes
-                  << " outcomes compared; " << wallMs << " ms\n";
+        // The whole summary is assembled off-stream and emitted as
+        // one block through the line-buffered writer: worker threads
+        // (and satomd, when it hosts campaigns) may still be writing
+        // diagnostics, and a summary split mid-line is garbage.
+        std::ostringstream sum;
+        sum << "satom_fuzz: seeds " << cfg.seedFrom << ".."
+            << cfg.seedTo << " (" << count << "), workers " << workers
+            << ", oracles " << oracles.size()
+            << (cfg.pointer ? ", pointer programs" : "")
+            << (cfg.injectBug ? ", INTENTIONAL BUG INJECTED" : "")
+            << "\n  passed " << passed << ", failed " << failed
+            << ", inconclusive " << inconclusive << "; " << states
+            << " states, " << outcomes << " outcomes compared; "
+            << wallMs << " ms\n";
         if (resumed > 0)
-            std::cout << "  resumed " << resumed
-                      << " seeds from journal " << cfg.journalPath
-                      << '\n';
+            sum << "  resumed " << resumed << " seeds from journal "
+                << cfg.journalPath << '\n';
         if (retried > 0)
-            std::cout << "  watchdog retried " << retried
-                      << " seeds at reduced budget\n";
+            sum << "  watchdog retried " << retried
+                << " seeds at reduced budget\n";
         for (const auto &r : records) {
             for (const auto &d : r.results) {
                 if (d.failed())
-                    std::cout << "  DISCREPANCY seed " << r.seed
-                              << " [" << toString(d.oracle)
-                              << "]: " << d.detail << '\n';
+                    sum << "  DISCREPANCY seed " << r.seed << " ["
+                        << toString(d.oracle) << "]: " << d.detail
+                        << '\n';
             }
         }
         if (haveShrunk) {
-            std::cout << "\nshrunk seed " << firstFail->seed << " to "
-                      << shrunk.program.numThreads() << " threads / "
-                      << shrunk.program.size() << " instructions ("
-                      << shrunk.probes << " probes)\n\n--- litmus ---\n"
-                      << fuzz::toLitmusText(shrunk.program)
-                      << "--- builder ---\n"
-                      << fuzz::toBuilderCode(shrunk.program);
+            sum << "\nshrunk seed " << firstFail->seed << " to "
+                << shrunk.program.numThreads() << " threads / "
+                << shrunk.program.size() << " instructions ("
+                << shrunk.probes << " probes)\n\n--- litmus ---\n"
+                << fuzz::toLitmusText(shrunk.program)
+                << "--- builder ---\n"
+                << fuzz::toBuilderCode(shrunk.program);
         }
+        log::block(stdout, sum.str());
     }
 
     if (!cfg.jsonPath.empty()) {
@@ -721,15 +726,15 @@ main(int argc, char **argv)
     }
     if (!cfg.cachePath.empty()) {
         if (!resultCache.save())
-            std::cerr << "warning: cannot write cache "
-                      << resultCache.path() << '\n';
+            log::line("warning: cannot write cache " +
+                      resultCache.path());
         // stderr, unconditionally: visible under --quiet, greppable
         // by the CI warm-pass assertion, and never part of the
         // byte-compared report.
-        std::cerr << "cache: hits=" << resultCache.hits()
-                  << " misses=" << resultCache.misses()
-                  << " entries=" << resultCache.size() << " ("
-                  << resultCache.path() << ")\n";
+        log::line("cache: hits=" + std::to_string(resultCache.hits()) +
+                  " misses=" + std::to_string(resultCache.misses()) +
+                  " entries=" + std::to_string(resultCache.size()) +
+                  " (" + resultCache.path() + ")");
     }
 
     // 1 beats 2: a proven discrepancy outranks an unproven seed.

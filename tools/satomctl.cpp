@@ -1,0 +1,197 @@
+/**
+ * @file
+ * satomctl — a minimal satomd client for scripts and CI.
+ *
+ * Sends one request line per trailing argument (or per stdin line
+ * when no requests are given), then reads exactly that many response
+ * lines and prints them to stdout in arrival order.  Responses arrive
+ * out of submission order by design — shed decisions are immediate
+ * while admitted jobs answer when they run — so callers match on the
+ * echoed "id", not on position.
+ *
+ * --time prints one stderr line per response with the milliseconds
+ * since the last request byte was written; the CI smoke job uses it
+ * to assert that shed responses come back in well under the 50 ms
+ * bound.  stdout stays pure JSON so byte-comparisons work.
+ *
+ * Exit codes: 0 all responses received, 2 transport error or
+ * timeout, 64 usage.
+ */
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/cli.hpp"
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: satomctl --socket PATH [--time] [--timeout-ms N] "
+        "[REQUEST...]\n"
+        "\n"
+        "  REQUEST             one JSON request line; with none,\n"
+        "                      requests are read from stdin\n"
+        "  --time              print per-response latency to stderr\n"
+        "  --timeout-ms N      receive timeout (default 30000)\n");
+    return 64;
+}
+
+bool
+sendAll(int fd, const std::string &data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + sent,
+                                 data.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath;
+    bool timeResponses = false;
+    long timeoutMs = 30000;
+    std::vector<std::string> requests;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--socket") {
+            if (i + 1 >= argc)
+                return usage();
+            socketPath = argv[++i];
+        } else if (arg == "--time") {
+            timeResponses = true;
+        } else if (arg == "--timeout-ms") {
+            if (i + 1 >= argc ||
+                !satom::cli::parseLong(argv[++i], timeoutMs) ||
+                timeoutMs < 1)
+                return usage();
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "satomctl: unknown flag %s\n",
+                         arg.c_str());
+            return usage();
+        } else {
+            requests.push_back(arg);
+        }
+    }
+    if (socketPath.empty()) {
+        std::fprintf(stderr, "satomctl: --socket is required\n");
+        return usage();
+    }
+    if (requests.empty()) {
+        std::string line;
+        while (std::getline(std::cin, line))
+            if (!line.empty())
+                requests.push_back(line);
+    }
+    if (requests.empty()) {
+        std::fprintf(stderr, "satomctl: nothing to send\n");
+        return usage();
+    }
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof addr.sun_path) {
+        std::fprintf(stderr, "satomctl: socket path too long\n");
+        return 2;
+    }
+    std::memcpy(addr.sun_path, socketPath.c_str(),
+                socketPath.size() + 1);
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::perror("satomctl: socket");
+        return 2;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        std::fprintf(stderr, "satomctl: connect %s: %s\n",
+                     socketPath.c_str(), std::strerror(errno));
+        ::close(fd);
+        return 2;
+    }
+    timeval tv{};
+    tv.tv_sec = timeoutMs / 1000;
+    tv.tv_usec = (timeoutMs % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+
+    std::string payload;
+    for (const auto &r : requests)
+        payload += r + "\n";
+    if (!sendAll(fd, payload)) {
+        std::fprintf(stderr, "satomctl: send failed: %s\n",
+                     std::strerror(errno));
+        ::close(fd);
+        return 2;
+    }
+    const auto sentAt = std::chrono::steady_clock::now();
+
+    std::string buf;
+    char chunk[4096];
+    std::size_t got = 0;
+    while (got < requests.size()) {
+        const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+        if (n == 0) {
+            std::fprintf(stderr,
+                         "satomctl: connection closed after %zu of "
+                         "%zu responses\n",
+                         got, requests.size());
+            ::close(fd);
+            return 2;
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            std::fprintf(stderr, "satomctl: recv: %s\n",
+                         std::strerror(errno));
+            ::close(fd);
+            return 2;
+        }
+        buf.append(chunk, static_cast<std::size_t>(n));
+        std::size_t nl;
+        while (got < requests.size() &&
+               (nl = buf.find('\n')) != std::string::npos) {
+            const std::string line = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+            std::printf("%s\n", line.c_str());
+            ++got;
+            if (timeResponses) {
+                const auto us =
+                    std::chrono::duration_cast<
+                        std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - sentAt)
+                        .count();
+                std::fprintf(stderr,
+                             "satomctl: [%zu] %.3f ms\n", got,
+                             static_cast<double>(us) / 1000.0);
+            }
+        }
+    }
+    std::fflush(stdout);
+    ::close(fd);
+    return 0;
+}

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * satomd — the always-on enumeration service.
+ *
+ * Serves litmus enumerations, model matrices and fuzz slices over a
+ * Unix-domain socket (newline-delimited JSON; see
+ * src/service/wire.hpp), behind per-class admission control with
+ * immediate structured shedding, deadline propagation into every
+ * engine the job runs, and overload-graceful degradation to a
+ * read-only cache-serving mode (DESIGN.md §14).
+ *
+ * Exit codes: 0 clean shutdown, 2 runtime error, 64 usage.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "service/server.hpp"
+#include "service/service.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+
+namespace
+{
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true, std::memory_order_relaxed);
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: satomd --socket PATH [options]\n"
+        "\n"
+        "  --socket PATH          Unix socket to serve on (required)\n"
+        "  --workers N            worker threads (default 2)\n"
+        "  --cache DIR            result-cache directory (persisted\n"
+        "                         atomically; read-only mode serves\n"
+        "                         warm hits from it)\n"
+        "  --depth CLASS=N        admission depth bound for CLASS\n"
+        "                         (interactive|batch|bulk)\n"
+        "  --target CLASS=MS      latency target for CLASS in ms (the\n"
+        "                         job deadline and shed threshold)\n"
+        "  --window-ms N          load-monitor window (default 500)\n"
+        "  --overload-windows N   hot windows tripping read-only\n"
+        "                         (default 4)\n"
+        "  --recover-windows N    calm windows leaving read-only\n"
+        "                         (default 4)\n"
+        "  --pressure-pct N       hot = queue wait > N%% of target\n"
+        "                         (default 50)\n"
+        "  --no-read-only         shed under overload but never enter\n"
+        "                         read-only mode\n");
+    return 64;
+}
+
+/** Parse "CLASS=V" into a class index and value. */
+bool
+parseClassValue(const std::string &spec, int &cls, long &value)
+{
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos)
+        return false;
+    satom::service::JobClass c;
+    if (!satom::service::jobClassFromString(spec.substr(0, eq), c))
+        return false;
+    long v = 0;
+    if (!satom::cli::parseLong(spec.substr(eq + 1), v) || v < 1)
+        return false;
+    cls = static_cast<int>(c);
+    value = v;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace satom;
+
+    service::ServiceConfig cfg;
+    std::string socketPath;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "satomd: %s needs a value\n",
+                             flag);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            const char *v = next("--socket");
+            if (!v)
+                return usage();
+            socketPath = v;
+        } else if (arg == "--workers") {
+            const char *v = next("--workers");
+            if (!v || !cli::parseInt(v, cfg.workers) ||
+                cfg.workers < 1)
+                return usage();
+        } else if (arg == "--cache") {
+            const char *v = next("--cache");
+            if (!v)
+                return usage();
+            cfg.cacheDir = v;
+        } else if (arg == "--depth") {
+            const char *v = next("--depth");
+            int c = 0;
+            long n = 0;
+            if (!v || !parseClassValue(v, c, n))
+                return usage();
+            cfg.classes[static_cast<std::size_t>(c)].maxDepth =
+                static_cast<std::size_t>(n);
+        } else if (arg == "--target") {
+            const char *v = next("--target");
+            int c = 0;
+            long n = 0;
+            if (!v || !parseClassValue(v, c, n))
+                return usage();
+            cfg.classes[static_cast<std::size_t>(c)].targetMs = n;
+        } else if (arg == "--window-ms") {
+            const char *v = next("--window-ms");
+            if (!v || !cli::parseLong(v, cfg.monitor.windowMs) ||
+                cfg.monitor.windowMs < 1)
+                return usage();
+        } else if (arg == "--overload-windows") {
+            const char *v = next("--overload-windows");
+            if (!v ||
+                !cli::parseInt(v, cfg.monitor.overloadWindows) ||
+                cfg.monitor.overloadWindows < 1)
+                return usage();
+        } else if (arg == "--recover-windows") {
+            const char *v = next("--recover-windows");
+            if (!v || !cli::parseInt(v, cfg.monitor.recoverWindows) ||
+                cfg.monitor.recoverWindows < 1)
+                return usage();
+        } else if (arg == "--pressure-pct") {
+            const char *v = next("--pressure-pct");
+            if (!v || !cli::parseInt(v, cfg.monitor.pressurePct) ||
+                cfg.monitor.pressurePct < 1 ||
+                cfg.monitor.pressurePct > 100)
+                return usage();
+        } else if (arg == "--no-read-only") {
+            cfg.monitor.readOnlyEnabled = false;
+        } else {
+            std::fprintf(stderr, "satomd: unknown flag %s\n",
+                         arg.c_str());
+            return usage();
+        }
+    }
+    if (socketPath.empty()) {
+        std::fprintf(stderr, "satomd: --socket is required\n");
+        return usage();
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    service::Service svc(cfg);
+    svc.start();
+
+    service::SocketServer server(svc, socketPath);
+    std::string err;
+    if (!server.start(err)) {
+        std::fprintf(stderr, "satomd: %s\n", err.c_str());
+        svc.stop();
+        return 2;
+    }
+    log::line("satomd: serving on " + socketPath);
+
+    while (!g_stop.load(std::memory_order_relaxed))
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    log::line("satomd: shutting down");
+    server.stop();
+    svc.stop();
+    return 0;
+}
