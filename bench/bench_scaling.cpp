@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <filesystem>
 
 #include "bench_util.hpp"
 #include "cache/result_cache.hpp"
@@ -111,6 +112,42 @@ emitJson(const std::string &path)
                      static_cast<long>(r.outcomes.size()), 1,
                      r.registry.json()});
         }
+    }
+    // Capped-vs-uncapped seen set on the t5r7/WMM state-capped ring
+    // (the EXPERIMENTS.md out-of-core dedup recipe): the capped
+    // record bounds the in-RAM hot tier to 512 keys — everything
+    // beyond it pages to disk — and must report the identical states
+    // and outcomes; its stats object carries seen-pages /
+    // seen-evictions (the RAM bound doing work) and bloom-hits /
+    // bloom-misses (the page-probe filter rate).
+    {
+        const Program p = ring(5, 7);
+        const MemoryModel m = makeModel(ModelId::WMM);
+        const auto pageDir =
+            std::filesystem::temp_directory_path() /
+            "satom_bench_seen_pages";
+        std::filesystem::create_directories(pageDir);
+        for (const bool capped : {false, true}) {
+            EnumerationOptions opts;
+            opts.numWorkers = 1;
+            opts.maxStates = 3000;
+            if (capped) {
+                opts.spillDir = pageDir.string();
+                opts.seenLimit = 512;
+            }
+            const auto t0 = std::chrono::steady_clock::now();
+            const auto r = enumerateBehaviors(p, m, opts);
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            out.add({std::string("scaling/t5r7-seen-") +
+                         (capped ? "capped" : "uncapped"),
+                     m.name, ms, r.stats.statesExplored,
+                     static_cast<long>(r.outcomes.size()), 1,
+                     r.registry.fullJson()});
+        }
+        std::filesystem::remove_all(pageDir);
     }
     // Cold-vs-warm canonical result cache on the t3r2/WMM ring (the
     // EXPERIMENTS.md dup-rate recipe): the cold record pays one

@@ -42,6 +42,9 @@
  *    enumeration).  --spill-dir DIR lets memory-capped runs spill cold
  *    frontier segments out of core instead of truncating;
  *    --spill-limit N forces spilling deterministically (tests).
+ *    --seen-limit N additionally caps the in-RAM dedup seen-set,
+ *    paging cold keys to --spill-dir (DESIGN.md §15) with reports
+ *    byte-identical to the uncapped run.
  *  - --cache DIR serves repeat (and isomorphic) enumerations from the
  *    canonical result cache; a damaged cache file is announced and
  *    treated as cold, never an error exit.
@@ -95,6 +98,7 @@ usage()
                  "                     [--resume-from FILE]\n"
                  "                     [--spill-dir DIR]\n"
                  "                     [--spill-limit N]\n"
+                 "                     [--seen-limit N]\n"
                  "                     [--cache DIR]\n"
                  "models: SC TSO-approx TSO PSO WMM WMM+spec\n"
                  "--workers 0 (default) uses all hardware threads;\n"
@@ -113,6 +117,10 @@ usage()
                  "--spill-dir DIR spills cold frontier segments out of\n"
                  "  core under memory pressure (--spill-limit N forces\n"
                  "  a deterministic frontier cap)\n"
+                 "--seen-limit N caps the in-RAM dedup seen-set at N\n"
+                 "  keys, paging the excess to --spill-dir (requires\n"
+                 "  --spill-dir; reports stay byte-identical to the\n"
+                 "  uncapped run)\n"
                  "--cache DIR serves repeat enumerations from the\n"
                  "  canonical result cache (damaged cache = cold);\n"
                  "  exclusive with --checkpoint/--resume-from/\n"
@@ -164,6 +172,7 @@ main(int argc, char **argv)
     std::string resumeFrom;
     std::string spillDir;
     long spillLimit = 0;
+    long seenLimit = 0;
     std::string cachePath;
 
     for (int i = 1; i < argc; ++i) {
@@ -243,6 +252,12 @@ main(int argc, char **argv)
                 std::cerr << "--spill-limit needs a positive integer\n";
                 return exitUsage;
             }
+        } else if (arg == "--seen-limit" && i + 1 < argc) {
+            if (!cli::parseLong(argv[++i], seenLimit) ||
+                seenLimit < 1) {
+                std::cerr << "--seen-limit needs a positive integer\n";
+                return exitUsage;
+            }
         } else if (arg == "--cache" && i + 1 < argc) {
             cachePath = argv[++i];
         } else if (!arg.empty() && arg[0] == '-') {
@@ -277,6 +292,14 @@ main(int argc, char **argv)
         runModels.size() != 1) {
         std::cerr << "--checkpoint/--resume-from/--spill-dir require "
                      "exactly one --model/--model-file\n";
+        return exitUsage;
+    }
+
+    // The seen-set cap pages to the spill directory; without one
+    // there is nowhere to evict to, and silently ignoring the cap
+    // would belie the "bounded RSS" the flag promises.
+    if (seenLimit > 0 && spillDir.empty()) {
+        std::cerr << "--seen-limit requires --spill-dir\n";
         return exitUsage;
     }
 
@@ -320,6 +343,16 @@ main(int argc, char **argv)
     opts.checkpointEvery = checkpointEvery;
     opts.spillDir = spillDir;
     opts.spillFrontierLimit = static_cast<std::size_t>(spillLimit);
+    opts.seenLimit = static_cast<std::size_t>(seenLimit);
+    if (seenLimit > 0) {
+        // Mirror of the onCheckpoint kill hook below: SIGKILL right
+        // after a cold-tier eviction completed, armed only when
+        // SATOM_FAULT=kill-after-evict[:n] is in the environment.
+        opts.onEvict = [] {
+            if (fault::evictKillDue())
+                std::_Exit(137);
+        };
+    }
 
     // Canonical result cache: a damaged file is announced on stderr
     // and the run proceeds cold — caching never changes a verdict,

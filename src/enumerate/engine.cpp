@@ -14,6 +14,7 @@
 #include "enumerate/frontier_store.hpp"
 #include "txn/atomic.hpp"
 #include "util/kernels.hpp"
+#include "util/paged_index.hpp"
 
 namespace satom
 {
@@ -841,7 +842,8 @@ Enumerator::writeCheckpoint(
     int engineMode, Truncation reason,
     const std::vector<Behavior> &frontier,
     std::vector<std::uint64_t> seenKeys,
-    const std::vector<std::string> &spillSegments)
+    const std::vector<std::string> &spillSegments,
+    const std::vector<std::string> &seenPages)
 {
     if (options_.checkpointPath.empty())
         return true;
@@ -862,6 +864,7 @@ Enumerator::writeCheckpoint(
     if (options_.collectExecutions)
         snap.executions = result_.executions;
     snap.spillSegments = spillSegments;
+    snap.seenPages = seenPages;
 
     const auto writeStart = std::chrono::steady_clock::now();
     const snapshot::Status st = writeEngineSnapshot(
@@ -921,9 +924,21 @@ Enumerator::runSerial()
                             "engine");
     EnumStats &stats = result_.stats;
     std::vector<Behavior> stack;
-    FlatU64Set seen;
+    PagedIndex seen(options_.spillDir, fingerprint_);
     ExecutionGraph scratch;
     SpillQueue spill(options_.spillDir, fingerprint_);
+
+    // Seen-set cap (§15): explicit --seen-limit, else derived from
+    // the RSS ceiling (a quarter of it, in keys).  Without a spill
+    // directory there is nowhere to page to, so the cap is off and
+    // the index degenerates to a pure in-RAM set.
+    std::size_t seenCap = 0;
+    if (spill.enabled()) {
+        seenCap = options_.seenLimit;
+        if (seenCap == 0 && options_.budget.maxRssBytes != 0)
+            seenCap = options_.budget.maxRssBytes / 4 /
+                      sizeof(std::uint64_t);
+    }
 
     // With a spill directory configured, the memory ceiling spills
     // cold stack segments instead of truncating: strip the RSS limit
@@ -945,6 +960,19 @@ Enumerator::runSerial()
         // closure's frontier counters match an uninterrupted run.
         for (Behavior &b : stack)
             b.graph.markClosed(options_.applyRuleC);
+        if (!resume_->seenPages.empty()) {
+            const snapshot::Status st =
+                seen.adoptPages(resume_->seenPages);
+            if (!st.ok()) {
+                // Adopting a damaged cold tier would silently break
+                // the dedup answers; refuse without overwriting the
+                // resume point.
+                result_.truncation = Truncation::WorkerFault;
+                result_.faultNote =
+                    "seen page adoption failed: " + st.detail;
+                return;
+            }
+        }
         seen.reserve(resume_->seenKeys.size());
         for (std::uint64_t k : resume_->seenKeys)
             seen.insert(k);
@@ -961,10 +989,11 @@ Enumerator::runSerial()
 
     auto ckpt = [&](Truncation reason) {
         std::vector<std::uint64_t> keys;
-        keys.reserve(seen.size());
-        seen.forEach([&](std::uint64_t k) { keys.push_back(k); });
+        keys.reserve(seen.hotSize());
+        seen.forEachHot([&](std::uint64_t k) { keys.push_back(k); });
         return writeCheckpoint(/*engineMode=*/0, reason, stack,
-                               std::move(keys), spill.segments());
+                               std::move(keys), spill.segments(),
+                               seen.pages());
     };
     long sinceCkpt = 0;
     unsigned rssStride = 0;
@@ -1037,6 +1066,27 @@ Enumerator::runSerial()
                 }
             }
         }
+        // Seen-set eviction: page cold hot-tier shards out once the
+        // cap overflows (down to half the cap, so evictions amortize)
+        // and surface page I/O failures as a contained fault — the
+        // dedup answers feed deterministic counters, so a wrong or
+        // missing answer must stop the run, never skew it.
+        if (seenCap != 0 && seen.hotSize() > seenCap) {
+            if (!seen.evict(seenCap - seenCap / 2)) {
+                result_.truncation = Truncation::WorkerFault;
+                result_.faultNote =
+                    "seen-set page write failed (I/O error or "
+                    "injected index-io-fail)";
+                break;
+            }
+            if (options_.onEvict)
+                options_.onEvict();
+        }
+        if (seen.ioFailed()) {
+            result_.truncation = Truncation::WorkerFault;
+            result_.faultNote = seen.ioNote();
+            break;
+        }
         Behavior b = std::move(stack.back());
         stack.pop_back();
         ++stats.statesExplored;
@@ -1080,10 +1130,18 @@ Enumerator::runSerial()
                 ++stats.duplicates;
         }
     }
+    seen.drainCounters(result_.registry);
     // A truncated run leaves its resume point behind (WorkerFault
-    // included: the snapshot covers everything joined so far).
-    if (result_.truncation != Truncation::None)
-        ckpt(result_.truncation);
+    // included: the snapshot covers everything joined so far).  The
+    // checkpoint references the outstanding spill segments and seen
+    // pages, so once it is durable they belong to the resume — only
+    // then may the queues stop cleaning them up.
+    if (result_.truncation != Truncation::None &&
+        ckpt(result_.truncation) &&
+        !options_.checkpointPath.empty()) {
+        spill.retain();
+        seen.retainPages();
+    }
 }
 
 void

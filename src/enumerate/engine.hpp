@@ -192,6 +192,27 @@ struct EnumerationOptions
     std::function<void()> onCheckpoint;
 
     /**
+     * Seen-set cap (§15): when > 0 and spillDir is set, the dedup
+     * index keeps at most this many keys in RAM and evicts whole hot
+     * shards to sorted on-disk pages in spillDir once it overflows.
+     * The index stays exact — a capped run's outcomes and
+     * deterministic counters are byte-identical to the uncapped
+     * run's.  0 with spillDir set and budget.maxRssBytes != 0 derives
+     * a cap from the RSS ceiling (a quarter of it, in keys);
+     * otherwise the seen-set is unbounded in RAM.  Excluded from the
+     * snapshot fingerprint, so a resume may raise or drop the cap.
+     */
+    std::size_t seenLimit = 0;
+
+    /**
+     * Invoked (on the engine's thread) after each completed cold-tier
+     * eviction round.  The kill-and-resume harness installs the
+     * SATOM_FAULT=kill-after-evict `_Exit` here, mirroring
+     * onCheckpoint.
+     */
+    std::function<void()> onEvict;
+
+    /**
      * The cross-run canonical result cache.  When set and the option
      * set is cacheable (plain exhaustive enumeration — see
      * cache_adapter.hpp), enumerateBehaviors consults it *before*
@@ -412,7 +433,8 @@ class Enumerator
     bool writeCheckpoint(int engineMode, Truncation reason,
                          const std::vector<Behavior> &frontier,
                          std::vector<std::uint64_t> seenKeys,
-                         const std::vector<std::string> &spillSegments);
+                         const std::vector<std::string> &spillSegments,
+                         const std::vector<std::string> &seenPages);
 
     /**
      * Autotune hook (checkpointEvery < 0): re-derive the periodic

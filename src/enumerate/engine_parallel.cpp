@@ -28,7 +28,7 @@
 #include "enumerate/engine.hpp"
 #include "enumerate/engine_parallel.hpp"
 #include "enumerate/frontier_store.hpp"
-#include "util/sharded_set.hpp"
+#include "util/paged_index.hpp"
 
 namespace satom
 {
@@ -212,9 +212,20 @@ void
 Enumerator::runParallel(int workers)
 {
     EnumStats &stats = result_.stats;
-    ShardedU64Set seen;
+    PagedIndex seen(options_.spillDir, fingerprint_);
     std::vector<Behavior> frontier;
     SpillQueue spill(options_.spillDir, fingerprint_);
+
+    // Seen-set cap (§15), same derivation as runSerial.  Eviction
+    // happens only at wave barriers, so workers see an immutable cold
+    // tier for the whole wave.
+    std::size_t seenCap = 0;
+    if (spill.enabled()) {
+        seenCap = options_.seenLimit;
+        if (seenCap == 0 && options_.budget.maxRssBytes != 0)
+            seenCap = options_.budget.maxRssBytes / 4 /
+                      sizeof(std::uint64_t);
+    }
 
     // With a spill directory configured, the memory ceiling spills
     // cold frontier segments instead of truncating: strip the RSS
@@ -236,6 +247,19 @@ Enumerator::runParallel(int workers)
         // run (same fix as runSerial's resume path).
         for (Behavior &b : frontier)
             b.graph.markClosed(options_.applyRuleC);
+        if (!resume_->seenPages.empty()) {
+            const snapshot::Status st =
+                seen.adoptPages(resume_->seenPages);
+            if (!st.ok()) {
+                // A damaged cold tier would silently break the dedup
+                // answers; refuse, keeping the resume point intact.
+                result_.truncation = Truncation::WorkerFault;
+                result_.faultNote =
+                    "seen page adoption failed: " + st.detail;
+                return;
+            }
+        }
+        seen.reserve(resume_->seenKeys.size());
         for (std::uint64_t k : resume_->seenKeys)
             seen.insert(k);
         spill.adoptSegments(resume_->spillSegments);
@@ -289,10 +313,11 @@ Enumerator::runParallel(int workers)
     const auto ckpt = [&](Truncation reason) {
         drainWorkers();
         std::vector<std::uint64_t> keys;
-        keys.reserve(seen.size());
-        seen.forEach([&](std::uint64_t k) { keys.push_back(k); });
+        keys.reserve(seen.hotSize());
+        seen.forEachHot([&](std::uint64_t k) { keys.push_back(k); });
         return writeCheckpoint(/*engineMode=*/1, reason, frontier,
-                               std::move(keys), spill.segments());
+                               std::move(keys), spill.segments(),
+                               seen.pages());
     };
     long sinceCkpt = 0;
 
@@ -520,15 +545,46 @@ Enumerator::runParallel(int workers)
                 }
             }
         }
+        // Seen-set eviction, also at the barrier: the wave has
+        // drained, no worker is probing, so paging cold shards out is
+        // race-free and lands at a deterministic point in the state
+        // sequence.
+        if (seenCap != 0 && seen.hotSize() > seenCap) {
+            if (!seen.evict(seenCap - seenCap / 2)) {
+                result_.truncation = Truncation::WorkerFault;
+                result_.faultNote =
+                    "seen-set page write failed (I/O error or "
+                    "injected index-io-fail)";
+                break;
+            }
+            if (options_.onEvict)
+                options_.onEvict();
+        }
+        // A worker's cold probe may have failed mid-wave (conservative
+        // answer, sticky flag): the dedup answers feed deterministic
+        // counters, so the run must stop as a contained fault.
+        if (seen.ioFailed()) {
+            result_.truncation = Truncation::WorkerFault;
+            result_.faultNote = seen.ioNote();
+            break;
+        }
     }
 
     drainWorkers();
     if (pool)
         result_.registry.add(stats::Ctr::Steals, pool->stealCount());
+    seen.drainCounters(result_.registry);
     // A truncated run leaves its resume point behind (WorkerFault
-    // included: the snapshot covers everything joined so far).
-    if (result_.truncation != Truncation::None)
-        ckpt(result_.truncation);
+    // included: the snapshot covers everything joined so far).  Once
+    // that checkpoint is durable, the spill segments and seen pages
+    // it references belong to the resume — only then may the queues
+    // stop cleaning them up.
+    if (result_.truncation != Truncation::None &&
+        ckpt(result_.truncation) &&
+        !options_.checkpointPath.empty()) {
+        spill.retain();
+        seen.retainPages();
+    }
 }
 
 std::vector<EnumerationResult>

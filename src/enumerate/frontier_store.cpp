@@ -581,6 +581,13 @@ encodeEngineSnapshot(const EngineSnapshot &snap,
             w.str(s);
         rw.record(snaprec::Spill, w.take());
     }
+    {
+        ByteWriter w;
+        w.u32(static_cast<std::uint32_t>(snap.seenPages.size()));
+        for (const std::string &s : snap.seenPages)
+            w.str(s);
+        rw.record(snaprec::SeenPages, w.take());
+    }
     return rw.finish();
 }
 
@@ -671,6 +678,18 @@ decodeEngineSnapshot(std::string_view bytes,
             }
             break;
         }
+        case snaprec::SeenPages: {
+            std::uint32_t n = 0;
+            if (!getCount(r, n))
+                return bad(type);
+            for (std::uint32_t i = 0; i < n; ++i) {
+                const std::string s = r.str();
+                if (r.failed())
+                    return bad(type);
+                out.seenPages.push_back(s);
+            }
+            break;
+        }
         default:
             break; // unknown record type: skip (forward compat)
         }
@@ -722,6 +741,14 @@ std::atomic<std::uint64_t> g_segCounter{0};
 SpillQueue::SpillQueue(std::string dir, std::string fingerprint)
     : dir_(std::move(dir)), fingerprint_(std::move(fingerprint))
 {
+}
+
+SpillQueue::~SpillQueue()
+{
+    if (retained_)
+        return;
+    for (const std::string &path : segments_)
+        std::remove(path.c_str());
 }
 
 void

@@ -61,6 +61,7 @@ inline constexpr std::uint32_t SeenKeys = 6;
 inline constexpr std::uint32_t Frontier = 7;
 inline constexpr std::uint32_t Executions = 8;
 inline constexpr std::uint32_t Spill = 9;
+inline constexpr std::uint32_t SeenPages = 10;
 } // namespace snaprec
 
 /** Complete checkpointed state of one enumeration run. */
@@ -88,8 +89,16 @@ struct EngineSnapshot
     /** Distinct execution keys recorded so far (sorted). */
     std::vector<std::uint64_t> executionKeys;
 
-    /** Dedup digests of every state ever enqueued (sorted). */
+    /** Dedup digests of every state ever enqueued that still live in
+     *  the hot (in-RAM) tier of the seen-set (sorted).  With no
+     *  seen-limit this is every key; under a cap the cold remainder
+     *  lives in the page files below. */
     std::vector<std::uint64_t> seenKeys;
+
+    /** Cold-tier page files of the paged dedup index, in creation
+     *  order; the resumed engine adopts them like spill segments
+     *  (references, not copies — §15). */
+    std::vector<std::string> seenPages;
 
     /** Pending frontier, coldest first (serial: stack bottom-to-top;
      *  the engines pop/consume exactly as they would have live). */
@@ -162,6 +171,19 @@ class SpillQueue
   public:
     SpillQueue(std::string dir, std::string fingerprint);
 
+    /**
+     * Deletes any segment file still on disk unless retain() handed
+     * them to a checkpoint.  A run that ends mid-drain — cancellation,
+     * deadline, a worker fault — used to orphan its cold segments in
+     * the spill directory; segments are now always either reloaded
+     * (deleted then), adopted by the final checkpoint, or removed
+     * here.
+     */
+    ~SpillQueue();
+
+    SpillQueue(const SpillQueue &) = delete;
+    SpillQueue &operator=(const SpillQueue &) = delete;
+
     /** True iff a spill directory was configured. */
     bool enabled() const { return !dir_.empty(); }
 
@@ -194,10 +216,15 @@ class SpillQueue
     snapshot::Status reload(std::vector<Behavior> &out,
                             stats::StatsRegistry &reg);
 
+    /** The outstanding segments are referenced by a durable
+     *  checkpoint: leave them on disk for the resume to adopt. */
+    void retain() { retained_ = true; }
+
   private:
     std::string dir_;
     std::string fingerprint_;
     std::vector<std::string> segments_;
+    bool retained_ = false;
 };
 
 } // namespace satom

@@ -64,6 +64,7 @@ enumOptions(const OracleOptions &o)
     e.numWorkers = 1;
     e.budget = o.budget;
     e.spillDir = o.spillDir;
+    e.seenLimit = o.seenLimit;
     e.resultCache = o.resultCache;
     return e;
 }

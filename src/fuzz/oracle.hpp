@@ -140,6 +140,15 @@ struct OracleOptions
     std::string spillDir;
 
     /**
+     * Seen-set cap for the graph enumerations behind the oracles
+     * (EnumerationOptions::seenLimit): at most this many dedup keys
+     * stay in RAM, the excess paged to `spillDir`.  Requires
+     * spillDir; 0 = unbounded.  Exact, so verdicts and per-seed
+     * records are byte-identical to the uncapped run's.
+     */
+    std::size_t seenLimit = 0;
+
+    /**
      * Canonical result cache shared by the graph enumerations behind
      * the oracles (EnumerationOptions::resultCache; null = no
      * caching).  Hits replay the exact deterministic result of the

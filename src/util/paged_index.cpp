@@ -1,0 +1,385 @@
+#include "util/paged_index.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+#include <unistd.h>
+
+#include "util/atomic_file.hpp"
+#include "util/run_control.hpp"
+
+namespace satom
+{
+
+namespace
+{
+
+/** The single record type inside a page file's snapshot container:
+ *  u32 keyCount | u64 key*  (keys strictly increasing). */
+constexpr std::uint32_t pageKeysRecord = 1;
+
+/** Bloom sizing: ~16 bits per key, 8 probes — a <0.1% false-positive
+ *  rate, i.e. fewer than one wasted page read per thousand cold
+ *  probes (DESIGN.md §15). */
+constexpr std::size_t bloomBitsPerKey = 16;
+constexpr unsigned bloomHashes = 8;
+
+/** Distinct process-wide page ids, so two indexes sharing a spill
+ *  directory (serial vs parallel fixtures) never collide. */
+std::atomic<std::uint64_t> g_pageCounter{0};
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    // splitmix64 finalizer: full-avalanche, independent of the
+    // fibonacci mix used for shard/table placement.
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace
+
+PagedIndex::PagedIndex(std::string dir, std::string fingerprint)
+    : dir_(std::move(dir)), fingerprint_(std::move(fingerprint))
+{
+}
+
+PagedIndex::~PagedIndex()
+{
+    if (retained_)
+        return;
+    for (const Page &p : pages_)
+        std::remove(p.path.c_str());
+}
+
+std::size_t
+PagedIndex::shardIndex(std::uint64_t key)
+{
+    // Same fibonacci multiplier as ShardedU64Set / FlatU64Set: the
+    // top bits pick the shard, the FlatU64Set inside re-mixes for
+    // table placement, so shard striping does not bias probes.
+    return static_cast<std::size_t>(
+        (key * 0x9e3779b97f4a7c15ull) >> (64 - shardBits));
+}
+
+bool
+PagedIndex::insert(std::uint64_t key)
+{
+    Shard &s = shardFor(key);
+    std::lock_guard<std::mutex> lk(s.m);
+    if (s.keys.contains(key))
+        return false;
+    if (!pages_.empty() && coldContains(key))
+        return false;
+    s.keys.insert(key);
+    hotCount_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+PagedIndex::contains(std::uint64_t key) const
+{
+    {
+        const Shard &s = shardFor(key);
+        std::lock_guard<std::mutex> lk(s.m);
+        if (s.keys.contains(key))
+            return true;
+    }
+    return !pages_.empty() && coldContains(key);
+}
+
+void
+PagedIndex::reserve(std::size_t n)
+{
+    const std::size_t perShard = n / numShards + 1;
+    for (Shard &s : shards_) {
+        std::lock_guard<std::mutex> lk(s.m);
+        s.keys.reserve(perShard);
+    }
+}
+
+void
+PagedIndex::buildBloom(Page &p, const std::uint64_t *keys,
+                       std::size_t n)
+{
+    const std::size_t words =
+        (n * bloomBitsPerKey + 63) / 64 + 1; // +1: never zero-sized
+    p.bloom.assign(words, 0);
+    const std::uint64_t bits = words * 64;
+    for (std::size_t i = 0; i < n; ++i) {
+        // Double hashing: two independent mixes generate all k probe
+        // positions (Kirsch–Mitzenmacher), |1 keeps the stride odd.
+        const std::uint64_t h1 = mix64(keys[i]);
+        const std::uint64_t h2 =
+            mix64(keys[i] * 0x9e3779b97f4a7c15ull) | 1;
+        for (unsigned k = 0; k < bloomHashes; ++k) {
+            const std::uint64_t bit = (h1 + k * h2) % bits;
+            p.bloom[bit / 64] |= std::uint64_t{1} << (bit % 64);
+        }
+    }
+}
+
+bool
+PagedIndex::bloomMaybe(const Page &p, std::uint64_t key)
+{
+    const std::uint64_t bits = p.bloom.size() * 64;
+    const std::uint64_t h1 = mix64(key);
+    const std::uint64_t h2 = mix64(key * 0x9e3779b97f4a7c15ull) | 1;
+    for (unsigned k = 0; k < bloomHashes; ++k) {
+        const std::uint64_t bit = (h1 + k * h2) % bits;
+        if (!(p.bloom[bit / 64] & (std::uint64_t{1} << (bit % 64))))
+            return false;
+    }
+    return true;
+}
+
+bool
+PagedIndex::writePage(const std::uint64_t *keys, std::size_t n)
+{
+    char name[64];
+    std::snprintf(name, sizeof(name), "/seen-%ld-%llu.idx",
+                  static_cast<long>(::getpid()),
+                  static_cast<unsigned long long>(
+                      g_pageCounter.fetch_add(1)));
+    const std::string path = dir_ + name;
+
+    snapshot::ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(n));
+    for (std::size_t i = 0; i < n; ++i)
+        w.u64(keys[i]);
+    snapshot::RecordWriter rw(fingerprint_);
+    rw.record(pageKeysRecord, w.take());
+
+    if (fault::indexIoFailDue() ||
+        !writeFileAtomic(path, rw.finish()))
+        return false;
+
+    Page p;
+    p.path = path;
+    p.minKey = keys[0];
+    p.maxKey = keys[n - 1];
+    p.count = static_cast<std::uint32_t>(n);
+    buildBloom(p, keys, n);
+    pages_.push_back(std::move(p));
+    ++pagesWritten_;
+    return true;
+}
+
+bool
+PagedIndex::evict(std::size_t targetHot)
+{
+    if (!pagingEnabled())
+        return true;
+
+    // Collect whole shards (cyclic cursor) until the survivors fit
+    // the target — but do not clear anything yet: the hot tier must
+    // stay intact if a page write fails, or keys would be lost and
+    // the exactness contract broken.
+    std::vector<std::uint64_t> cold;
+    std::vector<std::size_t> victims;
+    std::size_t hot = hotSize();
+    for (std::size_t scanned = 0;
+         scanned < numShards && hot > targetHot; ++scanned) {
+        const std::size_t idx = evictCursor_;
+        evictCursor_ = (evictCursor_ + 1) % numShards;
+        Shard &s = shards_[idx];
+        std::lock_guard<std::mutex> lk(s.m);
+        if (s.keys.size() == 0)
+            continue;
+        s.keys.forEach(
+            [&cold](std::uint64_t k) { cold.push_back(k); });
+        hot -= s.keys.size();
+        victims.push_back(idx);
+    }
+    if (cold.empty())
+        return true;
+    std::sort(cold.begin(), cold.end());
+
+    const std::size_t firstNewPage = pages_.size();
+    for (std::size_t off = 0; off < cold.size();
+         off += pageCapacity) {
+        const std::size_t n =
+            std::min(pageCapacity, cold.size() - off);
+        if (!writePage(cold.data() + off, n)) {
+            // Roll the round back: remove the pages already written
+            // and leave the hot tier exactly as it was.
+            for (std::size_t i = firstNewPage; i < pages_.size();
+                 ++i) {
+                std::remove(pages_[i].path.c_str());
+                --pagesWritten_;
+            }
+            pages_.resize(firstNewPage);
+            return false;
+        }
+    }
+
+    for (std::size_t idx : victims) {
+        Shard &s = shards_[idx];
+        std::lock_guard<std::mutex> lk(s.m);
+        s.keys.clear();
+    }
+    hotCount_.fetch_sub(cold.size(), std::memory_order_relaxed);
+    coldCount_ += cold.size();
+    ++evictions_;
+
+    // The MRU cache may now alias a stale page index.
+    std::lock_guard<std::mutex> lk(coldM_);
+    mruIdx_ = static_cast<std::size_t>(-1);
+    mruKeys_.clear();
+    return true;
+}
+
+bool
+PagedIndex::searchPage(std::size_t pageIdx, std::uint64_t key,
+                       bool &found) const
+{
+    std::lock_guard<std::mutex> lk(coldM_);
+    if (mruIdx_ != pageIdx) {
+        const Page &p = pages_[pageIdx];
+        std::string bytes;
+        if (fault::indexIoFailDue() ||
+            !readFileBytes(p.path, bytes)) {
+            noteIoFailure("seen page unreadable: " + p.path);
+            return false;
+        }
+        snapshot::RecordReader rr;
+        snapshot::Status st = rr.open(bytes, fingerprint_);
+        std::vector<std::uint64_t> keys;
+        if (st.ok()) {
+            std::uint32_t type = 0;
+            std::string_view payload;
+            while (rr.next(type, payload)) {
+                if (type != pageKeysRecord)
+                    continue;
+                snapshot::ByteReader br(payload);
+                const std::uint32_t n = br.u32();
+                keys.reserve(n);
+                for (std::uint32_t i = 0; i < n; ++i)
+                    keys.push_back(br.u64());
+                if (br.failed())
+                    keys.clear();
+            }
+            st = rr.status();
+        }
+        if (!st.ok() || keys.size() != p.count) {
+            noteIoFailure("seen page damaged: " + p.path + " (" +
+                          snapshot::toString(st.error) + ")");
+            return false;
+        }
+        mruKeys_ = std::move(keys);
+        mruIdx_ = pageIdx;
+    }
+    found = std::binary_search(mruKeys_.begin(), mruKeys_.end(),
+                               key);
+    return true;
+}
+
+bool
+PagedIndex::coldContains(std::uint64_t key) const
+{
+    // Newest page first: DFS re-probes cluster in recent evictions.
+    for (std::size_t i = pages_.size(); i-- > 0;) {
+        const Page &p = pages_[i];
+        if (key < p.minKey || key > p.maxKey)
+            continue;
+        if (!bloomMaybe(p, key)) {
+            bloomHits_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        bloomMisses_.fetch_add(1, std::memory_order_relaxed);
+        bool found = false;
+        if (!searchPage(i, key, found))
+            return false; // conservative; sticky flag raised
+        if (found)
+            return true;
+    }
+    return false;
+}
+
+snapshot::Status
+PagedIndex::adoptPages(const std::vector<std::string> &paths)
+{
+    using snapshot::Error;
+    using snapshot::Status;
+    for (const std::string &path : paths) {
+        std::string bytes;
+        if (!readFileBytes(path, bytes))
+            return Status::fail(Error::Io,
+                                "cannot read seen page " + path);
+        snapshot::RecordReader rr;
+        Status st = rr.open(bytes, fingerprint_);
+        if (!st.ok()) {
+            st.detail = "seen page " + path + ": " + st.detail;
+            return st;
+        }
+        std::vector<std::uint64_t> keys;
+        bool sawKeys = false;
+        std::uint32_t type = 0;
+        std::string_view payload;
+        while (rr.next(type, payload)) {
+            if (type != pageKeysRecord)
+                continue;
+            snapshot::ByteReader br(payload);
+            const std::uint32_t n = br.u32();
+            keys.clear();
+            keys.reserve(n);
+            for (std::uint32_t i = 0; i < n; ++i)
+                keys.push_back(br.u64());
+            sawKeys = !br.failed() && !keys.empty();
+        }
+        if (!rr.status().ok()) {
+            st = rr.status();
+            st.detail = "seen page " + path + ": " + st.detail;
+            return st;
+        }
+        if (!sawKeys)
+            return Status::fail(Error::BadRecord,
+                                "seen page " + path +
+                                    ": no key record");
+        for (std::size_t i = 1; i < keys.size(); ++i)
+            if (keys[i] <= keys[i - 1])
+                return Status::fail(Error::BadRecord,
+                                    "seen page " + path +
+                                        ": keys not strictly "
+                                        "increasing");
+        Page p;
+        p.path = path;
+        p.minKey = keys.front();
+        p.maxKey = keys.back();
+        p.count = static_cast<std::uint32_t>(keys.size());
+        buildBloom(p, keys.data(), keys.size());
+        coldCount_ += keys.size();
+        pages_.push_back(std::move(p));
+    }
+    return Status{};
+}
+
+void
+PagedIndex::noteIoFailure(const std::string &note) const
+{
+    // Callers hold coldM_; first failure wins the note.
+    if (!ioFailed_.exchange(true, std::memory_order_relaxed))
+        ioNote_ = note;
+}
+
+void
+PagedIndex::drainCounters(stats::StatsRegistry &reg)
+{
+    reg.add(stats::Ctr::SeenPages, pagesWritten_);
+    reg.add(stats::Ctr::SeenEvictions, evictions_);
+    reg.add(stats::Ctr::BloomHits,
+            bloomHits_.load(std::memory_order_relaxed));
+    reg.add(stats::Ctr::BloomMisses,
+            bloomMisses_.load(std::memory_order_relaxed));
+    pagesWritten_ = 0;
+    evictions_ = 0;
+    bloomHits_.store(0, std::memory_order_relaxed);
+    bloomMisses_.store(0, std::memory_order_relaxed);
+}
+
+} // namespace satom

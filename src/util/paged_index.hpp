@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Out-of-core dedup index: a two-tier set of 64-bit keys whose cold
+ * majority lives in fixed-capacity on-disk pages (ROADMAP item 4,
+ * DESIGN.md §15).
+ *
+ * Deep enumerations are RAM-bound on the seen-key sets: PR 5 spills
+ * the *frontier* out of core, but every dedup digest still lives in
+ * `FlatU64Set`/`ShardedU64Set` for the whole run.  The PagedIndex
+ * keeps the same exact insert-if-absent contract the engines rely on
+ * while bounding the in-RAM ("hot") tier:
+ *
+ *  - Hot tier: a sharded array of FlatU64Set (one small mutex per
+ *    shard, same striping as ShardedU64Set), where every key starts
+ *    its life.
+ *  - Cold tier: sorted fixed-capacity pages in the spill directory,
+ *    written with the §11 snapshot container + atomic-file discipline
+ *    (CRC-framed records, fingerprint header, tmp+rename).  Each page
+ *    keeps an in-RAM summary — min/max key plus a bloom filter — so a
+ *    cold probe usually touches zero pages; a one-page MRU decode
+ *    cache serves the DFS locality of the probes that do touch disk.
+ *
+ * Exactness is the load-bearing property: contains()/insert() answer
+ * identically whether a key is hot, cold or absent, so a capped run's
+ * exploration — outcomes, duplicate counts, every deterministic
+ * counter — is byte-identical to the uncapped run's, and eviction
+ * policy is pure performance tuning.  Eviction (evict()) is only ever
+ * invoked from engine quiescent points (the serial loop, the parallel
+ * wave barrier); concurrent workers use contains() only, which is
+ * thread-safe against other readers.
+ *
+ * Durability mirrors the SpillQueue: page files referenced by a final
+ * checkpoint are retained for the resume to adopt (adoptPages()
+ * rebuilds the summaries by re-reading the files, refusing damaged or
+ * mismatched ones with a structured snapshot::Status); otherwise the
+ * destructor removes them, so a graceful run never orphans files.
+ * Page I/O failures — including the injected `index-io-fail` site —
+ * are sticky and surfaced through ioFailed(), never UB: the engine
+ * degrades the run to a contained WorkerFault truncation.
+ */
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/snapshot.hpp"
+#include "util/stats.hpp"
+#include "util/u64set.hpp"
+
+namespace satom
+{
+
+/** Two-tier (RAM + disk-paged) insert-only set of uint64_t keys. */
+class PagedIndex
+{
+  public:
+    /**
+     * @p dir is where cold pages live (the run's spill directory);
+     * empty disables paging — the index is then a plain sharded
+     * in-RAM set and evict() is a no-op.  @p fingerprint stamps every
+     * page file (the §11 `#cfg` discipline), so adoptPages() refuses
+     * pages from a different program/model/option set.
+     */
+    PagedIndex(std::string dir, std::string fingerprint);
+
+    /** Removes every page file still on disk unless retainPages()
+     *  handed them to a checkpoint. */
+    ~PagedIndex();
+
+    PagedIndex(const PagedIndex &) = delete;
+    PagedIndex &operator=(const PagedIndex &) = delete;
+
+    /** True iff a page directory was configured. */
+    bool pagingEnabled() const { return !dir_.empty(); }
+
+    /**
+     * Insert @p key; true iff it was absent from BOTH tiers.  Exact:
+     * a key evicted to a page is never reported new again.  Must not
+     * race evict()/adoptPages() (the engines only insert from their
+     * sequential join / serial loop).
+     */
+    bool insert(std::uint64_t key);
+
+    /** True iff @p key is present in either tier.  Thread-safe
+     *  against concurrent contains() and insert(). */
+    bool contains(std::uint64_t key) const;
+
+    /** Keys currently in the hot (in-RAM) tier. */
+    std::size_t
+    hotSize() const
+    {
+        return hotCount_.load(std::memory_order_relaxed);
+    }
+
+    /** Keys evicted to cold pages. */
+    std::size_t coldSize() const { return coldCount_; }
+
+    /** Total distinct keys across both tiers. */
+    std::size_t size() const { return hotSize() + coldSize(); }
+
+    /** Pre-size the hot tier for @p n keys (the resume path). */
+    void reserve(std::size_t n);
+
+    /** Visit every hot-tier key (unspecified order — the checkpoint
+     *  writer sorts what it collects).  Cold keys are reachable only
+     *  through their page files, by design. */
+    template <typename Fn>
+    void
+    forEachHot(Fn &&fn) const
+    {
+        for (const Shard &s : shards_) {
+            std::lock_guard<std::mutex> lk(s.m);
+            s.keys.forEach(fn);
+        }
+    }
+
+    /**
+     * Evict hot shards (cyclic order, deterministic) until the hot
+     * tier holds at most @p targetHot keys, writing the evicted keys
+     * as sorted pages.  The hot tier is untouched on failure (real
+     * I/O error or injected index-io-fail): partially written pages
+     * are removed and false is returned — no key is ever lost.
+     * Quiescent-point only; no-op (true) when paging is disabled.
+     */
+    bool evict(std::size_t targetHot);
+
+    /** Page files currently on disk, in creation order (what a
+     *  checkpoint records for the resume to adopt). */
+    std::vector<std::string>
+    pages() const
+    {
+        std::vector<std::string> out;
+        out.reserve(pages_.size());
+        for (const Page &p : pages_)
+            out.push_back(p.path);
+        return out;
+    }
+
+    /**
+     * Adopt the page files a resumed snapshot references: each file
+     * is re-read to rebuild its in-RAM summary (count, min/max,
+     * bloom).  Damaged, torn, fingerprint-mismatched or unsorted
+     * pages are refused with the structured reason; on failure the
+     * index keeps only the pages adopted before the bad one.
+     */
+    snapshot::Status adoptPages(const std::vector<std::string> &paths);
+
+    /** Hand the page files to the checkpoint that referenced them:
+     *  the destructor will leave them for the resume. */
+    void retainPages() { retained_ = true; }
+
+    /** Sticky flag: some cold-page read failed (the probe answered
+     *  conservatively); the engine must truncate as a fault. */
+    bool
+    ioFailed() const
+    {
+        return ioFailed_.load(std::memory_order_relaxed);
+    }
+
+    /** Human detail for the first I/O failure. */
+    const std::string &ioNote() const { return ioNote_; }
+
+    /** Eviction rounds performed so far (tests). */
+    std::size_t evictionRounds() const { return evictions_; }
+
+    /**
+     * Deposit the index's telemetry — seen-pages, seen-evictions,
+     * bloom-hits, bloom-misses — into @p reg and reset the tallies
+     * (call once, at the end of an engine run).
+     */
+    void drainCounters(stats::StatsRegistry &reg);
+
+    /** Keys per full page (fixed page capacity). */
+    static constexpr std::size_t pageCapacity = 4096;
+
+  private:
+    static constexpr unsigned shardBits = 6;
+    static constexpr std::size_t numShards = std::size_t{1}
+                                             << shardBits;
+
+    struct Shard
+    {
+        mutable std::mutex m;
+        FlatU64Set keys;
+    };
+
+    /** One cold page's in-RAM summary. */
+    struct Page
+    {
+        std::string path;
+        std::uint64_t minKey = 0;
+        std::uint64_t maxKey = 0;
+        std::uint32_t count = 0;
+        std::vector<std::uint64_t> bloom; ///< bit words
+    };
+
+    static std::size_t shardIndex(std::uint64_t key);
+    Shard &shardFor(std::uint64_t k) { return shards_[shardIndex(k)]; }
+    const Shard &
+    shardFor(std::uint64_t k) const
+    {
+        return shards_[shardIndex(k)];
+    }
+
+    static void buildBloom(Page &p, const std::uint64_t *keys,
+                           std::size_t n);
+    static bool bloomMaybe(const Page &p, std::uint64_t key);
+
+    /** Write one sorted chunk as a page file; false on I/O failure. */
+    bool writePage(const std::uint64_t *keys, std::size_t n);
+
+    /** Probe the cold tier (summaries first, page read on a bloom
+     *  pass).  Conservatively false — with the sticky flag raised —
+     *  when a page cannot be read. */
+    bool coldContains(std::uint64_t key) const;
+
+    /** Binary-search one page for @p key, via the MRU decode cache;
+     *  false on read failure (sticky flag raised). */
+    bool searchPage(std::size_t pageIdx, std::uint64_t key,
+                    bool &found) const;
+
+    void noteIoFailure(const std::string &note) const;
+
+    std::string dir_;
+    std::string fingerprint_;
+    std::array<Shard, numShards> shards_;
+    std::atomic<std::size_t> hotCount_{0};
+    std::size_t coldCount_ = 0;
+    std::vector<Page> pages_;
+    std::size_t evictCursor_ = 0;
+    bool retained_ = false;
+
+    // One decoded page kept warm for probe locality.
+    mutable std::mutex coldM_;
+    mutable std::size_t mruIdx_ = static_cast<std::size_t>(-1);
+    mutable std::vector<std::uint64_t> mruKeys_;
+
+    mutable std::atomic<bool> ioFailed_{false};
+    mutable std::string ioNote_;
+
+    std::size_t evictions_ = 0;
+    std::size_t pagesWritten_ = 0;
+    mutable std::atomic<std::uint64_t> bloomHits_{0};
+    mutable std::atomic<std::uint64_t> bloomMisses_{0};
+};
+
+} // namespace satom

@@ -155,6 +155,10 @@ armFromSpec(const std::string &spec)
         arm(Site::JobDrop, n);
     else if (name == "slow-client")
         arm(Site::SlowClient, n);
+    else if (name == "index-io-fail")
+        arm(Site::IndexIoFail, n);
+    else if (name == "kill-after-evict")
+        arm(Site::KillAfterEvict, n);
     else
         return false;
     return true;
@@ -298,6 +302,18 @@ bool
 slowClientDue()
 {
     return siteHitExact(Site::SlowClient);
+}
+
+bool
+indexIoFailDue()
+{
+    return siteHitDue(Site::IndexIoFail);
+}
+
+bool
+evictKillDue()
+{
+    return siteHitDue(Site::KillAfterEvict);
 }
 
 } // namespace fault

@@ -224,6 +224,15 @@ class BudgetGate
  *                         timeout); the server must drop that
  *                         connection and cancel its jobs, never
  *                         block a worker
+ *   index-io-fail:N       from the N-th hit on, paged-index page
+ *                         writes/reads fail as if the disk did (the
+ *                         engine must degrade to a WorkerFault
+ *                         truncation, not UB and never a wrong dedup
+ *                         answer)
+ *   kill-after-evict:N    the N-th completed cold-tier eviction
+ *                         reports fire (litmus_runner then
+ *                         _Exit(137)s: SIGKILL right after seen-set
+ *                         pages hit the disk)
  *
  * The disarmed fast path is a single relaxed atomic load.
  */
@@ -246,6 +255,8 @@ enum class Site
     AcceptFail,
     JobDrop,
     SlowClient,
+    IndexIoFail,
+    KillAfterEvict,
 };
 
 /** Arm programmatically; n is the hit index (or ms for Stall). */
@@ -315,6 +326,21 @@ bool cacheStaleDue();
 bool acceptFailDue();
 bool jobDropDue();
 bool slowClientDue();
+
+/**
+ * The paged-index I/O injection point: true from the armed
+ * index-io-fail count on (sticky, like spill-io-fail); the index then
+ * reports the page write/read as failed and the engine truncates as
+ * WorkerFault.
+ */
+bool indexIoFailDue();
+
+/**
+ * The eviction injection point: returns true when the armed
+ * kill-after-evict count is reached (the CLI performs the kill,
+ * keeping process exit out of library code).
+ */
+bool evictKillDue();
 
 } // namespace fault
 

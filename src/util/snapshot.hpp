@@ -49,8 +49,10 @@ inline constexpr char magic[8] = {'S', 'A', 'T', 'O',
                                   'M', 'S', 'N', 'P'};
 
 /** Format version written by this build.  v2: EnumStats gained the
- *  closure-frontier fields and the registry the kernel/wave rows. */
-inline constexpr std::uint32_t formatVersion = 2;
+ *  closure-frontier fields and the registry the kernel/wave rows.
+ *  v3: engine snapshots may carry a seen-pages record (the cold tier
+ *  of the paged dedup index, §15). */
+inline constexpr std::uint32_t formatVersion = 3;
 
 /** The explicit end-of-stream record type. */
 inline constexpr std::uint32_t recordEnd = 0xE0Fu;

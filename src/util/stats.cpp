@@ -56,6 +56,10 @@ constexpr CtrInfo kInfo[numCounters] = {
     {"jobs-served", false, false},
     {"queue-depth-peak", true, false},
     {"read-only-trips", false, false},
+    {"seen-evictions", false, false},
+    {"seen-pages", false, false},
+    {"bloom-hits", false, false},
+    {"bloom-misses", false, false},
 };
 
 } // namespace
@@ -147,6 +151,30 @@ StatsRegistry::json() const
     bool first = true;
     for (int i = 0; i < numCounters; ++i) {
         if (!kInfo[i].deterministic || v_[i] == 0)
+            continue;
+        if (!first)
+            out += ", ";
+        first = false;
+        out += '"';
+        out += kInfo[i].name;
+        out += "\": ";
+        out += std::to_string(v_[i]);
+    }
+    out += '}';
+    return out;
+#else
+    return "null";
+#endif
+}
+
+std::string
+StatsRegistry::fullJson() const
+{
+#if SATOM_STATS_ENABLED
+    std::string out = "{";
+    bool first = true;
+    for (int i = 0; i < numCounters; ++i) {
+        if (v_[i] == 0)
             continue;
         if (!first)
             out += ", ";

@@ -49,6 +49,7 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <iosfwd>
 #include <mutex>
@@ -126,6 +127,14 @@ enum class Ctr : int
     JobsServed,         ///< jobs executed to a response
     QueueDepthPeak,     ///< deepest total queue backlog (maximum)
     ReadOnlyTrips,      ///< times the load monitor entered read-only
+    // Out-of-core dedup index (§15).  Telemetry by construction: the
+    // index answers exactly regardless of what was evicted when, so
+    // page/eviction/bloom traffic depends on the cap and the probe
+    // order, never on the result.
+    SeenEvictions,      ///< hot-tier eviction rounds performed
+    SeenPages,          ///< cold index pages written
+    BloomHits,          ///< cold probes pruned by a page bloom filter
+    BloomMisses,        ///< cold probes that had to read a page
 
     Count_,
 };
@@ -232,6 +241,14 @@ class StatsRegistry
     std::string json() const;
 
     /**
+     * JSON object of *every* nonzero counter, telemetry included.
+     * For diagnostics and benchmark records only — telemetry (bloom
+     * traffic, eviction rounds, wave sizes) varies run to run, so
+     * this must never feed a byte-identity-compared report.
+     */
+    std::string fullJson() const;
+
+    /**
      * Journal token form of the deterministic counters:
      * `k i:v i:v ...` (k nonzero entries, enum-index:value pairs).
      * Compiled-out builds serialize `0`.
@@ -296,6 +313,11 @@ class LatencyHistogram
         const std::uint64_t n = count();
         if (n == 0)
             return 0;
+        // NaN compares false against everything, so the clamps below
+        // would pass it through to an integer cast, which is UB.
+        // Treat it as the conservative extreme instead.
+        if (std::isnan(p))
+            p = 1;
         if (p < 0)
             p = 0;
         if (p > 1)

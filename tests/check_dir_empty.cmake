@@ -1,0 +1,16 @@
+# Fail unless the directory DIR exists and holds no entries.  The
+# leak checks need it: a graceful run — including a cancelled or
+# state-capped one without a checkpoint — must leave neither spill
+# segments nor seen-set pages behind, and ctest has no built-in
+# "directory is empty" assertion.
+#
+# Usage: cmake -DDIR=<dir> -P check_dir_empty.cmake
+
+if(NOT IS_DIRECTORY "${DIR}")
+    message(FATAL_ERROR "not a directory: ${DIR}")
+endif()
+file(GLOB entries "${DIR}/*")
+if(entries)
+    message(FATAL_ERROR
+            "expected ${DIR} to be empty, found: ${entries}")
+endif()

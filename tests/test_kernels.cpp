@@ -255,6 +255,61 @@ TEST(Kernels, FlatU64SetMatchesReference)
     kern::setTier(before);
 }
 
+TEST(Kernels, FlatU64SetZeroKeyEdgeCases)
+{
+    // Zero is the reserved empty-slot value, tracked out of band: it
+    // must behave like any other key — once per set, surviving
+    // rehashes, visited exactly once — and clear() must reset it.
+    FlatU64Set set;
+    EXPECT_FALSE(set.contains(0));
+    EXPECT_TRUE(set.insert(0));
+    EXPECT_FALSE(set.insert(0));
+    EXPECT_TRUE(set.contains(0));
+    EXPECT_EQ(set.size(), 1u);
+    for (std::uint64_t k = 1; k <= 3000; ++k)
+        ASSERT_TRUE(set.insert(k)) << k; // several rehashes
+    EXPECT_TRUE(set.contains(0));
+    EXPECT_EQ(set.size(), 3001u);
+    std::size_t zeros = 0, total = 0;
+    set.forEach([&](std::uint64_t k) {
+        ++total;
+        zeros += k == 0;
+    });
+    EXPECT_EQ(zeros, 1u);
+    EXPECT_EQ(total, 3001u);
+    set.clear();
+    EXPECT_EQ(set.size(), 0u);
+    EXPECT_FALSE(set.contains(0));
+    EXPECT_TRUE(set.insert(0));
+}
+
+TEST(Kernels, FlatU64SetStaysExactThroughEveryRehashBoundary)
+{
+    // Pin the max-load growth rule: walking the set through each
+    // capacity boundary (including inserts landing exactly on the
+    // 7/8 threshold, where off-by-one growth bugs live), every key
+    // inserted so far must remain findable and re-inserts must keep
+    // reporting duplicates.  Small tables make the probe sequence
+    // wrap its group ring, covering the wrap-around path too.
+    for (const std::size_t reserveN : {0u, 1u, 7u, 8u, 9u, 100u}) {
+        FlatU64Set set;
+        if (reserveN != 0)
+            set.reserve(reserveN);
+        for (std::uint64_t k = 1; k <= 300; ++k) {
+            ASSERT_TRUE(set.insert(k))
+                << "reserve=" << reserveN << " k=" << k;
+            ASSERT_FALSE(set.insert(k))
+                << "reserve=" << reserveN << " k=" << k;
+            ASSERT_EQ(set.size(), k);
+            for (std::uint64_t j = 1; j <= k; ++j)
+                ASSERT_TRUE(set.contains(j))
+                    << "reserve=" << reserveN << " k=" << k
+                    << " j=" << j;
+            ASSERT_FALSE(set.contains(k + 1));
+        }
+    }
+}
+
 // ---------------------------------------------------------------
 // Incremental-closure invariants.
 // ---------------------------------------------------------------

@@ -1,0 +1,496 @@
+/**
+ * @file
+ * The out-of-core dedup index (src/util/paged_index.hpp) and its
+ * engine wiring (EnumerationOptions::seenLimit).
+ *
+ * The contract under test is exactness: a PagedIndex answers
+ * contains()/insert() identically whether a key is hot, evicted to a
+ * cold page, or absent — so a seen-limit-capped enumeration explores
+ * exactly the states of the uncapped one and lands on the identical
+ * outcomes and deterministic counters, serial or wave-parallel, and a
+ * snapshot taken under a tight cap resumes under a raised (or absent)
+ * cap to the same answer.  The failure half matters as much: page
+ * write failures leave the hot tier intact (no key is ever lost),
+ * page read failures degrade to a contained WorkerFault truncation,
+ * and damaged or mismatched pages are refused at adoption with a
+ * structured error.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "enumerate/engine.hpp"
+#include "enumerate/frontier_store.hpp"
+#include "isa/builder.hpp"
+#include "util/paged_index.hpp"
+#include "util/run_control.hpp"
+#include "util/stats.hpp"
+
+namespace satom
+{
+namespace
+{
+
+constexpr Addr X = 100, Y = 101;
+
+MemoryModel
+wmm()
+{
+    return makeModel(ModelId::WMM);
+}
+
+/** IRIW: racy enough for a real seen set, small enough to exhaust. */
+Program
+iriw()
+{
+    ProgramBuilder pb;
+    pb.thread("P0").store(X, 1);
+    pb.thread("P1").store(Y, 1);
+    pb.thread("P2").load(1, X).load(2, Y);
+    pb.thread("P3").load(1, Y).load(2, X);
+    return pb.build();
+}
+
+std::vector<std::string>
+keysOf(const EnumerationResult &r)
+{
+    std::vector<std::string> keys;
+    keys.reserve(r.outcomes.size());
+    for (const auto &o : r.outcomes)
+        keys.push_back(o.key());
+    return keys;
+}
+
+/** The bit-equivalence check: outcomes + deterministic counters. */
+void
+expectEquivalent(const EnumerationResult &got,
+                 const EnumerationResult &baseline)
+{
+    EXPECT_TRUE(got.complete);
+    EXPECT_EQ(got.truncation, Truncation::None);
+    EXPECT_EQ(keysOf(got), keysOf(baseline));
+    EXPECT_EQ(got.stats.statesExplored,
+              baseline.stats.statesExplored);
+    EXPECT_EQ(got.stats.duplicates, baseline.stats.duplicates);
+    EXPECT_EQ(got.stats.executions, baseline.stats.executions);
+    EXPECT_TRUE(got.registry.deterministicEquals(baseline.registry));
+}
+
+std::string
+tempDir(const std::string &name)
+{
+    const std::string d = testing::TempDir() + "/" + name;
+    std::filesystem::remove_all(d);
+    std::filesystem::create_directories(d);
+    return d;
+}
+
+class PagedIndexTest : public testing::Test
+{
+  protected:
+    void TearDown() override { fault::disarm(); }
+};
+
+// ---------------------------------------------------------------
+// The index itself.
+// ---------------------------------------------------------------
+
+TEST_F(PagedIndexTest, DisabledPagingIsAPlainSet)
+{
+    PagedIndex idx("", "fp");
+    EXPECT_FALSE(idx.pagingEnabled());
+    EXPECT_TRUE(idx.insert(7));
+    EXPECT_FALSE(idx.insert(7));
+    EXPECT_TRUE(idx.contains(7));
+    EXPECT_FALSE(idx.contains(8));
+    EXPECT_TRUE(idx.evict(0)); // no-op, not a failure
+    EXPECT_EQ(idx.coldSize(), 0u);
+    EXPECT_EQ(idx.hotSize(), 1u);
+}
+
+TEST_F(PagedIndexTest, RandomizedEquivalenceAcrossEvictions)
+{
+    const std::string dir = tempDir("pidx_rand");
+    std::set<std::uint64_t> ref;
+    {
+        PagedIndex idx(dir, "fp");
+        std::mt19937_64 rng(0xA11CE5u);
+        for (int i = 0; i < 20000; ++i) {
+            // Small key space forces duplicates on both sides of the
+            // hot/cold split; 0 exercises the FlatU64Set zero path.
+            const std::uint64_t key = rng() % 6000;
+            ASSERT_EQ(idx.insert(key), ref.insert(key).second)
+                << "i=" << i << " key=" << key;
+            if (i % 1024 == 1023)
+                ASSERT_TRUE(idx.evict(ref.size() / 4));
+        }
+        EXPECT_GE(idx.evictionRounds(), 2u);
+        EXPECT_GT(idx.coldSize(), 0u);
+        EXPECT_EQ(idx.size(), ref.size());
+        for (std::uint64_t k = 0; k < 7000; ++k)
+            ASSERT_EQ(idx.contains(k), ref.count(k) > 0) << k;
+        EXPECT_FALSE(idx.ioFailed());
+    }
+    // Not retained: the destructor removed every page file.
+    EXPECT_TRUE(std::filesystem::is_empty(dir));
+    std::filesystem::remove_all(dir);
+}
+
+TEST_F(PagedIndexTest, EvictedKeysAreNeverReportedNewAgain)
+{
+    const std::string dir = tempDir("pidx_reinsert");
+    PagedIndex idx(dir, "fp");
+    for (std::uint64_t k = 1; k <= 500; ++k)
+        ASSERT_TRUE(idx.insert(k));
+    ASSERT_TRUE(idx.evict(0));
+    EXPECT_EQ(idx.hotSize(), 0u);
+    EXPECT_EQ(idx.coldSize(), 500u);
+    for (std::uint64_t k = 1; k <= 500; ++k) {
+        EXPECT_FALSE(idx.insert(k)) << k;
+        EXPECT_TRUE(idx.contains(k)) << k;
+    }
+    EXPECT_EQ(idx.size(), 500u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST_F(PagedIndexTest, AdoptPagesRoundTripsRetainedPages)
+{
+    const std::string dir = tempDir("pidx_adopt");
+    std::vector<std::string> pages;
+    {
+        PagedIndex idx(dir, "fp");
+        for (std::uint64_t k = 1; k <= 6000; ++k)
+            ASSERT_TRUE(idx.insert(k));
+        ASSERT_TRUE(idx.evict(0)); // 6000 keys -> 2 pages
+        pages = idx.pages();
+        idx.retainPages();
+    }
+    ASSERT_EQ(pages.size(), 2u);
+    for (const auto &p : pages)
+        ASSERT_TRUE(std::filesystem::exists(p)) << p;
+
+    PagedIndex fresh(dir, "fp");
+    ASSERT_TRUE(fresh.adoptPages(pages).ok());
+    EXPECT_EQ(fresh.coldSize(), 6000u);
+    for (std::uint64_t k = 1; k <= 6000; ++k) {
+        ASSERT_TRUE(fresh.contains(k)) << k;
+        ASSERT_FALSE(fresh.insert(k)) << k;
+    }
+    EXPECT_FALSE(fresh.contains(6001));
+    EXPECT_TRUE(fresh.insert(6001));
+    std::filesystem::remove_all(dir);
+}
+
+TEST_F(PagedIndexTest, AdoptionRefusesDamagedOrMismatchedPages)
+{
+    const std::string dir = tempDir("pidx_damage");
+    std::vector<std::string> pages;
+    {
+        PagedIndex idx(dir, "fp");
+        for (std::uint64_t k = 1; k <= 100; ++k)
+            idx.insert(k);
+        ASSERT_TRUE(idx.evict(0));
+        pages = idx.pages();
+        idx.retainPages();
+    }
+    ASSERT_EQ(pages.size(), 1u);
+    std::string bytes;
+    {
+        std::ifstream in(pages[0], std::ios::binary);
+        ASSERT_TRUE(in);
+        bytes.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+    const auto damage = [&](const std::string &name,
+                            const std::string &content) {
+        const std::string path = dir + "/" + name;
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(content.data(),
+                  static_cast<std::streamsize>(content.size()));
+        return path;
+    };
+
+    // Different configuration fingerprint: CfgMismatch.
+    {
+        PagedIndex other(dir, "other-fp");
+        EXPECT_EQ(other.adoptPages(pages).error,
+                  snapshot::Error::CfgMismatch);
+    }
+    // Bit flip in the record region: BadCrc.
+    {
+        std::string flipped = bytes;
+        flipped[bytes.size() / 2] ^= 0x04;
+        PagedIndex idx(dir, "fp");
+        EXPECT_EQ(idx.adoptPages({damage("flip.idx", flipped)}).error,
+                  snapshot::Error::BadCrc);
+    }
+    // Torn tail (kill-mid-write debris): Torn.
+    {
+        PagedIndex idx(dir, "fp");
+        EXPECT_EQ(idx.adoptPages(
+                         {damage("torn.idx",
+                                 bytes.substr(0, bytes.size() - 5))})
+                      .error,
+                  snapshot::Error::Torn);
+    }
+    // Missing file: Io.
+    {
+        PagedIndex idx(dir, "fp");
+        EXPECT_EQ(idx.adoptPages({dir + "/absent.idx"}).error,
+                  snapshot::Error::Io);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST_F(PagedIndexTest, WriteFailureLeavesHotTierIntact)
+{
+    const std::string dir = tempDir("pidx_wfail");
+    PagedIndex idx(dir, "fp");
+    for (std::uint64_t k = 1; k <= 1000; ++k)
+        ASSERT_TRUE(idx.insert(k));
+
+    fault::arm(fault::Site::IndexIoFail, 1);
+    EXPECT_FALSE(idx.evict(0));
+    fault::disarm();
+
+    // The failed round rolled back completely: every key still hot,
+    // no partial page left on disk, no key lost.
+    EXPECT_EQ(idx.hotSize(), 1000u);
+    EXPECT_EQ(idx.coldSize(), 0u);
+    EXPECT_TRUE(std::filesystem::is_empty(dir));
+    for (std::uint64_t k = 1; k <= 1000; ++k)
+        ASSERT_TRUE(idx.contains(k)) << k;
+
+    // With the fault gone the same eviction succeeds.
+    EXPECT_TRUE(idx.evict(0));
+    EXPECT_EQ(idx.hotSize(), 0u);
+    EXPECT_EQ(idx.coldSize(), 1000u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST_F(PagedIndexTest, ReadFailureIsStickyAndConservative)
+{
+    const std::string dir = tempDir("pidx_rfail");
+    PagedIndex idx(dir, "fp");
+    for (std::uint64_t k = 1; k <= 500; ++k)
+        idx.insert(k);
+    ASSERT_TRUE(idx.evict(0));
+    ASSERT_TRUE(idx.contains(123)); // warm path works
+
+    // Force the next page read to fail: the probe must answer the
+    // conservative false and raise the sticky flag, never throw.
+    // (Probe a key in the page so the bloom passes and a read is
+    // attempted; the MRU cache is cold after the arm because the
+    // fault also poisons the re-read.)
+    PagedIndex again(dir, "fp");
+    idx.retainPages();
+    ASSERT_TRUE(again.adoptPages(idx.pages()).ok());
+    fault::arm(fault::Site::IndexIoFail, 1);
+    EXPECT_FALSE(again.contains(123));
+    EXPECT_TRUE(again.ioFailed());
+    EXPECT_NE(again.ioNote().find("seen page"), std::string::npos)
+        << again.ioNote();
+    fault::disarm();
+    std::filesystem::remove_all(dir);
+}
+
+TEST_F(PagedIndexTest, CountersDrainIntoTheRegistry)
+{
+    const std::string dir = tempDir("pidx_ctr");
+    PagedIndex idx(dir, "fp");
+    for (std::uint64_t k = 1; k <= 5000; ++k)
+        idx.insert(k);
+    ASSERT_TRUE(idx.evict(0)); // 5000 keys -> 2 pages
+    for (std::uint64_t k = 1; k <= 200; ++k)
+        ASSERT_TRUE(idx.contains(k));       // bloom misses (present)
+    for (std::uint64_t k = 5001; k <= 5200; ++k)
+        ASSERT_FALSE(idx.contains(k));      // mostly bloom hits
+
+    stats::StatsRegistry reg;
+    idx.drainCounters(reg);
+    EXPECT_EQ(reg.get(stats::Ctr::SeenEvictions), 1u);
+    EXPECT_EQ(reg.get(stats::Ctr::SeenPages), 2u);
+    EXPECT_GT(reg.get(stats::Ctr::BloomMisses), 0u);
+    // A second drain reports nothing: the tallies were reset.
+    stats::StatsRegistry reg2;
+    idx.drainCounters(reg2);
+    EXPECT_EQ(reg2.get(stats::Ctr::SeenPages), 0u);
+    std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------
+// The engine wiring: --seen-limit equivalence and resume.
+// ---------------------------------------------------------------
+
+TEST_F(PagedIndexTest, SerialCappedRunMatchesUncapped)
+{
+    const Program p = iriw();
+    const auto baseline = enumerateBehaviors(p, wmm(), {});
+    ASSERT_TRUE(baseline.complete);
+
+    EnumerationOptions capped;
+    capped.spillDir = tempDir("seen_serial");
+    capped.seenLimit = 16;
+    const auto r = enumerateBehaviors(p, wmm(), capped);
+    expectEquivalent(r, baseline);
+    EXPECT_GE(r.registry.get(stats::Ctr::SeenEvictions), 2u);
+    EXPECT_GT(r.registry.get(stats::Ctr::SeenPages), 0u);
+    // A graceful run leaves no page files behind.
+    EXPECT_TRUE(std::filesystem::is_empty(capped.spillDir));
+    std::filesystem::remove_all(capped.spillDir);
+}
+
+TEST_F(PagedIndexTest, ParallelCappedRunMatchesUncapped)
+{
+    const Program p = iriw();
+    const auto baseline = enumerateBehaviors(p, wmm(), {});
+
+    EnumerationOptions capped;
+    capped.numWorkers = 4;
+    capped.spillDir = tempDir("seen_parallel");
+    capped.seenLimit = 16;
+    const auto r = enumerateBehaviors(p, wmm(), capped);
+    expectEquivalent(r, baseline);
+    EXPECT_GE(r.registry.get(stats::Ctr::SeenEvictions), 1u);
+    EXPECT_TRUE(std::filesystem::is_empty(capped.spillDir));
+    std::filesystem::remove_all(capped.spillDir);
+}
+
+TEST_F(PagedIndexTest, RssCeilingDerivesADefaultCap)
+{
+    // With a spill dir and a memory ceiling but no explicit
+    // --seen-limit, the engine derives a cap from the ceiling; a
+    // generous ceiling must not perturb the result.
+    const Program p = iriw();
+    const auto baseline = enumerateBehaviors(p, wmm(), {});
+
+    EnumerationOptions opts;
+    opts.spillDir = tempDir("seen_rss");
+    opts.budget.maxRssBytes = std::size_t{4} << 30;
+    const auto r = enumerateBehaviors(p, wmm(), opts);
+    expectEquivalent(r, baseline);
+    std::filesystem::remove_all(opts.spillDir);
+}
+
+TEST_F(PagedIndexTest, SnapshotUnderTightCapResumesUnderLooserCap)
+{
+    const Program p = iriw();
+    const auto baseline = enumerateBehaviors(p, wmm(), {});
+
+    // A tight cap changes neither the search space nor the
+    // fingerprint, so the resume may raise it ...
+    const std::string ck = testing::TempDir() + "/seen_resume.snap";
+    std::remove(ck.c_str());
+    EnumerationOptions capped;
+    capped.maxStates = 12;
+    capped.checkpointPath = ck;
+    capped.spillDir = tempDir("seen_resume");
+    capped.seenLimit = 4;
+    const auto interrupted = enumerateBehaviors(p, wmm(), capped);
+    EXPECT_FALSE(interrupted.complete);
+    EXPECT_EQ(interrupted.truncation, Truncation::StateCap);
+
+    EnumerationOptions loose = capped;
+    loose.maxStates = EnumerationOptions{}.maxStates;
+    loose.seenLimit = 1000;
+    EngineSnapshot snap;
+    ASSERT_TRUE(readEngineSnapshot(
+                    ck, enumerationFingerprint(p, wmm(), loose), snap)
+                    .ok());
+    ASSERT_FALSE(snap.seenPages.empty());
+    for (const auto &pg : snap.seenPages)
+        EXPECT_TRUE(std::filesystem::exists(pg)) << pg;
+    expectEquivalent(resumeEnumeration(p, wmm(), loose, snap),
+                     baseline);
+    EXPECT_TRUE(std::filesystem::is_empty(capped.spillDir));
+    std::filesystem::remove_all(capped.spillDir);
+    std::remove(ck.c_str());
+}
+
+TEST_F(PagedIndexTest, SnapshotUnderTightCapResumesWithNoCap)
+{
+    const Program p = iriw();
+    const auto baseline = enumerateBehaviors(p, wmm(), {});
+
+    // ... or drop it entirely: the resumed engine still probes the
+    // adopted cold pages, it just never evicts again.
+    const std::string ck = testing::TempDir() + "/seen_nocap.snap";
+    std::remove(ck.c_str());
+    EnumerationOptions capped;
+    capped.maxStates = 12;
+    capped.checkpointPath = ck;
+    capped.spillDir = tempDir("seen_nocap");
+    capped.seenLimit = 4;
+    const auto interrupted = enumerateBehaviors(p, wmm(), capped);
+    EXPECT_FALSE(interrupted.complete);
+
+    EnumerationOptions uncapped = capped;
+    uncapped.maxStates = EnumerationOptions{}.maxStates;
+    uncapped.seenLimit = 0;
+    EngineSnapshot snap;
+    ASSERT_TRUE(
+        readEngineSnapshot(
+            ck, enumerationFingerprint(p, wmm(), uncapped), snap)
+            .ok());
+    ASSERT_FALSE(snap.seenPages.empty());
+    expectEquivalent(resumeEnumeration(p, wmm(), uncapped, snap),
+                     baseline);
+    std::filesystem::remove_all(capped.spillDir);
+    std::remove(ck.c_str());
+}
+
+TEST_F(PagedIndexTest, MissingPageIsRefusedAtResume)
+{
+    const Program p = iriw();
+    const std::string ck = testing::TempDir() + "/seen_gone.snap";
+    std::remove(ck.c_str());
+    EnumerationOptions capped;
+    capped.maxStates = 12;
+    capped.checkpointPath = ck;
+    capped.spillDir = tempDir("seen_gone");
+    capped.seenLimit = 4;
+    enumerateBehaviors(p, wmm(), capped);
+
+    EngineSnapshot snap;
+    ASSERT_TRUE(readEngineSnapshot(
+                    ck, enumerationFingerprint(p, wmm(), capped), snap)
+                    .ok());
+    ASSERT_FALSE(snap.seenPages.empty());
+    std::remove(snap.seenPages.front().c_str());
+
+    // The resume must degrade to a contained fault, not silently
+    // enumerate with a hole in its seen set.
+    const auto r = resumeEnumeration(p, wmm(), capped, snap);
+    EXPECT_FALSE(r.complete);
+    EXPECT_EQ(r.truncation, Truncation::WorkerFault);
+    EXPECT_NE(r.faultNote.find("adoption"), std::string::npos)
+        << r.faultNote;
+    std::filesystem::remove_all(capped.spillDir);
+    std::remove(ck.c_str());
+}
+
+TEST_F(PagedIndexTest, EvictionWriteFailureIsAContainedTruncation)
+{
+    const Program p = iriw();
+    EnumerationOptions opts;
+    opts.spillDir = tempDir("seen_fault");
+    opts.seenLimit = 4;
+    fault::arm(fault::Site::IndexIoFail, 1);
+    const auto r = enumerateBehaviors(p, wmm(), opts);
+    fault::disarm();
+    EXPECT_FALSE(r.complete);
+    EXPECT_EQ(r.truncation, Truncation::WorkerFault);
+    EXPECT_NE(r.faultNote.find("seen"), std::string::npos)
+        << r.faultNote;
+    std::filesystem::remove_all(opts.spillDir);
+}
+
+} // namespace
+} // namespace satom

@@ -21,6 +21,7 @@
 #include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -410,6 +411,35 @@ TEST(LatencyHistogram, ConservativePercentiles)
     EXPECT_TRUE(has(h.json(), "\"count\": 100"));
     h.reset();
     EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(LatencyHistogram, EmptyAndOverflowAnswerDefinedValues)
+{
+    // An empty histogram answers 0 for every quantile — including
+    // out-of-range and NaN ones, which previously reached an
+    // undefined double-to-integer cast through the clamps (NaN
+    // compares false against both bounds).
+    stats::LatencyHistogram h;
+    EXPECT_EQ(h.percentileUs(0.0), 0u);
+    EXPECT_EQ(h.percentileUs(1.0), 0u);
+    EXPECT_EQ(h.percentileUs(-3.0), 0u);
+    EXPECT_EQ(h.percentileUs(7.0), 0u);
+    EXPECT_EQ(
+        h.percentileUs(std::numeric_limits<double>::quiet_NaN()),
+        0u);
+
+    // Every sample in the terminal (overflow) bucket: percentiles
+    // answer that bucket's upper edge — conservative, never zero or
+    // garbage — and NaN degrades to the p=1 extreme.
+    for (int i = 0; i < 4; ++i)
+        h.record(std::numeric_limits<std::uint64_t>::max());
+    const std::uint64_t top = (std::uint64_t{1} << 40) - 1;
+    EXPECT_EQ(h.percentileUs(0.0), top);
+    EXPECT_EQ(h.percentileUs(0.5), top);
+    EXPECT_EQ(h.percentileUs(1.0), top);
+    EXPECT_EQ(
+        h.percentileUs(std::numeric_limits<double>::quiet_NaN()),
+        top);
 }
 
 // --------------------------------------------------------------------

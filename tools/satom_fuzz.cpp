@@ -125,7 +125,8 @@ usage()
            "                  [--budget N] [--max-states N]\n"
            "                  [--seed-timeout-ms MS]\n"
            "                  [--journal FILE] [--resume]\n"
-           "                  [--spill-dir DIR] [--cache DIR]\n"
+           "                  [--spill-dir DIR] [--seen-limit N]\n"
+           "                  [--cache DIR]\n"
            "                  [--inject-bug] [--quiet]\n"
            "oracles: ";
     for (fuzz::OracleId id : fuzz::allOracles())
@@ -137,6 +138,9 @@ usage()
                  "  --resume skips seeds already in the journal\n"
                  "--spill-dir DIR lets memory-capped enumerations\n"
                  "  spill cold frontier segments out of core\n"
+                 "--seen-limit N caps each enumeration's in-RAM dedup\n"
+                 "  seen-set, paging the excess to --spill-dir\n"
+                 "  (requires --spill-dir; reports stay byte-identical)\n"
                  "--cache DIR serves isomorphic seeds from the\n"
                  "  canonical result cache (damaged cache = cold)\n"
                  "--inject-bug plants the documented intentional\n"
@@ -365,6 +369,14 @@ main(int argc, char **argv)
             if (!v)
                 return usage();
             cfg.oracle.spillDir = v;
+        } else if (arg == "--seen-limit") {
+            const char *v = next();
+            long n = 0;
+            if (!v || !cli::parseLong(v, n) || n < 1) {
+                std::cerr << "--seen-limit needs an integer >= 1\n";
+                return usage();
+            }
+            cfg.oracle.seenLimit = static_cast<std::size_t>(n);
         } else if (arg == "--cache") {
             const char *v = next();
             if (!v)
@@ -455,6 +467,10 @@ main(int argc, char **argv)
         return usage();
     if (cfg.resume && cfg.journalPath.empty()) {
         std::cerr << "--resume needs --journal FILE\n";
+        return usage();
+    }
+    if (cfg.oracle.seenLimit != 0 && cfg.oracle.spillDir.empty()) {
+        std::cerr << "--seen-limit requires --spill-dir\n";
         return usage();
     }
     cfg.oracle.injectScVsStoreBuffer = cfg.injectBug;
