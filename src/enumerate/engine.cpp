@@ -1023,6 +1023,11 @@ Enumerator::runSerial()
             sinceCkpt = 0;
             if (!ckpt(Truncation::None))
                 break;
+            // The snapshot just written supersedes any earlier one:
+            // the spill segments and seen pages it references are the
+            // set to preserve should a later checkpoint write fail.
+            spill.markDurable();
+            seen.markDurable();
         }
         if (stats.statesExplored >= options_.maxStates) {
             result_.truncation = Truncation::StateCap;
@@ -1135,12 +1140,19 @@ Enumerator::runSerial()
     // included: the snapshot covers everything joined so far).  The
     // checkpoint references the outstanding spill segments and seen
     // pages, so once it is durable they belong to the resume — only
-    // then may the queues stop cleaning them up.
+    // then may the queues stop cleaning them up.  If the final write
+    // fails, an *earlier* snapshot (the resumed-from one, or the last
+    // cadence checkpoint) is still the durable resume point: the
+    // segments and pages it references must survive too.
     if (result_.truncation != Truncation::None &&
-        ckpt(result_.truncation) &&
         !options_.checkpointPath.empty()) {
-        spill.retain();
-        seen.retainPages();
+        if (ckpt(result_.truncation)) {
+            spill.retain();
+            seen.retainPages();
+        } else {
+            spill.retainDurable();
+            seen.retainDurable();
+        }
     }
 }
 

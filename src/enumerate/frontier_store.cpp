@@ -745,16 +745,42 @@ SpillQueue::SpillQueue(std::string dir, std::string fingerprint)
 
 SpillQueue::~SpillQueue()
 {
+    // Consumed durable segments are needed only by the superseded (or
+    // still-latest, if keepDurable_) snapshot that references them.
+    if (!keepDurable_)
+        for (const std::string &path : consumedDurable_)
+            std::remove(path.c_str());
     if (retained_)
         return;
     for (const std::string &path : segments_)
-        std::remove(path.c_str());
+        if (!keepDurable_ || !isDurable(path))
+            std::remove(path.c_str());
 }
 
 void
 SpillQueue::adoptSegments(std::vector<std::string> segs)
 {
     segments_ = std::move(segs);
+    // The snapshot being resumed is durable and references these
+    // files: they must survive this process unless a newer checkpoint
+    // supersedes it or the run finishes without needing a resume.
+    durable_ = segments_;
+}
+
+bool
+SpillQueue::isDurable(const std::string &path) const
+{
+    return std::find(durable_.begin(), durable_.end(), path) !=
+           durable_.end();
+}
+
+void
+SpillQueue::markDurable()
+{
+    for (const std::string &path : consumedDurable_)
+        std::remove(path.c_str());
+    consumedDurable_.clear();
+    durable_ = segments_;
 }
 
 bool
@@ -821,7 +847,12 @@ SpillQueue::reload(std::vector<Behavior> &out,
                             "spill segment " + path +
                                 " has no frontier record");
     reg.add(stats::Ctr::SpillReloadBytes, bytes.size());
-    std::remove(path.c_str());
+    // A durable segment's file must outlive the snapshot that
+    // references it: defer its deletion to markDurable()/destructor.
+    if (isDurable(path))
+        consumedDurable_.push_back(path);
+    else
+        std::remove(path.c_str());
     return Status{};
 }
 

@@ -176,8 +176,10 @@ class SpillQueue
      * them to a checkpoint.  A run that ends mid-drain — cancellation,
      * deadline, a worker fault — used to orphan its cold segments in
      * the spill directory; segments are now always either reloaded
-     * (deleted then), adopted by the final checkpoint, or removed
-     * here.
+     * (deleted once a newer checkpoint supersedes them, or here),
+     * adopted by the final checkpoint, or removed here.  After
+     * retainDurable(), segments the latest durable snapshot
+     * references survive and only newer ones are removed.
      */
     ~SpillQueue();
 
@@ -209,7 +211,10 @@ class SpillQueue
 
     /**
      * Reload the most recently spilled segment into @p out (same
-     * coldest-first order it was spilled in) and delete its file.
+     * coldest-first order it was spilled in) and delete its file —
+     * unless the latest durable snapshot references it, in which case
+     * deletion is deferred until a newer checkpoint supersedes that
+     * snapshot (markDurable()) or the run ends without needing it.
      * Status tells why on failure; the failed segment is dropped from
      * the queue either way (it cannot be retried).
      */
@@ -220,11 +225,36 @@ class SpillQueue
      *  checkpoint: leave them on disk for the resume to adopt. */
     void retain() { retained_ = true; }
 
+    /**
+     * A checkpoint referencing the current segments just became
+     * durable: they are the new durable set (what retainDurable()
+     * preserves), and segments only the superseded snapshot
+     * referenced — including consumed ones whose deletion was
+     * deferred — are removed now.
+     */
+    void markDurable();
+
+    /** The latest durable snapshot is an *earlier* one (the final
+     *  checkpoint write failed): keep every segment it references —
+     *  adopted ones and the last markDurable() set — and let the
+     *  destructor delete only segments spilled after it. */
+    void retainDurable() { keepDurable_ = true; }
+
   private:
+    bool isDurable(const std::string &path) const;
+
     std::string dir_;
     std::string fingerprint_;
     std::vector<std::string> segments_;
+    /** Segments referenced by the latest durable snapshot (adopted +
+     *  last markDurable()). */
+    std::vector<std::string> durable_;
+    /** Durable segments already consumed by reload(); their files
+     *  stay on disk until markDurable() supersedes the snapshot that
+     *  references them (or the destructor cleans up). */
+    std::vector<std::string> consumedDurable_;
     bool retained_ = false;
+    bool keepDurable_ = false;
 };
 
 } // namespace satom

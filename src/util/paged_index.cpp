@@ -53,8 +53,13 @@ PagedIndex::~PagedIndex()
 {
     if (retained_)
         return;
-    for (const Page &p : pages_)
-        std::remove(p.path.c_str());
+    // After retainDurable() the leading durablePages_ entries belong
+    // to an on-disk snapshot that is still the resume point; a
+    // graceful (non-retaining) end deletes everything so the spill
+    // directory is left empty.
+    const std::size_t first = keepDurable_ ? durablePages_ : 0;
+    for (std::size_t i = first; i < pages_.size(); ++i)
+        std::remove(pages_[i].path.c_str());
 }
 
 std::size_t
@@ -207,13 +212,23 @@ PagedIndex::evict(std::size_t targetHot)
             std::min(pageCapacity, cold.size() - off);
         if (!writePage(cold.data() + off, n)) {
             // Roll the round back: remove the pages already written
-            // and leave the hot tier exactly as it was.
+            // and leave the hot tier exactly as it was.  (Never the
+            // durable prefix: writes only append, so firstNewPage >=
+            // durablePages_.)  Drop any cache slot that could alias a
+            // future page reusing one of the rolled-back indices.
             for (std::size_t i = firstNewPage; i < pages_.size();
                  ++i) {
                 std::remove(pages_[i].path.c_str());
                 --pagesWritten_;
             }
             pages_.resize(firstNewPage);
+            std::lock_guard<std::mutex> lk(coldM_);
+            for (CacheSlot &slot : cache_) {
+                if (slot.idx >= firstNewPage) {
+                    slot.idx = static_cast<std::size_t>(-1);
+                    slot.keys.reset();
+                }
+            }
             return false;
         }
     }
@@ -226,11 +241,8 @@ PagedIndex::evict(std::size_t targetHot)
     hotCount_.fetch_sub(cold.size(), std::memory_order_relaxed);
     coldCount_ += cold.size();
     ++evictions_;
-
-    // The MRU cache may now alias a stale page index.
-    std::lock_guard<std::mutex> lk(coldM_);
-    mruIdx_ = static_cast<std::size_t>(-1);
-    mruKeys_.clear();
+    // Existing cache slots stay valid: pages_ is append-only on the
+    // success path, so no page index was reused.
     return true;
 }
 
@@ -238,8 +250,18 @@ bool
 PagedIndex::searchPage(std::size_t pageIdx, std::uint64_t key,
                        bool &found) const
 {
-    std::lock_guard<std::mutex> lk(coldM_);
-    if (mruIdx_ != pageIdx) {
+    // The cache lock covers only the slot pointers; the page read and
+    // decode run outside it, so concurrent workers missing on
+    // different pages proceed in parallel (two threads missing on the
+    // SAME page decode it twice — harmless, the last publish wins).
+    std::shared_ptr<const std::vector<std::uint64_t>> keys;
+    {
+        std::lock_guard<std::mutex> lk(coldM_);
+        const CacheSlot &slot = cache_[pageIdx % cacheWays];
+        if (slot.idx == pageIdx)
+            keys = slot.keys;
+    }
+    if (!keys) {
         const Page &p = pages_[pageIdx];
         std::string bytes;
         if (fault::indexIoFailDue() ||
@@ -249,7 +271,7 @@ PagedIndex::searchPage(std::size_t pageIdx, std::uint64_t key,
         }
         snapshot::RecordReader rr;
         snapshot::Status st = rr.open(bytes, fingerprint_);
-        std::vector<std::uint64_t> keys;
+        std::vector<std::uint64_t> decoded;
         if (st.ok()) {
             std::uint32_t type = 0;
             std::string_view payload;
@@ -258,24 +280,27 @@ PagedIndex::searchPage(std::size_t pageIdx, std::uint64_t key,
                     continue;
                 snapshot::ByteReader br(payload);
                 const std::uint32_t n = br.u32();
-                keys.reserve(n);
+                decoded.reserve(n);
                 for (std::uint32_t i = 0; i < n; ++i)
-                    keys.push_back(br.u64());
+                    decoded.push_back(br.u64());
                 if (br.failed())
-                    keys.clear();
+                    decoded.clear();
             }
             st = rr.status();
         }
-        if (!st.ok() || keys.size() != p.count) {
+        if (!st.ok() || decoded.size() != p.count) {
             noteIoFailure("seen page damaged: " + p.path + " (" +
                           snapshot::toString(st.error) + ")");
             return false;
         }
-        mruKeys_ = std::move(keys);
-        mruIdx_ = pageIdx;
+        keys = std::make_shared<const std::vector<std::uint64_t>>(
+            std::move(decoded));
+        std::lock_guard<std::mutex> lk(coldM_);
+        CacheSlot &slot = cache_[pageIdx % cacheWays];
+        slot.idx = pageIdx;
+        slot.keys = keys;
     }
-    found = std::binary_search(mruKeys_.begin(), mruKeys_.end(),
-                               key);
+    found = std::binary_search(keys->begin(), keys->end(), key);
     return true;
 }
 
@@ -303,6 +328,18 @@ PagedIndex::coldContains(std::uint64_t key) const
 
 snapshot::Status
 PagedIndex::adoptPages(const std::vector<std::string> &paths)
+{
+    const snapshot::Status st = adoptPagesImpl(paths);
+    // Every file in @p paths — adopted or refused — is referenced by
+    // the snapshot being resumed, which a failed adoption leaves as
+    // the durable resume point: nothing here may be deleted.
+    if (!st.ok())
+        keepDurable_ = true;
+    return st;
+}
+
+snapshot::Status
+PagedIndex::adoptPagesImpl(const std::vector<std::string> &paths)
 {
     using snapshot::Error;
     using snapshot::Status;
@@ -355,6 +392,7 @@ PagedIndex::adoptPages(const std::vector<std::string> &paths)
         buildBloom(p, keys.data(), keys.size());
         coldCount_ += keys.size();
         pages_.push_back(std::move(p));
+        durablePages_ = pages_.size();
     }
     return Status{};
 }
@@ -362,9 +400,13 @@ PagedIndex::adoptPages(const std::vector<std::string> &paths)
 void
 PagedIndex::noteIoFailure(const std::string &note) const
 {
-    // Callers hold coldM_; first failure wins the note.
-    if (!ioFailed_.exchange(true, std::memory_order_relaxed))
+    // First failure wins the note (the exchange elects one writer);
+    // the lock orders the string write against the quiescent-point
+    // ioNote() read.
+    if (!ioFailed_.exchange(true, std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> lk(coldM_);
         ioNote_ = note;
+    }
 }
 
 void

@@ -17,8 +17,10 @@
  *    written with the §11 snapshot container + atomic-file discipline
  *    (CRC-framed records, fingerprint header, tmp+rename).  Each page
  *    keeps an in-RAM summary — min/max key plus a bloom filter — so a
- *    cold probe usually touches zero pages; a one-page MRU decode
- *    cache serves the DFS locality of the probes that do touch disk.
+ *    cold probe usually touches zero pages; a small direct-mapped
+ *    cache of decoded pages serves the probes that do touch disk,
+ *    and pages are read and decoded outside the cache lock so
+ *    concurrent workers' cold probes do not serialize.
  *
  * Exactness is the load-bearing property: contains()/insert() answer
  * identically whether a key is hot, cold or absent, so a capped run's
@@ -34,6 +36,11 @@
  * rebuilds the summaries by re-reading the files, refusing damaged or
  * mismatched ones with a structured snapshot::Status); otherwise the
  * destructor removes them, so a graceful run never orphans files.
+ * Pages referenced by an on-disk snapshot — adopted ones, and pages
+ * present at the last markDurable() checkpoint — are never deleted on
+ * a failure path: a failed adoption or a truncated run whose final
+ * checkpoint write fails (retainDurable()) leaves the previous resume
+ * point's cold tier intact.
  * Page I/O failures — including the injected `index-io-fail` site —
  * are sticky and surfaced through ioFailed(), never UB: the engine
  * degrades the run to a contained WorkerFault truncation.
@@ -44,6 +51,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -69,7 +77,9 @@ class PagedIndex
     PagedIndex(std::string dir, std::string fingerprint);
 
     /** Removes every page file still on disk unless retainPages()
-     *  handed them to a checkpoint. */
+     *  handed them all to a checkpoint; after retainDurable(), pages
+     *  an earlier snapshot references (the durable prefix) survive
+     *  and only newer ones are removed. */
     ~PagedIndex();
 
     PagedIndex(const PagedIndex &) = delete;
@@ -145,14 +155,27 @@ class PagedIndex
      * Adopt the page files a resumed snapshot references: each file
      * is re-read to rebuild its in-RAM summary (count, min/max,
      * bloom).  Damaged, torn, fingerprint-mismatched or unsorted
-     * pages are refused with the structured reason; on failure the
-     * index keeps only the pages adopted before the bad one.
+     * pages are refused with the structured reason.  Adopted pages
+     * belong to the on-disk snapshot, never to this process: on
+     * failure the destructor leaves every file in @p paths alone, so
+     * one bad page cannot destroy the rest of the resume point.
      */
     snapshot::Status adoptPages(const std::vector<std::string> &paths);
 
     /** Hand the page files to the checkpoint that referenced them:
      *  the destructor will leave them for the resume. */
     void retainPages() { retained_ = true; }
+
+    /** A checkpoint referencing the current pages just became
+     *  durable: they are the new durable prefix (what retainDurable()
+     *  preserves), superseding the previous snapshot's claim. */
+    void markDurable() { durablePages_ = pages_.size(); }
+
+    /** The latest durable snapshot is an *earlier* one (the final
+     *  checkpoint write failed): keep the pages it references —
+     *  adopted pages plus the last markDurable() prefix — and let the
+     *  destructor delete only pages written after it. */
+    void retainDurable() { keepDurable_ = true; }
 
     /** Sticky flag: some cold-page read failed (the probe answered
      *  conservatively); the engine must truncate as a fault. */
@@ -219,10 +242,14 @@ class PagedIndex
      *  when a page cannot be read. */
     bool coldContains(std::uint64_t key) const;
 
-    /** Binary-search one page for @p key, via the MRU decode cache;
-     *  false on read failure (sticky flag raised). */
+    /** Binary-search one page for @p key, via the decode cache; the
+     *  page read and decode happen outside the cache lock.  False on
+     *  read failure (sticky flag raised). */
     bool searchPage(std::size_t pageIdx, std::uint64_t key,
                     bool &found) const;
+
+    snapshot::Status
+    adoptPagesImpl(const std::vector<std::string> &paths);
 
     void noteIoFailure(const std::string &note) const;
 
@@ -234,11 +261,25 @@ class PagedIndex
     std::vector<Page> pages_;
     std::size_t evictCursor_ = 0;
     bool retained_ = false;
+    /** Leading pages_ entries referenced by the latest durable
+     *  snapshot (adopted + last markDurable()).  Pages are only ever
+     *  appended — a failed evict round rolls back its own appends —
+     *  so the durable set is always a prefix. */
+    std::size_t durablePages_ = 0;
+    bool keepDurable_ = false;
 
-    // One decoded page kept warm for probe locality.
+    // A few decoded pages kept warm, direct-mapped by page index so
+    // workers probing different pages neither serialize on one MRU
+    // entry nor thrash it with alternating probes.  coldM_ guards
+    // only the slot pointers; decode happens outside it.
+    static constexpr std::size_t cacheWays = 8;
+    struct CacheSlot
+    {
+        std::size_t idx = static_cast<std::size_t>(-1);
+        std::shared_ptr<const std::vector<std::uint64_t>> keys;
+    };
     mutable std::mutex coldM_;
-    mutable std::size_t mruIdx_ = static_cast<std::size_t>(-1);
-    mutable std::vector<std::uint64_t> mruKeys_;
+    mutable std::array<CacheSlot, cacheWays> cache_;
 
     mutable std::atomic<bool> ioFailed_{false};
     mutable std::string ioNote_;

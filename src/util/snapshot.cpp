@@ -139,11 +139,12 @@ RecordReader::open(std::string_view bytes,
                                "snapshot header checksum mismatch");
         return status_;
     }
-    if (version != formatVersion) {
+    if (version < minFormatVersion || version > formatVersion) {
         status_ = Status::fail(
             Error::BadVersion,
             "snapshot format version " + std::to_string(version) +
                 ", this build reads " +
+                std::to_string(minFormatVersion) + ".." +
                 std::to_string(formatVersion));
         return status_;
     }

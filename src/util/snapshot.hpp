@@ -54,6 +54,11 @@ inline constexpr char magic[8] = {'S', 'A', 'T', 'O',
  *  of the paged dedup index, §15). */
 inline constexpr std::uint32_t formatVersion = 3;
 
+/** Oldest version this build still reads.  v3 only added an optional
+ *  record type (seen-pages) and readers skip record types they do not
+ *  know, so v2 checkpoints and spill segments stay loadable. */
+inline constexpr std::uint32_t minFormatVersion = 2;
+
 /** The explicit end-of-stream record type. */
 inline constexpr std::uint32_t recordEnd = 0xE0Fu;
 

@@ -314,6 +314,48 @@ TEST_F(CheckpointResume, ResumeAdoptsOutstandingSpillSegments)
     std::remove(ck.c_str());
 }
 
+TEST_F(CheckpointResume, ConsumedDurableSegmentsOutliveTheirSnapshot)
+{
+    // Interrupt a spilling run so its snapshot references outstanding
+    // segments on disk.
+    const Program p = iriw();
+    const std::string ck = tempPath("spill_defer.snap");
+    EnumerationOptions capped;
+    capped.maxStates = 8;
+    capped.checkpointPath = ck;
+    capped.spillDir = tempDir("spill_defer");
+    capped.spillFrontierLimit = 1;
+    enumerateBehaviors(p, wmm(), capped);
+    const std::string fp = enumerationFingerprint(p, wmm(), capped);
+    EngineSnapshot snap;
+    ASSERT_TRUE(readEngineSnapshot(ck, fp, snap).ok());
+    ASSERT_FALSE(snap.spillSegments.empty());
+    const std::string &consumed = snap.spillSegments.back();
+
+    stats::StatsRegistry reg;
+    {
+        SpillQueue q(capped.spillDir, fp);
+        q.adoptSegments(snap.spillSegments);
+        std::vector<Behavior> out;
+        ASSERT_TRUE(q.reload(out, reg).ok());
+        EXPECT_FALSE(out.empty());
+        // Reloaded, but the snapshot still references the file: its
+        // deletion is deferred until a newer checkpoint supersedes
+        // that snapshot ...
+        EXPECT_TRUE(std::filesystem::exists(consumed)) << consumed;
+        q.markDurable();
+        EXPECT_FALSE(std::filesystem::exists(consumed)) << consumed;
+        // ... and should the checkpoint *after* that one fail, the
+        // remaining durable segments survive the destructor.
+        q.retainDurable();
+    }
+    for (std::size_t i = 0; i + 1 < snap.spillSegments.size(); ++i)
+        EXPECT_TRUE(std::filesystem::exists(snap.spillSegments[i]))
+            << snap.spillSegments[i];
+    std::filesystem::remove_all(capped.spillDir);
+    std::remove(ck.c_str());
+}
+
 TEST_F(CheckpointResume, CorruptSnapshotsAreRefusedStructurally)
 {
     const Program p = iriw();

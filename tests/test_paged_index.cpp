@@ -249,6 +249,93 @@ TEST_F(PagedIndexTest, AdoptionRefusesDamagedOrMismatchedPages)
     std::filesystem::remove_all(dir);
 }
 
+TEST_F(PagedIndexTest, FailedAdoptionNeverDeletesSnapshotPages)
+{
+    const std::string dir = tempDir("pidx_adopt_keep");
+    std::vector<std::string> pages;
+    {
+        PagedIndex idx(dir, "fp");
+        for (std::uint64_t k = 1; k <= 6000; ++k)
+            idx.insert(k);
+        ASSERT_TRUE(idx.evict(0)); // 6000 keys -> 2 pages
+        pages = idx.pages();
+        idx.retainPages();
+    }
+    ASSERT_EQ(pages.size(), 2u);
+
+    // A damaged file in the middle of the adoption list: both the
+    // page adopted before it and the one never reached belong to the
+    // on-disk snapshot, and one bad page must not cost them — the
+    // snapshot stays a usable resume point once the damage is fixed.
+    const std::string bad = dir + "/bad.idx";
+    {
+        std::ofstream out(bad, std::ios::binary);
+        out << "not a page";
+    }
+    {
+        PagedIndex idx(dir, "fp");
+        EXPECT_FALSE(idx.adoptPages({pages[0], bad, pages[1]}).ok());
+    }
+    EXPECT_TRUE(std::filesystem::exists(pages[0]));
+    EXPECT_TRUE(std::filesystem::exists(pages[1]));
+    std::filesystem::remove_all(dir);
+}
+
+TEST_F(PagedIndexTest, RetainDurableKeepsOnlySnapshotPages)
+{
+    const std::string dir = tempDir("pidx_durable");
+    std::vector<std::string> adopted;
+    {
+        PagedIndex idx(dir, "fp");
+        for (std::uint64_t k = 1; k <= 500; ++k)
+            idx.insert(k);
+        ASSERT_TRUE(idx.evict(0));
+        adopted = idx.pages();
+        idx.retainPages();
+    }
+    ASSERT_EQ(adopted.size(), 1u);
+
+    // Resume: adopt the snapshot's page, write a newer one, then end
+    // as a run whose final checkpoint write failed (retainDurable):
+    // the snapshot's page survives, the orphan-to-be is removed.
+    std::vector<std::string> all;
+    {
+        PagedIndex idx(dir, "fp");
+        ASSERT_TRUE(idx.adoptPages(adopted).ok());
+        for (std::uint64_t k = 1000; k < 1500; ++k)
+            idx.insert(k);
+        ASSERT_TRUE(idx.evict(0));
+        all = idx.pages();
+        idx.retainDurable();
+    }
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_TRUE(std::filesystem::exists(all[0]));
+    EXPECT_FALSE(std::filesystem::exists(all[1]));
+    std::filesystem::remove_all(dir);
+}
+
+TEST_F(PagedIndexTest, MarkDurableExtendsWhatRetainDurableKeeps)
+{
+    const std::string dir = tempDir("pidx_mark");
+    std::vector<std::string> all;
+    {
+        PagedIndex idx(dir, "fp");
+        for (std::uint64_t k = 1; k <= 500; ++k)
+            idx.insert(k);
+        ASSERT_TRUE(idx.evict(0)); // page 0 ...
+        idx.markDurable(); // ... referenced by a durable checkpoint
+        for (std::uint64_t k = 1000; k < 1500; ++k)
+            idx.insert(k);
+        ASSERT_TRUE(idx.evict(0)); // page 1, written after it
+        all = idx.pages();
+        idx.retainDurable(); // the next checkpoint failed to write
+    }
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_TRUE(std::filesystem::exists(all[0]));
+    EXPECT_FALSE(std::filesystem::exists(all[1]));
+    std::filesystem::remove_all(dir);
+}
+
 TEST_F(PagedIndexTest, WriteFailureLeavesHotTierIntact)
 {
     const std::string dir = tempDir("pidx_wfail");
@@ -472,6 +559,65 @@ TEST_F(PagedIndexTest, MissingPageIsRefusedAtResume)
     EXPECT_EQ(r.truncation, Truncation::WorkerFault);
     EXPECT_NE(r.faultNote.find("adoption"), std::string::npos)
         << r.faultNote;
+    // ... and must not destroy the rest of the resume point: every
+    // other page the snapshot references survives the failed run.
+    for (std::size_t i = 1; i < snap.seenPages.size(); ++i)
+        EXPECT_TRUE(std::filesystem::exists(snap.seenPages[i]))
+            << snap.seenPages[i];
+    std::filesystem::remove_all(capped.spillDir);
+    std::remove(ck.c_str());
+}
+
+TEST_F(PagedIndexTest, FailedFinalCheckpointPreservesPriorResumePoint)
+{
+    const Program p = iriw();
+    const auto baseline = enumerateBehaviors(p, wmm(), {});
+
+    const std::string ck = testing::TempDir() + "/seen_ckfail.snap";
+    std::remove(ck.c_str());
+    EnumerationOptions capped;
+    capped.maxStates = 12;
+    capped.checkpointPath = ck;
+    capped.spillDir = tempDir("seen_ckfail");
+    capped.seenLimit = 4;
+    const auto interrupted = enumerateBehaviors(p, wmm(), capped);
+    EXPECT_EQ(interrupted.truncation, Truncation::StateCap);
+
+    EngineSnapshot snap;
+    ASSERT_TRUE(readEngineSnapshot(
+                    ck, enumerationFingerprint(p, wmm(), capped), snap)
+                    .ok());
+    ASSERT_FALSE(snap.seenPages.empty());
+
+    // Resume into a run whose own checkpoints cannot be written (the
+    // path's directory does not exist).  The run degrades to a
+    // contained fault — and must leave every file the *previous*
+    // snapshot references on disk: that snapshot is still the latest
+    // durable resume point.
+    EnumerationOptions broken = capped;
+    broken.maxStates = 16;
+    broken.checkpointPath = capped.spillDir + "/no-such-dir/ck.snap";
+    const auto failed = resumeEnumeration(p, wmm(), broken, snap);
+    EXPECT_FALSE(failed.complete);
+    EXPECT_EQ(failed.truncation, Truncation::WorkerFault);
+    EXPECT_NE(failed.faultNote.find("checkpoint"), std::string::npos)
+        << failed.faultNote;
+    for (const auto &pg : snap.seenPages)
+        EXPECT_TRUE(std::filesystem::exists(pg)) << pg;
+    for (const auto &seg : snap.spillSegments)
+        EXPECT_TRUE(std::filesystem::exists(seg)) << seg;
+
+    // Proof, not just file counts: a clean resume from the original
+    // snapshot still completes and matches the uninterrupted run.
+    EngineSnapshot snap2;
+    ASSERT_TRUE(readEngineSnapshot(
+                    ck, enumerationFingerprint(p, wmm(), capped),
+                    snap2)
+                    .ok());
+    EnumerationOptions loose = capped;
+    loose.maxStates = EnumerationOptions{}.maxStates;
+    expectEquivalent(resumeEnumeration(p, wmm(), loose, snap2),
+                     baseline);
     std::filesystem::remove_all(capped.spillDir);
     std::remove(ck.c_str());
 }

@@ -192,6 +192,28 @@ TEST(Snapshot, VersionBumpIsBadVersionNotGarbage)
             .ok());
 }
 
+TEST(Snapshot, OlderSupportedVersionsStillOpen)
+{
+    // v3 only added an optional record type and readers skip types
+    // they do not know, so the reader accepts the whole supported
+    // range — a version bump must not strand existing checkpoints.
+    for (std::uint32_t v = snapshot::minFormatVersion;
+         v <= snapshot::formatVersion; ++v) {
+        RecordReader rr;
+        EXPECT_TRUE(rr.open(streamWithVersion(v, "cfg-A"), "cfg-A")
+                        .ok())
+            << "version " << v;
+    }
+    // Anything below the floor is still refused as BadVersion.
+    RecordReader old;
+    EXPECT_EQ(
+        old.open(streamWithVersion(snapshot::minFormatVersion - 1,
+                                   "cfg-A"),
+                 "cfg-A")
+            .error,
+        Error::BadVersion);
+}
+
 TEST(Snapshot, HeaderBitFlipIsBadCrc)
 {
     std::string bytes = sampleStream();
