@@ -394,6 +394,18 @@ main(int argc, char **argv)
                       << '\n';
             return exitUsage;
         }
+        // A crash can strand spill segments / seen pages newer than
+        // the snapshot being resumed (written after it, referenced by
+        // nothing durable), plus atomic-write temp files.  Sweep them
+        // now so recovery leaves only the durable set on disk.
+        if (!spillDir.empty()) {
+            const std::size_t purged = purgeUnreferencedSpillFiles(
+                io::realIoEnv(), spillDir, resumeSnap);
+            if (purged > 0)
+                log::line("resume: purged " + std::to_string(purged) +
+                          " unreferenced spill file(s) from " +
+                          spillDir);
+        }
     }
 
     TextTable table;

@@ -1,7 +1,6 @@
 #include "cache/result_cache.hpp"
 
 #include <algorithm>
-#include <filesystem>
 
 #include "util/atomic_file.hpp"
 #include "util/hash.hpp"
@@ -39,7 +38,7 @@ ResultCache::containerFingerprint() const
 }
 
 snapshot::Status
-ResultCache::open(const std::string &dir)
+ResultCache::open(io::IoEnv &env, const std::string &dir)
 {
     std::lock_guard<std::mutex> lock(m_);
     entries_.clear();
@@ -47,17 +46,17 @@ ResultCache::open(const std::string &dir)
     buckets_.clear();
     dirty_ = false;
 
-    std::error_code ec;
-    std::filesystem::create_directories(dir, ec); // best effort
+    io_ = &env;
+    io_->mkdirs(dir); // best effort
     path_ = dir + "/results.satomc";
 
-    if (!std::filesystem::exists(path_, ec)) {
+    if (!io_->exists(path_)) {
         openStatus_ = snapshot::Status{}; // cold, clean
         return openStatus_;
     }
 
     std::string bytes;
-    if (!readFileBytes(path_, bytes)) {
+    if (!readFileBytes(*io_, path_, bytes)) {
         openStatus_ = snapshot::Status::fail(
             snapshot::Error::Io, "cannot read " + path_);
         return openStatus_;
@@ -103,6 +102,12 @@ ResultCache::open(const std::string &dir)
     dirty_ = false; // loading is not an insert
     openStatus_ = snapshot::Status{};
     return openStatus_;
+}
+
+snapshot::Status
+ResultCache::open(const std::string &dir)
+{
+    return open(io::realIoEnv(), dir);
 }
 
 bool
@@ -228,7 +233,7 @@ ResultCache::save()
                 static_cast<char>(bytes[firstPayloadAt] ^ 0x20);
     }
 
-    if (!writeFileAtomic(path_, bytes))
+    if (!writeFileAtomic(*io_, path_, bytes))
         return false;
     dirty_ = false;
     return true;

@@ -40,6 +40,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/io_env.hpp"
 #include "util/snapshot.hpp"
 #include "util/u64set.hpp"
 
@@ -57,8 +58,11 @@ class ResultCache
      * `dir/results.satomc` when present.  Never fails hard: a
      * missing file is simply a cold cache (ok), and a damaged one
      * leaves the cache cold with the structured reason in the
-     * returned status (also kept in openStatus()).
+     * returned status (also kept in openStatus()).  The env-taking
+     * overload routes all cache I/O — including later save()s —
+     * through @p env (DESIGN.md §16).
      */
+    snapshot::Status open(io::IoEnv &env, const std::string &dir);
     snapshot::Status open(const std::string &dir);
 
     /**
@@ -124,6 +128,7 @@ class ResultCache
     std::string containerFingerprint() const;
 
     mutable std::mutex m_;
+    io::IoEnv *io_ = &io::realIoEnv();
     std::string path_;
     snapshot::Status openStatus_;
     std::deque<Entry> entries_;

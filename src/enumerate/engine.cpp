@@ -868,6 +868,7 @@ Enumerator::writeCheckpoint(
 
     const auto writeStart = std::chrono::steady_clock::now();
     const snapshot::Status st = writeEngineSnapshot(
+        options_.io ? *options_.io : io::realIoEnv(),
         options_.checkpointPath, snap, fingerprint_);
     const double writeSec =
         std::chrono::duration<double>(
@@ -881,6 +882,8 @@ Enumerator::writeCheckpoint(
         return false;
     }
     result_.registry.add(stats::Ctr::CheckpointsWritten);
+    durableCkptRefsFiles_ =
+        !snap.spillSegments.empty() || !snap.seenPages.empty();
     tuneCheckpointCadence(writeSec);
     if (options_.onCheckpoint)
         options_.onCheckpoint();
@@ -924,9 +927,9 @@ Enumerator::runSerial()
                             "engine");
     EnumStats &stats = result_.stats;
     std::vector<Behavior> stack;
-    PagedIndex seen(options_.spillDir, fingerprint_);
+    PagedIndex seen(options_.spillDir, fingerprint_, options_.io);
     ExecutionGraph scratch;
-    SpillQueue spill(options_.spillDir, fingerprint_);
+    SpillQueue spill(options_.spillDir, fingerprint_, options_.io);
 
     // Seen-set cap (§15): explicit --seen-limit, else derived from
     // the RSS ceiling (a quarter of it, in keys).  Without a spill
@@ -977,6 +980,8 @@ Enumerator::runSerial()
         for (std::uint64_t k : resume_->seenKeys)
             seen.insert(k);
         spill.adoptSegments(resume_->spillSegments);
+        durableCkptRefsFiles_ = !resume_->spillSegments.empty() ||
+                                !resume_->seenPages.empty();
     } else {
         Behavior first = initialBehavior();
         if (stabilize(first, stats)) {
@@ -1154,6 +1159,27 @@ Enumerator::runSerial()
             seen.retainDurable();
         }
     }
+    retireCheckpoint();
+}
+
+void
+Enumerator::retireCheckpoint()
+{
+    // A graceful completion is about to delete the spill segments and
+    // seen pages (the queues' destructors).  If the last durable
+    // checkpoint references any of them it becomes unresumable the
+    // moment they go — and a crash between here and the caller's
+    // report write would leave recovery resuming a broken snapshot.
+    // Retire it FIRST, so every crash image holds either a resumable
+    // checkpoint or none.  Self-contained checkpoints stay: resuming
+    // one after completion just replays the tail of the run.
+    if (result_.truncation != Truncation::None ||
+        options_.checkpointPath.empty() || !durableCkptRefsFiles_)
+        return;
+    io::IoEnv &env = options_.io ? *options_.io : io::realIoEnv();
+    env.remove(options_.checkpointPath);
+    env.syncDir(io::dirnameOf(options_.checkpointPath));
+    durableCkptRefsFiles_ = false;
 }
 
 void

@@ -52,6 +52,11 @@ namespace cache
 class ResultCache; // cache/result_cache.hpp
 }
 
+namespace io
+{
+class IoEnv; // util/io_env.hpp
+}
+
 /** Tuning knobs for the enumeration. */
 struct EnumerationOptions
 {
@@ -226,6 +231,14 @@ struct EnumerationOptions
      * caching).
      */
     cache::ResultCache *resultCache = nullptr;
+
+    /**
+     * The I/O environment behind every persistence path of the run —
+     * checkpoints, spill segments, seen pages (DESIGN.md §16).  Null
+     * (the default) means the real POSIX filesystem; the crash sweep
+     * substitutes a recording or simulated one.  Not owned.
+     */
+    io::IoEnv *io = nullptr;
 };
 
 /** Counters describing one enumeration run. */
@@ -437,6 +450,14 @@ class Enumerator
                          const std::vector<std::string> &seenPages);
 
     /**
+     * Graceful-completion checkpoint retirement (engine.cpp): remove
+     * checkpointPath if the durable resume point references spill or
+     * seen files, which the run's cleanup is about to delete.  Must
+     * run BEFORE the SpillQueue/PagedIndex destructors.
+     */
+    void retireCheckpoint();
+
+    /**
      * Autotune hook (checkpointEvery < 0): re-derive the periodic
      * cadence from the @p writeSec just spent persisting a snapshot
      * and the run's observed state-retirement rate.
@@ -455,6 +476,18 @@ class Enumerator
 
     /** Set while resume() drives run(); consumed by the engines. */
     const EngineSnapshot *resume_ = nullptr;
+
+    /**
+     * Does the durable resume point (the snapshot resumed from, or
+     * the last successfully written checkpoint) reference spill
+     * segments or seen pages?  A graceful completion deletes those
+     * files, which would leave an unresumable checkpoint behind — so
+     * such a checkpoint is retired (removed) at completion, *before*
+     * the queues delete the files it references.  Self-contained
+     * checkpoints are left in place: resuming one after the run
+     * completed is harmless (and exercised by tests).
+     */
+    bool durableCkptRefsFiles_ = false;
 
     /** Snapshot/spill fingerprint, computed when either is enabled. */
     std::string fingerprint_;

@@ -212,9 +212,9 @@ void
 Enumerator::runParallel(int workers)
 {
     EnumStats &stats = result_.stats;
-    PagedIndex seen(options_.spillDir, fingerprint_);
+    PagedIndex seen(options_.spillDir, fingerprint_, options_.io);
     std::vector<Behavior> frontier;
-    SpillQueue spill(options_.spillDir, fingerprint_);
+    SpillQueue spill(options_.spillDir, fingerprint_, options_.io);
 
     // Seen-set cap (§15), same derivation as runSerial.  Eviction
     // happens only at wave barriers, so workers see an immutable cold
@@ -263,6 +263,8 @@ Enumerator::runParallel(int workers)
         for (std::uint64_t k : resume_->seenKeys)
             seen.insert(k);
         spill.adoptSegments(resume_->spillSegments);
+        durableCkptRefsFiles_ = !resume_->spillSegments.empty() ||
+                                !resume_->seenPages.empty();
     } else {
         Behavior first = initialBehavior();
         if (stabilize(first, stats)) {
@@ -597,6 +599,7 @@ Enumerator::runParallel(int workers)
             seen.retainDurable();
         }
     }
+    retireCheckpoint();
 }
 
 std::vector<EnumerationResult>

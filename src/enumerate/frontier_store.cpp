@@ -701,7 +701,7 @@ decodeEngineSnapshot(std::string_view bytes,
 }
 
 snapshot::Status
-writeEngineSnapshot(const std::string &path,
+writeEngineSnapshot(io::IoEnv &env, const std::string &path,
                     const EngineSnapshot &snap,
                     const std::string &fingerprint)
 {
@@ -711,10 +711,31 @@ writeEngineSnapshot(const std::string &path,
         // the reader must reject the file as Torn.
         bytes.resize(bytes.size() - bytes.size() / 3);
     }
-    if (!writeFileAtomic(path, bytes))
+    if (!writeFileAtomic(env, path, bytes))
         return Status::fail(Error::Io,
                             "cannot write snapshot to " + path);
     return Status{};
+}
+
+snapshot::Status
+writeEngineSnapshot(const std::string &path,
+                    const EngineSnapshot &snap,
+                    const std::string &fingerprint)
+{
+    return writeEngineSnapshot(io::realIoEnv(), path, snap,
+                               fingerprint);
+}
+
+snapshot::Status
+readEngineSnapshot(io::IoEnv &env, const std::string &path,
+                   const std::string &expectFingerprint,
+                   EngineSnapshot &snap)
+{
+    std::string bytes;
+    if (!readFileBytes(env, path, bytes))
+        return Status::fail(Error::Io,
+                            "cannot read snapshot " + path);
+    return decodeEngineSnapshot(bytes, expectFingerprint, snap);
 }
 
 snapshot::Status
@@ -722,11 +743,48 @@ readEngineSnapshot(const std::string &path,
                    const std::string &expectFingerprint,
                    EngineSnapshot &snap)
 {
-    std::string bytes;
-    if (!readFileBytes(path, bytes))
-        return Status::fail(Error::Io,
-                            "cannot read snapshot " + path);
-    return decodeEngineSnapshot(bytes, expectFingerprint, snap);
+    return readEngineSnapshot(io::realIoEnv(), path,
+                              expectFingerprint, snap);
+}
+
+std::size_t
+purgeUnreferencedSpillFiles(io::IoEnv &env, const std::string &dir,
+                            const EngineSnapshot &snap)
+{
+    if (dir.empty())
+        return 0;
+    auto referenced = [&snap](const std::string &path) {
+        return std::find(snap.spillSegments.begin(),
+                         snap.spillSegments.end(),
+                         path) != snap.spillSegments.end() ||
+               std::find(snap.seenPages.begin(),
+                         snap.seenPages.end(),
+                         path) != snap.seenPages.end();
+    };
+    auto isSpillArtifact = [](const std::string &name) {
+        if (isAtomicTmpPath(name))
+            return true;
+        auto matches = [&name](const char *prefix,
+                               const char *suffix) {
+            const std::string p(prefix), s(suffix);
+            return name.size() > p.size() + s.size() &&
+                   name.compare(0, p.size(), p) == 0 &&
+                   name.compare(name.size() - s.size(), s.size(),
+                                s) == 0;
+        };
+        return matches("spill-", ".seg") || matches("seen-", ".idx");
+    };
+    std::size_t removed = 0;
+    for (const std::string &name : env.list(dir)) {
+        if (!isSpillArtifact(name))
+            continue;
+        const std::string path = dir + "/" + name;
+        if (referenced(path))
+            continue;
+        if (env.remove(path))
+            ++removed;
+    }
+    return removed;
 }
 
 namespace
@@ -738,8 +796,10 @@ std::atomic<std::uint64_t> g_segCounter{0};
 
 } // namespace
 
-SpillQueue::SpillQueue(std::string dir, std::string fingerprint)
-    : dir_(std::move(dir)), fingerprint_(std::move(fingerprint))
+SpillQueue::SpillQueue(std::string dir, std::string fingerprint,
+                       io::IoEnv *io)
+    : dir_(std::move(dir)), fingerprint_(std::move(fingerprint)),
+      io_(io ? io : &io::realIoEnv())
 {
 }
 
@@ -749,12 +809,12 @@ SpillQueue::~SpillQueue()
     // still-latest, if keepDurable_) snapshot that references them.
     if (!keepDurable_)
         for (const std::string &path : consumedDurable_)
-            std::remove(path.c_str());
+            io_->remove(path);
     if (retained_)
         return;
     for (const std::string &path : segments_)
         if (!keepDurable_ || !isDurable(path))
-            std::remove(path.c_str());
+            io_->remove(path);
 }
 
 void
@@ -778,7 +838,7 @@ void
 SpillQueue::markDurable()
 {
     for (const std::string &path : consumedDurable_)
-        std::remove(path.c_str());
+        io_->remove(path);
     consumedDurable_.clear();
     durable_ = segments_;
 }
@@ -800,7 +860,7 @@ SpillQueue::spill(std::vector<Behavior> &&behaviors,
     snapshot::RecordWriter rw(fingerprint_);
     rw.record(snaprec::Frontier, putFrontier(behaviors));
     if (fault::spillIoFailDue() ||
-        !writeFileAtomic(path, rw.finish()))
+        !writeFileAtomic(*io_, path, rw.finish()))
         return false;
     segments_.push_back(path);
     reg.add(stats::Ctr::SpillSegments);
@@ -820,7 +880,7 @@ SpillQueue::reload(std::vector<Behavior> &out,
         return Status::fail(Error::Io,
                             "injected spill-io-fail on " + path);
     std::string bytes;
-    if (!readFileBytes(path, bytes))
+    if (!readFileBytes(*io_, path, bytes))
         return Status::fail(Error::Io,
                             "cannot read spill segment " + path);
 
@@ -852,7 +912,7 @@ SpillQueue::reload(std::vector<Behavior> &out,
     if (isDurable(path))
         consumedDurable_.push_back(path);
     else
-        std::remove(path.c_str());
+        io_->remove(path);
     return Status{};
 }
 

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "enumerate/engine.hpp"
+#include "util/io_env.hpp"
 #include "util/snapshot.hpp"
 
 namespace satom
@@ -148,18 +149,41 @@ snapshot::Status decodeEngineSnapshot(
     EngineSnapshot &snap);
 
 /**
- * Persist @p snap to @p path via tmp+rename.  Honors the
- * SATOM_FAULT=torn-snapshot site by truncating the stream mid-record
- * before writing (testing the reader's torn-tail rejection).
+ * Persist @p snap to @p path via tmp+fsync+rename through @p env.
+ * Honors the SATOM_FAULT=torn-snapshot site by truncating the stream
+ * mid-record before writing (testing the reader's torn-tail
+ * rejection).
  */
+snapshot::Status writeEngineSnapshot(io::IoEnv &env,
+                                     const std::string &path,
+                                     const EngineSnapshot &snap,
+                                     const std::string &fingerprint);
 snapshot::Status writeEngineSnapshot(const std::string &path,
                                      const EngineSnapshot &snap,
                                      const std::string &fingerprint);
 
 /** Load and decode the snapshot at @p path. */
 snapshot::Status readEngineSnapshot(
+    io::IoEnv &env, const std::string &path,
+    const std::string &expectFingerprint, EngineSnapshot &snap);
+snapshot::Status readEngineSnapshot(
     const std::string &path, const std::string &expectFingerprint,
     EngineSnapshot &snap);
+
+/**
+ * Delete spill-directory debris a cold or resumed start must not
+ * inherit: files in @p dir matching the spill artifact patterns
+ * (spill segments, seen pages, atomic-write temp files) that @p snap
+ * does NOT reference.  Segments/pages written after the last durable
+ * checkpoint — and tmp files a crash interrupted mid-rename — are
+ * unreachable from any resume point and would otherwise accumulate.
+ * Pass an empty snapshot for a cold start (everything matching is
+ * debris).  Only call on a directory this run owns exclusively.
+ * Returns the number of files removed.
+ */
+std::size_t purgeUnreferencedSpillFiles(io::IoEnv &env,
+                                        const std::string &dir,
+                                        const EngineSnapshot &snap);
 
 /**
  * Disk-backed LIFO queue of frontier segments (the out-of-core half
@@ -169,7 +193,10 @@ snapshot::Status readEngineSnapshot(
 class SpillQueue
 {
   public:
-    SpillQueue(std::string dir, std::string fingerprint);
+    /** @p io routes segment I/O through a pluggable environment
+     *  (DESIGN.md §16); null means the real POSIX one. */
+    SpillQueue(std::string dir, std::string fingerprint,
+               io::IoEnv *io = nullptr);
 
     /**
      * Deletes any segment file still on disk unless retain() handed
@@ -245,6 +272,7 @@ class SpillQueue
 
     std::string dir_;
     std::string fingerprint_;
+    io::IoEnv *io_;
     std::vector<std::string> segments_;
     /** Segments referenced by the latest durable snapshot (adopted +
      *  last markDurable()). */

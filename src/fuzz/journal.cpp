@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 
 namespace satom::fuzz
@@ -159,12 +158,14 @@ SeedIndex::find(std::uint32_t seed) const
 }
 
 JournalLoad
-loadJournal(const std::string &path, const std::string &fingerprint)
+loadJournal(io::IoEnv &env, const std::string &path,
+            const std::string &fingerprint)
 {
     JournalLoad load;
-    std::ifstream f(path);
-    if (!f)
+    std::string bytes;
+    if (!env.readFile(path, bytes))
         return load; // no journal yet: nothing to resume, not an error
+    std::istringstream f(bytes);
     std::string line;
     bool first = true;
     while (std::getline(f, line)) {
@@ -193,6 +194,12 @@ loadJournal(const std::string &path, const std::string &fingerprint)
     }
     load.seeds.finalize();
     return load;
+}
+
+JournalLoad
+loadJournal(const std::string &path, const std::string &fingerprint)
+{
+    return loadJournal(io::realIoEnv(), path, fingerprint);
 }
 
 } // namespace satom::fuzz

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "fuzz/oracle.hpp"
+#include "util/io_env.hpp"
 #include "util/run_control.hpp"
 #include "util/stats.hpp"
 
@@ -159,10 +160,13 @@ struct JournalLoad
 };
 
 /**
- * Load the journal at @p path.  A missing file is a clean empty load
- * (nothing to resume).  Corrupt records are counted and skipped —
- * their seeds recompute; they never abort the resume.
+ * Load the journal at @p path (through @p env when given).  A missing
+ * file is a clean empty load (nothing to resume).  Corrupt records
+ * are counted and skipped — their seeds recompute; they never abort
+ * the resume.
  */
+JournalLoad loadJournal(io::IoEnv &env, const std::string &path,
+                        const std::string &fingerprint);
 JournalLoad loadJournal(const std::string &path,
                         const std::string &fingerprint);
 

@@ -1,49 +1,92 @@
 #include "util/atomic_file.hpp"
 
+#include <atomic>
 #include <cstdio>
-#include <sstream>
+
+#include <unistd.h>
 
 namespace satom
 {
 
+namespace
+{
+
+std::atomic<bool> g_unsafeAtomicWrites{false};
+
+/** Unique temp name: pid guards cross-process races, the counter
+ *  guards concurrent writers inside one process. */
+std::string
+atomicTmpName(const std::string &path)
+{
+    static std::atomic<std::uint64_t> seq{0};
+    return path + ".satomtmp." + std::to_string(::getpid()) + "." +
+           std::to_string(seq.fetch_add(1));
+}
+
+} // namespace
+
+void
+setUnsafeAtomicWrites(bool on)
+{
+    g_unsafeAtomicWrites.store(on);
+}
+
+bool
+unsafeAtomicWrites()
+{
+    return g_unsafeAtomicWrites.load();
+}
+
+bool
+isAtomicTmpPath(const std::string &path)
+{
+    return path.find(".satomtmp.") != std::string::npos;
+}
+
+bool
+writeFileAtomic(io::IoEnv &env, const std::string &path,
+                const std::string &content)
+{
+    const std::string tmp = atomicTmpName(path);
+    auto f = env.openWrite(tmp, /*truncate=*/true);
+    if (!f)
+        return false;
+    bool ok = f->write(content);
+    if (ok && !unsafeAtomicWrites())
+        ok = f->sync();
+    ok = f->close() && ok;
+    if (!ok)
+    {
+        env.remove(tmp);
+        return false;
+    }
+    if (!env.rename(tmp, path))
+    {
+        env.remove(tmp);
+        return false;
+    }
+    if (!unsafeAtomicWrites())
+        env.syncDir(io::dirnameOf(path));
+    return true;
+}
+
 bool
 writeFileAtomic(const std::string &path, const std::string &content)
 {
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream f(tmp, std::ios::trunc | std::ios::binary);
-        if (!f || !f.write(content.data(),
-                           static_cast<std::streamsize>(
-                               content.size()))) {
-            std::remove(tmp.c_str());
-            return false;
-        }
-        f.flush();
-        if (!f) {
-            std::remove(tmp.c_str());
-            return false;
-        }
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
+    return writeFileAtomic(io::realIoEnv(), path, content);
+}
+
+bool
+readFileBytes(io::IoEnv &env, const std::string &path,
+              std::string &out)
+{
+    return env.readFile(path, out);
 }
 
 bool
 readFileBytes(const std::string &path, std::string &out)
 {
-    out.clear();
-    std::ifstream f(path, std::ios::binary);
-    if (!f)
-        return false;
-    std::ostringstream buf;
-    buf << f.rdbuf();
-    if (f.bad())
-        return false;
-    out = buf.str();
-    return true;
+    return readFileBytes(io::realIoEnv(), path, out);
 }
 
 } // namespace satom

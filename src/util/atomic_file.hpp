@@ -2,23 +2,30 @@
  * @file
  * Crash-safe file writing, shared by every persistent artifact in the
  * system (fuzz reports, campaign journals, engine snapshots, spill
- * segments).
+ * segments, seen pages, the result cache).
  *
  * Two patterns cover all of them:
  *
- *  - writeFileAtomic(): the tmp+rename pattern.  The bytes land in
- *    `path.tmp` first and are renamed over `path` only once the write
- *    and flush completed, so a reader never observes a torn file: it
- *    sees either the old content or the new, never a prefix.  POSIX
- *    rename() is atomic within a filesystem.  This was previously
- *    inlined in the satom_fuzz report path; the snapshot writer and
- *    the litmus_runner checkpoint path share it now.
+ *  - writeFileAtomic(): the durable tmp+rename pattern.  The bytes
+ *    land in a uniquely named temp file (`path.satomtmp.<pid>.<seq>`,
+ *    so concurrent writers to one path can never clobber each other's
+ *    temp), are fsync'd through the fd *before* the rename, and the
+ *    parent directory is fsync'd *after* it — so after any crash a
+ *    reader sees either the old content or the whole new content,
+ *    never a prefix, and the rename itself is durable.  POSIX
+ *    rename() is atomic within a filesystem.
  *
  *  - AppendLog: the flushed append-only pattern of the campaign
- *    journal.  Each line is written and flushed before the caller
- *    retires the unit of work it records, so a kill at any instant
- *    loses at most the in-flight record — and leaves at most one torn
- *    tail line, which the reader-side parsers are required to skip.
+ *    journal.  Each line reaches the OS in one write before the
+ *    caller retires the unit of work it records, so a kill at any
+ *    instant loses at most the in-flight record — and leaves at most
+ *    one torn tail line, which the reader-side parsers are required
+ *    to skip.
+ *
+ * Both run through the pluggable I/O environment (util/io_env.hpp):
+ * the overloads without an env use the real POSIX one; the crash
+ * sweep records and simulates the same code paths through
+ * RecordingIoEnv/SimIoEnv.
  *
  * Neither helper throws: failures are reported through return values,
  * because the writers run on campaign/engine hot paths where an
@@ -27,17 +34,23 @@
 
 #pragma once
 
-#include <fstream>
+#include <memory>
 #include <string>
+
+#include "util/io_env.hpp"
 
 namespace satom
 {
 
 /**
- * Write @p content to @p path via tmp+rename.  False on any I/O
- * failure (the tmp file is removed on a failed write; @p path is
- * never left torn).
+ * Write @p content to @p path via tmp+fsync+rename+dirsync through
+ * @p env.  False on any I/O failure (the temp file is removed on a
+ * failed write; @p path is never left torn).
  */
+bool writeFileAtomic(io::IoEnv &env, const std::string &path,
+                     const std::string &content);
+
+/** writeFileAtomic through the real POSIX environment. */
 bool writeFileAtomic(const std::string &path,
                      const std::string &content);
 
@@ -45,40 +58,65 @@ bool writeFileAtomic(const std::string &path,
  * Read the whole of @p path into @p out.  False if the file cannot
  * be opened or read; @p out is cleared then.
  */
+bool readFileBytes(io::IoEnv &env, const std::string &path,
+                   std::string &out);
 bool readFileBytes(const std::string &path, std::string &out);
+
+/**
+ * True iff @p path is a writeFileAtomic temp file (crash debris when
+ * seen after recovery; the crash sweep uses the pattern to identify
+ * atomically written final paths in a recorded I/O log).
+ */
+bool isAtomicTmpPath(const std::string &path);
+
+/**
+ * TESTING ONLY — revert the durability half of writeFileAtomic (no fd
+ * fsync before the rename, no directory fsync after): the sensitivity
+ * mode satom_crashsweep uses to prove its detector actually fires.
+ * Never enable outside the sweep.
+ */
+void setUnsafeAtomicWrites(bool on);
+bool unsafeAtomicWrites();
 
 /**
  * Append-only log with per-line flushing: the journal discipline.
  * open() either truncates (a fresh log) or appends (a resumed one);
- * appendLine() writes one line and flushes it to the OS before
+ * appendLine() hands one line to the OS in a single write before
  * returning, making the record crash-durable up to the page cache.
  */
 class AppendLog
 {
   public:
-    /** Open @p path; truncate when @p fresh, append otherwise. */
+    /** Open @p path via @p env; truncate when @p fresh. */
+    bool
+    open(io::IoEnv &env, const std::string &path, bool fresh)
+    {
+        f_ = env.openWrite(path, fresh);
+        return f_ != nullptr;
+    }
+
+    /** Open through the real POSIX environment. */
     bool
     open(const std::string &path, bool fresh)
     {
-        f_.open(path, fresh ? std::ios::trunc : std::ios::app);
-        return f_.good();
+        return open(io::realIoEnv(), path, fresh);
     }
 
-    bool isOpen() const { return f_.is_open(); }
+    bool isOpen() const { return f_ != nullptr; }
 
-    /** Write @p line + '\n' and flush; false on I/O failure. */
+    /** Write @p line + '\n' in one write; false on I/O failure. */
     bool
     appendLine(const std::string &line)
     {
-        if (!f_.is_open())
+        if (!f_)
             return false;
-        f_ << line << '\n';
-        f_.flush();
-        return f_.good();
+        std::string buf = line;
+        buf += '\n';
+        return f_->write(buf);
     }
 
   private:
-    std::ofstream f_;
+    std::unique_ptr<io::WriteFile> f_;
 };
 
 } // namespace satom

@@ -1,0 +1,550 @@
+#include "util/io_env.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace satom::io
+{
+
+std::string
+dirnameOf(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+// ---------------------------------------------------------------------
+// RealIoEnv
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+class RealWriteFile final : public WriteFile
+{
+  public:
+    explicit RealWriteFile(int fd) : fd_(fd) {}
+    ~RealWriteFile() override { close(); }
+
+    bool
+    write(const char *data, std::size_t n) override
+    {
+        if (fd_ < 0)
+            return false;
+        while (n > 0) {
+            const ssize_t w = ::write(fd_, data, n);
+            if (w < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            data += w;
+            n -= static_cast<std::size_t>(w);
+        }
+        return true;
+    }
+
+    bool
+    sync() override
+    {
+        return fd_ >= 0 && ::fsync(fd_) == 0;
+    }
+
+    bool
+    close() override
+    {
+        if (fd_ < 0)
+            return true;
+        const int r = ::close(fd_);
+        fd_ = -1;
+        return r == 0;
+    }
+
+  private:
+    int fd_;
+};
+
+class RealIoEnv final : public IoEnv
+{
+  public:
+    std::unique_ptr<WriteFile>
+    openWrite(const std::string &path, bool truncate) override
+    {
+        const int flags = O_WRONLY | O_CREAT | O_CLOEXEC |
+                          (truncate ? O_TRUNC : O_APPEND);
+        const int fd = ::open(path.c_str(), flags, 0644);
+        if (fd < 0)
+            return nullptr;
+        return std::make_unique<RealWriteFile>(fd);
+    }
+
+    bool
+    readFile(const std::string &path, std::string &out) override
+    {
+        out.clear();
+        const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+        if (fd < 0)
+            return false;
+        char buf[1 << 16];
+        while (true) {
+            const ssize_t r = ::read(fd, buf, sizeof buf);
+            if (r < 0) {
+                if (errno == EINTR)
+                    continue;
+                ::close(fd);
+                out.clear();
+                return false;
+            }
+            if (r == 0)
+                break;
+            out.append(buf, static_cast<std::size_t>(r));
+        }
+        ::close(fd);
+        return true;
+    }
+
+    bool
+    exists(const std::string &path) override
+    {
+        return ::access(path.c_str(), F_OK) == 0;
+    }
+
+    bool
+    rename(const std::string &from, const std::string &to) override
+    {
+        return ::rename(from.c_str(), to.c_str()) == 0;
+    }
+
+    bool
+    remove(const std::string &path) override
+    {
+        return ::remove(path.c_str()) == 0;
+    }
+
+    bool
+    syncDir(const std::string &dir) override
+    {
+        const int fd =
+            ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+        if (fd < 0)
+            return false;
+        const int r = ::fsync(fd);
+        ::close(fd);
+        // Some filesystems refuse directory fsync with EINVAL; that
+        // is the platform's durability ceiling, not a write failure.
+        return r == 0 || errno == EINVAL || errno == ENOTSUP;
+    }
+
+    bool
+    mkdirs(const std::string &dir) override
+    {
+        if (dir.empty())
+            return false;
+        std::string partial;
+        std::size_t pos = 0;
+        while (pos <= dir.size()) {
+            const std::size_t slash = dir.find('/', pos);
+            const std::size_t end =
+                slash == std::string::npos ? dir.size() : slash;
+            partial = dir.substr(0, end);
+            pos = end + 1;
+            if (partial.empty())
+                continue; // leading '/'
+            if (::mkdir(partial.c_str(), 0755) != 0 &&
+                errno != EEXIST)
+                return false;
+        }
+        return true;
+    }
+
+    std::vector<std::string>
+    list(const std::string &dir) override
+    {
+        std::vector<std::string> out;
+        DIR *d = ::opendir(dir.c_str());
+        if (!d)
+            return out;
+        while (const dirent *e = ::readdir(d)) {
+            const std::string name = e->d_name;
+            if (name == "." || name == "..")
+                continue;
+            out.push_back(name);
+        }
+        ::closedir(d);
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+};
+
+} // namespace
+
+IoEnv &
+realIoEnv()
+{
+    static RealIoEnv env;
+    return env;
+}
+
+// ---------------------------------------------------------------------
+// RecordingIoEnv
+// ---------------------------------------------------------------------
+
+class RecordingWriteFile final : public WriteFile
+{
+  public:
+    RecordingWriteFile(RecordingIoEnv &env, std::string path,
+                       std::unique_ptr<WriteFile> inner)
+        : env_(env), path_(std::move(path)), inner_(std::move(inner))
+    {
+    }
+    ~RecordingWriteFile() override { close(); }
+
+    bool
+    write(const char *data, std::size_t n) override
+    {
+        if (!inner_->write(data, n))
+            return false;
+        IoStep s;
+        s.op = IoStep::Op::Write;
+        s.path = path_;
+        s.data.assign(data, n);
+        env_.record(std::move(s));
+        return true;
+    }
+
+    bool
+    sync() override
+    {
+        if (!inner_->sync())
+            return false;
+        env_.record({IoStep::Op::Sync, path_, "", ""});
+        return true;
+    }
+
+    bool
+    close() override
+    {
+        if (closed_)
+            return true;
+        closed_ = true;
+        if (!inner_->close())
+            return false;
+        env_.record({IoStep::Op::Close, path_, "", ""});
+        return true;
+    }
+
+  private:
+    RecordingIoEnv &env_;
+    std::string path_;
+    std::unique_ptr<WriteFile> inner_;
+    bool closed_ = false;
+};
+
+void
+RecordingIoEnv::record(IoStep s)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    log_.steps.push_back(std::move(s));
+}
+
+std::unique_ptr<WriteFile>
+RecordingIoEnv::openWrite(const std::string &path, bool truncate)
+{
+    auto inner = inner_.openWrite(path, truncate);
+    if (!inner)
+        return nullptr;
+    record({truncate ? IoStep::Op::OpenTrunc : IoStep::Op::OpenAppend,
+            path, "", ""});
+    return std::make_unique<RecordingWriteFile>(*this, path,
+                                                std::move(inner));
+}
+
+bool
+RecordingIoEnv::rename(const std::string &from, const std::string &to)
+{
+    if (!inner_.rename(from, to))
+        return false;
+    record({IoStep::Op::Rename, from, to, ""});
+    return true;
+}
+
+bool
+RecordingIoEnv::remove(const std::string &path)
+{
+    if (!inner_.remove(path))
+        return false;
+    record({IoStep::Op::Remove, path, "", ""});
+    return true;
+}
+
+bool
+RecordingIoEnv::syncDir(const std::string &dir)
+{
+    if (!inner_.syncDir(dir))
+        return false;
+    record({IoStep::Op::SyncDir, dir, "", ""});
+    return true;
+}
+
+bool
+RecordingIoEnv::mkdirs(const std::string &dir)
+{
+    if (!inner_.mkdirs(dir))
+        return false;
+    record({IoStep::Op::Mkdirs, dir, "", ""});
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// SimIoEnv
+// ---------------------------------------------------------------------
+
+class SimWriteFile final : public WriteFile
+{
+  public:
+    SimWriteFile(SimIoEnv &env, std::string path)
+        : env_(env), path_(std::move(path))
+    {
+    }
+
+    bool
+    write(const char *data, std::size_t n) override
+    {
+        std::lock_guard<std::mutex> lk(env_.m_);
+        env_.files_[path_].data.append(data, n);
+        return true;
+    }
+
+    bool
+    sync() override
+    {
+        std::lock_guard<std::mutex> lk(env_.m_);
+        SimIoEnv::File &f = env_.files_[path_];
+        f.synced = f.data.size();
+        return true;
+    }
+
+    bool close() override { return true; }
+
+  private:
+    SimIoEnv &env_;
+    std::string path_;
+};
+
+std::unique_ptr<WriteFile>
+SimIoEnv::openWrite(const std::string &path, bool truncate)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    File &f = files_[path];
+    if (truncate) {
+        // Documented simplification: truncation is durable at once
+        // (only fresh journals and unique temp names truncate here).
+        f.data.clear();
+        f.synced = 0;
+    }
+    return std::make_unique<SimWriteFile>(*this, path);
+}
+
+bool
+SimIoEnv::readFile(const std::string &path, std::string &out)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    out.clear();
+    const auto it = files_.find(path);
+    if (it == files_.end())
+        return false;
+    out = it->second.data;
+    return true;
+}
+
+bool
+SimIoEnv::exists(const std::string &path)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return files_.count(path) != 0;
+}
+
+bool
+SimIoEnv::rename(const std::string &from, const std::string &to)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    const auto it = files_.find(from);
+    if (it == files_.end())
+        return false;
+    files_[to] = std::move(it->second);
+    files_.erase(it);
+    return true;
+}
+
+bool
+SimIoEnv::remove(const std::string &path)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return files_.erase(path) != 0;
+}
+
+bool
+SimIoEnv::mkdirs(const std::string &)
+{
+    return true; // directories are implicit in the flat path map
+}
+
+std::vector<std::string>
+SimIoEnv::list(const std::string &dir)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    // Direct children of @p dir only, mirroring readdir.
+    const std::string prefix =
+        dir.empty() || dir.back() == '/' ? dir : dir + "/";
+    std::vector<std::string> out;
+    for (const auto &[path, f] : files_) {
+        (void)f;
+        if (path.size() <= prefix.size() ||
+            path.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        const std::string rest = path.substr(prefix.size());
+        if (rest.find('/') != std::string::npos)
+            continue;
+        out.push_back(rest);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::map<std::string, std::string>
+SimIoEnv::crashImage(CrashVariant variant) const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    std::map<std::string, std::string> image;
+    for (const auto &[path, f] : files_) {
+        switch (variant) {
+        case CrashVariant::Clean:
+            image[path] = f.data;
+            break;
+        case CrashVariant::Torn: {
+            // The durable prefix plus half (rounded up) of the
+            // unsynced suffix: a mid-flush page-cache tear.
+            const std::size_t unsynced = f.data.size() - f.synced;
+            image[path] =
+                f.data.substr(0, f.synced + (unsynced + 1) / 2);
+            break;
+        }
+        case CrashVariant::Reorder:
+            // The directory entry reached disk, unsynced data never
+            // did.
+            image[path] = f.data.substr(0, f.synced);
+            break;
+        }
+    }
+    return image;
+}
+
+void
+SimIoEnv::reset(std::map<std::string, std::string> image)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    files_.clear();
+    for (auto &[path, content] : image) {
+        File f;
+        f.synced = content.size();
+        f.data = std::move(content);
+        files_[path] = std::move(f);
+    }
+}
+
+std::vector<std::string>
+SimIoEnv::allPaths() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    std::vector<std::string> out;
+    out.reserve(files_.size());
+    for (const auto &[path, f] : files_) {
+        (void)f;
+        out.push_back(path);
+    }
+    return out;
+}
+
+std::string
+SimIoEnv::content(const std::string &path) const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    const auto it = files_.find(path);
+    return it == files_.end() ? std::string{} : it->second.data;
+}
+
+// ---------------------------------------------------------------------
+// replaySteps
+// ---------------------------------------------------------------------
+
+void
+replaySteps(const IoLog &log, std::size_t k, SimIoEnv &env)
+{
+    // Open handles are keyed by path: the recorded workloads never
+    // hold two concurrent handles to one file (writeFileAtomic uses
+    // unique temp names; journals have one writer).
+    std::map<std::string, std::unique_ptr<WriteFile>> open;
+    const std::size_t n = std::min(k, log.steps.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const IoStep &s = log.steps[i];
+        switch (s.op) {
+        case IoStep::Op::OpenTrunc:
+            open[s.path] = env.openWrite(s.path, true);
+            break;
+        case IoStep::Op::OpenAppend:
+            open[s.path] = env.openWrite(s.path, false);
+            break;
+        case IoStep::Op::Write: {
+            auto it = open.find(s.path);
+            if (it == open.end())
+                it = open
+                         .emplace(s.path,
+                                  env.openWrite(s.path, false))
+                         .first;
+            it->second->write(s.data.data(), s.data.size());
+            break;
+        }
+        case IoStep::Op::Sync: {
+            const auto it = open.find(s.path);
+            if (it != open.end())
+                it->second->sync();
+            break;
+        }
+        case IoStep::Op::Close: {
+            const auto it = open.find(s.path);
+            if (it != open.end()) {
+                it->second->close();
+                open.erase(it);
+            }
+            break;
+        }
+        case IoStep::Op::Rename:
+            open.erase(s.path);
+            env.rename(s.path, s.other);
+            break;
+        case IoStep::Op::Remove:
+            open.erase(s.path);
+            env.remove(s.path);
+            break;
+        case IoStep::Op::SyncDir:
+            env.syncDir(s.path);
+            break;
+        case IoStep::Op::Mkdirs:
+            env.mkdirs(s.path);
+            break;
+        }
+    }
+}
+
+} // namespace satom::io

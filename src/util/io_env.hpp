@@ -1,0 +1,267 @@
+/**
+ * @file
+ * The pluggable I/O environment behind every persistence path
+ * (DESIGN.md §16).
+ *
+ * Everything the system ever makes durable — engine snapshots, spill
+ * segments, seen pages, the result cache, fuzz journals and reports —
+ * flows through one seam: an IoEnv of open/write/fsync/rename/remove/
+ * list operations.  Three implementations cover production and
+ * torture testing:
+ *
+ *  - RealIoEnv (realIoEnv()): the POSIX passthrough.  Writable files
+ *    are raw fds, sync() is fsync(2), syncDir() opens the directory
+ *    and fsyncs it — the two calls the tmp+rename pattern needs for
+ *    OS-level durability (data before rename, the directory entry
+ *    after).
+ *
+ *  - RecordingIoEnv: wraps any inner env and logs every durable-state
+ *    mutation as a numbered IoStep.  The crash-point sweep
+ *    (tools/satom_crashsweep) replays step prefixes of that log to
+ *    materialize every reachable crash state.
+ *
+ *  - SimIoEnv: an in-memory filesystem that models the *persisted* vs
+ *    *volatile* distinction.  Each file carries its full logical
+ *    content plus the length its last sync() made durable;
+ *    crashImage() then renders what a power cut would leave under a
+ *    chosen variant:
+ *
+ *      Clean   — every pending write survived (the lucky crash).
+ *      Torn    — un-fsynced tails survive only as a prefix (half of
+ *                the unsynced suffix), the page-cache tear.
+ *      Reorder — directory operations (create/rename/remove) reached
+ *                disk but NO un-fsynced data did: the classic
+ *                metadata-before-data reordering.  A renamed file
+ *                whose bytes were never fsynced shows up torn or
+ *                empty at its final name — exactly the bug a missing
+ *                fsync-before-rename causes.
+ *
+ *    Deliberate simplification: open(truncate) applies immediately
+ *    and durably (the only truncating writers here are fresh journal
+ *    opens and unique-named temp files, never a live artifact), and
+ *    directory entries always survive a crash — losing an un-synced
+ *    rename only ever re-exposes *older* durable content, which every
+ *    reader already handles, so the sim spends its fidelity on the
+ *    dangerous direction instead.
+ *
+ * Failures are reported through return values, never exceptions: the
+ * writers run on campaign/engine hot paths.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace satom::io
+{
+
+/** One writable file handle (created by IoEnv::openWrite). */
+class WriteFile
+{
+  public:
+    virtual ~WriteFile() = default;
+
+    /** Append @p n bytes; false on I/O failure. */
+    virtual bool write(const char *data, std::size_t n) = 0;
+
+    bool
+    write(std::string_view s)
+    {
+        return write(s.data(), s.size());
+    }
+
+    /** Make everything written so far crash-durable (fsync). */
+    virtual bool sync() = 0;
+
+    /** Close the handle (idempotent); false on close-time failure. */
+    virtual bool close() = 0;
+};
+
+/** The persistence seam: every durable artifact goes through one. */
+class IoEnv
+{
+  public:
+    virtual ~IoEnv() = default;
+
+    /**
+     * Open @p path for writing: truncated when @p truncate, appended
+     * otherwise (the file is created either way).  Null on failure.
+     */
+    virtual std::unique_ptr<WriteFile>
+    openWrite(const std::string &path, bool truncate) = 0;
+
+    /** Read the whole of @p path into @p out; false (with @p out
+     *  cleared) if it cannot be opened or read. */
+    virtual bool readFile(const std::string &path,
+                          std::string &out) = 0;
+
+    virtual bool exists(const std::string &path) = 0;
+
+    /** Atomically rename @p from to @p to (same filesystem). */
+    virtual bool rename(const std::string &from,
+                        const std::string &to) = 0;
+
+    virtual bool remove(const std::string &path) = 0;
+
+    /** Make @p dir's entries (renames, creates, removes) durable. */
+    virtual bool syncDir(const std::string &dir) = 0;
+
+    /** Create @p dir and any missing parents. */
+    virtual bool mkdirs(const std::string &dir) = 0;
+
+    /** Names (not paths) of the entries in @p dir, sorted. */
+    virtual std::vector<std::string> list(const std::string &dir) = 0;
+};
+
+/** The process-wide POSIX environment. */
+IoEnv &realIoEnv();
+
+/** The directory component of @p path ("." when there is none). */
+std::string dirnameOf(const std::string &path);
+
+// ---------------------------------------------------------------------
+// RecordingIoEnv: the numbered durable-mutation log.
+// ---------------------------------------------------------------------
+
+/** One recorded durable-state mutation. */
+struct IoStep
+{
+    enum class Op
+    {
+        OpenTrunc,  ///< openWrite(path, truncate=true)
+        OpenAppend, ///< openWrite(path, truncate=false)
+        Write,      ///< data appended to path's open handle
+        Sync,       ///< fsync of path's open handle
+        Close,      ///< close of path's open handle
+        Rename,     ///< rename path -> other
+        Remove,     ///< remove path
+        SyncDir,    ///< directory fsync of path
+        Mkdirs,     ///< create path (and parents)
+    };
+
+    Op op = Op::Write;
+    std::string path;
+    std::string other; ///< rename destination
+    std::string data;  ///< Write payload
+};
+
+/** The full mutation history of one recorded run. */
+struct IoLog
+{
+    std::vector<IoStep> steps;
+};
+
+class SimIoEnv;
+
+/**
+ * Re-apply the first @p k steps of @p log to @p env (a fresh sim),
+ * reconstructing the filesystem state — including per-file sync
+ * watermarks — as it stood the instant before step k executed.
+ */
+void replaySteps(const IoLog &log, std::size_t k, SimIoEnv &env);
+
+/**
+ * Wraps @p inner, forwarding every call and appending an IoStep for
+ * each successful durable-state mutation.  Reads are passed through
+ * unrecorded (they mutate nothing).  Not thread-safe beyond what a
+ * mutex over the log provides: recorded workloads run single-threaded
+ * so the step order is deterministic.
+ */
+class RecordingIoEnv final : public IoEnv
+{
+  public:
+    explicit RecordingIoEnv(IoEnv &inner) : inner_(inner) {}
+
+    std::unique_ptr<WriteFile> openWrite(const std::string &path,
+                                         bool truncate) override;
+    bool readFile(const std::string &path, std::string &out) override
+    {
+        return inner_.readFile(path, out);
+    }
+    bool exists(const std::string &path) override
+    {
+        return inner_.exists(path);
+    }
+    bool rename(const std::string &from,
+                const std::string &to) override;
+    bool remove(const std::string &path) override;
+    bool syncDir(const std::string &dir) override;
+    bool mkdirs(const std::string &dir) override;
+    std::vector<std::string> list(const std::string &dir) override
+    {
+        return inner_.list(dir);
+    }
+
+    const IoLog &log() const { return log_; }
+
+  private:
+    friend class RecordingWriteFile;
+    void record(IoStep s);
+
+    IoEnv &inner_;
+    IoLog log_;
+    std::mutex m_;
+};
+
+// ---------------------------------------------------------------------
+// SimIoEnv: the in-memory persisted-vs-volatile filesystem.
+// ---------------------------------------------------------------------
+
+class SimIoEnv final : public IoEnv
+{
+  public:
+    /** How a crash treats data written since the last fsync. */
+    enum class CrashVariant
+    {
+        Clean,   ///< everything pending survived
+        Torn,    ///< unsynced tails survive as a half prefix
+        Reorder, ///< entries survived, unsynced data did not
+    };
+
+    std::unique_ptr<WriteFile> openWrite(const std::string &path,
+                                         bool truncate) override;
+    bool readFile(const std::string &path, std::string &out) override;
+    bool exists(const std::string &path) override;
+    bool rename(const std::string &from,
+                const std::string &to) override;
+    bool remove(const std::string &path) override;
+    bool syncDir(const std::string &) override { return true; }
+    bool mkdirs(const std::string &dir) override;
+    std::vector<std::string> list(const std::string &dir) override;
+
+    /** The surviving files (path -> content) after a power cut under
+     *  @p variant, given the current live + sync-watermark state. */
+    std::map<std::string, std::string>
+    crashImage(CrashVariant variant) const;
+
+    /** Replace the whole filesystem with @p image, every byte of it
+     *  durable (the recovered-from-disk state). */
+    void reset(std::map<std::string, std::string> image);
+
+    /** Every live path, sorted (the sweep's stray-file check). */
+    std::vector<std::string> allPaths() const;
+
+    /** Live content of @p path ("" when absent). */
+    std::string content(const std::string &path) const;
+
+  private:
+    friend class SimWriteFile;
+
+    struct File
+    {
+        std::string data;
+        std::size_t synced = 0; ///< durable prefix length
+    };
+
+    mutable std::mutex m_;
+    std::map<std::string, File> files_;
+};
+
+} // namespace satom::io

@@ -44,8 +44,10 @@ mix64(std::uint64_t x)
 
 } // namespace
 
-PagedIndex::PagedIndex(std::string dir, std::string fingerprint)
-    : dir_(std::move(dir)), fingerprint_(std::move(fingerprint))
+PagedIndex::PagedIndex(std::string dir, std::string fingerprint,
+                       io::IoEnv *io)
+    : dir_(std::move(dir)), fingerprint_(std::move(fingerprint)),
+      io_(io ? io : &io::realIoEnv())
 {
 }
 
@@ -59,7 +61,7 @@ PagedIndex::~PagedIndex()
     // directory is left empty.
     const std::size_t first = keepDurable_ ? durablePages_ : 0;
     for (std::size_t i = first; i < pages_.size(); ++i)
-        std::remove(pages_[i].path.c_str());
+        io_->remove(pages_[i].path);
 }
 
 std::size_t
@@ -161,7 +163,7 @@ PagedIndex::writePage(const std::uint64_t *keys, std::size_t n)
     rw.record(pageKeysRecord, w.take());
 
     if (fault::indexIoFailDue() ||
-        !writeFileAtomic(path, rw.finish()))
+        !writeFileAtomic(*io_, path, rw.finish()))
         return false;
 
     Page p;
@@ -218,7 +220,7 @@ PagedIndex::evict(std::size_t targetHot)
             // future page reusing one of the rolled-back indices.
             for (std::size_t i = firstNewPage; i < pages_.size();
                  ++i) {
-                std::remove(pages_[i].path.c_str());
+                io_->remove(pages_[i].path);
                 --pagesWritten_;
             }
             pages_.resize(firstNewPage);
@@ -265,7 +267,7 @@ PagedIndex::searchPage(std::size_t pageIdx, std::uint64_t key,
         const Page &p = pages_[pageIdx];
         std::string bytes;
         if (fault::indexIoFailDue() ||
-            !readFileBytes(p.path, bytes)) {
+            !readFileBytes(*io_, p.path, bytes)) {
             noteIoFailure("seen page unreadable: " + p.path);
             return false;
         }
@@ -345,7 +347,7 @@ PagedIndex::adoptPagesImpl(const std::vector<std::string> &paths)
     using snapshot::Status;
     for (const std::string &path : paths) {
         std::string bytes;
-        if (!readFileBytes(path, bytes))
+        if (!readFileBytes(*io_, path, bytes))
             return Status::fail(Error::Io,
                                 "cannot read seen page " + path);
         snapshot::RecordReader rr;

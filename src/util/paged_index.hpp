@@ -56,6 +56,7 @@
 #include <string>
 #include <vector>
 
+#include "util/io_env.hpp"
 #include "util/snapshot.hpp"
 #include "util/stats.hpp"
 #include "util/u64set.hpp"
@@ -72,9 +73,12 @@ class PagedIndex
      * empty disables paging — the index is then a plain sharded
      * in-RAM set and evict() is a no-op.  @p fingerprint stamps every
      * page file (the §11 `#cfg` discipline), so adoptPages() refuses
-     * pages from a different program/model/option set.
+     * pages from a different program/model/option set.  @p io routes
+     * page I/O through a pluggable environment (DESIGN.md §16); null
+     * means the real POSIX one.
      */
-    PagedIndex(std::string dir, std::string fingerprint);
+    PagedIndex(std::string dir, std::string fingerprint,
+               io::IoEnv *io = nullptr);
 
     /** Removes every page file still on disk unless retainPages()
      *  handed them all to a checkpoint; after retainDurable(), pages
@@ -255,6 +259,7 @@ class PagedIndex
 
     std::string dir_;
     std::string fingerprint_;
+    io::IoEnv *io_;
     std::array<Shard, numShards> shards_;
     std::atomic<std::size_t> hotCount_{0};
     std::size_t coldCount_ = 0;

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * The SATOM_FAULT site registry (DESIGN.md §9/§11/§13/§14/§15),
+ * table-driven: every documented site must parse via armFromSpec AND
+ * actually fire under a minimal driver, so a site whose consumer code
+ * moves or dies cannot silently rot into a no-op.  Sites with a cheap
+ * library consumer are driven through that real path (snapshot
+ * writer, spill queue, result cache, paged index — all hermetic under
+ * SimIoEnv); the satomd service sites, whose consumers live in a
+ * separate process's accept/queue loops, are driven at their
+ * predicate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cache/result_cache.hpp"
+#include "enumerate/frontier_store.hpp"
+#include "util/io_env.hpp"
+#include "util/paged_index.hpp"
+#include "util/run_control.hpp"
+#include "util/stats.hpp"
+
+namespace satom
+{
+namespace
+{
+
+using io::SimIoEnv;
+
+/** One registry row: the documented spec and a driver that returns
+ *  true iff the armed site observably fired. */
+struct SiteRow
+{
+    const char *spec;
+    std::function<bool()> driver;
+};
+
+bool
+workerThrows()
+{
+    try {
+        fault::maybeInjectWorker();
+    } catch (const std::runtime_error &) {
+        return true;
+    }
+    return false;
+}
+
+bool
+workerBadAllocs()
+{
+    try {
+        fault::maybeInjectWorker();
+    } catch (const std::bad_alloc &) {
+        return true;
+    }
+    return false;
+}
+
+bool
+workerStalls()
+{
+    const auto start = std::chrono::steady_clock::now();
+    fault::maybeInjectWorker();
+    return std::chrono::steady_clock::now() - start >=
+           std::chrono::milliseconds(20);
+}
+
+/** torn-snapshot through its real consumer: the engine snapshot
+ *  writer truncates its stream, the reader must refuse it as Torn. */
+bool
+snapshotTears()
+{
+    SimIoEnv sim;
+    EngineSnapshot snap;
+    snap.stats.statesExplored = 99;
+    snap.seenKeys = {1, 2, 3};
+    if (!writeEngineSnapshot(sim, "/ck.snap", snap, "fp").ok())
+        return false;
+    EngineSnapshot back;
+    const snapshot::Status st =
+        readEngineSnapshot(sim, "/ck.snap", "fp", back);
+    return !st.ok() && st.error == snapshot::Error::Torn;
+}
+
+/** spill-io-fail through its real consumer: a SpillQueue reload. */
+bool
+spillIoFails()
+{
+    SimIoEnv sim;
+    SpillQueue q("/spill", "fp", &sim);
+    q.adoptSegments({"/spill/spill-0-0.seg"});
+    std::vector<Behavior> out;
+    stats::StatsRegistry reg;
+    const snapshot::Status st = q.reload(out, reg);
+    return !st.ok() &&
+           st.detail.find("injected spill-io-fail") !=
+               std::string::npos;
+}
+
+/** The three cache-damage sites through their real consumer: save
+ *  under the armed fault, then a reopen that must degrade to a cold
+ *  cache with the matching structured error. */
+bool
+cacheDamageFires(snapshot::Error expect)
+{
+    SimIoEnv sim;
+    cache::ResultCache c;
+    if (!c.open(sim, "/cache").ok())
+        return false;
+    c.insert(1, 2, "prog", "ctx", "payload");
+    if (!c.save())
+        return false;
+    cache::ResultCache reopened;
+    const snapshot::Status st = reopened.open(sim, "/cache");
+    return !st.ok() && st.error == expect &&
+           reopened.size() == 0;
+}
+
+/** index-io-fail through its real consumer: a PagedIndex eviction's
+ *  page write fails and the hot tier stays intact. */
+bool
+indexIoFails()
+{
+    SimIoEnv sim;
+    PagedIndex idx("/spill", "fp", &sim);
+    for (std::uint64_t k = 1; k <= 8; ++k)
+        idx.insert(k);
+    const bool failed = !idx.evict(0);
+    return failed && idx.hotSize() == 8;
+}
+
+TEST(FaultSites, ArmFromSpecParsesEveryDocumentedName)
+{
+    const std::vector<std::string> names = {
+        "worker-throw",       "alloc-fail",
+        "stall",              "kill-after-journal",
+        "kill-after-checkpoint", "torn-snapshot",
+        "spill-io-fail",      "torn-cache",
+        "flip-cache",         "stale-cache",
+        "accept-fail",        "job-drop",
+        "slow-client",        "index-io-fail",
+        "kill-after-evict",
+    };
+    for (const std::string &name : names) {
+        EXPECT_TRUE(fault::armFromSpec(name)) << name;
+        EXPECT_TRUE(fault::armed()) << name;
+        EXPECT_TRUE(fault::armFromSpec(name + ":3")) << name;
+        fault::disarm();
+    }
+    EXPECT_FALSE(fault::armFromSpec("no-such-site"));
+    EXPECT_FALSE(fault::armFromSpec("worker-throw:x"));
+}
+
+TEST(FaultSites, EveryDocumentedSiteFiresUnderItsDriver)
+{
+    const std::vector<SiteRow> registry = {
+        {"worker-throw:1", workerThrows},
+        {"alloc-fail:1", workerBadAllocs},
+        {"stall:25", workerStalls},
+        {"kill-after-journal:1",
+         [] { return fault::journalKillDue(); }},
+        {"kill-after-checkpoint:1",
+         [] { return fault::checkpointKillDue(); }},
+        {"torn-snapshot:1", snapshotTears},
+        {"spill-io-fail:1", spillIoFails},
+        {"torn-cache:1",
+         [] { return cacheDamageFires(snapshot::Error::Torn); }},
+        {"flip-cache:1",
+         [] { return cacheDamageFires(snapshot::Error::BadCrc); }},
+        {"stale-cache:1",
+         [] {
+             return cacheDamageFires(snapshot::Error::CfgMismatch);
+         }},
+        {"accept-fail:1", [] { return fault::acceptFailDue(); }},
+        {"job-drop:1", [] { return fault::jobDropDue(); }},
+        {"slow-client:1", [] { return fault::slowClientDue(); }},
+        {"index-io-fail:1", indexIoFails},
+        {"kill-after-evict:1",
+         [] { return fault::evictKillDue(); }},
+    };
+    // One row per Site enum value except None: a site added to the
+    // enum without a registry row (or vice versa) fails here.
+    EXPECT_EQ(registry.size(), 15u);
+
+    for (const SiteRow &row : registry) {
+        ASSERT_TRUE(fault::armFromSpec(row.spec)) << row.spec;
+        EXPECT_TRUE(row.driver())
+            << row.spec << " is documented but did not fire";
+        fault::disarm();
+    }
+}
+
+TEST(FaultSites, NthHitCountingAndExactSemantics)
+{
+    // Kill-style sites stay due from the N-th hit on...
+    ASSERT_TRUE(fault::armFromSpec("kill-after-journal:2"));
+    EXPECT_FALSE(fault::journalKillDue());
+    EXPECT_TRUE(fault::journalKillDue());
+    EXPECT_TRUE(fault::journalKillDue());
+    fault::disarm();
+    // ...service sites fire exactly once (a one-shot event the
+    // service must recover from, not a permanent outage).
+    ASSERT_TRUE(fault::armFromSpec("accept-fail:2"));
+    EXPECT_FALSE(fault::acceptFailDue());
+    EXPECT_TRUE(fault::acceptFailDue());
+    EXPECT_FALSE(fault::acceptFailDue());
+    fault::disarm();
+}
+
+TEST(FaultSites, DisarmedPredicatesNeverFire)
+{
+    fault::disarm();
+    EXPECT_FALSE(fault::journalKillDue());
+    EXPECT_FALSE(fault::checkpointKillDue());
+    EXPECT_FALSE(fault::snapshotTornDue());
+    EXPECT_FALSE(fault::spillIoFailDue());
+    EXPECT_FALSE(fault::cacheTornDue());
+    EXPECT_FALSE(fault::cacheFlipDue());
+    EXPECT_FALSE(fault::cacheStaleDue());
+    EXPECT_FALSE(fault::acceptFailDue());
+    EXPECT_FALSE(fault::jobDropDue());
+    EXPECT_FALSE(fault::slowClientDue());
+    EXPECT_FALSE(fault::indexIoFailDue());
+    EXPECT_FALSE(fault::evictKillDue());
+    EXPECT_NO_THROW(fault::maybeInjectWorker());
+}
+
+} // namespace
+} // namespace satom

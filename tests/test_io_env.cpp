@@ -1,0 +1,313 @@
+/**
+ * @file
+ * The pluggable I/O environment (DESIGN.md §16): SimIoEnv's crash
+ * semantics, RecordingIoEnv's step log + replay, the durable
+ * writeFileAtomic pattern on top of them — including the
+ * missing-fsync failure mode the unsafe test mode reintroduces — and
+ * the spill-directory debris purge.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include <unistd.h>
+
+#include "enumerate/frontier_store.hpp"
+#include "util/atomic_file.hpp"
+#include "util/io_env.hpp"
+
+namespace satom
+{
+namespace
+{
+
+using io::IoLog;
+using io::IoStep;
+using io::RecordingIoEnv;
+using io::SimIoEnv;
+using Variant = SimIoEnv::CrashVariant;
+
+std::string
+tempDir()
+{
+    char buf[] = "/tmp/satom_ioenv_XXXXXX";
+    const char *d = ::mkdtemp(buf);
+    EXPECT_NE(d, nullptr);
+    return d ? d : "/tmp";
+}
+
+TEST(RealIoEnv, WriteSyncReadRenameRemoveList)
+{
+    io::IoEnv &env = io::realIoEnv();
+    const std::string dir = tempDir();
+    const std::string a = dir + "/a.txt";
+    const std::string b = dir + "/b.txt";
+
+    auto f = env.openWrite(a, /*truncate=*/true);
+    ASSERT_NE(f, nullptr);
+    EXPECT_TRUE(f->write("hello "));
+    EXPECT_TRUE(f->write("world"));
+    EXPECT_TRUE(f->sync());
+    EXPECT_TRUE(f->close());
+    EXPECT_TRUE(f->close()) << "close must be idempotent";
+
+    std::string got;
+    EXPECT_TRUE(env.readFile(a, got));
+    EXPECT_EQ(got, "hello world");
+    EXPECT_TRUE(env.exists(a));
+    EXPECT_FALSE(env.exists(b));
+
+    // Append mode extends, truncate mode restarts.
+    f = env.openWrite(a, /*truncate=*/false);
+    ASSERT_NE(f, nullptr);
+    EXPECT_TRUE(f->write("!"));
+    EXPECT_TRUE(f->close());
+    EXPECT_TRUE(env.readFile(a, got));
+    EXPECT_EQ(got, "hello world!");
+
+    EXPECT_TRUE(env.rename(a, b));
+    EXPECT_FALSE(env.exists(a));
+    EXPECT_TRUE(env.exists(b));
+    EXPECT_TRUE(env.syncDir(dir));
+    EXPECT_EQ(env.list(dir), std::vector<std::string>{"b.txt"});
+
+    const std::string sub = dir + "/x/y";
+    EXPECT_TRUE(env.mkdirs(sub));
+    EXPECT_TRUE(env.exists(sub));
+
+    EXPECT_TRUE(env.remove(b));
+    EXPECT_FALSE(env.exists(b));
+    EXPECT_FALSE(env.readFile(b, got));
+    EXPECT_TRUE(got.empty());
+
+    ::rmdir(sub.c_str());
+    ::rmdir((dir + "/x").c_str());
+    ::rmdir(dir.c_str());
+}
+
+TEST(SimIoEnv, TracksSyncedWatermarkPerFile)
+{
+    SimIoEnv sim;
+    auto f = sim.openWrite("/f", true);
+    ASSERT_NE(f, nullptr);
+    EXPECT_TRUE(f->write("durable"));
+    EXPECT_TRUE(f->sync());
+    EXPECT_TRUE(f->write("-volatile"));
+    EXPECT_TRUE(f->close());
+
+    EXPECT_EQ(sim.content("/f"), "durable-volatile");
+
+    const auto clean = sim.crashImage(Variant::Clean);
+    EXPECT_EQ(clean.at("/f"), "durable-volatile");
+
+    // Torn: the synced prefix plus half the unsynced tail.
+    const auto torn = sim.crashImage(Variant::Torn);
+    const std::string t = torn.at("/f");
+    EXPECT_TRUE(t.rfind("durable", 0) == 0);
+    EXPECT_LT(t.size(), std::string("durable-volatile").size());
+
+    // Reorder: only the synced prefix survives.
+    const auto reorder = sim.crashImage(Variant::Reorder);
+    EXPECT_EQ(reorder.at("/f"), "durable");
+}
+
+TEST(SimIoEnv, RenameCarriesContentAndWatermark)
+{
+    SimIoEnv sim;
+    auto f = sim.openWrite("/tmp1", true);
+    ASSERT_TRUE(f->write("unsynced"));
+    f->close();
+    ASSERT_TRUE(sim.rename("/tmp1", "/final"));
+    EXPECT_FALSE(sim.exists("/tmp1"));
+    EXPECT_EQ(sim.content("/final"), "unsynced");
+    // The bytes were never fsynced: a reordering crash leaves the
+    // directory entry but no data — the missing-fsync disaster.
+    const auto img = sim.crashImage(Variant::Reorder);
+    EXPECT_EQ(img.at("/final"), "");
+}
+
+TEST(SimIoEnv, ResetMakesEverythingDurable)
+{
+    SimIoEnv sim;
+    sim.reset({{"/a", "xyz"}});
+    EXPECT_EQ(sim.crashImage(Variant::Reorder).at("/a"), "xyz");
+    std::string got;
+    EXPECT_TRUE(sim.readFile("/a", got));
+    EXPECT_EQ(got, "xyz");
+    EXPECT_EQ(sim.allPaths(), std::vector<std::string>{"/a"});
+}
+
+TEST(SimIoEnv, ListReturnsDirectChildren)
+{
+    SimIoEnv sim;
+    sim.reset({{"/d/one", ""}, {"/d/two", ""}, {"/e/three", ""}});
+    EXPECT_EQ(sim.list("/d"),
+              (std::vector<std::string>{"one", "two"}));
+    EXPECT_TRUE(sim.list("/nope").empty());
+}
+
+TEST(RecordingIoEnv, LogsEveryDurableMutationInOrder)
+{
+    SimIoEnv sim;
+    RecordingIoEnv rec(sim);
+    auto f = rec.openWrite("/f", true);
+    f->write("ab");
+    f->sync();
+    f->close();
+    rec.rename("/f", "/g");
+    rec.remove("/g");
+    rec.syncDir("/");
+
+    const IoLog &log = rec.log();
+    ASSERT_EQ(log.steps.size(), 7u);
+    EXPECT_EQ(log.steps[0].op, IoStep::Op::OpenTrunc);
+    EXPECT_EQ(log.steps[1].op, IoStep::Op::Write);
+    EXPECT_EQ(log.steps[1].data, "ab");
+    EXPECT_EQ(log.steps[2].op, IoStep::Op::Sync);
+    EXPECT_EQ(log.steps[3].op, IoStep::Op::Close);
+    EXPECT_EQ(log.steps[4].op, IoStep::Op::Rename);
+    EXPECT_EQ(log.steps[4].path, "/f");
+    EXPECT_EQ(log.steps[4].other, "/g");
+    EXPECT_EQ(log.steps[5].op, IoStep::Op::Remove);
+    EXPECT_EQ(log.steps[6].op, IoStep::Op::SyncDir);
+}
+
+TEST(RecordingIoEnv, ReplayPrefixReconstructsIntermediateStates)
+{
+    SimIoEnv sim;
+    RecordingIoEnv rec(sim);
+    auto f = rec.openWrite("/f", true);
+    f->write("one");
+    f->sync();
+    f->write("two");
+    f->close();
+    rec.rename("/f", "/g");
+
+    const IoLog &log = rec.log();
+    // After step 3 (open, write, sync): "one", all durable.
+    {
+        SimIoEnv replay;
+        io::replaySteps(log, 3, replay);
+        EXPECT_EQ(replay.content("/f"), "one");
+        EXPECT_EQ(replay.crashImage(Variant::Reorder).at("/f"),
+                  "one");
+    }
+    // After step 4: "onetwo", "two" volatile.
+    {
+        SimIoEnv replay;
+        io::replaySteps(log, 4, replay);
+        EXPECT_EQ(replay.content("/f"), "onetwo");
+        EXPECT_EQ(replay.crashImage(Variant::Reorder).at("/f"),
+                  "one");
+    }
+    // Full replay: renamed.
+    {
+        SimIoEnv replay;
+        io::replaySteps(log, log.steps.size(), replay);
+        EXPECT_FALSE(replay.exists("/f"));
+        EXPECT_EQ(replay.content("/g"), "onetwo");
+    }
+}
+
+TEST(AtomicWrite, IsDurableAcrossEveryCrashVariant)
+{
+    SimIoEnv sim;
+    ASSERT_TRUE(writeFileAtomic(sim, "/d/file", "payload"));
+    EXPECT_EQ(sim.content("/d/file"), "payload");
+    for (Variant v :
+         {Variant::Clean, Variant::Torn, Variant::Reorder}) {
+        const auto img = sim.crashImage(v);
+        ASSERT_TRUE(img.count("/d/file"));
+        EXPECT_EQ(img.at("/d/file"), "payload");
+    }
+    // No temp debris on the success path.
+    for (const std::string &p : sim.allPaths())
+        EXPECT_FALSE(isAtomicTmpPath(p)) << p;
+}
+
+TEST(AtomicWrite, UniqueTempNamesPerWrite)
+{
+    SimIoEnv sim;
+    RecordingIoEnv rec(sim);
+    ASSERT_TRUE(writeFileAtomic(rec, "/f", "v1"));
+    ASSERT_TRUE(writeFileAtomic(rec, "/f", "v2"));
+    std::vector<std::string> tmps;
+    for (const IoStep &s : rec.log().steps)
+        if (s.op == IoStep::Op::OpenTrunc)
+            tmps.push_back(s.path);
+    ASSERT_EQ(tmps.size(), 2u);
+    EXPECT_NE(tmps[0], tmps[1]);
+    EXPECT_TRUE(isAtomicTmpPath(tmps[0]));
+    EXPECT_EQ(sim.content("/f"), "v2");
+}
+
+TEST(AtomicWrite, UnsafeModeLosesDataUnderReorderCrash)
+{
+    // The pre-fix writeFileAtomic (no fd fsync before rename, no
+    // directory fsync after) reaches its final name with fully
+    // volatile bytes: a metadata-before-data crash leaves an empty
+    // file where the reader expects the old or the new content.  This
+    // is the failure satom_crashsweep's sensitivity mode must detect.
+    SimIoEnv sim;
+    setUnsafeAtomicWrites(true);
+    const bool ok = writeFileAtomic(sim, "/f", "payload");
+    setUnsafeAtomicWrites(false);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(sim.content("/f"), "payload");
+    const auto img = sim.crashImage(Variant::Reorder);
+    ASSERT_TRUE(img.count("/f"));
+    EXPECT_EQ(img.at("/f"), "") << "unsynced rename must lose data";
+}
+
+TEST(AtomicWrite, AppendLogLinesAreSingleWrites)
+{
+    SimIoEnv sim;
+    RecordingIoEnv rec(sim);
+    AppendLog log;
+    ASSERT_TRUE(log.open(rec, "/j", /*fresh=*/true));
+    ASSERT_TRUE(log.appendLine("#cfg fp"));
+    ASSERT_TRUE(log.appendLine("record 1"));
+    EXPECT_EQ(sim.content("/j"), "#cfg fp\nrecord 1\n");
+    int writes = 0;
+    for (const IoStep &s : rec.log().steps)
+        if (s.op == IoStep::Op::Write)
+            ++writes;
+    EXPECT_EQ(writes, 2) << "one write per line, no partial lines";
+}
+
+TEST(PurgeSpillDebris, RemovesOnlyUnreferencedArtifacts)
+{
+    SimIoEnv sim;
+    sim.reset({
+        {"/spill/spill-1-0.seg", "referenced"},
+        {"/spill/spill-1-1.seg", "orphaned"},
+        {"/spill/seen-1-0.idx", "referenced"},
+        {"/spill/seen-1-1.idx", "orphaned"},
+        {"/spill/ck.snap.satomtmp.9.0", "crash debris"},
+        {"/spill/unrelated.txt", "not ours"},
+    });
+    EngineSnapshot snap;
+    snap.spillSegments = {"/spill/spill-1-0.seg"};
+    snap.seenPages = {"/spill/seen-1-0.idx"};
+
+    const std::size_t removed =
+        purgeUnreferencedSpillFiles(sim, "/spill", snap);
+    EXPECT_EQ(removed, 3u);
+    EXPECT_TRUE(sim.exists("/spill/spill-1-0.seg"));
+    EXPECT_TRUE(sim.exists("/spill/seen-1-0.idx"));
+    EXPECT_TRUE(sim.exists("/spill/unrelated.txt"));
+    EXPECT_FALSE(sim.exists("/spill/spill-1-1.seg"));
+    EXPECT_FALSE(sim.exists("/spill/seen-1-1.idx"));
+    EXPECT_FALSE(sim.exists("/spill/ck.snap.satomtmp.9.0"));
+
+    // Cold start: an empty snapshot makes every artifact debris.
+    const std::size_t rest = purgeUnreferencedSpillFiles(
+        sim, "/spill", EngineSnapshot{});
+    EXPECT_EQ(rest, 2u);
+    EXPECT_TRUE(sim.exists("/spill/unrelated.txt"));
+}
+
+} // namespace
+} // namespace satom

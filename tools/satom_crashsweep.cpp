@@ -1,0 +1,791 @@
+/**
+ * @file
+ * Exhaustive crash-point explorer over the persistence layer
+ * (DESIGN.md §16).
+ *
+ * Each workload runs once, hermetically, with every durable-state
+ * mutation routed through a RecordingIoEnv wrapped around an
+ * in-memory SimIoEnv; the run's uncrashed report is the baseline.
+ * Then, for every prefix length k of the recorded mutation log and
+ * every crash variant — Clean (all pending writes survive), Torn
+ * (half of each file's unsynced tail survives), Reorder (nothing
+ * unsynced survives: metadata-before-data, the classic missing-fsync
+ * exposure) — the first k steps are replayed into a fresh SimIoEnv,
+ * the crash image is rendered, and recovery runs in-process against
+ * it.  Four invariants are asserted per image:
+ *
+ *   I1  Atomicity: any surviving content of an atomic-write target
+ *       (the destination of a tmp+rename) byte-equals some version
+ *       that completed its rename at a step <= k.  Never a torn or
+ *       empty intermediate.
+ *   I2  Recovery: the resumed/restarted run completes and its final
+ *       report is byte-identical to the uncrashed baseline.
+ *   I3  Refusal: damaged state (content matching no committed
+ *       version) is refused, never silently adopted — and undamaged
+ *       state is never refused.  Refusal is the tool-level exit-64
+ *       classification litmus_runner/satom_fuzz give such state.
+ *   I4  Containment: after recovery, no files survive outside the
+ *       workload's durable set (no temp debris, no orphan spill
+ *       segments, no retired checkpoints).
+ *
+ * `--unsafe` reverts writeFileAtomic to its historical
+ * no-fsync/no-dirsync behavior: the Reorder and Torn images then
+ * contain torn atomic targets and the sweep must detect I1
+ * violations.  `--expect-violation` inverts the exit code for that
+ * sensitivity leg: the sweep proves it can actually catch the bug
+ * the fsync fix removed.
+ *
+ * Exit: 0 sweep clean (or violations found under --expect-violation),
+ * 1 invariant violation (or none under --expect-violation), 64 usage.
+ */
+
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cache/result_cache.hpp"
+#include "enumerate/engine.hpp"
+#include "enumerate/frontier_store.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/journal.hpp"
+#include "fuzz/oracle.hpp"
+#include "model/models.hpp"
+#include "util/atomic_file.hpp"
+#include "util/io_env.hpp"
+#include "util/run_control.hpp"
+
+namespace satom
+{
+namespace
+{
+
+constexpr int exitUsage = 64;
+
+/** What recovery did with each adoptable durable artifact. */
+struct RecoveryNotes
+{
+    /** path -> "absent" | "adopted" | "refused:<why>". */
+    std::map<std::string, std::string> action;
+};
+
+/** One crash-sweep workload: a baseline run, a recovery procedure
+ *  and its durable-set contract. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+    virtual std::string name() const = 0;
+    virtual std::string reportPath() const = 0;
+
+    /** Run uncrashed through @p env; return the report bytes. */
+    virtual std::string run(io::IoEnv &env) = 0;
+
+    /** Recover from the crash image in @p env, rerun to completion,
+     *  rewrite the report; return its bytes. */
+    virtual std::string recover(io::SimIoEnv &env,
+                                RecoveryNotes &notes) = 0;
+
+    /** Atomic artifacts recovery classifies (adopt vs refuse); the
+     *  report file is excluded (recovery overwrites, never reads it). */
+    virtual std::vector<std::string> classifiedArtifacts() const = 0;
+
+    /** I4: report every file outside the durable set into @p out. */
+    virtual void checkFinalState(io::SimIoEnv &env,
+                                 std::vector<std::string> &out) = 0;
+};
+
+/** Remove atomic-write temp debris directly under @p dir (the
+ *  documented recovery sweep for a crash mid-writeFileAtomic). */
+void
+removeAtomicDebris(io::IoEnv &env, const std::string &dir)
+{
+    for (const std::string &name : env.list(dir))
+        if (isAtomicTmpPath(name))
+            env.remove(dir + "/" + name);
+}
+
+// ---------------------------------------------------------------
+// Workload 1: checkpointed enumeration with spill and a seen-cap.
+// Durable state: periodic checkpoints (+ referenced spill segments
+// and seen pages) and the final report.
+// ---------------------------------------------------------------
+class EnumWorkload final : public Workload
+{
+  public:
+    EnumWorkload()
+        : program_(fuzz::generateProgram(7, genConfig())),
+          model_(makeModel(ModelId::WMM))
+    {
+    }
+
+    std::string name() const override { return "enum"; }
+    std::string reportPath() const override { return kReport; }
+
+    std::string
+    run(io::IoEnv &env) override
+    {
+        env.mkdirs(kSpillDir);
+        const EnumerationResult r =
+            enumerateBehaviors(program_, model_, options(env));
+        const std::string report = render(r);
+        writeFileAtomic(env, kReport, report);
+        return report;
+    }
+
+    std::string
+    recover(io::SimIoEnv &env, RecoveryNotes &notes) override
+    {
+        env.mkdirs(kSpillDir);
+        EnumerationOptions opts = options(env);
+        const std::string fp =
+            enumerationFingerprint(program_, model_, opts);
+        EngineSnapshot snap;
+        const snapshot::Status st =
+            readEngineSnapshot(env, kCkpt, fp, snap);
+        EnumerationResult r;
+        if (st.ok()) {
+            notes.action[kCkpt] = "adopted";
+            // Purge segments/pages/debris the snapshot does not
+            // reference (strays written after it), then resume.
+            purgeUnreferencedSpillFiles(env, kSpillDir, snap);
+            removeAtomicDebris(env, kDir);
+            r = resumeEnumeration(program_, model_, opts, snap);
+        } else {
+            notes.action[kCkpt] =
+                env.exists(kCkpt)
+                    ? std::string("refused:") +
+                          snapshot::toString(st.error)
+                    : std::string("absent");
+            // Exit-64 classification: damaged state is discarded by
+            // the operator, never adopted; the run restarts cold.
+            env.remove(kCkpt);
+            purgeUnreferencedSpillFiles(env, kSpillDir,
+                                        EngineSnapshot{});
+            removeAtomicDebris(env, kDir);
+            r = enumerateBehaviors(program_, model_, opts);
+        }
+        const std::string report = render(r);
+        writeFileAtomic(env, kReport, report);
+        return report;
+    }
+
+    std::vector<std::string>
+    classifiedArtifacts() const override
+    {
+        return {kCkpt};
+    }
+
+    void
+    checkFinalState(io::SimIoEnv &env,
+                    std::vector<std::string> &out) override
+    {
+        std::set<std::string> allowed = {kReport};
+        if (env.exists(kCkpt)) {
+            // A surviving checkpoint must be self-contained-readable
+            // and pins exactly the files it references.
+            EngineSnapshot snap;
+            EnumerationOptions opts = options(env);
+            if (!readEngineSnapshot(
+                     env, kCkpt,
+                     enumerationFingerprint(program_, model_, opts),
+                     snap)
+                     .ok()) {
+                out.push_back("surviving checkpoint unreadable: " +
+                              std::string(kCkpt));
+            }
+            allowed.insert(kCkpt);
+            for (const std::string &s : snap.spillSegments)
+                allowed.insert(s);
+            for (const std::string &s : snap.seenPages)
+                allowed.insert(s);
+        }
+        for (const std::string &p : env.allPaths())
+            if (!allowed.count(p))
+                out.push_back("stray file after recovery: " + p);
+    }
+
+  private:
+    static constexpr const char *kDir = "/enum";
+    static constexpr const char *kSpillDir = "/enum/spill";
+    static constexpr const char *kCkpt = "/enum/ck.snap";
+    static constexpr const char *kReport = "/enum/report.json";
+
+    static fuzz::GeneratorConfig
+    genConfig()
+    {
+        fuzz::GeneratorConfig g;
+        g.minThreads = 3;
+        g.maxThreads = 3;
+        g.minOps = 4;
+        g.maxOps = 5;
+        return g;
+    }
+
+    EnumerationOptions
+    options(io::IoEnv &env) const
+    {
+        EnumerationOptions o;
+        o.numWorkers = 1;
+        o.checkpointPath = kCkpt;
+        o.checkpointEvery = 8;
+        o.spillDir = kSpillDir;
+        o.spillFrontierLimit = 4;
+        o.seenLimit = 16;
+        o.io = &env;
+        return o;
+    }
+
+    static std::string
+    render(const EnumerationResult &r)
+    {
+        std::string s = "{\"tool\":\"satom_crashsweep\","
+                        "\"workload\":\"enum\",\"truncation\":\"";
+        s += toString(r.truncation);
+        s += "\",\"outcomes\":[";
+        for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
+            if (i)
+                s += ',';
+            s += '"' + r.outcomes[i].key() + '"';
+        }
+        s += "],\"stats\":\"" + r.registry.serialize() + "\"}\n";
+        return s;
+    }
+
+    Program program_;
+    MemoryModel model_;
+};
+
+// ---------------------------------------------------------------
+// Workload 2: fuzz campaign with an append-only journal and a warm
+// result cache.  Durable state: the journal (non-atomic by design,
+// torn tails skipped), the cache file and the final report.
+// ---------------------------------------------------------------
+class FuzzWorkload final : public Workload
+{
+  public:
+    std::string name() const override { return "fuzz"; }
+    std::string reportPath() const override { return kReport; }
+
+    std::string
+    run(io::IoEnv &env) override
+    {
+        cache::ResultCache cache;
+        cache.open(env, kCacheDir);
+        AppendLog journal;
+        journal.open(env, kJournal, /*fresh=*/true);
+        journal.appendLine("#cfg " + fingerprint());
+        std::vector<fuzz::SeedRecord> recs;
+        for (std::uint32_t seed = 1; seed <= kSeeds; ++seed) {
+            recs.push_back(computeSeed(seed, cache));
+            // Same durable-state discipline as satom_fuzz: cache
+            // before journal, so a journaled seed's cache entries
+            // are never newer than the journal that references it.
+            cache.save();
+            journal.appendLine(fuzz::journalLine(recs.back()));
+        }
+        const std::string report = render(recs);
+        writeFileAtomic(env, kReport, report);
+        return report;
+    }
+
+    std::string
+    recover(io::SimIoEnv &env, RecoveryNotes &notes) override
+    {
+        removeAtomicDebris(env, kDir);
+        removeAtomicDebris(env, kCacheDir);
+        const std::string fp = fingerprint();
+        fuzz::JournalLoad load = fuzz::loadJournal(env, kJournal, fp);
+        const bool adoptJournal =
+            load.ok && load.journalCfg == fp && env.exists(kJournal);
+        if (env.exists(kJournal))
+            notes.action[kJournal] =
+                adoptJournal ? "adopted" : "refused:cfg";
+        else
+            notes.action[kJournal] = "absent";
+        if (!adoptJournal)
+            env.remove(kJournal);
+
+        cache::ResultCache cache;
+        const snapshot::Status cst = cache.open(env, kCacheDir);
+        notes.action[kCacheFile] =
+            !env.exists(kCacheFile)
+                ? std::string("absent")
+                : (cst.ok() ? std::string("adopted")
+                            : std::string("refused:") +
+                                  snapshot::toString(cst.error));
+
+        AppendLog journal;
+        journal.open(env, kJournal, /*fresh=*/!adoptJournal);
+        if (!adoptJournal)
+            journal.appendLine("#cfg " + fp);
+        std::vector<fuzz::SeedRecord> recs;
+        for (std::uint32_t seed = 1; seed <= kSeeds; ++seed) {
+            if (const fuzz::SeedRecord *got =
+                    adoptJournal ? load.seeds.find(seed) : nullptr) {
+                recs.push_back(*got);
+                continue;
+            }
+            recs.push_back(computeSeed(seed, cache));
+            cache.save();
+            journal.appendLine(fuzz::journalLine(recs.back()));
+        }
+        const std::string report = render(recs);
+        writeFileAtomic(env, kReport, report);
+        return report;
+    }
+
+    std::vector<std::string>
+    classifiedArtifacts() const override
+    {
+        return {kCacheFile};
+    }
+
+    void
+    checkFinalState(io::SimIoEnv &env,
+                    std::vector<std::string> &out) override
+    {
+        const std::set<std::string> allowed = {kReport, kJournal,
+                                               kCacheFile};
+        for (const std::string &p : env.allPaths())
+            if (!allowed.count(p))
+                out.push_back("stray file after recovery: " + p);
+    }
+
+  private:
+    static constexpr const char *kDir = "/fuzz";
+    static constexpr const char *kJournal = "/fuzz/journal.txt";
+    static constexpr const char *kCacheDir = "/fuzz/cache";
+    static constexpr const char *kCacheFile =
+        "/fuzz/cache/results.satomc";
+    static constexpr const char *kReport = "/fuzz/report.json";
+    static constexpr std::uint32_t kSeeds = 3;
+
+    static std::string
+    fingerprint()
+    {
+        return "crashsweep-fuzz v1 oracles=sc-operational seeds=" +
+               std::to_string(kSeeds);
+    }
+
+    static fuzz::SeedRecord
+    computeSeed(std::uint32_t seed, cache::ResultCache &cache)
+    {
+        const Program p = fuzz::generateProgram(seed);
+        fuzz::OracleOptions oo;
+        oo.resultCache = &cache;
+        fuzz::SeedRecord rec;
+        rec.seed = seed;
+        rec.threads = p.numThreads();
+        rec.instructions = static_cast<int>(p.size());
+        rec.results = fuzz::runOracles(
+            p, {fuzz::OracleId::ScVsOperational}, oo);
+        rec.verdict = fuzz::worstVerdict(rec.results);
+        for (const auto &d : rec.results) {
+            rec.states += d.statesExplored;
+            rec.outcomes += d.outcomesCompared;
+            rec.stats.merge(d.stats);
+            if (d.truncation != Truncation::None &&
+                rec.truncation == Truncation::None)
+                rec.truncation = d.truncation;
+        }
+        return rec;
+    }
+
+    static std::string
+    render(const std::vector<fuzz::SeedRecord> &recs)
+    {
+        // The report is the journal-line rendering of every record
+        // in seed order: loaded and recomputed records round-trip to
+        // identical lines, so resume identity is byte-checkable.
+        std::string s = "#report " + fingerprint() + "\n";
+        for (const fuzz::SeedRecord &r : recs)
+            s += fuzz::journalLine(r) + "\n";
+        return s;
+    }
+};
+
+// ---------------------------------------------------------------
+// Workload 3: warm-cache identity.  Durable state: the cache file
+// and the final report; recovery must produce the identical report
+// from ANY surviving prefix of cache state (hits replay the exact
+// miss-path result).
+// ---------------------------------------------------------------
+class CacheWorkload final : public Workload
+{
+  public:
+    CacheWorkload() : model_(makeModel(ModelId::WMM)) {}
+
+    std::string name() const override { return "cache"; }
+    std::string reportPath() const override { return kReport; }
+
+    std::string
+    run(io::IoEnv &env) override
+    {
+        cache::ResultCache cache;
+        cache.open(env, kCacheDir);
+        const std::string cold = runSeeds(cache, env);
+        // Warm re-run over the populated cache: the contract says
+        // the bytes cannot change.  A mismatch here is a broken
+        // baseline, not a crash bug — fail loudly.
+        cache::ResultCache warm;
+        warm.open(env, kCacheDir);
+        if (runSeeds(warm, env) != cold) {
+            std::cerr << "cache workload: warm report != cold "
+                         "report; baseline broken\n";
+            std::exit(1);
+        }
+        writeFileAtomic(env, kReport, cold);
+        return cold;
+    }
+
+    std::string
+    recover(io::SimIoEnv &env, RecoveryNotes &notes) override
+    {
+        removeAtomicDebris(env, kDir);
+        removeAtomicDebris(env, kCacheDir);
+        cache::ResultCache cache;
+        const snapshot::Status cst = cache.open(env, kCacheDir);
+        notes.action[kCacheFile] =
+            !env.exists(kCacheFile)
+                ? std::string("absent")
+                : (cst.ok() ? std::string("adopted")
+                            : std::string("refused:") +
+                                  snapshot::toString(cst.error));
+        const std::string report = runSeeds(cache, env);
+        writeFileAtomic(env, kReport, report);
+        return report;
+    }
+
+    std::vector<std::string>
+    classifiedArtifacts() const override
+    {
+        return {kCacheFile};
+    }
+
+    void
+    checkFinalState(io::SimIoEnv &env,
+                    std::vector<std::string> &out) override
+    {
+        const std::set<std::string> allowed = {kReport, kCacheFile};
+        for (const std::string &p : env.allPaths())
+            if (!allowed.count(p))
+                out.push_back("stray file after recovery: " + p);
+    }
+
+  private:
+    static constexpr const char *kDir = "/cache";
+    static constexpr const char *kCacheDir = "/cache/store";
+    static constexpr const char *kCacheFile =
+        "/cache/store/results.satomc";
+    static constexpr const char *kReport = "/cache/report.json";
+    static constexpr std::uint32_t kSeeds = 4;
+
+    std::string
+    runSeeds(cache::ResultCache &cache, io::IoEnv &env)
+    {
+        std::string s = "#report crashsweep-cache v1\n";
+        for (std::uint32_t seed = 101; seed < 101 + kSeeds; ++seed) {
+            const Program p = fuzz::generateProgram(seed);
+            EnumerationOptions o;
+            o.numWorkers = 1;
+            o.resultCache = &cache;
+            const EnumerationResult r =
+                enumerateBehaviors(p, model_, o);
+            cache.save();
+            s += std::to_string(seed) + " " +
+                 std::to_string(r.outcomes.size());
+            for (const Outcome &oc : r.outcomes)
+                s += " " + oc.key();
+            s += " " + r.registry.serialize() + "\n";
+        }
+        (void)env;
+        return s;
+    }
+
+    MemoryModel model_;
+};
+
+// ---------------------------------------------------------------
+// The sweep core.
+// ---------------------------------------------------------------
+
+/** Full-content shadow of the recorded log: per-path latest data
+ *  (sync-agnostic) and, per atomic target, every version that
+ *  completed its tmp+rename.  I1/I3 judge crash images against it. */
+struct Shadow
+{
+    std::map<std::string, std::string> data;
+    std::map<std::string, std::set<std::string>> committed;
+
+    void
+    apply(const io::IoStep &s)
+    {
+        switch (s.op) {
+        case io::IoStep::Op::OpenTrunc:
+            data[s.path].clear();
+            break;
+        case io::IoStep::Op::OpenAppend:
+            data.emplace(s.path, std::string());
+            break;
+        case io::IoStep::Op::Write:
+            data[s.path] += s.data;
+            break;
+        case io::IoStep::Op::Rename: {
+            auto it = data.find(s.path);
+            const std::string content =
+                it == data.end() ? std::string() : it->second;
+            data[s.other] = content;
+            if (isAtomicTmpPath(s.path))
+                committed[s.other].insert(content);
+            if (it != data.end())
+                data.erase(it);
+            break;
+        }
+        case io::IoStep::Op::Remove:
+            data.erase(s.path);
+            break;
+        case io::IoStep::Op::Sync:
+        case io::IoStep::Op::Close:
+        case io::IoStep::Op::SyncDir:
+        case io::IoStep::Op::Mkdirs:
+            break;
+        }
+    }
+};
+
+const char *
+variantName(io::SimIoEnv::CrashVariant v)
+{
+    switch (v) {
+    case io::SimIoEnv::CrashVariant::Clean:
+        return "clean";
+    case io::SimIoEnv::CrashVariant::Torn:
+        return "torn";
+    case io::SimIoEnv::CrashVariant::Reorder:
+        return "reorder";
+    }
+    return "?";
+}
+
+struct SweepConfig
+{
+    std::size_t maxSteps = 0; ///< 0 = every recorded step
+    bool verbose = false;
+};
+
+struct SweepTotals
+{
+    std::size_t steps = 0;
+    std::size_t images = 0;
+    std::size_t recoveries = 0;
+    std::vector<std::string> violations;
+};
+
+std::string
+imageKey(const std::map<std::string, std::string> &image)
+{
+    std::string k;
+    for (const auto &[p, c] : image) {
+        k += p;
+        k += '\0';
+        k += c;
+        k += '\1';
+    }
+    return k;
+}
+
+void
+sweepWorkload(Workload &w, const SweepConfig &cfg, SweepTotals &tot)
+{
+    io::SimIoEnv base;
+    io::RecordingIoEnv rec(base);
+    const std::string baseline = w.run(rec);
+    const io::IoLog &log = rec.log();
+    const std::size_t nsteps = log.steps.size();
+    const std::size_t limit =
+        cfg.maxSteps ? std::min(nsteps, cfg.maxSteps) : nsteps;
+    tot.steps += limit;
+    std::cout << w.name() << ": " << nsteps << " durable steps"
+              << (limit < nsteps
+                      ? " (sweeping first " +
+                            std::to_string(limit) + ")"
+                      : "")
+              << ", baseline report " << baseline.size()
+              << " bytes\n";
+
+    const std::vector<std::string> artifacts =
+        w.classifiedArtifacts();
+    // Distinct crash images already validated: recoveries are pure
+    // functions of the image, so duplicates (a Sync/Close step makes
+    // the Clean image identical to its neighbor's) run once.
+    std::set<std::string> seenImages;
+    Shadow shadow;
+
+    for (std::size_t k = 0; k <= limit; ++k) {
+        if (k > 0)
+            shadow.apply(log.steps[k - 1]);
+        io::SimIoEnv replayed;
+        io::replaySteps(log, k, replayed);
+        for (io::SimIoEnv::CrashVariant v :
+             {io::SimIoEnv::CrashVariant::Clean, io::SimIoEnv::CrashVariant::Torn,
+              io::SimIoEnv::CrashVariant::Reorder}) {
+            const auto image = replayed.crashImage(v);
+            ++tot.images;
+            const std::string at = w.name() + " step " +
+                                   std::to_string(k) + "/" +
+                                   std::to_string(nsteps) + " " +
+                                   variantName(v);
+
+            // I1: surviving atomic targets are whole versions.
+            for (const auto &[path, content] : image) {
+                auto it = shadow.committed.find(path);
+                if (it != shadow.committed.end() &&
+                    !it->second.count(content))
+                    tot.violations.push_back(
+                        "I1 " + at + ": " + path +
+                        " survives torn/partial (" +
+                        std::to_string(content.size()) + " bytes)");
+            }
+
+            if (!seenImages.insert(imageKey(image)).second)
+                continue;
+            ++tot.recoveries;
+
+            io::SimIoEnv renv;
+            renv.reset(image);
+            RecoveryNotes notes;
+            const std::string report = w.recover(renv, notes);
+
+            // I2: byte-identical report, in memory and on "disk".
+            if (report != baseline)
+                tot.violations.push_back(
+                    "I2 " + at + ": recovered report differs (" +
+                    std::to_string(report.size()) + " vs " +
+                    std::to_string(baseline.size()) + " bytes)");
+            else if (renv.content(w.reportPath()) != baseline)
+                tot.violations.push_back(
+                    "I2 " + at +
+                    ": report file on disk differs from returned "
+                    "report");
+
+            // I3: adoption/refusal matches actual damage.
+            for (const std::string &a : artifacts) {
+                const auto img = image.find(a);
+                const bool present = img != image.end();
+                const auto cm = shadow.committed.find(a);
+                const bool damaged =
+                    present && (cm == shadow.committed.end() ||
+                                !cm->second.count(img->second));
+                auto actIt = notes.action.find(a);
+                const std::string action =
+                    actIt == notes.action.end() ? "unclassified"
+                                                : actIt->second;
+                if (!present && action != "absent")
+                    tot.violations.push_back(
+                        "I3 " + at + ": " + a +
+                        " absent but recovery says " + action);
+                else if (present && !damaged &&
+                         action != "adopted")
+                    tot.violations.push_back(
+                        "I3 " + at + ": undamaged " + a +
+                        " not adopted (" + action + ")");
+                else if (present && damaged &&
+                         action.rfind("refused", 0) != 0)
+                    tot.violations.push_back(
+                        "I3 " + at + ": damaged " + a +
+                        " silently adopted (" + action + ")");
+            }
+
+            // I4: nothing outside the durable set survives.
+            std::vector<std::string> strays;
+            w.checkFinalState(renv, strays);
+            for (const std::string &s : strays)
+                tot.violations.push_back("I4 " + at + ": " + s);
+
+            if (cfg.verbose)
+                std::cout << "  " << at << ": ok\n";
+        }
+    }
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage: satom_crashsweep [options]\n"
+           "  --workload enum|fuzz|cache   sweep one workload "
+           "(default: all)\n"
+           "  --max-steps N                cap swept crash points "
+           "per workload (0 = all)\n"
+           "  --unsafe                     revert writeFileAtomic "
+           "to no-fsync (sensitivity mode)\n"
+           "  --expect-violation           exit 0 iff the sweep "
+           "detects at least one violation\n"
+           "  --verbose                    log every validated "
+           "crash point\n"
+           "exit: 0 clean sweep (inverted by --expect-violation), "
+           "1 violations, 64 usage\n";
+    return exitUsage;
+}
+
+} // namespace
+} // namespace satom
+
+int
+main(int argc, char **argv)
+{
+    using namespace satom;
+    std::string workload;
+    SweepConfig cfg;
+    bool unsafe = false;
+    bool expectViolation = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--workload" && i + 1 < argc)
+            workload = argv[++i];
+        else if (a == "--max-steps" && i + 1 < argc)
+            cfg.maxSteps = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        else if (a == "--unsafe")
+            unsafe = true;
+        else if (a == "--expect-violation")
+            expectViolation = true;
+        else if (a == "--verbose")
+            cfg.verbose = true;
+        else
+            return usage();
+    }
+
+    setUnsafeAtomicWrites(unsafe);
+
+    std::vector<std::unique_ptr<Workload>> workloads;
+    if (workload.empty() || workload == "enum")
+        workloads.push_back(std::make_unique<EnumWorkload>());
+    if (workload.empty() || workload == "fuzz")
+        workloads.push_back(std::make_unique<FuzzWorkload>());
+    if (workload.empty() || workload == "cache")
+        workloads.push_back(std::make_unique<CacheWorkload>());
+    if (workloads.empty())
+        return usage();
+
+    SweepTotals tot;
+    for (auto &w : workloads)
+        sweepWorkload(*w, cfg, tot);
+
+    for (const std::string &v : tot.violations)
+        std::cout << "VIOLATION " << v << "\n";
+    std::cout << "crashsweep: workloads=" << workloads.size()
+              << " steps=" << tot.steps << " images=" << tot.images
+              << " recoveries=" << tot.recoveries
+              << " violations=" << tot.violations.size()
+              << (unsafe ? " (unsafe mode)" : "") << "\n";
+
+    const bool found = !tot.violations.empty();
+    if (expectViolation)
+        return found ? 0 : 1;
+    return found ? 1 : 0;
+}

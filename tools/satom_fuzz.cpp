@@ -511,7 +511,7 @@ main(int argc, char **argv)
     std::mutex journalMutex;
     if (!cfg.journalPath.empty()) {
         const bool fresh =
-            !cfg.resume || !std::ifstream(cfg.journalPath).good();
+            !cfg.resume || !io::realIoEnv().exists(cfg.journalPath);
         if (!journal.open(cfg.journalPath, fresh)) {
             std::cerr << "cannot open journal " << cfg.journalPath
                       << '\n';

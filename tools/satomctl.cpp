@@ -14,16 +14,24 @@
  * to assert that shed responses come back in well under the 50 ms
  * bound.  stdout stays pure JSON so byte-comparisons work.
  *
+ * --retry N makes a refused connect (socket not created yet, or
+ * created but not yet listening) retry up to N times with capped
+ * exponential backoff starting at --retry-backoff-ms; CI uses it in
+ * place of sleep-loops when waiting for satomd to come up or come
+ * back after a kill.
+ *
  * Exit codes: 0 all responses received, 2 transport error or
  * timeout, 64 usage.
  */
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <sys/socket.h>
@@ -46,7 +54,12 @@ usage()
         "  REQUEST             one JSON request line; with none,\n"
         "                      requests are read from stdin\n"
         "  --time              print per-response latency to stderr\n"
-        "  --timeout-ms N      receive timeout (default 30000)\n");
+        "  --timeout-ms N      receive timeout (default 30000)\n"
+        "  --retry N           retry a refused connect up to N times\n"
+        "                      (socket absent or nothing listening)\n"
+        "  --retry-backoff-ms N  first retry delay, doubled per\n"
+        "                      attempt, capped at 1000 ms (default "
+        "50)\n");
     return 64;
 }
 
@@ -75,6 +88,8 @@ main(int argc, char **argv)
     std::string socketPath;
     bool timeResponses = false;
     long timeoutMs = 30000;
+    long retries = 0;
+    long retryBackoffMs = 50;
     std::vector<std::string> requests;
 
     for (int i = 1; i < argc; ++i) {
@@ -89,6 +104,16 @@ main(int argc, char **argv)
             if (i + 1 >= argc ||
                 !satom::cli::parseLong(argv[++i], timeoutMs) ||
                 timeoutMs < 1)
+                return usage();
+        } else if (arg == "--retry") {
+            if (i + 1 >= argc ||
+                !satom::cli::parseLong(argv[++i], retries) ||
+                retries < 0)
+                return usage();
+        } else if (arg == "--retry-backoff-ms") {
+            if (i + 1 >= argc ||
+                !satom::cli::parseLong(argv[++i], retryBackoffMs) ||
+                retryBackoffMs < 1)
                 return usage();
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "satomctl: unknown flag %s\n",
@@ -122,17 +147,34 @@ main(int argc, char **argv)
     std::memcpy(addr.sun_path, socketPath.c_str(),
                 socketPath.size() + 1);
 
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) {
-        std::perror("satomctl: socket");
-        return 2;
-    }
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof addr) != 0) {
-        std::fprintf(stderr, "satomctl: connect %s: %s\n",
-                     socketPath.c_str(), std::strerror(errno));
+    // Connect, retrying the two "daemon not up yet" refusals —
+    // socket file absent (ENOENT) or present but nobody listening
+    // (ECONNREFUSED) — with capped exponential backoff.  Every other
+    // error, and exhausted retries, fail immediately: backoff must
+    // never mask a real transport problem.
+    int fd = -1;
+    long delayMs = retryBackoffMs;
+    for (long attempt = 0;; ++attempt) {
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            std::perror("satomctl: socket");
+            return 2;
+        }
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof addr) == 0)
+            break;
+        const int err = errno;
         ::close(fd);
-        return 2;
+        if (attempt >= retries ||
+            (err != ECONNREFUSED && err != ENOENT)) {
+            std::fprintf(stderr, "satomctl: connect %s: %s%s\n",
+                         socketPath.c_str(), std::strerror(err),
+                         attempt > 0 ? " (retries exhausted)" : "");
+            return 2;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delayMs));
+        delayMs = std::min(delayMs * 2, 1000L);
     }
     timeval tv{};
     tv.tv_sec = timeoutMs / 1000;
